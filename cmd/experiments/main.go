@@ -1,0 +1,286 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 8). Each experiment prints the table of averages that
+// underlies the corresponding plot; see EXPERIMENTS.md for the recorded
+// paper-versus-measured comparison.
+//
+// Usage:
+//
+//	experiments                     # run everything with default sizes
+//	experiments -exp table1
+//	experiments -exp fig8,fig9,fig10 -trials 75
+//	experiments -exp fig11 -trials 10 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fdlsp/internal/expt"
+)
+
+// slug turns a table title into a file name.
+func slug(title string) string {
+	title = strings.ToLower(title)
+	var b strings.Builder
+	dash := false
+	for _, r := range title {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}
+
+func main() {
+	var (
+		exps   = flag.String("exp", "all", "comma-separated: table1,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15 or all")
+		trials = flag.Int("trials", 0, "instances per configuration (0 = paper defaults: 75 UDG, 10 general)")
+		seed   = flag.Int64("seed", 2012, "base random seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		outDir = flag.String("out", "", "also write each table as CSV into this directory")
+		plot   = flag.Bool("plot", false, "also render figures as log-scale ASCII plots")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	udgTrials := *trials
+	if udgTrials == 0 {
+		udgTrials = 75 // the paper generates 75 UDGs per node count
+	}
+	genTrials := *trials
+	if genTrials == 0 {
+		genTrials = 10
+	}
+
+	emit := func(title string, t *expt.Table) {
+		fmt.Printf("== %s ==\n", title)
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+		}
+		fmt.Println()
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			name := filepath.Join(*outDir, slug(title)+".csv")
+			if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	timed := func(name string, f func() error) {
+		if !sel(name) {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	timed("table1", func() error {
+		rows, err := expt.RunTable1(*seed)
+		if err != nil {
+			return err
+		}
+		emit("Table 1: optimal (ILP/exact) vs DFS on complete bipartite and complete graphs", expt.Table1Table(rows))
+		return nil
+	})
+
+	// Figures 8–10: UDG slot counts for plan sides 15, 17, 20.
+	udgSides := []struct {
+		name string
+		side float64
+	}{{"fig8", 15}, {"fig9", 17}, {"fig10", 20}}
+	for _, fc := range udgSides {
+		fc := fc
+		timed(fc.name, func() error {
+			pts, err := expt.RunUDG(expt.UDGConfig{
+				Side: fc.side, Radius: 0.5,
+				NodeCounts: []int{50, 100, 200, 300},
+				Trials:     udgTrials, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			title := fmt.Sprintf("Figure %s: time slots in UDG, plan %gx%g (avg over %d graphs)",
+				strings.TrimPrefix(fc.name, "fig"), fc.side, fc.side, udgTrials)
+			emit(title, expt.SlotsTable(pts))
+			if *plot {
+				fmt.Print(expt.SlotsPlot(title, pts))
+			}
+			return nil
+		})
+	}
+
+	// Figures 11 and 15 share the 200-node general-graph campaign (slots
+	// and DistMIS rounds respectively); Figures 12 and 14 share the
+	// 500-node campaign. Each campaign runs once.
+	var general200, general500 []*expt.Point
+	if sel("fig11") || sel("fig15") {
+		timed("general-200", func() error {
+			var err error
+			general200, err = expt.RunGeneral(expt.GeneralConfig{
+				Nodes: 200, EdgeCounts: []int{300, 600, 1200, 2400, 4800},
+				Trials: genTrials, Seed: *seed,
+			})
+			return err
+		})
+	}
+	if sel("fig12") || sel("fig14") {
+		timed("general-500", func() error {
+			var err error
+			general500, err = expt.RunGeneral(expt.GeneralConfig{
+				Nodes: 500, EdgeCounts: []int{750, 1500, 3000, 6000},
+				Trials: genTrials, Seed: *seed,
+			})
+			return err
+		})
+	}
+	if sel("fig11") && general200 != nil {
+		emit("Figure 11: time slots in general graphs, 200 nodes", expt.SlotsTable(general200))
+		if *plot {
+			fmt.Print(expt.SlotsPlot("Figure 11", general200))
+		}
+	}
+	if sel("fig12") && general500 != nil {
+		emit("Figure 12: time slots in general graphs, 500 nodes", expt.SlotsTable(general500))
+		if *plot {
+			fmt.Print(expt.SlotsPlot("Figure 12", general500))
+		}
+	}
+
+	// Figure 13: DistMIS rounds vs edges in UDG (density swept via the plan
+	// side for fixed node counts).
+	timed("fig13", func() error {
+		for _, n := range []int{100, 200, 300} {
+			var pts []*expt.Point
+			for _, side := range []float64{20, 17, 15, 12, 10} {
+				p, err := expt.RunUDG(expt.UDGConfig{
+					Side: side, Radius: 0.5, NodeCounts: []int{n},
+					Trials: udgTrials / 3, Seed: *seed,
+				})
+				if err != nil {
+					return err
+				}
+				pts = append(pts, p...)
+			}
+			emit(fmt.Sprintf("Figure 13: distMIS communication rounds in UDG, %d nodes", n), expt.RoundsTable(pts))
+		}
+		return nil
+	})
+
+	// Figures 14–15: DistMIS rounds vs edges in general graphs (views over
+	// the campaigns above).
+	if sel("fig14") && general500 != nil {
+		emit("Figure 14: distMIS communication rounds in general graphs, 500 nodes", expt.RoundsTable(general500))
+		if *plot {
+			fmt.Print(expt.RoundsPlot("Figure 14", general500))
+		}
+	}
+	if sel("fig15") && general200 != nil {
+		emit("Figure 15: distMIS communication rounds in general graphs, 200 nodes", expt.RoundsTable(general200))
+		if *plot {
+			fmt.Print(expt.RoundsPlot("Figure 15", general200))
+		}
+	}
+
+	// Extension experiments (not part of the paper's figures; select with
+	// -exp ext or individually). They quantify the repository's additions:
+	// the randomized algorithm the paper discarded, the broadcast-vs-link
+	// argument of Section 1, incremental repair (future work), and the
+	// quasi-UDG model.
+	ext := func(name string) bool {
+		if want["ext"] {
+			want[name] = true // so the timed() selection check passes too
+		}
+		return want[name]
+	}
+	extTrials := *trials
+	if extTrials == 0 {
+		extTrials = 10
+	}
+	if ext("ext-randomized") {
+		timed("ext-randomized", func() error {
+			tb, err := expt.RandomizedComparison([]int{50, 100, 200}, 10, 1.2, extTrials, *seed)
+			if err != nil {
+				return err
+			}
+			emit("Extension: randomized algorithm vs DistMIS (paper §5 aside)", tb)
+			return nil
+		})
+	}
+	if ext("ext-broadcast") {
+		timed("ext-broadcast", func() error {
+			tb, err := expt.BroadcastComparison([]int{50, 100, 200}, 10, 1.2, extTrials, *seed)
+			if err != nil {
+				return err
+			}
+			emit("Extension: broadcast vs link scheduling (paper §1 motivation)", tb)
+			return nil
+		})
+	}
+	if ext("ext-churn") {
+		timed("ext-churn", func() error {
+			tb, err := expt.ChurnExperiment(100, 10, 1.2, 300, extTrials, *seed)
+			if err != nil {
+				return err
+			}
+			emit("Extension: incremental schedule repair under churn (paper §9 future work)", tb)
+			return nil
+		})
+	}
+	if ext("ext-energy") {
+		timed("ext-energy", func() error {
+			tb, err := expt.EnergyComparison([]int{50, 100, 200}, 10, 1.2, extTrials, *seed)
+			if err != nil {
+				return err
+			}
+			emit("Extension: transceiver energy, link vs broadcast scheduling (paper §1)", tb)
+			return nil
+		})
+	}
+	if ext("ext-dmgc") {
+		timed("ext-dmgc", func() error {
+			tb, err := expt.DMGCPhaseOneAblation(100, 300, extTrials, *seed)
+			if err != nil {
+				return err
+			}
+			emit("Extension: D-MGC phase-1 ablation (Misra-Gries vs distributed colorings)", tb)
+			return nil
+		})
+	}
+	if ext("ext-qudg") {
+		timed("ext-qudg", func() error {
+			tb, err := expt.QUDGComparison(150, 10, 1.2, extTrials, *seed)
+			if err != nil {
+				return err
+			}
+			emit("Extension: UDG vs quasi-UDG connectivity models", tb)
+			return nil
+		})
+	}
+}

@@ -1,0 +1,297 @@
+// Command fdlsp schedules one network instance with a chosen algorithm and
+// prints the resulting TDMA frame, its verification status and the
+// communication cost.
+//
+// Usage examples:
+//
+//	fdlsp -gen udg -n 100 -side 15 -radius 0.5 -algo distmis
+//	fdlsp -gen gnm -n 200 -m 1200 -algo dfs -json
+//	fdlsp -in network.txt -algo dmgc
+//	fdlsp -gen complete -n 5 -algo exact
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"fdlsp"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/viz"
+)
+
+func main() {
+	var (
+		gen     = flag.String("gen", "udg", "generator: udg|gnm|tree|complete|bipartite|cycle|path|grid|star")
+		in      = flag.String("in", "", "read graph from edge-list file instead of generating")
+		n       = flag.Int("n", 50, "node count (generators)")
+		m       = flag.Int("m", 0, "edge count (gnm; 0 = 3n)")
+		a       = flag.Int("a", 3, "first part size (bipartite)")
+		b       = flag.Int("b", 3, "second part size (bipartite)")
+		rows    = flag.Int("rows", 5, "grid rows")
+		cols    = flag.Int("cols", 5, "grid cols")
+		side    = flag.Float64("side", 15, "UDG plan side length")
+		radius  = flag.Float64("radius", 0.5, "UDG transmission radius")
+		algo    = flag.String("algo", "distmis", "algorithm: distmis|distmis-general|dfs|dmgc|randomized|greedy|exact|ilp")
+		seed    = flag.Int64("seed", 1, "random seed")
+		asJSON  = flag.Bool("json", false, "emit the schedule as JSON")
+		verbose = flag.Bool("v", false, "print the full slot table")
+		trace   = flag.Bool("trace", false, "record and summarize simulation events (distmis/dfs)")
+		optim   = flag.Bool("optimize", false, "post-optimize the schedule offline (compaction + iterated greedy)")
+		compare = flag.Bool("compare", false, "run every algorithm on the instance and print a comparison table")
+		svg     = flag.String("svg", "", "write SVG renderings with this path prefix (UDG generator only)")
+	)
+	flag.Parse()
+
+	g, pts, err := buildGraph(*in, *gen, *n, *m, *a, *b, *rows, *cols, *side, *radius, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d Δ=%d avg-deg=%.2f connected=%v\n",
+		g.N(), g.M(), g.MaxDegree(), g.AvgDegree(), g.Connected())
+	fmt.Printf("bounds: lower=%d upper=%d\n", fdlsp.LowerBound(g), fdlsp.UpperBound(g))
+
+	if *compare {
+		runComparison(g, *seed)
+		return
+	}
+
+	var rec *fdlsp.TraceRecorder
+	if *trace {
+		rec = &fdlsp.TraceRecorder{Cap: 1}
+	}
+	as, label, stats, err := run(g, *algo, *seed, rec)
+	if err != nil {
+		fatal(err)
+	}
+	if viols := fdlsp.Verify(g, as); len(viols) != 0 {
+		fatal(fmt.Errorf("INVALID schedule: %d violations, first: %v", len(viols), viols[0]))
+	}
+	if *optim {
+		raw := as.NumColors()
+		as = fdlsp.ImproveSchedule(g, as, 12, *seed)
+		fmt.Printf("post-optimization: %d -> %d slots\n", raw, as.NumColors())
+	}
+	schedule, err := fdlsp.BuildSchedule(g, as)
+	if err != nil {
+		fatal(err)
+	}
+	if collisions := schedule.RadioCheck(g); len(collisions) != 0 {
+		fatal(fmt.Errorf("radio check failed: %v", collisions[0]))
+	}
+
+	st := schedule.Stats()
+	fmt.Printf("algorithm: %s\n", label)
+	fmt.Printf("slots: %d  links: %d  max-concurrency: %d  avg-concurrency: %.2f\n",
+		st.FrameLength, st.Links, st.MaxConcurrency, st.AvgConcurrency)
+	if stats != nil {
+		fmt.Printf("cost: %d rounds, %d messages\n", stats.Rounds, stats.Messages)
+	}
+	fmt.Println("verification: schedule valid, radio check clean")
+	if rec != nil {
+		fmt.Print("trace summary:\n", rec.Summary())
+	}
+	if *svg != "" {
+		if pts == nil {
+			fatal(fmt.Errorf("-svg needs a geometric placement (use -gen udg)"))
+		}
+		files := map[string]string{
+			*svg + "-network.svg":   viz.Network(g, pts, viz.Style{}),
+			*svg + "-histogram.svg": viz.SlotHistogram(schedule),
+		}
+		if schedule.FrameLength > 0 {
+			slot1, err := viz.Slot(g, pts, schedule, 1, viz.Style{})
+			if err != nil {
+				fatal(err)
+			}
+			files[*svg+"-slot1.svg"] = slot1
+		}
+		for name, content := range files {
+			if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", name)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(schedule); err != nil {
+			fatal(err)
+		}
+	} else if *verbose {
+		for i, slot := range schedule.Slots {
+			fmt.Printf("slot %3d:", i+1)
+			for _, arc := range slot {
+				fmt.Printf(" %v", arc)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func buildGraph(in, gen string, n, m, a, b, rows, cols int, side, radius float64, seed int64) (*fdlsp.Graph, []fdlsp.Point, error) {
+	if in != "" {
+		data, err := os.ReadFile(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Sniff the format: DIMACS lines start with 'c' or 'p', JSON with
+		// '{'; otherwise assume the plain edge list.
+		trimmed := strings.TrimLeft(string(data), " \t\r\n")
+		switch {
+		case strings.HasPrefix(trimmed, "{"):
+			var g fdlsp.Graph
+			if err := json.Unmarshal(data, &g); err != nil {
+				return nil, nil, err
+			}
+			return &g, nil, nil
+		case strings.HasPrefix(trimmed, "c") || strings.HasPrefix(trimmed, "p"):
+			g, err := graph.ReadDIMACS(strings.NewReader(string(data)))
+			return g, nil, err
+		default:
+			g, err := graph.ReadEdgeList(strings.NewReader(string(data)))
+			return g, nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch gen {
+	case "udg":
+		g, pts := fdlsp.RandomUDG(n, side, radius, rng)
+		return g, pts, nil
+	case "gnm":
+		if m == 0 {
+			m = 3 * n
+		}
+		return fdlsp.ConnectedGNM(n, m, rng), nil, nil
+	case "tree":
+		return fdlsp.RandomTree(n, rng), nil, nil
+	case "complete":
+		return fdlsp.Complete(n), nil, nil
+	case "bipartite":
+		return fdlsp.CompleteBipartite(a, b), nil, nil
+	case "cycle":
+		return fdlsp.Cycle(n), nil, nil
+	case "path":
+		return fdlsp.Path(n), nil, nil
+	case "grid":
+		return fdlsp.Grid(rows, cols), nil, nil
+	case "star":
+		return fdlsp.Star(n), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}
+
+func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder) (fdlsp.Assignment, string, *fdlsp.Stats, error) {
+	var tracer fdlsp.Tracer
+	if rec != nil {
+		tracer = rec
+	}
+	switch algo {
+	case "distmis":
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Trace: tracer})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return res.Assignment, res.Algorithm, &res.Stats, nil
+	case "distmis-general":
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral, Trace: tracer})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return res.Assignment, res.Algorithm, &res.Stats, nil
+	case "dfs":
+		res, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed, Trace: tracer})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return res.Assignment, res.Algorithm, &res.Stats, nil
+	case "dmgc":
+		res, err := fdlsp.DMGC(g)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return res.Assignment, res.Algorithm, nil, nil
+	case "randomized":
+		res, err := fdlsp.Randomized(g, seed)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return res.Assignment, res.Algorithm, &res.Stats, nil
+	case "greedy":
+		return fdlsp.GreedySchedule(g), "greedy (sequential reference)", nil, nil
+	case "exact":
+		as, k, proved := fdlsp.OptimalSlots(g)
+		label := fmt.Sprintf("exact optimum (%d slots, proved=%v)", k, proved)
+		return as, label, nil, nil
+	case "ilp":
+		res, err := fdlsp.SolveILP(g, 0)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		label := fmt.Sprintf("ILP (optimal=%v, %d B&B nodes)", res.Optimal, res.Nodes)
+		return res.Assignment, label, nil, nil
+	default:
+		return nil, "", nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+// runComparison schedules the instance with every algorithm and prints a
+// side-by-side table.
+func runComparison(g *fdlsp.Graph, seed int64) {
+	fmt.Printf("%-28s %6s %9s %10s\n", "algorithm", "slots", "rounds", "messages")
+	row := func(name string, slots int, rounds, msgs int64, as fdlsp.Assignment) {
+		if !fdlsp.Valid(g, as) {
+			fatal(fmt.Errorf("%s produced an invalid schedule", name))
+		}
+		if rounds == 0 && msgs == 0 {
+			fmt.Printf("%-28s %6d %9s %10s\n", name, slots, "-", "-")
+		} else {
+			fmt.Printf("%-28s %6d %9d %10d\n", name, slots, rounds, msgs)
+		}
+	}
+	if r, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed}); err == nil {
+		row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
+	} else {
+		fatal(err)
+	}
+	if r, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral}); err == nil {
+		row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
+	} else {
+		fatal(err)
+	}
+	if r, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed}); err == nil {
+		row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
+	} else {
+		fatal(err)
+	}
+	if r, err := fdlsp.Randomized(g, seed); err == nil {
+		row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
+	} else {
+		fatal(err)
+	}
+	if r, err := fdlsp.DMGC(g); err == nil {
+		row(r.Algorithm, r.Slots, 0, 0, r.Assignment)
+	} else {
+		fatal(err)
+	}
+	if r, err := fdlsp.DMGCVizingDistributed(g, seed); err == nil {
+		row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
+	} else {
+		fatal(err)
+	}
+	greedy := fdlsp.GreedySchedule(g)
+	row("greedy (centralized ref)", greedy.NumColors(), 0, 0, greedy)
+	improved := fdlsp.ImproveSchedule(g, greedy, 9, seed)
+	row("greedy + offline improve", improved.NumColors(), 0, 0, improved)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fdlsp:", err)
+	os.Exit(1)
+}

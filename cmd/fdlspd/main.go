@@ -1,0 +1,41 @@
+// Command fdlspd serves the scheduling library over JSON/HTTP:
+//
+//	POST /v1/schedule  {"graph": {...}, "algorithm": "distmis", "seed": 1}
+//	POST /v1/verify    {"graph": {...}, "schedule": {...}}
+//	POST /v1/bounds    {"graph": {...}}
+//	POST /v1/render    {"graph": {...}, "points": [...], "schedule": {...}, "slot": 1}
+//	GET  /healthz
+//
+// Graphs use the same JSON shape cmd/graphgen emits ({"n": ..,
+// "edges": [[u,v], ...]}); schedules are the frame JSON cmd/fdlsp -json
+// prints. Example:
+//
+//	fdlspd -addr :8080 &
+//	graphgen -gen udg -n 100 -format json |
+//	  jq '{graph: ., algorithm: "dfs"}' |
+//	  curl -sd @- localhost:8080/v1/schedule
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"fdlsp/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.NewMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute, // large instances take a while
+	}
+	log.Printf("fdlspd listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,72 @@
+// Comparison: schedule the same sensor network with every algorithm in the
+// repository — the paper's DistMIS and DFS, the D-MGC baseline, the greedy
+// sequential reference, and (on a small instance) the exact optimum — and
+// print a side-by-side summary against the theoretical bounds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fdlsp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2012))
+	g, _ := fdlsp.RandomUDG(120, 12, 1.4, rng)
+	fmt.Printf("network: %d sensors, %d links, Δ=%d, avg degree %.1f\n",
+		g.N(), g.M(), g.MaxDegree(), g.AvgDegree())
+	lb, ub := fdlsp.LowerBound(g), fdlsp.UpperBound(g)
+	fmt.Printf("bounds:  %d ≤ optimum ≤ %d\n\n", lb, ub)
+	fmt.Printf("%-28s %6s %9s %10s\n", "algorithm", "slots", "rounds", "messages")
+
+	report := func(name string, slots int, rounds, msgs int64, as fdlsp.Assignment) {
+		if !fdlsp.Valid(g, as) {
+			log.Fatalf("%s produced an invalid schedule", name)
+		}
+		if rounds == 0 && msgs == 0 {
+			fmt.Printf("%-28s %6d %9s %10s\n", name, slots, "-", "-")
+		} else {
+			fmt.Printf("%-28s %6d %9d %10d\n", name, slots, rounds, msgs)
+		}
+	}
+
+	if r, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: 1}); err == nil {
+		report(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
+	} else {
+		log.Fatal(err)
+	}
+	if r, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: 1, Variant: fdlsp.VariantGeneral}); err == nil {
+		report(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
+	} else {
+		log.Fatal(err)
+	}
+	if r, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: 1, Drawer: fdlsp.MISLowestID()}); err == nil {
+		report(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
+	} else {
+		log.Fatal(err)
+	}
+	if r, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: 1}); err == nil {
+		report(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
+	} else {
+		log.Fatal(err)
+	}
+	if r, err := fdlsp.DMGC(g); err == nil {
+		report(r.Algorithm, r.Slots, 0, 0, r.Assignment)
+	} else {
+		log.Fatal(err)
+	}
+	greedy := fdlsp.GreedySchedule(g)
+	report("greedy (centralized ref)", greedy.NumColors(), 0, 0, greedy)
+
+	// Exact optimum on a small instance, where branch-and-bound is viable.
+	small, _ := fdlsp.RandomUDG(14, 4, 1.5, rng)
+	as, k, proved := fdlsp.OptimalSlots(small)
+	fmt.Printf("\nsmall instance (n=%d, m=%d): exact optimum %d slots (proved=%v, valid=%v)\n",
+		small.N(), small.M(), k, proved, fdlsp.Valid(small, as))
+	if r, err := fdlsp.DFS(small, fdlsp.DFSOptions{Seed: 1}); err == nil {
+		fmt.Printf("DFS on the same instance: %d slots (approximation ratio %.2f)\n",
+			r.Slots, float64(r.Slots)/float64(k))
+	}
+}

@@ -1,0 +1,96 @@
+// Service: run the scheduling library as a network service and drive it as
+// a client would — the deployment story for a base station that receives
+// topology reports from the field and pushes back verified TDMA frames.
+// The example starts fdlspd's handler in-process, submits a network over
+// HTTP, verifies the returned frame through the verification endpoint, and
+// fetches bounds and an SVG rendering.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+
+	"fdlsp"
+	"fdlsp/internal/httpapi"
+)
+
+func main() {
+	// In production: `fdlspd -addr :8080`. Here the same mux runs on an
+	// ephemeral test server so the example is self-contained.
+	srv := httptest.NewServer(httpapi.NewMux())
+	defer srv.Close()
+	fmt.Println("scheduling service at", srv.URL)
+
+	// A field reports its topology.
+	rng := rand.New(rand.NewSource(77))
+	g, _ := fdlsp.RandomUDG(60, 8, 1.5, rng)
+	fmt.Printf("reporting topology: %d sensors, %d links\n", g.N(), g.M())
+
+	// Ask the service for a DFS schedule.
+	var schedResp struct {
+		Algorithm string          `json:"algorithm"`
+		Slots     int             `json:"slots"`
+		Rounds    int64           `json:"rounds"`
+		Valid     bool            `json:"valid"`
+		Lower     int             `json:"lower_bound"`
+		Upper     int             `json:"upper_bound"`
+		Schedule  *fdlsp.Schedule `json:"schedule"`
+	}
+	postJSON(srv.URL+"/v1/schedule", map[string]any{
+		"graph":     g,
+		"algorithm": "dfs",
+		"seed":      7,
+	}, &schedResp)
+	fmt.Printf("service scheduled %d slots with %s (valid=%v, bounds [%d,%d])\n",
+		schedResp.Slots, schedResp.Algorithm, schedResp.Valid, schedResp.Lower, schedResp.Upper)
+
+	// Independently re-verify the frame through the service.
+	var verifyResp struct {
+		Valid      bool     `json:"valid"`
+		Violations []string `json:"violations"`
+	}
+	postJSON(srv.URL+"/v1/verify", map[string]any{
+		"graph":    g,
+		"schedule": schedResp.Schedule,
+	}, &verifyResp)
+	fmt.Printf("verification endpoint: valid=%v (%d violations)\n", verifyResp.Valid, len(verifyResp.Violations))
+
+	// Bounds endpoint.
+	var boundsResp struct {
+		Lower int `json:"lower_bound"`
+		Upper int `json:"upper_bound"`
+		Nodes int `json:"nodes"`
+		Edges int `json:"edges"`
+	}
+	postJSON(srv.URL+"/v1/bounds", map[string]any{"graph": g}, &boundsResp)
+	fmt.Printf("bounds endpoint: %d ≤ optimum ≤ %d for n=%d m=%d\n",
+		boundsResp.Lower, boundsResp.Upper, boundsResp.Nodes, boundsResp.Edges)
+
+	if !schedResp.Valid || !verifyResp.Valid {
+		log.Fatal("service returned an invalid schedule")
+	}
+	fmt.Println("service round trip complete")
+}
+
+func postJSON(url string, body, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("service returned status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package fdlsp_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example binary end-to-end and checks for
+// the markers that prove the scenario completed (schedules valid, traffic
+// delivered, repairs applied). Skipped under -short: each example builds
+// and runs a full simulation.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow; run without -short")
+	}
+	cases := []struct {
+		dir     string
+		markers []string
+	}{
+		{"quickstart", []string{"radio check: every receiver hears exactly its transmitter", "distMIS:"}},
+		{"datacollection", []string{"convergecast:", "commands:", "sustained:"}},
+		{"asyncdfs", []string{"still valid", "policy max-degree"}},
+		{"comparison", []string{"d-mgc", "exact optimum"}},
+		{"churn", []string{"schedule still valid", "sensor 0 failed: schedule valid=true"}},
+		{"weighted", []string{"weighted schedule:", "busiest link"}},
+		{"service", []string{"service scheduled", "service round trip complete"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			start := time.Now()
+			cmd := exec.Command("go", "run", "./examples/"+tc.dir)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed after %v: %v\n%s", time.Since(start), err, out)
+			}
+			for _, m := range tc.markers {
+				if !strings.Contains(string(out), m) {
+					t.Errorf("output missing %q:\n%s", m, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,220 @@
+// Package fdlsp is a library for TDMA link scheduling in wireless sensor
+// networks, reproducing "Distributed Algorithms for TDMA Link Scheduling in
+// Sensor Networks" (Alsulaiman, Prasad, Zelikovsky; APDCM/IPDPS 2012).
+//
+// The Full Duplex Link Scheduling Problem (FDLSP) asks for an assignment of
+// TDMA time slots to directed links (both directions of every radio link)
+// such that every node can act as transmitter and as receiver on each of
+// its links, the hidden terminal problem never occurs, and the TDMA frame
+// is as short as possible. The paper formulates this as distance-2 edge
+// coloring of a bi-directed graph; this package exposes:
+//
+//   - graph construction and generators (unit disk graphs, random general
+//     graphs, trees, grids, complete and complete bipartite graphs);
+//   - the two distributed algorithms of the paper — the synchronous
+//     MIS-based DistMIS (Algorithm 1) and the asynchronous token-passing
+//     DFS (Algorithm 2) — executed on a message-passing simulator that
+//     counts communication rounds and messages;
+//   - the D-MGC baseline the paper compares against;
+//   - exact optima for small instances (conflict-graph branch-and-bound and
+//     the paper's ILP solved by a built-in simplex branch-and-bound);
+//   - the paper's theoretical lower and upper bounds;
+//   - schedule verification, a radio-level frame simulator and TDMA frame
+//     utilities.
+//
+// Quick start:
+//
+//	g, _ := fdlsp.RandomUDG(100, 15, 0.5, rand.New(rand.NewSource(1)))
+//	res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: 1})
+//	if err != nil { ... }
+//	fmt.Println(res.Slots, fdlsp.Valid(g, res.Assignment)) // frame length, true
+package fdlsp
+
+import (
+	"math/rand"
+
+	"fdlsp/internal/bounds"
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/core"
+	"fdlsp/internal/dmgc"
+	"fdlsp/internal/exact"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/ilp"
+	"fdlsp/internal/mis"
+	"fdlsp/internal/sched"
+	"fdlsp/internal/sim"
+)
+
+// Core graph types.
+type (
+	// Graph is an undirected communication graph over nodes 0..N()-1.
+	Graph = graph.Graph
+	// Edge is an undirected link with U < V.
+	Edge = graph.Edge
+	// Arc is a directed link: From transmits, To receives.
+	Arc = graph.Arc
+	// Point is a sensor position in the plane.
+	Point = geom.Point
+)
+
+// Scheduling types.
+type (
+	// Assignment maps every arc to a TDMA slot (1-based; 0 = unassigned).
+	Assignment = coloring.Assignment
+	// Violation is a pair of conflicting same-slot arcs found by Verify.
+	Violation = coloring.Violation
+	// Result is the outcome of a scheduling run: the assignment, the frame
+	// length (Slots) and the communication cost (Stats).
+	Result = core.Result
+	// Stats counts communication rounds and messages of a run.
+	Stats = sim.Stats
+	// Schedule is an operational TDMA frame built from an Assignment.
+	Schedule = sched.Schedule
+	// ScheduleStats summarizes frame occupancy.
+	ScheduleStats = sched.Stats
+	// Collision is a radio-level failure reported by Schedule.RadioCheck.
+	Collision = sched.Collision
+)
+
+// Algorithm options.
+type (
+	// DistMISOptions configures the synchronous MIS-based algorithm.
+	DistMISOptions = core.Options
+	// DFSOptions configures the asynchronous DFS algorithm.
+	DFSOptions = core.DFSOptions
+	// Variant selects the growth-bounded-graph or general-graph DistMIS.
+	Variant = core.Variant
+	// ChildPolicy selects the DFS token-passing order.
+	ChildPolicy = core.ChildPolicy
+	// MISDrawer is a pluggable MIS value strategy.
+	MISDrawer = mis.Drawer
+	// DelayFn injects per-message delivery delays in asynchronous runs.
+	DelayFn = sim.DelayFn
+)
+
+// Re-exported enum values.
+const (
+	// VariantGBG is DistMIS for growth bounded graphs (Section 5).
+	VariantGBG = core.GBG
+	// VariantGeneral is DistMIS for general graphs (Section 6).
+	VariantGeneral = core.General
+	// ChildMaxDegree passes the DFS token to the max-degree neighbor.
+	ChildMaxDegree = core.MaxDegree
+	// ChildMinID passes the DFS token to the lowest-ID neighbor.
+	ChildMinID = core.MinID
+	// ChildRandom passes the DFS token to a random neighbor.
+	ChildRandom = core.RandomChild
+)
+
+// Graph constructors.
+var (
+	// NewGraph returns an empty graph with n nodes.
+	NewGraph = graph.New
+	// Complete returns K_n.
+	Complete = graph.Complete
+	// CompleteBipartite returns K_{a,b}.
+	CompleteBipartite = graph.CompleteBipartite
+	// Cycle returns C_n.
+	Cycle = graph.Cycle
+	// Path returns the n-node path.
+	Path = graph.Path
+	// Star returns the n-node star.
+	Star = graph.Star
+	// Grid returns the rows×cols grid graph.
+	Grid = graph.Grid
+	// RandomTree returns a random labelled tree.
+	RandomTree = graph.RandomTree
+	// GNM returns a uniform random graph with n nodes and m edges.
+	GNM = graph.GNM
+	// ConnectedGNM returns a connected random graph (tree + extra edges).
+	ConnectedGNM = graph.ConnectedGNM
+	// UnitDisk builds the UDG of a point set with a transmission radius.
+	UnitDisk = geom.UnitDisk
+	// RandomPoints places n points uniformly in a side×side plan.
+	RandomPoints = geom.RandomPoints
+)
+
+// RandomUDG places n sensors uniformly in a side×side plan and links nodes
+// within the transmission radius — the paper's evaluation workload.
+func RandomUDG(n int, side, radius float64, rng *rand.Rand) (*Graph, []Point) {
+	return geom.RandomUDG(n, side, radius, rng)
+}
+
+// DistMIS runs the paper's synchronous MIS-based distributed algorithm
+// (Algorithm 1) and returns the schedule with its round/message cost.
+func DistMIS(g *Graph, opts DistMISOptions) (*Result, error) { return core.DistMIS(g, opts) }
+
+// DFS runs the paper's asynchronous token-passing algorithm (Algorithm 2).
+func DFS(g *Graph, opts DFSOptions) (*Result, error) { return core.DFS(g, opts) }
+
+// DMGC runs the D-MGC baseline of Gandham et al. [8] the paper compares
+// against (Δ+1 edge coloring, direction assignment, color injection,
+// full duplex doubling).
+func DMGC(g *Graph) (*Result, error) { return dmgc.Schedule(g) }
+
+// GreedySchedule is the sequential greedy distance-2 edge coloring — the
+// Δ-approximation reference algorithm of the paper's Lemma 9/Theorem 2.
+func GreedySchedule(g *Graph) Assignment { return coloring.Greedy(g, nil) }
+
+// OptimalSlots returns a provably optimal schedule for small instances via
+// exact conflict-graph coloring; ok is false if the search budget was
+// exhausted before proving optimality.
+func OptimalSlots(g *Graph) (Assignment, int, bool) {
+	as, col := exact.MinSlots(g, exact.Options{})
+	return as, col.K, col.Optimal
+}
+
+// SolveILP builds the paper's Section 4 integer linear program for g and
+// solves it with the built-in simplex branch-and-bound. maxColors of 0 uses
+// the greedy schedule's palette. Intended for small instances.
+func SolveILP(g *Graph, maxColors int) (*ilp.FDLSPResult, error) {
+	return ilp.SolveFDLSP(g, maxColors, ilp.SolveOptions{})
+}
+
+// ExportILP renders the paper's ILP for g in CPLEX LP text format.
+func ExportILP(g *Graph, maxColors int) string {
+	m, _ := ilp.BuildFDLSP(g, maxColors)
+	return m.WriteLP()
+}
+
+// Verify returns all violations of as on g: uncolored arcs, shared
+// endpoints, hidden terminals. An empty result means a feasible schedule.
+func Verify(g *Graph, as Assignment) []Violation { return coloring.Verify(g, as) }
+
+// Valid reports whether as is a complete, feasible FDLSP schedule for g.
+func Valid(g *Graph, as Assignment) bool { return coloring.Valid(g, as) }
+
+// Conflict reports whether two arcs may not share a TDMA slot in g
+// (Definition 2: shared endpoint, or one's head adjacent to the other's
+// tail — the hidden terminal problem).
+func Conflict(g *Graph, a, b Arc) bool { return coloring.Conflict(g, a, b) }
+
+// LowerBound returns the paper's Theorem 1 lower bound on the frame length.
+func LowerBound(g *Graph) int { return bounds.LowerBound(g) }
+
+// UpperBound returns the paper's 2Δ² upper bound (Lemma 6).
+func UpperBound(g *Graph) int { return bounds.UpperBound(g) }
+
+// BuildSchedule assembles the operational TDMA frame for an assignment.
+func BuildSchedule(g *Graph, as Assignment) (*Schedule, error) { return sched.Build(g, as) }
+
+// ComputeMIS runs the classic synchronous distributed maximal-independent-
+// set protocol on g (drawer nil = Luby) and returns the membership vector
+// with the round/message cost.
+func ComputeMIS(g *Graph, seed int64, drawer MISDrawer) ([]bool, Stats, error) {
+	if drawer == nil {
+		drawer = mis.Luby()
+	}
+	return mis.Run(g, seed, drawer)
+}
+
+// MIS strategies for DistMISOptions.Drawer and ComputeMIS.
+var (
+	// MISLuby draws a fresh random value each iteration (default).
+	MISLuby = mis.Luby
+	// MISLowestID uses node IDs (deterministic).
+	MISLowestID = mis.LowestID
+	// MISRank uses one random rank drawn up front.
+	MISRank = mis.Rank
+)

@@ -1,0 +1,200 @@
+package fdlsp_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdlsp"
+)
+
+// TestEndToEndPipeline is the headline integration test: generate a sensor
+// network, schedule it with every algorithm, verify each schedule with the
+// conflict verifier AND the radio-level frame simulator, and round-trip the
+// frame through JSON.
+func TestEndToEndPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g, _ := fdlsp.RandomUDG(80, 10, 1.5, rng)
+	lb, ub := fdlsp.LowerBound(g), fdlsp.UpperBound(g)
+
+	type runner struct {
+		name string
+		run  func() (fdlsp.Assignment, error)
+	}
+	runners := []runner{
+		{"distmis-gbg", func() (fdlsp.Assignment, error) {
+			r, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return r.Assignment, nil
+		}},
+		{"distmis-general", func() (fdlsp.Assignment, error) {
+			r, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: 1, Variant: fdlsp.VariantGeneral})
+			if err != nil {
+				return nil, err
+			}
+			return r.Assignment, nil
+		}},
+		{"dfs", func() (fdlsp.Assignment, error) {
+			r, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return r.Assignment, nil
+		}},
+		{"dmgc", func() (fdlsp.Assignment, error) {
+			r, err := fdlsp.DMGC(g)
+			if err != nil {
+				return nil, err
+			}
+			return r.Assignment, nil
+		}},
+		{"greedy", func() (fdlsp.Assignment, error) { return fdlsp.GreedySchedule(g), nil }},
+	}
+	for _, r := range runners {
+		t.Run(r.name, func(t *testing.T) {
+			as, err := r.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viols := fdlsp.Verify(g, as); len(viols) != 0 {
+				t.Fatalf("invalid: %v", viols[0])
+			}
+			slots := as.NumColors()
+			if slots < lb || slots > ub {
+				t.Errorf("slots %d outside [%d,%d]", slots, lb, ub)
+			}
+			frame, err := fdlsp.BuildSchedule(g, as)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if col := frame.RadioCheck(g); len(col) != 0 {
+				t.Fatalf("radio collision: %v", col[0])
+			}
+			data, err := json.Marshal(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back fdlsp.Schedule
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+			if back.FrameLength != frame.FrameLength {
+				t.Error("JSON round trip changed the frame")
+			}
+		})
+	}
+}
+
+// TestDeltaApproximation spot-checks Theorem 2 empirically: on instances
+// where the exact optimum is computable, both distributed algorithms stay
+// within factor Δ of it.
+func TestDeltaApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		g, _ := fdlsp.RandomUDG(12, 4, 1.5, rng)
+		if g.M() == 0 {
+			continue
+		}
+		_, opt, proved := fdlsp.OptimalSlots(g)
+		if !proved {
+			continue
+		}
+		d := g.MaxDegree()
+		dm, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		df, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dm.Slots > d*opt {
+			t.Errorf("trial %d: distMIS %d > Δ·opt = %d·%d", trial, dm.Slots, d, opt)
+		}
+		if df.Slots > d*opt {
+			t.Errorf("trial %d: DFS %d > Δ·opt = %d·%d", trial, df.Slots, d, opt)
+		}
+	}
+}
+
+func TestComputeMIS(t *testing.T) {
+	g := fdlsp.ConnectedGNM(60, 150, rand.New(rand.NewSource(2)))
+	inMIS, stats, err := fdlsp.ComputeMIS(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds == 0 || stats.Messages == 0 {
+		t.Error("no communication recorded")
+	}
+	// Independence + maximality.
+	for v := 0; v < g.N(); v++ {
+		dominated := inMIS[v]
+		for _, u := range g.Neighbors(v) {
+			if inMIS[v] && inMIS[u] {
+				t.Fatalf("adjacent MIS members %d,%d", v, u)
+			}
+			if inMIS[u] {
+				dominated = true
+			}
+		}
+		if !dominated {
+			t.Fatalf("node %d neither in MIS nor dominated", v)
+		}
+	}
+}
+
+func TestConflictFacade(t *testing.T) {
+	g := fdlsp.Path(4)
+	if !fdlsp.Conflict(g, fdlsp.Arc{From: 0, To: 1}, fdlsp.Arc{From: 2, To: 3}) {
+		t.Error("hidden terminal should conflict")
+	}
+	if fdlsp.Conflict(g, fdlsp.Arc{From: 1, To: 0}, fdlsp.Arc{From: 2, To: 3}) {
+		t.Error("parallel transmitters should not conflict")
+	}
+}
+
+func TestExportILP(t *testing.T) {
+	s := fdlsp.ExportILP(fdlsp.Path(3), 4)
+	if len(s) == 0 {
+		t.Fatal("empty LP export")
+	}
+}
+
+func TestSolveILPSmall(t *testing.T) {
+	res, err := fdlsp.SolveILP(fdlsp.Path(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Slots != 4 {
+		t.Errorf("P3 ILP: optimal=%v slots=%d, want 4", res.Optimal, res.Slots)
+	}
+}
+
+// Property: all three algorithms produce verifier-clean schedules on
+// arbitrary random graphs (the repository's central invariant).
+func TestAllAlgorithmsValidQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(18)
+		g := fdlsp.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		dm, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed})
+		if err != nil || !fdlsp.Valid(g, dm.Assignment) {
+			return false
+		}
+		df, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed})
+		if err != nil || !fdlsp.Valid(g, df.Assignment) {
+			return false
+		}
+		dg, err := fdlsp.DMGC(g)
+		if err != nil || !fdlsp.Valid(g, dg.Assignment) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

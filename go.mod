@@ -1,0 +1,3 @@
+module fdlsp
+
+go 1.22

@@ -1,0 +1,205 @@
+// Package bounds computes the paper's theoretical bounds on the number of
+// TDMA time slots: the tightened lower bound of Theorem 1 (clusters of
+// triangles sharing a common edge, plus joint cliques) and the 2Δ² upper
+// bound of Lemma 6, along with exact values for the special graph families
+// discussed in the paper (complete graphs and cycles).
+package bounds
+
+import (
+	"sort"
+
+	"fdlsp/internal/graph"
+)
+
+// Cluster describes a cluster of a cluster-center node (Definition 3): the
+// set of all size-3 cliques containing Center that share the CommonEdge
+// (Center, Via). Its size is the number of such triangles, i.e. the number
+// of common neighbors of Center and Via.
+type Cluster struct {
+	Center int
+	Via    int   // other endpoint of the common edge
+	Apexes []int // common neighbors forming the triangles, sorted
+}
+
+// Size returns the cluster size (number of size-3 cliques).
+func (c Cluster) Size() int { return len(c.Apexes) }
+
+// ClusterAt returns the cluster of center v with common edge {v,w}.
+// It panics if {v,w} is not an edge.
+func ClusterAt(g *graph.Graph, v, w int) Cluster {
+	if !g.HasEdge(v, w) {
+		panic("bounds: cluster common edge is not an edge")
+	}
+	return Cluster{Center: v, Via: w, Apexes: g.CommonNeighbors(v, w)}
+}
+
+// JointEdges returns the joint edges of the cluster (Definition 5): edges
+// connecting two apex nodes of the cluster (the triangle such an edge forms
+// with the center does not belong to the cluster, since it misses the
+// common edge).
+func JointEdges(g *graph.Graph, c Cluster) []graph.Edge {
+	var out []graph.Edge
+	for i := 0; i < len(c.Apexes); i++ {
+		for j := i + 1; j < len(c.Apexes); j++ {
+			if g.HasEdge(c.Apexes[i], c.Apexes[j]) {
+				out = append(out, graph.NormEdge(c.Apexes[i], c.Apexes[j]))
+			}
+		}
+	}
+	return out
+}
+
+// LargestJointCliqueEdges returns the number of edges in the largest joint
+// clique of the cluster (Definition 6): the maximum clique of the graph
+// induced by the cluster's apex nodes, counted in edges k(k-1)/2. A clique
+// needs at least one joint edge, so results below one edge count as 0.
+func LargestJointCliqueEdges(g *graph.Graph, c Cluster) int {
+	if len(c.Apexes) < 2 {
+		return 0
+	}
+	sub, _ := g.InducedSubgraph(c.Apexes)
+	k := MaxCliqueSize(sub)
+	if k < 2 {
+		return 0
+	}
+	return k * (k - 1) / 2
+}
+
+// MaxCliqueSize returns the size of a maximum clique using Bron–Kerbosch
+// with pivoting. Intended for the small degree-bounded subgraphs arising in
+// cluster analysis; exponential in the worst case.
+func MaxCliqueSize(g *graph.Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	adj := make([]map[int]struct{}, g.N())
+	for v := 0; v < g.N(); v++ {
+		adj[v] = make(map[int]struct{})
+		for _, u := range g.Neighbors(v) {
+			adj[v][u] = struct{}{}
+		}
+	}
+	best := 0
+	var bk func(r, p, x map[int]struct{})
+	bk = func(r, p, x map[int]struct{}) {
+		if len(p) == 0 && len(x) == 0 {
+			if len(r) > best {
+				best = len(r)
+			}
+			return
+		}
+		if len(r)+len(p) <= best {
+			return // cannot beat the incumbent
+		}
+		// Pivot: vertex of p∪x with most neighbors in p.
+		pivot, pivotDeg := -1, -1
+		for _, set := range []map[int]struct{}{p, x} {
+			for u := range set {
+				d := 0
+				for w := range p {
+					if _, ok := adj[u][w]; ok {
+						d++
+					}
+				}
+				if d > pivotDeg {
+					pivot, pivotDeg = u, d
+				}
+			}
+		}
+		var cands []int
+		for u := range p {
+			if _, ok := adj[pivot][u]; !ok {
+				cands = append(cands, u)
+			}
+		}
+		sort.Ints(cands)
+		for _, u := range cands {
+			r[u] = struct{}{}
+			np, nx := map[int]struct{}{}, map[int]struct{}{}
+			for w := range p {
+				if _, ok := adj[u][w]; ok {
+					np[w] = struct{}{}
+				}
+			}
+			for w := range x {
+				if _, ok := adj[u][w]; ok {
+					nx[w] = struct{}{}
+				}
+			}
+			bk(r, np, nx)
+			delete(r, u)
+			delete(p, u)
+			x[u] = struct{}{}
+		}
+	}
+	p := make(map[int]struct{}, g.N())
+	for v := 0; v < g.N(); v++ {
+		p[v] = struct{}{}
+	}
+	bk(map[int]struct{}{}, p, map[int]struct{}{})
+	return best
+}
+
+// LowerBound returns the Theorem 1 lower bound on the number of slots of
+// any feasible FDLSP schedule:
+//
+//	max over nodes v and incident edges (v,w) of
+//	  2·(deg(v) + |cluster(v,w)| + edges in largest joint clique)
+//
+// with a floor of 2Δ (the bound of [8], attained on trees). The empty graph
+// yields 0.
+func LowerBound(g *graph.Graph) int {
+	best := 2 * g.MaxDegree()
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			c := ClusterAt(g, v, w)
+			if c.Size() == 0 {
+				continue
+			}
+			lb := 2 * (g.Degree(v) + c.Size() + LargestJointCliqueEdges(g, c))
+			if lb > best {
+				best = lb
+			}
+		}
+	}
+	return best
+}
+
+// UpperBound returns the Lemma 6 upper bound 2Δ² on the number of slots
+// needed by any greedy distance-2 edge coloring.
+func UpperBound(g *graph.Graph) int {
+	d := g.MaxDegree()
+	return 2 * d * d
+}
+
+// CompleteGraphSlots returns the exact number of slots needed for K_n
+// (paper, Section 3 Note): every arc needs a unique slot, Δ²+Δ of them
+// where Δ = n-1.
+func CompleteGraphSlots(n int) int {
+	d := n - 1
+	return d*d + d
+}
+
+// PaperCycleSlots returns the slot counts the paper's Section 3 Note quotes
+// from [8] for cycles: 4 for even and 6 for odd. Note that these values are
+// inconsistent with the paper's own Definition 2 — the proved optima under
+// the ILP semantics are 4 (n ≡ 0 mod 4), 6 (n = 6) and 5 otherwise for
+// 4 ≤ n ≤ 10; see internal/exact and EXPERIMENTS.md.
+func PaperCycleSlots(n int) int {
+	if n%2 == 0 {
+		return 4
+	}
+	return 6
+}
+
+// CompleteBipartiteSlots returns the exact number of slots for K_{a,b}
+// under Definition 2: a slot holds at most one arc per direction (the head
+// of any arc is adjacent, across the parts, to the tail of every other
+// same-direction arc), and pairing one arc of each direction with disjoint
+// endpoints achieves the bound, so the optimum is a·b (for a, b ≥ 2).
+func CompleteBipartiteSlots(a, b int) int { return a * b }
+
+// BiDirectedBaseline returns 2Δ, the number of colors needed merely to edge
+// color the bi-directed graph ignoring the hidden terminal problem (Vizing
+// gives Δ or Δ+1 per direction). Useful as a context line in reports.
+func BiDirectedBaseline(g *graph.Graph) int { return 2 * g.MaxDegree() }

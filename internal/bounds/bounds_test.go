@@ -1,0 +1,211 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+)
+
+func TestClusterAt(t *testing.T) {
+	// The paper's Figure 3 neighborhood: center v=0, via w=1, with three
+	// triangles through apexes 2, 3, 4.
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	for _, x := range []int{2, 3, 4} {
+		g.AddEdge(0, x)
+		g.AddEdge(1, x)
+	}
+	c := ClusterAt(g, 0, 1)
+	if c.Size() != 3 {
+		t.Fatalf("cluster size = %d", c.Size())
+	}
+	if len(JointEdges(g, c)) != 0 {
+		t.Errorf("no joint edges expected yet")
+	}
+	// Join two apexes: one joint edge, largest joint clique = K2 (1 edge).
+	g.AddEdge(2, 3)
+	c = ClusterAt(g, 0, 1)
+	if je := JointEdges(g, c); len(je) != 1 {
+		t.Errorf("joint edges = %v", je)
+	}
+	if got := LargestJointCliqueEdges(g, c); got != 1 {
+		t.Errorf("joint clique edges = %d", got)
+	}
+	// Join all three apexes: K3 of joint edges, 3 edges.
+	g.AddEdge(2, 4)
+	g.AddEdge(3, 4)
+	c = ClusterAt(g, 0, 1)
+	if got := LargestJointCliqueEdges(g, c); got != 3 {
+		t.Errorf("joint clique edges = %d", got)
+	}
+}
+
+func TestClusterAtNonEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ClusterAt(graph.Path(3), 0, 2)
+}
+
+func TestMaxCliqueSizeKnown(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{graph.New(0), 0},
+		{graph.New(3), 1},
+		{graph.Path(5), 2},
+		{graph.Cycle(5), 2},
+		{graph.Complete(6), 6},
+		{graph.CompleteBipartite(3, 3), 2},
+	}
+	for _, tc := range cases {
+		if got := MaxCliqueSize(tc.g); got != tc.want {
+			t.Errorf("%v: clique %d, want %d", tc.g, got, tc.want)
+		}
+	}
+	// K4 plus a pendant.
+	g := graph.Complete(4).Clone()
+	h := graph.New(5)
+	for _, e := range g.Edges() {
+		h.AddEdge(e.U, e.V)
+	}
+	h.AddEdge(3, 4)
+	if got := MaxCliqueSize(h); got != 4 {
+		t.Errorf("K4+pendant: %d", got)
+	}
+}
+
+func bruteMaxClique(g *graph.Graph) int {
+	n := g.N()
+	best := 0
+	for bits := 0; bits < 1<<n; bits++ {
+		ok := true
+		size := 0
+		for v := 0; v < n && ok; v++ {
+			if bits>>v&1 == 0 {
+				continue
+			}
+			size++
+			for u := v + 1; u < n; u++ {
+				if bits>>u&1 == 1 && !g.HasEdge(v, u) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+func TestMaxCliqueAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		if got, want := MaxCliqueSize(g), bruteMaxClique(g); got != want {
+			t.Fatalf("trial %d (%v): got %d want %d", trial, g, got, want)
+		}
+	}
+}
+
+func TestLowerBoundKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"path", graph.Path(5), 4},                // 2Δ, tree
+		{"star", graph.Star(6), 10},               // 2Δ
+		{"cycle", graph.Cycle(8), 4},              // 2Δ, no triangles
+		{"K3", graph.Complete(3), 6},              // 2(2+1+0)
+		{"K4", graph.Complete(4), 12},             // 2(3+2+1): two triangles per edge plus the joint edge between the apexes — tight (K4 optimum is 12)
+		{"K33", graph.CompleteBipartite(3, 3), 6}, // triangle-free: 2Δ
+	}
+	for _, tc := range cases {
+		if got := LowerBound(tc.g); got != tc.want {
+			t.Errorf("%s: lower bound %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestLowerBoundK4Derivation(t *testing.T) {
+	// In K4, cluster of (v,w) holds the 2 remaining vertices as apexes and
+	// the joint edge between them forms K2: 2(3+2+1) = 12? No — the joint
+	// edge's triangle with v IS in another cluster but as a joint edge here
+	// it counts 1: check the actual maximum the implementation certifies
+	// and that it stays a valid lower bound (K4 optimum is 12).
+	g := graph.Complete(4)
+	lb := LowerBound(g)
+	if lb > 12 {
+		t.Fatalf("K4 lower bound %d exceeds the known optimum 12", lb)
+	}
+	if lb < 2*g.MaxDegree() {
+		t.Fatalf("K4 lower bound %d below 2Δ", lb)
+	}
+}
+
+func TestUpperBound(t *testing.T) {
+	if got := UpperBound(graph.Complete(5)); got != 32 {
+		t.Errorf("K5 upper = %d, want 2·4² = 32", got)
+	}
+	if got := UpperBound(graph.New(3)); got != 0 {
+		t.Errorf("empty upper = %d", got)
+	}
+}
+
+func TestBoundsSandwichGreedy(t *testing.T) {
+	// lower <= greedy slots <= upper on random graphs.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(20)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		if g.M() == 0 {
+			continue
+		}
+		slots := coloring.Greedy(g, nil).NumColors()
+		lb, ub := LowerBound(g), UpperBound(g)
+		if slots < lb {
+			t.Fatalf("trial %d: greedy %d below lower bound %d (%v) — lower bound unsound", trial, slots, lb, g)
+		}
+		if slots > ub {
+			t.Fatalf("trial %d: greedy %d above upper bound %d", trial, slots, ub)
+		}
+	}
+}
+
+// Property: the Theorem 1 bound is always at least the trivial 2Δ.
+func TestLowerBoundAtLeastTrivial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		return LowerBound(g) >= 2*g.MaxDegree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecialFormulas(t *testing.T) {
+	if CompleteGraphSlots(5) != 20 || CompleteGraphSlots(4) != 12 {
+		t.Error("complete graph formula")
+	}
+	if PaperCycleSlots(8) != 4 || PaperCycleSlots(9) != 6 {
+		t.Error("paper cycle note values")
+	}
+	if CompleteBipartiteSlots(4, 4) != 16 || CompleteBipartiteSlots(3, 3) != 9 {
+		t.Error("K_{a,b} formula")
+	}
+	if BiDirectedBaseline(graph.Star(5)) != 8 {
+		t.Error("2Δ baseline")
+	}
+}

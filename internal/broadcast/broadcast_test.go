@@ -1,0 +1,162 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/core"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+)
+
+func TestConflictDefinition(t *testing.T) {
+	g := graph.Path(4)
+	if Conflict(g, 0, 0) {
+		t.Error("self conflict")
+	}
+	if !Conflict(g, 0, 1) || !Conflict(g, 0, 2) {
+		t.Error("distance 1 and 2 must conflict")
+	}
+	if Conflict(g, 0, 3) {
+		t.Error("distance 3 must not conflict")
+	}
+}
+
+func TestGreedyValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		colors := Greedy(g)
+		if ok, bad := Verify(g, colors); !ok {
+			t.Fatalf("trial %d: invalid greedy broadcast schedule %v", trial, bad)
+		}
+		d := g.MaxDegree()
+		if Slots(colors) > d*d+1 {
+			t.Fatalf("trial %d: %d slots > Δ²+1", trial, Slots(colors))
+		}
+	}
+}
+
+func TestVerifyCatchesBad(t *testing.T) {
+	g := graph.Path(3)
+	if ok, _ := Verify(g, []int{1, 2, 1}); ok {
+		t.Error("distance-2 clash not caught")
+	}
+	if ok, _ := Verify(g, []int{1, 2}); ok {
+		t.Error("wrong length not caught")
+	}
+	if ok, _ := Verify(g, []int{1, 2, 0}); ok {
+		t.Error("unassigned slot not caught")
+	}
+	if ok, _ := Verify(g, []int{1, 2, 3}); !ok {
+		t.Error("valid coloring rejected")
+	}
+}
+
+func TestDistributedValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(35)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		colors, stats, err := Distributed(g, int64(trial), nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ok, bad := Verify(g, colors); !ok {
+			t.Fatalf("trial %d: invalid distributed schedule %v", trial, bad)
+		}
+		if n > 1 && g.M() > 0 && stats.Messages == 0 {
+			t.Errorf("trial %d: no communication recorded", trial)
+		}
+	}
+}
+
+// TestLinkSchedulingServesLinksFaster reproduces the paper's introduction
+// claim on a sensor field, measured apples-to-apples: the slots needed to
+// serve every directed link once. An FDLSP frame does it by construction;
+// broadcast scheduling must repeat its frame up to Δ times.
+func TestLinkSchedulingServesLinksFaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, _ := geom.RandomUDG(120, 12, 1.5, rng)
+	bColors := Greedy(g)
+	link := coloring.Greedy(g, nil)
+	if lf, bf := link.NumColors(), LinkServiceSlots(g, bColors); lf > bf {
+		t.Errorf("link frame %d slower than broadcast link service %d — contradicts the paper's motivation", lf, bf)
+	}
+	// The raw concurrency helper stays well defined.
+	bAvg, lAvg := Concurrency(g, bColors, link.NumColors())
+	if bAvg <= 0 || lAvg <= 0 {
+		t.Error("concurrency not computed")
+	}
+}
+
+// TestBroadcastAllowsFewerSimultaneousTransmitters demonstrates the
+// structural claim: a pair of distance-2 nodes can both transmit in some
+// link-scheduling slot but never under broadcast scheduling.
+func TestBroadcastAllowsFewerSimultaneousTransmitters(t *testing.T) {
+	// Path 0-1-2-3-4: nodes 0 and 2 are distance-2.
+	g := graph.Path(5)
+	if !Conflict(g, 0, 2) {
+		t.Fatal("0 and 2 should conflict under broadcast scheduling")
+	}
+	// Under link scheduling, arcs (1,0) and (2,3) — transmitters 1 and 2...
+	// take the paper's case: transmitters 0 and 2 with receivers away from
+	// the middle: (0 transmits to 1)? 1 is the middle. Use arcs (1,0) and
+	// (3,4): transmitters 1,3 are distance 2 via node 2, which receives
+	// from neither — allowed.
+	a, b := graph.Arc{From: 1, To: 0}, graph.Arc{From: 3, To: 4}
+	if coloring.Conflict(g, a, b) {
+		t.Fatal("link scheduling should allow distance-2 transmitters with a silent middle node")
+	}
+}
+
+func TestDistributedMatchesGreedySlotOrder(t *testing.T) {
+	// Both produce valid schedules; distributed may use more slots but stays
+	// within Δ²+1 on these graphs.
+	rng := rand.New(rand.NewSource(4))
+	g, _ := geom.RandomUDG(60, 8, 1.2, rng)
+	colors, _, err := Distributed(g, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.MaxDegree()
+	if Slots(colors) > d*d+1 {
+		t.Errorf("distributed broadcast used %d slots > Δ²+1 = %d", Slots(colors), d*d+1)
+	}
+}
+
+func TestDistributedPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(18)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		colors, _, err := Distributed(g, seed, nil)
+		if err != nil {
+			return false
+		}
+		ok, _ := Verify(g, colors)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Silence an unused-import warning if core is not otherwise needed: the
+// DFS run below also sanity-checks the cross-package comparison.
+func TestBroadcastVersusDFSSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ConnectedGNM(40, 100, rng)
+	colors := Greedy(g)
+	res, err := core.DFS(g, core.DFSOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAvg, lAvg := Concurrency(g, colors, res.Slots)
+	if bAvg <= 0 || lAvg <= 0 {
+		t.Fatal("concurrency not computed")
+	}
+}

@@ -1,0 +1,249 @@
+// Package coloring defines the FDLSP conflict semantics — distance-2 edge
+// coloring of a bi-directed graph (paper, Definition 2 and the ILP of
+// Section 4) — together with a schedule verifier, a sequential greedy
+// colorer (the Δ-approximation reference of Lemma 9/10), local greedy
+// coloring used by the distributed algorithms, and the conflict-graph
+// construction of Lemma 6.
+//
+// A color is a TDMA time slot; colors are 1-based and 0 (None) means
+// "uncolored". Arc (u,v) colored c means u transmits to v in slot c.
+package coloring
+
+import (
+	"fmt"
+	"sort"
+
+	"fdlsp/internal/graph"
+)
+
+// None is the color of an uncolored arc.
+const None = 0
+
+// Conflict reports whether arcs a and b may NOT share a color in graph g.
+// Two distinct arcs conflict iff they share an endpoint (ILP constraints
+// 4–6) or the head of one is adjacent to the tail of the other (hidden
+// terminal problem, ILP constraint 2). An arc never conflicts with itself.
+func Conflict(g *graph.Graph, a, b graph.Arc) bool {
+	if a == b {
+		return false
+	}
+	// Shared endpoint in any combination.
+	if a.From == b.From || a.From == b.To || a.To == b.From || a.To == b.To {
+		return true
+	}
+	// Hidden terminal: a's receiver hears b's transmitter, or vice versa.
+	if g.HasEdge(a.To, b.From) || g.HasEdge(b.To, a.From) {
+		return true
+	}
+	return false
+}
+
+// ConflictingArcs returns every arc of g that conflicts with a, sorted. Per
+// Lemma 6 this set has at most 2Δ²-1 members: arcs touching a's endpoints,
+// out-arcs of a.To's neighbors and in-arcs of a.From's neighbors.
+func ConflictingArcs(g *graph.Graph, a graph.Arc) []graph.Arc {
+	seen := make(map[graph.Arc]struct{})
+	add := func(b graph.Arc) {
+		if b != a {
+			seen[b] = struct{}{}
+		}
+	}
+	for _, b := range g.IncidentArcs(a.From) {
+		add(b)
+	}
+	for _, b := range g.IncidentArcs(a.To) {
+		add(b)
+	}
+	// Out-arcs from neighbors of a.To (their transmissions interfere at a.To).
+	for _, w := range g.Neighbors(a.To) {
+		for _, b := range g.OutArcs(w) {
+			add(b)
+		}
+	}
+	// In-arcs to neighbors of a.From (a.From's transmission interferes there).
+	for _, w := range g.Neighbors(a.From) {
+		for _, b := range g.InArcs(w) {
+			add(b)
+		}
+	}
+	out := make([]graph.Arc, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sortArcs(out)
+	return out
+}
+
+func sortArcs(arcs []graph.Arc) {
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].To < arcs[j].To
+	})
+}
+
+// Assignment maps each arc of the bi-directed graph to a color (time slot).
+type Assignment map[graph.Arc]int
+
+// NewAssignment returns an empty assignment sized for graph g.
+func NewAssignment(g *graph.Graph) Assignment {
+	return make(Assignment, 2*g.M())
+}
+
+// Color returns the color of a, or None.
+func (as Assignment) Color(a graph.Arc) int { return as[a] }
+
+// Set colors arc a with c (c must be >= 1).
+func (as Assignment) Set(a graph.Arc, c int) {
+	if c < 1 {
+		panic(fmt.Sprintf("coloring: invalid color %d for %v", c, a))
+	}
+	as[a] = c
+}
+
+// NumColors returns the largest color in use, i.e. the TDMA frame length.
+func (as Assignment) NumColors() int {
+	max := 0
+	for _, c := range as {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Complete reports whether every arc of g is colored.
+func (as Assignment) Complete(g *graph.Graph) bool {
+	for _, a := range g.Arcs() {
+		if as[a] == None {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the assignment.
+func (as Assignment) Clone() Assignment {
+	c := make(Assignment, len(as))
+	for a, col := range as {
+		c[a] = col
+	}
+	return c
+}
+
+// Violation describes a pair of same-colored conflicting arcs.
+type Violation struct {
+	A, B  graph.Arc
+	Color int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("arcs %v and %v both use slot %d", v.A, v.B, v.Color)
+}
+
+// Verify checks that as is a complete, feasible FDLSP schedule for g: every
+// arc colored and no two conflicting arcs share a color. It returns all
+// violations found (uncolored arcs are reported as a violation with B equal
+// to A and Color None).
+func Verify(g *graph.Graph, as Assignment) []Violation {
+	var viols []Violation
+	arcs := g.Arcs()
+	byColor := make(map[int][]graph.Arc)
+	for _, a := range arcs {
+		c := as[a]
+		if c == None {
+			viols = append(viols, Violation{A: a, B: a, Color: None})
+			continue
+		}
+		byColor[c] = append(byColor[c], a)
+	}
+	colors := make([]int, 0, len(byColor))
+	for c := range byColor {
+		colors = append(colors, c)
+	}
+	sort.Ints(colors)
+	for _, c := range colors {
+		class := byColor[c]
+		for i := 0; i < len(class); i++ {
+			for j := i + 1; j < len(class); j++ {
+				if Conflict(g, class[i], class[j]) {
+					viols = append(viols, Violation{A: class[i], B: class[j], Color: c})
+				}
+			}
+		}
+	}
+	return viols
+}
+
+// Valid reports whether as is a complete and feasible schedule for g.
+func Valid(g *graph.Graph, as Assignment) bool { return len(Verify(g, as)) == 0 }
+
+// smallestFeasible returns the smallest color >= 1 not used by any arc
+// conflicting with a under the (possibly partial) knowledge know.
+func smallestFeasible(g *graph.Graph, know Assignment, a graph.Arc) int {
+	used := make(map[int]struct{})
+	for _, b := range ConflictingArcs(g, a) {
+		if c := know[b]; c != None {
+			used[c] = struct{}{}
+		}
+	}
+	for c := 1; ; c++ {
+		if _, ok := used[c]; !ok {
+			return c
+		}
+	}
+}
+
+// AssignGreedyLocal colors each arc of arcs (in order, skipping already
+// colored ones) with the smallest color feasible against the colors recorded
+// in know, writing the result into know. It returns the newly colored arcs.
+// This is the per-node coloring step shared by DistMIS and the DFS
+// algorithm: know is the node's distance-2 color knowledge.
+func AssignGreedyLocal(g *graph.Graph, know Assignment, arcs []graph.Arc) []graph.Arc {
+	var colored []graph.Arc
+	for _, a := range arcs {
+		if know[a] != None {
+			continue
+		}
+		know.Set(a, smallestFeasible(g, know, a))
+		colored = append(colored, a)
+	}
+	return colored
+}
+
+// Greedy sequentially colors every arc of g in the given order (all arcs of
+// g, by default in lexicographic order when order is nil) with the smallest
+// feasible color. This is the greedyColor reference algorithm of Lemma 9:
+// it uses at most 2Δ² colors (Lemma 6) and is therefore a Δ-approximation
+// (Theorem 2).
+func Greedy(g *graph.Graph, order []graph.Arc) Assignment {
+	if order == nil {
+		order = g.Arcs()
+	}
+	as := NewAssignment(g)
+	AssignGreedyLocal(g, as, order)
+	return as
+}
+
+// ConflictGraph builds the conflict graph G' of Lemma 6: one vertex per arc
+// of g, an edge between two vertices when their arcs conflict. It returns
+// the graph and the arc corresponding to each vertex. Any proper vertex
+// coloring of the result is a feasible FDLSP schedule for g.
+func ConflictGraph(g *graph.Graph) (*graph.Graph, []graph.Arc) {
+	arcs := g.Arcs()
+	index := make(map[graph.Arc]int, len(arcs))
+	for i, a := range arcs {
+		index[a] = i
+	}
+	cg := graph.New(len(arcs))
+	for i, a := range arcs {
+		for _, b := range ConflictingArcs(g, a) {
+			j := index[b]
+			if i < j {
+				cg.AddEdge(i, j)
+			}
+		}
+	}
+	return cg, arcs
+}

@@ -1,0 +1,250 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdlsp/internal/graph"
+)
+
+func arcsOf(g *graph.Graph) []graph.Arc { return g.Arcs() }
+
+func TestConflictSharedEndpoints(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	cases := []struct {
+		a, b graph.Arc
+		want bool
+	}{
+		{graph.Arc{From: 0, To: 1}, graph.Arc{From: 0, To: 1}, false}, // identity
+		{graph.Arc{From: 0, To: 1}, graph.Arc{From: 1, To: 0}, true},  // opposite arcs
+		{graph.Arc{From: 0, To: 1}, graph.Arc{From: 1, To: 2}, true},  // consecutive
+		{graph.Arc{From: 0, To: 1}, graph.Arc{From: 2, To: 1}, true},  // same head
+		{graph.Arc{From: 1, To: 0}, graph.Arc{From: 1, To: 2}, true},  // same tail
+	}
+	for _, tc := range cases {
+		if got := Conflict(g, tc.a, tc.b); got != tc.want {
+			t.Errorf("Conflict(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestConflictHiddenTerminal(t *testing.T) {
+	// Figure 1/2 of the paper: path u-v-w-x = 0-1-2-3.
+	g := graph.Path(4)
+	// (0,1) and (2,3): transmitter 2 is adjacent to receiver 1 → conflict.
+	if !Conflict(g, graph.Arc{From: 0, To: 1}, graph.Arc{From: 2, To: 3}) {
+		t.Error("hidden terminal not detected")
+	}
+	// (1,0) and (2,3): receivers 0 and 3, transmitters 1,2 adjacent — but a
+	// transmitter next to a transmitter is fine; 2 is not adjacent to 0.
+	if Conflict(g, graph.Arc{From: 1, To: 0}, graph.Arc{From: 2, To: 3}) {
+		t.Error("false positive: adjacent transmitters are allowed")
+	}
+	// (0,1) and (3,2): receivers 1,2 adjacent — two receivers are fine;
+	// transmitter 3 not adjacent to receiver 1, transmitter 0 not adjacent
+	// to receiver 2.
+	if Conflict(g, graph.Arc{From: 0, To: 1}, graph.Arc{From: 3, To: 2}) {
+		t.Error("false positive: adjacent receivers are allowed")
+	}
+	// Distance-3 arcs never conflict: extend the path.
+	g5 := graph.Path(6)
+	if Conflict(g5, graph.Arc{From: 0, To: 1}, graph.Arc{From: 4, To: 5}) {
+		t.Error("distant arcs conflict")
+	}
+}
+
+func TestConflictSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		arcs := arcsOf(g)
+		if len(arcs) == 0 {
+			return true
+		}
+		a := arcs[rng.Intn(len(arcs))]
+		b := arcs[rng.Intn(len(arcs))]
+		return Conflict(g, a, b) == Conflict(g, b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConflictingArcsMatchesPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(12)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		arcs := arcsOf(g)
+		for _, a := range arcs {
+			set := map[graph.Arc]bool{}
+			for _, b := range ConflictingArcs(g, a) {
+				set[b] = true
+			}
+			for _, b := range arcs {
+				if want := Conflict(g, a, b); want != set[b] {
+					t.Fatalf("trial %d: arc %v vs %v: predicate %v, enumeration %v", trial, a, b, want, set[b])
+				}
+			}
+		}
+	}
+}
+
+func TestConflictingArcsBoundedByLemma6(t *testing.T) {
+	// |conflicting arcs| <= 2Δ² - 1.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(15)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		d := g.MaxDegree()
+		for _, a := range arcsOf(g) {
+			if got := len(ConflictingArcs(g, a)); got > 2*d*d-1 {
+				t.Fatalf("arc %v has %d conflicts > 2Δ²-1 = %d", a, got, 2*d*d-1)
+			}
+		}
+	}
+}
+
+func TestAssignmentBasics(t *testing.T) {
+	g := graph.Path(3)
+	as := NewAssignment(g)
+	if as.NumColors() != 0 || as.Complete(g) {
+		t.Error("fresh assignment state")
+	}
+	a := graph.Arc{From: 0, To: 1}
+	as.Set(a, 3)
+	if as.Color(a) != 3 || as.NumColors() != 3 {
+		t.Error("set/get")
+	}
+	cl := as.Clone()
+	cl.Set(graph.Arc{From: 1, To: 0}, 1)
+	if as.Color(graph.Arc{From: 1, To: 0}) != None {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestSetInvalidColorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAssignment(graph.Path(2)).Set(graph.Arc{From: 0, To: 1}, 0)
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	g := graph.Path(3)
+	as := NewAssignment(g)
+	// Deliberately conflicting: opposite arcs share a color.
+	as.Set(graph.Arc{From: 0, To: 1}, 1)
+	as.Set(graph.Arc{From: 1, To: 0}, 1)
+	as.Set(graph.Arc{From: 1, To: 2}, 2)
+	// Leave (2,1) uncolored.
+	viols := Verify(g, as)
+	var uncolored, conflicts int
+	for _, v := range viols {
+		if v.Color == None {
+			uncolored++
+		} else {
+			conflicts++
+		}
+	}
+	if uncolored != 1 || conflicts != 1 {
+		t.Fatalf("got %d uncolored, %d conflicts (%v)", uncolored, conflicts, viols)
+	}
+	if Valid(g, as) {
+		t.Error("Valid should be false")
+	}
+}
+
+func TestGreedyValidOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(25)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		as := Greedy(g, nil)
+		if !Valid(g, as) {
+			t.Fatalf("trial %d: greedy invalid on %v", trial, g)
+		}
+		d := g.MaxDegree()
+		if got := as.NumColors(); got > 2*d*d {
+			t.Fatalf("trial %d: greedy used %d > 2Δ²=%d colors", trial, got, 2*d*d)
+		}
+	}
+}
+
+func TestGreedyRespectsOrder(t *testing.T) {
+	g := graph.Path(2)
+	a, b := graph.Arc{From: 0, To: 1}, graph.Arc{From: 1, To: 0}
+	as := Greedy(g, []graph.Arc{b, a})
+	if as[b] != 1 || as[a] != 2 {
+		t.Errorf("order not respected: %v", as)
+	}
+}
+
+func TestAssignGreedyLocalSkipsColored(t *testing.T) {
+	g := graph.Path(3)
+	know := NewAssignment(g)
+	a := graph.Arc{From: 0, To: 1}
+	know.Set(a, 7)
+	colored := AssignGreedyLocal(g, know, []graph.Arc{a, {From: 1, To: 0}})
+	if len(colored) != 1 || colored[0] != (graph.Arc{From: 1, To: 0}) {
+		t.Fatalf("colored = %v", colored)
+	}
+	if know[a] != 7 {
+		t.Error("pre-colored arc was overwritten")
+	}
+}
+
+func TestConflictGraphProperties(t *testing.T) {
+	g := graph.Complete(3) // K3: all 6 arcs pairwise conflicting
+	cg, arcs := ConflictGraph(g)
+	if cg.N() != 6 || len(arcs) != 6 {
+		t.Fatalf("conflict graph n=%d", cg.N())
+	}
+	if cg.M() != 15 {
+		t.Errorf("K3 conflict graph should be complete: m=%d", cg.M())
+	}
+	// A proper coloring of the conflict graph is a valid schedule.
+	rng := rand.New(rand.NewSource(6))
+	h := graph.GNM(8, 14, rng)
+	cg2, arcs2 := ConflictGraph(h)
+	// Greedy vertex coloring of cg2.
+	colors := make([]int, cg2.N())
+	for v := 0; v < cg2.N(); v++ {
+		used := map[int]bool{}
+		for _, u := range cg2.Neighbors(v) {
+			used[colors[u]] = true
+		}
+		c := 1
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+	}
+	as := NewAssignment(h)
+	for i, a := range arcs2 {
+		as.Set(a, colors[i])
+	}
+	if !Valid(h, as) {
+		t.Error("proper conflict-graph coloring is not a valid schedule")
+	}
+}
+
+// Property: greedy never leaves an arc uncolored and never exceeds the
+// Lemma 6 budget, on arbitrary random graphs.
+func TestGreedyPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(18)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		as := Greedy(g, nil)
+		d := g.MaxDegree()
+		return Valid(g, as) && as.NumColors() <= 2*d*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package conformance is a reusable validation battery for FDLSP
+// schedulers: given any function that produces a schedule for a graph, it
+// checks the full set of invariants this repository relies on — verifier
+// cleanliness, the theoretical bounds sandwich, radio-level feasibility,
+// per-seed determinism, and robustness across graph families. The
+// repository's own algorithms pass it (see the tests), and downstream users
+// implementing new schedulers against the library can run the same battery.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fdlsp/internal/bounds"
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sched"
+)
+
+// Scheduler produces a complete FDLSP assignment for a graph. seed governs
+// any internal randomness; equal seeds must give equal schedules.
+type Scheduler func(g *graph.Graph, seed int64) (coloring.Assignment, error)
+
+// Options tunes the battery.
+type Options struct {
+	// Seeds to exercise (default {1, 2}).
+	Seeds []int64
+	// SkipDeterminism disables the equal-seed reproducibility check (for
+	// schedulers that are intentionally time-dependent).
+	SkipDeterminism bool
+	// Graphs overrides the default instance families.
+	Graphs map[string]*graph.Graph
+}
+
+// Failure describes one violated invariant.
+type Failure struct {
+	Graph     string
+	Seed      int64
+	Invariant string
+	Detail    string
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s (seed %d): %s: %s", f.Graph, f.Seed, f.Invariant, f.Detail)
+}
+
+// DefaultGraphs returns the instance families the battery uses when none
+// are supplied: fixed structures plus random trees, general graphs and a
+// unit disk field.
+func DefaultGraphs() map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(1234))
+	udg, _ := geom.RandomUDG(50, 7, 1.3, rng)
+	return map[string]*graph.Graph{
+		"empty":     graph.New(0),
+		"singleton": graph.New(1),
+		"edge":      graph.Path(2),
+		"path":      graph.Path(12),
+		"cycle-odd": graph.Cycle(7),
+		"star":      graph.Star(10),
+		"k5":        graph.Complete(5),
+		"k33":       graph.CompleteBipartite(3, 3),
+		"grid":      graph.Grid(4, 5),
+		"tree":      graph.RandomTree(30, rng),
+		"gnm":       graph.GNM(30, 90, rng),
+		"udg":       udg,
+	}
+}
+
+// Check runs the battery and returns every failure (empty means fully
+// conformant).
+func Check(s Scheduler, opts Options) []Failure {
+	seeds := opts.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2}
+	}
+	graphs := opts.Graphs
+	if graphs == nil {
+		graphs = DefaultGraphs()
+	}
+	var fails []Failure
+	add := func(gname string, seed int64, inv, detail string) {
+		fails = append(fails, Failure{Graph: gname, Seed: seed, Invariant: inv, Detail: detail})
+	}
+
+	for name, g := range graphs {
+		for _, seed := range seeds {
+			as, err := s(g, seed)
+			if err != nil {
+				add(name, seed, "runs", err.Error())
+				continue
+			}
+			// 1. Complete, conflict-free assignment.
+			if viols := coloring.Verify(g, as); len(viols) != 0 {
+				add(name, seed, "verifier", viols[0].String())
+				continue
+			}
+			slots := as.NumColors()
+			// 2. Bounds sandwich.
+			if g.M() > 0 {
+				if lb := bounds.LowerBound(g); slots < lb {
+					add(name, seed, "lower-bound", fmt.Sprintf("%d slots < %d", slots, lb))
+				}
+				if ub := bounds.UpperBound(g); slots > ub {
+					add(name, seed, "upper-bound", fmt.Sprintf("%d slots > %d", slots, ub))
+				}
+			}
+			// 3. Operational frame + radio feasibility.
+			frame, err := sched.Build(g, as)
+			if err != nil {
+				add(name, seed, "frame", err.Error())
+				continue
+			}
+			if col := frame.RadioCheck(g); len(col) != 0 {
+				add(name, seed, "radio", col[0].String())
+			}
+			// 4. Determinism per seed.
+			if !opts.SkipDeterminism {
+				again, err := s(g, seed)
+				if err != nil {
+					add(name, seed, "determinism", "second run failed: "+err.Error())
+				} else if !equalAssignments(as, again) {
+					add(name, seed, "determinism", "same seed produced a different schedule")
+				}
+			}
+		}
+	}
+	return fails
+}
+
+func equalAssignments(a, b coloring.Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for arc, c := range a {
+		if b[arc] != c {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package conformance
+
+import (
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/core"
+	"fdlsp/internal/dmgc"
+	"fdlsp/internal/graph"
+)
+
+func TestDistMISConforms(t *testing.T) {
+	s := func(g *graph.Graph, seed int64) (coloring.Assignment, error) {
+		res, err := core.DistMIS(g, core.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return res.Assignment, nil
+	}
+	if fails := Check(s, Options{}); len(fails) != 0 {
+		t.Fatalf("distMIS fails conformance: %v", fails[0])
+	}
+}
+
+func TestDistMISGeneralConforms(t *testing.T) {
+	s := func(g *graph.Graph, seed int64) (coloring.Assignment, error) {
+		res, err := core.DistMIS(g, core.Options{Seed: seed, Variant: core.General})
+		if err != nil {
+			return nil, err
+		}
+		return res.Assignment, nil
+	}
+	if fails := Check(s, Options{}); len(fails) != 0 {
+		t.Fatalf("distMIS-general fails conformance: %v", fails[0])
+	}
+}
+
+func TestDFSConforms(t *testing.T) {
+	s := func(g *graph.Graph, seed int64) (coloring.Assignment, error) {
+		res, err := core.DFS(g, core.DFSOptions{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return res.Assignment, nil
+	}
+	if fails := Check(s, Options{}); len(fails) != 0 {
+		t.Fatalf("DFS fails conformance: %v", fails[0])
+	}
+}
+
+func TestRandomizedConforms(t *testing.T) {
+	s := func(g *graph.Graph, seed int64) (coloring.Assignment, error) {
+		res, err := core.Randomized(g, seed)
+		if err != nil {
+			return nil, err
+		}
+		return res.Assignment, nil
+	}
+	if fails := Check(s, Options{}); len(fails) != 0 {
+		t.Fatalf("randomized fails conformance: %v", fails[0])
+	}
+}
+
+func TestDMGCConforms(t *testing.T) {
+	s := func(g *graph.Graph, seed int64) (coloring.Assignment, error) {
+		res, err := dmgc.Schedule(g)
+		if err != nil {
+			return nil, err
+		}
+		return res.Assignment, nil
+	}
+	if fails := Check(s, Options{}); len(fails) != 0 {
+		t.Fatalf("D-MGC fails conformance: %v", fails[0])
+	}
+}
+
+func TestGreedyConforms(t *testing.T) {
+	s := func(g *graph.Graph, seed int64) (coloring.Assignment, error) {
+		return coloring.Greedy(g, nil), nil
+	}
+	if fails := Check(s, Options{}); len(fails) != 0 {
+		t.Fatalf("greedy fails conformance: %v", fails[0])
+	}
+}
+
+// TestBatteryCatchesBrokenSchedulers proves the battery has teeth: a
+// scheduler that colors everything with slot 1 must fail the verifier, and
+// a nondeterministic one must fail the determinism check.
+func TestBatteryCatchesBrokenSchedulers(t *testing.T) {
+	allOnes := func(g *graph.Graph, seed int64) (coloring.Assignment, error) {
+		as := coloring.NewAssignment(g)
+		for _, a := range g.Arcs() {
+			as.Set(a, 1)
+		}
+		return as, nil
+	}
+	fails := Check(allOnes, Options{})
+	if len(fails) == 0 {
+		t.Fatal("all-ones scheduler passed?!")
+	}
+	found := false
+	for _, f := range fails {
+		if f.Invariant == "verifier" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected verifier failures, got %v", fails[:1])
+	}
+
+	flip := 0
+	nondet := func(g *graph.Graph, seed int64) (coloring.Assignment, error) {
+		flip++
+		order := g.Arcs()
+		if flip%2 == 0 && len(order) > 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		return coloring.Greedy(g, order), nil
+	}
+	fails = Check(nondet, Options{})
+	foundDet := false
+	for _, f := range fails {
+		if f.Invariant == "determinism" {
+			foundDet = true
+		}
+	}
+	if !foundDet {
+		t.Error("nondeterministic scheduler not caught")
+	}
+	// And SkipDeterminism silences exactly that.
+	flip = 0
+	for _, f := range Check(nondet, Options{SkipDeterminism: true}) {
+		if f.Invariant == "determinism" {
+			t.Error("determinism checked despite SkipDeterminism")
+		}
+	}
+}
+
+func TestFailureString(t *testing.T) {
+	f := Failure{Graph: "g", Seed: 3, Invariant: "verifier", Detail: "boom"}
+	if f.String() != "g (seed 3): verifier: boom" {
+		t.Errorf("got %q", f.String())
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdlsp/internal/bounds"
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/mis"
+)
+
+// testGraphs returns a diverse fixed set of instances.
+func testGraphs(tb testing.TB) map[string]*graph.Graph {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	udg, _ := geom.RandomUDG(60, 8, 1.2, rng)
+	return map[string]*graph.Graph{
+		"empty":     graph.New(0),
+		"singleton": graph.New(1),
+		"edge":      graph.Path(2),
+		"path10":    graph.Path(10),
+		"cycle8":    graph.Cycle(8),
+		"cycle9":    graph.Cycle(9),
+		"star12":    graph.Star(12),
+		"k5":        graph.Complete(5),
+		"k33":       graph.CompleteBipartite(3, 3),
+		"grid5x5":   graph.Grid(5, 5),
+		"tree40":    graph.RandomTree(40, rng),
+		"gnm":       graph.GNM(40, 120, rng),
+		"udg":       udg,
+	}
+}
+
+func checkResult(t *testing.T, name string, g *graph.Graph, res *Result, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if viols := coloring.Verify(g, res.Assignment); len(viols) != 0 {
+		t.Fatalf("%s: %d violations, first: %v", name, len(viols), viols[0])
+	}
+	if g.M() > 0 {
+		lb, ub := bounds.LowerBound(g), bounds.UpperBound(g)
+		if res.Slots < 2*g.MaxDegree() {
+			t.Errorf("%s: %d slots below trivial bound 2Δ=%d", name, res.Slots, 2*g.MaxDegree())
+		}
+		if res.Slots > ub {
+			t.Errorf("%s: %d slots above upper bound %d", name, res.Slots, ub)
+		}
+		_ = lb
+	}
+}
+
+func TestDistMISGBGValidOnSuite(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		res, err := DistMIS(g, Options{Seed: 1})
+		checkResult(t, "gbg/"+name, g, res, err)
+	}
+}
+
+func TestDistMISGeneralValidOnSuite(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		res, err := DistMIS(g, Options{Seed: 2, Variant: General})
+		checkResult(t, "general/"+name, g, res, err)
+	}
+}
+
+func TestDistMISDrawers(t *testing.T) {
+	g := graph.GNM(30, 80, rand.New(rand.NewSource(7)))
+	for _, d := range mis.Strategies() {
+		res, err := DistMIS(g, Options{Seed: 3, Drawer: d})
+		checkResult(t, d.Name(), g, res, err)
+	}
+}
+
+func TestDFSValidOnSuite(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		res, err := DFS(g, DFSOptions{Seed: 4})
+		checkResult(t, "dfs/"+name, g, res, err)
+	}
+}
+
+func TestDFSPolicies(t *testing.T) {
+	g := graph.ConnectedGNM(30, 80, rand.New(rand.NewSource(9)))
+	for _, p := range []ChildPolicy{MaxDegree, MinID, RandomChild} {
+		res, err := DFS(g, DFSOptions{Seed: 5, Policy: p})
+		checkResult(t, p.String(), g, res, err)
+	}
+}
+
+func TestDFSWithAdversarialDelays(t *testing.T) {
+	g := graph.ConnectedGNM(40, 100, rand.New(rand.NewSource(11)))
+	delay := func(from, to int, rng *rand.Rand) int64 { return rng.Int63n(5) }
+	res, err := DFS(g, DFSOptions{Seed: 6, Delay: delay})
+	checkResult(t, "delayed", g, res, err)
+}
+
+func TestDFSRoundsLinear(t *testing.T) {
+	// O(n) communication rounds: the token walks each tree edge at most
+	// twice, plus a bounded number of ask/reply units per node.
+	g := graph.ConnectedGNM(80, 200, rand.New(rand.NewSource(13)))
+	res, err := DFS(g, DFSOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds > int64(10*g.N()) {
+		t.Errorf("DFS rounds %d exceed 10n=%d", res.Stats.Rounds, 10*g.N())
+	}
+}
+
+func TestDistMISBreakdownSumsToTotal(t *testing.T) {
+	g := graph.GNM(40, 110, rand.New(rand.NewSource(31)))
+	res, err := DistMIS(g, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds, msgs int64
+	for phase, st := range res.Breakdown {
+		if st.Rounds <= 0 {
+			t.Errorf("phase %q has no rounds", phase)
+		}
+		rounds += st.Rounds
+		msgs += st.Messages
+	}
+	if rounds != res.Stats.Rounds || msgs != res.Stats.Messages {
+		t.Errorf("breakdown sums (%d,%d) != total (%d,%d)", rounds, msgs, res.Stats.Rounds, res.Stats.Messages)
+	}
+	for _, phase := range []string{"primary-mis", "secondary-mis", "coloring"} {
+		if _, ok := res.Breakdown[phase]; !ok {
+			t.Errorf("missing phase %q", phase)
+		}
+	}
+}
+
+func TestDistMISDeterministicForSeed(t *testing.T) {
+	g := graph.GNM(30, 70, rand.New(rand.NewSource(21)))
+	a, err := DistMIS(g, Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DistMIS(g, Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slots != b.Slots || a.Stats != b.Stats {
+		t.Errorf("same seed gave different runs: %+v vs %+v", a, b)
+	}
+	for arc, c := range a.Assignment {
+		if b.Assignment[arc] != c {
+			t.Fatalf("arc %v colored %d then %d", arc, c, b.Assignment[arc])
+		}
+	}
+}

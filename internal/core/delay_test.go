@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sim"
+)
+
+// TestDFSUnderEveryDelayPreset drives the asynchronous algorithm through
+// all failure-injection presets: validity must be unconditional and the
+// slot count must not depend on timing at all (the protocol serializes
+// coloring through the token, so delays may only stretch the clock).
+func TestDFSUnderEveryDelayPreset(t *testing.T) {
+	g := graph.ConnectedGNM(50, 130, rand.New(rand.NewSource(7)))
+	baseline, err := DFS(g, DFSOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	presets := map[string]sim.DelayFn{
+		"none":       sim.NoDelay(),
+		"uniform":    sim.UniformDelay(7),
+		"heavy-tail": sim.HeavyTailDelay(50),
+		"slow-link": sim.SlowLinkDelay(25, func(u, v int) bool {
+			return u%5 == 0 || v%5 == 0
+		}),
+		"slow-node": sim.SlowNodeDelay(40, 0, 1, 2),
+	}
+	for name, d := range presets {
+		res, err := DFS(g, DFSOptions{Seed: 3, Delay: d})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !coloring.Valid(g, res.Assignment) {
+			t.Fatalf("%s: invalid schedule", name)
+		}
+		if res.Slots != baseline.Slots {
+			t.Errorf("%s: slots %d differ from undelayed %d — timing leaked into the schedule",
+				name, res.Slots, baseline.Slots)
+		}
+		if name != "none" && res.Stats.Rounds < baseline.Stats.Rounds {
+			t.Errorf("%s: delays shortened the clock: %d < %d", name, res.Stats.Rounds, baseline.Stats.Rounds)
+		}
+	}
+}

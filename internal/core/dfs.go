@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sim"
+)
+
+// ChildPolicy selects which unvisited neighbor receives the DFS token next.
+type ChildPolicy int
+
+const (
+	// MaxDegree passes to the unvisited neighbor with the largest degree
+	// (ties to the lowest ID) — the paper's policy.
+	MaxDegree ChildPolicy = iota
+	// MinID passes to the lowest-ID unvisited neighbor (ablation).
+	MinID
+	// RandomChild passes to a uniformly random unvisited neighbor (ablation).
+	RandomChild
+)
+
+func (p ChildPolicy) String() string {
+	switch p {
+	case MinID:
+		return "min-id"
+	case RandomChild:
+		return "random"
+	default:
+		return "max-degree"
+	}
+}
+
+// DFSOptions configures the asynchronous DFS algorithm.
+type DFSOptions struct {
+	Policy ChildPolicy
+	Seed   int64
+	// Delay optionally injects adversarial message delays (failure
+	// injection); the schedule must stay valid regardless.
+	Delay sim.DelayFn
+	// Trace optionally observes engine events; must be concurrency-safe.
+	Trace sim.Tracer
+}
+
+// Message payloads of the DFS protocol.
+type (
+	startMsg  struct{}                          // injected kick-off at the root
+	tokenMsg  struct{}                          // the DFS token
+	bounceMsg struct{}                          // token refused: receiver already visited
+	askMsg    struct{}                          // request for the neighbor's color table
+	replyMsg  struct{ Table map[graph.Arc]int } // color-table response
+)
+
+// dfsNode is one processor of Algorithm 2.
+type dfsNode struct {
+	g       *graph.Graph
+	know    *knowledge
+	policy  ChildPolicy
+	degrees map[int]int // neighbor -> degree (local model knowledge)
+
+	ownColored []graph.Arc
+}
+
+func (nd *dfsNode) Run(env *sim.AsyncEnv) {
+	visited := make(map[int]bool, len(env.Neighbors))
+	selfVisited := false
+	parent := -1
+	awaitingChild := -1
+	pendingReplies := 0
+
+	completeToken := func() {
+		// All replies merged: color every still-uncolored incident arc with
+		// distance-2 knowledge, then announce.
+		newly := coloring.AssignGreedyLocal(nd.g, nd.know.know, nd.g.IncidentArcs(env.ID))
+		nd.ownColored = append(nd.ownColored, newly...)
+		for _, f := range nd.know.announceOwn(newly) {
+			env.Broadcast(f)
+		}
+		nd.passToken(env, visited, parent, &awaitingChild)
+	}
+
+	beginToken := func() {
+		if len(env.Neighbors) == 0 {
+			completeToken() // isolated root: nothing to ask or color
+			return
+		}
+		pendingReplies = len(env.Neighbors)
+		for _, u := range env.Neighbors {
+			env.Send(u, askMsg{})
+		}
+	}
+
+	for {
+		m, ok := env.Recv()
+		if !ok {
+			return
+		}
+		switch p := m.Payload.(type) {
+		case startMsg:
+			selfVisited = true
+			beginToken()
+		case askMsg:
+			// The asker holds the token, hence is visited (paper: a neighbor
+			// asking about colors is removed from the unvisited record).
+			visited[m.From] = true
+			env.Send(m.From, replyMsg{Table: nd.know.snapshotLocal()})
+		case replyMsg:
+			nd.know.merge(p.Table)
+			if pendingReplies > 0 {
+				pendingReplies--
+				if pendingReplies == 0 {
+					completeToken()
+				}
+			}
+		case tokenMsg:
+			switch {
+			case !selfVisited:
+				selfVisited = true
+				parent = m.From
+				visited[m.From] = true
+				beginToken()
+			case m.From == awaitingChild:
+				// Child finished its subtree; resume.
+				awaitingChild = -1
+				nd.passToken(env, visited, parent, &awaitingChild)
+			default:
+				// Spurious pass from a node that had not yet heard we were
+				// visited (asynchrony): refuse, sender will repick.
+				env.Send(m.From, bounceMsg{})
+			}
+		case bounceMsg:
+			if m.From == awaitingChild {
+				awaitingChild = -1
+				nd.passToken(env, visited, parent, &awaitingChild)
+			}
+		case ColorAnnounce:
+			for _, out := range nd.know.observe(p) {
+				env.Broadcast(out)
+			}
+		default:
+			panic(fmt.Sprintf("core: DFS node %d got unexpected payload %T", env.ID, m.Payload))
+		}
+	}
+}
+
+// passToken forwards the token to the next unvisited neighbor per policy,
+// returns it to the parent when none remain, or — at the root — declares the
+// protocol finished.
+func (nd *dfsNode) passToken(env *sim.AsyncEnv, visited map[int]bool, parent int, awaitingChild *int) {
+	var cands []int
+	for _, u := range env.Neighbors {
+		if !visited[u] {
+			cands = append(cands, u)
+		}
+	}
+	if len(cands) > 0 {
+		next := nd.pickChild(env, cands)
+		visited[next] = true
+		*awaitingChild = next
+		env.Send(next, tokenMsg{})
+		return
+	}
+	if parent >= 0 {
+		env.Send(parent, tokenMsg{})
+		return
+	}
+	// Root with the whole graph visited: global termination.
+	env.FinishAll()
+}
+
+func (nd *dfsNode) pickChild(env *sim.AsyncEnv, cands []int) int {
+	switch nd.policy {
+	case MinID:
+		best := cands[0]
+		for _, u := range cands[1:] {
+			if u < best {
+				best = u
+			}
+		}
+		return best
+	case RandomChild:
+		return cands[env.Rand.Intn(len(cands))]
+	default: // MaxDegree, ties to lowest ID
+		sort.Ints(cands)
+		best := cands[0]
+		for _, u := range cands[1:] {
+			if nd.degrees[u] > nd.degrees[best] {
+				best = u
+			}
+		}
+		return best
+	}
+}
+
+// DFS runs Algorithm 2 on g. Disconnected inputs are scheduled per
+// component (each component elects its own root and runs its own token);
+// reported rounds are the maximum across components — they run in parallel —
+// and messages are summed.
+func DFS(g *graph.Graph, opts DFSOptions) (*Result, error) {
+	as := coloring.NewAssignment(g)
+	var total sim.Stats
+	for ci, comp := range g.Components() {
+		sub, ids := g.InducedSubgraph(comp)
+		subAs, stats, err := dfsConnected(sub, opts, opts.Seed+int64(ci)*7_368_787)
+		if err != nil {
+			return nil, err
+		}
+		for a, c := range subAs {
+			as[graph.Arc{From: ids[a.From], To: ids[a.To]}] = c
+		}
+		if stats.Rounds > total.Rounds {
+			total.Rounds = stats.Rounds
+		}
+		total.Messages += stats.Messages
+	}
+	for _, a := range g.Arcs() {
+		if as[a] == coloring.None {
+			return nil, fmt.Errorf("core: DFS left arc %v uncolored", a)
+		}
+	}
+	return &Result{
+		Algorithm:  "dfs/" + opts.Policy.String(),
+		Assignment: as,
+		Slots:      as.NumColors(),
+		Stats:      total,
+	}, nil
+}
+
+// dfsConnected schedules one connected graph.
+func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignment, sim.Stats, error) {
+	if g.N() == 0 {
+		return coloring.Assignment{}, sim.Stats{}, nil
+	}
+	root := electRoot(g)
+	nodes := make([]*dfsNode, g.N())
+	eng := sim.NewAsyncEngine(g, seed, func(id int) sim.AsyncNode {
+		degs := make(map[int]int)
+		for _, u := range g.Neighbors(id) {
+			degs[u] = g.Degree(u)
+		}
+		nodes[id] = &dfsNode{g: g, know: newKnowledge(id, g), policy: opts.Policy, degrees: degs}
+		return nodes[id]
+	})
+	eng.Delay = opts.Delay
+	eng.Trace = opts.Trace
+	eng.Inject(root, startMsg{})
+	if err := eng.Run(); err != nil {
+		return nil, sim.Stats{}, err
+	}
+	as := coloring.NewAssignment(g)
+	for id, nd := range nodes {
+		for _, a := range nd.ownColored {
+			c := nd.know.know[a]
+			if c == coloring.None {
+				return nil, sim.Stats{}, fmt.Errorf("core: DFS node %d lost color of %v", id, a)
+			}
+			if prev, ok := as[a]; ok && prev != c {
+				return nil, sim.Stats{}, fmt.Errorf("core: DFS arc %v colored twice (%d, %d)", a, prev, c)
+			}
+			as[a] = c
+		}
+	}
+	return as, eng.Stats(), nil
+}
+
+// electRoot returns the designated starting node: maximum degree, ties to
+// the lowest ID.
+func electRoot(g *graph.Graph) int {
+	root := 0
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(root) {
+			root = v
+		}
+	}
+	return root
+}

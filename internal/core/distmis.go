@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/mis"
+	"fdlsp/internal/sim"
+)
+
+// Variant selects between the paper's two DistMIS flavours.
+type Variant int
+
+const (
+	// GBG is the growth-bounded-graph variant (Section 5): the secondary MIS
+	// competes over distance-3 and winners color all their incident arcs.
+	GBG Variant = iota
+	// General is the general-graph variant (Section 6): the secondary MIS
+	// competes over distance-2 and winners color only their outgoing arcs,
+	// cutting the number of secondary competitions by a factor of Δ.
+	General
+)
+
+func (v Variant) String() string {
+	if v == General {
+		return "general"
+	}
+	return "gbg"
+}
+
+// Options configures a DistMIS run.
+type Options struct {
+	// Drawer is the MIS value strategy; nil means mis.Luby().
+	Drawer mis.Drawer
+	// Variant selects the GBG (default) or general-graph algorithm.
+	Variant Variant
+	// Seed drives all randomness in the run.
+	Seed int64
+	// Trace optionally observes every phase engine's events (rounds, sends,
+	// node terminations); it must be safe for concurrent use.
+	Trace sim.Tracer
+}
+
+// Result is the outcome of one scheduling run (any algorithm).
+type Result struct {
+	Algorithm  string
+	Assignment coloring.Assignment
+	Slots      int       // number of TDMA time slots used
+	Stats      sim.Stats // communication rounds and messages
+	// OuterIters counts primary-MIS phases and InnerIters secondary-MIS
+	// phases (DistMIS only; zero for other algorithms).
+	OuterIters int
+	InnerIters int
+	// Breakdown splits Stats by protocol phase (DistMIS fills
+	// "primary-mis", "secondary-mis" and "coloring"); the parts sum to
+	// Stats. Nil for algorithms without phases.
+	Breakdown map[string]sim.Stats
+}
+
+// nodeState is the persistent per-node state shared across the phase
+// engines of one DistMIS run.
+type nodeState struct {
+	id         int
+	removed    bool
+	know       *knowledge
+	ownColored []graph.Arc
+}
+
+// DistMIS runs Algorithm 1 on g and returns the schedule. The run is a
+// sequence of synchronous sub-protocols on the sim engine — primary MIS,
+// secondary MIS (flooded competition over distance 2 or 3), coloring wave —
+// whose rounds and messages are accumulated; the simulator detects each
+// phase's global completion in lieu of the analytical worst-case round
+// bounds a deployed synchronous protocol would use (see DESIGN.md).
+func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
+	drawer := opts.Drawer
+	if drawer == nil {
+		drawer = mis.Luby()
+	}
+	radius := 3
+	if opts.Variant == General {
+		radius = 2
+	}
+
+	n := g.N()
+	states := make([]*nodeState, n)
+	for v := 0; v < n; v++ {
+		states[v] = &nodeState{id: v, know: newKnowledge(v, g)}
+	}
+
+	var total sim.Stats
+	breakdown := map[string]sim.Stats{}
+	addStats := func(phase string, st sim.Stats) {
+		total.Rounds += st.Rounds
+		total.Messages += st.Messages
+		b := breakdown[phase]
+		b.Rounds += st.Rounds
+		b.Messages += st.Messages
+		breakdown[phase] = b
+	}
+	var outer, inner int
+	phase := int64(0)
+	nextSeed := func() int64 {
+		phase++
+		return opts.Seed + phase*1_000_003
+	}
+
+	for {
+		competing := make([]bool, n)
+		anyActive := false
+		for v := 0; v < n; v++ {
+			if !states[v].removed {
+				competing[v] = true
+				anyActive = true
+			}
+		}
+		if !anyActive {
+			break
+		}
+		if outer > n {
+			return nil, fmt.Errorf("core: DistMIS exceeded %d outer iterations", n)
+		}
+		outer++
+
+		// Primary MIS among active nodes (radius-1 competition).
+		statuses, stats, err := runCompetitionPhase(g, nextSeed(), 1, competing, drawer, opts.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("core: DistMIS primary MIS: %w", err)
+		}
+		addStats("primary-mis", stats)
+
+		inS := make([]bool, n)
+		remaining := 0
+		for v := 0; v < n; v++ {
+			if competing[v] && statuses[v] == mis.InMIS {
+				inS[v] = true
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			return nil, fmt.Errorf("core: DistMIS primary MIS selected nobody")
+		}
+		h := append([]bool(nil), inS...)
+
+		// Inner loop: peel secondary MISes off S until S is exhausted.
+		for remaining > 0 {
+			inner++
+			statuses, stats, err := runCompetitionPhase(g, nextSeed(), radius, inS, drawer, opts.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("core: DistMIS secondary MIS: %w", err)
+			}
+			addStats("secondary-mis", stats)
+
+			selected := make([]bool, n)
+			selCount := 0
+			for v := 0; v < n; v++ {
+				if inS[v] && statuses[v] == mis.InMIS {
+					selected[v] = true
+					selCount++
+				}
+			}
+			if selCount == 0 {
+				return nil, fmt.Errorf("core: DistMIS secondary MIS selected nobody")
+			}
+			stats, err = runColorPhase(g, nextSeed(), states, selected, opts.Variant, opts.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("core: DistMIS color phase: %w", err)
+			}
+			addStats("coloring", stats)
+			for v := 0; v < n; v++ {
+				if selected[v] {
+					inS[v] = false
+					remaining--
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if h[v] {
+				states[v].removed = true
+			}
+		}
+	}
+
+	as, err := assemble(g, states)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algorithm:  "distMIS-" + opts.Variant.String() + "/" + drawer.Name(),
+		Assignment: as,
+		Slots:      as.NumColors(),
+		Stats:      total,
+		OuterIters: outer,
+		InnerIters: inner,
+		Breakdown:  breakdown,
+	}, nil
+}
+
+// misPhaseNode adapts a Competition to one phase engine. Non-competing
+// nodes relay floods only (competition distances are measured in the
+// physical graph; see DESIGN.md on the general-variant safety argument).
+type misPhaseNode struct {
+	radius    int
+	competing bool
+	drawer    mis.Drawer
+	comp      *mis.Competition
+}
+
+func (nd *misPhaseNode) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
+	if nd.comp == nil {
+		var draw func(int) int64
+		if nd.competing {
+			draw = nd.drawer.New(env.ID, env.Rand)
+		}
+		nd.comp = mis.NewCompetition(env.ID, nd.radius, nd.competing, draw)
+	}
+	for _, m := range inbox {
+		f, ok := m.Payload.(mis.Flood)
+		if !ok {
+			panic(fmt.Sprintf("core: unexpected payload %T in MIS phase", m.Payload))
+		}
+		if relay, ok := nd.comp.Observe(f); ok {
+			env.Broadcast(relay)
+		}
+	}
+	for _, f := range nd.comp.StartRound(env.Round) {
+		env.Broadcast(f)
+	}
+	return nd.comp.Done()
+}
+
+// runCompetitionPhase executes one MIS competition to global completion and
+// returns each node's final status (non-competitors report Dominated).
+func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []bool, drawer mis.Drawer, trace sim.Tracer) ([]mis.Status, sim.Stats, error) {
+	nodes := make([]*misPhaseNode, g.N())
+	eng := sim.NewSyncEngine(g, seed, func(id int) sim.SyncNode {
+		nodes[id] = &misPhaseNode{radius: radius, competing: competing[id], drawer: drawer}
+		return nodes[id]
+	})
+	eng.Trace = trace
+	if err := eng.Run(); err != nil {
+		return nil, sim.Stats{}, err
+	}
+	statuses := make([]mis.Status, g.N())
+	for id, nd := range nodes {
+		if nd.comp != nil {
+			statuses[id] = nd.comp.Status()
+		} else {
+			statuses[id] = mis.Dominated
+		}
+	}
+	return statuses, eng.Stats(), nil
+}
+
+// colorPhaseNode runs one coloring wave: secondary-MIS winners greedily
+// color their arcs in round 0 and flood the announcements; everyone relays.
+type colorPhaseNode struct {
+	g        *graph.Graph
+	st       *nodeState
+	colorNow bool
+	variant  Variant
+}
+
+func (nd *colorPhaseNode) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
+	for _, m := range inbox {
+		f, ok := m.Payload.(ColorAnnounce)
+		if !ok {
+			panic(fmt.Sprintf("core: unexpected payload %T in color phase", m.Payload))
+		}
+		for _, out := range nd.st.know.observe(f) {
+			env.Broadcast(out)
+		}
+	}
+	if env.Round == 0 && nd.colorNow {
+		arcs := nd.g.IncidentArcs(env.ID)
+		if nd.variant == General {
+			arcs = nd.g.OutArcs(env.ID)
+		}
+		newly := coloring.AssignGreedyLocal(nd.g, nd.st.know.know, arcs)
+		nd.st.ownColored = append(nd.st.ownColored, newly...)
+		for _, f := range nd.st.know.announceOwn(newly) {
+			env.Broadcast(f)
+		}
+	}
+	return true
+}
+
+func runColorPhase(g *graph.Graph, seed int64, states []*nodeState, selected []bool, variant Variant, trace sim.Tracer) (sim.Stats, error) {
+	eng := sim.NewSyncEngine(g, seed, func(id int) sim.SyncNode {
+		return &colorPhaseNode{g: g, st: states[id], colorNow: selected[id], variant: variant}
+	})
+	eng.Trace = trace
+	if err := eng.Run(); err != nil {
+		return sim.Stats{}, err
+	}
+	return eng.Stats(), nil
+}
+
+// assemble collects every node's self-colored arcs into one assignment and
+// checks completeness.
+func assemble(g *graph.Graph, states []*nodeState) (coloring.Assignment, error) {
+	as := coloring.NewAssignment(g)
+	for _, st := range states {
+		for _, a := range st.ownColored {
+			c := st.know.know[a]
+			if c == coloring.None {
+				return nil, fmt.Errorf("core: node %d lost color of own arc %v", st.id, a)
+			}
+			if prev, ok := as[a]; ok && prev != c {
+				return nil, fmt.Errorf("core: arc %v colored twice (%d and %d)", a, prev, c)
+			}
+			as[a] = c
+		}
+	}
+	for _, a := range g.Arcs() {
+		if as[a] == coloring.None {
+			return nil, fmt.Errorf("core: arc %v left uncolored", a)
+		}
+	}
+	return as, nil
+}

@@ -1,0 +1,150 @@
+// Package core implements the paper's two distributed FDLSP algorithms on
+// top of the sim engines: the synchronous maximal-independent-set based
+// algorithm DistMIS (Algorithm 1, Sections 5–6) and the asynchronous
+// DFS-based token-passing algorithm (Algorithm 2, Section 7). Both produce
+// feasible distance-2 edge colorings of the bi-directed input graph; the
+// number of colors is the TDMA frame length.
+package core
+
+import (
+	"fmt"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+)
+
+// ColorAnnounce propagates the color of one arc. Whenever a node learns the
+// color of an arc incident to itself it originates a TTL-2 flood, so the
+// color of arc (x,y) becomes known everywhere within 2 hops of x and of y —
+// exactly the distance-2 knowledge a node needs to color its own arcs
+// feasibly (every arc conflicting with an arc at node u has an endpoint
+// within 2 hops of u).
+type ColorAnnounce struct {
+	Arc    graph.Arc
+	Color  int
+	Origin int
+	TTL    int
+}
+
+type annKey struct {
+	origin int
+	arc    graph.Arc
+}
+
+// knowledge is one node's view of arc colors, plus the flood bookkeeping
+// that maintains it. It is owned by a single node (goroutine) at a time.
+type knowledge struct {
+	id   int
+	g    *graph.Graph
+	know coloring.Assignment
+
+	originated map[graph.Arc]struct{} // arcs this node has flooded itself
+	seen       map[annKey]struct{}    // relay dedupe
+}
+
+func newKnowledge(id int, g *graph.Graph) *knowledge {
+	return &knowledge{
+		id:         id,
+		g:          g,
+		know:       coloring.NewAssignment(g),
+		originated: make(map[graph.Arc]struct{}),
+		seen:       make(map[annKey]struct{}),
+	}
+}
+
+// record stores a color, guarding the write-once invariant (no algorithm in
+// this repository ever recolors an arc).
+func (k *knowledge) record(a graph.Arc, c int) {
+	if prev := k.know[a]; prev != coloring.None && prev != c {
+		panic(fmt.Sprintf("core: node %d saw arc %v recolored %d -> %d", k.id, a, prev, c))
+	}
+	k.know[a] = c
+}
+
+// incident reports whether arc a touches this node.
+func (k *knowledge) incident(a graph.Arc) bool { return a.From == k.id || a.To == k.id }
+
+// announceOwn returns the TTL-2 floods for newly self-colored arcs, marking
+// them originated.
+func (k *knowledge) announceOwn(arcs []graph.Arc) []ColorAnnounce {
+	return k.announceOwnTTL(arcs, 2)
+}
+
+// announceOwnTTL is announceOwn with an explicit flood radius (the
+// randomized algorithm floods finals 3 hops so the next iteration's gambles
+// everywhere see them).
+func (k *knowledge) announceOwnTTL(arcs []graph.Arc, ttl int) []ColorAnnounce {
+	var out []ColorAnnounce
+	for _, a := range arcs {
+		c := k.know[a]
+		if c == coloring.None {
+			panic(fmt.Sprintf("core: node %d announcing uncolored arc %v", k.id, a))
+		}
+		if _, dup := k.originated[a]; dup {
+			continue
+		}
+		k.originated[a] = struct{}{}
+		f := ColorAnnounce{Arc: a, Color: c, Origin: k.id, TTL: ttl}
+		k.seen[annKey{origin: k.id, arc: a}] = struct{}{}
+		out = append(out, f)
+	}
+	return out
+}
+
+// observe ingests an incoming announce and returns the messages to send in
+// response: the relayed copy (if the flood still travels) and, when the arc
+// is incident to this node and not yet flooded from here, this endpoint's
+// own TTL-2 flood (the "endpoint rule" that extends coverage to 2 hops from
+// both endpoints).
+func (k *knowledge) observe(f ColorAnnounce) []ColorAnnounce {
+	var out []ColorAnnounce
+	key := annKey{origin: f.Origin, arc: f.Arc}
+	if _, dup := k.seen[key]; !dup {
+		k.seen[key] = struct{}{}
+		k.record(f.Arc, f.Color)
+		if f.TTL > 1 {
+			relay := f
+			relay.TTL--
+			out = append(out, relay)
+		}
+	}
+	if k.incident(f.Arc) {
+		out = append(out, k.announceOwn([]graph.Arc{f.Arc})...)
+	}
+	return out
+}
+
+// merge folds a peer's color table into this node's knowledge (used by the
+// DFS algorithm's explicit ask/reply exchange).
+func (k *knowledge) merge(table map[graph.Arc]int) {
+	for a, c := range table {
+		if c != coloring.None {
+			k.record(a, c)
+		}
+	}
+}
+
+// snapshotLocal returns the part of the node's color table an asking
+// neighbor actually needs: colors of arcs incident to this node or to one
+// of its neighbors (this node's distance-1 view). Together with the asker's
+// own table, replies from all neighbors cover every arc within distance 2
+// of the asker — the exact knowledge required for feasible coloring — while
+// keeping reply sizes O(Δ²) instead of shipping the whole learned table.
+func (k *knowledge) snapshotLocal() map[graph.Arc]int {
+	local := make(map[int]struct{}, k.g.Degree(k.id)+1)
+	local[k.id] = struct{}{}
+	for _, u := range k.g.Neighbors(k.id) {
+		local[u] = struct{}{}
+	}
+	out := make(map[graph.Arc]int)
+	for a, c := range k.know {
+		if _, ok := local[a.From]; ok {
+			out[a] = c
+			continue
+		}
+		if _, ok := local[a.To]; ok {
+			out[a] = c
+		}
+	}
+	return out
+}

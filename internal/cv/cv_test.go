@@ -1,0 +1,192 @@
+package cv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdlsp/internal/graph"
+	"fdlsp/internal/mis"
+)
+
+func TestLogStar(t *testing.T) {
+	cases := map[float64]int{1: 0, 2: 1, 4: 2, 16: 3, 65536: 4}
+	for n, want := range cases {
+		if got := LogStar(n); got != want {
+			t.Errorf("log*(%v) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestReductionRounds(t *testing.T) {
+	if ReductionRounds(6) != 0 {
+		t.Error("palette 6 needs no reduction")
+	}
+	if r := ReductionRounds(1_000_000); r < 2 || r > 8 {
+		t.Errorf("reduction rounds for 1e6 = %d, expected a small log*-like count", r)
+	}
+	// Monotone-ish sanity: more colors never need fewer rounds.
+	if ReductionRounds(100) > ReductionRounds(1_000_000) {
+		t.Error("rounds not monotone")
+	}
+}
+
+func TestRootForestRejectsCycles(t *testing.T) {
+	if _, err := RootForest(graph.Cycle(5)); err == nil {
+		t.Fatal("cycle accepted as forest")
+	}
+}
+
+func TestRootForestOrientsTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomTree(40, rng)
+	r, err := RootForest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := 0
+	for v, p := range r.Parent {
+		if p < 0 {
+			roots++
+		} else if !g.HasEdge(v, p) {
+			t.Fatalf("parent edge %d-%d missing", v, p)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("tree has %d roots", roots)
+	}
+}
+
+func properForest(g *graph.Graph, colors []int) bool {
+	for _, e := range g.Edges() {
+		if colors[e.U] == colors[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestColorForestPathsAndTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []*graph.Graph{
+		graph.Path(1),
+		graph.Path(2),
+		graph.Path(100),
+		graph.Star(30),
+		graph.RandomTree(200, rng),
+		graph.RandomTree(500, rng),
+	}
+	for _, g := range cases {
+		r, err := RootForest(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors, stats, err := ColorForest(g, r)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if !properForest(g, colors) {
+			t.Fatalf("%v: improper coloring", g)
+		}
+		for _, c := range colors {
+			if c < 0 || c > 2 {
+				t.Fatalf("%v: color %d outside palette", g, c)
+			}
+		}
+		// Rounds are log*-ish plus the constant tail, nowhere near n.
+		if g.N() > 50 && stats.Rounds > 40 {
+			t.Errorf("%v: %d rounds is not O(log* n)", g, stats.Rounds)
+		}
+	}
+}
+
+func TestColorForestDisconnectedForest(t *testing.T) {
+	g := graph.New(9)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5) // node 3 isolated; two small trees + isolated nodes
+	g.AddEdge(7, 8)
+	r, err := RootForest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors, _, err := ColorForest(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !properForest(g, colors) {
+		t.Fatal("improper")
+	}
+}
+
+func TestColorForestRoundsScaleAsLogStar(t *testing.T) {
+	// Growing the path 100x should add only O(1) rounds (log* growth).
+	rng := rand.New(rand.NewSource(3))
+	_ = rng
+	smallR := measureRounds(t, graph.Path(50))
+	bigR := measureRounds(t, graph.Path(5000))
+	if bigR > smallR+6 {
+		t.Errorf("rounds grew from %d to %d for 100x nodes — not log*", smallR, bigR)
+	}
+}
+
+func measureRounds(t *testing.T, g *graph.Graph) int64 {
+	t.Helper()
+	r, err := RootForest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := ColorForest(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.Rounds
+}
+
+func TestForestMIS(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomTree(1+rng.Intn(150), rng)
+		inMIS, _, err := ForestMIS(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ok, bad := mis.Verify(g, inMIS, nil); !ok {
+			t.Fatalf("trial %d: invalid MIS %v", trial, bad)
+		}
+	}
+}
+
+func TestForestMISDeterministic(t *testing.T) {
+	g := graph.RandomTree(60, rand.New(rand.NewSource(5)))
+	a, _, err := ForestMIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ForestMIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("nondeterministic at node %d", v)
+		}
+	}
+}
+
+// Property: CV coloring is proper on random forests of any size.
+func TestColorForestPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomTree(1+rng.Intn(300), rng)
+		r, err := RootForest(g)
+		if err != nil {
+			return false
+		}
+		colors, _, err := ColorForest(g, r)
+		return err == nil && properForest(g, colors)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+package dmgc
+
+import (
+	"fmt"
+	"sort"
+
+	"fdlsp/internal/core"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sim"
+)
+
+// DistributedEdgeColoring colors the edges of g with at most 2Δ-1 colors by
+// a fully distributed randomized protocol (Luby-style proposals), measured
+// on the synchronous engine. This is the cheap alternative to D-MGC's
+// Vizing/Misra–Gries phase 1: it needs no fans, no cd-path inversions and
+// no locks, converging in O(log m) rounds w.h.p., but spends up to 2Δ-1
+// instead of Δ+1 colors — ScheduleDistributed and the ablation benchmarks
+// quantify what that costs in TDMA slots.
+//
+// Protocol (2 rounds per iteration): the higher-ID endpoint of every
+// uncolored edge proposes a random color that is free at its side and
+// distinct among its own proposals; the lower-ID endpoint adjudicates all
+// proposals it receives in one round — rejecting colors used at its side
+// and, among same-color proposals, accepting only the highest proposer —
+// and replies; accepted proposals become final and both endpoints update
+// their used sets.
+func DistributedEdgeColoring(g *graph.Graph, seed int64) (EdgeColoring, sim.Stats, error) {
+	palette := 2*g.MaxDegree() - 1
+	if g.M() == 0 {
+		return EdgeColoring{}, sim.Stats{}, nil
+	}
+	nodes := make([]*ecNode, g.N())
+	eng := sim.NewSyncEngine(g, seed, func(id int) sim.SyncNode {
+		nodes[id] = newECNode(id, g, palette)
+		return nodes[id]
+	})
+	if err := eng.Run(); err != nil {
+		return nil, sim.Stats{}, err
+	}
+	col := make(EdgeColoring, g.M())
+	for _, nd := range nodes {
+		for e, c := range nd.owned {
+			col[e] = c
+		}
+	}
+	for _, e := range g.Edges() {
+		if col[e] == 0 {
+			return nil, sim.Stats{}, fmt.Errorf("dmgc: distributed coloring left %v uncolored", e)
+		}
+	}
+	if err := verifyBudget(g, col, palette); err != nil {
+		return nil, sim.Stats{}, err
+	}
+	return col, eng.Stats(), nil
+}
+
+// verifyBudget checks properness within an explicit palette (the exported
+// VerifyEdgeColoring insists on Δ+1, which the distributed protocol does
+// not promise).
+func verifyBudget(g *graph.Graph, col EdgeColoring, budget int) error {
+	seen := make(map[[2]int]graph.Edge)
+	for _, e := range g.Edges() {
+		c := col[e]
+		if c < 1 || c > budget {
+			return fmt.Errorf("dmgc: edge %v color %d outside palette %d", e, c, budget)
+		}
+		for _, v := range []int{e.U, e.V} {
+			key := [2]int{v, c}
+			if other, dup := seen[key]; dup {
+				return fmt.Errorf("dmgc: %v and %v share color %d at node %d", e, other, c, v)
+			}
+			seen[key] = e
+		}
+	}
+	return nil
+}
+
+// Message types of the edge-coloring protocol.
+type (
+	ecPropose struct {
+		Edge  graph.Edge
+		Color int
+	}
+	ecVerdict struct {
+		Edge     graph.Edge
+		Color    int
+		Accepted bool
+	}
+)
+
+type ecNode struct {
+	id      int
+	g       *graph.Graph
+	palette int
+
+	used     map[int]bool       // colors on my incident edges
+	owned    map[graph.Edge]int // edges I own (higher-ID endpoint), 0 = pending
+	pending  map[graph.Edge]int // my proposals in flight
+	finished bool
+}
+
+func newECNode(id int, g *graph.Graph, palette int) *ecNode {
+	nd := &ecNode{
+		id:      id,
+		g:       g,
+		palette: palette,
+		used:    make(map[int]bool),
+		owned:   make(map[graph.Edge]int),
+		pending: make(map[graph.Edge]int),
+	}
+	for _, u := range g.Neighbors(id) {
+		if id > u {
+			nd.owned[graph.NormEdge(id, u)] = 0
+		}
+	}
+	return nd
+}
+
+// other returns the endpoint of e that is not this node.
+func (nd *ecNode) other(e graph.Edge) int {
+	if e.U == nd.id {
+		return e.V
+	}
+	return e.U
+}
+
+func (nd *ecNode) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
+	if env.Round%2 == 0 {
+		// Adjudication results from the previous round arrive here.
+		for _, m := range inbox {
+			v, ok := m.Payload.(ecVerdict)
+			if !ok {
+				panic(fmt.Sprintf("dmgc: unexpected %T in propose round", m.Payload))
+			}
+			if v.Accepted {
+				nd.owned[v.Edge] = v.Color
+				nd.used[v.Color] = true
+			}
+			delete(nd.pending, v.Edge)
+		}
+		// Propose random distinct free colors for still-uncolored edges.
+		taken := make(map[int]bool)
+		edges := nd.pendingEdges()
+		for _, e := range edges {
+			c := nd.randomFree(env, taken)
+			if c == 0 {
+				continue // no free color left this round for this edge
+			}
+			taken[c] = true
+			nd.pending[e] = c
+			env.Send(nd.other(e), ecPropose{Edge: e, Color: c})
+		}
+	} else {
+		// Adjudicate: group proposals by color; colors used at my side are
+		// rejected outright; among same-color proposals the highest
+		// proposer wins.
+		byColor := make(map[int][]ecPropose)
+		for _, m := range inbox {
+			p, ok := m.Payload.(ecPropose)
+			if !ok {
+				panic(fmt.Sprintf("dmgc: unexpected %T in adjudication round", m.Payload))
+			}
+			byColor[p.Color] = append(byColor[p.Color], p)
+		}
+		colors := make([]int, 0, len(byColor))
+		for c := range byColor {
+			colors = append(colors, c)
+		}
+		sort.Ints(colors)
+		// Colors of this node's own in-flight proposals are off limits too:
+		// the remote adjudicator may accept them this very round, and a
+		// simultaneous local acceptance of the same color would collide
+		// here.
+		inFlight := make(map[int]bool, len(nd.pending))
+		for _, c := range nd.pending {
+			inFlight[c] = true
+		}
+		for _, c := range colors {
+			group := byColor[c]
+			sort.Slice(group, func(i, j int) bool { return proposer(group[i].Edge) > proposer(group[j].Edge) })
+			for i, p := range group {
+				accept := i == 0 && !nd.used[c] && !inFlight[c]
+				if accept {
+					nd.used[c] = true
+				}
+				env.Send(proposer(p.Edge), ecVerdict{Edge: p.Edge, Color: c, Accepted: accept})
+			}
+		}
+	}
+	nd.finished = len(nd.pendingEdges())+len(nd.pending) == 0
+	return nd.finished
+}
+
+func (nd *ecNode) pendingEdges() []graph.Edge {
+	var out []graph.Edge
+	for e, c := range nd.owned {
+		if c == 0 {
+			if _, inFlight := nd.pending[e]; !inFlight {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+func (nd *ecNode) randomFree(env *sim.SyncEnv, taken map[int]bool) int {
+	var free []int
+	for c := 1; c <= nd.palette; c++ {
+		if !nd.used[c] && !taken[c] {
+			free = append(free, c)
+		}
+	}
+	if len(free) == 0 {
+		return 0
+	}
+	return free[env.Rand.Intn(len(free))]
+}
+
+// proposer is the owning (higher-ID) endpoint of an edge.
+func proposer(e graph.Edge) int {
+	if e.U > e.V {
+		return e.U
+	}
+	return e.V
+}
+
+// ScheduleDistributed is D-MGC with the fully distributed phase 1: the
+// (2Δ-1)-color randomized edge coloring replaces Misra–Gries, then the
+// usual orientation, injection and doubling run. Stats carry the measured
+// phase-1 rounds/messages — making this the variant whose communication is
+// fully measured rather than partially analytic. The price is a longer
+// frame than Schedule's (more base colors to double), which the ablation
+// benchmarks quantify.
+func ScheduleDistributed(g *graph.Graph, seed int64) (*core.Result, error) {
+	ec, stats, err := DistributedEdgeColoring(g, seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := scheduleFromColoring(g, ec)
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = "d-mgc-distributed"
+	res.Stats = stats
+	return res, nil
+}

@@ -1,0 +1,223 @@
+// Package dmgc re-implements the comparison baseline of the paper's
+// evaluation: the D-MGC full duplex link scheduling algorithm of Gandham,
+// Dawande and Prakash [8]. Phase 1 edge-colors the undirected graph with at
+// most Δ+1 colors (Misra–Gries, the distributed variant's sequential core);
+// phase 2 assigns a direction to every edge of each color class so that the
+// hidden terminal problem is avoided, injecting fresh colors for edges whose
+// class admits no consistent orientation; finally every oriented class is
+// doubled (all directions reversed) to obtain the full duplex schedule.
+//
+// The re-implementation is output-faithful: the paper's figures compare the
+// number of TDMA slots produced, which this package reproduces; the round
+// complexity of D-MGC is not measured but reported from the paper's own
+// analysis, O(n²m + nmΔ) (see DESIGN.md, "Substitutions").
+package dmgc
+
+import (
+	"fmt"
+
+	"fdlsp/internal/graph"
+)
+
+// EdgeColoring is a proper edge coloring: no two edges sharing an endpoint
+// have the same color. Colors are 1-based.
+type EdgeColoring map[graph.Edge]int
+
+// MisraGries edge-colors g with at most Δ+1 colors using the Misra–Gries
+// constructive proof of Vizing's theorem (fans, cd-path inversion, fan
+// rotation).
+func MisraGries(g *graph.Graph) (EdgeColoring, error) {
+	mg := &mgState{
+		g:      g,
+		colors: g.MaxDegree() + 1,
+		col:    make(EdgeColoring, g.M()),
+		at:     make([]map[int]int, g.N()),
+	}
+	for v := range mg.at {
+		mg.at[v] = make(map[int]int)
+	}
+	for _, e := range g.Edges() {
+		if err := mg.colorEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return mg.col, nil
+}
+
+// VerifyEdgeColoring checks properness and completeness of col on g and the
+// Δ+1 budget; it returns a descriptive error on the first problem found.
+func VerifyEdgeColoring(g *graph.Graph, col EdgeColoring) error {
+	budget := g.MaxDegree() + 1
+	seen := make(map[[2]int]graph.Edge) // (vertex, color) -> edge
+	for _, e := range g.Edges() {
+		c, ok := col[e]
+		if !ok || c < 1 {
+			return fmt.Errorf("dmgc: edge %v uncolored", e)
+		}
+		if c > budget {
+			return fmt.Errorf("dmgc: edge %v uses color %d > Δ+1 = %d", e, c, budget)
+		}
+		for _, v := range []int{e.U, e.V} {
+			key := [2]int{v, c}
+			if other, dup := seen[key]; dup {
+				return fmt.Errorf("dmgc: edges %v and %v share color %d at node %d", e, other, c, v)
+			}
+			seen[key] = e
+		}
+	}
+	return nil
+}
+
+// mgState carries the evolving partial coloring. at[v] maps a color to the
+// neighbor reached by the edge of that color at v (each vertex has at most
+// one edge per color).
+type mgState struct {
+	g      *graph.Graph
+	colors int
+	col    EdgeColoring
+	at     []map[int]int
+}
+
+func (mg *mgState) colorOf(u, v int) int { return mg.col[graph.NormEdge(u, v)] }
+
+func (mg *mgState) setColor(u, v, c int) {
+	e := graph.NormEdge(u, v)
+	if old, ok := mg.col[e]; ok {
+		delete(mg.at[u], old)
+		delete(mg.at[v], old)
+	}
+	if c == 0 {
+		delete(mg.col, e)
+		return
+	}
+	if x, busy := mg.at[u][c]; busy && x != v {
+		panic(fmt.Sprintf("dmgc: color %d already used at %d for (%d,%d)", c, u, u, x))
+	}
+	if x, busy := mg.at[v][c]; busy && x != u {
+		panic(fmt.Sprintf("dmgc: color %d already used at %d for (%d,%d)", c, v, v, x))
+	}
+	mg.col[e] = c
+	mg.at[u][c] = v
+	mg.at[v][c] = u
+}
+
+// isFree reports whether color c is unused at v.
+func (mg *mgState) isFree(v, c int) bool {
+	_, used := mg.at[v][c]
+	return !used
+}
+
+// freeColor returns the smallest color in 1..Δ+1 free at v.
+func (mg *mgState) freeColor(v int) int {
+	for c := 1; c <= mg.colors; c++ {
+		if mg.isFree(v, c) {
+			return c
+		}
+	}
+	return 0 // impossible: deg(v) <= Δ < Δ+1 colors
+}
+
+// colorEdge colors the uncolored edge (u,v).
+func (mg *mgState) colorEdge(u, v int) error {
+	// Maximal fan of u starting at v: fan[i+1] is a neighbor x of u with
+	// (u,x) colored and that color free on fan[i].
+	fan := []int{v}
+	inFan := map[int]bool{v: true}
+	for {
+		extended := false
+		for _, x := range mg.g.Neighbors(u) {
+			if inFan[x] {
+				continue
+			}
+			cx := mg.colorOf(u, x)
+			if cx != 0 && mg.isFree(fan[len(fan)-1], cx) {
+				fan = append(fan, x)
+				inFan[x] = true
+				extended = true
+				break
+			}
+		}
+		if !extended {
+			break
+		}
+	}
+
+	c := mg.freeColor(u)
+	d := mg.freeColor(fan[len(fan)-1])
+	if c == 0 || d == 0 {
+		return fmt.Errorf("dmgc: no free color at %d or fan end (internal)", u)
+	}
+	if c != d {
+		mg.invertPath(u, c, d)
+	}
+	// After inversion d is free on u. Find the shortest fan prefix ending at
+	// a vertex where d is free; the prefix must still be a valid fan under
+	// the (possibly changed) coloring.
+	w := -1
+	for i, x := range fan {
+		if i > 0 {
+			cx := mg.colorOf(u, fan[i])
+			if cx == 0 || !mg.isFree(fan[i-1], cx) {
+				break // prefix no longer a fan beyond here
+			}
+		}
+		if mg.isFree(x, d) {
+			w = i
+			break
+		}
+	}
+	if w < 0 {
+		return fmt.Errorf("dmgc: no rotatable fan vertex for edge (%d,%d) (internal)", u, v)
+	}
+	// Rotate the prefix: edge (u,fan[i]) takes the color of (u,fan[i+1]) and
+	// (u,fan[w]) takes d. Clear all prefix edges before re-setting — the
+	// shifted colors transiently collide at u otherwise.
+	shift := make([]int, w+1)
+	for i := 0; i < w; i++ {
+		shift[i] = mg.colorOf(u, fan[i+1])
+	}
+	shift[w] = d
+	for i := 0; i <= w; i++ {
+		mg.setColor(u, fan[i], 0)
+	}
+	for i := 0; i <= w; i++ {
+		mg.setColor(u, fan[i], shift[i])
+	}
+	return nil
+}
+
+// invertPath swaps colors c and d along the maximal cd-alternating path
+// starting at u. u has no c-edge (c is free there), so the path begins with
+// the d-edge at u, if any; after inversion d is free at u. The path is
+// simple: every vertex carries at most one edge per color, and it cannot
+// return to u because that would require a c-edge at u.
+func (mg *mgState) invertPath(u, c, d int) {
+	type hop struct{ a, b, color int }
+	var path []hop
+	prev, want := u, d
+	for {
+		next, ok := mg.at[prev][want]
+		if !ok {
+			break
+		}
+		path = append(path, hop{a: prev, b: next, color: want})
+		prev = next
+		if want == d {
+			want = c
+		} else {
+			want = d
+		}
+	}
+	// Clear first, then recolor: recoloring in place would transiently give
+	// a vertex two edges of one color and corrupt the at-maps.
+	for _, h := range path {
+		mg.setColor(h.a, h.b, 0)
+	}
+	for _, h := range path {
+		swapped := c
+		if h.color == c {
+			swapped = d
+		}
+		mg.setColor(h.a, h.b, swapped)
+	}
+}

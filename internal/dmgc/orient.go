@@ -1,0 +1,122 @@
+package dmgc
+
+import (
+	"sort"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+)
+
+// orientedClass is one final slot-pair worth of links: a set of arcs that
+// can transmit simultaneously (its wholesale reversal is equally feasible,
+// because the hidden-terminal condition is symmetric under reversing both
+// arcs of a pair).
+type orientedClass []graph.Arc
+
+// arcFor returns the arc of edge e under the boolean orientation (true
+// means U→V of the canonical edge).
+func arcFor(e graph.Edge, dir bool) graph.Arc {
+	if dir {
+		return graph.Arc{From: e.U, To: e.V}
+	}
+	return graph.Arc{From: e.V, To: e.U}
+}
+
+// orientClass tries to direct every edge of one color class (a matching) so
+// that no two arcs conflict under the distance-2 rules. It returns the
+// oriented class plus the edges that had to be evicted ("injected" with
+// fresh colors by the caller) because the class admitted no consistent
+// orientation with them in it.
+func orientClass(g *graph.Graph, edges []graph.Edge) (orientedClass, []graph.Edge) {
+	var injected []graph.Edge
+	work := append([]graph.Edge(nil), edges...)
+	for {
+		if len(work) == 0 {
+			return nil, injected
+		}
+		sat := newTwoSAT(len(work))
+		conflicts := make([]int, len(work)) // constraint degree per edge
+		feasible := true
+		for i := 0; i < len(work) && feasible; i++ {
+			for j := i + 1; j < len(work); j++ {
+				pairConstrained := false
+				allForbidden := true
+				for _, di := range []bool{true, false} {
+					for _, dj := range []bool{true, false} {
+						if coloring.Conflict(g, arcFor(work[i], di), arcFor(work[j], dj)) {
+							sat.forbid(lit(i, di), lit(j, dj))
+							pairConstrained = true
+						} else {
+							allForbidden = false
+						}
+					}
+				}
+				if pairConstrained {
+					conflicts[i]++
+					conflicts[j]++
+				}
+				if allForbidden {
+					feasible = false
+					break
+				}
+			}
+		}
+		var assign []bool
+		if feasible {
+			assign, feasible = sat.solve()
+		}
+		if feasible {
+			out := make(orientedClass, len(work))
+			for i, e := range work {
+				out[i] = arcFor(e, assign[i])
+			}
+			return out, injected
+		}
+		// Unsatisfiable: evict the most constrained edge and retry — this is
+		// the "inject more colors" step of D-MGC.
+		worst := 0
+		for i := range work {
+			if conflicts[i] > conflicts[worst] {
+				worst = i
+			}
+		}
+		injected = append(injected, work[worst])
+		work = append(work[:worst], work[worst+1:]...)
+	}
+}
+
+// packInjected greedily first-fits the injected edges into fresh classes:
+// an edge joins the first class where some orientation conflicts with no
+// arc already placed there, otherwise it opens a new class. This mirrors
+// the baseline's color injection, which reuses injected colors only
+// opportunistically.
+func packInjected(g *graph.Graph, edges []graph.Edge) []orientedClass {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	var classes []orientedClass
+next:
+	for _, e := range edges {
+		for ci, class := range classes {
+			for _, dir := range []bool{true, false} {
+				a := arcFor(e, dir)
+				ok := true
+				for _, b := range class {
+					if coloring.Conflict(g, a, b) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					classes[ci] = append(classes[ci], a)
+					continue next
+				}
+			}
+		}
+		classes = append(classes, orientedClass{arcFor(e, true)})
+	}
+	return classes
+}

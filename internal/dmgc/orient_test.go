@@ -1,0 +1,104 @@
+package dmgc
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+)
+
+func TestOrientClassMatchingOnPath(t *testing.T) {
+	// Path 0-1-2-3-4-5: the matching {0,1},{2,3},{4,5} is one Vizing class.
+	g := graph.Path(6)
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 4, V: 5}}
+	class, injected := orientClass(g, edges)
+	if len(injected) != 0 {
+		t.Fatalf("path matching should orient without injection, evicted %v", injected)
+	}
+	if len(class) != 3 {
+		t.Fatalf("class size %d", len(class))
+	}
+	for i := 0; i < len(class); i++ {
+		for j := i + 1; j < len(class); j++ {
+			if coloring.Conflict(g, class[i], class[j]) {
+				t.Fatalf("oriented class self-conflicts: %v vs %v", class[i], class[j])
+			}
+		}
+	}
+}
+
+func TestOrientClassForcedInjection(t *testing.T) {
+	// In K4 any two disjoint edges see all four orientation combinations
+	// forbidden (every endpoint adjacent to every other), so one edge must
+	// be evicted.
+	g := graph.Complete(4)
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}
+	class, injected := orientClass(g, edges)
+	if len(injected) != 1 || len(class) != 1 {
+		t.Fatalf("K4 matching: class %v injected %v", class, injected)
+	}
+}
+
+func TestOrientClassEmpty(t *testing.T) {
+	g := graph.Path(2)
+	class, injected := orientClass(g, nil)
+	if len(class) != 0 || len(injected) != 0 {
+		t.Fatal("empty class should stay empty")
+	}
+}
+
+func TestPackInjectedProducesConflictFreeClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(12)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		classes := packInjected(g, g.Edges())
+		seen := 0
+		for _, class := range classes {
+			seen += len(class)
+			for i := 0; i < len(class); i++ {
+				for j := i + 1; j < len(class); j++ {
+					if coloring.Conflict(g, class[i], class[j]) {
+						t.Fatalf("trial %d: packed class conflicts: %v vs %v", trial, class[i], class[j])
+					}
+				}
+			}
+		}
+		if seen != g.M() {
+			t.Fatalf("trial %d: packed %d of %d edges", trial, seen, g.M())
+		}
+	}
+}
+
+func TestArcFor(t *testing.T) {
+	e := graph.Edge{U: 2, V: 5}
+	if arcFor(e, true) != (graph.Arc{From: 2, To: 5}) {
+		t.Error("forward orientation")
+	}
+	if arcFor(e, false) != (graph.Arc{From: 5, To: 2}) {
+		t.Error("reverse orientation")
+	}
+}
+
+// TestReversalSymmetry validates the doubling step's soundness argument: a
+// conflict-free oriented class stays conflict-free when every arc is
+// reversed.
+func TestReversalSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(12)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		classes := packInjected(g, g.Edges())
+		for _, class := range classes {
+			for i := 0; i < len(class); i++ {
+				for j := i + 1; j < len(class); j++ {
+					a, b := class[i].Reverse(), class[j].Reverse()
+					if coloring.Conflict(g, a, b) {
+						t.Fatalf("trial %d: reversed class conflicts: %v vs %v", trial, a, b)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package dmgc
+
+// twoSAT is a small 2-SAT solver (implication graph + Tarjan SCC) used to
+// decide whether one color class admits a consistent direction assignment.
+// Variable i has literals 2i (true) and 2i+1 (false).
+type twoSAT struct {
+	n   int
+	adj [][]int32
+}
+
+func newTwoSAT(n int) *twoSAT {
+	return &twoSAT{n: n, adj: make([][]int32, 2*n)}
+}
+
+func lit(v int, val bool) int32 {
+	if val {
+		return int32(2 * v)
+	}
+	return int32(2*v + 1)
+}
+
+func neg(l int32) int32 { return l ^ 1 }
+
+// addClause adds (a ∨ b).
+func (s *twoSAT) addClause(a, b int32) {
+	s.adj[neg(a)] = append(s.adj[neg(a)], b)
+	s.adj[neg(b)] = append(s.adj[neg(b)], a)
+}
+
+// forbid adds the constraint ¬(a ∧ b): the two literals may not both hold.
+func (s *twoSAT) forbid(a, b int32) { s.addClause(neg(a), neg(b)) }
+
+// solve returns a satisfying assignment, or ok=false when unsatisfiable.
+func (s *twoSAT) solve() (assign []bool, ok bool) {
+	n2 := 2 * s.n
+	comp := make([]int32, n2)
+	for i := range comp {
+		comp[i] = -1
+	}
+	low := make([]int32, n2)
+	num := make([]int32, n2)
+	onStack := make([]bool, n2)
+	for i := range num {
+		num[i] = -1
+	}
+	var stack, callStack []int32
+	var iterIdx []int32
+	var counter, ncomp int32
+
+	for start := int32(0); start < int32(n2); start++ {
+		if num[start] >= 0 {
+			continue
+		}
+		callStack = append(callStack[:0], start)
+		iterIdx = append(iterIdx[:0], 0)
+		num[start], low[start] = counter, counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(callStack) > 0 {
+			v := callStack[len(callStack)-1]
+			if int(iterIdx[len(iterIdx)-1]) < len(s.adj[v]) {
+				w := s.adj[v][iterIdx[len(iterIdx)-1]]
+				iterIdx[len(iterIdx)-1]++
+				if num[w] < 0 {
+					num[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, w)
+					iterIdx = append(iterIdx, 0)
+				} else if onStack[w] && num[w] < low[v] {
+					low[v] = num[w]
+				}
+				continue
+			}
+			// Post-visit.
+			callStack = callStack[:len(callStack)-1]
+			iterIdx = iterIdx[:len(iterIdx)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1]
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == num[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+
+	assign = make([]bool, s.n)
+	for v := 0; v < s.n; v++ {
+		t, f := comp[2*v], comp[2*v+1]
+		if t == f {
+			return nil, false
+		}
+		// Tarjan numbers components in reverse topological order, so the
+		// later component is the implied value.
+		assign[v] = t < f
+	}
+	return assign, true
+}

@@ -1,0 +1,734 @@
+package dmgc
+
+import (
+	"fmt"
+	"sort"
+
+	"fdlsp/internal/core"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sim"
+)
+
+// This file implements D-MGC's phase 1 as the fully distributed protocol
+// the paper describes in its review of [8]: nodes color their incident
+// edges with at most Δ+1 colors under the "all higher-ID 2-hop neighbors
+// finish first" discipline, using Vizing fans locally and cd-path
+// inversions walked hop-by-hop through the network, with wound-wait
+// locking to serialize concurrent inversions (the paper: "if more than one
+// cd-path to be inverted are overlapping, then one cd-path inversion only
+// proceeds, the rest are locked").
+//
+// Concurrency structure:
+//
+//   - active initiators are pairwise more than 2 hops apart (the
+//     discipline), so their neighborhood locks never collide; only remote
+//     cd-paths can cross a neighborhood or another path;
+//   - every lock names its operation (initiator, attempt); a request
+//     hitting a foreign lock applies wound-wait on the initiator ID: a
+//     lower-priority requester queues, a higher-priority requester wounds
+//     the holder, whose initiator aborts the attempt, releases everything
+//     (abort notifications route back along the same hops the locks came
+//     from) and retries; attempt numbers make stale replies harmless;
+//   - once an inversion starts flipping colors it ignores wounds and
+//     completes — it acquires no further locks then, so the wounding
+//     operation simply waits in the lock queue; this keeps inversions
+//     atomic and the system deadlock-free (any wait chain is strictly
+//     priority-increasing);
+//   - the highest-priority initiator is never forced to abort and always
+//     completes, which gives global progress.
+//
+// The result is a measured — not analytic — round count for D-MGC's
+// phase 1 with genuine lock contention, used by ScheduleVizingDistributed.
+
+// opID names one attempt of one initiator's per-edge operation.
+type opID struct {
+	Init    int // initiator node = priority (higher wins)
+	Attempt int
+}
+
+// Messages of the distributed Vizing protocol.
+type (
+	vzLock  struct{ Op opID }
+	vzGrant struct {
+		Op    opID
+		Table map[int]int // grantee's neighbor -> color view
+	}
+	vzWound    struct{ Op opID }
+	vzPathLock struct {
+		Op    opID
+		C, D  int
+		Trace []int // nodes visited, initiator first
+	}
+	vzPathEnd struct {
+		Op    opID
+		Trace []int
+		Back  int // trace index the message is currently addressed to
+	}
+	vzFlip struct {
+		Op   opID
+		C, D int
+	}
+	vzFlipDone struct {
+		Op    opID
+		Trace []int
+		Back  int
+	}
+	// vzUnlockPath chases the walk along remembered forwarding pointers;
+	// TTL bounds the chase when pointers outlive their locks.
+	vzUnlockPath struct {
+		Op  opID
+		TTL int
+	}
+	vzUnlock    struct{ Op opID }
+	vzSet       struct{ Color int }
+	vzDoneFlood struct {
+		Origin int
+		TTL    int
+	}
+)
+
+type vzPhase int
+
+const (
+	vzIdle vzPhase = iota
+	vzLocking
+	vzWalking
+	vzFlipping
+)
+
+type vzNode struct {
+	id      int
+	g       *graph.Graph
+	palette int
+
+	colors map[int]int // neighbor -> edge color (0 uncolored)
+
+	// Lock state (as a lock grantee / path participant).
+	lockedBy *opID
+	lockFrom int // hop the lock arrived from (-1 = direct or own)
+	// walkNexts remembers, per operation, where this node forwarded that
+	// operation's walk; the release chase follows and deletes the entry, so
+	// interleaved walks through the same node cannot misroute each other's
+	// chases.
+	walkNexts map[opID]int
+	flipTrace []int
+	queue     []sim.Message
+	woundSent bool
+
+	// Activation bookkeeping.
+	waitingOn map[int]struct{}
+	doneSeen  map[int]struct{}
+	active    bool
+	done      bool
+
+	// Initiator state.
+	phase     vzPhase
+	wantStart bool
+	attempt   int
+	target    int
+	grants    map[int]map[int]int
+	pendingG  int
+	fan       []int
+	fanC      int
+	fanD      int
+	pathNext  int
+}
+
+func newVZNode(id int, g *graph.Graph, palette int) *vzNode {
+	waiting := make(map[int]struct{})
+	for _, u := range g.Within(id, 2) {
+		if u > id {
+			waiting[u] = struct{}{}
+		}
+	}
+	return &vzNode{
+		id:        id,
+		g:         g,
+		palette:   palette,
+		colors:    make(map[int]int),
+		lockFrom:  -1,
+		walkNexts: make(map[opID]int),
+		pathNext:  -1,
+		waitingOn: waiting,
+		doneSeen:  make(map[int]struct{}),
+	}
+}
+
+func (nd *vzNode) Run(env *sim.AsyncEnv) {
+	nd.maybeActivate(env)
+	for {
+		m, ok := env.Recv()
+		if !ok {
+			return
+		}
+		nd.handle(env, m)
+	}
+}
+
+func (nd *vzNode) op() opID { return opID{Init: nd.id, Attempt: nd.attempt} }
+
+func other(col, c, d int) int {
+	if col == c {
+		return d
+	}
+	return c
+}
+
+func (nd *vzNode) handle(env *sim.AsyncEnv, m sim.Message) {
+	switch p := m.Payload.(type) {
+	case vzDoneFlood:
+		if _, dup := nd.doneSeen[p.Origin]; dup {
+			return
+		}
+		nd.doneSeen[p.Origin] = struct{}{}
+		delete(nd.waitingOn, p.Origin)
+		if p.TTL > 1 {
+			env.Broadcast(vzDoneFlood{Origin: p.Origin, TTL: p.TTL - 1})
+		}
+		nd.maybeActivate(env)
+	case vzSet:
+		nd.colors[m.From] = p.Color
+	case vzLock:
+		nd.serveLock(env, m)
+	case vzPathLock:
+		nd.servePathLock(env, m)
+	case vzUnlock:
+		// Purge queued requests of the released operation first: a request
+		// that was waiting here must never execute for an aborted attempt.
+		nd.purgeQueue(p.Op)
+		if nd.lockedBy != nil && *nd.lockedBy == p.Op {
+			nd.unlock(env)
+		}
+	case vzUnlockPath:
+		nd.purgeQueue(p.Op)
+		next, walked := nd.walkNexts[p.Op]
+		delete(nd.walkNexts, p.Op)
+		if nd.lockedBy != nil && *nd.lockedBy == p.Op {
+			nd.unlock(env)
+		}
+		// Forward along this operation's own pointer even if the lock was
+		// already released by a direct neighborhood unlock — the chase must
+		// still reach the chain beyond this node.
+		if walked && next >= 0 && p.TTL > 1 {
+			env.Send(next, vzUnlockPath{Op: p.Op, TTL: p.TTL - 1})
+		}
+	case vzWound:
+		nd.routeWound(env, p)
+	case vzGrant:
+		switch {
+		case nd.phase == vzLocking && p.Op == nd.op():
+			nd.grants[m.From] = p.Table
+			nd.pendingG--
+			if nd.pendingG == 0 {
+				nd.colorLockedEdge(env)
+			}
+		case p.Op.Init == nd.id && p.Op != nd.op():
+			// A grant for an aborted attempt: release the grantee.
+			env.Send(m.From, vzUnlock{Op: p.Op})
+		}
+	case vzPathEnd:
+		nd.relayBack(env, p.Op, p.Trace, p.Back, true)
+	case vzFlip:
+		nd.serveFlip(env, m.From, p)
+	case vzFlipDone:
+		nd.relayBack(env, p.Op, p.Trace, p.Back, false)
+	default:
+		panic(fmt.Sprintf("dmgc: vizing node %d got %T", nd.id, m.Payload))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lock service (passive side).
+
+func (nd *vzNode) serveLock(env *sim.AsyncEnv, m sim.Message) {
+	p := m.Payload.(vzLock)
+	switch {
+	case nd.lockedBy == nil:
+		op := p.Op
+		nd.lockedBy = &op
+		nd.lockFrom = -1
+		env.Send(m.From, vzGrant{Op: p.Op, Table: nd.table()})
+	case *nd.lockedBy == p.Op:
+		env.Send(m.From, vzGrant{Op: p.Op, Table: nd.table()})
+	case p.Op.Init > nd.lockedBy.Init:
+		nd.queue = append(nd.queue, m)
+		nd.wound(env)
+	default:
+		nd.queue = append(nd.queue, m)
+	}
+}
+
+func (nd *vzNode) servePathLock(env *sim.AsyncEnv, m sim.Message) {
+	p := m.Payload.(vzPathLock)
+	switch {
+	case nd.lockedBy == nil || *nd.lockedBy == p.Op:
+		if nd.lockedBy == nil {
+			op := p.Op
+			nd.lockedBy = &op
+			nd.lockFrom = m.From
+		}
+		nd.continueWalk(env, m.From, p)
+	case p.Op.Init > nd.lockedBy.Init:
+		nd.queue = append(nd.queue, m)
+		nd.wound(env)
+	default:
+		nd.queue = append(nd.queue, m)
+	}
+}
+
+func (nd *vzNode) continueWalk(env *sim.AsyncEnv, from int, p vzPathLock) {
+	incoming := nd.colors[from]
+	wantNext := other(incoming, p.C, p.D)
+	next := nd.neighborWithColor(wantNext)
+	trace := append(append([]int(nil), p.Trace...), nd.id)
+	if next >= 0 {
+		nd.walkNexts[p.Op] = next
+		env.Send(next, vzPathLock{Op: p.Op, C: p.C, D: p.D, Trace: trace})
+		return
+	}
+	// Path ends here.
+	delete(nd.walkNexts, p.Op)
+	nd.flipTrace = trace
+	env.Send(from, vzPathEnd{Op: p.Op, Trace: trace, Back: len(trace) - 2})
+}
+
+func (nd *vzNode) neighborWithColor(c int) int {
+	for _, u := range nd.g.Neighbors(nd.id) {
+		if nd.colors[u] == c {
+			return u
+		}
+	}
+	return -1
+}
+
+// relayBack moves a traced reply one hop toward the initiator (Back is the
+// index of the node currently holding the message).
+func (nd *vzNode) relayBack(env *sim.AsyncEnv, op opID, trace []int, back int, isPathEnd bool) {
+	if back < 0 || back >= len(trace) || trace[back] != nd.id {
+		return // stale routing
+	}
+	if back > 0 {
+		if isPathEnd {
+			env.Send(trace[back-1], vzPathEnd{Op: op, Trace: trace, Back: back - 1})
+		} else {
+			env.Send(trace[back-1], vzFlipDone{Op: op, Trace: trace, Back: back - 1})
+		}
+		return
+	}
+	if op != nd.op() {
+		return // stale attempt
+	}
+	if isPathEnd {
+		nd.onPathEnd(env, trace)
+	} else {
+		nd.onFlipDone(env, trace)
+	}
+}
+
+func (nd *vzNode) serveFlip(env *sim.AsyncEnv, from int, p vzFlip) {
+	if nd.lockedBy == nil || *nd.lockedBy != p.Op {
+		return // stale
+	}
+	nd.colors[from] = other(nd.colors[from], p.C, p.D)
+	if next, walked := nd.walkNexts[p.Op]; walked && next >= 0 {
+		nd.colors[next] = other(nd.colors[next], p.C, p.D)
+		env.Send(next, p)
+		return
+	}
+	env.Send(from, vzFlipDone{Op: p.Op, Trace: nd.flipTrace, Back: len(nd.flipTrace) - 2})
+}
+
+func (nd *vzNode) wound(env *sim.AsyncEnv) {
+	if nd.woundSent || nd.lockedBy == nil {
+		return
+	}
+	nd.woundSent = true
+	w := vzWound{Op: *nd.lockedBy}
+	switch {
+	case nd.lockFrom >= 0:
+		env.Send(nd.lockFrom, w)
+	case nd.lockedBy.Init == nd.id:
+		nd.onWound(env, w.Op)
+	default:
+		env.Send(nd.lockedBy.Init, w) // neighborhood lock: initiator adjacent
+	}
+}
+
+func (nd *vzNode) routeWound(env *sim.AsyncEnv, p vzWound) {
+	if p.Op.Init == nd.id {
+		nd.onWound(env, p.Op)
+		return
+	}
+	if nd.lockedBy != nil && *nd.lockedBy == p.Op {
+		if nd.lockFrom >= 0 {
+			env.Send(nd.lockFrom, p)
+		} else {
+			env.Send(p.Op.Init, p)
+		}
+	}
+	// Otherwise the lock is already released and the abort under way.
+}
+
+func (nd *vzNode) unlock(env *sim.AsyncEnv) {
+	nd.lockedBy = nil
+	nd.lockFrom = -1
+	// walkNexts deliberately survives the unlock: the per-op release chase
+	// consumes its own entry later.
+	nd.flipTrace = nil
+	nd.woundSent = false
+	if len(nd.queue) > 0 {
+		sort.SliceStable(nd.queue, func(i, j int) bool {
+			return queuePrio(nd.queue[i]) > queuePrio(nd.queue[j])
+		})
+		q := nd.queue
+		nd.queue = nil
+		for _, qm := range q {
+			nd.handle(env, qm)
+		}
+	}
+	if nd.lockedBy == nil && nd.wantStart {
+		nd.wantStart = false
+		nd.beginAttempt(env)
+	}
+}
+
+// purgeQueue drops queued requests belonging to a released operation.
+func (nd *vzNode) purgeQueue(op opID) {
+	kept := nd.queue[:0]
+	for _, qm := range nd.queue {
+		if qOp, ok := queueOp(qm); ok && qOp == op {
+			continue
+		}
+		kept = append(kept, qm)
+	}
+	nd.queue = kept
+}
+
+func queueOp(m sim.Message) (opID, bool) {
+	switch p := m.Payload.(type) {
+	case vzLock:
+		return p.Op, true
+	case vzPathLock:
+		return p.Op, true
+	default:
+		return opID{}, false
+	}
+}
+
+func queuePrio(m sim.Message) int {
+	switch p := m.Payload.(type) {
+	case vzLock:
+		return p.Op.Init
+	case vzPathLock:
+		return p.Op.Init
+	default:
+		return -1
+	}
+}
+
+func (nd *vzNode) table() map[int]int {
+	out := make(map[int]int, len(nd.colors))
+	for u, c := range nd.colors {
+		out[u] = c
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Initiator side.
+
+func (nd *vzNode) maybeActivate(env *sim.AsyncEnv) {
+	if nd.active || nd.done || len(nd.waitingOn) > 0 {
+		return
+	}
+	nd.active = true
+	nd.startNextEdge(env)
+}
+
+func (nd *vzNode) startNextEdge(env *sim.AsyncEnv) {
+	nd.phase = vzIdle
+	nd.target = -1
+	for _, u := range nd.g.Neighbors(nd.id) {
+		if nd.colors[u] == 0 {
+			nd.target = u
+			break
+		}
+	}
+	if nd.target < 0 {
+		nd.finish(env)
+		return
+	}
+	nd.attempt++
+	nd.beginAttempt(env)
+}
+
+func (nd *vzNode) beginAttempt(env *sim.AsyncEnv) {
+	if nd.lockedBy != nil {
+		nd.wantStart = true // a remote path holds us; resume on unlock
+		return
+	}
+	op := nd.op()
+	nd.lockedBy = &op
+	nd.lockFrom = -1
+	nd.phase = vzLocking
+	nd.grants = make(map[int]map[int]int)
+	nd.pathNext = -1
+	nbrs := nd.g.Neighbors(nd.id)
+	nd.pendingG = len(nbrs)
+	for _, u := range nbrs {
+		env.Send(u, vzLock{Op: op})
+	}
+}
+
+// freeAt returns the smallest color (1..palette) absent from used, or 0.
+func freeIn(used map[int]bool, palette int) int {
+	for c := 1; c <= palette; c++ {
+		if !used[c] {
+			return c
+		}
+	}
+	return 0
+}
+
+func usedOf(table map[int]int) map[int]bool {
+	out := make(map[int]bool, len(table))
+	for _, c := range table {
+		if c != 0 {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+// colorLockedEdge runs once the whole neighborhood is locked: Vizing's
+// step for the edge (id, target) with full distance-1 tables in hand.
+func (nd *vzNode) colorLockedEdge(env *sim.AsyncEnv) {
+	myUsed := usedOf(nd.colors)
+	tUsed := usedOf(nd.grants[nd.target])
+	// Fast path: a color free at both endpoints.
+	for c := 1; c <= nd.palette; c++ {
+		if !myUsed[c] && !tUsed[c] {
+			nd.assign(env, nd.target, c)
+			nd.finishAttempt(env)
+			return
+		}
+	}
+	// Build the maximal fan from target.
+	fan := []int{nd.target}
+	inFan := map[int]bool{nd.target: true}
+	for {
+		lastUsed := usedOf(nd.grants[fan[len(fan)-1]])
+		next := -1
+		for _, x := range nd.g.Neighbors(nd.id) {
+			if !inFan[x] && nd.colors[x] != 0 && !lastUsed[nd.colors[x]] {
+				next = x
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		fan = append(fan, next)
+		inFan[next] = true
+	}
+	c := freeIn(myUsed, nd.palette)
+	d := freeIn(usedOf(nd.grants[fan[len(fan)-1]]), nd.palette)
+	if c == 0 || d == 0 {
+		panic(fmt.Sprintf("dmgc: vizing node %d found no free color (palette %d)", nd.id, nd.palette))
+	}
+	if !myUsed[d] {
+		// d free at this node too: rotate the whole fan directly.
+		nd.rotate(env, fan, len(fan)-1, d)
+		nd.finishAttempt(env)
+		return
+	}
+	// Invert the cd-path starting along this node's d-edge.
+	n1 := nd.neighborWithColor(d)
+	if n1 < 0 {
+		panic(fmt.Sprintf("dmgc: vizing node %d uses d=%d but has no d-edge", nd.id, d))
+	}
+	nd.fan = fan
+	nd.fanC = c
+	nd.fanD = d
+	nd.pathNext = n1
+	nd.phase = vzWalking
+	env.Send(n1, vzPathLock{Op: nd.op(), C: c, D: d, Trace: []int{nd.id}})
+}
+
+// onPathEnd starts the atomic flip.
+func (nd *vzNode) onPathEnd(env *sim.AsyncEnv, trace []int) {
+	if nd.phase != vzWalking {
+		return
+	}
+	nd.phase = vzFlipping
+	if len(trace) == 1 {
+		// Degenerate: no path beyond the initiator (cannot happen — the
+		// walk started along an existing d-edge), but keep it safe.
+		nd.onFlipDone(env, trace)
+		return
+	}
+	nd.flipTrace = trace
+	nd.colors[nd.pathNext] = other(nd.colors[nd.pathNext], nd.fanC, nd.fanD)
+	env.Send(nd.pathNext, vzFlip{Op: nd.op(), C: nd.fanC, D: nd.fanD})
+}
+
+// onFlipDone finishes the Vizing step after the inversion: refresh the
+// locked tables along the path, find the rotatable fan prefix, rotate.
+func (nd *vzNode) onFlipDone(env *sim.AsyncEnv, trace []int) {
+	if nd.phase != vzFlipping {
+		return
+	}
+	c, d := nd.fanC, nd.fanD
+	// Post-flip color of path edge k (between trace[k] and trace[k+1]):
+	// pre-flip alternates d, c, d, ...; post-flip is the other.
+	post := func(k int) int {
+		if k%2 == 0 {
+			return c
+		}
+		return d
+	}
+	for j := 1; j < len(trace); j++ {
+		x := trace[j]
+		tbl, mine := nd.grants[x]
+		if !mine {
+			continue // path node outside the locked neighborhood
+		}
+		tbl[trace[j-1]] = post(j - 1)
+		if j+1 < len(trace) {
+			tbl[trace[j+1]] = post(j)
+		}
+	}
+	// Find the shortest valid fan prefix ending where d is free.
+	w := -1
+	for i, x := range nd.fan {
+		if i > 0 {
+			cx := nd.colors[nd.fan[i]]
+			if cx == 0 || usedOf(nd.grants[nd.fan[i-1]])[cx] {
+				break
+			}
+		}
+		if !usedOf(nd.grants[x])[d] {
+			w = i
+			break
+		}
+	}
+	if w < 0 {
+		panic(fmt.Sprintf("dmgc: vizing node %d: no rotatable fan vertex after inversion", nd.id))
+	}
+	nd.rotate(env, nd.fan, w, d)
+	nd.finishAttempt(env)
+}
+
+// rotate shifts fan colors toward the start and gives fan[w] color d,
+// informing every affected neighbor.
+func (nd *vzNode) rotate(env *sim.AsyncEnv, fan []int, w int, d int) {
+	shift := make([]int, w+1)
+	for i := 0; i < w; i++ {
+		shift[i] = nd.colors[fan[i+1]]
+	}
+	shift[w] = d
+	for i := 0; i <= w; i++ {
+		nd.assign(env, fan[i], shift[i])
+	}
+}
+
+// assign sets the color of edge (id, u) locally and at u.
+func (nd *vzNode) assign(env *sim.AsyncEnv, u, c int) {
+	nd.colors[u] = c
+	env.Send(u, vzSet{Color: c})
+}
+
+// finishAttempt releases every lock and moves to the next edge.
+func (nd *vzNode) finishAttempt(env *sim.AsyncEnv) {
+	nd.releaseAll(env)
+	nd.startNextEdge(env)
+}
+
+// onWound aborts the in-flight attempt (unless the flip already started,
+// which completes unconditionally) and retries with a fresh attempt id.
+func (nd *vzNode) onWound(env *sim.AsyncEnv, op opID) {
+	if op != nd.op() || nd.phase == vzIdle || nd.phase == vzFlipping {
+		return
+	}
+	nd.releaseAll(env)
+	nd.attempt++
+	nd.phase = vzIdle
+	nd.beginAttempt(env)
+}
+
+// releaseAll drops the neighborhood and path locks of the current attempt.
+func (nd *vzNode) releaseAll(env *sim.AsyncEnv) {
+	op := nd.op()
+	for _, u := range nd.g.Neighbors(nd.id) {
+		env.Send(u, vzUnlock{Op: op})
+	}
+	if nd.pathNext >= 0 {
+		env.Send(nd.pathNext, vzUnlockPath{Op: op, TTL: nd.g.N() + 1})
+		nd.pathNext = -1
+	}
+	nd.phase = vzIdle
+	if nd.lockedBy != nil && *nd.lockedBy == op {
+		nd.unlock(env)
+	}
+}
+
+func (nd *vzNode) finish(env *sim.AsyncEnv) {
+	nd.done = true
+	nd.doneSeen[nd.id] = struct{}{}
+	env.Broadcast(vzDoneFlood{Origin: nd.id, TTL: 2})
+}
+
+// ---------------------------------------------------------------------------
+// Runner.
+
+// DistributedVizing runs the protocol and returns the Δ+1 edge coloring
+// with the measured asynchronous cost (virtual time and messages).
+func DistributedVizing(g *graph.Graph, seed int64) (EdgeColoring, sim.Stats, error) {
+	if g.M() == 0 {
+		return EdgeColoring{}, sim.Stats{}, nil
+	}
+	palette := g.MaxDegree() + 1
+	nodes := make([]*vzNode, g.N())
+	eng := sim.NewAsyncEngine(g, seed, func(id int) sim.AsyncNode {
+		nodes[id] = newVZNode(id, g, palette)
+		return nodes[id]
+	})
+	if err := eng.Run(); err != nil {
+		return nil, sim.Stats{}, err
+	}
+	col := make(EdgeColoring, g.M())
+	for _, nd := range nodes {
+		if !nd.done {
+			return nil, sim.Stats{}, fmt.Errorf("dmgc: vizing node %d never finished", nd.id)
+		}
+		for u, c := range nd.colors {
+			e := graph.NormEdge(nd.id, u)
+			if prev, ok := col[e]; ok && prev != c {
+				return nil, sim.Stats{}, fmt.Errorf("dmgc: edge %v endpoint views disagree (%d vs %d)", e, prev, c)
+			}
+			col[e] = c
+		}
+	}
+	if err := VerifyEdgeColoring(g, col); err != nil {
+		return nil, sim.Stats{}, fmt.Errorf("dmgc: distributed vizing: %w", err)
+	}
+	return col, eng.Stats(), nil
+}
+
+// ScheduleVizingDistributed is D-MGC with the protocol-faithful phase 1:
+// distributed Vizing coloring (fans, message-walked cd-path inversions,
+// wound-wait locks) followed by the usual orientation, injection and
+// doubling. Stats carry the measured phase-1 cost.
+func ScheduleVizingDistributed(g *graph.Graph, seed int64) (*core.Result, error) {
+	ec, stats, err := DistributedVizing(g, seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := scheduleFromColoring(g, ec)
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = "d-mgc-vizing-distributed"
+	res.Stats = stats
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package dmgc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+)
+
+func TestDistributedVizingSmallFixed(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"edge":   graph.Path(2),
+		"path5":  graph.Path(5),
+		"cycle6": graph.Cycle(6),
+		"cycle7": graph.Cycle(7),
+		"star8":  graph.Star(8),
+		"k4":     graph.Complete(4),
+		"k5":     graph.Complete(5),
+		"k33":    graph.CompleteBipartite(3, 3),
+		"grid":   graph.Grid(4, 4),
+	}
+	for name, g := range cases {
+		col, stats, err := DistributedVizing(g, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifyEdgeColoring(g, col); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.M() > 0 && stats.Messages == 0 {
+			t.Errorf("%s: no messages measured", name)
+		}
+	}
+}
+
+func TestDistributedVizingRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(30)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		col, _, err := DistributedVizing(g, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, g, err)
+		}
+		if err := VerifyEdgeColoring(g, col); err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, g, err)
+		}
+	}
+}
+
+func TestDistributedVizingTreesNeverInvert(t *testing.T) {
+	// On trees the protocol must still produce Δ+1 colorings (fans rarely
+	// need inversions but the machinery must not break).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomTree(2+rng.Intn(60), rng)
+		col, _, err := DistributedVizing(g, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := VerifyEdgeColoring(g, col); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestDistributedVizingDense(t *testing.T) {
+	// Dense graphs exercise inversions and lock contention heavily.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + rng.Intn(15)
+		maxM := n * (n - 1) / 2
+		g := graph.GNM(n, maxM*3/4, rng)
+		col, _, err := DistributedVizing(g, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, g, err)
+		}
+		if err := VerifyEdgeColoring(g, col); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestDistributedVizingMatchesCentralizedBudget(t *testing.T) {
+	// Both must stay within Δ+1 (VerifyEdgeColoring enforces it); spot the
+	// larger instance for confidence.
+	g := graph.ConnectedGNM(120, 420, rand.New(rand.NewSource(44)))
+	col, stats, err := DistributedVizing(g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEdgeColoring(g, col); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=%d m=%d Δ=%d: %d virtual time units, %d messages",
+		g.N(), g.M(), g.MaxDegree(), stats.Rounds, stats.Messages)
+}
+
+func TestScheduleVizingDistributed(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.ConnectedGNM(30, 80, rng)
+		res, err := ScheduleVizingDistributed(g, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if viols := coloring.Verify(g, res.Assignment); len(viols) != 0 {
+			t.Fatalf("trial %d: invalid FDLSP schedule: %v", trial, viols[0])
+		}
+		if res.Stats.Rounds == 0 {
+			t.Errorf("trial %d: no measured phase-1 cost", trial)
+		}
+		// Same phase 2 as the centralized variant: slots should be close to
+		// Schedule's (identical palette), certainly within the 2Δ² bound.
+		d := g.MaxDegree()
+		if res.Slots > 2*d*d {
+			t.Errorf("trial %d: %d slots above 2Δ²", trial, res.Slots)
+		}
+	}
+}
+
+// Property: the protocol terminates and colors properly on arbitrary random
+// graphs and seeds.
+func TestDistributedVizingPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(18)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		col, _, err := DistributedVizing(g, seed)
+		if err != nil {
+			return false
+		}
+		return VerifyEdgeColoring(g, col) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistributedVizingStress hammers the protocol across many seeds and
+// densities — lock contention, aborted attempts and chased releases all
+// occur in this mix (kept moderate; a 600-seed sweep was run during
+// development).
+func TestDistributedVizingStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for trial := 0; trial < 150; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 7919))
+		n := 2 + rng.Intn(25)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		col, _, err := DistributedVizing(g, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, g, err)
+		}
+		if err := VerifyEdgeColoring(g, col); err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, g, err)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+)
+
+func mustNetwork(tb testing.TB, g *graph.Graph) *Network {
+	tb.Helper()
+	n, err := New(g, coloring.Greedy(g, nil))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return n
+}
+
+func checkValid(tb testing.TB, n *Network, context string) {
+	tb.Helper()
+	if viols := coloring.Verify(n.Graph(), n.Assignment()); len(viols) != 0 {
+		tb.Fatalf("%s: schedule invalid: %v", context, viols[0])
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	g := graph.Path(3)
+	as := coloring.NewAssignment(g)
+	if _, err := New(g, as); err == nil {
+		t.Fatal("expected error for incomplete schedule")
+	}
+}
+
+func TestLinkDownKeepsValidity(t *testing.T) {
+	g := graph.Cycle(6)
+	n := mustNetwork(t, g)
+	if err := n.Apply(Event{Kind: LinkDown, U: 0, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, n, "after link-down")
+	if n.Graph().HasEdge(0, 1) {
+		t.Error("edge not removed")
+	}
+	if n.Stats().DroppedArcs != 2 {
+		t.Errorf("dropped arcs = %d", n.Stats().DroppedArcs)
+	}
+	if err := n.Apply(Event{Kind: LinkDown, U: 0, V: 1}); err == nil {
+		t.Error("double link-down should fail")
+	}
+}
+
+func TestLinkUpColorsNewArcs(t *testing.T) {
+	g := graph.Path(4)
+	n := mustNetwork(t, g)
+	if err := n.Apply(Event{Kind: LinkUp, U: 0, V: 3}); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, n, "after link-up")
+	if n.Assignment()[graph.Arc{From: 0, To: 3}] == coloring.None {
+		t.Error("new arc uncolored")
+	}
+	if n.Stats().NewArcs != 2 {
+		t.Errorf("new arcs = %d", n.Stats().NewArcs)
+	}
+	if err := n.Apply(Event{Kind: LinkUp, U: 0, V: 3}); err == nil {
+		t.Error("duplicate link-up should fail")
+	}
+}
+
+func TestLinkUpRepairsHiddenTerminal(t *testing.T) {
+	// Two separate edges scheduled in slot 1 each; connecting them creates
+	// a hidden terminal that must be repaired.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	as := coloring.NewAssignment(g)
+	as.Set(graph.Arc{From: 0, To: 1}, 1)
+	as.Set(graph.Arc{From: 1, To: 0}, 2)
+	as.Set(graph.Arc{From: 2, To: 3}, 1) // conflicts with (0,1) once 1-2 exists
+	as.Set(graph.Arc{From: 3, To: 2}, 2)
+	n, err := New(g, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Apply(Event{Kind: LinkUp, U: 1, V: 2}); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, n, "after repairing link-up")
+	if n.Stats().RecoloredArcs == 0 {
+		t.Error("expected at least one recolored arc")
+	}
+}
+
+func TestNodeFail(t *testing.T) {
+	g := graph.Star(6)
+	n := mustNetwork(t, g)
+	if err := n.Apply(Event{Kind: NodeFail, U: 0}); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, n, "after center failure")
+	if n.Graph().M() != 0 {
+		t.Errorf("star center failed but %d edges remain", n.Graph().M())
+	}
+	if n.Slots() != 0 {
+		t.Errorf("no links left but %d slots", n.Slots())
+	}
+}
+
+func TestNodeJoinAndMove(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	n := mustNetwork(t, g)
+	if err := n.Apply(Event{Kind: NodeJoin, U: 4, Peers: []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, n, "after join")
+	if !n.Graph().HasEdge(4, 1) || !n.Graph().HasEdge(4, 2) {
+		t.Error("join links missing")
+	}
+	if err := n.Apply(Event{Kind: NodeMove, U: 4, Peers: []int{2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, n, "after move")
+	if n.Graph().HasEdge(4, 1) || !n.Graph().HasEdge(4, 3) || !n.Graph().HasEdge(4, 2) {
+		t.Error("move did not rewire correctly")
+	}
+}
+
+func TestChurnStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.GNM(25, 60, rng)
+	n := mustNetwork(t, g)
+	for step := 0; step < 400; step++ {
+		u, v := rng.Intn(25), rng.Intn(25)
+		if u == v {
+			continue
+		}
+		var ev Event
+		if n.Graph().HasEdge(u, v) {
+			ev = Event{Kind: LinkDown, U: u, V: v}
+		} else {
+			ev = Event{Kind: LinkUp, U: u, V: v}
+		}
+		if err := n.Apply(ev); err != nil {
+			t.Fatalf("step %d %v: %v", step, ev, err)
+		}
+		checkValid(t, n, ev.String())
+	}
+	if n.Stats().Events != 400 {
+		// Some iterations skip on u==v, so events <= 400; ensure nontrivial.
+		if n.Stats().Events < 100 {
+			t.Errorf("too few events applied: %d", n.Stats().Events)
+		}
+	}
+}
+
+func TestRepairCheaperThanRebuild(t *testing.T) {
+	// The headline property of incremental repair: per-event recoloring
+	// touches a small fraction of the arcs a rebuild would.
+	rng := rand.New(rand.NewSource(4))
+	g := graph.ConnectedGNM(60, 180, rng)
+	n := mustNetwork(t, g)
+	events := 0
+	for step := 0; step < 200; step++ {
+		u, v := rng.Intn(60), rng.Intn(60)
+		if u == v {
+			continue
+		}
+		kind := LinkUp
+		if n.Graph().HasEdge(u, v) {
+			kind = LinkDown
+		}
+		if err := n.Apply(Event{Kind: kind, U: u, V: v}); err != nil {
+			t.Fatal(err)
+		}
+		events++
+	}
+	perEvent := float64(n.Stats().RecoloredArcs+n.Stats().NewArcs) / float64(events)
+	rebuildArcs := float64(2 * n.Graph().M())
+	if perEvent > rebuildArcs/4 {
+		t.Errorf("repair recolors %.1f arcs/event; rebuild would recolor %d — incrementality lost", perEvent, int(rebuildArcs))
+	}
+	checkValid(t, n, "after churn")
+}
+
+func TestInstallRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.GNM(20, 50, rng)
+	n := mustNetwork(t, g)
+	// Heavy churn tends to grow the frame; a rebuild resets it.
+	for step := 0; step < 100; step++ {
+		u, v := rng.Intn(20), rng.Intn(20)
+		if u == v {
+			continue
+		}
+		kind := LinkUp
+		if n.Graph().HasEdge(u, v) {
+			kind = LinkDown
+		}
+		if err := n.Apply(Event{Kind: kind, U: u, V: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drifted := n.Slots()
+	n.InstallRebuild()
+	checkValid(t, n, "after rebuild")
+	if n.Slots() > drifted {
+		t.Errorf("rebuild made the frame longer: %d -> %d", drifted, n.Slots())
+	}
+}
+
+// Property: any single event on any valid schedule preserves validity.
+func TestSingleEventPreservesValidityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nNodes := 3 + rng.Intn(15)
+		g := graph.GNM(nNodes, rng.Intn(nNodes*(nNodes-1)/2+1), rng)
+		n, err := New(g, coloring.Greedy(g, nil))
+		if err != nil {
+			return false
+		}
+		u, v := rng.Intn(nNodes), rng.Intn(nNodes)
+		if u == v {
+			return true
+		}
+		kind := LinkUp
+		if n.Graph().HasEdge(u, v) {
+			kind = LinkDown
+		}
+		if err := n.Apply(Event{Kind: kind, U: u, V: v}); err != nil {
+			return false
+		}
+		return coloring.Valid(n.Graph(), n.Assignment())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	if (Event{Kind: LinkUp, U: 1, V: 2}).String() != "link-up{1,2}" {
+		t.Error("link event string")
+	}
+	if (Event{Kind: NodeJoin, U: 3, Peers: []int{1}}).String() != "node-join{3->[1]}" {
+		t.Error("join event string")
+	}
+	if EventKind(99).String() != "invalid" {
+		t.Error("invalid kind string")
+	}
+}
+
+func TestDiffIdenticalIsEmpty(t *testing.T) {
+	g := graph.Cycle(6)
+	as := coloring.Greedy(g, nil)
+	if d := Diff(as, as); len(d) != 0 {
+		t.Fatalf("identical schedules diff: %v", d)
+	}
+}
+
+func TestDiffLocalizedAfterRepair(t *testing.T) {
+	// After one link event, only nodes near the event should need new
+	// firmware tables.
+	rng := rand.New(rand.NewSource(8))
+	g := graph.ConnectedGNM(40, 90, rng)
+	n := mustNetwork(t, g)
+	before := n.Assignment().Clone()
+	// Find a non-edge to add.
+	var u, v int
+	for {
+		u, v = rng.Intn(40), rng.Intn(40)
+		if u != v && !n.Graph().HasEdge(u, v) {
+			break
+		}
+	}
+	if err := n.Apply(Event{Kind: LinkUp, U: u, V: v}); err != nil {
+		t.Fatal(err)
+	}
+	deltas := Diff(before, n.Assignment())
+	if len(deltas) == 0 {
+		t.Fatal("a link-up must change at least the two endpoints")
+	}
+	if len(deltas) > 12 {
+		t.Errorf("repair touched %d nodes' tables — not localized", len(deltas))
+	}
+	// The endpoints must appear.
+	found := map[int]bool{}
+	for _, d := range deltas {
+		if !d.Changed() {
+			t.Errorf("empty delta emitted for node %d", d.Node)
+		}
+		found[d.Node] = true
+	}
+	if !found[u] || !found[v] {
+		t.Errorf("endpoints %d,%d missing from deltas %v", u, v, deltas)
+	}
+}
+
+func TestDiffDetectsRemovals(t *testing.T) {
+	g := graph.Path(3)
+	old := coloring.Greedy(g, nil)
+	n := mustNetwork(t, g)
+	if err := n.Apply(Event{Kind: LinkDown, U: 0, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deltas := Diff(old, n.Assignment())
+	var node0 *NodeDelta
+	for i := range deltas {
+		if deltas[i].Node == 0 {
+			node0 = &deltas[i]
+		}
+	}
+	if node0 == nil || len(node0.TXGone) != 1 || len(node0.RXGone) != 1 {
+		t.Fatalf("node 0 should lose one TX and one RX slot: %+v", deltas)
+	}
+}
+
+func TestRebuildReturnsValidWithoutInstalling(t *testing.T) {
+	g := graph.Cycle(8)
+	n := mustNetwork(t, g)
+	before := n.Slots()
+	fresh := n.Rebuild()
+	if !coloring.Valid(n.Graph(), fresh) {
+		t.Fatal("rebuild invalid")
+	}
+	if n.Slots() != before {
+		t.Fatal("Rebuild must not install")
+	}
+}

@@ -1,0 +1,205 @@
+// Package exact computes optimal FDLSP schedules for small instances by
+// exact minimum vertex coloring of the conflict graph (Lemma 6): DSATUR
+// branch-and-bound with a clique lower bound. It serves as the optimum
+// oracle for the paper's Table 1 and as a cross-check for the ILP of
+// Section 4 (package ilp) — two independent exact methods that must agree.
+package exact
+
+import (
+	"fdlsp/internal/bounds"
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes caps the number of branch-and-bound nodes explored; zero
+	// means 50 million. When exhausted, the best coloring found so far is
+	// returned with Optimal=false.
+	MaxNodes int64
+}
+
+// Coloring is the result of an exact vertex-coloring search.
+type Coloring struct {
+	Colors  []int // per-vertex colors, 1-based
+	K       int   // number of colors used
+	Optimal bool  // proved optimal within the node budget
+	Nodes   int64 // branch-and-bound nodes explored
+}
+
+// MinVertexColoring returns a minimum proper vertex coloring of g.
+func MinVertexColoring(g *graph.Graph, opts Options) Coloring {
+	n := g.N()
+	if n == 0 {
+		return Coloring{Colors: nil, K: 0, Optimal: true}
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 50_000_000
+	}
+
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		adj[v] = g.Neighbors(v)
+	}
+
+	// Incumbent: greedy DSATUR coloring.
+	best := dsaturGreedy(g, adj)
+	bestK := 0
+	for _, c := range best {
+		if c > bestK {
+			bestK = c
+		}
+	}
+	// Lower bound: a clique of size k needs k colors.
+	lower := bounds.MaxCliqueSize(g)
+	if lower >= bestK {
+		return Coloring{Colors: best, K: bestK, Optimal: true, Nodes: 0}
+	}
+
+	st := &search{
+		adj:      adj,
+		color:    make([]int, n),
+		satCount: make([]int, n),
+		satMask:  make([]map[int]int, n),
+		best:     best,
+		bestK:    bestK,
+		lower:    lower,
+		maxNodes: maxNodes,
+	}
+	for v := range st.satMask {
+		st.satMask[v] = make(map[int]int)
+	}
+	st.branch(0, 0)
+	return Coloring{Colors: st.best, K: st.bestK, Optimal: st.nodes < st.maxNodes, Nodes: st.nodes}
+}
+
+type search struct {
+	adj      [][]int
+	color    []int
+	satCount []int         // saturation degree of uncolored vertices
+	satMask  []map[int]int // vertex -> color -> count among colored neighbors
+	best     []int
+	bestK    int
+	lower    int
+	nodes    int64
+	maxNodes int64
+}
+
+// branch colors vertices one at a time, always choosing the uncolored
+// vertex of maximum saturation (ties: maximum degree, then lowest index).
+// colored counts assigned vertices; usedK is the number of colors in use.
+func (st *search) branch(colored, usedK int) {
+	if st.nodes >= st.maxNodes || st.bestK == st.lower {
+		return
+	}
+	st.nodes++
+	n := len(st.color)
+	if colored == n {
+		if usedK < st.bestK {
+			st.bestK = usedK
+			copy(st.best, st.color)
+		}
+		return
+	}
+	// Select DSATUR vertex.
+	v := -1
+	for u := 0; u < n; u++ {
+		if st.color[u] != 0 {
+			continue
+		}
+		if v < 0 || st.satCount[u] > st.satCount[v] ||
+			(st.satCount[u] == st.satCount[v] && len(st.adj[u]) > len(st.adj[v])) {
+			v = u
+		}
+	}
+	limit := usedK + 1
+	if limit > st.bestK-1 {
+		limit = st.bestK - 1 // using bestK or more colors cannot improve
+	}
+	for c := 1; c <= limit; c++ {
+		if st.satMask[v][c] > 0 {
+			continue
+		}
+		st.assign(v, c)
+		nk := usedK
+		if c > usedK {
+			nk = c
+		}
+		st.branch(colored+1, nk)
+		st.unassign(v, c)
+		if st.nodes >= st.maxNodes || st.bestK == st.lower {
+			return
+		}
+	}
+}
+
+func (st *search) assign(v, c int) {
+	st.color[v] = c
+	for _, u := range st.adj[v] {
+		if st.color[u] == 0 {
+			if st.satMask[u][c] == 0 {
+				st.satCount[u]++
+			}
+			st.satMask[u][c]++
+		}
+	}
+}
+
+func (st *search) unassign(v, c int) {
+	st.color[v] = 0
+	for _, u := range st.adj[v] {
+		if st.color[u] == 0 {
+			st.satMask[u][c]--
+			if st.satMask[u][c] == 0 {
+				st.satCount[u]--
+			}
+		}
+	}
+}
+
+// dsaturGreedy produces the DSATUR greedy coloring used as the incumbent.
+func dsaturGreedy(g *graph.Graph, adj [][]int) []int {
+	n := g.N()
+	color := make([]int, n)
+	sat := make([]map[int]bool, n)
+	for v := range sat {
+		sat[v] = make(map[int]bool)
+	}
+	for step := 0; step < n; step++ {
+		v := -1
+		for u := 0; u < n; u++ {
+			if color[u] != 0 {
+				continue
+			}
+			if v < 0 || len(sat[u]) > len(sat[v]) ||
+				(len(sat[u]) == len(sat[v]) && len(adj[u]) > len(adj[v])) {
+				v = u
+			}
+		}
+		c := 1
+		for sat[v][c] {
+			c++
+		}
+		color[v] = c
+		for _, u := range adj[v] {
+			if color[u] == 0 {
+				sat[u][c] = true
+			}
+		}
+	}
+	return color
+}
+
+// MinSlots computes the optimal FDLSP schedule of g: the minimum distance-2
+// edge coloring of the bi-directed graph, via exact coloring of the
+// conflict graph. Intended for the small instances of Table 1.
+func MinSlots(g *graph.Graph, opts Options) (coloring.Assignment, Coloring) {
+	cg, arcs := coloring.ConflictGraph(g)
+	col := MinVertexColoring(cg, opts)
+	as := coloring.NewAssignment(g)
+	for i, a := range arcs {
+		as.Set(a, col.Colors[i])
+	}
+	return as, col
+}

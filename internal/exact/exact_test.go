@@ -1,0 +1,160 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+)
+
+func TestMinVertexColoringKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty1", graph.New(1), 1},
+		{"path5", graph.Path(5), 2},
+		{"cycle6", graph.Cycle(6), 2},
+		{"cycle7", graph.Cycle(7), 3},
+		{"k4", graph.Complete(4), 4},
+		{"k6", graph.Complete(6), 6},
+		{"k33", graph.CompleteBipartite(3, 3), 2},
+		{"star9", graph.Star(9), 2},
+		{"petersen-ish", graph.GNM(10, 15, rng), 0}, // checked for validity only
+	}
+	for _, tc := range cases {
+		col := MinVertexColoring(tc.g, Options{})
+		if !col.Optimal {
+			t.Errorf("%s: not proved optimal", tc.name)
+		}
+		if tc.want > 0 && col.K != tc.want {
+			t.Errorf("%s: got %d colors, want %d", tc.name, col.K, tc.want)
+		}
+		for v := 0; v < tc.g.N(); v++ {
+			for _, u := range tc.g.Neighbors(v) {
+				if col.Colors[v] == col.Colors[u] {
+					t.Fatalf("%s: adjacent %d,%d share color %d", tc.name, v, u, col.Colors[v])
+				}
+			}
+		}
+	}
+}
+
+// bruteChromatic is an independent reference: try k = 1,2,... by exhaustive
+// assignment.
+func bruteChromatic(g *graph.Graph) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	for k := 1; ; k++ {
+		colors := make([]int, n)
+		var try func(v int) bool
+		try = func(v int) bool {
+			if v == n {
+				return true
+			}
+			for c := 1; c <= k; c++ {
+				ok := true
+				for _, u := range g.Neighbors(v) {
+					if u < v && colors[u] == c {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					colors[v] = c
+					if try(v + 1) {
+						return true
+					}
+				}
+			}
+			colors[v] = 0
+			return false
+		}
+		if try(0) {
+			return k
+		}
+	}
+}
+
+func TestMinVertexColoringAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		maxM := n * (n - 1) / 2
+		g := graph.GNM(n, rng.Intn(maxM+1), rng)
+		col := MinVertexColoring(g, Options{})
+		want := bruteChromatic(g)
+		if col.K != want {
+			t.Fatalf("trial %d (%v): got %d colors, brute force %d", trial, g, col.K, want)
+		}
+	}
+}
+
+func TestMinSlotsTable1Values(t *testing.T) {
+	// Table 1 of the paper: optimal slot counts from the ILP. One
+	// documented deviation: the paper reports 15 for K4,4, but under its own
+	// Definition 2 any two same-direction arcs of K_{a,b} conflict (the head
+	// of one is always adjacent to the tail of the other across the parts),
+	// so a slot holds at most one arc per direction and K_{a,b} needs
+	// exactly a·b slots: K4,4 = 16 (see EXPERIMENTS.md).
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"K2,2", graph.CompleteBipartite(2, 2), 4},
+		{"K3,3", graph.CompleteBipartite(3, 3), 9},
+		{"K4,4", graph.CompleteBipartite(4, 4), 16},
+		{"K4", graph.Complete(4), 12},
+		{"K5", graph.Complete(5), 20},
+	}
+	for _, tc := range cases {
+		as, col := MinSlots(tc.g, Options{})
+		if !col.Optimal {
+			t.Errorf("%s: not proved optimal (nodes=%d)", tc.name, col.Nodes)
+			continue
+		}
+		if col.K != tc.want {
+			t.Errorf("%s: got %d slots, paper's ILP says %d", tc.name, col.K, tc.want)
+		}
+		if viols := coloring.Verify(tc.g, as); len(viols) != 0 {
+			t.Errorf("%s: invalid schedule: %v", tc.name, viols[0])
+		}
+	}
+}
+
+func TestMinSlotsCycles(t *testing.T) {
+	// The paper's Section 3 Note (quoting [8]) claims 4 slots for even and
+	// 6 for odd cycles, but that is inconsistent with its own Definition 2:
+	// e.g. in C6 any feasible slot holds at most 2 of the 12 arcs (a third
+	// arc always shares an endpoint or puts a transmitter next to a
+	// receiver), forcing 6 slots. These are the proved Definition-2 optima
+	// (see EXPERIMENTS.md).
+	want := map[int]int{4: 4, 5: 5, 6: 6, 7: 5, 8: 4, 9: 5, 10: 5}
+	for n := 4; n <= 10; n++ {
+		_, col := MinSlots(graph.Cycle(n), Options{})
+		if !col.Optimal {
+			t.Errorf("C%d: not proved optimal", n)
+			continue
+		}
+		if col.K != want[n] {
+			t.Errorf("C%d: got %d slots, want %d", n, col.K, want[n])
+		}
+	}
+}
+
+func TestMinSlotsCompleteGraphsFormula(t *testing.T) {
+	// K_n needs Δ²+Δ slots (every arc in its own slot).
+	for _, n := range []int{3, 4, 5} {
+		_, col := MinSlots(graph.Complete(n), Options{})
+		want := (n-1)*(n-1) + (n - 1)
+		if col.K != want {
+			t.Errorf("K%d: got %d slots, want Δ²+Δ=%d", n, col.K, want)
+		}
+	}
+}

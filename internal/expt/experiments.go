@@ -1,0 +1,228 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"fdlsp/internal/bounds"
+	"fdlsp/internal/core"
+	"fdlsp/internal/dmgc"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/mis"
+)
+
+// Point aggregates one x-axis position of a slot/rounds figure: a fixed
+// workload configuration measured over repeated random instances.
+type Point struct {
+	Label string
+	Nodes int
+
+	Edges  Sample // per-instance edge counts
+	AvgDeg Sample
+
+	// Slots per algorithm.
+	DistMIS Sample
+	DFS     Sample
+	DMGC    Sample
+
+	// Theoretical bounds (Theorem 1 lower, 2Δ² upper).
+	Lower Sample
+	Upper Sample
+
+	// Communication cost of DistMIS (Figures 13–15) and DFS, plus the
+	// D-MGC baseline's measured-phase-1 + estimated-phase-2 rounds.
+	DistMISRounds Sample
+	DistMISMsgs   Sample
+	DFSRounds     Sample
+	DFSMsgs       Sample
+	DMGCRounds    Sample
+}
+
+// UDGConfig is the workload of Figures 8–10 and 13: random unit disk graphs
+// in a Side×Side plan with the given transmission Radius.
+type UDGConfig struct {
+	Side       float64
+	Radius     float64
+	NodeCounts []int
+	Trials     int
+	Seed       int64
+	// Drawer selects the MIS strategy for DistMIS (nil = Luby).
+	Drawer mis.Drawer
+}
+
+// RunUDG executes the UDG campaign: for every node count, Trials random
+// placements, each scheduled by DistMIS (GBG variant), DFS and D-MGC.
+func RunUDG(cfg UDGConfig) ([]*Point, error) {
+	var points []*Point
+	for _, n := range cfg.NodeCounts {
+		pt := &Point{Nodes: n}
+		err := runTrials(cfg.Trials, func(trial int) (trialResult, error) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(n)*1_000_003 + int64(trial)))
+			g, _ := geom.RandomUDG(n, cfg.Side, cfg.Radius, rng)
+			return runAll(g, core.Options{Seed: rng.Int63(), Drawer: cfg.Drawer, Variant: core.GBG})
+		}, pt)
+		if err != nil {
+			return nil, err
+		}
+		pt.Label = fmt.Sprintf("%d,%.1f", n, pt.AvgDeg.Mean())
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// GeneralConfig is the workload of Figures 11–12 and 14–15: uniform random
+// graphs with a fixed node count and a sweep of edge counts.
+type GeneralConfig struct {
+	Nodes      int
+	EdgeCounts []int
+	Trials     int
+	Seed       int64
+	Drawer     mis.Drawer
+}
+
+// RunGeneral executes the general-graph campaign with the paper's Section 6
+// DistMIS variant (distance-2 secondary MIS, outgoing arcs only).
+func RunGeneral(cfg GeneralConfig) ([]*Point, error) {
+	var points []*Point
+	for _, m := range cfg.EdgeCounts {
+		pt := &Point{Nodes: cfg.Nodes}
+		err := runTrials(cfg.Trials, func(trial int) (trialResult, error) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(m)*7_368_787 + int64(trial)))
+			g := graph.ConnectedGNM(cfg.Nodes, m, rng)
+			return runAll(g, core.Options{Seed: rng.Int63(), Drawer: cfg.Drawer, Variant: core.General})
+		}, pt)
+		if err != nil {
+			return nil, err
+		}
+		pt.Label = fmt.Sprintf("%d,%.1f", m, pt.AvgDeg.Mean())
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// trialResult is the measurement of a single instance.
+type trialResult struct {
+	edges  int
+	avgDeg float64
+	lower  int
+	upper  int
+
+	distMISSlots  int
+	distMISRounds int64
+	distMISMsgs   int64
+	dfsSlots      int
+	dfsRounds     int64
+	dfsMsgs       int64
+	dmgcSlots     int
+	dmgcRounds    int64
+}
+
+// runAll schedules g with all three algorithms.
+func runAll(g *graph.Graph, opts core.Options) (trialResult, error) {
+	tr := trialResult{
+		edges:  g.M(),
+		avgDeg: g.AvgDegree(),
+		lower:  bounds.LowerBound(g),
+		upper:  bounds.UpperBound(g),
+	}
+	dm, err := core.DistMIS(g, opts)
+	if err != nil {
+		return tr, fmt.Errorf("distMIS: %w", err)
+	}
+	tr.distMISSlots = dm.Slots
+	tr.distMISRounds = dm.Stats.Rounds
+	tr.distMISMsgs = dm.Stats.Messages
+
+	df, err := core.DFS(g, core.DFSOptions{Seed: opts.Seed + 1})
+	if err != nil {
+		return tr, fmt.Errorf("dfs: %w", err)
+	}
+	tr.dfsSlots = df.Slots
+	tr.dfsRounds = df.Stats.Rounds
+	tr.dfsMsgs = df.Stats.Messages
+
+	dg, err := dmgc.Schedule(g)
+	if err != nil {
+		return tr, fmt.Errorf("d-mgc: %w", err)
+	}
+	tr.dmgcSlots = dg.Slots
+	tr.dmgcRounds, err = dmgc.MeasuredRounds(g, opts.Seed+2)
+	if err != nil {
+		return tr, fmt.Errorf("d-mgc rounds: %w", err)
+	}
+	return tr, nil
+}
+
+// runTrials executes trials in parallel on a bounded worker pool and folds
+// the results into pt deterministically (by trial index).
+func runTrials(trials int, one func(trial int) (trialResult, error), pt *Point) error {
+	if trials <= 0 {
+		trials = 1
+	}
+	results := make([]trialResult, trials)
+	errs := make([]error, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				results[t], errs[t] = one(t)
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	for t, err := range errs {
+		if err != nil {
+			return fmt.Errorf("trial %d: %w", t, err)
+		}
+	}
+	for _, tr := range results {
+		pt.Edges.Add(float64(tr.edges))
+		pt.AvgDeg.Add(tr.avgDeg)
+		pt.Lower.Add(float64(tr.lower))
+		pt.Upper.Add(float64(tr.upper))
+		pt.DistMIS.Add(float64(tr.distMISSlots))
+		pt.DistMISRounds.Add(float64(tr.distMISRounds))
+		pt.DistMISMsgs.Add(float64(tr.distMISMsgs))
+		pt.DFS.Add(float64(tr.dfsSlots))
+		pt.DFSRounds.Add(float64(tr.dfsRounds))
+		pt.DFSMsgs.Add(float64(tr.dfsMsgs))
+		pt.DMGC.Add(float64(tr.dmgcSlots))
+		pt.DMGCRounds.Add(float64(tr.dmgcRounds))
+	}
+	return nil
+}
+
+// SlotsTable renders a campaign as the slot-count table behind Figures
+// 8–12 (averages over the trials; bounds included as in the paper's plots).
+func SlotsTable(points []*Point) *Table {
+	t := NewTable("nodes,avg-deg", "edges", "lower", "distMIS", "DFS", "D-MGC", "upper")
+	for _, p := range points {
+		t.AddRow(p.Label, p.Edges.Mean(), p.Lower.Mean(), p.DistMIS.Mean(), p.DFS.Mean(), p.DMGC.Mean(), p.Upper.Mean())
+	}
+	return t
+}
+
+// RoundsTable renders the communication-round series of Figures 13–15,
+// with the D-MGC baseline's rounds (measured phase 1 plus the paper's own
+// per-color DFS estimate for phase 2) for context.
+func RoundsTable(points []*Point) *Table {
+	t := NewTable("edges", "nodes", "distMIS rounds", "distMIS msgs", "DFS rounds", "D-MGC rounds")
+	for _, p := range points {
+		t.AddRow(int(p.Edges.Mean()+0.5), p.Nodes, p.DistMISRounds.Mean(), p.DistMISMsgs.Mean(), p.DFSRounds.Mean(), p.DMGCRounds.Mean())
+	}
+	return t
+}

@@ -1,0 +1,129 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUDGSmall(t *testing.T) {
+	pts, err := RunUDG(UDGConfig{Side: 8, Radius: 1.0, NodeCounts: []int{30, 50}, Trials: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("want 2 points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.DistMIS.N() != 3 || p.DFS.N() != 3 || p.DMGC.N() != 3 {
+			t.Errorf("point %s: wrong sample sizes", p.Label)
+		}
+		if p.DistMIS.Mean() < p.Lower.Mean()-1e-9 {
+			t.Errorf("point %s: distMIS mean %v below lower bound mean %v", p.Label, p.DistMIS.Mean(), p.Lower.Mean())
+		}
+		if p.DistMIS.Mean() > p.Upper.Mean()+1e-9 {
+			t.Errorf("point %s: distMIS mean %v above upper bound mean %v", p.Label, p.DistMIS.Mean(), p.Upper.Mean())
+		}
+	}
+	out := SlotsTable(pts).String()
+	if !strings.Contains(out, "distMIS") {
+		t.Errorf("table rendering missing header: %s", out)
+	}
+}
+
+func TestRunGeneralSmall(t *testing.T) {
+	pts, err := RunGeneral(GeneralConfig{Nodes: 40, EdgeCounts: []int{60, 120}, Trials: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("want 2 points, got %d", len(pts))
+	}
+	if pts[0].Edges.Mean() != 60 || pts[1].Edges.Mean() != 120 {
+		t.Errorf("edge counts not honored: %v %v", pts[0].Edges.Mean(), pts[1].Edges.Mean())
+	}
+	out := RoundsTable(pts).String()
+	if !strings.Contains(out, "distMIS rounds") {
+		t.Errorf("rounds table missing header: %s", out)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"K2,2": 4, "K3,3": 9, "K4,4": 16, "K4": 12, "K5": 20}
+	for _, r := range rows {
+		if !r.Proved {
+			t.Errorf("%s: optimum not proved", r.Name)
+		}
+		if r.Optimal != want[r.Name] {
+			t.Errorf("%s: optimum %d, want %d", r.Name, r.Optimal, want[r.Name])
+		}
+		if r.ILPChecked && !r.ILPAgrees {
+			t.Errorf("%s: ILP disagrees with exact solver", r.Name)
+		}
+		if r.DFS < r.Optimal {
+			t.Errorf("%s: DFS %d below optimum %d", r.Name, r.DFS, r.Optimal)
+		}
+	}
+	_ = Table1Table(rows).String()
+}
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	if got := s.Std(); got < 2.13 || got > 2.15 {
+		t.Errorf("std = %v, want ~2.138", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Median(); got != 4.5 {
+		t.Errorf("median = %v, want 4.5", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x,y", 1.5)
+	csv := tb.CSV()
+	if !strings.Contains(csv, "\"x,y\"") || !strings.Contains(csv, "1.50") {
+		t.Errorf("bad csv: %q", csv)
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	out := AsciiPlot("demo", []string{"a", "b", "c"}, []Series{
+		{Label: "s1", Values: []float64{1, 10, 100}},
+		{Label: "s2", Values: []float64{5, 50, 500}},
+	}, 10)
+	for _, want := range []string{"demo", "log10", "legend", "*=s1", "o=s2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(AsciiPlot("empty", nil, nil, 5), "no positive data") {
+		t.Error("empty plot handling")
+	}
+}
+
+func TestSlotsAndRoundsPlots(t *testing.T) {
+	pts, err := RunUDG(UDGConfig{Side: 8, Radius: 1.0, NodeCounts: []int{20, 40}, Trials: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := SlotsPlot("fig", pts)
+	if !strings.Contains(sp, "distMIS") || !strings.Contains(sp, "D-MGC") {
+		t.Errorf("slots plot incomplete:\n%s", sp)
+	}
+	rp := RoundsPlot("rounds", pts)
+	if !strings.Contains(rp, "distMIS rounds") {
+		t.Errorf("rounds plot incomplete:\n%s", rp)
+	}
+}

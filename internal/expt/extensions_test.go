@@ -1,0 +1,69 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRandomizedComparisonSmall(t *testing.T) {
+	tb, err := RandomizedComparison([]int{20}, 6, 1.2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "rand slots") {
+		t.Errorf("missing column: %s", out)
+	}
+}
+
+func TestBroadcastComparisonSmall(t *testing.T) {
+	tb, err := BroadcastComparison([]int{20}, 6, 1.2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "broadcast link-service") {
+		t.Error("missing column")
+	}
+}
+
+func TestChurnExperimentSmall(t *testing.T) {
+	tb, err := ChurnExperiment(25, 6, 1.2, 40, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "repair arcs/event") {
+		t.Error("missing column")
+	}
+}
+
+func TestQUDGComparisonSmall(t *testing.T) {
+	tb, err := QUDGComparison(25, 6, 1.2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "udg") || !strings.Contains(out, "qudg") {
+		t.Errorf("missing models: %s", out)
+	}
+}
+
+func TestEnergyComparisonSmall(t *testing.T) {
+	tb, err := EnergyComparison([]int{20}, 6, 1.2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "bcast energy/service") {
+		t.Error("missing column")
+	}
+}
+
+func TestDMGCPhaseOneAblationSmall(t *testing.T) {
+	tb, err := DMGCPhaseOneAblation(20, 45, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "misra-gries") || !strings.Contains(out, "vizing+locks") {
+		t.Errorf("missing variants: %s", out)
+	}
+}

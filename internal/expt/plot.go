@@ -1,0 +1,135 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plottable line: a label and y-values aligned with the
+// shared x-labels of a Plot.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// AsciiPlot renders series as a log-scale ASCII chart, mirroring the
+// paper's figures (which plot slot counts on a log10 axis). Each series
+// gets a marker; points landing on the same cell show the later series'
+// marker. Intended for terminal inspection of the campaign results.
+func AsciiPlot(title string, xLabels []string, series []Series, height int) string {
+	if height <= 0 {
+		height = 16
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > 0 {
+				minV = math.Min(minV, v)
+				maxV = math.Max(maxV, v)
+			}
+		}
+	}
+	if math.IsInf(minV, 1) {
+		return title + "\n(no positive data)\n"
+	}
+	logMin, logMax := math.Log10(minV), math.Log10(maxV)
+	if logMax-logMin < 1e-9 {
+		logMax = logMin + 1
+	}
+	row := func(v float64) int {
+		if v <= 0 {
+			return -1
+		}
+		frac := (math.Log10(v) - logMin) / (logMax - logMin)
+		r := int(frac * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	cols := len(xLabels)
+	colW := 8
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols*colW))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for xi, v := range s.Values {
+			if xi >= cols {
+				break
+			}
+			r := row(v)
+			if r < 0 {
+				continue
+			}
+			grid[height-1-r][xi*colW+colW/2] = mk
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (log10 scale)\n", title)
+	for i, line := range grid {
+		// Left axis: value at this row.
+		frac := float64(height-1-i) / float64(height-1)
+		val := math.Pow(10, logMin+frac*(logMax-logMin))
+		fmt.Fprintf(&b, "%8.1f |%s\n", val, string(line))
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", cols*colW) + "\n")
+	b.WriteString(strings.Repeat(" ", 10))
+	for _, xl := range xLabels {
+		fmt.Fprintf(&b, "%-*s", colW, truncate(xl, colW-1))
+	}
+	b.WriteString("\n  legend: ")
+	for si, s := range series {
+		fmt.Fprintf(&b, "%c=%s  ", markers[si%len(markers)], s.Label)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// SlotsPlot renders a campaign as the paper's slot figures: one line per
+// algorithm plus the bounds, log scale.
+func SlotsPlot(title string, points []*Point) string {
+	xs := make([]string, len(points))
+	lower := Series{Label: "lower"}
+	upper := Series{Label: "upper"}
+	dm := Series{Label: "distMIS"}
+	df := Series{Label: "DFS"}
+	dg := Series{Label: "D-MGC"}
+	for i, p := range points {
+		xs[i] = p.Label
+		lower.Values = append(lower.Values, p.Lower.Mean())
+		upper.Values = append(upper.Values, p.Upper.Mean())
+		dm.Values = append(dm.Values, p.DistMIS.Mean())
+		df.Values = append(df.Values, p.DFS.Mean())
+		dg.Values = append(dg.Values, p.DMGC.Mean())
+	}
+	return AsciiPlot(title, xs, []Series{lower, dm, df, dg, upper}, 16)
+}
+
+// RoundsPlot renders a campaign's DistMIS round series.
+func RoundsPlot(title string, points []*Point) string {
+	xs := make([]string, len(points))
+	dm := Series{Label: "distMIS rounds"}
+	df := Series{Label: "DFS rounds"}
+	for i, p := range points {
+		xs[i] = fmt.Sprintf("%d", int(p.Edges.Mean()+0.5))
+		dm.Values = append(dm.Values, p.DistMISRounds.Mean())
+		df.Values = append(df.Values, p.DFSRounds.Mean())
+	}
+	return AsciiPlot(title, xs, []Series{dm, df}, 12)
+}

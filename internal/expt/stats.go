@@ -1,0 +1,166 @@
+// Package expt is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section 8): workload generators for the
+// UDG and general-graph campaigns, runners that execute DistMIS, DFS and
+// D-MGC over repeated random instances, aggregation, and plain-text table /
+// series rendering used by cmd/experiments and the repository benchmarks.
+package expt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates observations and reports summary statistics.
+type Sample struct {
+	xs []float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 points).
+func (s *Sample) Std() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.xs)-1))
+}
+
+// Min returns the smallest observation (+Inf for an empty sample).
+func (s *Sample) Min() float64 {
+	m := math.Inf(1)
+	for _, x := range s.xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (-Inf for an empty sample).
+func (s *Sample) Max() float64 {
+	m := math.Inf(-1)
+	for _, x := range s.xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median (0 for an empty sample).
+func (s *Sample) Median() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), s.xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Table renders aligned plain-text tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	all := append([][]string{t.header}, t.rows...)
+	for _, r := range all {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package expt
+
+import (
+	"fmt"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/core"
+	"fdlsp/internal/exact"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/ilp"
+)
+
+// Table1Row is one line of the paper's Table 1: the optimal slot count
+// (paper: ILP) versus the DFS algorithm on complete bipartite and complete
+// graphs.
+type Table1Row struct {
+	Name       string
+	Optimal    int  // exact optimum under the paper's Definition 2 / ILP
+	Proved     bool // optimality proved by the exact solver
+	ILPAgrees  bool // cross-checked with our ILP solver (small cases only)
+	ILPChecked bool
+	DFS        int
+	PaperILP   int // value printed in the paper, for comparison
+	PaperDFS   int
+}
+
+// Table1Instances returns the paper's Table 1 graphs.
+func Table1Instances() []struct {
+	Name string
+	G    *graph.Graph
+} {
+	return []struct {
+		Name string
+		G    *graph.Graph
+	}{
+		{"K2,2", graph.CompleteBipartite(2, 2)},
+		{"K3,3", graph.CompleteBipartite(3, 3)},
+		{"K4,4", graph.CompleteBipartite(4, 4)},
+		{"K4", graph.Complete(4)},
+		{"K5", graph.Complete(5)},
+	}
+}
+
+// RunTable1 reproduces Table 1. The optimum column is computed by the exact
+// conflict-graph solver; on the smallest instances the paper's ILP
+// (package ilp, solved by our own simplex branch-and-bound) is additionally
+// run and must agree. Paper-reported values are attached for EXPERIMENTS.md
+// (note the documented K4,4 discrepancy: the paper prints 15, but 16 is a
+// proved lower bound under its own Definition 2).
+func RunTable1(seed int64) ([]Table1Row, error) {
+	paperILP := map[string]int{"K2,2": 4, "K3,3": 9, "K4,4": 15, "K4": 12, "K5": 20}
+	paperDFS := map[string]int{"K2,2": 4, "K3,3": 10, "K4,4": 18, "K4": 12, "K5": 20}
+	// The ILP cross-check uses the clique-strengthened formulation
+	// (ilp.SolveFDLSPStrong) where it stays fast; K3,3 takes ~40s and
+	// K4,4 exceeds the budget, so those rely on the exact solver alone
+	// (package ilp's tests cover additional tiny instances).
+	ilpCheck := map[string]bool{"K2,2": true, "K4": true, "K5": true}
+
+	var rows []Table1Row
+	for _, inst := range Table1Instances() {
+		as, col := exact.MinSlots(inst.G, exact.Options{})
+		if viols := coloring.Verify(inst.G, as); len(viols) != 0 {
+			return nil, fmt.Errorf("table1 %s: exact schedule invalid: %v", inst.Name, viols[0])
+		}
+		row := Table1Row{
+			Name:     inst.Name,
+			Optimal:  col.K,
+			Proved:   col.Optimal,
+			PaperILP: paperILP[inst.Name],
+			PaperDFS: paperDFS[inst.Name],
+		}
+		if ilpCheck[inst.Name] {
+			res, err := ilp.SolveFDLSPStrong(inst.G, 0, ilp.SolveOptions{MaxNodes: 500_000})
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s: ILP: %w", inst.Name, err)
+			}
+			row.ILPChecked = true
+			row.ILPAgrees = res.Optimal && res.Slots == col.K
+		}
+		df, err := core.DFS(inst.G, core.DFSOptions{Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: DFS: %w", inst.Name, err)
+		}
+		row.DFS = df.Slots
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1Table renders the rows.
+func Table1Table(rows []Table1Row) *Table {
+	t := NewTable("graph", "optimal", "proved", "ILP-xcheck", "DFS", "paper-ILP", "paper-DFS")
+	for _, r := range rows {
+		check := "-"
+		if r.ILPChecked {
+			if r.ILPAgrees {
+				check = "agree"
+			} else {
+				check = "DISAGREE"
+			}
+		}
+		t.AddRow(r.Name, r.Optimal, r.Proved, check, r.DFS, r.PaperILP, r.PaperDFS)
+	}
+	return t
+}

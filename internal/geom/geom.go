@@ -1,0 +1,95 @@
+// Package geom places sensors in the Euclidean plane and builds unit disk
+// graphs (UDG), the network model used by the paper's evaluation: nodes are
+// random points in a square plan and two sensors share a link when their
+// distance is at most the transmission radius.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fdlsp/internal/graph"
+)
+
+// Point is a sensor position in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// RandomPoints places n points uniformly at random in the side×side square.
+func RandomPoints(n int, side float64, rng *rand.Rand) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	return pts
+}
+
+// UnitDisk builds the unit disk graph of pts with the given transmission
+// radius: nodes i and j are adjacent iff dist(pts[i], pts[j]) <= radius.
+// Neighbor search uses a uniform grid of radius-sized cells, so construction
+// is near-linear for the uniform placements used in the experiments.
+func UnitDisk(pts []Point, radius float64) *graph.Graph {
+	if radius <= 0 {
+		panic(fmt.Sprintf("geom: non-positive radius %v", radius))
+	}
+	g := graph.New(len(pts))
+	// Bucket points into cells of side = radius; candidates for node i live
+	// in its own cell and the 8 surrounding cells.
+	type cell struct{ cx, cy int }
+	buckets := make(map[cell][]int, len(pts))
+	key := func(p Point) cell {
+		return cell{cx: int(math.Floor(p.X / radius)), cy: int(math.Floor(p.Y / radius))}
+	}
+	for i, p := range pts {
+		k := key(p)
+		buckets[k] = append(buckets[k], i)
+	}
+	for i, p := range pts {
+		k := key(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range buckets[cell{k.cx + dx, k.cy + dy}] {
+					if j > i && p.Dist(pts[j]) <= radius {
+						g.AddEdge(i, j)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// RandomUDG generates n random points in a side×side plan and returns their
+// unit disk graph with the given radius, plus the placement. This is exactly
+// the workload generator of the paper's Figures 8–10 and 13 (side 15/17/20,
+// radius 0.5).
+func RandomUDG(n int, side, radius float64, rng *rand.Rand) (*graph.Graph, []Point) {
+	pts := RandomPoints(n, side, rng)
+	return UnitDisk(pts, radius), pts
+}
+
+// RandomConnectedUDG repeatedly samples placements until the UDG is
+// connected, up to maxTries attempts (it returns the last attempt and false
+// if none was connected). Sparse plans in the paper's settings are usually
+// disconnected; the slot-count experiments accept that (each component is
+// scheduled independently by DistMIS), but the DFS algorithm needs a
+// connected instance, for which the harness uses this helper.
+func RandomConnectedUDG(n int, side, radius float64, rng *rand.Rand, maxTries int) (*graph.Graph, []Point, bool) {
+	var g *graph.Graph
+	var pts []Point
+	for try := 0; try < maxTries; try++ {
+		g, pts = RandomUDG(n, side, radius, rng)
+		if g.Connected() {
+			return g, pts, true
+		}
+	}
+	return g, pts, false
+}

@@ -1,0 +1,107 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	a, b := Point{X: 0, Y: 0}, Point{X: 3, Y: 4}
+	if d := a.Dist(b); d != 5 {
+		t.Errorf("dist = %v", d)
+	}
+	if d := a.Dist(a); d != 0 {
+		t.Errorf("self dist = %v", d)
+	}
+}
+
+func TestRandomPointsInsidePlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := RandomPoints(200, 15, rng)
+	if len(pts) != 200 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 15 || p.Y < 0 || p.Y >= 15 {
+			t.Fatalf("point %v outside 15x15 plan", p)
+		}
+	}
+}
+
+// TestUnitDiskMatchesBruteForce checks the grid-bucket construction against
+// the O(n²) definition.
+func TestUnitDiskMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(120)
+		side := 1 + rng.Float64()*20
+		radius := 0.1 + rng.Float64()*3
+		pts := RandomPoints(n, side, rng)
+		g := UnitDisk(pts, radius)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				want := pts[i].Dist(pts[j]) <= radius
+				if g.HasEdge(i, j) != want {
+					t.Fatalf("trial %d: edge(%d,%d)=%v want %v (d=%v r=%v)",
+						trial, i, j, g.HasEdge(i, j), want, pts[i].Dist(pts[j]), radius)
+				}
+			}
+		}
+	}
+}
+
+func TestUnitDiskBadRadiusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	UnitDisk([]Point{{0, 0}}, 0)
+}
+
+func TestRandomUDGDeterministicPerSeed(t *testing.T) {
+	g1, pts1 := RandomUDG(50, 10, 1, rand.New(rand.NewSource(7)))
+	g2, pts2 := RandomUDG(50, 10, 1, rand.New(rand.NewSource(7)))
+	if !g1.Equal(g2) {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := range pts1 {
+		if pts1[i] != pts2[i] {
+			t.Fatal("same seed, different placements")
+		}
+	}
+}
+
+func TestRandomConnectedUDG(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, _, ok := RandomConnectedUDG(30, 5, 2.5, rng, 100)
+	if !ok {
+		t.Fatal("dense configuration should connect within 100 tries")
+	}
+	if !g.Connected() {
+		t.Fatal("reported connected but is not")
+	}
+}
+
+// Property: UDG edges are invariant under translation of the whole point
+// set.
+func TestUnitDiskTranslationInvariant(t *testing.T) {
+	f := func(seed int64, dx, dy float64) bool {
+		if math.IsNaN(dx) || math.IsInf(dx, 0) || math.IsNaN(dy) || math.IsInf(dy, 0) {
+			return true
+		}
+		dx, dy = math.Mod(dx, 1e6), math.Mod(dy, 1e6)
+		rng := rand.New(rand.NewSource(seed))
+		pts := RandomPoints(40, 10, rng)
+		moved := make([]Point, len(pts))
+		for i, p := range pts {
+			moved[i] = Point{X: p.X + dx, Y: p.Y + dy}
+		}
+		return UnitDisk(pts, 1.3).Equal(UnitDisk(moved, 1.3))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package geom
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fdlsp/internal/graph"
+)
+
+// QuasiUnitDisk builds a quasi unit disk graph (QUDG), the more realistic
+// connectivity model the paper's network-model discussion cites alongside
+// UDG as a member of the growth bounded graph family: nodes within distance
+// alpha·radius are always connected, nodes beyond radius never are, and
+// pairs in the gray zone in between are connected independently with
+// probability p (modeling fading, obstacles and battery-dependent range).
+// alpha must be in (0,1]; alpha=1 degenerates to the plain unit disk graph.
+func QuasiUnitDisk(pts []Point, radius, alpha, p float64, rng *rand.Rand) *graph.Graph {
+	if radius <= 0 {
+		panic(fmt.Sprintf("geom: non-positive radius %v", radius))
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("geom: QUDG alpha %v outside (0,1]", alpha))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("geom: QUDG probability %v outside [0,1]", p))
+	}
+	inner := alpha * radius
+	g := graph.New(len(pts))
+	// The outer radius bounds all candidate pairs; reuse the grid-bucket
+	// sweep at that radius and classify each candidate.
+	full := UnitDisk(pts, radius)
+	for _, e := range full.Edges() {
+		d := pts[e.U].Dist(pts[e.V])
+		switch {
+		case d <= inner:
+			g.AddEdge(e.U, e.V)
+		case rng.Float64() < p:
+			g.AddEdge(e.U, e.V)
+		}
+	}
+	return g
+}
+
+// RandomQUDG places n random points in a side×side plan and returns their
+// quasi unit disk graph.
+func RandomQUDG(n int, side, radius, alpha, p float64, rng *rand.Rand) (*graph.Graph, []Point) {
+	pts := RandomPoints(n, side, rng)
+	return QuasiUnitDisk(pts, radius, alpha, p, rng), pts
+}
+
+// GrowthBound empirically measures the growth-bounding function of g: for
+// each r in 1..maxR it returns the largest number of pairwise independent
+// nodes found (greedily) inside any ball N^r(v). Growth bounded graphs —
+// the paper's network model — have f(r) polynomial in r and independent of
+// n; unit disk graphs satisfy f(r) = O(r²). The greedy packing gives a
+// lower bound on the true independence number of each ball, which is the
+// standard empirical check.
+func GrowthBound(g *graph.Graph, maxR int) []int {
+	f := make([]int, maxR+1)
+	for v := 0; v < g.N(); v++ {
+		ball := append(g.Within(v, maxR), v)
+		for r := 1; r <= maxR; r++ {
+			var members []int
+			if r == maxR {
+				members = ball
+			} else {
+				members = append(g.Within(v, r), v)
+			}
+			// Greedy independent packing inside the ball.
+			count := 0
+			taken := make(map[int]bool)
+			blocked := make(map[int]bool)
+			for _, u := range members {
+				if blocked[u] {
+					continue
+				}
+				taken[u] = true
+				blocked[u] = true
+				count++
+				for _, w := range g.Neighbors(u) {
+					blocked[w] = true
+				}
+			}
+			if count > f[r] {
+				f[r] = count
+			}
+		}
+	}
+	return f
+}

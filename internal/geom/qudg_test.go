@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdlsp/internal/graph"
+)
+
+func TestQuasiUnitDiskBoundsUDG(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := RandomPoints(150, 12, rng)
+	inner := UnitDisk(pts, 0.8) // alpha·radius with alpha=0.5, radius=1.6
+	outer := UnitDisk(pts, 1.6)
+	q := QuasiUnitDisk(pts, 1.6, 0.5, 0.5, rng)
+	// Every certain edge present; nothing beyond the outer radius.
+	for _, e := range inner.Edges() {
+		if !q.HasEdge(e.U, e.V) {
+			t.Fatalf("certain edge %v missing", e)
+		}
+	}
+	for _, e := range q.Edges() {
+		if !outer.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v beyond the outer radius", e)
+		}
+	}
+	if q.M() < inner.M() || q.M() > outer.M() {
+		t.Errorf("QUDG edge count %d outside [%d,%d]", q.M(), inner.M(), outer.M())
+	}
+}
+
+func TestQuasiUnitDiskExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := RandomPoints(80, 10, rng)
+	// p=1 gives the full UDG regardless of alpha.
+	q := QuasiUnitDisk(pts, 1.5, 0.3, 1, rng)
+	if !q.Equal(UnitDisk(pts, 1.5)) {
+		t.Error("p=1 should equal the UDG at the outer radius")
+	}
+	// p=0 gives the inner UDG.
+	q = QuasiUnitDisk(pts, 1.5, 0.3, 0, rng)
+	if !q.Equal(UnitDisk(pts, 0.3*1.5)) {
+		t.Error("p=0 should equal the UDG at the inner radius")
+	}
+	// alpha=1: gray zone empty.
+	q = QuasiUnitDisk(pts, 1.5, 1, 0, rng)
+	if !q.Equal(UnitDisk(pts, 1.5)) {
+		t.Error("alpha=1 should equal the UDG")
+	}
+}
+
+func TestQuasiUnitDiskParamPanics(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 1}}
+	rng := rand.New(rand.NewSource(3))
+	for _, fn := range []func(){
+		func() { QuasiUnitDisk(pts, 0, 0.5, 0.5, rng) },
+		func() { QuasiUnitDisk(pts, 1, 0, 0.5, rng) },
+		func() { QuasiUnitDisk(pts, 1, 1.5, 0.5, rng) },
+		func() { QuasiUnitDisk(pts, 1, 0.5, -0.1, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGrowthBoundUDGPolynomial(t *testing.T) {
+	// Unit disk graphs are growth bounded with f(r) = O(r²): at most
+	// (2r+1)² unit-disk-packed independent nodes fit in a radius-r ball.
+	rng := rand.New(rand.NewSource(4))
+	_, pts := RandomUDG(300, 10, 1.0, rng)
+	g := UnitDisk(pts, 1.0)
+	f := GrowthBound(g, 3)
+	for r := 1; r <= 3; r++ {
+		budget := (2*r + 1) * (2*r + 1) * 4 // generous O(r²) envelope
+		if f[r] > budget {
+			t.Errorf("f(%d) = %d exceeds the O(r²) envelope %d — not growth bounded?", r, f[r], budget)
+		}
+		if r > 1 && f[r] < f[r-1] {
+			t.Errorf("growth function not monotone: f(%d)=%d < f(%d)=%d", r, f[r], r-1, f[r-1])
+		}
+	}
+}
+
+func TestGrowthBoundDistinguishesStars(t *testing.T) {
+	// A star is NOT growth bounded as n grows: f(1) = n-1.
+	star := graph.Star(60)
+	f := GrowthBound(star, 1)
+	if f[1] != 59 {
+		t.Errorf("star f(1) = %d, want 59", f[1])
+	}
+	udg, _ := RandomUDG(200, 10, 1.0, rand.New(rand.NewSource(5)))
+	fu := GrowthBound(udg, 1)
+	if fu[1] >= 30 {
+		t.Errorf("UDG f(1) = %d looks unbounded", fu[1])
+	}
+}
+
+func TestRandomQUDG(t *testing.T) {
+	g, pts := RandomQUDG(100, 10, 1.2, 0.6, 0.5, rand.New(rand.NewSource(6)))
+	if g.N() != 100 || len(pts) != 100 {
+		t.Fatal("sizes wrong")
+	}
+}

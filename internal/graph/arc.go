@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arc is a directed communication link: From transmits, To receives. The
+// bi-directed graph of the paper contains both (u,v) and (v,u) for every
+// undirected edge {u,v}.
+type Arc struct {
+	From, To int
+}
+
+// Reverse returns the opposite arc.
+func (a Arc) Reverse() Arc { return Arc{From: a.To, To: a.From} }
+
+// Edge returns the underlying undirected edge in canonical form.
+func (a Arc) Edge() Edge { return NormEdge(a.From, a.To) }
+
+// String renders the arc as "u->v".
+func (a Arc) String() string { return fmt.Sprintf("%d->%d", a.From, a.To) }
+
+// Arcs returns both arcs of every undirected edge, sorted lexicographically
+// by (From, To). For a graph with m edges the result has 2m arcs.
+func (g *Graph) Arcs() []Arc {
+	out := make([]Arc, 0, 2*g.m)
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			out = append(out, Arc{From: u, To: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// IncidentArcs returns all arcs with v as an endpoint (both directions of
+// every incident edge), sorted.
+func (g *Graph) IncidentArcs(v int) []Arc {
+	nbrs := g.Neighbors(v)
+	out := make([]Arc, 0, 2*len(nbrs))
+	for _, u := range nbrs {
+		out = append(out, Arc{From: v, To: u}, Arc{From: u, To: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// OutArcs returns the arcs leaving v, sorted by head.
+func (g *Graph) OutArcs(v int) []Arc {
+	nbrs := g.Neighbors(v)
+	out := make([]Arc, 0, len(nbrs))
+	for _, u := range nbrs {
+		out = append(out, Arc{From: v, To: u})
+	}
+	return out
+}
+
+// InArcs returns the arcs entering v, sorted by tail.
+func (g *Graph) InArcs(v int) []Arc {
+	nbrs := g.Neighbors(v)
+	out := make([]Arc, 0, len(nbrs))
+	for _, u := range nbrs {
+		out = append(out, Arc{From: u, To: v})
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Cycle returns C_n (n >= 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	g := New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+// Path returns P_n, the path with n nodes and n-1 edges.
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Star returns K_{1,n-1} with node 0 at the center.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// Grid returns the rows×cols grid graph (4-neighborhood).
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes built from a
+// random Prüfer-like attachment: node i (i >= 1) attaches to a uniform node
+// in 0..i-1. The result is always connected and acyclic.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	return g
+}
+
+// GNM returns a uniform random simple graph with n nodes and m edges, the
+// "general graphs" workload of the paper's Figures 11–15. It panics if m
+// exceeds n(n-1)/2.
+func GNM(n, m int, rng *rand.Rand) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("graph: GNM m=%d exceeds max %d for n=%d", m, maxM, n))
+	}
+	g := New(n)
+	// Dense case: sample by shuffling all pairs; sparse case: rejection.
+	if m > maxM/2 {
+		pairs := make([]Edge, 0, maxM)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				pairs = append(pairs, Edge{U: u, V: v})
+			}
+		}
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		for _, e := range pairs[:m] {
+			g.AddEdge(e.U, e.V)
+		}
+		return g
+	}
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// ConnectedGNM returns a connected uniform-ish random graph with n nodes and
+// m >= n-1 edges: a random spanning tree plus m-(n-1) random extra edges.
+// This matches the evaluation's need for connected instances (the DFS
+// algorithm schedules one connected network).
+func ConnectedGNM(n, m int, rng *rand.Rand) *Graph {
+	if m < n-1 {
+		panic(fmt.Sprintf("graph: ConnectedGNM needs m >= n-1 (n=%d m=%d)", n, m))
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("graph: ConnectedGNM m=%d exceeds max %d for n=%d", m, maxM, n))
+	}
+	g := RandomTree(n, rng)
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}

@@ -1,0 +1,330 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndBasicOps(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("fresh graph: n=%d m=%d", g.N(), g.M())
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1) // duplicate: no-op
+	if g.M() != 2 {
+		t.Errorf("M=%d after 2 distinct edges", g.M())
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(0, 1) {
+		t.Error("edge should be symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if got := g.Degree(1); got != 2 {
+		t.Errorf("deg(1)=%d", got)
+	}
+	g.RemoveEdge(0, 1)
+	if g.M() != 1 || g.HasEdge(0, 1) {
+		t.Error("remove failed")
+	}
+	g.RemoveEdge(0, 1) // idempotent
+	if g.M() != 1 {
+		t.Error("double remove changed count")
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-loop")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range node")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(6)
+	for _, v := range []int{5, 2, 4, 1} {
+		g.AddEdge(3, v)
+	}
+	if got := g.Neighbors(3); !reflect.DeepEqual(got, []int{1, 2, 4, 5}) {
+		t.Errorf("neighbors = %v", got)
+	}
+}
+
+func TestEdgesSortedAndComplete(t *testing.T) {
+	g := Complete(4)
+	es := g.Edges()
+	if len(es) != 6 {
+		t.Fatalf("K4 has %d edges", len(es))
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1].U > es[i].U || (es[i-1].U == es[i].U && es[i-1].V >= es[i].V) {
+			t.Errorf("edges not sorted: %v before %v", es[i-1], es[i])
+		}
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := Star(5)
+	if g.MaxDegree() != 4 {
+		t.Errorf("star Δ=%d", g.MaxDegree())
+	}
+	if got := g.AvgDegree(); got != 1.6 {
+		t.Errorf("star avg degree %v", got)
+	}
+	if New(0).MaxDegree() != 0 || New(0).AvgDegree() != 0 {
+		t.Error("empty graph stats")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := GNM(20, 50, rng)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.AddEdge(0, findNonNeighbor(c, 0))
+	if g.Equal(c) {
+		t.Fatal("equal after modification")
+	}
+}
+
+func findNonNeighbor(g *Graph, v int) int {
+	for u := 0; u < g.N(); u++ {
+		if u != v && !g.HasEdge(v, u) {
+			return u
+		}
+	}
+	panic("no non-neighbor")
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 4)
+	if got := g.CommonNeighbors(0, 1); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("common = %v", got)
+	}
+}
+
+func TestBFSAndDist(t *testing.T) {
+	g := Path(5)
+	d := g.BFSFrom(0)
+	if !reflect.DeepEqual(d, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("bfs = %v", d)
+	}
+	if g.Dist(0, 4) != 4 || g.Dist(2, 2) != 0 {
+		t.Error("dist wrong")
+	}
+	g2 := New(3)
+	g2.AddEdge(0, 1)
+	if g2.Dist(0, 2) != -1 {
+		t.Error("disconnected dist should be -1")
+	}
+	if d := g2.BFSFrom(0); d[2] != -1 {
+		t.Error("bfs unreachable should be -1")
+	}
+}
+
+func TestWithin(t *testing.T) {
+	g := Path(7)
+	if got := g.Within(3, 2); !reflect.DeepEqual(got, []int{1, 2, 4, 5}) {
+		t.Errorf("within(3,2) = %v", got)
+	}
+	if got := g.Within(0, 0); got != nil {
+		t.Errorf("within r=0 = %v", got)
+	}
+	if got := g.Within(0, 100); len(got) != 6 {
+		t.Errorf("within huge radius = %v", got)
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	if g.Connected() {
+		t.Error("should be disconnected")
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if !reflect.DeepEqual(comps[1], []int{2, 3, 4}) {
+		t.Errorf("comps[1] = %v", comps[1])
+	}
+	if !Path(4).Connected() || !New(0).Connected() || !New(1).Connected() {
+		t.Error("connectivity of simple graphs")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(6)
+	sub, ids := g.InducedSubgraph([]int{0, 1, 2, 4})
+	if sub.N() != 4 {
+		t.Fatalf("sub n=%d", sub.N())
+	}
+	if !reflect.DeepEqual(ids, []int{0, 1, 2, 4}) {
+		t.Errorf("ids = %v", ids)
+	}
+	// Edges kept: {0,1},{1,2}; edge {2,3},{3,4},{4,5},{5,0} dropped.
+	if sub.M() != 2 || !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) {
+		t.Errorf("induced edges wrong: m=%d", sub.M())
+	}
+}
+
+func TestArcs(t *testing.T) {
+	g := Path(3)
+	arcs := g.Arcs()
+	if len(arcs) != 4 {
+		t.Fatalf("bi-directed P3 has %d arcs", len(arcs))
+	}
+	if arcs[0] != (Arc{From: 0, To: 1}) {
+		t.Errorf("arcs[0] = %v", arcs[0])
+	}
+	a := Arc{From: 2, To: 5}
+	if a.Reverse() != (Arc{From: 5, To: 2}) {
+		t.Error("reverse")
+	}
+	if a.Edge() != (Edge{U: 2, V: 5}) || a.Reverse().Edge() != a.Edge() {
+		t.Error("arc edge canonicalization")
+	}
+	if got := g.IncidentArcs(1); len(got) != 4 {
+		t.Errorf("incident arcs of middle node = %v", got)
+	}
+	if got := g.OutArcs(1); len(got) != 2 || got[0].From != 1 {
+		t.Errorf("out arcs = %v", got)
+	}
+	if got := g.InArcs(1); len(got) != 2 || got[0].To != 1 {
+		t.Errorf("in arcs = %v", got)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := Complete(6); g.M() != 15 || g.MaxDegree() != 5 {
+		t.Error("K6 wrong")
+	}
+	if g := CompleteBipartite(3, 4); g.M() != 12 || g.MaxDegree() != 4 {
+		t.Error("K3,4 wrong")
+	}
+	if g := Cycle(7); g.M() != 7 || g.MaxDegree() != 2 || !g.Connected() {
+		t.Error("C7 wrong")
+	}
+	if g := Path(1); g.M() != 0 {
+		t.Error("P1 wrong")
+	}
+	if g := Grid(3, 4); g.M() != 17 || g.N() != 12 {
+		t.Errorf("grid wrong m=%d", Grid(3, 4).M())
+	}
+	if g := Star(7); g.M() != 6 || g.Degree(0) != 6 {
+		t.Error("star wrong")
+	}
+}
+
+func TestRandomTreeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20; i++ {
+		n := 1 + rng.Intn(50)
+		g := RandomTree(n, rng)
+		if g.M() != n-1 || !g.Connected() {
+			t.Fatalf("tree n=%d m=%d connected=%v", n, g.M(), g.Connected())
+		}
+	}
+}
+
+func TestGNMProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30; i++ {
+		n := 2 + rng.Intn(30)
+		maxM := n * (n - 1) / 2
+		m := rng.Intn(maxM + 1)
+		g := GNM(n, m, rng)
+		if g.M() != m || g.N() != n {
+			t.Fatalf("GNM(%d,%d) produced n=%d m=%d", n, m, g.N(), g.M())
+		}
+	}
+	// Dense path exercises the shuffle branch.
+	g := GNM(10, 44, rng)
+	if g.M() != 44 {
+		t.Errorf("dense GNM m=%d", g.M())
+	}
+}
+
+func TestConnectedGNM(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 20; i++ {
+		n := 2 + rng.Intn(40)
+		maxExtra := n*(n-1)/2 - (n - 1)
+		m := n - 1 + rng.Intn(maxExtra+1)
+		g := ConnectedGNM(n, m, rng)
+		if !g.Connected() || g.M() != m {
+			t.Fatalf("ConnectedGNM(%d,%d): connected=%v m=%d", n, m, g.Connected(), g.M())
+		}
+	}
+}
+
+func TestGNMTooManyEdgesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GNM(3, 4, rand.New(rand.NewSource(1)))
+}
+
+// Property: Dist is symmetric and satisfies the triangle inequality on
+// random connected graphs.
+func TestDistMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(15)
+		maxExtra := n*(n-1)/2 - (n - 1)
+		g := ConnectedGNM(n, n-1+r.Intn(maxExtra+1), r)
+		a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		dab, dba := g.Dist(a, b), g.Dist(b, a)
+		if dab != dba {
+			return false
+		}
+		return g.Dist(a, c) <= dab+g.Dist(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the degree sum equals 2m.
+func TestHandshakeLemma(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		g := GNM(n, r.Intn(n*(n-1)/2+1), r)
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

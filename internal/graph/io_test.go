@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		n := 1 + rng.Intn(40)
+		g := GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(h) {
+			t.Fatalf("round trip mismatch for %v", g)
+		}
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# a comment\n3 2\n\n0 1\n# another\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("parsed n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("2 5\n0 1\n")); err == nil {
+		t.Error("edge-count mismatch should fail")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("2 1\nx y\n")); err == nil {
+		t.Error("garbage line should fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := GNM(15, 30, rng)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Graph
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(&h) {
+		t.Fatal("JSON round trip mismatch")
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 15; i++ {
+		n := 1 + rng.Intn(30)
+		g := GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		var buf bytes.Buffer
+		if err := g.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadDIMACS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(h) {
+			t.Fatalf("DIMACS round trip mismatch for %v", g)
+		}
+	}
+}
+
+func TestReadDIMACSQuirks(t *testing.T) {
+	in := "c a comment\np edge 4 3\ne 1 2\ne 1 2\ne 2 2\ne 3 4\n"
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate tolerated, self-loop dropped.
+	if g.N() != 4 || g.M() != 2 {
+		t.Errorf("parsed n=%d m=%d", g.N(), g.M())
+	}
+	for _, bad := range []string{
+		"e 1 2\n",
+		"p edge 2 1\ne 1 5\n",
+		"p matrix 2 1\n",
+		"p edge 2 1\nwhat\n",
+		"",
+	} {
+		if _, err := ReadDIMACS(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted bad input %q", bad)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package graph
+
+import "sort"
+
+// BFSFrom returns, for every node, the hop distance from src, with -1 for
+// unreachable nodes.
+func (g *Graph) BFSFrom(src int) []int {
+	g.check(src)
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := range g.adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Within returns all nodes at hop distance 1..r from v (excluding v itself),
+// in increasing order. This is the N^r(v) neighborhood of the paper minus v.
+func (g *Graph) Within(v, r int) []int {
+	g.check(v)
+	if r <= 0 {
+		return nil
+	}
+	seen := map[int]int{v: 0}
+	frontier := []int{v}
+	for d := 1; d <= r && len(frontier) > 0; d++ {
+		var next []int
+		for _, x := range frontier {
+			for u := range g.adj[x] {
+				if _, ok := seen[u]; !ok {
+					seen[u] = d
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]int, 0, len(seen)-1)
+	for u := range seen {
+		if u != v {
+			out = append(out, u)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Dist returns the hop distance between u and v, or -1 if disconnected.
+// It runs a BFS bounded by the target, so repeated bounded queries are cheap
+// on the sparse sensor-network graphs used here.
+func (g *Graph) Dist(u, v int) int {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return 0
+	}
+	dist := map[int]int{u: 0}
+	frontier := []int{u}
+	for len(frontier) > 0 {
+		var next []int
+		for _, x := range frontier {
+			for w := range g.adj[x] {
+				if _, ok := dist[w]; !ok {
+					dist[w] = dist[x] + 1
+					if w == v {
+						return dist[w]
+					}
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return -1
+}
+
+// Connected reports whether the graph is connected. The empty graph and the
+// single-node graph are connected.
+func (g *Graph) Connected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	dist := g.BFSFrom(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components, each sorted, ordered by their
+// smallest node.
+func (g *Graph) Components() [][]int {
+	var comps [][]int
+	seen := make([]bool, g.N())
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for u := range g.adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// InducedSubgraph returns the subgraph induced by keep (nodes renumbered
+// 0..len(keep)-1 following keep's sorted order) along with the mapping from
+// new IDs back to original IDs.
+func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
+	ids := append([]int(nil), keep...)
+	sort.Ints(ids)
+	index := make(map[int]int, len(ids))
+	for i, v := range ids {
+		g.check(v)
+		index[v] = i
+	}
+	sub := New(len(ids))
+	for i, v := range ids {
+		for u := range g.adj[v] {
+			if j, ok := index[u]; ok && i < j {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	return sub, ids
+}

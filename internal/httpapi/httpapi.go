@@ -1,0 +1,326 @@
+// Package httpapi exposes the scheduling library as a small JSON-over-HTTP
+// service (cmd/fdlspd): clients POST a network and get back a verified TDMA
+// schedule, bounds, or an SVG rendering. Handlers are plain http.Handlers,
+// fully exercised by httptest in the package tests.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"fdlsp/internal/bounds"
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/core"
+	"fdlsp/internal/dmgc"
+	"fdlsp/internal/energy"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sched"
+	"fdlsp/internal/traffic"
+	"fdlsp/internal/viz"
+)
+
+// NewMux returns the service's routing table.
+func NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", handleHealth)
+	mux.HandleFunc("POST /v1/schedule", handleSchedule)
+	mux.HandleFunc("POST /v1/verify", handleVerify)
+	mux.HandleFunc("POST /v1/bounds", handleBounds)
+	mux.HandleFunc("POST /v1/render", handleRender)
+	mux.HandleFunc("POST /v1/traffic", handleTraffic)
+	mux.HandleFunc("POST /v1/energy", handleEnergy)
+	return mux
+}
+
+// scheduleRequest is the input of POST /v1/schedule.
+type scheduleRequest struct {
+	// Graph is the network (same JSON shape cmd/graphgen emits).
+	Graph *graph.Graph `json:"graph"`
+	// Algorithm: distmis | distmis-general | dfs | dmgc | randomized |
+	// greedy (default distmis).
+	Algorithm string `json:"algorithm"`
+	Seed      int64  `json:"seed"`
+}
+
+// scheduleResponse is the output of POST /v1/schedule.
+type scheduleResponse struct {
+	Algorithm string          `json:"algorithm"`
+	Slots     int             `json:"slots"`
+	Rounds    int64           `json:"rounds"`
+	Messages  int64           `json:"messages"`
+	Valid     bool            `json:"valid"`
+	Lower     int             `json:"lower_bound"`
+	Upper     int             `json:"upper_bound"`
+	Schedule  *sched.Schedule `json:"schedule"`
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req scheduleRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Graph == nil {
+		httpError(w, http.StatusBadRequest, "missing graph")
+		return
+	}
+	g := req.Graph
+
+	var as coloring.Assignment
+	var rounds, messages int64
+	algo := req.Algorithm
+	if algo == "" {
+		algo = "distmis"
+	}
+	switch algo {
+	case "distmis", "distmis-general":
+		variant := core.GBG
+		if algo == "distmis-general" {
+			variant = core.General
+		}
+		res, err := core.DistMIS(g, core.Options{Seed: req.Seed, Variant: variant})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		as, rounds, messages = res.Assignment, res.Stats.Rounds, res.Stats.Messages
+	case "dfs":
+		res, err := core.DFS(g, core.DFSOptions{Seed: req.Seed})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		as, rounds, messages = res.Assignment, res.Stats.Rounds, res.Stats.Messages
+	case "dmgc":
+		res, err := dmgc.Schedule(g)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		as = res.Assignment
+	case "randomized":
+		res, err := core.Randomized(g, req.Seed)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		as, rounds, messages = res.Assignment, res.Stats.Rounds, res.Stats.Messages
+	case "greedy":
+		as = coloring.Greedy(g, nil)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown algorithm %q", algo))
+		return
+	}
+
+	frame, err := sched.Build(g, as)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, scheduleResponse{
+		Algorithm: algo,
+		Slots:     frame.FrameLength,
+		Rounds:    rounds,
+		Messages:  messages,
+		Valid:     coloring.Valid(g, as),
+		Lower:     bounds.LowerBound(g),
+		Upper:     bounds.UpperBound(g),
+		Schedule:  frame,
+	})
+}
+
+// verifyRequest is the input of POST /v1/verify.
+type verifyRequest struct {
+	Graph    *graph.Graph    `json:"graph"`
+	Schedule *sched.Schedule `json:"schedule"`
+}
+
+type verifyResponse struct {
+	Valid      bool     `json:"valid"`
+	Violations []string `json:"violations,omitempty"`
+	Collisions []string `json:"radio_collisions,omitempty"`
+}
+
+func handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req verifyRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Graph == nil || req.Schedule == nil {
+		httpError(w, http.StatusBadRequest, "missing graph or schedule")
+		return
+	}
+	as := req.Schedule.Assignment()
+	var resp verifyResponse
+	for _, v := range coloring.Verify(req.Graph, as) {
+		resp.Violations = append(resp.Violations, v.String())
+	}
+	for _, c := range req.Schedule.RadioCheck(req.Graph) {
+		resp.Collisions = append(resp.Collisions, c.String())
+	}
+	resp.Valid = len(resp.Violations) == 0 && len(resp.Collisions) == 0
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type boundsRequest struct {
+	Graph *graph.Graph `json:"graph"`
+}
+
+type boundsResponse struct {
+	Lower     int     `json:"lower_bound"`
+	Upper     int     `json:"upper_bound"`
+	MaxDegree int     `json:"max_degree"`
+	AvgDegree float64 `json:"avg_degree"`
+	Nodes     int     `json:"nodes"`
+	Edges     int     `json:"edges"`
+}
+
+func handleBounds(w http.ResponseWriter, r *http.Request) {
+	var req boundsRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Graph == nil {
+		httpError(w, http.StatusBadRequest, "missing graph")
+		return
+	}
+	g := req.Graph
+	writeJSON(w, http.StatusOK, boundsResponse{
+		Lower:     bounds.LowerBound(g),
+		Upper:     bounds.UpperBound(g),
+		MaxDegree: g.MaxDegree(),
+		AvgDegree: g.AvgDegree(),
+		Nodes:     g.N(),
+		Edges:     g.M(),
+	})
+}
+
+// renderRequest is the input of POST /v1/render.
+type renderRequest struct {
+	Graph  *graph.Graph `json:"graph"`
+	Points []geom.Point `json:"points"`
+	// Schedule is optional; when present Slot selects the slot to render
+	// (0 renders the plain network).
+	Schedule *sched.Schedule `json:"schedule,omitempty"`
+	Slot     int             `json:"slot,omitempty"`
+}
+
+func handleRender(w http.ResponseWriter, r *http.Request) {
+	var req renderRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Graph == nil || len(req.Points) != req.Graph.N() {
+		httpError(w, http.StatusBadRequest, "graph and matching points required")
+		return
+	}
+	var svg string
+	if req.Schedule != nil && req.Slot > 0 {
+		var err error
+		svg, err = viz.Slot(req.Graph, req.Points, req.Schedule, req.Slot, viz.Style{})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else {
+		svg = viz.Network(req.Graph, req.Points, viz.Style{})
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(svg))
+}
+
+// trafficRequest is the input of POST /v1/traffic.
+type trafficRequest struct {
+	Graph    *graph.Graph    `json:"graph"`
+	Schedule *sched.Schedule `json:"schedule"`
+	// Flows to inject; when empty, a convergecast to Sink is simulated.
+	Flows     []traffic.Flow `json:"flows,omitempty"`
+	Sink      int            `json:"sink"`
+	MaxFrames int            `json:"max_frames"`
+}
+
+func handleTraffic(w http.ResponseWriter, r *http.Request) {
+	var req trafficRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Graph == nil || req.Schedule == nil {
+		httpError(w, http.StatusBadRequest, "missing graph or schedule")
+		return
+	}
+	flows := req.Flows
+	if len(flows) == 0 {
+		if req.Sink < 0 || req.Sink >= req.Graph.N() {
+			httpError(w, http.StatusBadRequest, "sink out of range")
+			return
+		}
+		flows = traffic.ConvergecastFlows(req.Graph, req.Sink)
+	}
+	res, err := traffic.Simulate(req.Graph, req.Schedule, flows, req.MaxFrames)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// energyRequest is the input of POST /v1/energy.
+type energyRequest struct {
+	Graph    *graph.Graph    `json:"graph"`
+	Schedule *sched.Schedule `json:"schedule"`
+	// Model overrides the default radio cost model when non-zero.
+	Model *energy.Model `json:"model,omitempty"`
+}
+
+type energyResponse struct {
+	Mean  float64   `json:"mean_per_frame"`
+	Max   float64   `json:"max_per_frame"`
+	Total float64   `json:"total_per_frame"`
+	Nodes []float64 `json:"per_node"`
+}
+
+func handleEnergy(w http.ResponseWriter, r *http.Request) {
+	var req energyRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Graph == nil || req.Schedule == nil {
+		httpError(w, http.StatusBadRequest, "missing graph or schedule")
+		return
+	}
+	model := energy.DefaultModel()
+	if req.Model != nil {
+		model = *req.Model
+	}
+	rep := energy.LinkSchedule(req.Graph, req.Schedule, model)
+	writeJSON(w, http.StatusOK, energyResponse{
+		Mean: rep.Mean, Max: rep.Max, Total: rep.Total, Nodes: rep.PerNode,
+	})
+}
+
+// readJSON decodes the body into dst, reporting 400 on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,240 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+)
+
+func server(tb testing.TB) *httptest.Server {
+	tb.Helper()
+	s := httptest.NewServer(NewMux())
+	tb.Cleanup(s.Close)
+	return s
+}
+
+func post(tb testing.TB, url string, body any) *http.Response {
+	tb.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHealth(t *testing.T) {
+	s := server(t)
+	resp, err := http.Get(s.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestScheduleEndpointAllAlgorithms(t *testing.T) {
+	s := server(t)
+	g := graph.ConnectedGNM(25, 60, rand.New(rand.NewSource(1)))
+	for _, algo := range []string{"distmis", "distmis-general", "dfs", "dmgc", "randomized", "greedy", ""} {
+		resp := post(t, s.URL+"/v1/schedule", scheduleRequest{Graph: g, Algorithm: algo, Seed: 4})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%q: status %d", algo, resp.StatusCode)
+		}
+		var out scheduleResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !out.Valid {
+			t.Fatalf("%q: service returned an invalid schedule", algo)
+		}
+		if out.Slots < out.Lower || out.Slots > out.Upper {
+			t.Fatalf("%q: %d slots outside [%d,%d]", algo, out.Slots, out.Lower, out.Upper)
+		}
+		if out.Schedule == nil || out.Schedule.FrameLength != out.Slots {
+			t.Fatalf("%q: schedule body inconsistent", algo)
+		}
+	}
+}
+
+func TestScheduleEndpointErrors(t *testing.T) {
+	s := server(t)
+	if resp := post(t, s.URL+"/v1/schedule", map[string]any{"algorithm": "dfs"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing graph: status %d", resp.StatusCode)
+	}
+	g := graph.Path(3)
+	if resp := post(t, s.URL+"/v1/schedule", scheduleRequest{Graph: g, Algorithm: "nope"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown algorithm: status %d", resp.StatusCode)
+	}
+	resp, err := http.Post(s.URL+"/v1/schedule", "application/json", strings.NewReader("{garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d", resp.StatusCode)
+	}
+	// Wrong method.
+	getResp, err := http.Get(s.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on schedule: status %d", getResp.StatusCode)
+	}
+}
+
+func TestVerifyEndpointRoundTrip(t *testing.T) {
+	s := server(t)
+	g := graph.Path(4)
+	// Get a schedule from the service, feed it back to verify.
+	resp := post(t, s.URL+"/v1/schedule", scheduleRequest{Graph: g, Algorithm: "greedy"})
+	var sched scheduleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sched); err != nil {
+		t.Fatal(err)
+	}
+	vresp := post(t, s.URL+"/v1/verify", verifyRequest{Graph: g, Schedule: sched.Schedule})
+	var out verifyResponse
+	if err := json.NewDecoder(vresp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Valid || len(out.Violations) != 0 || len(out.Collisions) != 0 {
+		t.Fatalf("round-tripped schedule should verify: %+v", out)
+	}
+}
+
+func TestVerifyEndpointCatchesBadSchedule(t *testing.T) {
+	s := server(t)
+	g := graph.Path(4)
+	// Hand-build a clashing schedule: (0,1) and (2,3) in the same slot.
+	bad := map[string]any{
+		"graph": g,
+		"schedule": map[string]any{
+			"frame_length": 4,
+			"slots": [][]map[string]int{
+				{{"from": 0, "to": 1}, {"from": 2, "to": 3}},
+				{{"from": 1, "to": 0}},
+				{{"from": 1, "to": 2}, {"from": 3, "to": 2}},
+				{{"from": 2, "to": 1}},
+			},
+		},
+	}
+	resp := post(t, s.URL+"/v1/verify", bad)
+	var out verifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Valid {
+		t.Fatal("hidden terminal not reported")
+	}
+}
+
+func TestBoundsEndpoint(t *testing.T) {
+	s := server(t)
+	resp := post(t, s.URL+"/v1/bounds", boundsRequest{Graph: graph.Complete(5)})
+	var out boundsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Lower != 20 || out.Upper != 32 || out.MaxDegree != 4 {
+		t.Fatalf("K5 bounds: %+v", out)
+	}
+}
+
+func TestRenderEndpoint(t *testing.T) {
+	s := server(t)
+	rng := rand.New(rand.NewSource(2))
+	g, pts := geom.RandomUDG(20, 5, 1.5, rng)
+	resp := post(t, s.URL+"/v1/render", renderRequest{Graph: g, Points: pts})
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no SVG returned")
+	}
+	// Mismatched points.
+	bad := post(t, s.URL+"/v1/render", renderRequest{Graph: g, Points: pts[:3]})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched points: status %d", bad.StatusCode)
+	}
+}
+
+func TestTrafficEndpoint(t *testing.T) {
+	s := server(t)
+	g := graph.Path(6)
+	resp := post(t, s.URL+"/v1/schedule", scheduleRequest{Graph: g, Algorithm: "greedy"})
+	var sr scheduleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	tr := post(t, s.URL+"/v1/traffic", map[string]any{
+		"graph":    g,
+		"schedule": sr.Schedule,
+		"sink":     0,
+	})
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", tr.StatusCode)
+	}
+	var out struct {
+		Delivered int `json:"Delivered"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Delivered != g.N()-1 {
+		t.Fatalf("delivered %d", out.Delivered)
+	}
+	// Unreachable flow → 400.
+	g2 := graph.New(3)
+	g2.AddEdge(0, 1)
+	resp2 := post(t, s.URL+"/v1/schedule", scheduleRequest{Graph: g2, Algorithm: "greedy"})
+	var sr2 scheduleResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&sr2); err != nil {
+		t.Fatal(err)
+	}
+	bad := post(t, s.URL+"/v1/traffic", map[string]any{
+		"graph": g2, "schedule": sr2.Schedule, "sink": 2,
+	})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("unreachable sink: status %d", bad.StatusCode)
+	}
+}
+
+func TestEnergyEndpoint(t *testing.T) {
+	s := server(t)
+	g := graph.Star(6)
+	resp := post(t, s.URL+"/v1/schedule", scheduleRequest{Graph: g, Algorithm: "greedy"})
+	var sr scheduleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	er := post(t, s.URL+"/v1/energy", map[string]any{"graph": g, "schedule": sr.Schedule})
+	if er.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", er.StatusCode)
+	}
+	var out energyResponse
+	if err := json.NewDecoder(er.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total <= 0 || len(out.Nodes) != g.N() || out.Max < out.Mean {
+		t.Fatalf("bad energy response: %+v", out)
+	}
+}

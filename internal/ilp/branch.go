@@ -1,0 +1,208 @@
+package ilp
+
+import (
+	"math"
+)
+
+// SolveOptions bounds the branch-and-bound search.
+type SolveOptions struct {
+	// MaxNodes caps explored nodes (0 = 200 000).
+	MaxNodes int64
+	// Incumbent optionally seeds an upper bound (objective value of a known
+	// feasible solution); 0 means none. Strictly better solutions are sought.
+	Incumbent float64
+	// HasIncumbent must be set when Incumbent is meaningful.
+	HasIncumbent bool
+}
+
+// SolveResult reports the outcome of Solve.
+type SolveResult struct {
+	X       []float64 // best 0/1 assignment found (nil if none)
+	Value   float64
+	Optimal bool // proved optimal within the node budget
+	Nodes   int64
+}
+
+// Solve minimizes the 0/1 model by LP-relaxation branch-and-bound (dense
+// two-phase simplex, most-fractional branching, depth-first with the
+// LP-suggested value first). Objective coefficients are assumed integral,
+// enabling ceiling-based pruning.
+func Solve(m *Model, opts SolveOptions) SolveResult {
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200_000
+	}
+	bb := &bbState{
+		m:        m,
+		fixed:    make([]int8, m.NumVars()), // -1 unfixed, 0, 1
+		bestVal:  math.Inf(1),
+		maxNodes: maxNodes,
+	}
+	if opts.HasIncumbent {
+		bb.bestVal = opts.Incumbent
+	}
+	for i := range bb.fixed {
+		bb.fixed[i] = -1
+	}
+	bb.branch()
+	res := SolveResult{Value: bb.bestVal, Optimal: bb.nodes < bb.maxNodes, Nodes: bb.nodes}
+	if bb.bestX != nil {
+		res.X = bb.bestX
+	}
+	return res
+}
+
+type bbState struct {
+	m        *Model
+	fixed    []int8
+	bestX    []float64
+	bestVal  float64
+	nodes    int64
+	maxNodes int64
+}
+
+func (bb *bbState) branch() {
+	if bb.nodes >= bb.maxNodes {
+		return
+	}
+	bb.nodes++
+	x, val, status := bb.relaxation()
+	if status == lpInfeasible {
+		return
+	}
+	if status == lpUnbounded {
+		// Cannot happen for bounded 0/1 models; treat as no information and
+		// fall back to exhaustive branching on the first unfixed variable.
+		for i, f := range bb.fixed {
+			if f < 0 {
+				for _, v := range []int8{0, 1} {
+					bb.fixed[i] = v
+					bb.branch()
+					bb.fixed[i] = -1
+				}
+				return
+			}
+		}
+		return
+	}
+	// Integral-objective pruning: a child can only reach ceil(val).
+	if math.Ceil(val-1e-6) >= bb.bestVal-1e-6 {
+		return
+	}
+	// Find most fractional variable.
+	frac, fi := 0.0, -1
+	for i, f := range bb.fixed {
+		if f >= 0 {
+			continue
+		}
+		d := math.Abs(x[i] - math.Round(x[i]))
+		if d > frac {
+			frac, fi = d, i
+		}
+	}
+	if fi < 0 || frac < 1e-6 {
+		// Integral solution: round and validate.
+		xi := make([]float64, len(x))
+		for i := range x {
+			xi[i] = math.Round(x[i])
+		}
+		if bb.m.Feasible(xi) {
+			v := bb.m.Eval(xi)
+			if v < bb.bestVal-1e-6 {
+				bb.bestVal = v
+				bb.bestX = xi
+			}
+		}
+		return
+	}
+	// Branch, LP-suggested value first.
+	order := []int8{0, 1}
+	if x[fi] >= 0.5 {
+		order = []int8{1, 0}
+	}
+	for _, v := range order {
+		bb.fixed[fi] = v
+		bb.branch()
+		bb.fixed[fi] = -1
+		if bb.nodes >= bb.maxNodes {
+			return
+		}
+	}
+}
+
+// relaxation builds and solves the LP with the current fixings substituted
+// out. It returns the full-length solution vector (fixed entries included)
+// and the total objective value.
+func (bb *bbState) relaxation() ([]float64, float64, lpStatus) {
+	m := bb.m
+	n := m.NumVars()
+	// Map unfixed variables to LP columns.
+	col := make([]int, n)
+	free := 0
+	fixedObj := 0.0
+	for i := 0; i < n; i++ {
+		if bb.fixed[i] < 0 {
+			col[i] = free
+			free++
+		} else {
+			col[i] = -1
+			fixedObj += m.Obj[i] * float64(bb.fixed[i])
+		}
+	}
+	p := &lp{n: free, c: make([]float64, free)}
+	for i := 0; i < n; i++ {
+		if col[i] >= 0 {
+			p.c[col[i]] = m.Obj[i]
+		}
+	}
+	for _, con := range m.Cons {
+		a := make([]float64, free)
+		rhs := con.RHS
+		touched := false
+		for i, c := range con.Coeffs {
+			if col[i] >= 0 {
+				a[col[i]] += c
+				touched = true
+			} else {
+				rhs -= c * float64(bb.fixed[i])
+			}
+		}
+		if !touched {
+			// Fully fixed constraint: check it directly.
+			ok := true
+			switch con.Op {
+			case LE:
+				ok = 0 <= rhs+1e-9
+			case GE:
+				ok = 0 >= rhs-1e-9
+			case EQ:
+				ok = math.Abs(rhs) <= 1e-9
+			}
+			if !ok {
+				return nil, 0, lpInfeasible
+			}
+			continue
+		}
+		p.rows = append(p.rows, lpRow{a: a, op: con.Op, rhs: rhs})
+	}
+	// Binary upper bounds for free variables.
+	for j := 0; j < free; j++ {
+		a := make([]float64, free)
+		a[j] = 1
+		p.rows = append(p.rows, lpRow{a: a, op: LE, rhs: 1})
+	}
+
+	xf, val, status := p.solve()
+	if status != lpOptimal {
+		return nil, 0, status
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if col[i] >= 0 {
+			x[i] = xf[col[i]]
+		} else {
+			x[i] = float64(bb.fixed[i])
+		}
+	}
+	return x, val + fixedObj, lpOptimal
+}

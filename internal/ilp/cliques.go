@@ -1,0 +1,138 @@
+package ilp
+
+import (
+	"fmt"
+	"sort"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+)
+
+// BuildFDLSPStrong constructs the paper's ILP with clique-strengthened
+// constraints: instead of one pairwise row per conflicting arc pair and
+// color, arcs are covered by a greedy clique cover of the conflict graph
+// and each clique Q contributes Σ_{a∈Q} X_{a,j} ≤ C_j per color. Clique
+// rows dominate both the pairwise rows (2) and (4)–(6) and the linking
+// rows (1) inside the clique, so the model is equivalent on integers while
+// its LP relaxation is much tighter — e.g. a k-clique forces Σ C_j ≥ k at
+// the root instead of k/2. This is what lets the from-scratch solver prove
+// instances like K4 and K3,3 that defeat the literal formulation.
+func BuildFDLSPStrong(g *graph.Graph, maxColors int) (*Model, *FDLSPVars) {
+	m := NewModel()
+	vars := &FDLSPVars{X: make(map[graph.Arc][]int)}
+	arcs := g.Arcs()
+
+	for j := 1; j <= maxColors; j++ {
+		vars.C = append(vars.C, m.AddVar(colorName(j), 1))
+	}
+	for _, a := range arcs {
+		xs := make([]int, maxColors)
+		for j := 1; j <= maxColors; j++ {
+			xs[j-1] = m.AddVar(arcName(a, j), 0)
+		}
+		vars.X[a] = xs
+	}
+
+	// (3) exactly one color per arc.
+	for _, a := range arcs {
+		coeffs := make(map[int]float64, maxColors)
+		for j := 0; j < maxColors; j++ {
+			coeffs[vars.X[a][j]] = 1
+		}
+		m.AddConstraint("one", coeffs, EQ, 1)
+	}
+
+	// Clique cover of the conflict graph; every conflicting pair must lie
+	// in at least one emitted clique for the integer model to stay exact,
+	// so uncovered pairs get their own 2-cliques.
+	cliques := cliqueCover(g, arcs)
+	for _, q := range cliques {
+		for j := 0; j < maxColors; j++ {
+			coeffs := make(map[int]float64, len(q)+1)
+			for _, a := range q {
+				coeffs[vars.X[a][j]] = 1
+			}
+			coeffs[vars.C[j]] = -1
+			m.AddConstraint("clique", coeffs, LE, 0)
+		}
+	}
+	// Linking (1) for arcs not in any clique (isolated in the conflict
+	// graph), so C_j is still counted when they use it.
+	covered := make(map[graph.Arc]bool)
+	for _, q := range cliques {
+		for _, a := range q {
+			covered[a] = true
+		}
+	}
+	for _, a := range arcs {
+		if covered[a] {
+			continue
+		}
+		for j := 0; j < maxColors; j++ {
+			m.AddConstraint("link", map[int]float64{vars.X[a][j]: 1, vars.C[j]: -1}, LE, 0)
+		}
+	}
+	// Symmetry breaking.
+	for j := 0; j+1 < maxColors; j++ {
+		m.AddConstraint("sym", map[int]float64{vars.C[j]: 1, vars.C[j+1]: -1}, GE, 0)
+	}
+	return m, vars
+}
+
+// cliqueCover returns greedy maximal cliques of the conflict graph covering
+// every conflicting pair: pairs are processed in order and each uncovered
+// pair seeds a maximal clique grown greedily.
+func cliqueCover(g *graph.Graph, arcs []graph.Arc) [][]graph.Arc {
+	pairs := conflictPairs(g, arcs)
+	type key [2]graph.Arc
+	covered := make(map[key]bool, len(pairs))
+	mk := func(a, b graph.Arc) key {
+		if less(a, b) {
+			return key{a, b}
+		}
+		return key{b, a}
+	}
+	var cliques [][]graph.Arc
+	for _, pr := range pairs {
+		if covered[mk(pr[0], pr[1])] {
+			continue
+		}
+		clique := []graph.Arc{pr[0], pr[1]}
+		for _, c := range arcs {
+			if c == pr[0] || c == pr[1] {
+				continue
+			}
+			ok := true
+			for _, member := range clique {
+				if !coloring.Conflict(g, c, member) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, c)
+			}
+		}
+		sort.Slice(clique, func(i, j int) bool { return less(clique[i], clique[j]) })
+		for i := 0; i < len(clique); i++ {
+			for j := i + 1; j < len(clique); j++ {
+				covered[mk(clique[i], clique[j])] = true
+			}
+		}
+		cliques = append(cliques, clique)
+	}
+	return cliques
+}
+
+func less(a, b graph.Arc) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+func colorName(j int) string { return fmt.Sprintf("C_%d", j) }
+
+func arcName(a graph.Arc, j int) string {
+	return fmt.Sprintf("X_%d_%d_%d", a.From, a.To, j)
+}

@@ -1,0 +1,310 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/exact"
+	"fdlsp/internal/graph"
+)
+
+func TestSimplexKnownLPs(t *testing.T) {
+	// max 3x+2y s.t. x+y<=4, x+3y<=6  => min -(3x+2y), optimum at (4,0): -12.
+	p := &lp{
+		n: 2,
+		c: []float64{-3, -2},
+		rows: []lpRow{
+			{a: []float64{1, 1}, op: LE, rhs: 4},
+			{a: []float64{1, 3}, op: LE, rhs: 6},
+		},
+	}
+	x, v, st := p.solve()
+	if st != lpOptimal || math.Abs(v-(-12)) > 1e-6 {
+		t.Fatalf("got status %v value %v x=%v, want -12 at (4,0)", st, v, x)
+	}
+
+	// Infeasible: x >= 2, x <= 1.
+	p = &lp{n: 1, c: []float64{1}, rows: []lpRow{
+		{a: []float64{1}, op: GE, rhs: 2},
+		{a: []float64{1}, op: LE, rhs: 1},
+	}}
+	if _, _, st := p.solve(); st != lpInfeasible {
+		t.Fatalf("expected infeasible, got %v", st)
+	}
+
+	// Unbounded: min -x, x >= 0 free upward.
+	p = &lp{n: 1, c: []float64{-1}, rows: []lpRow{{a: []float64{1}, op: GE, rhs: 0}}}
+	if _, _, st := p.solve(); st != lpUnbounded {
+		t.Fatalf("expected unbounded, got %v", st)
+	}
+
+	// Equality: min x+y s.t. x+y=3, x<=2 => 3.
+	p = &lp{n: 2, c: []float64{1, 1}, rows: []lpRow{
+		{a: []float64{1, 1}, op: EQ, rhs: 3},
+		{a: []float64{1, 0}, op: LE, rhs: 2},
+	}}
+	_, v, st = p.solve()
+	if st != lpOptimal || math.Abs(v-3) > 1e-6 {
+		t.Fatalf("equality LP: got %v value %v", st, v)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Classic degenerate LP; Bland's rule must terminate.
+	p := &lp{
+		n: 3,
+		c: []float64{-0.75, 150, -0.02},
+		rows: []lpRow{
+			{a: []float64{0.25, -60, -0.04}, op: LE, rhs: 0},
+			{a: []float64{0.5, -90, -0.02}, op: LE, rhs: 0},
+			{a: []float64{0, 0, 1}, op: LE, rhs: 1},
+		},
+	}
+	_, v, st := p.solve()
+	if st != lpOptimal {
+		t.Fatalf("degenerate LP did not solve: %v", st)
+	}
+	if v > -0.05+1e-6 {
+		t.Fatalf("degenerate LP value %v, want <= -0.05", v)
+	}
+}
+
+// bruteforceBinary minimizes a model exhaustively.
+func bruteforceBinary(m *Model) (best float64, found bool) {
+	n := m.NumVars()
+	best = math.Inf(1)
+	x := make([]float64, n)
+	for bits := 0; bits < 1<<n; bits++ {
+		for i := 0; i < n; i++ {
+			x[i] = float64(bits >> i & 1)
+		}
+		if m.Feasible(x) {
+			if v := m.Eval(x); v < best {
+				best, found = v, true
+			}
+		}
+	}
+	return best, found
+}
+
+func TestSolveAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(8)
+		m := NewModel()
+		for i := 0; i < n; i++ {
+			m.AddVar("x", float64(rng.Intn(7)-2))
+		}
+		for k := rng.Intn(8); k > 0; k-- {
+			coeffs := map[int]float64{}
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					coeffs[i] = float64(rng.Intn(5) - 2)
+				}
+			}
+			op := []Op{LE, GE, EQ}[rng.Intn(3)]
+			m.AddConstraint("r", coeffs, op, float64(rng.Intn(5)-1))
+		}
+		want, feasible := bruteforceBinary(m)
+		got := Solve(m, SolveOptions{})
+		if !got.Optimal {
+			t.Fatalf("trial %d: node budget exhausted on a tiny model", trial)
+		}
+		if feasible != (got.X != nil) {
+			t.Fatalf("trial %d: feasibility disagreement brute=%v solver=%v", trial, feasible, got.X != nil)
+		}
+		if feasible && math.Abs(got.Value-want) > 1e-6 {
+			t.Fatalf("trial %d: solver %v brute force %v", trial, got.Value, want)
+		}
+	}
+}
+
+// TestConflictMatchesPaperSchema checks that the pair set emitted into the
+// ILP equals the union of the paper's constraint families (2), (4), (5),
+// (6) enumerated literally.
+func TestConflictMatchesPaperSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(7)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		arcs := g.Arcs()
+
+		type pair [2]graph.Arc
+		norm := func(a, b graph.Arc) pair {
+			if a.From > b.From || (a.From == b.From && a.To > b.To) {
+				a, b = b, a
+			}
+			return pair{a, b}
+		}
+		want := map[pair]bool{}
+		add := func(a, b graph.Arc) {
+			if a != b {
+				want[norm(a, b)] = true
+			}
+		}
+		for u := 0; u < n; u++ {
+			nbrs := g.Neighbors(u)
+			for _, v := range nbrs {
+				for _, w := range nbrs {
+					// (4): two out-arcs of u; (6): two in-arcs of u.
+					add(graph.Arc{From: u, To: v}, graph.Arc{From: u, To: w})
+					add(graph.Arc{From: v, To: u}, graph.Arc{From: w, To: u})
+					// (5): out-arc and in-arc at u.
+					add(graph.Arc{From: u, To: v}, graph.Arc{From: w, To: u})
+				}
+			}
+			// (2): for edge (u,v): in-arc (w,u) vs out-arc (v,z).
+			for _, v := range nbrs {
+				for _, w := range nbrs {
+					for _, z := range g.Neighbors(v) {
+						add(graph.Arc{From: w, To: u}, graph.Arc{From: v, To: z})
+					}
+				}
+			}
+		}
+		got := map[pair]bool{}
+		for _, pr := range conflictPairs(g, arcs) {
+			got[norm(pr[0], pr[1])] = true
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("trial %d: paper schema pair %v..%v missing from Conflict", trial, p[0], p[1])
+			}
+		}
+		for p := range got {
+			if !want[p] {
+				t.Fatalf("trial %d: Conflict pair %v..%v not derivable from paper schema", trial, p[0], p[1])
+			}
+		}
+	}
+}
+
+func TestSolveFDLSPMatchesExactOnTinyGraphs(t *testing.T) {
+	cases := []*graph.Graph{
+		graph.Path(3),
+		graph.Path(4),
+		graph.Cycle(4),
+		graph.Complete(3),
+		graph.Star(4),
+		graph.CompleteBipartite(2, 2),
+	}
+	for _, g := range cases {
+		_, col := exact.MinSlots(g, exact.Options{})
+		res, err := SolveFDLSP(g, 0, SolveOptions{MaxNodes: 2_000_000})
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if !res.Optimal {
+			t.Fatalf("%v: ILP not solved to optimality", g)
+		}
+		if res.Slots != col.K {
+			t.Errorf("%v: ILP %d slots, exact %d", g, res.Slots, col.K)
+		}
+		if viols := coloring.Verify(g, res.Assignment); len(viols) != 0 {
+			t.Errorf("%v: infeasible ILP schedule: %v", g, viols[0])
+		}
+	}
+}
+
+func TestWriteLP(t *testing.T) {
+	m, _ := BuildFDLSP(graph.Path(3), 4)
+	s := m.WriteLP()
+	for _, want := range []string{"Minimize", "Subject To", "Binary", "End", "C_1", "X_0_1_1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("LP output missing %q", want)
+		}
+	}
+}
+
+func TestCliqueCoverCoversEveryConflictPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(7)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		arcs := g.Arcs()
+		cliques := cliqueCover(g, arcs)
+		covered := map[[2]graph.Arc]bool{}
+		for _, q := range cliques {
+			// Clique members must be pairwise conflicting.
+			for i := 0; i < len(q); i++ {
+				for j := i + 1; j < len(q); j++ {
+					if !coloring.Conflict(g, q[i], q[j]) {
+						t.Fatalf("trial %d: clique contains non-conflicting %v,%v", trial, q[i], q[j])
+					}
+					a, b := q[i], q[j]
+					if less(b, a) {
+						a, b = b, a
+					}
+					covered[[2]graph.Arc{a, b}] = true
+				}
+			}
+		}
+		for _, pr := range conflictPairs(g, arcs) {
+			a, b := pr[0], pr[1]
+			if less(b, a) {
+				a, b = b, a
+			}
+			if !covered[[2]graph.Arc{a, b}] {
+				t.Fatalf("trial %d: pair %v,%v not covered", trial, a, b)
+			}
+		}
+	}
+}
+
+func TestStrongModelMatchesLiteralOnTinyGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Path(3), graph.Cycle(4), graph.Complete(3)} {
+		lit, err := SolveFDLSP(g, 0, SolveOptions{MaxNodes: 2_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		strong, err := SolveFDLSPStrong(g, 0, SolveOptions{MaxNodes: 2_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lit.Optimal || !strong.Optimal || lit.Slots != strong.Slots {
+			t.Errorf("%v: literal %d (opt %v) vs strong %d (opt %v)", g, lit.Slots, lit.Optimal, strong.Slots, strong.Optimal)
+		}
+		if viols := coloring.Verify(g, strong.Assignment); len(viols) != 0 {
+			t.Errorf("%v: strong model schedule invalid: %v", g, viols[0])
+		}
+	}
+}
+
+func TestStrongModelSolvesK4(t *testing.T) {
+	// The literal Section 4 formulation blows up on K4 (its LP bound is
+	// weak against color symmetry); the clique-strengthened model proves
+	// the optimum 12 quickly.
+	g := graph.Complete(4)
+	res, err := SolveFDLSPStrong(g, 0, SolveOptions{MaxNodes: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatalf("K4 not proved optimal within budget (%d nodes)", res.Nodes)
+	}
+	if res.Slots != 12 {
+		t.Errorf("K4: %d slots, want 12", res.Slots)
+	}
+	if viols := coloring.Verify(g, res.Assignment); len(viols) != 0 {
+		t.Errorf("invalid: %v", viols[0])
+	}
+}
+
+func TestStrongModelSolvesK5Instantly(t *testing.T) {
+	// In K5 all 20 arcs are pairwise conflicting: the clique cover is a
+	// single 20-clique, the LP bound hits the optimum at the root, and the
+	// solver proves 20 slots in one node.
+	res, err := SolveFDLSPStrong(graph.Complete(5), 0, SolveOptions{MaxNodes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Slots != 20 {
+		t.Fatalf("K5: slots=%d optimal=%v nodes=%d", res.Slots, res.Optimal, res.Nodes)
+	}
+	if res.Nodes > 5 {
+		t.Errorf("K5 took %d nodes; the clique bound should close it at the root", res.Nodes)
+	}
+}

@@ -1,0 +1,156 @@
+// Package ilp implements the paper's integer linear program for FDLSP
+// (Section 4) together with the machinery to solve it from scratch: a 0/1
+// model representation, an LP-format exporter, a dense two-phase simplex
+// for the LP relaxation, and a branch-and-bound solver. It is intended for
+// the small instances the paper uses it on ("ILP is helpful to test small
+// size instances of the FDLSP problem"); package exact provides an
+// independent optimum oracle the ILP results are cross-checked against.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Op is a constraint relation.
+type Op int
+
+const (
+	// LE is "≤".
+	LE Op = iota
+	// GE is "≥".
+	GE
+	// EQ is "=".
+	EQ
+)
+
+func (op Op) String() string {
+	switch op {
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return "<="
+	}
+}
+
+// Constraint is a sparse linear constraint sum(Coeffs[i]·x_i) Op RHS.
+type Constraint struct {
+	Name   string
+	Coeffs map[int]float64
+	Op     Op
+	RHS    float64
+}
+
+// Model is a 0/1 integer linear program: minimize Obj·x subject to the
+// constraints, with every variable binary.
+type Model struct {
+	names []string
+	Obj   []float64
+	Cons  []Constraint
+}
+
+// NewModel returns an empty minimization model.
+func NewModel() *Model { return &Model{} }
+
+// AddVar adds a binary variable with the given objective coefficient and
+// returns its index.
+func (m *Model) AddVar(name string, obj float64) int {
+	m.names = append(m.names, name)
+	m.Obj = append(m.Obj, obj)
+	return len(m.names) - 1
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.names) }
+
+// Name returns the name of variable i.
+func (m *Model) Name(i int) string { return m.names[i] }
+
+// AddConstraint appends a constraint; coeffs is copied.
+func (m *Model) AddConstraint(name string, coeffs map[int]float64, op Op, rhs float64) {
+	cp := make(map[int]float64, len(coeffs))
+	for i, c := range coeffs {
+		if i < 0 || i >= len(m.names) {
+			panic(fmt.Sprintf("ilp: constraint %q references unknown variable %d", name, i))
+		}
+		if c != 0 {
+			cp[i] = c
+		}
+	}
+	m.Cons = append(m.Cons, Constraint{Name: name, Coeffs: cp, Op: op, RHS: rhs})
+}
+
+// Eval returns the objective value of assignment x.
+func (m *Model) Eval(x []float64) float64 {
+	v := 0.0
+	for i, c := range m.Obj {
+		v += c * x[i]
+	}
+	return v
+}
+
+// Feasible reports whether the 0/1 vector x satisfies every constraint
+// (within a small tolerance).
+func (m *Model) Feasible(x []float64) bool {
+	const eps = 1e-6
+	for _, con := range m.Cons {
+		lhs := 0.0
+		for i, c := range con.Coeffs {
+			lhs += c * x[i]
+		}
+		switch con.Op {
+		case LE:
+			if lhs > con.RHS+eps {
+				return false
+			}
+		case GE:
+			if lhs < con.RHS-eps {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-con.RHS) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WriteLP renders the model in CPLEX LP text format, so instances can be
+// inspected or fed to an external solver for independent verification.
+func (m *Model) WriteLP() string {
+	var b strings.Builder
+	b.WriteString("Minimize\n obj:")
+	for i, c := range m.Obj {
+		if c != 0 {
+			fmt.Fprintf(&b, " %+g %s", c, m.names[i])
+		}
+	}
+	b.WriteString("\nSubject To\n")
+	for k, con := range m.Cons {
+		name := con.Name
+		if name == "" {
+			name = fmt.Sprintf("c%d", k)
+		}
+		fmt.Fprintf(&b, " %s:", name)
+		idxs := make([]int, 0, len(con.Coeffs))
+		for i := range con.Coeffs {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			fmt.Fprintf(&b, " %+g %s", con.Coeffs[i], m.names[i])
+		}
+		fmt.Fprintf(&b, " %s %g\n", con.Op, con.RHS)
+	}
+	b.WriteString("Binary\n")
+	for _, n := range m.names {
+		fmt.Fprintf(&b, " %s\n", n)
+	}
+	b.WriteString("End\n")
+	return b.String()
+}

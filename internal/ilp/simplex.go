@@ -1,0 +1,237 @@
+package ilp
+
+import "math"
+
+// lpStatus is the outcome of an LP solve.
+type lpStatus int
+
+const (
+	lpOptimal lpStatus = iota
+	lpInfeasible
+	lpUnbounded
+)
+
+// lp is a linear program in inequality form over n nonnegative variables:
+// minimize c·x subject to rows (a, op, rhs). Upper bounds must be encoded
+// as rows by the caller.
+type lp struct {
+	n    int
+	c    []float64
+	rows []lpRow
+}
+
+type lpRow struct {
+	a   []float64 // dense, length n
+	op  Op
+	rhs float64
+}
+
+const lpEps = 1e-9
+
+// solve runs the two-phase dense simplex with Bland's anti-cycling rule and
+// returns the optimal vertex, its objective value, and the status.
+func (p *lp) solve() ([]float64, float64, lpStatus) {
+	m := len(p.rows)
+	// Normalize to b >= 0 by row negation.
+	type normRow struct {
+		a   []float64
+		op  Op
+		rhs float64
+	}
+	rows := make([]normRow, m)
+	for i, r := range p.rows {
+		a := append([]float64(nil), r.a...)
+		op, rhs := r.op, r.rhs
+		if rhs < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = normRow{a: a, op: op, rhs: rhs}
+	}
+
+	// Column layout: [ structural x | slacks/surplus | artificials | RHS ].
+	nSlack := 0
+	for _, r := range rows {
+		if r.op != EQ {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, r := range rows {
+		if r.op != LE {
+			nArt++
+		}
+	}
+	total := p.n + nSlack + nArt
+	t := make([][]float64, m+1) // last row = phase objective
+	for i := range t {
+		t[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+	slackAt, artAt := p.n, p.n+nSlack
+	artCols := make([]int, 0, nArt)
+	for i, r := range rows {
+		copy(t[i], r.a)
+		t[i][total] = r.rhs
+		switch r.op {
+		case LE:
+			t[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			t[i][slackAt] = -1
+			slackAt++
+			t[i][artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		case EQ:
+			t[i][artAt] = 1
+			basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		}
+	}
+
+	pivot := func(obj []float64, allowed int) lpStatus {
+		for iter := 0; ; iter++ {
+			if iter > 50_000 {
+				return lpUnbounded // safety valve; Bland's rule should prevent this
+			}
+			// Entering column: Bland — lowest index with negative reduced cost.
+			col := -1
+			for j := 0; j < allowed; j++ {
+				if obj[j] < -lpEps {
+					col = j
+					break
+				}
+			}
+			if col < 0 {
+				return lpOptimal
+			}
+			// Leaving row: min ratio, ties to lowest basis index (Bland).
+			row, bestRatio := -1, math.Inf(1)
+			for i := 0; i < m; i++ {
+				if t[i][col] > lpEps {
+					ratio := t[i][total] / t[i][col]
+					if ratio < bestRatio-lpEps || (math.Abs(ratio-bestRatio) <= lpEps && (row < 0 || basis[i] < basis[row])) {
+						row, bestRatio = i, ratio
+					}
+				}
+			}
+			if row < 0 {
+				return lpUnbounded
+			}
+			// Pivot on (row, col).
+			pv := t[row][col]
+			for j := 0; j <= total; j++ {
+				t[row][j] /= pv
+			}
+			for i := 0; i <= m; i++ {
+				if i != row && math.Abs(t[i][col]) > lpEps {
+					f := t[i][col]
+					for j := 0; j <= total; j++ {
+						t[i][j] -= f * t[row][j]
+					}
+				} else if i != row {
+					t[i][col] = 0
+				}
+			}
+			basis[row] = col
+		}
+	}
+
+	// Phase 1: minimize sum of artificials.
+	if nArt > 0 {
+		for j := 0; j <= total; j++ {
+			t[m][j] = 0
+		}
+		for _, ac := range artCols {
+			t[m][ac] = 1
+		}
+		// Price out basic artificials.
+		for i, b := range basis {
+			if t[m][b] != 0 {
+				f := t[m][b]
+				for j := 0; j <= total; j++ {
+					t[m][j] -= f * t[i][j]
+				}
+			}
+		}
+		if st := pivot(t[m], total); st == lpUnbounded {
+			return nil, 0, lpInfeasible
+		}
+		if -t[m][total] > 1e-6 {
+			return nil, 0, lpInfeasible
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i := 0; i < m; i++ {
+			if basis[i] >= p.n+nSlack {
+				moved := false
+				for j := 0; j < p.n+nSlack; j++ {
+					if math.Abs(t[i][j]) > lpEps {
+						// Pivot artificial out.
+						pv := t[i][j]
+						for k := 0; k <= total; k++ {
+							t[i][k] /= pv
+						}
+						for r := 0; r <= m; r++ {
+							if r != i && math.Abs(t[r][j]) > lpEps {
+								f := t[r][j]
+								for k := 0; k <= total; k++ {
+									t[r][k] -= f * t[i][k]
+								}
+							}
+						}
+						basis[i] = j
+						moved = true
+						break
+					}
+				}
+				if !moved {
+					// Row is all zeros over real variables: redundant.
+					basis[i] = -1
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective over structural + slack columns only.
+	for j := 0; j <= total; j++ {
+		t[m][j] = 0
+	}
+	for j := 0; j < p.n; j++ {
+		t[m][j] = p.c[j]
+	}
+	for i, b := range basis {
+		if b >= 0 && t[m][b] != 0 {
+			f := t[m][b]
+			for j := 0; j <= total; j++ {
+				t[m][j] -= f * t[i][j]
+			}
+		}
+	}
+	if st := pivot(t[m], p.n+nSlack); st == lpUnbounded {
+		return nil, 0, lpUnbounded
+	}
+
+	x := make([]float64, p.n)
+	for i, b := range basis {
+		if b >= 0 && b < p.n {
+			x[b] = t[i][total]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < p.n; j++ {
+		obj += p.c[j] * x[j]
+	}
+	return x, obj, lpOptimal
+}

@@ -1,0 +1,157 @@
+package mis
+
+// Competition is the synchronous state machine computing an MIS among
+// competitors at hop radius Radius: two competitors are "adjacent" when
+// their hop distance through relaying nodes is at most Radius. Radius 1 is
+// the classic distributed MIS; the paper's DistMIS algorithm uses Radius 3
+// (growth bounded graphs) or 2 (general graphs) for its secondary MIS, with
+// dominated and bridge nodes relaying the competition floods.
+//
+// Round layout (period = 2·Radius rounds):
+//
+//	round 2kR       competitors draw value k, originate a Value flood
+//	round 2kR + R   all iteration-k values have arrived (a flood sent at
+//	                round r reaches hop distance j exactly at round r+j);
+//	                the strict (value,id) minimum joins and floods Join
+//	round 2(k+1)R   Join floods have arrived; losers become Dominated
+//
+// The owner drives the machine: call StartRound at the beginning of every
+// engine round and send the returned floods; call Observe for every flood
+// received and relay the returned forward copies. Both competing and
+// bridge-only nodes must relay.
+type Competition struct {
+	id        int
+	radius    int
+	competing bool
+	draw      func(iter int) int64
+
+	status  Status
+	iter    int
+	curVal  int64
+	recv    map[int]int64 // origin -> value for the current iteration
+	seen    map[floodKey]struct{}
+	started bool
+}
+
+// FloodKind discriminates competition flood payloads.
+type FloodKind uint8
+
+const (
+	// KindValue carries a competitor's per-iteration value.
+	KindValue FloodKind = iota
+	// KindJoin announces that the origin joined the MIS.
+	KindJoin
+)
+
+// Flood is a competition message flooded up to Radius hops.
+type Flood struct {
+	Kind   FloodKind
+	Origin int
+	Iter   int
+	Value  int64
+	TTL    int
+}
+
+type floodKey struct {
+	kind   FloodKind
+	origin int
+	iter   int
+}
+
+// NewCompetition builds the state machine for one node. Bridge-only nodes
+// pass competing=false (and a nil draw); they relay floods and report
+// Dominated-like completion immediately.
+func NewCompetition(id, radius int, competing bool, draw func(iter int) int64) *Competition {
+	c := &Competition{
+		id:        id,
+		radius:    radius,
+		competing: competing,
+		draw:      draw,
+		recv:      make(map[int]int64),
+		seen:      make(map[floodKey]struct{}),
+	}
+	if !competing {
+		c.status = Dominated
+	}
+	return c
+}
+
+// Status returns the node's current competition status. Bridge-only nodes
+// report Dominated.
+func (c *Competition) Status() Status { return c.status }
+
+// Done reports whether this node has decided (bridges are always done; they
+// still relay through Observe).
+func (c *Competition) Done() bool { return c.status != Undecided }
+
+// StartRound advances the machine to engine round r (0-based, consecutive)
+// and returns the floods this node originates in that round, already marked
+// seen so echoes are not re-relayed.
+func (c *Competition) StartRound(r int) []Flood {
+	if !c.competing || c.status != Undecided {
+		return nil
+	}
+	period := 2 * c.radius
+	var out []Flood
+	switch r % period {
+	case 0:
+		c.iter = r / period
+		c.curVal = c.draw(c.iter)
+		c.recv = make(map[int]int64)
+		f := Flood{Kind: KindValue, Origin: c.id, Iter: c.iter, Value: c.curVal, TTL: c.radius}
+		c.markSeen(f)
+		out = append(out, f)
+	case c.radius:
+		if c.winner() {
+			c.status = InMIS
+			f := Flood{Kind: KindJoin, Origin: c.id, Iter: c.iter, TTL: c.radius}
+			c.markSeen(f)
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// winner reports whether (curVal, id) is strictly smaller than every value
+// received this iteration.
+func (c *Competition) winner() bool {
+	for origin, v := range c.recv {
+		if v < c.curVal || (v == c.curVal && origin < c.id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Observe records an incoming flood and returns the copy to relay onward
+// (ok=false when the flood is exhausted or already seen). A Join flood from
+// a competitor immediately dominates an undecided node — floods travel at
+// most Radius hops, so only true G'-neighbors can dominate.
+func (c *Competition) Observe(f Flood) (relay Flood, ok bool) {
+	key := floodKey{kind: f.Kind, origin: f.Origin, iter: f.Iter}
+	if _, dup := c.seen[key]; dup {
+		return Flood{}, false
+	}
+	c.seen[key] = struct{}{}
+	if f.Origin != c.id {
+		switch f.Kind {
+		case KindValue:
+			if c.competing && c.status == Undecided && f.Iter == c.iter {
+				c.recv[f.Origin] = f.Value
+			}
+		case KindJoin:
+			if c.competing && c.status == Undecided {
+				c.status = Dominated
+			}
+		}
+	}
+	if f.TTL > 1 {
+		f.TTL--
+		return f, true
+	}
+	return Flood{}, false
+}
+
+func (c *Competition) markSeen(f Flood) {
+	c.seen[floodKey{kind: f.Kind, origin: f.Origin, iter: f.Iter}] = struct{}{}
+}

@@ -1,0 +1,188 @@
+package mis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdlsp/internal/graph"
+)
+
+func TestStatusString(t *testing.T) {
+	if Undecided.String() != "undecided" || InMIS.String() != "in-MIS" || Dominated.String() != "dominated" {
+		t.Error("status strings")
+	}
+	if Status(99).String() != "invalid" {
+		t.Error("invalid status string")
+	}
+}
+
+func TestDrawers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// LowestID is constant and equals the id.
+	f := LowestID().New(7, rng)
+	if f(0) != 7 || f(5) != 7 {
+		t.Error("lowest-id drawer")
+	}
+	// Rank is constant across iterations.
+	r := Rank().New(3, rng)
+	if r(0) != r(1) || r(1) != r(99) {
+		t.Error("rank drawer should be constant")
+	}
+	// Luby redraws (astronomically unlikely to collide twice).
+	l := Luby().New(3, rng)
+	if l(0) == l(1) && l(1) == l(2) {
+		t.Error("luby drawer looks constant")
+	}
+	names := map[string]bool{}
+	for _, d := range Strategies() {
+		names[d.Name()] = true
+	}
+	if !names["luby"] || !names["lowest-id"] || !names["rank"] {
+		t.Errorf("strategies: %v", names)
+	}
+}
+
+func TestSequentialGreedyIsMIS(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(30)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		inMIS := SequentialGreedy(g, nil)
+		if ok, bad := Verify(g, inMIS, nil); !ok {
+			t.Fatalf("trial %d: not an MIS, offenders %v", trial, bad)
+		}
+	}
+}
+
+func TestVerifyCatchesBadSets(t *testing.T) {
+	g := graph.Path(3)
+	// Not independent.
+	if ok, _ := Verify(g, []bool{true, true, false}, nil); ok {
+		t.Error("accepted dependent set")
+	}
+	// Not maximal.
+	if ok, _ := Verify(g, []bool{false, false, false}, nil); ok {
+		t.Error("accepted non-maximal set")
+	}
+	// Correct MIS.
+	if ok, bad := Verify(g, []bool{true, false, true}, nil); !ok {
+		t.Errorf("rejected valid MIS: %v", bad)
+	}
+	// Eligibility: with only node 1 eligible, {1} is the MIS.
+	if ok, bad := Verify(g, []bool{false, true, false}, []bool{false, true, false}); !ok {
+		t.Errorf("eligible-restricted MIS rejected: %v", bad)
+	}
+}
+
+func TestRunProducesMISAllStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(40)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		for _, d := range Strategies() {
+			inMIS, stats, err := Run(g, int64(trial), d)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, d.Name(), err)
+			}
+			if ok, bad := Verify(g, inMIS, nil); !ok {
+				t.Fatalf("trial %d %s: invalid MIS, offenders %v", trial, d.Name(), bad)
+			}
+			if stats.Rounds < 1 && g.N() > 0 {
+				t.Errorf("trial %d %s: suspicious zero rounds", trial, d.Name())
+			}
+		}
+	}
+}
+
+func TestRunLowestIDMatchesLexicographicMIS(t *testing.T) {
+	// The lowest-ID strategy computes exactly the greedy-by-ID MIS.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(25)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		got, _, err := Run(g, 0, LowestID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := SequentialGreedy(g, nil)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d node %d: distributed %v, sequential %v", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCompetitionSingleNode(t *testing.T) {
+	c := NewCompetition(0, 1, true, func(int) int64 { return 5 })
+	if c.Done() {
+		t.Fatal("fresh competitor already done")
+	}
+	c.StartRound(0) // draws value, no peers
+	c.StartRound(1) // decides: wins alone
+	if c.Status() != InMIS || !c.Done() {
+		t.Fatalf("lone competitor status %v", c.Status())
+	}
+}
+
+func TestCompetitionBridgeRelays(t *testing.T) {
+	c := NewCompetition(1, 3, false, nil)
+	if !c.Done() || c.Status() != Dominated {
+		t.Fatal("bridge should be done/dominated")
+	}
+	f := Flood{Kind: KindValue, Origin: 9, Iter: 0, Value: 3, TTL: 3}
+	relay, ok := c.Observe(f)
+	if !ok || relay.TTL != 2 {
+		t.Fatalf("bridge relay: ok=%v ttl=%d", ok, relay.TTL)
+	}
+	// Duplicate is swallowed.
+	if _, ok := c.Observe(f); ok {
+		t.Error("duplicate flood relayed")
+	}
+	// Exhausted TTL is not relayed.
+	if _, ok := c.Observe(Flood{Kind: KindValue, Origin: 8, Iter: 0, TTL: 1}); ok {
+		t.Error("TTL-1 flood relayed")
+	}
+}
+
+func TestCompetitionTwoCompetitorsTieBreakByID(t *testing.T) {
+	a := NewCompetition(0, 1, true, func(int) int64 { return 7 })
+	b := NewCompetition(1, 1, true, func(int) int64 { return 7 })
+	fa := a.StartRound(0)
+	fb := b.StartRound(0)
+	// Deliver values to each other.
+	a.Observe(fb[0])
+	b.Observe(fa[0])
+	ja := a.StartRound(1)
+	jb := b.StartRound(1)
+	if len(ja) != 1 || a.Status() != InMIS {
+		t.Fatalf("node 0 should win the tie: %v", a.Status())
+	}
+	if len(jb) != 0 {
+		t.Fatal("node 1 must not join")
+	}
+	b.Observe(ja[0])
+	if b.Status() != Dominated {
+		t.Fatalf("node 1 should be dominated, is %v", b.Status())
+	}
+}
+
+// Property: Run yields an independent and maximal set on arbitrary random
+// graphs with random seeds.
+func TestRunPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		inMIS, _, err := Run(g, seed, Luby())
+		if err != nil {
+			return false
+		}
+		ok, _ := Verify(g, inMIS, nil)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package mis
+
+import (
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sim"
+)
+
+// node adapts a Competition to the synchronous engine for the standalone
+// distance-1 distributed MIS. The competition is created on the first step,
+// when the engine-owned per-node RNG becomes available.
+type node struct {
+	drawer Drawer
+	comp   *Competition
+}
+
+func (nd *node) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
+	if nd.comp == nil {
+		nd.comp = NewCompetition(env.ID, 1, true, nd.drawer.New(env.ID, env.Rand))
+	}
+	for _, m := range inbox {
+		if f, ok := m.Payload.(Flood); ok {
+			if relay, ok := nd.comp.Observe(f); ok {
+				env.Broadcast(relay)
+			}
+		}
+	}
+	for _, f := range nd.comp.StartRound(env.Round) {
+		env.Broadcast(f)
+	}
+	return nd.comp.Done()
+}
+
+// Run computes a maximal independent set of g with the classic synchronous
+// distributed protocol (radius-1 competition) under the given drawing
+// strategy. It returns the membership vector and the engine's round and
+// message accounting.
+func Run(g *graph.Graph, seed int64, d Drawer) ([]bool, sim.Stats, error) {
+	nodes := make([]*node, g.N())
+	eng := sim.NewSyncEngine(g, seed, func(id int) sim.SyncNode {
+		nodes[id] = &node{drawer: d}
+		return nodes[id]
+	})
+	if err := eng.Run(); err != nil {
+		return nil, sim.Stats{}, err
+	}
+	inMIS := make([]bool, g.N())
+	for id, nd := range nodes {
+		inMIS[id] = nd.comp != nil && nd.comp.Status() == InMIS
+	}
+	return inMIS, eng.Stats(), nil
+}

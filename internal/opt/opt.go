@@ -1,0 +1,182 @@
+// Package opt post-optimizes feasible FDLSP schedules. The distributed
+// algorithms aim at few communication rounds; once a valid frame exists, a
+// base station (or any offline pass) can shorten it without touching the
+// protocol: Compact greedily recolors arcs downward, and IteratedGreedy
+// re-runs the greedy colorer over permutations of the existing color
+// classes — the classic graph-coloring improvement that provably never
+// increases the number of colors. Both preserve feasibility by
+// construction, which the tests verify against the distance-2 checker.
+package opt
+
+import (
+	"math/rand"
+	"sort"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/weighted"
+)
+
+// Compact recolors every arc to the smallest color feasible against the
+// rest of the assignment, repeating until a fixpoint. The frame length
+// never increases; dense tails of the palette migrate downward. It returns
+// the improved copy and the number of full passes performed.
+func Compact(g *graph.Graph, as coloring.Assignment) (coloring.Assignment, int) {
+	out := as.Clone()
+	arcs := g.Arcs()
+	// Recolor from the highest colors first: those are the arcs a shorter
+	// frame must get rid of.
+	passes := 0
+	for {
+		passes++
+		sort.SliceStable(arcs, func(i, j int) bool { return out[arcs[i]] > out[arcs[j]] })
+		changed := false
+		for _, a := range arcs {
+			cur := out[a]
+			best := smallestFeasibleExcept(g, out, a)
+			if best < cur {
+				out[a] = best
+				changed = true
+			}
+		}
+		if !changed {
+			return out, passes
+		}
+	}
+}
+
+// smallestFeasibleExcept returns the smallest color usable by arc a given
+// every other arc's current color.
+func smallestFeasibleExcept(g *graph.Graph, as coloring.Assignment, a graph.Arc) int {
+	used := make(map[int]struct{})
+	for _, b := range coloring.ConflictingArcs(g, a) {
+		if c := as[b]; c != coloring.None {
+			used[c] = struct{}{}
+		}
+	}
+	for c := 1; ; c++ {
+		if _, busy := used[c]; !busy {
+			return c
+		}
+	}
+}
+
+// IteratedGreedy improves a valid schedule by repeatedly re-running the
+// greedy colorer with arcs ordered by permuted color classes. Processing
+// the arcs of one class consecutively guarantees the result uses at most as
+// many colors as before (arcs sharing a class are mutually conflict-free,
+// so the class collapses onto at most one fresh color each); permuting and
+// re-sorting classes lets colors merge across iterations. iters rounds,
+// seeded permutations; the best schedule found is returned.
+func IteratedGreedy(g *graph.Graph, as coloring.Assignment, iters int, seed int64) coloring.Assignment {
+	rng := rand.New(rand.NewSource(seed))
+	best := as.Clone()
+	cur := as.Clone()
+	for it := 0; it < iters; it++ {
+		order := classOrder(g, cur, rng, it)
+		cur = coloring.Greedy(g, order)
+		if cur.NumColors() <= best.NumColors() {
+			best = cur.Clone()
+		}
+	}
+	return best
+}
+
+// classOrder returns all arcs grouped by color class under as; the class
+// order cycles between largest-first, smallest-first and random shuffles,
+// the standard iterated-greedy mix.
+func classOrder(g *graph.Graph, as coloring.Assignment, rng *rand.Rand, it int) []graph.Arc {
+	byColor := make(map[int][]graph.Arc)
+	for _, a := range g.Arcs() {
+		byColor[as[a]] = append(byColor[as[a]], a)
+	}
+	classes := make([]int, 0, len(byColor))
+	for c := range byColor {
+		classes = append(classes, c)
+	}
+	switch it % 3 {
+	case 0: // largest class first
+		sort.Slice(classes, func(i, j int) bool {
+			if len(byColor[classes[i]]) != len(byColor[classes[j]]) {
+				return len(byColor[classes[i]]) > len(byColor[classes[j]])
+			}
+			return classes[i] < classes[j]
+		})
+	case 1: // reverse color order
+		sort.Sort(sort.Reverse(sort.IntSlice(classes)))
+	default:
+		sort.Ints(classes)
+		rng.Shuffle(len(classes), func(i, j int) { classes[i], classes[j] = classes[j], classes[i] })
+	}
+	var order []graph.Arc
+	for _, c := range classes {
+		class := byColor[c]
+		sort.Slice(class, func(i, j int) bool {
+			if class[i].From != class[j].From {
+				return class[i].From < class[j].From
+			}
+			return class[i].To < class[j].To
+		})
+		order = append(order, class...)
+	}
+	return order
+}
+
+// Improve runs Compact followed by IteratedGreedy followed by a final
+// Compact — the full post-optimization pipeline.
+func Improve(g *graph.Graph, as coloring.Assignment, iters int, seed int64) coloring.Assignment {
+	out, _ := Compact(g, as)
+	out = IteratedGreedy(g, out, iters, seed)
+	out, _ = Compact(g, out)
+	return out
+}
+
+// CompactWeighted recolors each arc's slot set to the lexicographically
+// smallest feasible set of the same size, repeating until a fixpoint. The
+// per-arc maxima are pointwise non-increasing, so the frame never grows.
+func CompactWeighted(g *graph.Graph, d weighted.Demand, as weighted.Assignment) (weighted.Assignment, int) {
+	out := make(weighted.Assignment, len(as))
+	for a, ss := range as {
+		out[a] = append([]int(nil), ss...)
+	}
+	arcs := g.Arcs()
+	passes := 0
+	for {
+		passes++
+		changed := false
+		for _, a := range arcs {
+			used := make(map[int]bool)
+			for _, b := range coloring.ConflictingArcs(g, a) {
+				for _, s := range out[b] {
+					used[s] = true
+				}
+			}
+			w := d.Of(a)
+			fresh := make([]int, 0, w)
+			for s := 1; len(fresh) < w; s++ {
+				if !used[s] {
+					fresh = append(fresh, s)
+				}
+			}
+			if !equalInts(fresh, out[a]) {
+				out[a] = fresh
+				changed = true
+			}
+		}
+		if !changed {
+			return out, passes
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/core"
+	"fdlsp/internal/exact"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/weighted"
+)
+
+func TestCompactNeverWorsensAndStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(25)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		as := coloring.Greedy(g, nil)
+		// Artificially inflate: shift all colors up by a random offset.
+		off := 1 + rng.Intn(5)
+		inflated := coloring.NewAssignment(g)
+		for a, c := range as {
+			inflated.Set(a, c+off)
+		}
+		out, passes := Compact(g, inflated)
+		if !coloring.Valid(g, out) {
+			t.Fatalf("trial %d: compacted schedule invalid", trial)
+		}
+		if out.NumColors() > inflated.NumColors() {
+			t.Fatalf("trial %d: compaction worsened %d -> %d", trial, inflated.NumColors(), out.NumColors())
+		}
+		if g.M() > 0 && out.NumColors() > as.NumColors() {
+			t.Errorf("trial %d: compaction (%d) did not recover the greedy frame (%d)", trial, out.NumColors(), as.NumColors())
+		}
+		if passes < 1 {
+			t.Error("no passes recorded")
+		}
+	}
+}
+
+func TestIteratedGreedyNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + rng.Intn(25)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		as := coloring.Greedy(g, nil)
+		out := IteratedGreedy(g, as, 6, int64(trial))
+		if !coloring.Valid(g, out) {
+			t.Fatalf("trial %d: invalid", trial)
+		}
+		if out.NumColors() > as.NumColors() {
+			t.Fatalf("trial %d: iterated greedy worsened %d -> %d", trial, as.NumColors(), out.NumColors())
+		}
+	}
+}
+
+func TestImproveShortensDistributedSchedules(t *testing.T) {
+	// The distributed algorithms trade frame length for round complexity;
+	// offline improvement should reclaim some of it on average.
+	rng := rand.New(rand.NewSource(3))
+	var before, after int
+	for trial := 0; trial < 5; trial++ {
+		g, _ := geom.RandomUDG(60, 8, 1.4, rng)
+		res, err := core.DistMIS(g, core.Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved := Improve(g, res.Assignment, 9, int64(trial))
+		if !coloring.Valid(g, improved) {
+			t.Fatal("improved schedule invalid")
+		}
+		if improved.NumColors() > res.Slots {
+			t.Fatalf("improvement worsened %d -> %d", res.Slots, improved.NumColors())
+		}
+		before += res.Slots
+		after += improved.NumColors()
+	}
+	if after > before {
+		t.Errorf("no aggregate improvement: %d -> %d", before, after)
+	}
+	t.Logf("aggregate slots: %d -> %d", before, after)
+}
+
+func TestImproveApproachesOptimumOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		g, _ := geom.RandomUDG(12, 4, 1.4, rng)
+		if g.M() == 0 {
+			continue
+		}
+		_, col := exact.MinSlots(g, exact.Options{})
+		as := coloring.Greedy(g, nil)
+		improved := Improve(g, as, 12, int64(trial))
+		if improved.NumColors() < col.K {
+			t.Fatalf("trial %d: improved below proven optimum?! %d < %d", trial, improved.NumColors(), col.K)
+		}
+	}
+}
+
+// Property: Improve output is always a valid schedule no longer than its
+// input.
+func TestImprovePropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		as := coloring.Greedy(g, nil)
+		out := Improve(g, as, 4, seed)
+		return coloring.Valid(g, out) && out.NumColors() <= as.NumColors()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(18)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		d := weighted.Demand{PerArc: map[graph.Arc]int{}, Default: 1}
+		for _, a := range g.Arcs() {
+			d.PerArc[a] = 1 + rng.Intn(3)
+		}
+		as, _, err := weighted.DFS(g, d, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, passes := CompactWeighted(g, d, as)
+		if passes < 1 {
+			t.Error("no passes")
+		}
+		if !weighted.Valid(g, d, out) {
+			t.Fatalf("trial %d: compacted weighted schedule invalid", trial)
+		}
+		if out.Slots() > as.Slots() {
+			t.Fatalf("trial %d: compaction worsened %d -> %d", trial, as.Slots(), out.Slots())
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package sched turns an arc coloring into an operational TDMA schedule:
+// the frame layout (which links transmit in which slot), per-node transmit
+// and receive timetables, JSON serialization, occupancy statistics, and a
+// radio-level frame simulator that re-validates the schedule from first
+// principles — every receiver must hear exactly its intended transmitter,
+// which is precisely the absence of the hidden terminal problem.
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+)
+
+// Schedule is a concrete TDMA frame.
+type Schedule struct {
+	FrameLength int                 `json:"frame_length"`
+	Slots       [][]graph.Arc       `json:"slots"` // Slots[i] = links active in slot i+1
+	NodeTX      map[int]map[int]int `json:"-"`     // node -> slot -> receiver
+	NodeRX      map[int]map[int]int `json:"-"`     // node -> slot -> transmitter
+}
+
+// Build assembles a Schedule from a complete assignment. It returns an
+// error if any arc of g is uncolored.
+func Build(g *graph.Graph, as coloring.Assignment) (*Schedule, error) {
+	frame := as.NumColors()
+	s := &Schedule{
+		FrameLength: frame,
+		Slots:       make([][]graph.Arc, frame),
+		NodeTX:      make(map[int]map[int]int),
+		NodeRX:      make(map[int]map[int]int),
+	}
+	for _, a := range g.Arcs() {
+		c := as[a]
+		if c == coloring.None {
+			return nil, fmt.Errorf("sched: arc %v uncolored", a)
+		}
+		s.Slots[c-1] = append(s.Slots[c-1], a)
+		if s.NodeTX[a.From] == nil {
+			s.NodeTX[a.From] = make(map[int]int)
+		}
+		if s.NodeRX[a.To] == nil {
+			s.NodeRX[a.To] = make(map[int]int)
+		}
+		if prev, dup := s.NodeTX[a.From][c]; dup {
+			return nil, fmt.Errorf("sched: node %d transmits to both %d and %d in slot %d", a.From, prev, a.To, c)
+		}
+		if prev, dup := s.NodeRX[a.To][c]; dup {
+			return nil, fmt.Errorf("sched: node %d receives from both %d and %d in slot %d", a.To, prev, a.From, c)
+		}
+		s.NodeTX[a.From][c] = a.To
+		s.NodeRX[a.To][c] = a.From
+	}
+	for i := range s.Slots {
+		sort.Slice(s.Slots[i], func(a, b int) bool {
+			if s.Slots[i][a].From != s.Slots[i][b].From {
+				return s.Slots[i][a].From < s.Slots[i][b].From
+			}
+			return s.Slots[i][a].To < s.Slots[i][b].To
+		})
+	}
+	return s, nil
+}
+
+// Collision describes a radio-level failure in one simulated slot.
+type Collision struct {
+	Slot     int
+	Receiver int
+	// Heard lists the transmitting neighbors audible at Receiver (more than
+	// one, or the wrong one, is a failure).
+	Heard []int
+}
+
+func (c Collision) String() string {
+	return fmt.Sprintf("slot %d: receiver %d hears transmitters %v", c.Slot, c.Receiver, c.Heard)
+}
+
+// RadioCheck simulates every slot of the frame at the radio level: each
+// scheduled transmitter radiates to all its neighbors; each intended
+// receiver must (a) not be transmitting itself and (b) hear exactly one
+// transmitting neighbor — its intended one. Any deviation is returned. A
+// correct distance-2 edge coloring yields no collisions; together with the
+// unicast invariant Build enforces (one outgoing link per node per slot —
+// a protocol rule, not a physics rule) this is an independent, physical
+// restatement of the verifier in package coloring.
+func (s *Schedule) RadioCheck(g *graph.Graph) []Collision {
+	var out []Collision
+	for i, slot := range s.Slots {
+		slotNo := i + 1
+		transmitting := make(map[int]bool, len(slot))
+		for _, a := range slot {
+			transmitting[a.From] = true
+		}
+		for _, a := range slot {
+			if transmitting[a.To] {
+				out = append(out, Collision{Slot: slotNo, Receiver: a.To, Heard: []int{a.To}})
+				continue
+			}
+			var heard []int
+			for _, w := range g.Neighbors(a.To) {
+				if transmitting[w] {
+					heard = append(heard, w)
+				}
+			}
+			if len(heard) != 1 || heard[0] != a.From {
+				out = append(out, Collision{Slot: slotNo, Receiver: a.To, Heard: heard})
+			}
+		}
+	}
+	return out
+}
+
+// Stats summarises frame utilization.
+type Stats struct {
+	FrameLength    int     `json:"frame_length"`
+	Links          int     `json:"links"` // total arcs scheduled
+	MaxConcurrency int     `json:"max_concurrency"`
+	AvgConcurrency float64 `json:"avg_concurrency"`
+}
+
+// Stats computes occupancy statistics of the frame.
+func (s *Schedule) Stats() Stats {
+	st := Stats{FrameLength: s.FrameLength}
+	for _, slot := range s.Slots {
+		st.Links += len(slot)
+		if len(slot) > st.MaxConcurrency {
+			st.MaxConcurrency = len(slot)
+		}
+	}
+	if s.FrameLength > 0 {
+		st.AvgConcurrency = float64(st.Links) / float64(s.FrameLength)
+	}
+	return st
+}
+
+// jsonSchedule is the serialized form.
+type jsonSchedule struct {
+	FrameLength int         `json:"frame_length"`
+	Slots       [][]jsonArc `json:"slots"`
+}
+
+type jsonArc struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	js := jsonSchedule{FrameLength: s.FrameLength, Slots: make([][]jsonArc, len(s.Slots))}
+	for i, slot := range s.Slots {
+		for _, a := range slot {
+			js.Slots[i] = append(js.Slots[i], jsonArc{From: a.From, To: a.To})
+		}
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON implements json.Unmarshaler; node timetables are rebuilt.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var js jsonSchedule
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	s.FrameLength = js.FrameLength
+	s.Slots = make([][]graph.Arc, len(js.Slots))
+	s.NodeTX = make(map[int]map[int]int)
+	s.NodeRX = make(map[int]map[int]int)
+	for i, slot := range js.Slots {
+		for _, ja := range slot {
+			a := graph.Arc{From: ja.From, To: ja.To}
+			s.Slots[i] = append(s.Slots[i], a)
+			if s.NodeTX[a.From] == nil {
+				s.NodeTX[a.From] = make(map[int]int)
+			}
+			if s.NodeRX[a.To] == nil {
+				s.NodeRX[a.To] = make(map[int]int)
+			}
+			s.NodeTX[a.From][i+1] = a.To
+			s.NodeRX[a.To][i+1] = a.From
+		}
+	}
+	return nil
+}
+
+// Assignment converts the schedule back to an arc coloring.
+func (s *Schedule) Assignment() coloring.Assignment {
+	as := make(coloring.Assignment)
+	for i, slot := range s.Slots {
+		for _, a := range slot {
+			as[a] = i + 1
+		}
+	}
+	return as
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+)
+
+// SINRParams configures the physical (signal-to-interference-plus-noise
+// ratio) channel model of the paper's related-work discussion: a
+// transmission from u to v succeeds when
+//
+//	(P·d(u,v)^-α) / (N + Σ_w P·d(w,v)^-α) ≥ β
+//
+// summing over the other simultaneous transmitters w. Graph-based
+// schedules do not guarantee SINR feasibility (the paper argues the SINR
+// model "has not been studied sufficiently from algorithmic point of
+// view"); SINRCheck quantifies how close a distance-2 schedule gets.
+type SINRParams struct {
+	Power     float64 // transmit power P
+	PathLoss  float64 // path-loss exponent α (2 free space … 6 indoor)
+	Noise     float64 // ambient noise floor N
+	Threshold float64 // reception threshold β
+}
+
+// DefaultSINRParams returns a conventional parameterization: α = 4,
+// β = 2 (≈3 dB), unit power, and a noise floor that lets a lone
+// transmission succeed comfortably at unit distance.
+func DefaultSINRParams() SINRParams {
+	return SINRParams{Power: 1, PathLoss: 4, Noise: 0.01, Threshold: 2}
+}
+
+// SINRViolation is one failed reception in the physical simulation.
+type SINRViolation struct {
+	Slot        int
+	Transmitter int
+	Receiver    int
+	SINR        float64
+}
+
+func (v SINRViolation) String() string {
+	return fmt.Sprintf("slot %d: link %d->%d achieves SINR %.3f", v.Slot, v.Transmitter, v.Receiver, v.SINR)
+}
+
+// SINRCheck replays every slot of the frame under the physical model using
+// the sensors' actual positions and returns each scheduled reception whose
+// SINR falls below the threshold. Co-located points (zero distance to an
+// interferer) count as violations.
+func (s *Schedule) SINRCheck(pts []geom.Point, p SINRParams) []SINRViolation {
+	var out []SINRViolation
+	for i, slot := range s.Slots {
+		slotNo := i + 1
+		transmitters := make([]int, 0, len(slot))
+		for _, a := range slot {
+			transmitters = append(transmitters, a.From)
+		}
+		for _, a := range slot {
+			sinr := s.sinrAt(pts, p, a, transmitters)
+			if sinr < p.Threshold {
+				out = append(out, SINRViolation{Slot: slotNo, Transmitter: a.From, Receiver: a.To, SINR: sinr})
+			}
+		}
+	}
+	return out
+}
+
+// SINRFeasibleFraction returns the fraction of scheduled receptions that
+// meet the threshold — the headline number of a physical-model evaluation.
+func (s *Schedule) SINRFeasibleFraction(pts []geom.Point, p SINRParams) float64 {
+	total := 0
+	for _, slot := range s.Slots {
+		total += len(slot)
+	}
+	if total == 0 {
+		return 1
+	}
+	bad := len(s.SINRCheck(pts, p))
+	return float64(total-bad) / float64(total)
+}
+
+func (s *Schedule) sinrAt(pts []geom.Point, p SINRParams, a graph.Arc, transmitters []int) float64 {
+	rx := pts[a.To]
+	signal := p.Power * math.Pow(pts[a.From].Dist(rx), -p.PathLoss)
+	if math.IsInf(signal, 1) {
+		// Transmitter co-located with the receiver: infinitely strong.
+		return math.Inf(1)
+	}
+	interference := p.Noise
+	for _, w := range transmitters {
+		if w == a.From {
+			continue
+		}
+		d := pts[w].Dist(rx)
+		if d == 0 {
+			return 0 // co-located interferer drowns the signal
+		}
+		interference += p.Power * math.Pow(d, -p.PathLoss)
+	}
+	return signal / interference
+}

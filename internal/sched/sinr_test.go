@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+)
+
+func TestSINRSingleTransmissionPasses(t *testing.T) {
+	g := graph.Path(2)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	as := coloring.NewAssignment(g)
+	as.Set(graph.Arc{From: 0, To: 1}, 1)
+	as.Set(graph.Arc{From: 1, To: 0}, 2)
+	s, err := Build(g, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.SINRCheck(pts, DefaultSINRParams()); len(v) != 0 {
+		t.Fatalf("lone unit-distance transmission fails SINR: %v", v)
+	}
+	if f := s.SINRFeasibleFraction(pts, DefaultSINRParams()); f != 1 {
+		t.Errorf("fraction = %v", f)
+	}
+}
+
+func TestSINRNearInterfererFails(t *testing.T) {
+	// Receiver 1 at distance 1 from its transmitter 0, with a simultaneous
+	// transmitter 2 just beyond graph range but physically close: the graph
+	// model allows it, the physical model does not.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2.2, Y: 0}, {X: 3.2, Y: 0}}
+	s := &Schedule{FrameLength: 1, Slots: [][]graph.Arc{{{From: 0, To: 1}, {From: 2, To: 3}}}}
+	v := s.SINRCheck(pts, SINRParams{Power: 1, PathLoss: 2, Noise: 0.01, Threshold: 2})
+	if len(v) == 0 {
+		t.Fatal("near interferer should break SINR at receiver 1")
+	}
+}
+
+func TestSINRCoLocatedInterferer(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 0}, {X: 5, Y: 0}}
+	s := &Schedule{FrameLength: 1, Slots: [][]graph.Arc{{{From: 0, To: 1}, {From: 2, To: 3}}}}
+	found := false
+	for _, v := range s.SINRCheck(pts, DefaultSINRParams()) {
+		if v.Receiver == 1 && v.SINR == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("co-located interferer not fatal")
+	}
+}
+
+func TestSINRFractionOnRealScheduleIsHigh(t *testing.T) {
+	// A distance-2 schedule on a UDG keeps interferers at least one radio
+	// range away from every receiver, so with α=4 the overwhelming majority
+	// of receptions meet a moderate threshold.
+	rng := rand.New(rand.NewSource(7))
+	g, pts := geom.RandomUDG(120, 12, 1.2, rng)
+	as := coloring.Greedy(g, nil)
+	s, err := Build(g, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.SINRFeasibleFraction(pts, DefaultSINRParams())
+	if f < 0.8 {
+		t.Errorf("SINR-feasible fraction %.3f suspiciously low for a distance-2 schedule", f)
+	}
+	t.Logf("SINR-feasible fraction: %.3f", f)
+}

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"fdlsp/internal/graph"
+)
+
+// AsyncNode is the behavior of one processor under the asynchronous model:
+// Run is the node's whole life, executed on its own goroutine. It typically
+// loops on env.Recv and returns when the protocol is over for this node (or
+// when Recv reports shutdown).
+type AsyncNode interface {
+	Run(env *AsyncEnv)
+}
+
+// DelayFn injects extra delivery delay (in virtual time units) per message;
+// the base cost of a hop is always 1 unit. rng is the sending node's private
+// generator, so delays are deterministic per seed. A nil DelayFn means no
+// extra delay.
+type DelayFn func(from, to int, rng *rand.Rand) int64
+
+// AsyncEnv is the per-node handle on the asynchronous engine. Only the
+// owning goroutine may use it.
+type AsyncEnv struct {
+	ID        int
+	Neighbors []int
+	Rand      *rand.Rand
+
+	engine *AsyncEngine
+	inbox  *msgQueue
+	clock  int64
+}
+
+// Clock returns the node's Lamport-style virtual time.
+func (e *AsyncEnv) Clock() int64 { return e.clock }
+
+// Send transmits payload to the neighbor "to". The message is stamped with
+// the sender's clock plus one hop plus any injected delay. Sending to a
+// non-neighbor panics. Messages to nodes that already finished are counted
+// and dropped, mirroring a transceiver that was switched off.
+func (e *AsyncEnv) Send(to int, payload any) {
+	eng := e.engine
+	if !eng.g.HasEdge(e.ID, to) {
+		panic(fmt.Sprintf("sim: node %d sending to non-neighbor %d", e.ID, to))
+	}
+	when := e.clock + 1
+	if eng.Delay != nil {
+		when += eng.Delay(e.ID, to, e.Rand)
+	}
+	m := Message{From: e.ID, To: to, When: when, Payload: payload}
+	eng.mu.Lock()
+	eng.stats.Messages++
+	if eng.dead[to] {
+		eng.mu.Unlock()
+		return
+	}
+	eng.inflight++
+	eng.inboxes[to].push(m)
+	eng.mu.Unlock()
+	if eng.Trace != nil {
+		eng.Trace.Emit(Event{Kind: EventSend, Time: when, From: e.ID, To: to, Payload: payloadName(payload)})
+	}
+}
+
+// Broadcast sends payload to every neighbor.
+func (e *AsyncEnv) Broadcast(payload any) {
+	for _, u := range e.Neighbors {
+		e.Send(u, payload)
+	}
+}
+
+// Recv blocks until a message arrives and returns it, advancing the node's
+// clock to the message's delivery time. It returns ok=false when the run is
+// shutting down (a node called FinishAll, or the whole system went
+// quiescent), at which point the node should return from Run.
+func (e *AsyncEnv) Recv() (Message, bool) {
+	eng := e.engine
+	for {
+		if m, ok := e.inbox.tryPop(); ok {
+			e.consume(m)
+			return m, true
+		}
+		eng.enterBlocked()
+		select {
+		case <-e.inbox.notify:
+			eng.exitBlocked()
+		case <-eng.stop:
+			eng.exitBlocked()
+			// Prefer delivering queued traffic over shutting down, so a
+			// FinishAll racing with late messages never drops work silently.
+			if m, ok := e.inbox.tryPop(); ok {
+				e.consume(m)
+				return m, true
+			}
+			return Message{}, false
+		}
+	}
+}
+
+func (e *AsyncEnv) consume(m Message) {
+	if m.When > e.clock {
+		e.clock = m.When
+	}
+	eng := e.engine
+	eng.mu.Lock()
+	eng.inflight--
+	if e.clock > eng.maxClock {
+		eng.maxClock = e.clock
+	}
+	eng.mu.Unlock()
+	if eng.Trace != nil {
+		eng.Trace.Emit(Event{Kind: EventDeliver, Time: m.When, From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+	}
+}
+
+// FinishAll signals global termination: all Recv calls (current and future)
+// return ok=false. Typically invoked by a designated node that detects the
+// protocol is complete (e.g. the DFS root when the token returns).
+func (e *AsyncEnv) FinishAll() { e.engine.finish() }
+
+// AsyncEngine runs one goroutine per node over the communication graph.
+type AsyncEngine struct {
+	g     *graph.Graph
+	nodes []AsyncNode
+	envs  []*AsyncEnv
+	// Delay optionally injects per-message delivery delay (failure
+	// injection / adversarial scheduling).
+	Delay DelayFn
+	// Trace optionally receives send, deliver, and termination events; the
+	// tracer must be safe for concurrent use.
+	Trace Tracer
+
+	inboxes []*msgQueue
+	stop    chan struct{}
+
+	mu       sync.Mutex
+	inflight int64
+	blocked  int
+	alive    int
+	dead     []bool
+	maxClock int64
+	stopped  bool
+	stats    Stats
+}
+
+// NewAsyncEngine builds an asynchronous engine over g; factory produces the
+// node behavior for each vertex. Seed derives per-node private RNGs.
+func NewAsyncEngine(g *graph.Graph, seed int64, factory func(id int) AsyncNode) *AsyncEngine {
+	eng := &AsyncEngine{
+		g:       g,
+		nodes:   make([]AsyncNode, g.N()),
+		envs:    make([]*AsyncEnv, g.N()),
+		inboxes: make([]*msgQueue, g.N()),
+		dead:    make([]bool, g.N()),
+		stop:    make(chan struct{}),
+	}
+	for v := 0; v < g.N(); v++ {
+		eng.nodes[v] = factory(v)
+		eng.inboxes[v] = newMsgQueue()
+		eng.envs[v] = &AsyncEnv{
+			ID:        v,
+			Neighbors: g.Neighbors(v),
+			Rand:      rand.New(rand.NewSource(seed ^ int64(v)*0x5851F42D4C957F2D ^ 0x7C15F0B3)),
+			engine:    eng,
+			inbox:     eng.inboxes[v],
+		}
+	}
+	return eng
+}
+
+// Inject queues an external kick-off message (e.g. a Start token) for node
+// "to" at virtual time 0 before the run begins.
+func (eng *AsyncEngine) Inject(to int, payload any) {
+	eng.mu.Lock()
+	eng.inflight++
+	eng.inboxes[to].push(Message{From: -1, To: to, When: 0, Payload: payload})
+	eng.mu.Unlock()
+}
+
+// Run starts every node goroutine and blocks until all have returned. If
+// every live node is blocked in Recv with no message in flight, the engine
+// declares quiescence and shuts the run down (so a protocol bug cannot hang
+// the caller).
+func (eng *AsyncEngine) Run() error {
+	n := eng.g.N()
+	eng.mu.Lock()
+	eng.alive = n
+	eng.mu.Unlock()
+	var wg sync.WaitGroup
+	panics := make([]error, n)
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panics[v] = fmt.Errorf("sim: node %d panicked: %v", v, r)
+					}
+				}()
+				eng.nodes[v].Run(eng.envs[v])
+			}()
+			if eng.Trace != nil {
+				eng.Trace.Emit(Event{Kind: EventNodeDone, Time: eng.envs[v].clock, From: v, To: -1})
+			}
+			eng.mu.Lock()
+			eng.dead[v] = true
+			eng.alive--
+			// Undelivered traffic to a finished node can never be consumed;
+			// drop it so it does not mask quiescence.
+			eng.inflight -= eng.inboxes[v].drain()
+			quiet := eng.alive == 0 || (eng.blocked == eng.alive && eng.inflight == 0)
+			eng.mu.Unlock()
+			if quiet {
+				eng.finish()
+			}
+		}(v)
+	}
+	wg.Wait()
+	eng.mu.Lock()
+	eng.stats.Rounds = eng.maxClock
+	eng.mu.Unlock()
+	for _, err := range panics {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the accounting of the last Run: Rounds is the worst-case
+// causal chain length (the asynchronous time complexity), Messages the
+// total number of messages sent.
+func (eng *AsyncEngine) Stats() Stats {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	return eng.stats
+}
+
+func (eng *AsyncEngine) enterBlocked() {
+	eng.mu.Lock()
+	eng.blocked++
+	quiet := eng.alive > 0 && eng.blocked == eng.alive && eng.inflight == 0
+	eng.mu.Unlock()
+	if quiet {
+		eng.finish()
+	}
+}
+
+func (eng *AsyncEngine) exitBlocked() {
+	eng.mu.Lock()
+	eng.blocked--
+	eng.mu.Unlock()
+}
+
+func (eng *AsyncEngine) finish() {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	if !eng.stopped {
+		eng.stopped = true
+		close(eng.stop)
+	}
+}
+
+// msgQueue is an unbounded FIFO mailbox. push never blocks; the owner waits
+// on notify (capacity 1, so a wakeup is never lost) and pops under the lock.
+type msgQueue struct {
+	mu     sync.Mutex
+	buf    []Message
+	notify chan struct{}
+}
+
+func newMsgQueue() *msgQueue {
+	return &msgQueue{notify: make(chan struct{}, 1)}
+}
+
+func (q *msgQueue) push(m Message) {
+	q.mu.Lock()
+	q.buf = append(q.buf, m)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (q *msgQueue) tryPop() (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) == 0 {
+		return Message{}, false
+	}
+	m := q.buf[0]
+	q.buf = q.buf[1:]
+	return m, true
+}
+
+// drain discards all queued messages and returns how many were dropped.
+func (q *msgQueue) drain() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := int64(len(q.buf))
+	q.buf = nil
+	return n
+}

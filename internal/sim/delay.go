@@ -1,0 +1,63 @@
+package sim
+
+import "math/rand"
+
+// Delay presets for failure injection in the asynchronous engine. All are
+// deterministic per seed (they only draw from the sending node's private
+// generator) and only stretch virtual time — protocol correctness must not
+// depend on timing, which the tests exercise by running every async
+// algorithm under each preset.
+
+// NoDelay is the identity: every hop costs exactly one time unit.
+func NoDelay() DelayFn { return nil }
+
+// UniformDelay adds 0..max extra units to every message, independently.
+func UniformDelay(max int64) DelayFn {
+	return func(from, to int, rng *rand.Rand) int64 {
+		if max <= 0 {
+			return 0
+		}
+		return rng.Int63n(max + 1)
+	}
+}
+
+// HeavyTailDelay is mostly fast but occasionally very slow: with
+// probability 1/16 a message takes up to spike extra units, otherwise at
+// most 1. Models interference bursts.
+func HeavyTailDelay(spike int64) DelayFn {
+	return func(from, to int, rng *rand.Rand) int64 {
+		if rng.Intn(16) == 0 {
+			if spike <= 0 {
+				return 0
+			}
+			return rng.Int63n(spike + 1)
+		}
+		return rng.Int63n(2)
+	}
+}
+
+// SlowLinkDelay degrades exactly the links for which slow returns true
+// (e.g. one congested region) by a fixed penalty each way.
+func SlowLinkDelay(penalty int64, slow func(u, v int) bool) DelayFn {
+	return func(from, to int, rng *rand.Rand) int64 {
+		if slow(from, to) {
+			return penalty
+		}
+		return 0
+	}
+}
+
+// SlowNodeDelay penalizes every message sent by the given nodes (duty-
+// cycled or failing senders).
+func SlowNodeDelay(penalty int64, nodes ...int) DelayFn {
+	set := make(map[int]struct{}, len(nodes))
+	for _, v := range nodes {
+		set[v] = struct{}{}
+	}
+	return func(from, to int, rng *rand.Rand) int64 {
+		if _, ok := set[from]; ok {
+			return penalty
+		}
+		return 0
+	}
+}

@@ -1,0 +1,40 @@
+// Package sim is the distributed message-passing runtime used by every
+// algorithm in this repository. It provides two engines matching the
+// paper's two communication models (Section 1):
+//
+//   - a synchronous round engine: in each round every node receives the
+//     messages sent to it in the previous round, computes, and sends to
+//     neighbors; node steps within a round execute in parallel on a worker
+//     pool; the engine counts rounds and messages;
+//
+//   - an asynchronous engine: each node runs as its own goroutine exchanging
+//     messages over channels; virtual time is tracked with Lamport-style
+//     clocks (each hop costs at least one time unit, plus any injected
+//     delay), so the reported time is the worst-case causal chain length,
+//     the asynchronous notion of "communication rounds" used by the paper.
+//
+// Both engines deliver messages only along edges of the communication graph
+// and count every message sent.
+package sim
+
+import "fmt"
+
+// Message is a payload in flight between two adjacent nodes.
+type Message struct {
+	From, To int
+	// When is the virtual time at which the message is delivered (set by the
+	// engines; in the synchronous engine it is the delivery round).
+	When int64
+	// Payload is the algorithm-specific content.
+	Payload any
+}
+
+func (m Message) String() string {
+	return fmt.Sprintf("msg %d->%d @%d: %v", m.From, m.To, m.When, m.Payload)
+}
+
+// Stats aggregates the cost accounting of one run.
+type Stats struct {
+	Rounds   int64 // synchronous rounds, or async worst-case causal time
+	Messages int64 // total messages sent
+}

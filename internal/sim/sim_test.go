@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"fdlsp/internal/graph"
+)
+
+// floodNode implements a simple synchronous BFS flood: the source sends a
+// token in round 0; every node records the round it first hears it and
+// relays once.
+type floodNode struct {
+	source  bool
+	heardAt int
+	relayed bool
+}
+
+func (n *floodNode) Step(env *SyncEnv, inbox []Message) bool {
+	if env.Round == 0 {
+		n.heardAt = -1
+		if n.source {
+			n.heardAt = 0
+			env.Broadcast("token")
+			n.relayed = true
+		}
+		return n.relayed
+	}
+	if n.heardAt < 0 && len(inbox) > 0 {
+		n.heardAt = env.Round
+		if !n.relayed {
+			env.Broadcast("token")
+			n.relayed = true
+		}
+	}
+	return n.heardAt >= 0
+}
+
+func TestSyncEngineBFSFloodTiming(t *testing.T) {
+	g := graph.Path(6)
+	nodes := make([]*floodNode, g.N())
+	eng := NewSyncEngine(g, 1, func(id int) SyncNode {
+		nodes[id] = &floodNode{source: id == 0}
+		return nodes[id]
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for v, nd := range nodes {
+		if nd.heardAt != v {
+			t.Errorf("node %d heard at round %d, want %d (flood travels one hop per round)", v, nd.heardAt, v)
+		}
+	}
+	st := eng.Stats()
+	// Each node broadcasts exactly once: sum of degrees = 2m messages.
+	if st.Messages != int64(2*g.M()) {
+		t.Errorf("messages = %d, want %d", st.Messages, 2*g.M())
+	}
+}
+
+func TestSyncEngineRoundBudget(t *testing.T) {
+	g := graph.Path(2)
+	eng := NewSyncEngine(g, 1, func(id int) SyncNode { return stepFunc(func(env *SyncEnv, in []Message) bool { return false }) })
+	eng.MaxRounds = 10
+	if err := eng.Run(); err == nil {
+		t.Fatal("expected round-budget error for never-terminating nodes")
+	}
+}
+
+type stepFunc func(*SyncEnv, []Message) bool
+
+func (f stepFunc) Step(env *SyncEnv, in []Message) bool { return f(env, in) }
+
+func TestSyncSendToNonNeighborFailsRun(t *testing.T) {
+	g := graph.Path(3) // 0-1-2; 0 and 2 not adjacent
+	eng := NewSyncEngine(g, 1, func(id int) SyncNode {
+		return stepFunc(func(env *SyncEnv, in []Message) bool {
+			if env.ID == 0 {
+				env.Send(2, "illegal")
+			}
+			return true
+		})
+	})
+	if err := eng.Run(); err == nil {
+		t.Fatal("expected the engine to surface the illegal send as an error")
+	}
+}
+
+func TestAsyncNodePanicFailsRun(t *testing.T) {
+	g := graph.Path(2)
+	eng := NewAsyncEngine(g, 1, func(id int) AsyncNode {
+		return asyncFunc(func(env *AsyncEnv) {
+			if env.ID == 1 {
+				panic("node bug")
+			}
+			for {
+				if _, ok := env.Recv(); !ok {
+					return
+				}
+			}
+		})
+	})
+	if err := eng.Run(); err == nil {
+		t.Fatal("expected the engine to surface the node panic as an error")
+	}
+}
+
+func TestSyncInboxSortedBySender(t *testing.T) {
+	g := graph.Star(5)
+	var bad atomic.Bool
+	eng := NewSyncEngine(g, 1, func(id int) SyncNode {
+		return stepFunc(func(env *SyncEnv, in []Message) bool {
+			if env.Round == 0 && env.ID != 0 {
+				env.Send(0, env.ID)
+				return true
+			}
+			for i := 1; i < len(in); i++ {
+				if in[i-1].From > in[i].From {
+					bad.Store(true)
+				}
+			}
+			return true
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() {
+		t.Error("inbox not sorted by sender")
+	}
+}
+
+func TestSyncDeterministicAcrossRuns(t *testing.T) {
+	g := graph.GNM(20, 50, rand.New(rand.NewSource(3)))
+	run := func() []int64 {
+		var draws []int64
+		eng := NewSyncEngine(g, 42, func(id int) SyncNode {
+			return stepFunc(func(env *SyncEnv, in []Message) bool {
+				if env.Round == 0 && env.ID == 7 {
+					draws = append(draws, env.Rand.Int63())
+				}
+				return true
+			})
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return draws
+	}
+	a, b := run(), run()
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Errorf("per-node RNG not deterministic per seed: %v vs %v", a, b)
+	}
+}
+
+// pingPong bounces a counter between two async nodes k times.
+type pingPong struct {
+	limit int
+	last  *atomic.Int64
+}
+
+func (p *pingPong) Run(env *AsyncEnv) {
+	if env.ID == 0 {
+		env.Send(1, 1)
+	}
+	for {
+		m, ok := env.Recv()
+		if !ok {
+			return
+		}
+		k := m.Payload.(int)
+		p.last.Store(int64(k))
+		if k >= p.limit {
+			env.FinishAll()
+			return
+		}
+		env.Send(m.From, k+1)
+	}
+}
+
+func TestAsyncPingPong(t *testing.T) {
+	g := graph.Path(2)
+	var last atomic.Int64
+	eng := NewAsyncEngine(g, 1, func(id int) AsyncNode { return &pingPong{limit: 10, last: &last} })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if last.Load() != 10 {
+		t.Errorf("ping-pong stopped at %d", last.Load())
+	}
+	st := eng.Stats()
+	if st.Messages != 10 {
+		t.Errorf("messages = %d, want 10", st.Messages)
+	}
+	// Each hop advances virtual time by >= 1: 10 hops => clock >= 10.
+	if st.Rounds < 10 {
+		t.Errorf("virtual time %d < 10 hops", st.Rounds)
+	}
+}
+
+func TestAsyncQuiescenceDetection(t *testing.T) {
+	// Nodes that just wait must not deadlock: the engine detects global
+	// quiescence and shuts down.
+	g := graph.Path(3)
+	eng := NewAsyncEngine(g, 1, func(id int) AsyncNode {
+		return asyncFunc(func(env *AsyncEnv) {
+			for {
+				if _, ok := env.Recv(); !ok {
+					return
+				}
+			}
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type asyncFunc func(*AsyncEnv)
+
+func (f asyncFunc) Run(env *AsyncEnv) { f(env) }
+
+func TestAsyncInjectAndDelay(t *testing.T) {
+	g := graph.Path(2)
+	var sawWhen atomic.Int64
+	eng := NewAsyncEngine(g, 1, func(id int) AsyncNode {
+		return asyncFunc(func(env *AsyncEnv) {
+			for {
+				m, ok := env.Recv()
+				if !ok {
+					return
+				}
+				if env.ID == 0 {
+					env.Send(1, "hi")
+				} else {
+					sawWhen.Store(m.When)
+					env.FinishAll()
+					return
+				}
+			}
+		})
+	})
+	eng.Delay = func(from, to int, rng *rand.Rand) int64 { return 41 }
+	eng.Inject(0, "go")
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sawWhen.Load(); got != 42 {
+		t.Errorf("delayed message arrived at %d, want clock 0 + 1 hop + 41 delay = 42", got)
+	}
+}
+
+func TestAsyncDeadNodeTrafficDropped(t *testing.T) {
+	// Node 1 exits immediately; node 0 sends to it then waits. The engine
+	// must not hang on the undeliverable message.
+	g := graph.Path(2)
+	eng := NewAsyncEngine(g, 1, func(id int) AsyncNode {
+		return asyncFunc(func(env *AsyncEnv) {
+			if env.ID == 1 {
+				return // dies instantly
+			}
+			env.Send(1, "into the void")
+			for {
+				if _, ok := env.Recv(); !ok {
+					return
+				}
+			}
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgQueueFIFO(t *testing.T) {
+	q := newMsgQueue()
+	for i := 0; i < 100; i++ {
+		q.push(Message{When: int64(i)})
+	}
+	for i := 0; i < 100; i++ {
+		m, ok := q.tryPop()
+		if !ok || m.When != int64(i) {
+			t.Fatalf("pop %d: ok=%v when=%d", i, ok, m.When)
+		}
+	}
+	if _, ok := q.tryPop(); ok {
+		t.Error("pop from empty queue succeeded")
+	}
+	q.push(Message{})
+	if n := q.drain(); n != 1 {
+		t.Errorf("drain = %d", n)
+	}
+}

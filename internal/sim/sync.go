@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fdlsp/internal/graph"
+)
+
+// SyncNode is the behavior of one processor under the synchronous model.
+// Implementations keep all mutable state inside themselves; the engine
+// guarantees Step is never called concurrently for the same node.
+type SyncNode interface {
+	// Step executes one synchronous round: inbox holds the messages sent to
+	// this node in the previous round (sorted by sender), and sends are
+	// issued through env. It returns true when the node has terminated
+	// locally; a terminated node still receives messages (its Step keeps
+	// being called while traffic addressed to it exists) so protocols may
+	// keep serving queries after deciding.
+	Step(env *SyncEnv, inbox []Message) bool
+}
+
+// SyncEnv is the per-node view of the synchronous engine passed to Step.
+type SyncEnv struct {
+	ID        int
+	Round     int
+	Neighbors []int // sorted, fixed for the run
+	Rand      *rand.Rand
+
+	engine *SyncEngine
+	outbox []Message
+}
+
+// Send enqueues a message to neighbor "to" for delivery next round. Sending
+// to a non-neighbor panics: the model only has channels along edges.
+func (e *SyncEnv) Send(to int, payload any) {
+	if !e.engine.g.HasEdge(e.ID, to) {
+		panic(fmt.Sprintf("sim: node %d sending to non-neighbor %d", e.ID, to))
+	}
+	e.outbox = append(e.outbox, Message{From: e.ID, To: to, Payload: payload})
+}
+
+// Broadcast sends payload to every neighbor.
+func (e *SyncEnv) Broadcast(payload any) {
+	for _, u := range e.Neighbors {
+		e.Send(u, payload)
+	}
+}
+
+// SyncEngine drives a set of SyncNodes over a communication graph in
+// lock-step rounds. Node steps within a round run in parallel.
+type SyncEngine struct {
+	g     *graph.Graph
+	nodes []SyncNode
+	envs  []*SyncEnv
+	// MaxRounds bounds the run; exceeded runs return an error. Zero means
+	// the default of 10_000 + 100·n rounds.
+	MaxRounds int
+	// Trace optionally receives round, send, and node-termination events.
+	Trace Tracer
+
+	stats Stats
+}
+
+// NewSyncEngine builds an engine for graph g with one node per vertex,
+// produced by factory. Seed derives each node's private RNG (deterministic
+// runs for a fixed seed regardless of scheduling, since parallelism never
+// crosses node state).
+func NewSyncEngine(g *graph.Graph, seed int64, factory func(id int) SyncNode) *SyncEngine {
+	eng := &SyncEngine{g: g, nodes: make([]SyncNode, g.N()), envs: make([]*SyncEnv, g.N())}
+	for v := 0; v < g.N(); v++ {
+		eng.nodes[v] = factory(v)
+		eng.envs[v] = &SyncEnv{
+			ID:        v,
+			Neighbors: g.Neighbors(v),
+			Rand:      rand.New(rand.NewSource(seed ^ int64(v)*0x5851F42D4C957F2D ^ 0x5BF03635)),
+			engine:    eng,
+		}
+	}
+	return eng
+}
+
+// Stats returns the accounting of the last Run.
+func (eng *SyncEngine) Stats() Stats { return eng.stats }
+
+// Run executes rounds until every node has reported termination and no
+// messages remain in flight, or the round budget is exhausted (error).
+func (eng *SyncEngine) Run() error {
+	n := eng.g.N()
+	maxRounds := eng.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 10_000 + 100*n
+	}
+	inboxes := make([][]Message, n)
+	done := make([]bool, n)
+	doneSeen := make([]bool, n)
+	eng.stats = Stats{}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			return fmt.Errorf("sim: synchronous run exceeded %d rounds", maxRounds)
+		}
+		allDone := true
+		pending := false
+		for v := 0; v < n; v++ {
+			if !done[v] {
+				allDone = false
+			}
+			if len(inboxes[v]) > 0 {
+				pending = true
+			}
+		}
+		if allDone && !pending {
+			eng.stats.Rounds = int64(round)
+			return nil
+		}
+		if eng.Trace != nil {
+			eng.Trace.Emit(Event{Kind: EventRoundStart, Time: int64(round)})
+		}
+
+		// Parallel step: each worker owns a disjoint stripe of nodes. A
+		// panicking node aborts the run with an error instead of killing
+		// the process.
+		var wg sync.WaitGroup
+		panics := make([]error, workers)
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panics[w] = fmt.Errorf("sim: node step panicked: %v", r)
+					}
+				}()
+				for v := lo; v < hi; v++ {
+					env := eng.envs[v]
+					env.Round = round
+					env.outbox = env.outbox[:0]
+					inbox := inboxes[v]
+					sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
+					done[v] = eng.nodes[v].Step(env, inbox)
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range panics {
+			if err != nil {
+				return err
+			}
+		}
+
+		// Deliver for next round, deterministically in node order.
+		for v := range inboxes {
+			inboxes[v] = inboxes[v][:0]
+		}
+		for v := 0; v < n; v++ {
+			for _, m := range eng.envs[v].outbox {
+				m.When = int64(round + 1)
+				inboxes[m.To] = append(inboxes[m.To], m)
+				eng.stats.Messages++
+				if eng.Trace != nil {
+					eng.Trace.Emit(Event{Kind: EventSend, Time: int64(round), From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+				}
+			}
+			if eng.Trace != nil && done[v] && !doneSeen[v] {
+				doneSeen[v] = true
+				eng.Trace.Emit(Event{Kind: EventNodeDone, Time: int64(round), From: v, To: -1})
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+const (
+	// EventRoundStart marks the beginning of a synchronous round.
+	EventRoundStart EventKind = iota
+	// EventSend is a message entering the network.
+	EventSend
+	// EventDeliver is a message reaching its destination (async engine).
+	EventDeliver
+	// EventNodeDone marks a node's local termination.
+	EventNodeDone
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventRoundStart:
+		return "round"
+	case EventSend:
+		return "send"
+	case EventDeliver:
+		return "deliver"
+	case EventNodeDone:
+		return "done"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one observable step of a simulation.
+type Event struct {
+	Kind     EventKind
+	Time     int64 // round (sync) or virtual time (async)
+	From, To int   // message endpoints, or (node, -1)
+	Payload  string
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EventSend, EventDeliver:
+		return fmt.Sprintf("[%6d] %-7s %d->%d %s", e.Time, e.Kind, e.From, e.To, e.Payload)
+	default:
+		return fmt.Sprintf("[%6d] %-7s node=%d", e.Time, e.Kind, e.From)
+	}
+}
+
+// Tracer receives simulation events. Implementations must be safe for
+// concurrent use: both engines emit from multiple goroutines.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Recorder is a bounded, thread-safe Tracer: it keeps the last Cap events
+// and aggregate counts per kind and per payload type. The zero value is
+// unbounded below the default cap.
+type Recorder struct {
+	// Cap bounds retained events (default 4096; older events are dropped).
+	Cap int
+
+	mu      sync.Mutex
+	events  []Event
+	dropped int64
+	byKind  map[EventKind]int64
+	byPay   map[string]int64
+}
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cap := r.Cap
+	if cap == 0 {
+		cap = 4096
+	}
+	if r.byKind == nil {
+		r.byKind = make(map[EventKind]int64)
+		r.byPay = make(map[string]int64)
+	}
+	r.byKind[e.Kind]++
+	if e.Kind == EventSend && e.Payload != "" {
+		r.byPay[e.Payload]++
+	}
+	if len(r.events) >= cap {
+		r.events = r.events[1:]
+		r.dropped++
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the retained events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Count returns the total number of events of the given kind.
+func (r *Recorder) Count(k EventKind) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byKind[k]
+}
+
+// MessageBreakdown returns sends per payload type name.
+func (r *Recorder) MessageBreakdown() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.byPay))
+	for k, v := range r.byPay {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary renders the aggregate counts.
+func (r *Recorder) Summary() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "events: %d retained, %d dropped\n", len(r.events), r.dropped)
+	for _, k := range []EventKind{EventRoundStart, EventSend, EventDeliver, EventNodeDone} {
+		if n := r.byKind[k]; n > 0 {
+			fmt.Fprintf(&b, "  %-8s %d\n", k, n)
+		}
+	}
+	if len(r.byPay) > 0 {
+		b.WriteString("  sends by payload type:\n")
+		for name, n := range r.byPay {
+			fmt.Fprintf(&b, "    %-30s %d\n", name, n)
+		}
+	}
+	return b.String()
+}
+
+// payloadName returns a compact type name for breakdowns.
+func payloadName(p any) string {
+	return fmt.Sprintf("%T", p)
+}

@@ -1,0 +1,160 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sched"
+)
+
+func frameOf(tb testing.TB, g *graph.Graph) *sched.Schedule {
+	tb.Helper()
+	s, err := sched.Build(g, coloring.Greedy(g, nil))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestNextHops(t *testing.T) {
+	g := graph.Path(5)
+	next := NextHops(g, 4)
+	for v := 0; v < 4; v++ {
+		if next[v] != v+1 {
+			t.Errorf("next[%d] = %d, want %d", v, next[v], v+1)
+		}
+	}
+	if next[4] != -1 {
+		t.Error("destination should have no next hop")
+	}
+	g2 := graph.New(3)
+	g2.AddEdge(0, 1)
+	if next := NextHops(g2, 2); next[0] != -1 {
+		t.Error("unreachable node should have next hop -1")
+	}
+}
+
+func TestSimulateSingleFlowOnPath(t *testing.T) {
+	g := graph.Path(5)
+	s := frameOf(t, g)
+	res, err := Simulate(g, s, []Flow{{Src: 0, Dst: 4, Packets: 1}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 || res.TotalPackets != 1 {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.TotalPackets)
+	}
+	// 4 hops, one hop per slot minimum.
+	if res.AvgLatency < 4 {
+		t.Errorf("latency %v below hop count", res.AvgLatency)
+	}
+	if res.MaxLatency < int64(res.AvgLatency) {
+		t.Error("max latency below average")
+	}
+}
+
+func TestSimulateConvergecastDrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var g *graph.Graph
+	for {
+		g, _ = geom.RandomUDG(60, 8, 1.6, rng)
+		if g.Connected() {
+			break
+		}
+	}
+	s := frameOf(t, g)
+	flows := ConvergecastFlows(g, 0)
+	res, err := Simulate(g, s, flows, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != g.N()-1 {
+		t.Fatalf("delivered %d of %d", res.Delivered, g.N()-1)
+	}
+	if res.Frames < 1 || res.SlotsElapsed != int64(res.Frames)*int64(s.FrameLength) {
+		t.Error("frame accounting wrong")
+	}
+	if res.MaxQueue < 1 {
+		t.Error("convergecast must queue at the bottleneck")
+	}
+}
+
+func TestSimulateMultiplePacketsAndCrossFlows(t *testing.T) {
+	g := graph.Grid(4, 4)
+	s := frameOf(t, g)
+	flows := []Flow{
+		{Src: 0, Dst: 15, Packets: 5},
+		{Src: 15, Dst: 0, Packets: 5},
+		{Src: 3, Dst: 12, Packets: 3},
+	}
+	res, err := Simulate(g, s, flows, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 13 {
+		t.Fatalf("delivered %d, want 13", res.Delivered)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	s := frameOf(t, g)
+	if _, err := Simulate(g, s, []Flow{{Src: 0, Dst: 3, Packets: 1}}, 10); err == nil {
+		t.Error("unreachable destination should error")
+	}
+	if _, err := Simulate(g, s, []Flow{{Src: 0, Dst: 0, Packets: 1}}, 10); err == nil {
+		t.Error("self flow should error")
+	}
+	if _, err := Simulate(g, s, []Flow{{Src: 0, Dst: 9, Packets: 1}}, 10); err == nil {
+		t.Error("out-of-range flow should error")
+	}
+}
+
+func TestSimulateFullDuplexBothDirections(t *testing.T) {
+	// Full duplex: opposite flows over the same edge both complete within
+	// the same frame structure.
+	g := graph.Path(2)
+	s := frameOf(t, g)
+	res, err := Simulate(g, s, []Flow{
+		{Src: 0, Dst: 1, Packets: 1},
+		{Src: 1, Dst: 0, Packets: 1},
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2 || res.Frames != 1 {
+		t.Errorf("full duplex exchange took %d frames, delivered %d", res.Frames, res.Delivered)
+	}
+}
+
+func TestLatencyScalesWithSparserSchedules(t *testing.T) {
+	// A frame twice as long cannot make delivery faster in slots.
+	g := graph.Path(6)
+	short := frameOf(t, g)
+	// Build an artificially stretched schedule: same arcs, colors doubled.
+	as := coloring.Greedy(g, nil)
+	stretched := coloring.NewAssignment(g)
+	for a, c := range as {
+		stretched.Set(a, 2*c)
+	}
+	long, err := sched.Build(g, stretched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := []Flow{{Src: 0, Dst: 5, Packets: 2}}
+	rs, err := Simulate(g, short, flow, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Simulate(g, long, flow, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.SlotsElapsed < rs.SlotsElapsed {
+		t.Errorf("stretched frame drained faster: %d < %d slots", rl.SlotsElapsed, rs.SlotsElapsed)
+	}
+}

@@ -1,0 +1,208 @@
+// Package viz renders sensor networks and TDMA schedules as SVG using only
+// the standard library: the field layout (nodes and links), a single slot's
+// concurrent transmissions (arrows), and a whole frame as a strip of slot
+// panels. cmd/fdlsp writes these with the -svg flag.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sched"
+)
+
+// Style bundles rendering options.
+type Style struct {
+	Scale      float64 // pixels per coordinate unit (default 40)
+	NodeRadius float64 // pixels (default 6)
+	Margin     float64 // pixels (default 20)
+	Labels     bool    // draw node IDs
+}
+
+func (st Style) withDefaults() Style {
+	if st.Scale == 0 {
+		st.Scale = 40
+	}
+	if st.NodeRadius == 0 {
+		st.NodeRadius = 6
+	}
+	if st.Margin == 0 {
+		st.Margin = 20
+	}
+	return st
+}
+
+// svgDoc accumulates SVG elements.
+type svgDoc struct {
+	w, h float64
+	b    strings.Builder
+}
+
+func (d *svgDoc) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (d *svgDoc) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&d.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="black" stroke-width="0.5"/>`+"\n", x, y, r, fill)
+}
+
+func (d *svgDoc) text(x, y float64, size float64, s string) {
+	fmt.Fprintf(&d.b, `<text x="%.1f" y="%.1f" font-size="%.1f" font-family="sans-serif">%s</text>`+"\n", x, y, size, s)
+}
+
+func (d *svgDoc) arrow(x1, y1, x2, y2 float64, stroke string, width float64) {
+	d.line(x1, y1, x2, y2, stroke, width)
+	// Arrowhead: small triangle at 85% of the way.
+	dx, dy := x2-x1, y2-y1
+	l := math.Hypot(dx, dy)
+	if l == 0 {
+		return
+	}
+	ux, uy := dx/l, dy/l
+	tipX, tipY := x1+dx*0.85, y1+dy*0.85
+	size := 5.0
+	leftX := tipX - size*ux + size*0.5*uy
+	leftY := tipY - size*uy - size*0.5*ux
+	rightX := tipX - size*ux - size*0.5*uy
+	rightY := tipY - size*uy + size*0.5*ux
+	fmt.Fprintf(&d.b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s"/>`+"\n",
+		tipX, tipY, leftX, leftY, rightX, rightY, stroke)
+}
+
+func (d *svgDoc) String() string {
+	return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		d.w, d.h, d.w, d.h) + `<rect width="100%" height="100%" fill="white"/>` + "\n" + d.b.String() + "</svg>\n"
+}
+
+// project maps field coordinates to pixels.
+func project(pts []geom.Point, st Style) (func(geom.Point) (float64, float64), float64, float64) {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if len(pts) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	w := (maxX-minX)*st.Scale + 2*st.Margin
+	h := (maxY-minY)*st.Scale + 2*st.Margin
+	return func(p geom.Point) (float64, float64) {
+		return (p.X-minX)*st.Scale + st.Margin, (p.Y-minY)*st.Scale + st.Margin
+	}, w, h
+}
+
+// Network renders the field: sensors as dots, links as gray lines.
+func Network(g *graph.Graph, pts []geom.Point, st Style) string {
+	st = st.withDefaults()
+	proj, w, h := project(pts, st)
+	doc := &svgDoc{w: w, h: h}
+	for _, e := range g.Edges() {
+		x1, y1 := proj(pts[e.U])
+		x2, y2 := proj(pts[e.V])
+		doc.line(x1, y1, x2, y2, "#bbbbbb", 1)
+	}
+	for v, p := range pts {
+		x, y := proj(p)
+		doc.circle(x, y, st.NodeRadius, "#3b6ea5")
+		if st.Labels {
+			doc.text(x+st.NodeRadius, y-st.NodeRadius, 10, fmt.Sprintf("%d", v))
+		}
+	}
+	return doc.String()
+}
+
+// Slot renders one TDMA slot: idle links gray, the slot's transmissions as
+// colored arrows from transmitter to receiver.
+func Slot(g *graph.Graph, pts []geom.Point, s *sched.Schedule, slot int, st Style) (string, error) {
+	if slot < 1 || slot > s.FrameLength {
+		return "", fmt.Errorf("viz: slot %d outside frame [1,%d]", slot, s.FrameLength)
+	}
+	st = st.withDefaults()
+	proj, w, h := project(pts, st)
+	doc := &svgDoc{w: w, h: h}
+	for _, e := range g.Edges() {
+		x1, y1 := proj(pts[e.U])
+		x2, y2 := proj(pts[e.V])
+		doc.line(x1, y1, x2, y2, "#dddddd", 1)
+	}
+	for _, a := range s.Slots[slot-1] {
+		x1, y1 := proj(pts[a.From])
+		x2, y2 := proj(pts[a.To])
+		doc.arrow(x1, y1, x2, y2, "#c0392b", 2)
+	}
+	for v, p := range pts {
+		x, y := proj(p)
+		fill := "#3b6ea5"
+		if _, tx := s.NodeTX[v][slot]; tx {
+			fill = "#c0392b" // transmitting
+		} else if _, rx := s.NodeRX[v][slot]; rx {
+			fill = "#27ae60" // receiving
+		}
+		doc.circle(x, y, st.NodeRadius, fill)
+		if st.Labels {
+			doc.text(x+st.NodeRadius, y-st.NodeRadius, 10, fmt.Sprintf("%d", v))
+		}
+	}
+	doc.text(st.Margin, h-4, 12, fmt.Sprintf("slot %d/%d — %d transmissions", slot, s.FrameLength, len(s.Slots[slot-1])))
+	return doc.String(), nil
+}
+
+// Frame renders the whole schedule as a horizontal strip of slot panels
+// (at most maxSlots panels; 0 means all).
+func Frame(g *graph.Graph, pts []geom.Point, s *sched.Schedule, maxSlots int, st Style) (string, error) {
+	st = st.withDefaults()
+	n := s.FrameLength
+	if maxSlots > 0 && n > maxSlots {
+		n = maxSlots
+	}
+	if n == 0 {
+		return Network(g, pts, st), nil
+	}
+	_, w, h := project(pts, st)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		w*float64(n), h, w*float64(n), h)
+	for i := 1; i <= n; i++ {
+		panel, err := Slot(g, pts, s, i, st)
+		if err != nil {
+			return "", err
+		}
+		// Strip the outer <svg> wrapper and translate the panel.
+		inner := panel
+		if idx := strings.Index(inner, ">"); idx >= 0 {
+			inner = inner[idx+1:]
+		}
+		inner = strings.TrimSuffix(strings.TrimSpace(inner), "</svg>")
+		fmt.Fprintf(&b, `<g transform="translate(%.0f,0)">`+"\n%s</g>\n", w*float64(i-1), inner)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// SlotHistogram renders frame occupancy as a bar chart (transmissions per
+// slot) — a quick visual of how evenly the schedule packs the frame.
+func SlotHistogram(s *sched.Schedule) string {
+	const barW, maxH, margin = 8.0, 120.0, 20.0
+	max := 1
+	for _, slot := range s.Slots {
+		if len(slot) > max {
+			max = len(slot)
+		}
+	}
+	w := margin*2 + barW*float64(s.FrameLength)
+	h := maxH + margin*2
+	doc := &svgDoc{w: w, h: h}
+	for i, slot := range s.Slots {
+		bh := maxH * float64(len(slot)) / float64(max)
+		x := margin + float64(i)*barW
+		fmt.Fprintf(&doc.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#3b6ea5"/>`+"\n",
+			x, margin+maxH-bh, barW-1, bh)
+	}
+	doc.text(margin, margin-6, 11, fmt.Sprintf("transmissions per slot (max %d, frame %d)", max, s.FrameLength))
+	return doc.String()
+}

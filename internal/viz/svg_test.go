@@ -1,0 +1,103 @@
+package viz
+
+import (
+	"encoding/xml"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/sched"
+)
+
+func testNetwork(tb testing.TB) (*sched.Schedule, []geom.Point, int, int) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g, pts := geom.RandomUDG(30, 6, 1.5, rng)
+	s, err := sched.Build(g, coloring.Greedy(g, nil))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s, pts, g.N(), g.M()
+}
+
+// wellFormed checks the output parses as XML.
+func wellFormed(tb testing.TB, svg string) {
+	tb.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			tb.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestNetworkRendering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, pts := geom.RandomUDG(25, 6, 1.5, rng)
+	svg := Network(g, pts, Style{Labels: true})
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<circle"); got != g.N() {
+		t.Errorf("%d circles for %d nodes", got, g.N())
+	}
+	if got := strings.Count(svg, "<line"); got != g.M() {
+		t.Errorf("%d lines for %d edges", got, g.M())
+	}
+	if got := strings.Count(svg, "<text"); got != g.N() {
+		t.Errorf("%d labels for %d nodes", got, g.N())
+	}
+}
+
+func TestSlotRendering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, pts := geom.RandomUDG(25, 6, 1.5, rng)
+	s, err := sched.Build(g, coloring.Greedy(g, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FrameLength == 0 {
+		t.Skip("empty frame")
+	}
+	svg, err := Slot(g, pts, s, 1, Style{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<polygon"); got != len(s.Slots[0]) {
+		t.Errorf("%d arrowheads for %d transmissions", got, len(s.Slots[0]))
+	}
+	if _, err := Slot(g, pts, s, 0, Style{}); err == nil {
+		t.Error("slot 0 should be rejected")
+	}
+	if _, err := Slot(g, pts, s, s.FrameLength+1, Style{}); err == nil {
+		t.Error("out-of-frame slot should be rejected")
+	}
+}
+
+func TestFrameStrip(t *testing.T) {
+	s, pts, _, _ := testNetwork(t)
+	rng := rand.New(rand.NewSource(1))
+	g, _ := geom.RandomUDG(30, 6, 1.5, rng)
+	svg, err := Frame(g, pts, s, 3, Style{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<g transform"); got != 3 {
+		t.Errorf("%d panels, want 3", got)
+	}
+}
+
+func TestSlotHistogram(t *testing.T) {
+	s, _, _, _ := testNetwork(t)
+	svg := SlotHistogram(s)
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<rect"); got != s.FrameLength+1 { // + background
+		t.Errorf("%d bars for %d slots", got-1, s.FrameLength)
+	}
+}

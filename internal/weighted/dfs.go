@@ -1,0 +1,306 @@
+package weighted
+
+import (
+	"fmt"
+	"sort"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sim"
+)
+
+// DFS schedules g under demand d with the token-passing discipline of the
+// paper's Algorithm 2, generalized to multi-slot demands: the token walks
+// the network depth-first (max-degree-first children) and each node, with
+// distance-2 knowledge of already assigned slot sets, grabs the smallest
+// feasible slots for every still-unserved incident arc. Disconnected
+// inputs are scheduled per component.
+func DFS(g *graph.Graph, d Demand, seed int64) (Assignment, sim.Stats, error) {
+	if err := d.Validate(g); err != nil {
+		return nil, sim.Stats{}, err
+	}
+	as := make(Assignment)
+	var total sim.Stats
+	for ci, comp := range g.Components() {
+		sub, ids := g.InducedSubgraph(comp)
+		subDemand := Demand{PerArc: make(map[graph.Arc]int), Default: d.Default}
+		for _, a := range sub.Arcs() {
+			subDemand.PerArc[a] = d.Of(graph.Arc{From: ids[a.From], To: ids[a.To]})
+		}
+		subAs, stats, err := dfsConnected(sub, subDemand, seed+int64(ci)*95_279)
+		if err != nil {
+			return nil, sim.Stats{}, err
+		}
+		for a, ss := range subAs {
+			as[graph.Arc{From: ids[a.From], To: ids[a.To]}] = ss
+		}
+		if stats.Rounds > total.Rounds {
+			total.Rounds = stats.Rounds
+		}
+		total.Messages += stats.Messages
+	}
+	return as, total, nil
+}
+
+// Message payloads (distinct types from core's so engines cannot be mixed
+// up accidentally).
+type (
+	wStart  struct{}
+	wToken  struct{}
+	wBounce struct{}
+	wAsk    struct{}
+	wReply  struct{ Table map[graph.Arc][]int }
+	// wAnnounce floods an arc's final slot set from each endpoint two hops.
+	wAnnounce struct {
+		Arc    graph.Arc
+		Slots  []int
+		Origin int
+		TTL    int
+	}
+)
+
+type wNode struct {
+	g       *graph.Graph
+	d       Demand
+	id      int
+	degrees map[int]int
+
+	know       Assignment
+	originated map[graph.Arc]bool
+	seen       map[[2]any]bool
+
+	owned []graph.Arc // arcs this node assigned (for assembly)
+}
+
+func (nd *wNode) learn(a graph.Arc, ss []int) {
+	if cur, ok := nd.know[a]; ok {
+		if len(cur) != len(ss) {
+			panic(fmt.Sprintf("weighted: arc %v reassigned", a))
+		}
+		return
+	}
+	cp := append([]int(nil), ss...)
+	sort.Ints(cp)
+	nd.know[a] = cp
+}
+
+// announce returns the endpoint floods for arcs this node just learned and
+// is incident to.
+func (nd *wNode) announce(id int, arcs []graph.Arc) []wAnnounce {
+	var out []wAnnounce
+	for _, a := range arcs {
+		if nd.originated[a] {
+			continue
+		}
+		nd.originated[a] = true
+		nd.seen[[2]any{id, a}] = true
+		out = append(out, wAnnounce{Arc: a, Slots: append([]int(nil), nd.know[a]...), Origin: id, TTL: 2})
+	}
+	return out
+}
+
+func (nd *wNode) Run(env *sim.AsyncEnv) {
+	visited := make(map[int]bool)
+	selfVisited := false
+	parent := -1
+	awaitingChild := -1
+	pendingReplies := 0
+
+	serve := func() {
+		// Assign every unserved incident arc its demand of smallest
+		// feasible slots.
+		arcs := nd.g.IncidentArcs(env.ID)
+		var newly []graph.Arc
+		for _, a := range arcs {
+			if _, done := nd.know[a]; done {
+				continue
+			}
+			nd.know[a] = nd.pick(a)
+			nd.owned = append(nd.owned, a)
+			newly = append(newly, a)
+		}
+		for _, f := range nd.announce(env.ID, newly) {
+			env.Broadcast(f)
+		}
+		nd.passToken(env, visited, parent, &awaitingChild)
+	}
+
+	begin := func() {
+		if len(env.Neighbors) == 0 {
+			serve()
+			return
+		}
+		pendingReplies = len(env.Neighbors)
+		for _, u := range env.Neighbors {
+			env.Send(u, wAsk{})
+		}
+	}
+
+	for {
+		m, ok := env.Recv()
+		if !ok {
+			return
+		}
+		switch p := m.Payload.(type) {
+		case wStart:
+			selfVisited = true
+			begin()
+		case wAsk:
+			visited[m.From] = true
+			env.Send(m.From, wReply{Table: nd.localTable()})
+		case wReply:
+			for a, ss := range p.Table {
+				nd.learn(a, ss)
+			}
+			if pendingReplies > 0 {
+				pendingReplies--
+				if pendingReplies == 0 {
+					serve()
+				}
+			}
+		case wToken:
+			switch {
+			case !selfVisited:
+				selfVisited = true
+				parent = m.From
+				visited[m.From] = true
+				begin()
+			case m.From == awaitingChild:
+				awaitingChild = -1
+				nd.passToken(env, visited, parent, &awaitingChild)
+			default:
+				env.Send(m.From, wBounce{})
+			}
+		case wBounce:
+			if m.From == awaitingChild {
+				awaitingChild = -1
+				nd.passToken(env, visited, parent, &awaitingChild)
+			}
+		case wAnnounce:
+			key := [2]any{p.Origin, p.Arc}
+			if nd.seen[key] {
+				break
+			}
+			nd.seen[key] = true
+			nd.learn(p.Arc, p.Slots)
+			if p.TTL > 1 {
+				relay := p
+				relay.TTL--
+				env.Broadcast(relay)
+			}
+			if p.Arc.From == env.ID || p.Arc.To == env.ID {
+				for _, f := range nd.announce(env.ID, []graph.Arc{p.Arc}) {
+					env.Broadcast(f)
+				}
+			}
+		default:
+			panic(fmt.Sprintf("weighted: node %d got %T", env.ID, m.Payload))
+		}
+	}
+}
+
+// pick returns the demand-many smallest slots feasible for a.
+func (nd *wNode) pick(a graph.Arc) []int {
+	used := make(map[int]bool)
+	for _, b := range coloring.ConflictingArcs(nd.g, a) {
+		for _, s := range nd.know[b] {
+			used[s] = true
+		}
+	}
+	w := nd.d.Of(a)
+	out := make([]int, 0, w)
+	for s := 1; len(out) < w; s++ {
+		if !used[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// localTable is the distance-1 view shipped in replies: slot sets of arcs
+// incident to this node or one of its neighbors.
+func (nd *wNode) localTable() map[graph.Arc][]int {
+	local := map[int]bool{nd.id: true}
+	for u := range nd.degrees {
+		local[u] = true
+	}
+	out := make(map[graph.Arc][]int)
+	for a, ss := range nd.know {
+		if local[a.From] || local[a.To] {
+			out[a] = append([]int(nil), ss...)
+		}
+	}
+	return out
+}
+
+func (nd *wNode) passToken(env *sim.AsyncEnv, visited map[int]bool, parent int, awaitingChild *int) {
+	var cands []int
+	for _, u := range env.Neighbors {
+		if !visited[u] {
+			cands = append(cands, u)
+		}
+	}
+	if len(cands) > 0 {
+		sort.Ints(cands)
+		next := cands[0]
+		for _, u := range cands[1:] {
+			if nd.degrees[u] > nd.degrees[next] {
+				next = u
+			}
+		}
+		visited[next] = true
+		*awaitingChild = next
+		env.Send(next, wToken{})
+		return
+	}
+	if parent >= 0 {
+		env.Send(parent, wToken{})
+		return
+	}
+	env.FinishAll()
+}
+
+func dfsConnected(g *graph.Graph, d Demand, seed int64) (Assignment, sim.Stats, error) {
+	if g.N() == 0 {
+		return Assignment{}, sim.Stats{}, nil
+	}
+	root := 0
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(root) {
+			root = v
+		}
+	}
+	nodes := make([]*wNode, g.N())
+	eng := sim.NewAsyncEngine(g, seed, func(id int) sim.AsyncNode {
+		degs := make(map[int]int)
+		for _, u := range g.Neighbors(id) {
+			degs[u] = g.Degree(u)
+		}
+		nodes[id] = &wNode{
+			g:          g,
+			d:          d,
+			degrees:    degs,
+			id:         id,
+			know:       make(Assignment),
+			originated: make(map[graph.Arc]bool),
+			seen:       make(map[[2]any]bool),
+		}
+		return nodes[id]
+	})
+	eng.Inject(root, wStart{})
+	if err := eng.Run(); err != nil {
+		return nil, sim.Stats{}, err
+	}
+	as := make(Assignment)
+	for _, nd := range nodes {
+		for _, a := range nd.owned {
+			as[a] = nd.know[a]
+		}
+	}
+	for _, a := range g.Arcs() {
+		if len(as[a]) == 0 {
+			return nil, sim.Stats{}, fmt.Errorf("weighted: arc %v unserved", a)
+		}
+	}
+	return as, eng.Stats(), nil
+}

@@ -1,0 +1,191 @@
+package weighted
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+)
+
+func randomDemand(g *graph.Graph, rng *rand.Rand, maxW int) Demand {
+	d := Demand{PerArc: make(map[graph.Arc]int), Default: 1}
+	for _, a := range g.Arcs() {
+		d.PerArc[a] = 1 + rng.Intn(maxW)
+	}
+	return d
+}
+
+func TestDemandDefaults(t *testing.T) {
+	d := Demand{}
+	if d.Of(graph.Arc{From: 0, To: 1}) != 1 {
+		t.Error("zero demand should default to 1")
+	}
+	d = UniformDemand(3)
+	if d.Of(graph.Arc{From: 0, To: 1}) != 3 {
+		t.Error("uniform demand")
+	}
+	g := graph.Path(2)
+	bad := Demand{PerArc: map[graph.Arc]int{{From: 0, To: 1}: 0}, Default: 1}
+	if err := bad.Validate(g); err == nil {
+		t.Error("zero per-arc demand should be rejected")
+	}
+}
+
+func TestGreedyUnitDemandMatchesBaseProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		as, err := Greedy(g, UniformDemand(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Valid(g, UniformDemand(1), as) {
+			t.Fatalf("trial %d: invalid", trial)
+		}
+		base := coloring.Greedy(g, nil)
+		if as.Slots() != base.NumColors() {
+			t.Errorf("trial %d: unit-demand weighted %d slots, base greedy %d", trial, as.Slots(), base.NumColors())
+		}
+		// Slot sets must match the base coloring exactly (same order, same
+		// smallest-feasible rule).
+		for _, a := range g.Arcs() {
+			if len(as[a]) != 1 || as[a][0] != base[a] {
+				t.Fatalf("trial %d: arc %v slots %v vs base %d", trial, a, as[a], base[a])
+			}
+		}
+	}
+}
+
+func TestGreedyRandomDemands(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(15)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		d := randomDemand(g, rng, 4)
+		as, err := Greedy(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viols := Verify(g, d, as); len(viols) != 0 {
+			t.Fatalf("trial %d: %v", trial, viols[0])
+		}
+		if g.M() > 0 && as.Slots() < LowerBound(g, d) {
+			t.Fatalf("trial %d: %d slots below demand lower bound %d", trial, as.Slots(), LowerBound(g, d))
+		}
+	}
+}
+
+func TestVerifyCatchesProblems(t *testing.T) {
+	g := graph.Path(3)
+	d := UniformDemand(2)
+	as, err := Greedy(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Underserve one arc.
+	broken := make(Assignment)
+	for a, ss := range as {
+		broken[a] = ss
+	}
+	a0 := graph.Arc{From: 0, To: 1}
+	broken[a0] = broken[a0][:1]
+	if Valid(g, d, broken) {
+		t.Error("underserved arc not caught")
+	}
+	// Duplicate slots within one arc.
+	broken[a0] = []int{broken[a0][0], broken[a0][0]}
+	if Valid(g, d, broken) {
+		t.Error("duplicate slot not caught")
+	}
+	// Conflicting arcs sharing a slot.
+	broken2 := make(Assignment)
+	for a := range as {
+		broken2[a] = []int{1, 2}
+	}
+	if Valid(g, d, broken2) {
+		t.Error("shared conflicting slots not caught")
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	g := graph.Star(4) // center 0, three leaves; 6 arcs touch the center
+	if got := LowerBound(g, UniformDemand(1)); got != 6 {
+		t.Errorf("star unit lower bound = %d, want 6", got)
+	}
+	if got := LowerBound(g, UniformDemand(3)); got != 18 {
+		t.Errorf("star weighted lower bound = %d, want 18", got)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	g := graph.Path(2)
+	as, err := Greedy(g, UniformDemand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := as.Flatten()
+	if len(slots) != as.Slots() {
+		t.Fatalf("flatten length %d vs %d", len(slots), as.Slots())
+	}
+	total := 0
+	for _, s := range slots {
+		total += len(s)
+	}
+	if total != 4 { // 2 arcs × demand 2
+		t.Errorf("total placements %d", total)
+	}
+}
+
+func TestDFSWeightedValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(25)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		d := randomDemand(g, rng, 3)
+		as, stats, err := DFS(g, d, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if viols := Verify(g, d, as); len(viols) != 0 {
+			t.Fatalf("trial %d: %v", trial, viols[0])
+		}
+		if g.M() > 0 && stats.Messages == 0 {
+			t.Errorf("trial %d: no messages recorded", trial)
+		}
+	}
+}
+
+func TestDFSWeightedUnitMatchesDemandOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.ConnectedGNM(25, 60, rng)
+	as, _, err := DFS(g, UniformDemand(1), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Valid(g, UniformDemand(1), as) {
+		t.Fatal("invalid")
+	}
+	for _, ss := range as {
+		if len(ss) != 1 {
+			t.Fatalf("unit demand produced slot set %v", ss)
+		}
+	}
+}
+
+// Property: DFS-weighted schedules are always valid.
+func TestDFSWeightedPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := graph.GNM(n, rng.Intn(n*(n-1)/2+1), rng)
+		d := randomDemand(g, rng, 3)
+		as, _, err := DFS(g, d, seed)
+		return err == nil && Valid(g, d, as)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package fdlsp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdlsp"
+)
+
+// TestScaleSoak validates the full pipeline at a scale beyond the paper's
+// evaluation (1000-node fields): both distributed algorithms stay valid,
+// within bounds, and DFS stays linear in rounds. Skipped under -short.
+func TestScaleSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; run without -short")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	g, _ := fdlsp.RandomUDG(1000, 30, 1.5, rng)
+	t.Logf("soak graph: n=%d m=%d Δ=%d", g.N(), g.M(), g.MaxDegree())
+
+	dm, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fdlsp.Valid(g, dm.Assignment) {
+		t.Fatal("distMIS invalid at scale")
+	}
+	if dm.Slots < fdlsp.LowerBound(g) || dm.Slots > fdlsp.UpperBound(g) {
+		t.Fatalf("distMIS %d slots outside bounds [%d,%d]", dm.Slots, fdlsp.LowerBound(g), fdlsp.UpperBound(g))
+	}
+
+	df, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fdlsp.Valid(g, df.Assignment) {
+		t.Fatal("DFS invalid at scale")
+	}
+	if df.Stats.Rounds > int64(12*g.N()) {
+		t.Fatalf("DFS rounds %d not linear at scale", df.Stats.Rounds)
+	}
+
+	// The operational layers hold up too.
+	frame, err := fdlsp.BuildSchedule(g, df.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col := frame.RadioCheck(g); len(col) != 0 {
+		t.Fatalf("radio collision at scale: %v", col[0])
+	}
+	t.Logf("distMIS: %d slots in %d rounds; DFS: %d slots in %d rounds",
+		dm.Slots, dm.Stats.Rounds, df.Slots, df.Stats.Rounds)
+}
