@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 
 	"fdlsp"
@@ -109,8 +110,13 @@ func main() {
 			}
 			files[*svg+"-slot1.svg"] = slot1
 		}
-		for name, content := range files {
-			if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := os.WriteFile(name, []byte(files[name]), 0o644); err != nil {
 				fatal(err)
 			}
 			fmt.Println("wrote", name)

@@ -1,0 +1,225 @@
+// Command fdlsplint runs the repository's determinism and ownership
+// analyzers (internal/lint) over the module and exits nonzero on findings.
+//
+// Usage:
+//
+//	go run ./cmd/fdlsplint [-only detrand,mapiter] [pattern ...]
+//
+// Patterns are package directories relative to the module root; "dir/..."
+// expands recursively and the default is "./...". Diagnostics print as
+//
+//	file:line:col: [analyzer] message
+//
+// and are suppressed by `//lint:ignore <analyzer> <reason>` on the
+// reported line or the line above. The detrand analyzer applies only to
+// packages under internal/ — the protocol, simulation, and analysis code
+// whose runs must be reproducible per seed; commands may read the clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fdlsp/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fatalf("unknown analyzer %q (see -list)", name)
+		}
+		analyzers = sel
+	}
+
+	root, module, err := findModule()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	loader := lint.NewLoader()
+	exit := 0
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		importPath := module
+		if rel != "." {
+			importPath = module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		diags, err := lint.Run(pkg, scoped(analyzers, importPath, module))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			file := pos.Filename
+			if r, err := filepath.Rel(root, file); err == nil {
+				file = r
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// scoped restricts detrand to internal/ packages: protocol and analysis
+// code must be seed-deterministic, while commands (timers, servers) are
+// entitled to the wall clock.
+func scoped(analyzers []*lint.Analyzer, importPath, module string) []*lint.Analyzer {
+	if strings.HasPrefix(importPath, module+"/internal/") {
+		return analyzers
+	}
+	var out []*lint.Analyzer
+	for _, a := range analyzers {
+		if a.Name != lint.DetRand.Name {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// findModule locates the enclosing go.mod (walking up from the working
+// directory) and returns its directory and module path.
+func findModule() (root, module string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("fdlsplint: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("fdlsplint: no go.mod found (run inside the module)")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves the command-line patterns into package
+// directories, skipping testdata, vendor, hidden, and underscore dirs.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "." || pat == "" {
+				pat = root
+			}
+		}
+		if !filepath.IsAbs(pat) {
+			pat = filepath.Join(root, pat)
+		}
+		if !recursive {
+			// An explicitly named directory must exist and contain Go files;
+			// only the recursive walk skips silently.
+			if st, err := os.Stat(pat); err != nil {
+				return nil, err
+			} else if !st.IsDir() {
+				return nil, fmt.Errorf("%s is not a directory", pat)
+			}
+			if !hasGoFiles(pat) {
+				return nil, fmt.Errorf("no Go files in %s", pat)
+			}
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != pat && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fdlsplint: "+format+"\n", args...)
+	os.Exit(2)
+}

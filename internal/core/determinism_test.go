@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sim"
+)
+
+// fingerprint serializes a schedule to a canonical byte string: every arc
+// with its slot in sorted order, then the frame length. Two runs are "the
+// same schedule" iff their fingerprints are byte-identical.
+func fingerprint(as coloring.Assignment, slots int) string {
+	arcs := make([]graph.Arc, 0, len(as))
+	for a := range as {
+		arcs = append(arcs, a)
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].To < arcs[j].To
+	})
+	var b strings.Builder
+	for _, a := range arcs {
+		fmt.Fprintf(&b, "%d->%d:%d\n", a.From, a.To, as[a])
+	}
+	fmt.Fprintf(&b, "slots:%d\n", slots)
+	return b.String()
+}
+
+// withGOMAXPROCS runs fn under the given parallelism and restores the
+// previous setting.
+func withGOMAXPROCS(p int, fn func()) {
+	prev := runtime.GOMAXPROCS(p)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+// determinismGraphs is a small suite exercising multiple components, dense
+// and sparse regions, and nontrivial size.
+func determinismGraphs() map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(7))
+	multi := graph.New(25)
+	for _, e := range graph.GNM(12, 30, rng).Edges() {
+		multi.AddEdge(e.U, e.V)
+	}
+	for _, e := range graph.Cycle(9).Edges() {
+		multi.AddEdge(e.U+12, e.V+12) // second component; nodes 21..24 stay isolated
+	}
+	return map[string]*graph.Graph{
+		"gnm":   graph.GNM(40, 100, rng),
+		"grid":  graph.Grid(6, 6),
+		"multi": multi,
+	}
+}
+
+// TestDistMISScheduleByteIdenticalAcrossGOMAXPROCS runs DistMIS twice per
+// parallelism level with one seed and demands byte-identical schedules and
+// identical cost accounting: the synchronous engine's worker striping must
+// never leak scheduling order into results.
+func TestDistMISScheduleByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	for name, g := range determinismGraphs() {
+		for _, variant := range []Variant{GBG, General} {
+			var prints []string
+			var stats []sim.Stats
+			for _, procs := range []int{1, 4, runtime.NumCPU()} {
+				withGOMAXPROCS(procs, func() {
+					for rep := 0; rep < 2; rep++ {
+						res, err := DistMIS(g, Options{Seed: 1234, Variant: variant})
+						if err != nil {
+							t.Fatalf("%s/%v: %v", name, variant, err)
+						}
+						prints = append(prints, fingerprint(res.Assignment, res.Slots))
+						stats = append(stats, res.Stats)
+					}
+				})
+			}
+			for i := 1; i < len(prints); i++ {
+				if prints[i] != prints[0] {
+					t.Errorf("%s/%v: run %d schedule differs from run 0:\n%s\nvs\n%s",
+						name, variant, i, prints[i], prints[0])
+				}
+				if stats[i] != stats[0] {
+					t.Errorf("%s/%v: run %d stats %+v differ from run 0 %+v", name, variant, i, stats[i], stats[0])
+				}
+			}
+		}
+	}
+}
+
+// TestDFSScheduleByteIdenticalAcrossGOMAXPROCS does the same for the
+// asynchronous DFS algorithm: one goroutine per node, so this is the test
+// that catches any schedule-affecting data race or queue-order dependence.
+// (Message counts may vary across runs — concurrent floods of the same
+// announcement race for the dedup slot with different remaining TTLs — but
+// the schedule itself must not.)
+func TestDFSScheduleByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	for name, g := range determinismGraphs() {
+		for _, policy := range []ChildPolicy{MaxDegree, MinID, RandomChild} {
+			for _, delay := range []struct {
+				name string
+				fn   sim.DelayFn
+			}{
+				{"nodelay", sim.NoDelay()},
+				{"uniform", sim.UniformDelay(5)},
+			} {
+				var prints []string
+				for _, procs := range []int{1, 4, runtime.NumCPU()} {
+					withGOMAXPROCS(procs, func() {
+						for rep := 0; rep < 2; rep++ {
+							res, err := DFS(g, DFSOptions{Policy: policy, Seed: 777, Delay: delay.fn})
+							if err != nil {
+								t.Fatalf("%s/%v/%s: %v", name, policy, delay.name, err)
+							}
+							prints = append(prints, fingerprint(res.Assignment, res.Slots))
+						}
+					})
+				}
+				for i := 1; i < len(prints); i++ {
+					if prints[i] != prints[0] {
+						t.Errorf("%s/%v/%s: run %d schedule differs from run 0:\n%s\nvs\n%s",
+							name, policy, delay.name, i, prints[i], prints[0])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRandomizedScheduleByteIdenticalAcrossGOMAXPROCS covers the
+// no-coordination ablation, whose per-arc rank maps are the classic spot
+// for map-iteration nondeterminism to slip back in.
+func TestRandomizedScheduleByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	for name, g := range determinismGraphs() {
+		var prints []string
+		for _, procs := range []int{1, runtime.NumCPU()} {
+			withGOMAXPROCS(procs, func() {
+				for rep := 0; rep < 2; rep++ {
+					res, err := Randomized(g, 4242)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					prints = append(prints, fingerprint(res.Assignment, res.Slots))
+				}
+			})
+		}
+		for i := 1; i < len(prints); i++ {
+			if prints[i] != prints[0] {
+				t.Errorf("%s: run %d schedule differs from run 0", name, i)
+			}
+		}
+	}
+}

@@ -51,7 +51,29 @@ type (
 	bounceMsg struct{}                          // token refused: receiver already visited
 	askMsg    struct{}                          // request for the neighbor's color table
 	replyMsg  struct{ Table map[graph.Arc]int } // color-table response
+	annMsg    struct {                          // acknowledged color flood
+		Ann ColorAnnounce
+		Seq int64 // sender-local id echoed back by ackMsg
+	}
+	ackMsg struct{ Seq int64 } // annMsg fully processed, incl. everything it triggered
 )
+
+// floodGroup tracks one batch of flood messages awaiting acknowledgements
+// (Dijkstra–Scholten-style diffusing-computation termination). A node that
+// sends flood traffic — the token holder announcing its fresh colors, or any
+// node relaying/re-originating on observe — acks upstream (or resumes the
+// token, for the holder's own batch) only once every message in the batch
+// has been acked, which in turn requires the receivers' whole cascades to
+// have drained. The token therefore never moves until the previous holder's
+// announcements are fully processed everywhere they can reach: without this
+// barrier, a color colored at distance 3 races the token through a two-hop
+// flood chain and the greedy conflict sets (hence the schedule) depend on
+// goroutine scheduling.
+type floodGroup struct {
+	parent    int   // upstream sender to ack, or -1 for the token holder's own batch
+	parentSeq int64 // seq to echo upstream
+	remaining int
+}
 
 // dfsNode is one processor of Algorithm 2.
 type dfsNode struct {
@@ -61,6 +83,28 @@ type dfsNode struct {
 	degrees map[int]int // neighbor -> degree (local model knowledge)
 
 	ownColored []graph.Arc
+
+	nextSeq int64
+	groups  map[int64]*floodGroup // my sent seq -> batch awaiting that ack
+}
+
+// sendFlood ships every announce in outs to all neighbors as one
+// acknowledged batch and reports whether anything was sent. parent == -1
+// marks the token holder's own batch (token resumes on drain); otherwise the
+// drain acks (parent, parentSeq) upstream.
+func (nd *dfsNode) sendFlood(env *sim.AsyncEnv, outs []ColorAnnounce, parent int, parentSeq int64) bool {
+	if len(outs) == 0 || len(env.Neighbors) == 0 {
+		return false
+	}
+	grp := &floodGroup{parent: parent, parentSeq: parentSeq, remaining: len(outs) * len(env.Neighbors)}
+	for _, f := range outs {
+		for _, u := range env.Neighbors {
+			nd.nextSeq++
+			nd.groups[nd.nextSeq] = grp
+			env.Send(u, annMsg{Ann: f, Seq: nd.nextSeq})
+		}
+	}
+	return true
 }
 
 func (nd *dfsNode) Run(env *sim.AsyncEnv) {
@@ -72,13 +116,14 @@ func (nd *dfsNode) Run(env *sim.AsyncEnv) {
 
 	completeToken := func() {
 		// All replies merged: color every still-uncolored incident arc with
-		// distance-2 knowledge, then announce.
+		// distance-2 knowledge, then announce. The token pass waits for the
+		// announce flood to drain (see floodGroup) so the next holder's
+		// knowledge is independent of goroutine scheduling.
 		newly := coloring.AssignGreedyLocal(nd.g, nd.know.know, nd.g.IncidentArcs(env.ID))
 		nd.ownColored = append(nd.ownColored, newly...)
-		for _, f := range nd.know.announceOwn(newly) {
-			env.Broadcast(f)
+		if !nd.sendFlood(env, nd.know.announceOwn(newly), -1, 0) {
+			nd.passToken(env, visited, parent, &awaitingChild)
 		}
-		nd.passToken(env, visited, parent, &awaitingChild)
 	}
 
 	beginToken := func() {
@@ -135,9 +180,26 @@ func (nd *dfsNode) Run(env *sim.AsyncEnv) {
 				awaitingChild = -1
 				nd.passToken(env, visited, parent, &awaitingChild)
 			}
-		case ColorAnnounce:
-			for _, out := range nd.know.observe(p) {
-				env.Broadcast(out)
+		case annMsg:
+			// Everything observe triggers (relays, endpoint re-floods) joins
+			// one batch; the upstream ack waits for that batch to drain. A
+			// flood that triggers nothing here is acked immediately.
+			if !nd.sendFlood(env, nd.know.observe(p.Ann), m.From, p.Seq) {
+				env.Send(m.From, ackMsg{Seq: p.Seq})
+			}
+		case ackMsg:
+			grp, ok := nd.groups[p.Seq]
+			if !ok {
+				panic(fmt.Sprintf("core: DFS node %d got ack for unknown seq %d", env.ID, p.Seq))
+			}
+			delete(nd.groups, p.Seq)
+			grp.remaining--
+			if grp.remaining == 0 {
+				if grp.parent >= 0 {
+					env.Send(grp.parent, ackMsg{Seq: grp.parentSeq})
+				} else {
+					nd.passToken(env, visited, parent, &awaitingChild)
+				}
 			}
 		default:
 			panic(fmt.Sprintf("core: DFS node %d got unexpected payload %T", env.ID, m.Payload))
@@ -240,7 +302,7 @@ func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignm
 		for _, u := range g.Neighbors(id) {
 			degs[u] = g.Degree(u)
 		}
-		nodes[id] = &dfsNode{g: g, know: newKnowledge(id, g), policy: opts.Policy, degrees: degs}
+		nodes[id] = &dfsNode{g: g, know: newKnowledge(id, g), policy: opts.Policy, degrees: degs, groups: make(map[int64]*floodGroup)}
 		return nodes[id]
 	})
 	eng.Delay = opts.Delay

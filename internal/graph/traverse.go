@@ -15,7 +15,7 @@ func (g *Graph) BFSFrom(src int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for u := range g.adj[v] {
+		for _, u := range g.Neighbors(v) {
 			if dist[u] < 0 {
 				dist[u] = dist[v] + 1
 				queue = append(queue, u)
@@ -37,7 +37,7 @@ func (g *Graph) Within(v, r int) []int {
 	for d := 1; d <= r && len(frontier) > 0; d++ {
 		var next []int
 		for _, x := range frontier {
-			for u := range g.adj[x] {
+			for _, u := range g.Neighbors(x) {
 				if _, ok := seen[u]; !ok {
 					seen[u] = d
 					next = append(next, u)
@@ -70,7 +70,7 @@ func (g *Graph) Dist(u, v int) int {
 	for len(frontier) > 0 {
 		var next []int
 		for _, x := range frontier {
-			for w := range g.adj[x] {
+			for _, w := range g.Neighbors(x) {
 				if _, ok := dist[w]; !ok {
 					dist[w] = dist[x] + 1
 					if w == v {
@@ -116,7 +116,7 @@ func (g *Graph) Components() [][]int {
 			v := queue[0]
 			queue = queue[1:]
 			comp = append(comp, v)
-			for u := range g.adj[v] {
+			for _, u := range g.Neighbors(v) {
 				if !seen[u] {
 					seen[u] = true
 					queue = append(queue, u)

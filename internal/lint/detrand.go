@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DetRand forbids ambient nondeterminism in protocol code: top-level
+// math/rand draws (which consume the process-global, possibly time-seeded
+// source) and wall-clock time. Every random bit in a protocol must come
+// from the node's injected *rand.Rand (env.Rand or an explicitly seeded
+// rand.New(rand.NewSource(seed))), and every notion of time from the
+// engine's virtual clock — otherwise schedules stop being reproducible per
+// seed and the delay-preset robustness tests lose their meaning.
+// Constructors (rand.New, rand.NewSource, rand.NewZipf, ...) stay allowed.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand draws and wall-clock time in protocol code",
+	Run:  runDetRand,
+}
+
+// detrandForbidden maps package path -> banned top-level name -> advice.
+var detrandForbidden = map[string]map[string]string{
+	"math/rand": {
+		"Int": "", "Intn": "", "Int31": "", "Int31n": "", "Int63": "", "Int63n": "",
+		"Uint32": "", "Uint64": "", "Float32": "", "Float64": "",
+		"ExpFloat64": "", "NormFloat64": "", "Perm": "", "Shuffle": "",
+		"Read": "", "Seed": "reseeding the global source hides the run's seed",
+	},
+	"math/rand/v2": {
+		"Int": "", "IntN": "", "Int32": "", "Int32N": "", "Int64": "", "Int64N": "",
+		"Uint": "", "UintN": "", "Uint32": "", "Uint32N": "", "Uint64": "", "Uint64N": "",
+		"Float32": "", "Float64": "", "ExpFloat64": "", "NormFloat64": "",
+		"N": "", "Perm": "", "Shuffle": "",
+	},
+	"time": {
+		"Now":   "use the engine's virtual clock (env.Clock / Round)",
+		"Since": "use the engine's virtual clock (env.Clock / Round)",
+		"Until": "use the engine's virtual clock (env.Clock / Round)",
+		"Sleep": "protocol progress must come from message delivery, not timing",
+		"Tick":  "", "After": "", "AfterFunc": "", "NewTimer": "", "NewTicker": "",
+	},
+}
+
+func runDetRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFuncRef(pass.Info, sel)
+			if !ok {
+				return true
+			}
+			banned, ok := detrandForbidden[path]
+			if !ok {
+				return true
+			}
+			advice, ok := banned[name]
+			if !ok {
+				return true
+			}
+			if advice == "" {
+				advice = "draw from the node's injected *rand.Rand instead"
+				if path == "time" {
+					advice = "protocol code must not observe wall-clock time"
+				}
+			}
+			pass.Reportf(sel.Pos(), "use of %s.%s in protocol code: %s", path, name, advice)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EnvOwner enforces the simulator's ownership contract: an AsyncEnv (or
+// SyncEnv) is the per-node handle on the engine and only the goroutine
+// running that node may touch it — Recv/Send/Rand are not synchronized for
+// outside callers, and a leaked handle turns "deterministic per seed" into
+// a data race. The analyzer flags env handles (1) referenced inside a
+// go-statement from outside it — captured by the spawned closure or passed
+// as its argument — and (2) escaping into shared storage: struct fields,
+// slice/map elements, composite literals, append, or channel sends.
+// The engine's own construction and hand-off sites are the two legitimate
+// owners and carry //lint:ignore directives with the ownership argument.
+var EnvOwner = &Analyzer{
+	Name: "envowner",
+	Doc:  "flag AsyncEnv/SyncEnv handles escaping their owning goroutine",
+	Run:  runEnvOwner,
+}
+
+func runEnvOwner(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.GoStmt:
+				checkGoCapture(pass, st)
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i, rhs := range st.Rhs {
+						if name := envTypeOf(pass, rhs); name != "" {
+							switch st.Lhs[i].(type) {
+							case *ast.SelectorExpr, *ast.IndexExpr:
+								pass.Reportf(st.Lhs[i].Pos(),
+									"*%s stored in a shared structure: env handles must stay on the owning goroutine's stack", name)
+							}
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range st.Elts {
+					val := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						val = kv.Value
+					}
+					if name := envTypeOf(pass, val); name != "" {
+						pass.Reportf(val.Pos(),
+							"*%s stored in a composite literal: env handles must stay on the owning goroutine's stack", name)
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltin(pass, id) {
+					for _, arg := range st.Args[1:] {
+						if name := envTypeOf(pass, arg); name != "" {
+							pass.Reportf(arg.Pos(),
+								"*%s appended to a slice: env handles must stay on the owning goroutine's stack", name)
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if name := envTypeOf(pass, st.Value); name != "" {
+					pass.Reportf(st.Value.Pos(),
+						"*%s sent on a channel: env handles must not cross goroutines", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// envTypeOf returns "AsyncEnv"/"SyncEnv" when e is a value expression whose
+// type is a pointer to one of the simulator env types, else "".
+func envTypeOf(pass *Pass, e ast.Expr) string {
+	tv, ok := pass.Info.Types[e]
+	if !ok || !tv.IsValue() {
+		return ""
+	}
+	return envPointerName(tv.Type)
+}
+
+// checkGoCapture reports env-typed expressions inside a go statement whose
+// root variable is declared outside it (captured shared state rather than a
+// goroutine-local handle).
+func checkGoCapture(pass *Pass, st *ast.GoStmt) {
+	reported := map[string]bool{}
+	ast.Inspect(st.Call, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		name := envTypeOf(pass, e)
+		if name == "" {
+			return true
+		}
+		root := rootIdent(e)
+		if root == nil {
+			return true
+		}
+		obj, isVar := pass.Info.Uses[root].(*types.Var)
+		if !isVar || (obj.Pos() >= st.Pos() && obj.Pos() <= st.End()) {
+			return true // not a variable, or declared by the goroutine itself
+		}
+		key := exprPath(e)
+		if reported[key] {
+			return false
+		}
+		reported[key] = true
+		pass.Reportf(e.Pos(),
+			"*%s reaches a spawned goroutine via %s: only the owning goroutine may use its env", name, key)
+		return false
+	})
+}
+
+// rootIdent returns the leftmost identifier of a selector/index/deref
+// chain, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

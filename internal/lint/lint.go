@@ -1,0 +1,225 @@
+// Package lint is a small stdlib-only static-analysis framework (go/ast +
+// go/parser + go/types) enforcing the determinism and goroutine-ownership
+// invariants the simulator's guarantees rest on: reproducible schedules per
+// seed, delay-preset robustness, and verifier soundness. It ships four
+// analyzers:
+//
+//   - detrand: forbids ambient nondeterminism (global math/rand draws,
+//     wall-clock time) in protocol packages — all randomness must flow
+//     through a node's injected *rand.Rand;
+//   - envowner: flags AsyncEnv/SyncEnv handles escaping their owning
+//     goroutine (captured by go-statement closures or stored into shared
+//     structures);
+//   - mapiter: flags ranging over a map while appending to an outer slice,
+//     sending messages, or emitting output — the classic source of
+//     schedule nondeterminism — unless the collected slice is sorted
+//     afterwards;
+//   - msgshare: flags Send/Broadcast/Inject payloads that alias mutable
+//     state (pointers, slices, maps) mutated after the send, i.e.
+//     cross-goroutine aliasing through the message channel.
+//
+// Diagnostics are suppressed by an explicit, audited escape hatch:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the reported line or the line directly above it. The reason is
+// mandatory. The cmd/fdlsplint driver runs every analyzer over the module
+// and exits nonzero on findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description shown by the driver.
+	Doc string
+	// Run inspects the package via pass and reports findings.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer string
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.analyzer, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers is the full suite in deterministic order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetRand, EnvOwner, MapIter, MsgShare}
+}
+
+// Run applies the analyzers to pkg, filters suppressed findings through the
+// package's //lint:ignore directives, and returns the survivors sorted by
+// position. Malformed directives are themselves reported (analyzer "lint").
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a.Name,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	dirs, bad := directives(pkg.Fset, pkg.Files)
+	diags = append(diags, bad...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !dirs.suppresses(pkg.Fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos != kept[j].Pos {
+			return kept[i].Pos < kept[j].Pos
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared type helpers.
+
+// pkgFuncRef resolves sel as a reference to a package-level name (e.g.
+// rand.Intn), returning the imported package path and the name.
+func pkgFuncRef(info *types.Info, sel *ast.SelectorExpr) (path, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// envPointerName returns the type name when t is a pointer to a named type
+// called AsyncEnv or SyncEnv (the simulator's per-node handles), else "".
+func envPointerName(t types.Type) string {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return ""
+	}
+	if n := named.Obj().Name(); n == "AsyncEnv" || n == "SyncEnv" {
+		return n
+	}
+	return ""
+}
+
+// isRefType reports whether t aliases underlying storage when copied:
+// pointers, slices, and maps (the payload kinds msgshare cares about).
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// exprPath flattens an lvalue-ish expression to a dotted access path:
+// nd.know.know -> "nd.know.know", buf[i] -> "buf[]", *p -> "p". It returns
+// "" for expressions that cannot name stable storage (calls, literals).
+func exprPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := exprPath(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	case *ast.IndexExpr:
+		if base := exprPath(x.X); base != "" {
+			return base + "[]"
+		}
+	case *ast.StarExpr:
+		return exprPath(x.X)
+	case *ast.ParenExpr:
+		return exprPath(x.X)
+	}
+	return ""
+}
+
+// pathWithin reports whether a write to lhs mutates storage reachable from
+// root: lhs extends root through a field or element access ("x" covers
+// "x[]" and "x.f"), or equals it.
+func pathWithin(lhs, root string) bool {
+	if lhs == root {
+		return true
+	}
+	return strings.HasPrefix(lhs, root+".") || strings.HasPrefix(lhs, root+"[")
+}
+
+// isBuiltin reports whether id resolves to a language builtin (append,
+// len, ...) rather than a user-defined name shadowing it.
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal in stack (a path of ancestors, outermost first).
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// walkWithStack traverses the file like ast.Inspect but also hands fn the
+// ancestor path (outermost first, not including n itself).
+func walkWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false // not descending: Inspect sends no closing nil
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

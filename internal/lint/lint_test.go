@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation regexp from a `// want `+"`...`"+“ comment.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// expectation is one expected diagnostic: a regexp anchored to a line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	pkg, err := NewLoader().LoadDir(dir, "fdlsp/internal/lint/testdata/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// collectWants scans the fixture sources for want comments.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp: %v", path, i+1, err)
+			}
+			wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no expectations", dir)
+	}
+	return wants
+}
+
+// checkFixture runs the analyzer over its fixture and matches diagnostics
+// against want comments in both directions, so the test fails both on
+// missed findings (analyzer disabled or broken) and on false positives.
+func checkFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, filepath.Join("testdata", name))
+	matched := make([]bool, len(wants))
+outer:
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		for i, w := range wants {
+			if matched[i] || !sameFile(w.file, pos.Filename) || w.line != pos.Line {
+				continue
+			}
+			if !w.re.MatchString(d.Message) {
+				t.Errorf("%s:%d: [%s] %q does not match want `%s`", pos.Filename, pos.Line, d.Analyzer, d.Message, w.re)
+			}
+			matched[i] = true
+			continue outer
+		}
+		t.Errorf("unexpected diagnostic %s:%d: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching `%s`, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}
+
+func TestDetRandFixture(t *testing.T)  { checkFixture(t, DetRand, "detrand") }
+func TestEnvOwnerFixture(t *testing.T) { checkFixture(t, EnvOwner, "envowner") }
+func TestMapIterFixture(t *testing.T)  { checkFixture(t, MapIter, "mapiter") }
+func TestMsgShareFixture(t *testing.T) { checkFixture(t, MsgShare, "msgshare") }
+
+// TestSuppression exercises //lint:ignore: directives on the reported line
+// or the line above silence the named analyzers (or all, with "*"), while
+// misdirected and malformed directives leave diagnostics standing.
+func TestSuppression(t *testing.T) {
+	pkg := loadFixture(t, "suppress")
+	diags, err := Run(pkg, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("[%s] %s", d.Analyzer, d.Message))
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["detrand"] != 2 {
+		t.Errorf("want 2 surviving detrand diagnostics (wrongAnalyzer, missingReason), got %d:\n%s",
+			byAnalyzer["detrand"], strings.Join(got, "\n"))
+	}
+	if byAnalyzer["lint"] != 1 {
+		t.Errorf("want 1 malformed-directive diagnostic, got %d:\n%s", byAnalyzer["lint"], strings.Join(got, "\n"))
+	}
+	if byAnalyzer["mapiter"] != 0 {
+		t.Errorf("wildcard directive should suppress mapiter, got %d:\n%s", byAnalyzer["mapiter"], strings.Join(got, "\n"))
+	}
+	if len(diags) != 3 {
+		t.Errorf("want exactly 3 surviving diagnostics, got %d:\n%s", len(diags), strings.Join(got, "\n"))
+	}
+	for _, d := range diags {
+		if d.Analyzer == "lint" && !strings.Contains(d.Message, "malformed directive") {
+			t.Errorf("lint diagnostic should explain the malformed directive, got %q", d.Message)
+		}
+	}
+}
+
+// TestRepoProtocolPackagesClean pins the acceptance invariant: the shipped
+// protocol, simulator, and substrate packages carry no outstanding
+// diagnostics (modulo their audited //lint:ignore sites).
+func TestRepoProtocolPackagesClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecking the module from source is not -short friendly")
+	}
+	loader := NewLoader()
+	for _, rel := range []string{"core", "sim", "mis", "dmgc", "graph", "coloring", "weighted"} {
+		dir := filepath.Join("..", rel)
+		pkg, err := loader.LoadDir(dir, "fdlsp/internal/"+rel)
+		if err != nil {
+			t.Fatalf("loading %s: %v", rel, err)
+		}
+		diags, err := Run(pkg, Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			t.Errorf("%s:%d: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+}

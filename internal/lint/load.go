@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from source, sharing a file set
+// and import cache across loads (stdlib-only: the "source" compiler
+// importer resolves both std and module-local imports).
+type Loader struct {
+	Fset *token.FileSet
+	// IncludeTests additionally loads _test.go files of the package itself
+	// (external _test packages are not supported).
+	IncludeTests bool
+
+	imp types.Importer
+}
+
+// NewLoader returns a loader with a fresh file set.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadDir loads the package in dir under the given import path. Files are
+// parsed in name order so positions and diagnostics are deterministic.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives.
+
+const ignorePrefix = "//lint:ignore"
+
+// ignoreSet maps "file:line" to the analyzer names suppressed there ("*"
+// suppresses every analyzer).
+type ignoreSet map[string][]string
+
+// directives collects every well-formed //lint:ignore comment and reports
+// malformed ones (missing analyzer list or missing reason) as diagnostics
+// of the pseudo-analyzer "lint".
+func directives(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	set := ignoreSet{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lint",
+						Message:  "malformed directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				set[key] = append(set[key], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return set, bad
+}
+
+// suppresses reports whether d is covered by a directive on its line or on
+// the line directly above.
+func (s ignoreSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	if d.Analyzer == "lint" {
+		return false // malformed directives are never self-suppressed
+	}
+	pos := fset.Position(d.Pos)
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range s[fmt.Sprintf("%s:%d", pos.Filename, line)] {
+			if name == d.Analyzer || name == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `range` over a map whose body performs an order-sensitive
+// effect — appending to a slice declared outside the loop, sending
+// messages (Send/Broadcast/Inject), or emitting output (fmt printers,
+// Write* methods) — without the collected slice being sorted afterwards in
+// the same function. Go randomizes map iteration order on purpose, so any
+// slot assignment, message sequence, or report built this way differs from
+// run to run even with a fixed seed. Order-independent bodies (folding
+// into another map, computing a max) are not flagged, and the canonical
+// "collect keys then sort" idiom is recognized and exempted.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag order-sensitive effects driven by nondeterministic map iteration",
+	Run:  runMapIter,
+}
+
+// mapiterSendNames are method names that enqueue protocol messages.
+var mapiterSendNames = map[string]bool{"Send": true, "Broadcast": true, "Inject": true}
+
+// mapiterFmtNames are fmt functions whose call order is observable.
+var mapiterFmtNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// mapiterWriteNames are writer methods whose call order is observable.
+var mapiterWriteNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng, enclosingFuncBody(append(stack, n)))
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	over := exprPath(rng.X)
+	if over == "" {
+		over = "map"
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && isBuiltin(pass, fun) && len(call.Args) > 0 {
+				target, ok := call.Args[0].(*ast.Ident)
+				if !ok {
+					return true // appends into map/slice elements group per key
+				}
+				obj := pass.Info.Uses[target]
+				if obj == nil || insideNode(obj.Pos(), rng) {
+					return true // loop-local accumulator
+				}
+				if sortedAfter(pass, funcBody, rng.End(), obj) {
+					return true // collect-then-sort idiom
+				}
+				pass.Reportf(call.Pos(),
+					"appends to %s in iteration order of map %s, which is nondeterministic: sort %s afterwards or iterate sorted keys",
+					target.Name, over, target.Name)
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if path, pkgName, ok := pkgFuncRef(pass.Info, fun); ok {
+				if path == "fmt" && mapiterFmtNames[pkgName] {
+					pass.Reportf(call.Pos(),
+						"emits output in iteration order of map %s, which is nondeterministic: iterate sorted keys", over)
+				}
+				return true
+			}
+			if mapiterSendNames[name] {
+				pass.Reportf(call.Pos(),
+					"sends messages in iteration order of map %s, which is nondeterministic: iterate sorted keys", over)
+			} else if mapiterWriteNames[name] {
+				pass.Reportf(call.Pos(),
+					"writes output in iteration order of map %s, which is nondeterministic: iterate sorted keys", over)
+			}
+		}
+		return true
+	})
+}
+
+// insideNode reports whether pos falls within n's source range.
+func insideNode(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos <= n.End()
+}
+
+// sortedAfter reports whether, somewhere after pos in the enclosing
+// function, obj is passed (possibly wrapped) to a sorting call — sort.*,
+// slices.Sort*, or any function whose name mentions sort.
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if path, name, ok := pkgFuncRef(pass.Info, fun); ok {
+			return path == "sort" || (path == "slices" && strings.HasPrefix(name, "Sort"))
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}

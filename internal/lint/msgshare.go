@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// MsgShare flags message payloads that alias mutable storage: a pointer,
+// slice, or map handed to Send/Broadcast/Inject while the sender keeps
+// mutating it afterwards. Both engines deliver the payload value as-is
+// (`any` boxes the header, not the data), so the receiver's goroutine and
+// the sender then share the same backing memory — a data race in the async
+// engine and a causality leak in both. The analyzer resolves the reference
+// roots of the payload expression (identifiers and field paths feeding the
+// message, including composite-literal fields and &x), then scans the rest
+// of the enclosing function for writes through those roots: any assignment
+// or append after the send, or — when the send sits in a loop — anywhere in
+// that loop's body. Fresh values (function-call results, value structs) are
+// never flagged; the fix is to copy before sending.
+var MsgShare = &Analyzer{
+	Name: "msgshare",
+	Doc:  "flag Send/Broadcast payloads aliasing state mutated after the send",
+	Run:  runMsgShare,
+}
+
+func runMsgShare(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !mapiterSendNames[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			if _, _, isPkg := pkgFuncRef(pass.Info, sel); isPkg {
+				return true // package function, not an env/engine method
+			}
+			payload := call.Args[len(call.Args)-1]
+			var roots []ast.Expr
+			collectPayloadRoots(pass, payload, &roots)
+			if len(roots) == 0 {
+				return true
+			}
+			funcBody := enclosingFuncBody(append(stack, n))
+			if funcBody == nil {
+				return true
+			}
+			loop := enclosingLoop(stack)
+			for _, root := range roots {
+				path := exprPath(root)
+				if path == "" {
+					continue
+				}
+				if mpos := mutationAfter(pass, funcBody, loop, call.End(), path); mpos.IsValid() {
+					pass.Reportf(call.Pos(),
+						"payload aliases %s, which is mutated after the send (%s): receiver and sender share the backing memory; copy before sending",
+						path, pass.Fset.Position(mpos))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectPayloadRoots gathers the sub-expressions of a payload that carry
+// references into the sender's storage. Call results are treated as fresh.
+func collectPayloadRoots(pass *Pass, e ast.Expr, out *[]ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if tv, ok := pass.Info.Types[e]; ok && isRefType(tv.Type) {
+			*out = append(*out, e)
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			*out = append(*out, x.X)
+		}
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				collectPayloadRoots(pass, kv.Value, out)
+			} else {
+				collectPayloadRoots(pass, elt, out)
+			}
+		}
+	case *ast.SliceExpr:
+		collectPayloadRoots(pass, x.X, out)
+	case *ast.IndexExpr:
+		if tv, ok := pass.Info.Types[e]; ok && isRefType(tv.Type) {
+			*out = append(*out, e)
+		}
+	case *ast.ParenExpr:
+		collectPayloadRoots(pass, x.X, out)
+	}
+}
+
+// enclosingLoop returns the innermost for/range statement in stack that is
+// still within the innermost function, or nil.
+func enclosingLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return stack[i]
+		case *ast.FuncDecl, *ast.FuncLit:
+			return nil
+		}
+	}
+	return nil
+}
+
+// mutationAfter returns the position of the first write through root after
+// pos in funcBody (or anywhere inside loop, since a later iteration's write
+// follows this iteration's send), or token.NoPos.
+func mutationAfter(pass *Pass, funcBody *ast.BlockStmt, loop ast.Node, pos token.Pos, root string) token.Pos {
+	hit := token.NoPos
+	consider := func(n ast.Node) bool {
+		if n.Pos() >= pos {
+			return true
+		}
+		return loop != nil && insideNode(n.Pos(), loop)
+	}
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if hit.IsValid() {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if !consider(st) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				lp := exprPath(lhs)
+				if lp == "" {
+					continue
+				}
+				deref := false
+				if _, isStar := unparen(lhs).(*ast.StarExpr); isStar {
+					deref = true
+				}
+				// Writing x[i], x.f or *x mutates root x; plain "x = v"
+				// rebinding does not touch the sent memory unless it is an
+				// append through the same backing array.
+				if (lp != root || deref) && pathWithin(lp, root) {
+					hit = st.Pos()
+					return false
+				}
+				if lp == root && i < len(st.Rhs) && isAppendOf(pass, st.Rhs[min(i, len(st.Rhs)-1)], root) {
+					hit = st.Pos()
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !consider(st) {
+				return true
+			}
+			if lp := exprPath(st.X); lp != "" && lp != root && pathWithin(lp, root) {
+				hit = st.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return hit
+}
+
+// isAppendOf reports whether e is append(root, ...), which may write into
+// the backing array shared with an earlier send of root[:...].
+func isAppendOf(pass *Pass, e ast.Expr, root string) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || !isBuiltin(pass, id) {
+		return false
+	}
+	return exprPath(call.Args[0]) == root
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,34 @@
+// Package detrand is a fixture for the detrand analyzer: every flagged
+// line carries a `want` comment with a regexp the diagnostic must match.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// bad draws from the process-global generator and observes the wall clock.
+func bad() int64 {
+	v := rand.Int63()                  // want `use of math/rand\.Int63 in protocol code`
+	rand.Shuffle(3, func(i, j int) {}) // want `use of math/rand\.Shuffle`
+	rand.Seed(42)                      // want `reseeding the global source hides the run's seed`
+	seed := time.Now().UnixNano()      // want `use of time\.Now in protocol code.*virtual clock`
+	time.Sleep(time.Millisecond)       // want `use of time\.Sleep.*message delivery, not timing`
+	_ = time.Since(time.Unix(seed, 0)) // want `use of time\.Since`
+	f := rand.Intn                     // want `use of math/rand\.Intn`
+	return v + int64(f(10))
+}
+
+// good uses an injected, explicitly seeded generator: the only sanctioned
+// randomness. Constructors are not draws and stay allowed.
+func good(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	d := time.Duration(rng.Int63n(100)) * time.Millisecond // time arithmetic is fine
+	return int64(d) + rng.Int63()
+}
+
+// shadowed: a local identifier named rand is not the package.
+func shadowed() int {
+	rand := struct{ Intn func(int) int }{Intn: func(n int) int { return n - 1 }}
+	return rand.Intn(7)
+}

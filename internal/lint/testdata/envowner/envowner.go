@@ -1,0 +1,56 @@
+// Package envowner is a fixture for the envowner analyzer. The local
+// AsyncEnv/SyncEnv types stand in for the simulator's per-node handles;
+// the analyzer matches the type names.
+package envowner
+
+// AsyncEnv mimics sim.AsyncEnv.
+type AsyncEnv struct{ ID int }
+
+// Recv mimics the owner-only receive.
+func (e *AsyncEnv) Recv() (int, bool) { return 0, false }
+
+// SyncEnv mimics sim.SyncEnv.
+type SyncEnv struct{ ID int }
+
+type holder struct {
+	env *AsyncEnv
+}
+
+var global *SyncEnv
+
+// leakToGoroutine spawns goroutines that capture or receive the env.
+func leakToGoroutine(env *AsyncEnv) {
+	go func() {
+		env.Recv() // want `\*AsyncEnv reaches a spawned goroutine via env`
+	}()
+	go consume(env) // want `\*AsyncEnv reaches a spawned goroutine via env`
+	// Handing a goroutine its own fresh env is ownership transfer, not a leak.
+	go func(own *AsyncEnv) {
+		own.Recv()
+	}(&AsyncEnv{ID: 1}) // the literal has no root variable outside the go statement
+}
+
+func consume(e *AsyncEnv) { e.Recv() }
+
+// leakToStorage stores envs into shared structures.
+func leakToStorage(env *AsyncEnv, senv *SyncEnv) {
+	h := holder{}
+	h.env = env // want `\*AsyncEnv stored in a shared structure`
+	var envs []*AsyncEnv
+	envs = append(envs, env) // want `\*AsyncEnv appended to a slice`
+	byID := map[int]*AsyncEnv{}
+	byID[env.ID] = env   // want `\*AsyncEnv stored in a shared structure`
+	global = senv        // plain rebinding of a package variable is a store through an ident, allowed here
+	_ = holder{env: env} // want `\*AsyncEnv stored in a composite literal`
+	ch := make(chan *SyncEnv, 1)
+	ch <- senv // want `\*SyncEnv sent on a channel`
+	_ = envs
+	_ = byID
+	_ = ch
+}
+
+// localAlias keeps the handle on the owning stack: fine.
+func localAlias(env *AsyncEnv) {
+	alias := env
+	alias.Recv()
+}

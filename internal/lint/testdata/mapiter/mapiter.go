@@ -1,0 +1,90 @@
+// Package mapiter is a fixture for the mapiter analyzer.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type env struct{}
+
+func (env) Send(to int, payload any) {}
+func (env) Broadcast(payload any)    {}
+
+// badAppend builds a slice in map order and never sorts it.
+func badAppend(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `appends to keys in iteration order of map m`
+	}
+	return keys
+}
+
+// goodCollectSort is the canonical idiom: collect then sort.
+func goodCollectSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// goodLocalSort sorts through a helper whose name mentions sort.
+func goodLocalSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(ks []int) { sort.Ints(ks) }
+
+// badSend emits protocol messages in map order.
+func badSend(e env, colors map[int]int) {
+	for u, c := range colors {
+		e.Send(u, c) // want `sends messages in iteration order of map colors`
+	}
+	for _, c := range colors {
+		e.Broadcast(c) // want `sends messages in iteration order of map colors`
+	}
+}
+
+// badPrint writes human-visible output in map order.
+func badPrint(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want `emits output in iteration order of map m`
+	}
+	for k := range m {
+		b.WriteString(k) // want `writes output in iteration order of map m`
+	}
+	return b.String()
+}
+
+// goodFold is order-independent: map-to-map and aggregation bodies pass.
+func goodFold(m map[int]int) (map[int]int, int) {
+	out := make(map[int]int, len(m))
+	max := 0
+	for k, v := range m {
+		out[k] = v
+		if v > max {
+			max = v
+		}
+	}
+	return out, max
+}
+
+// goodLoopLocal appends to a slice declared inside the loop body.
+func goodLoopLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

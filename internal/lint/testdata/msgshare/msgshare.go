@@ -1,0 +1,85 @@
+// Package msgshare is a fixture for the msgshare analyzer.
+package msgshare
+
+type env struct{}
+
+func (env) Send(to int, payload any)   {}
+func (env) Broadcast(payload any)      {}
+func (env) Inject(to int, payload any) {}
+
+type reply struct {
+	Table map[int]int
+	Buf   []byte
+}
+
+type node struct {
+	table map[int]int
+	buf   []byte
+}
+
+// badSliceReuse sends a buffer and keeps writing into it.
+func badSliceReuse(e env, buf []byte) {
+	e.Send(1, buf) // want `payload aliases buf, which is mutated after the send`
+	buf[0] = 7
+}
+
+// badMapField ships a live table inside a struct payload, then mutates it.
+func (n *node) badMapField(e env) {
+	e.Broadcast(reply{Table: n.table}) // want `payload aliases n\.table, which is mutated after the send`
+	n.table[3] = 4
+}
+
+// badLoopReuse reuses one scratch buffer across loop iterations: iteration
+// i+1 overwrites what iteration i sent.
+func badLoopReuse(e env, dst []int) {
+	scratch := make([]byte, 8)
+	for _, to := range dst {
+		e.Send(to, scratch) // want `payload aliases scratch, which is mutated after the send`
+		scratch[0] = byte(to)
+	}
+}
+
+// badPointer shares a pointer into sender state.
+func (n *node) badPointer(e env) {
+	e.Inject(0, &n.buf) // want `payload aliases n\.buf, which is mutated after the send`
+	n.buf = append(n.buf, 1)
+}
+
+// goodFreshCopy copies before sending: the receiver owns the copy.
+func (n *node) goodFreshCopy(e env) {
+	cp := make(map[int]int, len(n.table))
+	for k, v := range n.table {
+		cp[k] = v
+	}
+	e.Broadcast(reply{Table: cp})
+	n.table[3] = 4
+}
+
+// goodCallResult sends a function result, which is treated as fresh.
+func (n *node) goodCallResult(e env) {
+	e.Send(1, n.snapshot())
+	n.table[5] = 6
+}
+
+func (n *node) snapshot() map[int]int {
+	cp := make(map[int]int, len(n.table))
+	for k, v := range n.table {
+		cp[k] = v
+	}
+	return cp
+}
+
+// goodValuePayload sends a value struct with no reference fields.
+func goodValuePayload(e env) {
+	type token struct{ From, TTL int }
+	t := token{From: 1, TTL: 2}
+	e.Send(1, t)
+	t.TTL = 0
+}
+
+// goodRebind rebinding the variable does not touch the sent backing array.
+func goodRebind(e env, buf []byte) {
+	e.Send(1, buf)
+	buf = make([]byte, 4)
+	_ = buf
+}

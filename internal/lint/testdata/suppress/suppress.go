@@ -1,0 +1,41 @@
+// Package suppress is a fixture for //lint:ignore handling: directives on
+// the reported line or the line above suppress matching analyzers, "*"
+// suppresses every analyzer, comma lists name several, and a directive
+// without a reason is itself reported. Expected surviving diagnostics are
+// asserted by TestSuppression: two detrand findings (wrongAnalyzer and
+// missingReason) plus one malformed-directive finding, nothing else.
+package suppress
+
+import "math/rand"
+
+func suppressedAbove() int {
+	//lint:ignore detrand fixture exercises line-above suppression
+	return rand.Intn(8)
+}
+
+func suppressedTrailing() int {
+	return rand.Intn(8) //lint:ignore detrand fixture exercises same-line suppression
+}
+
+func suppressedStar(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		//lint:ignore * fixture exercises wildcard suppression
+		ks = append(ks, k)
+	}
+	_ = ks
+	//lint:ignore mapiter,detrand fixture exercises comma-separated analyzer lists
+	return []int{rand.Int()}
+}
+
+func wrongAnalyzer() int {
+	//lint:ignore mapiter directive names the wrong analyzer, so detrand still fires
+	return rand.Int()
+}
+
+// The next directive is malformed (no reason) and is reported itself; it
+// suppresses nothing, so the rand.Int below it also fires.
+func missingReason() int {
+	//lint:ignore detrand
+	return rand.Int()
+}

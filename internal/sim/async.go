@@ -18,8 +18,12 @@ type AsyncNode interface {
 
 // DelayFn injects extra delivery delay (in virtual time units) per message;
 // the base cost of a hop is always 1 unit. rng is the sending node's private
-// generator, so delays are deterministic per seed. A nil DelayFn means no
-// extra delay.
+// delay generator — separate from the protocol's env.Rand, so failure
+// injection can never shift the random stream a protocol draws from (the
+// number of sends a node performs may differ between runs when concurrent
+// floods race for dedup slots, and a shared stream would leak that timing
+// into protocol decisions). Delays are deterministic per seed given the
+// node's send sequence. A nil DelayFn means no extra delay.
 type DelayFn func(from, to int, rng *rand.Rand) int64
 
 // AsyncEnv is the per-node handle on the asynchronous engine. Only the
@@ -29,9 +33,10 @@ type AsyncEnv struct {
 	Neighbors []int
 	Rand      *rand.Rand
 
-	engine *AsyncEngine
-	inbox  *msgQueue
-	clock  int64
+	engine    *AsyncEngine
+	inbox     *msgQueue
+	clock     int64
+	delayRand *rand.Rand // feeds DelayFn only; see DelayFn
 }
 
 // Clock returns the node's Lamport-style virtual time.
@@ -48,7 +53,7 @@ func (e *AsyncEnv) Send(to int, payload any) {
 	}
 	when := e.clock + 1
 	if eng.Delay != nil {
-		when += eng.Delay(e.ID, to, e.Rand)
+		when += eng.Delay(e.ID, to, e.delayRand)
 	}
 	m := Message{From: e.ID, To: to, When: when, Payload: payload}
 	eng.mu.Lock()
@@ -160,10 +165,12 @@ func NewAsyncEngine(g *graph.Graph, seed int64, factory func(id int) AsyncNode) 
 	for v := 0; v < g.N(); v++ {
 		eng.nodes[v] = factory(v)
 		eng.inboxes[v] = newMsgQueue()
+		//lint:ignore envowner the engine is the constructor-owner; envs are handed to node goroutines before any concurrent use
 		eng.envs[v] = &AsyncEnv{
 			ID:        v,
 			Neighbors: g.Neighbors(v),
 			Rand:      rand.New(rand.NewSource(seed ^ int64(v)*0x5851F42D4C957F2D ^ 0x7C15F0B3)),
+			delayRand: rand.New(rand.NewSource(seed ^ int64(v)*0x5851F42D4C957F2D ^ 0x3C6EF372)),
 			engine:    eng,
 			inbox:     eng.inboxes[v],
 		}
@@ -201,6 +208,7 @@ func (eng *AsyncEngine) Run() error {
 						panics[v] = fmt.Errorf("sim: node %d panicked: %v", v, r)
 					}
 				}()
+				//lint:ignore envowner ownership transfer: this goroutine IS node v's owner for the whole run
 				eng.nodes[v].Run(eng.envs[v])
 			}()
 			if eng.Trace != nil {

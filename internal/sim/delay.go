@@ -3,10 +3,12 @@ package sim
 import "math/rand"
 
 // Delay presets for failure injection in the asynchronous engine. All are
-// deterministic per seed (they only draw from the sending node's private
-// generator) and only stretch virtual time — protocol correctness must not
-// depend on timing, which the tests exercise by running every async
-// algorithm under each preset.
+// deterministic per seed (they only draw from the sending node's dedicated
+// delay generator, which is kept separate from the protocol-facing env.Rand
+// so injected delays never perturb a protocol's random stream) and only
+// stretch virtual time — protocol correctness must not depend on timing,
+// which the tests exercise by running every async algorithm under each
+// preset.
 
 // NoDelay is the identity: every hop costs exactly one time unit.
 func NoDelay() DelayFn { return nil }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -133,8 +134,13 @@ func (r *Recorder) Summary() string {
 	}
 	if len(r.byPay) > 0 {
 		b.WriteString("  sends by payload type:\n")
-		for name, n := range r.byPay {
-			fmt.Fprintf(&b, "    %-30s %d\n", name, n)
+		names := make([]string, 0, len(r.byPay))
+		for name := range r.byPay {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "    %-30s %d\n", name, r.byPay[name])
 		}
 	}
 	return b.String()

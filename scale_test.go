@@ -36,7 +36,13 @@ func TestScaleSoak(t *testing.T) {
 	if !fdlsp.Valid(g, df.Assignment) {
 		t.Fatal("DFS invalid at scale")
 	}
-	if df.Stats.Rounds > int64(12*g.N()) {
+	// The constant accounts for the per-turn announce/ack barrier (each
+	// token turn costs O(1) virtual time: ask/reply plus a TTL-bounded
+	// acknowledged flood), observed ~14.5 rounds/node at this scale. The
+	// schedule is byte-deterministic per seed but Rounds is not (virtual
+	// clocks also advance on duplicate flood deliveries, whose order
+	// depends on goroutine scheduling), so leave real headroom.
+	if df.Stats.Rounds > int64(20*g.N()) {
 		t.Fatalf("DFS rounds %d not linear at scale", df.Stats.Rounds)
 	}
 
