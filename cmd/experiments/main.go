@@ -273,6 +273,20 @@ func main() {
 			return nil
 		})
 	}
+	if ext("ext-faults") {
+		timed("ext-faults", func() error {
+			faultTrials := extTrials
+			if faultTrials > 5 {
+				faultTrials = 5 // lossy runs are expensive; cap the default
+			}
+			tb, err := expt.FaultOverhead(30, 12, 4, []float64{0, 0.05, 0.1, 0.2}, faultTrials, *seed)
+			if err != nil {
+				return err
+			}
+			emit("Extension: message/round overhead of reliable transport vs loss rate", tb)
+			return nil
+		})
+	}
 	if ext("ext-qudg") {
 		timed("ext-qudg", func() error {
 			tb, err := expt.QUDGComparison(150, 10, 1.2, extTrials, *seed)

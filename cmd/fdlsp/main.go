@@ -44,8 +44,17 @@ func main() {
 		optim   = flag.Bool("optimize", false, "post-optimize the schedule offline (compaction + iterated greedy)")
 		compare = flag.Bool("compare", false, "run every algorithm on the instance and print a comparison table")
 		svg     = flag.String("svg", "", "write SVG renderings with this path prefix (UDG generator only)")
+		loss    = flag.Float64("loss", 0, "per-message drop probability in [0,1) (distmis/dfs)")
+		dup     = flag.Float64("dup", 0, "per-message duplication probability in [0,1) (distmis/dfs)")
+		reorder = flag.Int64("reorder", 0, "max extra delivery jitter for reordering (distmis/dfs)")
+		crash   = flag.String("crash", "", "comma-separated crash specs node@time[:restart], e.g. 3@40,7@60:90")
 	)
 	flag.Parse()
+
+	plan, err := faultPlan(*loss, *dup, *reorder, *crash, *seed)
+	if err != nil {
+		fatal(err)
+	}
 
 	g, pts, err := buildGraph(*in, *gen, *n, *m, *a, *b, *rows, *cols, *side, *radius, *seed)
 	if err != nil {
@@ -62,25 +71,39 @@ func main() {
 
 	var rec *fdlsp.TraceRecorder
 	if *trace {
+		// The summary only needs the aggregate counters; retaining events is
+		// only worth the memory when a timeline rendering was asked for.
 		rec = &fdlsp.TraceRecorder{Cap: 1}
+		if *svg != "" {
+			rec.Cap = 1 << 20
+		}
 	}
-	as, label, stats, err := run(g, *algo, *seed, rec)
+	as, label, stats, faults, err := run(g, *algo, *seed, rec, plan)
 	if err != nil {
 		fatal(err)
 	}
-	if viols := fdlsp.Verify(g, as); len(viols) != 0 {
+	// A faulty run is accountable for the surviving subgraph: the crashed
+	// nodes' arcs are excluded from verification and frame assembly.
+	target := g
+	if faults != nil {
+		target = fdlsp.SurvivingGraph(g, faults.crashed)
+		fmt.Printf("faults: loss=%.2f dup=%.2f reorder=%d crashed=%v\n",
+			*loss, *dup, *reorder, faults.crashed)
+		fmt.Printf("transport: %v\n", faults.transport)
+	}
+	if viols := fdlsp.Verify(target, as); len(viols) != 0 {
 		fatal(fmt.Errorf("INVALID schedule: %d violations, first: %v", len(viols), viols[0]))
 	}
 	if *optim {
 		raw := as.NumColors()
-		as = fdlsp.ImproveSchedule(g, as, 12, *seed)
+		as = fdlsp.ImproveSchedule(target, as, 12, *seed)
 		fmt.Printf("post-optimization: %d -> %d slots\n", raw, as.NumColors())
 	}
-	schedule, err := fdlsp.BuildSchedule(g, as)
+	schedule, err := fdlsp.BuildSchedule(target, as)
 	if err != nil {
 		fatal(err)
 	}
-	if collisions := schedule.RadioCheck(g); len(collisions) != 0 {
+	if collisions := schedule.RadioCheck(target); len(collisions) != 0 {
 		fatal(fmt.Errorf("radio check failed: %v", collisions[0]))
 	}
 
@@ -91,7 +114,11 @@ func main() {
 	if stats != nil {
 		fmt.Printf("cost: %d rounds, %d messages\n", stats.Rounds, stats.Messages)
 	}
-	fmt.Println("verification: schedule valid, radio check clean")
+	if faults != nil {
+		fmt.Println("verification: schedule valid on surviving subgraph, radio check clean")
+	} else {
+		fmt.Println("verification: schedule valid, radio check clean")
+	}
 	if rec != nil {
 		fmt.Print("trace summary:\n", rec.Summary())
 	}
@@ -103,8 +130,11 @@ func main() {
 			*svg + "-network.svg":   viz.Network(g, pts, viz.Style{}),
 			*svg + "-histogram.svg": viz.SlotHistogram(schedule),
 		}
+		if rec != nil {
+			files[*svg+"-timeline.svg"] = fdlsp.RenderTimeline(rec.Events(), g.N(), viz.Style{})
+		}
 		if schedule.FrameLength > 0 {
-			slot1, err := viz.Slot(g, pts, schedule, 1, viz.Style{})
+			slot1, err := viz.Slot(target, pts, schedule, 1, viz.Style{})
 			if err != nil {
 				fatal(err)
 			}
@@ -193,57 +223,101 @@ func buildGraph(in, gen string, n, m, a, b, rows, cols int, side, radius float64
 	}
 }
 
-func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder) (fdlsp.Assignment, string, *fdlsp.Stats, error) {
+// faultResult carries the fault-specific outcome of a run: which nodes the
+// plan actually crashed and the transport-layer accounting.
+type faultResult struct {
+	crashed   []int
+	transport fdlsp.TransportTotals
+}
+
+// faultPlan assembles the CLI fault flags into a FaultPlan, or nil when no
+// fault injection was requested. Crash specs are node@time[:restart].
+func faultPlan(loss, dup float64, reorder int64, crash string, seed int64) (*fdlsp.FaultPlan, error) {
+	var crashes []fdlsp.Crash
+	for _, spec := range strings.Split(crash, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		var c fdlsp.Crash
+		if _, err := fmt.Sscanf(spec, "%d@%d:%d", &c.Node, &c.At, &c.RestartAt); err != nil {
+			if _, err := fmt.Sscanf(spec, "%d@%d", &c.Node, &c.At); err != nil {
+				return nil, fmt.Errorf("bad -crash spec %q (want node@time[:restart])", spec)
+			}
+		}
+		crashes = append(crashes, c)
+	}
+	if loss == 0 && dup == 0 && reorder == 0 && len(crashes) == 0 {
+		return nil, nil
+	}
+	if loss < 0 || loss >= 1 || dup < 0 || dup >= 1 || reorder < 0 {
+		return nil, fmt.Errorf("fault rates out of range: loss and dup in [0,1), reorder >= 0")
+	}
+	return &fdlsp.FaultPlan{Seed: seed, Loss: loss, Dup: dup, Reorder: reorder, Crashes: crashes}, nil
+}
+
+func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder, plan *fdlsp.FaultPlan) (fdlsp.Assignment, string, *fdlsp.Stats, *faultResult, error) {
 	var tracer fdlsp.Tracer
 	if rec != nil {
 		tracer = rec
 	}
+	faulty := func(res *fdlsp.Result) *faultResult {
+		if plan == nil {
+			return nil
+		}
+		return &faultResult{crashed: res.Crashed, transport: res.Transport}
+	}
 	switch algo {
 	case "distmis":
-		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Trace: tracer})
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Trace: tracer, Fault: plan})
 		if err != nil {
-			return nil, "", nil, err
+			return nil, "", nil, nil, err
 		}
-		return res.Assignment, res.Algorithm, &res.Stats, nil
+		return res.Assignment, res.Algorithm, &res.Stats, faulty(res), nil
 	case "distmis-general":
-		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral, Trace: tracer})
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral, Trace: tracer, Fault: plan})
 		if err != nil {
-			return nil, "", nil, err
+			return nil, "", nil, nil, err
 		}
-		return res.Assignment, res.Algorithm, &res.Stats, nil
+		return res.Assignment, res.Algorithm, &res.Stats, faulty(res), nil
 	case "dfs":
-		res, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed, Trace: tracer})
+		res, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed, Trace: tracer, Fault: plan})
 		if err != nil {
-			return nil, "", nil, err
+			return nil, "", nil, nil, err
 		}
-		return res.Assignment, res.Algorithm, &res.Stats, nil
+		return res.Assignment, res.Algorithm, &res.Stats, faulty(res), nil
+	}
+	if plan != nil {
+		return nil, "", nil, nil, fmt.Errorf("algorithm %q does not support fault injection (-loss/-dup/-reorder/-crash)", algo)
+	}
+	switch algo {
 	case "dmgc":
 		res, err := fdlsp.DMGC(g)
 		if err != nil {
-			return nil, "", nil, err
+			return nil, "", nil, nil, err
 		}
-		return res.Assignment, res.Algorithm, nil, nil
+		return res.Assignment, res.Algorithm, nil, nil, nil
 	case "randomized":
 		res, err := fdlsp.Randomized(g, seed)
 		if err != nil {
-			return nil, "", nil, err
+			return nil, "", nil, nil, err
 		}
-		return res.Assignment, res.Algorithm, &res.Stats, nil
+		return res.Assignment, res.Algorithm, &res.Stats, nil, nil
 	case "greedy":
-		return fdlsp.GreedySchedule(g), "greedy (sequential reference)", nil, nil
+		return fdlsp.GreedySchedule(g), "greedy (sequential reference)", nil, nil, nil
 	case "exact":
 		as, k, proved := fdlsp.OptimalSlots(g)
 		label := fmt.Sprintf("exact optimum (%d slots, proved=%v)", k, proved)
-		return as, label, nil, nil
+		return as, label, nil, nil, nil
 	case "ilp":
 		res, err := fdlsp.SolveILP(g, 0)
 		if err != nil {
-			return nil, "", nil, err
+			return nil, "", nil, nil, err
 		}
 		label := fmt.Sprintf("ILP (optimal=%v, %d B&B nodes)", res.Optimal, res.Nodes)
-		return res.Assignment, label, nil, nil
+		return res.Assignment, label, nil, nil, nil
 	default:
-		return nil, "", nil, fmt.Errorf("unknown algorithm %q", algo)
+		return nil, "", nil, nil, fmt.Errorf("unknown algorithm %q", algo)
 	}
 }
 

@@ -19,10 +19,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"fdlsp/internal/lint"
@@ -71,17 +74,28 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	loader := lint.NewLoader()
-	exit := 0
+	importPaths := make(map[string]string, len(dirs)) // dir -> import path
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		importPath := module
-		if rel != "." {
-			importPath = module + "/" + filepath.ToSlash(rel)
+		if rel == "." {
+			importPaths[dir] = module
+		} else {
+			importPaths[dir] = module + "/" + filepath.ToSlash(rel)
 		}
+	}
+
+	// Load in dependency order so the loader's import cache is already
+	// seeded with a package's module-local imports when it is typechecked —
+	// each package (and the stdlib) is then checked exactly once per run.
+	// Diagnostics still print in the stable alphabetical directory order.
+	loader := lint.NewLoader()
+	lines := make(map[string][]string, len(dirs))
+	exit := 0
+	for _, dir := range dependencyOrder(dirs, importPaths) {
+		importPath := importPaths[dir]
 		pkg, err := loader.LoadDir(dir, importPath)
 		if err != nil {
 			fatalf("%v", err)
@@ -96,11 +110,79 @@ func main() {
 			if r, err := filepath.Rel(root, file); err == nil {
 				file = r
 			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+			lines[dir] = append(lines[dir],
+				fmt.Sprintf("%s:%d:%d: [%s] %s", file, pos.Line, pos.Column, d.Analyzer, d.Message))
 			exit = 1
 		}
 	}
+	for _, dir := range dirs {
+		for _, line := range lines[dir] {
+			fmt.Println(line)
+		}
+	}
 	os.Exit(exit)
+}
+
+// dependencyOrder sorts the package directories so module-local imports
+// come before their importers (ties and unrelated packages stay in the
+// incoming alphabetical order). Import lists are read with a cheap
+// imports-only parse; cycles cannot occur in compilable Go, and if the
+// parse fails the directory is simply ordered as-is — LoadDir will report
+// the real error.
+func dependencyOrder(dirs []string, importPaths map[string]string) []string {
+	byPath := make(map[string]string, len(dirs)) // import path -> dir
+	for dir, path := range importPaths {
+		byPath[path] = dir
+	}
+	imports := make(map[string][]string, len(dirs)) // dir -> module-local import dirs
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				continue
+			}
+			for _, spec := range f.Imports {
+				path, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if dep, ok := byPath[path]; ok && dep != dir && !seen[dep] {
+					seen[dep] = true
+					imports[dir] = append(imports[dir], dep)
+				}
+			}
+		}
+		sort.Strings(imports[dir])
+	}
+	ordered := make([]string, 0, len(dirs))
+	state := make(map[string]int, len(dirs)) // 0 new, 1 visiting, 2 done
+	var visit func(dir string)
+	visit = func(dir string) {
+		if state[dir] != 0 {
+			return
+		}
+		state[dir] = 1
+		for _, dep := range imports[dir] {
+			visit(dep)
+		}
+		state[dir] = 2
+		ordered = append(ordered, dir)
+	}
+	for _, dir := range dirs {
+		visit(dir)
+	}
+	return ordered
 }
 
 // scoped restricts detrand to internal/ packages: protocol and analysis

@@ -107,6 +107,49 @@ func FuzzDIMACSParser(f *testing.F) {
 	})
 }
 
+// FuzzFaultyRunsTerminateAndVerify throws arbitrary graphs and fault plans
+// (loss up to 0.6, duplication, reordering, an optional crash) at both
+// distributed algorithms over the reliable transport. The contract: the
+// run terminates without error and the verifier accepts the schedule on
+// the surviving subgraph. MaxRetries is raised far above the default so
+// spurious ARQ give-ups on live peers are vanishingly unlikely even at the
+// top of the fuzzed loss range.
+func FuzzFaultyRunsTerminateAndVerify(f *testing.F) {
+	f.Add([]byte{9, 0, 1, 1, 2, 2, 3, 3, 4, 4, 0}, int64(1), uint8(20), uint8(10), uint8(3), uint8(41))
+	f.Add([]byte{12, 0, 1, 0, 2, 0, 3, 1, 2, 4, 5, 5, 6}, int64(7), uint8(55), uint8(0), uint8(0), uint8(0))
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3, 0, 3}, int64(3), uint8(5), uint8(30), uint8(1), uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, lossB, dupB, crashB, atB uint8) {
+		g := graphFromBytes(data)
+		if g.N() == 0 || g.M() == 0 {
+			return
+		}
+		plan := &fdlsp.FaultPlan{
+			Seed:    seed,
+			Loss:    float64(lossB%61) / 100, // [0, 0.60]
+			Dup:     float64(dupB%41) / 100,  // [0, 0.40]
+			Reorder: int64(dupB % 3),
+		}
+		if crashB%2 == 1 {
+			plan.Crashes = []fdlsp.Crash{{Node: int(crashB) % g.N(), At: int64(atB)%80 + 1}}
+		}
+		topt := fdlsp.TransportOptions{MaxRetries: 25}
+		check := func(label string, res *fdlsp.Result, err error) {
+			if err != nil {
+				t.Fatalf("%s did not survive plan %+v: %v", label, plan, err)
+			}
+			surv := fdlsp.SurvivingGraph(g, res.Crashed)
+			if viols := fdlsp.Verify(surv, res.Assignment); len(viols) != 0 {
+				t.Fatalf("%s: invalid on surviving subgraph (crashed %v): %v",
+					label, res.Crashed, viols[0])
+			}
+		}
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Fault: plan, Transport: topt})
+		check("distMIS", res, err)
+		res, err = fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed, Fault: plan, Transport: topt})
+		check("dfs", res, err)
+	})
+}
+
 func FuzzScheduleJSON(f *testing.F) {
 	f.Add(int64(1))
 	f.Fuzz(func(t *testing.T, seed int64) {

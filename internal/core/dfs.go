@@ -7,6 +7,7 @@ import (
 	"fdlsp/internal/coloring"
 	"fdlsp/internal/graph"
 	"fdlsp/internal/sim"
+	"fdlsp/internal/transport"
 )
 
 // ChildPolicy selects which unvisited neighbor receives the DFS token next.
@@ -42,6 +43,15 @@ type DFSOptions struct {
 	Delay sim.DelayFn
 	// Trace optionally observes engine events; must be concurrency-safe.
 	Trace sim.Tracer
+	// Fault optionally subjects the run to message loss, duplication,
+	// reordering, and node crashes. When set, the protocol runs over the
+	// reliable transport and the driver recovers from token loss with
+	// restart epochs (see dfsConnected). nil keeps the original
+	// zero-overhead direct path.
+	Fault *sim.FaultPlan
+	// Transport tunes the ARQ machinery when Fault is set (zero value =
+	// defaults); ignored otherwise.
+	Transport transport.Options
 }
 
 // Message payloads of the DFS protocol.
@@ -75,68 +85,184 @@ type floodGroup struct {
 	remaining int
 }
 
-// dfsNode is one processor of Algorithm 2.
+// dfsNode is one processor of Algorithm 2. Its traversal state lives in
+// struct fields (not Run locals) because a faulty run re-engages the same
+// nodes across several engine runs — the recovery epochs — and knowledge,
+// visit marks, and colored arcs must carry over.
 type dfsNode struct {
 	g       *graph.Graph
 	know    *knowledge
 	policy  ChildPolicy
 	degrees map[int]int // neighbor -> degree (local model knowledge)
+	faulty  bool
 
 	ownColored []graph.Arc
 
 	nextSeq int64
 	groups  map[int64]*floodGroup // my sent seq -> batch awaiting that ack
+	seqDest map[int64]int         // my sent seq -> receiver (PeerDown cleanup)
+
+	visited        map[int]bool
+	selfVisited    bool
+	parent         int
+	awaitingChild  int
+	pendingReplies int
+	awaitingReply  map[int]bool // neighbors whose replyMsg is outstanding
 }
 
-// sendFlood ships every announce in outs to all neighbors as one
+func newDFSNode(g *graph.Graph, id int, policy ChildPolicy, faulty bool) *dfsNode {
+	degs := make(map[int]int)
+	for _, u := range g.Neighbors(id) {
+		degs[u] = g.Degree(u)
+	}
+	return &dfsNode{
+		g:             g,
+		know:          newKnowledge(id, g),
+		policy:        policy,
+		degrees:       degs,
+		faulty:        faulty,
+		groups:        make(map[int64]*floodGroup),
+		seqDest:       make(map[int64]int),
+		visited:       make(map[int]bool, g.Degree(id)),
+		parent:        -1,
+		awaitingChild: -1,
+		awaitingReply: make(map[int]bool),
+	}
+}
+
+// reopen clears the ask state of a node whose token visit stalled (a
+// neighbor died holding the outstanding reply, or a reply's transport gave
+// up) so a later epoch can re-visit and color it. Colors and knowledge are
+// kept — the re-visit only colors what is still uncolored.
+func (nd *dfsNode) reopen() {
+	nd.selfVisited = false
+	nd.parent = -1
+	nd.awaitingChild = -1
+	nd.pendingReplies = 0
+	nd.awaitingReply = make(map[int]bool)
+}
+
+// sendFlood ships every announce in outs to all live neighbors as one
 // acknowledged batch and reports whether anything was sent. parent == -1
 // marks the token holder's own batch (token resumes on drain); otherwise the
-// drain acks (parent, parentSeq) upstream.
-func (nd *dfsNode) sendFlood(env *sim.AsyncEnv, outs []ColorAnnounce, parent int, parentSeq int64) bool {
-	if len(outs) == 0 || len(env.Neighbors) == 0 {
+// drain acks (parent, parentSeq) upstream. Peers the transport has given up
+// on are skipped — counting them would leave the batch undrainable.
+func (nd *dfsNode) sendFlood(env *transport.AsyncEnv, outs []ColorAnnounce, parent int, parentSeq int64) bool {
+	var dests []int
+	for _, u := range env.Neighbors {
+		if !env.Down(u) {
+			dests = append(dests, u)
+		}
+	}
+	if len(outs) == 0 || len(dests) == 0 {
 		return false
 	}
-	grp := &floodGroup{parent: parent, parentSeq: parentSeq, remaining: len(outs) * len(env.Neighbors)}
+	grp := &floodGroup{parent: parent, parentSeq: parentSeq, remaining: len(outs) * len(dests)}
 	for _, f := range outs {
-		for _, u := range env.Neighbors {
+		for _, u := range dests {
 			nd.nextSeq++
 			nd.groups[nd.nextSeq] = grp
+			nd.seqDest[nd.nextSeq] = u
 			env.Send(u, annMsg{Ann: f, Seq: nd.nextSeq})
 		}
 	}
 	return true
 }
 
-func (nd *dfsNode) Run(env *sim.AsyncEnv) {
-	visited := make(map[int]bool, len(env.Neighbors))
-	selfVisited := false
-	parent := -1
-	awaitingChild := -1
-	pendingReplies := 0
+// beginToken opens this node's visit: ask every live neighbor for its color
+// table. With no live neighbor there is nothing to learn (or conflict with),
+// so the visit completes immediately.
+func (nd *dfsNode) beginToken(env *transport.AsyncEnv) {
+	nd.pendingReplies = 0
+	for _, u := range env.Neighbors {
+		if env.Down(u) {
+			continue
+		}
+		nd.pendingReplies++
+		nd.awaitingReply[u] = true
+		env.Send(u, askMsg{})
+	}
+	if nd.pendingReplies == 0 {
+		nd.completeToken(env)
+	}
+}
 
-	completeToken := func() {
-		// All replies merged: color every still-uncolored incident arc with
-		// distance-2 knowledge, then announce. The token pass waits for the
-		// announce flood to drain (see floodGroup) so the next holder's
-		// knowledge is independent of goroutine scheduling.
-		newly := coloring.AssignGreedyLocal(nd.g, nd.know.know, nd.g.IncidentArcs(env.ID))
-		nd.ownColored = append(nd.ownColored, newly...)
-		if !nd.sendFlood(env, nd.know.announceOwn(newly), -1, 0) {
-			nd.passToken(env, visited, parent, &awaitingChild)
+// completeToken runs once all replies are merged: color every still-uncolored
+// incident arc with distance-2 knowledge, then announce. Arcs to peers known
+// dead are skipped — they are excluded from the schedule anyway. The token
+// pass waits for the announce flood to drain (see floodGroup) so the next
+// holder's knowledge is independent of goroutine scheduling.
+func (nd *dfsNode) completeToken(env *transport.AsyncEnv) {
+	arcs := nd.g.IncidentArcs(env.ID)
+	if nd.faulty {
+		live := make([]graph.Arc, 0, len(arcs))
+		for _, a := range arcs {
+			other := a.From
+			if other == env.ID {
+				other = a.To
+			}
+			if !env.Down(other) {
+				live = append(live, a)
+			}
+		}
+		arcs = live
+	}
+	newly := coloring.AssignGreedyLocal(nd.g, nd.know.know, arcs)
+	nd.ownColored = append(nd.ownColored, newly...)
+	if !nd.sendFlood(env, nd.know.announceOwn(newly), -1, 0) {
+		nd.passToken(env)
+	}
+}
+
+// drainSeq retires one outstanding flood seq (acked, or its receiver was
+// given up on) and fires the batch's completion action when it empties.
+func (nd *dfsNode) drainSeq(env *transport.AsyncEnv, seq int64) {
+	grp, ok := nd.groups[seq]
+	delete(nd.seqDest, seq)
+	if !ok {
+		return
+	}
+	delete(nd.groups, seq)
+	grp.remaining--
+	if grp.remaining == 0 {
+		if grp.parent >= 0 {
+			env.Send(grp.parent, ackMsg{Seq: grp.parentSeq})
+		} else {
+			nd.passToken(env)
 		}
 	}
+}
 
-	beginToken := func() {
-		if len(env.Neighbors) == 0 {
-			completeToken() // isolated root: nothing to ask or color
-			return
-		}
-		pendingReplies = len(env.Neighbors)
-		for _, u := range env.Neighbors {
-			env.Send(u, askMsg{})
+// peerDown is the node's failure-detector handler. The dead neighbor is
+// struck from the unvisited record, every flood seq destined to it drains,
+// and an outstanding reply from it stops being waited for. If the peer was
+// the awaited child the node deliberately does NOT repick: the transport
+// cannot tell whether the token died with the peer or was never delivered,
+// and forwarding a replacement while the original might still roam would put
+// two tokens in flight. The traversal quiesces instead and the driver's next
+// epoch restarts it from a surviving root.
+func (nd *dfsNode) peerDown(env *transport.AsyncEnv, peer int) {
+	nd.visited[peer] = true
+	var seqs []int64
+	for q, dest := range nd.seqDest {
+		if dest == peer {
+			seqs = append(seqs, q)
 		}
 	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, q := range seqs {
+		nd.drainSeq(env, q)
+	}
+	if nd.awaitingReply[peer] {
+		delete(nd.awaitingReply, peer)
+		nd.pendingReplies--
+		if nd.pendingReplies == 0 {
+			nd.completeToken(env)
+		}
+	}
+}
 
+func (nd *dfsNode) Run(env *transport.AsyncEnv) {
 	for {
 		m, ok := env.Recv()
 		if !ok {
@@ -144,41 +270,42 @@ func (nd *dfsNode) Run(env *sim.AsyncEnv) {
 		}
 		switch p := m.Payload.(type) {
 		case startMsg:
-			selfVisited = true
-			beginToken()
+			nd.selfVisited = true
+			nd.beginToken(env)
 		case askMsg:
 			// The asker holds the token, hence is visited (paper: a neighbor
 			// asking about colors is removed from the unvisited record).
-			visited[m.From] = true
+			nd.visited[m.From] = true
 			env.Send(m.From, replyMsg{Table: nd.know.snapshotLocal()})
 		case replyMsg:
 			nd.know.merge(p.Table)
-			if pendingReplies > 0 {
-				pendingReplies--
-				if pendingReplies == 0 {
-					completeToken()
+			if nd.awaitingReply[m.From] {
+				delete(nd.awaitingReply, m.From)
+				nd.pendingReplies--
+				if nd.pendingReplies == 0 {
+					nd.completeToken(env)
 				}
 			}
 		case tokenMsg:
 			switch {
-			case !selfVisited:
-				selfVisited = true
-				parent = m.From
-				visited[m.From] = true
-				beginToken()
-			case m.From == awaitingChild:
+			case !nd.selfVisited:
+				nd.selfVisited = true
+				nd.parent = m.From
+				nd.visited[m.From] = true
+				nd.beginToken(env)
+			case m.From == nd.awaitingChild:
 				// Child finished its subtree; resume.
-				awaitingChild = -1
-				nd.passToken(env, visited, parent, &awaitingChild)
+				nd.awaitingChild = -1
+				nd.passToken(env)
 			default:
 				// Spurious pass from a node that had not yet heard we were
 				// visited (asynchrony): refuse, sender will repick.
 				env.Send(m.From, bounceMsg{})
 			}
 		case bounceMsg:
-			if m.From == awaitingChild {
-				awaitingChild = -1
-				nd.passToken(env, visited, parent, &awaitingChild)
+			if m.From == nd.awaitingChild {
+				nd.awaitingChild = -1
+				nd.passToken(env)
 			}
 		case annMsg:
 			// Everything observe triggers (relays, endpoint re-floods) joins
@@ -188,19 +315,15 @@ func (nd *dfsNode) Run(env *sim.AsyncEnv) {
 				env.Send(m.From, ackMsg{Seq: p.Seq})
 			}
 		case ackMsg:
-			grp, ok := nd.groups[p.Seq]
-			if !ok {
+			if _, known := nd.groups[p.Seq]; !known && !nd.faulty {
 				panic(fmt.Sprintf("core: DFS node %d got ack for unknown seq %d", env.ID, p.Seq))
 			}
-			delete(nd.groups, p.Seq)
-			grp.remaining--
-			if grp.remaining == 0 {
-				if grp.parent >= 0 {
-					env.Send(grp.parent, ackMsg{Seq: grp.parentSeq})
-				} else {
-					nd.passToken(env, visited, parent, &awaitingChild)
-				}
-			}
+			// Under faults a late ack may race the PeerDown that already
+			// drained its seq (the peer answered, then its link died);
+			// drainSeq ignores retired seqs.
+			nd.drainSeq(env, p.Seq)
+		case transport.PeerDown:
+			nd.peerDown(env, p.Peer)
 		default:
 			panic(fmt.Sprintf("core: DFS node %d got unexpected payload %T", env.ID, m.Payload))
 		}
@@ -209,30 +332,32 @@ func (nd *dfsNode) Run(env *sim.AsyncEnv) {
 
 // passToken forwards the token to the next unvisited neighbor per policy,
 // returns it to the parent when none remain, or — at the root — declares the
-// protocol finished.
-func (nd *dfsNode) passToken(env *sim.AsyncEnv, visited map[int]bool, parent int, awaitingChild *int) {
+// protocol finished. A send to a peer that died undetected is suppressed or
+// given up on by the transport; the traversal then quiesces and the driver
+// recovers with a new epoch.
+func (nd *dfsNode) passToken(env *transport.AsyncEnv) {
 	var cands []int
 	for _, u := range env.Neighbors {
-		if !visited[u] {
+		if !nd.visited[u] {
 			cands = append(cands, u)
 		}
 	}
 	if len(cands) > 0 {
 		next := nd.pickChild(env, cands)
-		visited[next] = true
-		*awaitingChild = next
+		nd.visited[next] = true
+		nd.awaitingChild = next
 		env.Send(next, tokenMsg{})
 		return
 	}
-	if parent >= 0 {
-		env.Send(parent, tokenMsg{})
+	if nd.parent >= 0 {
+		env.Send(nd.parent, tokenMsg{})
 		return
 	}
-	// Root with the whole graph visited: global termination.
+	// Root with its reachable subgraph visited: global termination.
 	env.FinishAll()
 }
 
-func (nd *dfsNode) pickChild(env *sim.AsyncEnv, cands []int) int {
+func (nd *dfsNode) pickChild(env *transport.AsyncEnv, cands []int) int {
 	switch nd.policy {
 	case MinID:
 		best := cands[0]
@@ -259,25 +384,41 @@ func (nd *dfsNode) pickChild(env *sim.AsyncEnv, cands []int) int {
 // DFS runs Algorithm 2 on g. Disconnected inputs are scheduled per
 // component (each component elects its own root and runs its own token);
 // reported rounds are the maximum across components — they run in parallel —
-// and messages are summed.
+// and messages are summed. Under a fault plan each component gets the plan
+// restricted to its own nodes.
 func DFS(g *graph.Graph, opts DFSOptions) (*Result, error) {
 	as := coloring.NewAssignment(g)
 	var total sim.Stats
+	var ttot transport.Totals
+	var crashed []int
 	for ci, comp := range g.Components() {
 		sub, ids := g.InducedSubgraph(comp)
-		subAs, stats, err := dfsConnected(sub, opts, opts.Seed+int64(ci)*7_368_787)
+		subOpts := opts
+		subOpts.Fault = remapPlan(opts.Fault, ids, int64(ci))
+		subAs, stats, tt, subCrashed, err := dfsConnected(sub, subOpts, opts.Seed+int64(ci)*7_368_787)
 		if err != nil {
 			return nil, err
 		}
 		for a, c := range subAs {
 			as[graph.Arc{From: ids[a.From], To: ids[a.To]}] = c
 		}
-		if stats.Rounds > total.Rounds {
-			total.Rounds = stats.Rounds
+		for _, v := range subCrashed {
+			crashed = append(crashed, ids[v])
 		}
-		total.Messages += stats.Messages
+		rounds := total.Rounds
+		if stats.Rounds > rounds {
+			rounds = stats.Rounds
+		}
+		total.Add(stats)
+		total.Rounds = rounds
+		ttot.Add(transport.Totals{Counters: tt.Counters})
 	}
+	crashed = sortedUnique(crashed)
+	dead := deadMask(g.N(), crashed)
 	for _, a := range g.Arcs() {
+		if !arcAlive(a, dead) {
+			continue
+		}
 		if as[a] == coloring.None {
 			return nil, fmt.Errorf("core: DFS left arc %v uncolored", a)
 		}
@@ -287,44 +428,163 @@ func DFS(g *graph.Graph, opts DFSOptions) (*Result, error) {
 		Assignment: as,
 		Slots:      as.NumColors(),
 		Stats:      total,
+		Crashed:    crashed,
+		Transport:  ttot,
 	}, nil
 }
 
-// dfsConnected schedules one connected graph.
-func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignment, sim.Stats, error) {
-	if g.N() == 0 {
-		return coloring.Assignment{}, sim.Stats{}, nil
+// remapPlan restricts a fault plan to one component, translating global node
+// ids to the induced subgraph's local ids (ids maps local -> global). Each
+// component's engine gets its own salted fault RNG.
+func remapPlan(p *sim.FaultPlan, ids []int, salt int64) *sim.FaultPlan {
+	if p == nil {
+		return nil
 	}
-	root := electRoot(g)
-	nodes := make([]*dfsNode, g.N())
-	eng := sim.NewAsyncEngine(g, seed, func(id int) sim.AsyncNode {
-		degs := make(map[int]int)
-		for _, u := range g.Neighbors(id) {
-			degs[u] = g.Degree(u)
+	inv := make(map[int]int, len(ids))
+	for local, global := range ids {
+		inv[global] = local
+	}
+	q := &sim.FaultPlan{
+		Seed:    p.Seed ^ (salt+1)*0x41C64E6D,
+		Loss:    p.Loss,
+		Dup:     p.Dup,
+		Reorder: p.Reorder,
+	}
+	if lossOf := p.LossOf; lossOf != nil {
+		q.LossOf = func(from, to int) float64 { return lossOf(ids[from], ids[to]) }
+	}
+	for _, c := range p.Crashes {
+		if local, ok := inv[c.Node]; ok {
+			q.Crashes = append(q.Crashes, sim.Crash{Node: local, At: c.At, RestartAt: c.RestartAt})
 		}
-		nodes[id] = &dfsNode{g: g, know: newKnowledge(id, g), policy: opts.Policy, degrees: degs, groups: make(map[int64]*floodGroup)}
-		return nodes[id]
-	})
-	eng.Delay = opts.Delay
-	eng.Trace = opts.Trace
-	eng.Inject(root, startMsg{})
-	if err := eng.Run(); err != nil {
-		return nil, sim.Stats{}, err
 	}
+	return q
+}
+
+// dfsConnected schedules one connected graph. Fault-free runs are a single
+// engine run, exactly the original algorithm. Under a fault plan the driver
+// runs recovery epochs: whenever a crash strands the token (dead holder,
+// dead awaited child, undeliverable pass), the run quiesces — the transport
+// gives up, PeerDown handlers fire, and no node has anything left to say —
+// and the driver starts a fresh engine over the same nodes, with dead peers
+// pre-marked both down (transport) and visited (traversal), rooted at the
+// highest-degree unvisited survivor. Visits stranded mid-ask are reopened so
+// the new epoch re-colors them. Each epoch either visits its root or loses
+// it to a crash, so n live roots plus n crashes bound the epoch count.
+func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignment, sim.Stats, transport.Totals, []int, error) {
+	if g.N() == 0 {
+		return coloring.Assignment{}, sim.Stats{}, transport.Totals{}, nil, nil
+	}
+	faulty := opts.Fault != nil
+	var topt *transport.Options
+	if faulty {
+		t := opts.Transport
+		topt = &t
+	}
+
+	n := g.N()
+	nodes := make([]*dfsNode, n)
+	for id := 0; id < n; id++ {
+		nodes[id] = newDFSNode(g, id, opts.Policy, faulty)
+	}
+
+	var total sim.Stats
+	var ttot transport.Totals
+	dead := make([]bool, n)
+	elapsed := int64(0)
+
+	for epoch := 0; ; epoch++ {
+		root := electRoot(g)
+		if epoch > 0 {
+			root = nextRoot(g, nodes, dead)
+			if root < 0 {
+				break
+			}
+		}
+		if epoch > 2*n+2 {
+			return nil, sim.Stats{}, transport.Totals{}, nil, fmt.Errorf("core: DFS exceeded %d recovery epochs", 2*n+2)
+		}
+
+		deadIds := deadList(dead)
+		for v := 0; v < n; v++ {
+			if dead[v] {
+				continue
+			}
+			for _, u := range deadIds {
+				nodes[v].visited[u] = true
+			}
+		}
+		wraps := make([]*transport.Async, n)
+		eng := sim.NewAsyncEngine(g, seed+int64(epoch)*15_485_863, func(id int) sim.AsyncNode {
+			wraps[id] = transport.NewAsync(nodes[id], topt)
+			wraps[id].MarkDown(deadIds...)
+			return wraps[id]
+		})
+		eng.Delay = opts.Delay
+		eng.Trace = opts.Trace
+		if faulty {
+			eng.Fault = opts.Fault.Shifted(elapsed, int64(epoch))
+		}
+		eng.Inject(root, startMsg{})
+		if err := eng.Run(); err != nil {
+			return nil, sim.Stats{}, transport.Totals{}, nil, err
+		}
+		st := eng.Stats()
+		total.Add(st)
+		elapsed += st.Rounds
+		ttot.Add(collectAsync(wraps))
+		mergeCrashed(dead, eng.Crashed())
+		for v := 0; v < n; v++ {
+			if !dead[v] && nodes[v].pendingReplies > 0 {
+				nodes[v].reopen()
+			}
+		}
+		if !faulty {
+			break
+		}
+	}
+
 	as := coloring.NewAssignment(g)
 	for id, nd := range nodes {
 		for _, a := range nd.ownColored {
+			if !arcAlive(a, dead) {
+				continue
+			}
 			c := nd.know.know[a]
 			if c == coloring.None {
-				return nil, sim.Stats{}, fmt.Errorf("core: DFS node %d lost color of %v", id, a)
+				return nil, sim.Stats{}, transport.Totals{}, nil, fmt.Errorf("core: DFS node %d lost color of %v", id, a)
 			}
 			if prev, ok := as[a]; ok && prev != c {
-				return nil, sim.Stats{}, fmt.Errorf("core: DFS arc %v colored twice (%d, %d)", a, prev, c)
+				return nil, sim.Stats{}, transport.Totals{}, nil, fmt.Errorf("core: DFS arc %v colored twice (%d, %d)", a, prev, c)
 			}
 			as[a] = c
 		}
 	}
-	return as, eng.Stats(), nil
+	return as, total, ttot, deadList(dead), nil
+}
+
+// nextRoot picks a recovery epoch's root: the highest-degree unvisited
+// survivor (ties to the lowest id), or -1 when every survivor is visited.
+func nextRoot(g *graph.Graph, nodes []*dfsNode, dead []bool) int {
+	root := -1
+	for v := 0; v < g.N(); v++ {
+		if dead[v] || nodes[v].selfVisited {
+			continue
+		}
+		if root < 0 || g.Degree(v) > g.Degree(root) {
+			root = v
+		}
+	}
+	return root
+}
+
+// collectAsync sums the transport accounting of one epoch's wrappers.
+func collectAsync(wraps []*transport.Async) transport.Totals {
+	per := make([]transport.Counters, len(wraps))
+	for i, w := range wraps {
+		per[i] = w.Counters()
+	}
+	return transport.Collect(per)
 }
 
 // electRoot returns the designated starting node: maximum degree, ties to

@@ -7,6 +7,7 @@ import (
 	"fdlsp/internal/graph"
 	"fdlsp/internal/mis"
 	"fdlsp/internal/sim"
+	"fdlsp/internal/transport"
 )
 
 // Variant selects between the paper's two DistMIS flavours.
@@ -40,6 +41,16 @@ type Options struct {
 	// Trace optionally observes every phase engine's events (rounds, sends,
 	// node terminations); it must be safe for concurrent use.
 	Trace sim.Tracer
+	// Fault optionally subjects the run to message loss, duplication,
+	// reordering, and node crashes. When set, every phase runs over the
+	// reliable transport (internal/transport) and the run tolerates
+	// crash-stop failures: a crashed node's arcs are excluded from the
+	// schedule, which then covers exactly the surviving subgraph
+	// (SurvivingGraph). nil keeps the original zero-overhead direct path.
+	Fault *sim.FaultPlan
+	// Transport tunes the ARQ machinery when Fault is set (zero value =
+	// defaults); ignored otherwise.
+	Transport transport.Options
 }
 
 // Result is the outcome of one scheduling run (any algorithm).
@@ -56,6 +67,13 @@ type Result struct {
 	// "primary-mis", "secondary-mis" and "coloring"); the parts sum to
 	// Stats. Nil for algorithms without phases.
 	Breakdown map[string]sim.Stats
+	// Crashed lists the nodes whose crash-stop windows fired during the run
+	// (faulty runs only), ascending. The Assignment covers the arcs of
+	// SurvivingGraph(g, Crashed).
+	Crashed []int
+	// Transport aggregates the reliable-transport accounting across all
+	// phase engines (faulty runs only; zero otherwise).
+	Transport transport.Totals
 }
 
 // nodeState is the persistent per-node state shared across the phase
@@ -73,6 +91,13 @@ type nodeState struct {
 // whose rounds and messages are accumulated; the simulator detects each
 // phase's global completion in lieu of the analytical worst-case round
 // bounds a deployed synchronous protocol would use (see DESIGN.md).
+//
+// Under a fault plan the phases run on the reliable transport and the
+// driver treats crash-stopped nodes as permanently gone: they stop
+// competing, their arcs are skipped by colorers and by the final assembly,
+// and empty competitions caused by a mid-phase crash are retried. Logical
+// rounds are rebuilt by the engine's RoundGate synchronizer, so the
+// competition logic itself is unchanged (see DESIGN.md, "Failure model").
 func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 	drawer := opts.Drawer
 	if drawer == nil {
@@ -82,22 +107,33 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 	if opts.Variant == General {
 		radius = 2
 	}
+	faulty := opts.Fault != nil
+	var topt *transport.Options
+	if faulty {
+		t := opts.Transport
+		topt = &t
+	}
 
 	n := g.N()
 	states := make([]*nodeState, n)
 	for v := 0; v < n; v++ {
 		states[v] = &nodeState{id: v, know: newKnowledge(v, g)}
+		states[v].know.tolerant = faulty
 	}
 
 	var total sim.Stats
+	var ttot transport.Totals
 	breakdown := map[string]sim.Stats{}
-	addStats := func(phase string, st sim.Stats) {
-		total.Rounds += st.Rounds
-		total.Messages += st.Messages
-		b := breakdown[phase]
-		b.Rounds += st.Rounds
-		b.Messages += st.Messages
-		breakdown[phase] = b
+	dead := make([]bool, n)
+	elapsed := int64(0)
+	notePhase := func(name string, st sim.Stats, tt transport.Totals, crashed []int) int {
+		total.Add(st)
+		b := breakdown[name]
+		b.Add(st)
+		breakdown[name] = b
+		ttot.Add(tt)
+		elapsed += st.Rounds
+		return mergeCrashed(dead, crashed)
 	}
 	var outer, inner int
 	phase := int64(0)
@@ -105,12 +141,20 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 		phase++
 		return opts.Seed + phase*1_000_003
 	}
+	// Each phase gets the plan re-based to its own round zero (crash times
+	// shift with the rounds already elapsed) and a phase-salted fault RNG.
+	shiftedPlan := func() *sim.FaultPlan {
+		if !faulty {
+			return nil
+		}
+		return opts.Fault.Shifted(elapsed, phase)
+	}
 
 	for {
 		competing := make([]bool, n)
 		anyActive := false
 		for v := 0; v < n; v++ {
-			if !states[v].removed {
+			if !states[v].removed && !dead[v] {
 				competing[v] = true
 				anyActive = true
 			}
@@ -118,39 +162,53 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 		if !anyActive {
 			break
 		}
-		if outer > n {
-			return nil, fmt.Errorf("core: DistMIS exceeded %d outer iterations", n)
+		// Removal makes progress at most n times and crash retries at most n
+		// more, so 2n+2 outer iterations means the run is stuck.
+		if outer > 2*n+2 {
+			return nil, fmt.Errorf("core: DistMIS exceeded %d outer iterations", 2*n+2)
 		}
 		outer++
 
 		// Primary MIS among active nodes (radius-1 competition).
-		statuses, stats, err := runCompetitionPhase(g, nextSeed(), 1, competing, drawer, opts.Trace)
+		seed := nextSeed()
+		statuses, stats, tt, crashed, err := runCompetitionPhase(g, seed, 1, competing, drawer, opts.Trace, shiftedPlan(), topt, deadList(dead))
 		if err != nil {
 			return nil, fmt.Errorf("core: DistMIS primary MIS: %w", err)
 		}
-		addStats("primary-mis", stats)
+		fresh := notePhase("primary-mis", stats, tt, crashed)
 
 		inS := make([]bool, n)
 		remaining := 0
 		for v := 0; v < n; v++ {
-			if competing[v] && statuses[v] == mis.InMIS {
+			if competing[v] && !dead[v] && statuses[v] == mis.InMIS {
 				inS[v] = true
 				remaining++
 			}
 		}
 		if remaining == 0 {
+			// A mid-phase crash can empty the selection (the only winners
+			// died); the survivors simply recompete. Without a crash an empty
+			// MIS among live competitors is a protocol bug.
+			if faulty && fresh > 0 {
+				continue
+			}
 			return nil, fmt.Errorf("core: DistMIS primary MIS selected nobody")
 		}
 		h := append([]bool(nil), inS...)
 
 		// Inner loop: peel secondary MISes off S until S is exhausted.
 		for remaining > 0 {
+			if inner > 4*n+8 {
+				return nil, fmt.Errorf("core: DistMIS exceeded %d inner iterations", 4*n+8)
+			}
 			inner++
-			statuses, stats, err := runCompetitionPhase(g, nextSeed(), radius, inS, drawer, opts.Trace)
+			seed := nextSeed()
+			statuses, stats, tt, crashed, err := runCompetitionPhase(g, seed, radius, inS, drawer, opts.Trace, shiftedPlan(), topt, deadList(dead))
 			if err != nil {
 				return nil, fmt.Errorf("core: DistMIS secondary MIS: %w", err)
 			}
-			addStats("secondary-mis", stats)
+			fresh := notePhase("secondary-mis", stats, tt, crashed)
+			remaining -= dropDead(inS, dead)
 
 			selected := make([]bool, n)
 			selCount := 0
@@ -161,15 +219,23 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 				}
 			}
 			if selCount == 0 {
+				if remaining == 0 {
+					break
+				}
+				if faulty && fresh > 0 {
+					continue
+				}
 				return nil, fmt.Errorf("core: DistMIS secondary MIS selected nobody")
 			}
-			stats, err = runColorPhase(g, nextSeed(), states, selected, opts.Variant, opts.Trace)
+			seed = nextSeed()
+			stats, tt, crashed, err = runColorPhase(g, seed, states, selected, opts.Variant, dead, opts.Trace, shiftedPlan(), topt, deadList(dead))
 			if err != nil {
 				return nil, fmt.Errorf("core: DistMIS color phase: %w", err)
 			}
-			addStats("coloring", stats)
+			notePhase("coloring", stats, tt, crashed)
+			remaining -= dropDead(inS, dead)
 			for v := 0; v < n; v++ {
-				if selected[v] {
+				if selected[v] && inS[v] {
 					inS[v] = false
 					remaining--
 				}
@@ -182,7 +248,7 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 		}
 	}
 
-	as, err := assemble(g, states)
+	as, err := assemble(g, states, dead)
 	if err != nil {
 		return nil, err
 	}
@@ -194,12 +260,29 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 		OuterIters: outer,
 		InnerIters: inner,
 		Breakdown:  breakdown,
+		Crashed:    deadList(dead),
+		Transport:  ttot,
 	}, nil
+}
+
+// dropDead clears mask entries for dead nodes, returning how many were
+// cleared.
+func dropDead(mask, dead []bool) int {
+	dropped := 0
+	for v := range mask {
+		if mask[v] && dead[v] {
+			mask[v] = false
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // misPhaseNode adapts a Competition to one phase engine. Non-competing
 // nodes relay floods only (competition distances are measured in the
 // physical graph; see DESIGN.md on the general-variant safety argument).
+// Env rounds are logical rounds: under a fault plan the transport stretches
+// each one over as many physical rounds as retransmission needs.
 type misPhaseNode struct {
 	radius    int
 	competing bool
@@ -207,7 +290,7 @@ type misPhaseNode struct {
 	comp      *mis.Competition
 }
 
-func (nd *misPhaseNode) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
+func (nd *misPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool {
 	if nd.comp == nil {
 		var draw func(int) int64
 		if nd.competing {
@@ -216,12 +299,16 @@ func (nd *misPhaseNode) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
 		nd.comp = mis.NewCompetition(env.ID, nd.radius, nd.competing, draw)
 	}
 	for _, m := range inbox {
-		f, ok := m.Payload.(mis.Flood)
-		if !ok {
+		switch p := m.Payload.(type) {
+		case transport.PeerDown:
+			// The dead peer's floods simply stop arriving; the competition
+			// self-heals across iterations among the survivors.
+		case mis.Flood:
+			if relay, ok := nd.comp.Observe(p); ok {
+				env.Broadcast(relay)
+			}
+		default:
 			panic(fmt.Sprintf("core: unexpected payload %T in MIS phase", m.Payload))
-		}
-		if relay, ok := nd.comp.Observe(f); ok {
-			env.Broadcast(relay)
 		}
 	}
 	for _, f := range nd.comp.StartRound(env.Round) {
@@ -231,16 +318,25 @@ func (nd *misPhaseNode) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
 }
 
 // runCompetitionPhase executes one MIS competition to global completion and
-// returns each node's final status (non-competitors report Dominated).
-func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []bool, drawer mis.Drawer, trace sim.Tracer) ([]mis.Status, sim.Stats, error) {
+// returns each node's final status (non-competitors report Dominated) plus
+// the phase's transport accounting and the nodes that crash-stopped during
+// it.
+func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []bool, drawer mis.Drawer, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int) ([]mis.Status, sim.Stats, transport.Totals, []int, error) {
 	nodes := make([]*misPhaseNode, g.N())
+	wraps := make([]*transport.Sync, g.N())
 	eng := sim.NewSyncEngine(g, seed, func(id int) sim.SyncNode {
 		nodes[id] = &misPhaseNode{radius: radius, competing: competing[id], drawer: drawer}
-		return nodes[id]
+		wraps[id] = transport.NewSync(nodes[id], topt)
+		wraps[id].MarkDown(markDown...)
+		return wraps[id]
 	})
 	eng.Trace = trace
+	eng.Fault = plan
+	if plan != nil {
+		eng.MaxRounds = faultyMaxRounds(g.N())
+	}
 	if err := eng.Run(); err != nil {
-		return nil, sim.Stats{}, err
+		return nil, sim.Stats{}, transport.Totals{}, nil, err
 	}
 	statuses := make([]mis.Status, g.N())
 	for id, nd := range nodes {
@@ -250,32 +346,48 @@ func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []boo
 			statuses[id] = mis.Dominated
 		}
 	}
-	return statuses, eng.Stats(), nil
+	return statuses, eng.Stats(), collectSync(wraps), eng.Crashed(), nil
 }
 
 // colorPhaseNode runs one coloring wave: secondary-MIS winners greedily
 // color their arcs in round 0 and flood the announcements; everyone relays.
+// Arcs to nodes already known dead are skipped — they are excluded from the
+// schedule anyway, and coloring them would only waste slots and churn the
+// survivors' knowledge.
 type colorPhaseNode struct {
 	g        *graph.Graph
 	st       *nodeState
 	colorNow bool
 	variant  Variant
+	dead     []bool // snapshot at phase start; nil in fault-free runs
 }
 
-func (nd *colorPhaseNode) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
+func (nd *colorPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool {
 	for _, m := range inbox {
-		f, ok := m.Payload.(ColorAnnounce)
-		if !ok {
+		switch f := m.Payload.(type) {
+		case transport.PeerDown:
+			// Nothing to do: the transport already excludes the peer.
+		case ColorAnnounce:
+			for _, out := range nd.st.know.observe(f) {
+				env.Broadcast(out)
+			}
+		default:
 			panic(fmt.Sprintf("core: unexpected payload %T in color phase", m.Payload))
-		}
-		for _, out := range nd.st.know.observe(f) {
-			env.Broadcast(out)
 		}
 	}
 	if env.Round == 0 && nd.colorNow {
 		arcs := nd.g.IncidentArcs(env.ID)
 		if nd.variant == General {
 			arcs = nd.g.OutArcs(env.ID)
+		}
+		if nd.dead != nil {
+			live := make([]graph.Arc, 0, len(arcs))
+			for _, a := range arcs {
+				if arcAlive(a, nd.dead) {
+					live = append(live, a)
+				}
+			}
+			arcs = live
 		}
 		newly := coloring.AssignGreedyLocal(nd.g, nd.st.know.know, arcs)
 		nd.st.ownColored = append(nd.st.ownColored, newly...)
@@ -286,23 +398,54 @@ func (nd *colorPhaseNode) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
 	return true
 }
 
-func runColorPhase(g *graph.Graph, seed int64, states []*nodeState, selected []bool, variant Variant, trace sim.Tracer) (sim.Stats, error) {
+func runColorPhase(g *graph.Graph, seed int64, states []*nodeState, selected []bool, variant Variant, dead []bool, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int) (sim.Stats, transport.Totals, []int, error) {
+	var snapshot []bool
+	if plan != nil {
+		snapshot = append([]bool(nil), dead...)
+	}
+	wraps := make([]*transport.Sync, g.N())
 	eng := sim.NewSyncEngine(g, seed, func(id int) sim.SyncNode {
-		return &colorPhaseNode{g: g, st: states[id], colorNow: selected[id], variant: variant}
+		wraps[id] = transport.NewSync(&colorPhaseNode{g: g, st: states[id], colorNow: selected[id], variant: variant, dead: snapshot}, topt)
+		wraps[id].MarkDown(markDown...)
+		return wraps[id]
 	})
 	eng.Trace = trace
-	if err := eng.Run(); err != nil {
-		return sim.Stats{}, err
+	eng.Fault = plan
+	if plan != nil {
+		eng.MaxRounds = faultyMaxRounds(g.N())
 	}
-	return eng.Stats(), nil
+	if err := eng.Run(); err != nil {
+		return sim.Stats{}, transport.Totals{}, nil, err
+	}
+	return eng.Stats(), collectSync(wraps), eng.Crashed(), nil
+}
+
+// faultyMaxRounds is the round budget for one phase engine under a fault
+// plan: logical rounds stretch over physical ones, and every (peer, crashed
+// peer) pair burns the full retry ladder (~127·RTO physical rounds) once
+// before giving up.
+func faultyMaxRounds(n int) int { return 200_000 + 2_000*n }
+
+// collectSync sums the transport accounting of one phase's wrappers.
+func collectSync(wraps []*transport.Sync) transport.Totals {
+	per := make([]transport.Counters, len(wraps))
+	for i, w := range wraps {
+		per[i] = w.Counters()
+	}
+	return transport.Collect(per)
 }
 
 // assemble collects every node's self-colored arcs into one assignment and
-// checks completeness.
-func assemble(g *graph.Graph, states []*nodeState) (coloring.Assignment, error) {
+// checks completeness over the surviving subgraph: arcs incident to a dead
+// node are out of scope (their colors, if any were assigned before the
+// crash, are discarded with the node).
+func assemble(g *graph.Graph, states []*nodeState, dead []bool) (coloring.Assignment, error) {
 	as := coloring.NewAssignment(g)
 	for _, st := range states {
 		for _, a := range st.ownColored {
+			if !arcAlive(a, dead) {
+				continue
+			}
 			c := st.know.know[a]
 			if c == coloring.None {
 				return nil, fmt.Errorf("core: node %d lost color of own arc %v", st.id, a)
@@ -314,6 +457,9 @@ func assemble(g *graph.Graph, states []*nodeState) (coloring.Assignment, error) 
 		}
 	}
 	for _, a := range g.Arcs() {
+		if !arcAlive(a, dead) {
+			continue
+		}
 		if as[a] == coloring.None {
 			return nil, fmt.Errorf("core: arc %v left uncolored", a)
 		}

@@ -40,6 +40,15 @@ type knowledge struct {
 
 	originated map[graph.Arc]struct{} // arcs this node has flooded itself
 	seen       map[annKey]struct{}    // relay dedupe
+
+	// tolerant relaxes the write-once invariant for faulty runs: when a
+	// node crashes mid-announcement its partial flood can leave witnesses
+	// that later see the surviving endpoint recolor the arc. Only arcs
+	// incident to a crashed node can be recolored (live–live arcs announce
+	// endpoint-to-endpoint over the reliable transport before anyone else
+	// may color them), and those arcs are excluded from the assembled
+	// schedule, so witnesses keep their first-seen color and move on.
+	tolerant bool
 }
 
 func newKnowledge(id int, g *graph.Graph) *knowledge {
@@ -56,6 +65,9 @@ func newKnowledge(id int, g *graph.Graph) *knowledge {
 // this repository ever recolors an arc).
 func (k *knowledge) record(a graph.Arc, c int) {
 	if prev := k.know[a]; prev != coloring.None && prev != c {
+		if k.tolerant {
+			return // first writer wins; see the tolerant field
+		}
 		panic(fmt.Sprintf("core: node %d saw arc %v recolored %d -> %d", k.id, a, prev, c))
 	}
 	k.know[a] = c

@@ -1,0 +1,64 @@
+package dynamic
+
+import (
+	"sort"
+
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sim"
+)
+
+// CrashEvents translates a fault plan's crash schedule into the topology
+// events the maintenance layer understands: each crash becomes a NodeFail
+// (the dead sensor's links drop), and each restart becomes a NodeJoin
+// re-attaching the sensor to those of its g-neighbors that are alive at
+// that moment. Events are ordered by virtual time (ties: node id, crash
+// before restart), so replaying them through Network.Apply subjects a live
+// schedule to exactly the churn the simulator's fault layer injects — the
+// bridge between the two failure models (runtime faults in internal/sim,
+// topology repair here).
+func CrashEvents(g *graph.Graph, plan *sim.FaultPlan) []Event {
+	if plan == nil {
+		return nil
+	}
+	type mark struct {
+		at      int64
+		node    int
+		restart bool
+	}
+	var marks []mark
+	for _, c := range plan.Crashes {
+		marks = append(marks, mark{at: c.At, node: c.Node})
+		if c.RestartAt > c.At {
+			marks = append(marks, mark{at: c.RestartAt, node: c.Node, restart: true})
+		}
+	}
+	sort.Slice(marks, func(i, j int) bool {
+		a, b := marks[i], marks[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return !a.restart && b.restart
+	})
+
+	down := make(map[int]bool)
+	var out []Event
+	for _, m := range marks {
+		if m.restart {
+			down[m.node] = false
+			var peers []int
+			for _, u := range g.Neighbors(m.node) {
+				if !down[u] {
+					peers = append(peers, u)
+				}
+			}
+			out = append(out, Event{Kind: NodeJoin, U: m.node, Peers: peers})
+			continue
+		}
+		down[m.node] = true
+		out = append(out, Event{Kind: NodeFail, U: m.node})
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package dynamic
+
+import (
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sim"
+)
+
+func TestCrashEventsReplayKeepsScheduleValid(t *testing.T) {
+	g := graph.Grid(4, 4)
+	net, err := New(g, coloring.Greedy(g, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &sim.FaultPlan{Crashes: []sim.Crash{
+		{Node: 5, At: 10},                // crash-stop
+		{Node: 9, At: 12, RestartAt: 30}, // outage with recovery
+		{Node: 10, At: 12},               // crash-stop while 9 is down
+	}}
+	events := CrashEvents(g, plan)
+	want := []string{"node-fail{5->[]}", "node-fail{9->[]}", "node-fail{10->[]}", "node-join{9->[8 13]}"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %d of them", events, len(want))
+	}
+	for i, ev := range events {
+		if ev.String() != want[i] {
+			t.Errorf("event %d = %v, want %v", i, ev, want[i])
+		}
+	}
+	// Node 9's rejoin must exclude dead neighbors 5 and 10 — the surviving
+	// peer set at restart time.
+	for _, u := range events[3].Peers {
+		if u == 5 || u == 10 {
+			t.Errorf("restart rejoins dead neighbor %d", u)
+		}
+	}
+	for _, ev := range events {
+		if err := net.Apply(ev); err != nil {
+			t.Fatalf("apply %v: %v", ev, err)
+		}
+		if viols := coloring.Verify(net.Graph(), net.Assignment()); len(viols) != 0 {
+			t.Fatalf("after %v: schedule invalid: %v", ev, viols[0])
+		}
+	}
+}

@@ -57,6 +57,17 @@ func TestEnergyComparisonSmall(t *testing.T) {
 	}
 }
 
+func TestFaultOverheadSmall(t *testing.T) {
+	tb, err := FaultOverhead(16, 6, 2.5, []float64{0, 0.1}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "msg-overhead") || !strings.Contains(out, "x") {
+		t.Errorf("missing overhead column: %s", out)
+	}
+}
+
 func TestDMGCPhaseOneAblationSmall(t *testing.T) {
 	tb, err := DMGCPhaseOneAblation(20, 45, 2, 1)
 	if err != nil {

@@ -1,0 +1,59 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fdlsp/internal/core"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/sim"
+)
+
+// FaultOverhead sweeps the per-message loss rate and reports what fault
+// tolerance costs each distributed algorithm: slots, rounds, messages and
+// transport retransmissions per loss level, plus the message overhead
+// relative to the fault-free baseline of the same instances. Loss 0 runs
+// the plain engines (no transport layer), so the first row is the paper's
+// reliable-channel cost and every later row is the price of the ARQ
+// machinery under that loss rate.
+func FaultOverhead(n int, side, radius float64, losses []float64, trials int, seed int64) (*Table, error) {
+	t := NewTable("algo", "loss", "slots", "rounds", "messages", "retries", "msg-overhead")
+	for _, algo := range []string{"distMIS", "dfs"} {
+		var baseline float64
+		for _, loss := range losses {
+			var slots, rounds, msgs, retries Sample
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(seed + int64(trial)*167))
+				g, _ := geom.RandomUDG(n, side, radius, rng)
+				var plan *sim.FaultPlan
+				if loss > 0 {
+					plan = &sim.FaultPlan{Seed: seed + int64(trial), Loss: loss}
+				}
+				var res *core.Result
+				var err error
+				switch algo {
+				case "distMIS":
+					res, err = core.DistMIS(g, core.Options{Seed: rng.Int63(), Fault: plan})
+				default:
+					res, err = core.DFS(g, core.DFSOptions{Seed: rng.Int63(), Fault: plan})
+				}
+				if err != nil {
+					return nil, fmt.Errorf("fault overhead %s loss=%g: %w", algo, loss, err)
+				}
+				slots.Add(float64(res.Slots))
+				rounds.Add(float64(res.Stats.Rounds))
+				msgs.Add(float64(res.Stats.Messages))
+				retries.Add(float64(res.Transport.Retries))
+			}
+			if loss == 0 {
+				baseline = msgs.Mean()
+			}
+			overhead := "-"
+			if baseline > 0 && loss > 0 {
+				overhead = fmt.Sprintf("%.1fx", msgs.Mean()/baseline)
+			}
+			t.AddRow(algo, loss, slots.Mean(), rounds.Mean(), msgs.Mean(), retries.Mean(), overhead)
+		}
+	}
+	return t, nil
+}

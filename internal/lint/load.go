@@ -32,13 +32,55 @@ type Loader struct {
 	// (external _test packages are not supported).
 	IncludeTests bool
 
-	imp types.Importer
+	imp *cachingImporter
 }
 
 // NewLoader returns a loader with a fresh file set.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{Fset: fset, imp: newCachingImporter(fset)}
+}
+
+// cachingImporter resolves imports through the source importer but first
+// consults a cache holding every package this loader has already
+// typechecked — as a LoadDir target or as a transitive import. The source
+// importer memoizes its own loads, but without the extra layer a package
+// both linted and imported elsewhere is typechecked twice (once by
+// LoadDir, once by the importer); seeding the cache from LoadDir makes
+// whole-repo runs typecheck each module package and the stdlib exactly
+// once, provided dependencies are visited before their importers.
+type cachingImporter struct {
+	src  types.ImporterFrom
+	pkgs map[string]*types.Package
+}
+
+func newCachingImporter(fset *token.FileSet) *cachingImporter {
+	return &cachingImporter{
+		src:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs: make(map[string]*types.Package),
+	}
+}
+
+func (c *cachingImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *cachingImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.pkgs[path]; ok && p.Complete() {
+		return p, nil
+	}
+	p, err := c.src.ImportFrom(path, dir, mode)
+	if err == nil && p.Complete() {
+		c.pkgs[path] = p
+	}
+	return p, err
+}
+
+// Cached reports whether the loader already holds a typechecked package
+// for the import path (diagnostic; used by tests and tooling).
+func (l *Loader) Cached(importPath string) bool {
+	_, ok := l.imp.pkgs[importPath]
+	return ok
 }
 
 // LoadDir loads the package in dir under the given import path. Files are
@@ -81,6 +123,16 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	tpkg, err := conf.Check(importPath, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: typecheck %s: %w", importPath, err)
+	}
+	// Seed the import cache so later directories importing this package
+	// reuse the typechecked result instead of re-importing from source.
+	// Skip test-inclusive loads (a package checked with its _test.go files
+	// may declare test-only symbols importers must not see) and never
+	// replace an entry: if the source importer already loaded this package
+	// for an earlier directory, that copy is what previously-checked
+	// packages reference — swapping it would split type identity.
+	if _, ok := l.imp.pkgs[importPath]; !ok && !l.IncludeTests {
+		l.imp.pkgs[importPath] = tpkg
 	}
 	return &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
 }

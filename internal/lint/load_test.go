@@ -1,0 +1,44 @@
+package lint
+
+import "testing"
+
+// TestLoaderCachesTypecheckedPackages pins the cross-directory import
+// cache: a package typechecked by LoadDir must be reused — same
+// *types.Package — when a later directory imports it, instead of being
+// re-typechecked from source by the importer.
+func TestLoaderCachesTypecheckedPackages(t *testing.T) {
+	l := NewLoader()
+	dep, err := l.LoadDir("../graph", "fdlsp/internal/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Cached("fdlsp/internal/graph") {
+		t.Fatal("LoadDir did not seed the import cache")
+	}
+	pkg, err := l.LoadDir("../coloring", "fdlsp/internal/coloring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == "fdlsp/internal/graph" {
+			if imp != dep.Types {
+				t.Fatal("import resolved to a re-typechecked copy, not the cached package")
+			}
+			return
+		}
+	}
+	t.Fatal("coloring no longer imports graph; pick another fixture pair")
+}
+
+// TestLoaderTestInclusiveLoadsNotCached: packages checked with their
+// _test.go files must not be served to importers (test-only symbols).
+func TestLoaderTestInclusiveLoadsNotCached(t *testing.T) {
+	l := NewLoader()
+	l.IncludeTests = true
+	if _, err := l.LoadDir("../graph", "fdlsp/internal/graph"); err != nil {
+		t.Fatal(err)
+	}
+	if l.Cached("fdlsp/internal/graph") {
+		t.Fatal("test-inclusive load leaked into the import cache")
+	}
+}

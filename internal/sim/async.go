@@ -1,9 +1,9 @@
 package sim
 
 import (
+	"container/heap"
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"fdlsp/internal/graph"
 )
@@ -27,25 +27,35 @@ type AsyncNode interface {
 type DelayFn func(from, to int, rng *rand.Rand) int64
 
 // AsyncEnv is the per-node handle on the asynchronous engine. Only the
-// owning goroutine may use it.
+// owning goroutine may use it, and the engine's scheduler guarantees at most
+// one node goroutine runs at any instant (see AsyncEngine).
 type AsyncEnv struct {
 	ID        int
 	Neighbors []int
 	Rand      *rand.Rand
 
 	engine    *AsyncEngine
-	inbox     *msgQueue
+	wake      chan wakeEvt
 	clock     int64
+	shutdown  bool
 	delayRand *rand.Rand // feeds DelayFn only; see DelayFn
+}
+
+// wakeEvt is the scheduler's handoff to a node goroutine: a delivery, or a
+// shutdown notice (ok=false).
+type wakeEvt struct {
+	m  Message
+	ok bool
 }
 
 // Clock returns the node's Lamport-style virtual time.
 func (e *AsyncEnv) Clock() int64 { return e.clock }
 
 // Send transmits payload to the neighbor "to". The message is stamped with
-// the sender's clock plus one hop plus any injected delay. Sending to a
-// non-neighbor panics. Messages to nodes that already finished are counted
-// and dropped, mirroring a transceiver that was switched off.
+// the sender's clock plus one hop plus any injected delay, then passes
+// through the engine's FaultPlan (loss, reordering, duplication). Sending to
+// a non-neighbor panics. Messages to nodes that already finished are counted
+// and dropped at delivery time, mirroring a transceiver switched off.
 func (e *AsyncEnv) Send(to int, payload any) {
 	eng := e.engine
 	if !eng.g.HasEdge(e.ID, to) {
@@ -55,19 +65,33 @@ func (e *AsyncEnv) Send(to int, payload any) {
 	if eng.Delay != nil {
 		when += eng.Delay(e.ID, to, e.delayRand)
 	}
-	m := Message{From: e.ID, To: to, When: when, Payload: payload}
-	eng.mu.Lock()
 	eng.stats.Messages++
-	if eng.dead[to] {
-		eng.mu.Unlock()
-		return
-	}
-	eng.inflight++
-	eng.inboxes[to].push(m)
-	eng.mu.Unlock()
 	if eng.Trace != nil {
 		eng.Trace.Emit(Event{Kind: EventSend, Time: when, From: e.ID, To: to, Payload: payloadName(payload)})
 	}
+	m := Message{From: e.ID, To: to, When: when, Payload: payload}
+	if plan := eng.Fault; plan != nil {
+		if p := plan.lossAt(e.ID, to); p > 0 && eng.faultRand.Float64() < p {
+			eng.stats.DroppedFault++
+			if eng.Trace != nil {
+				eng.Trace.Emit(Event{Kind: EventDropFault, Time: when, From: e.ID, To: to, Payload: payloadName(payload)})
+			}
+			return
+		}
+		if plan.Reorder > 0 {
+			m.When += eng.faultRand.Int63n(plan.Reorder + 1)
+		}
+		if plan.Dup > 0 && eng.faultRand.Float64() < plan.Dup {
+			dup := m
+			dup.When += 1 + eng.faultRand.Int63n(plan.Reorder+2)
+			eng.stats.Duplicated++
+			if eng.Trace != nil {
+				eng.Trace.Emit(Event{Kind: EventDup, Time: dup.When, From: e.ID, To: to, Payload: payloadName(payload)})
+			}
+			eng.enqueue(dup, false)
+		}
+	}
+	eng.enqueue(m, false)
 }
 
 // Broadcast sends payload to every neighbor.
@@ -77,240 +101,304 @@ func (e *AsyncEnv) Broadcast(payload any) {
 	}
 }
 
+// SetTimer schedules a local alarm: after "after" time units (minimum 1) the
+// node receives a Message from itself (From == ID) carrying payload. Timers
+// are internal — they are not messages, so they bypass the FaultPlan and the
+// message counters, and pending timers are discarded once the run begins
+// shutting down. Reliable-transport retransmission is the intended use.
+func (e *AsyncEnv) SetTimer(after int64, payload any) {
+	if after < 1 {
+		after = 1
+	}
+	e.engine.enqueue(Message{From: e.ID, To: e.ID, When: e.clock + after, Payload: payload}, true)
+}
+
 // Recv blocks until a message arrives and returns it, advancing the node's
 // clock to the message's delivery time. It returns ok=false when the run is
 // shutting down (a node called FinishAll, or the whole system went
 // quiescent), at which point the node should return from Run.
 func (e *AsyncEnv) Recv() (Message, bool) {
-	eng := e.engine
-	for {
-		if m, ok := e.inbox.tryPop(); ok {
-			e.consume(m)
-			return m, true
-		}
-		eng.enterBlocked()
-		select {
-		case <-e.inbox.notify:
-			eng.exitBlocked()
-		case <-eng.stop:
-			eng.exitBlocked()
-			// Prefer delivering queued traffic over shutting down, so a
-			// FinishAll racing with late messages never drops work silently.
-			if m, ok := e.inbox.tryPop(); ok {
-				e.consume(m)
-				return m, true
-			}
-			return Message{}, false
-		}
-	}
-}
-
-func (e *AsyncEnv) consume(m Message) {
-	if m.When > e.clock {
-		e.clock = m.When
+	if e.shutdown {
+		return Message{}, false
 	}
 	eng := e.engine
-	eng.mu.Lock()
-	eng.inflight--
+	eng.sched <- schedSignal{node: e.ID}
+	evt := <-e.wake
+	if !evt.ok {
+		e.shutdown = true
+		return Message{}, false
+	}
+	if evt.m.When > e.clock {
+		e.clock = evt.m.When
+	}
 	if e.clock > eng.maxClock {
 		eng.maxClock = e.clock
 	}
-	eng.mu.Unlock()
 	if eng.Trace != nil {
-		eng.Trace.Emit(Event{Kind: EventDeliver, Time: m.When, From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+		eng.Trace.Emit(Event{Kind: EventDeliver, Time: evt.m.When, From: evt.m.From, To: evt.m.To, Payload: payloadName(evt.m.Payload)})
 	}
+	return evt.m, true
 }
 
-// FinishAll signals global termination: all Recv calls (current and future)
-// return ok=false. Typically invoked by a designated node that detects the
-// protocol is complete (e.g. the DFS root when the token returns).
-func (e *AsyncEnv) FinishAll() { e.engine.finish() }
+// FinishAll signals global termination: queued messages still get delivered,
+// then all Recv calls return ok=false. Typically invoked by a designated
+// node that detects the protocol is complete (e.g. the DFS root when the
+// token returns).
+func (e *AsyncEnv) FinishAll() { e.engine.stopped = true }
 
-// AsyncEngine runs one goroutine per node over the communication graph.
+// AsyncEngine runs one goroutine per node over the communication graph,
+// scheduled as a discrete-event simulation: a central scheduler delivers
+// events in (virtual time, send order) and runs exactly one node goroutine
+// at a time, handing control back and forth at Recv boundaries. Runs are
+// therefore fully deterministic per seed — schedules, message counts, the
+// virtual completion time, fault scripts, and trace order are all identical
+// regardless of GOMAXPROCS — while node code keeps the natural blocking
+// Recv-loop style of the asynchronous model.
 type AsyncEngine struct {
 	g     *graph.Graph
 	nodes []AsyncNode
 	envs  []*AsyncEnv
-	// Delay optionally injects per-message delivery delay (failure
-	// injection / adversarial scheduling).
+	// Delay optionally injects per-message delivery delay (adversarial
+	// scheduling).
 	Delay DelayFn
-	// Trace optionally receives send, deliver, and termination events; the
-	// tracer must be safe for concurrent use.
+	// Trace optionally receives send, deliver, fault, and termination
+	// events, in deterministic order.
 	Trace Tracer
+	// Fault optionally injects message loss, duplication, reordering, and
+	// node crashes. nil means a perfectly reliable network.
+	Fault *FaultPlan
+	// MaxEvents bounds deliveries per Run; exceeding it aborts with an
+	// error. Zero means unlimited (matching the pre-fault engine, which
+	// likewise ran until quiescence or FinishAll).
+	MaxEvents int64
 
-	inboxes []*msgQueue
-	stop    chan struct{}
+	queue     eventHeap
+	seq       int64
+	sched     chan schedSignal
+	dead      []bool
+	faultRand *rand.Rand
+	maxClock  int64
+	stopped   bool
+	stats     Stats
+	crashed   []int
+	err       error
+}
 
-	mu       sync.Mutex
-	inflight int64
-	blocked  int
-	alive    int
-	dead     []bool
-	maxClock int64
-	stopped  bool
-	stats    Stats
+// schedSignal is a node goroutine yielding control back to the scheduler:
+// it is now idle in Recv, or its Run returned (died).
+type schedSignal struct {
+	node int
+	died bool
 }
 
 // NewAsyncEngine builds an asynchronous engine over g; factory produces the
 // node behavior for each vertex. Seed derives per-node private RNGs.
 func NewAsyncEngine(g *graph.Graph, seed int64, factory func(id int) AsyncNode) *AsyncEngine {
 	eng := &AsyncEngine{
-		g:       g,
-		nodes:   make([]AsyncNode, g.N()),
-		envs:    make([]*AsyncEnv, g.N()),
-		inboxes: make([]*msgQueue, g.N()),
-		dead:    make([]bool, g.N()),
-		stop:    make(chan struct{}),
+		g:     g,
+		nodes: make([]AsyncNode, g.N()),
+		envs:  make([]*AsyncEnv, g.N()),
+		dead:  make([]bool, g.N()),
+		sched: make(chan schedSignal),
 	}
 	for v := 0; v < g.N(); v++ {
 		eng.nodes[v] = factory(v)
-		eng.inboxes[v] = newMsgQueue()
-		//lint:ignore envowner the engine is the constructor-owner; envs are handed to node goroutines before any concurrent use
+		//lint:ignore envowner the engine is the constructor-owner; the scheduler serializes all goroutine activity
 		eng.envs[v] = &AsyncEnv{
 			ID:        v,
 			Neighbors: g.Neighbors(v),
 			Rand:      rand.New(rand.NewSource(seed ^ int64(v)*0x5851F42D4C957F2D ^ 0x7C15F0B3)),
 			delayRand: rand.New(rand.NewSource(seed ^ int64(v)*0x5851F42D4C957F2D ^ 0x3C6EF372)),
 			engine:    eng,
-			inbox:     eng.inboxes[v],
+			wake:      make(chan wakeEvt, 1),
 		}
 	}
 	return eng
 }
 
+// enqueue inserts a delivery event; callers run in scheduler-exclusive
+// context so the insertion sequence (the tie-break for equal times) is
+// deterministic.
+func (eng *AsyncEngine) enqueue(m Message, timer bool) {
+	eng.seq++
+	heap.Push(&eng.queue, desEvent{m: m, seq: eng.seq, timer: timer})
+}
+
 // Inject queues an external kick-off message (e.g. a Start token) for node
 // "to" at virtual time 0 before the run begins.
 func (eng *AsyncEngine) Inject(to int, payload any) {
-	eng.mu.Lock()
-	eng.inflight++
-	eng.inboxes[to].push(Message{From: -1, To: to, When: 0, Payload: payload})
-	eng.mu.Unlock()
-}
-
-// Run starts every node goroutine and blocks until all have returned. If
-// every live node is blocked in Recv with no message in flight, the engine
-// declares quiescence and shuts the run down (so a protocol bug cannot hang
-// the caller).
-func (eng *AsyncEngine) Run() error {
-	n := eng.g.N()
-	eng.mu.Lock()
-	eng.alive = n
-	eng.mu.Unlock()
-	var wg sync.WaitGroup
-	panics := make([]error, n)
-	for v := 0; v < n; v++ {
-		wg.Add(1)
-		go func(v int) {
-			defer wg.Done()
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						panics[v] = fmt.Errorf("sim: node %d panicked: %v", v, r)
-					}
-				}()
-				//lint:ignore envowner ownership transfer: this goroutine IS node v's owner for the whole run
-				eng.nodes[v].Run(eng.envs[v])
-			}()
-			if eng.Trace != nil {
-				eng.Trace.Emit(Event{Kind: EventNodeDone, Time: eng.envs[v].clock, From: v, To: -1})
-			}
-			eng.mu.Lock()
-			eng.dead[v] = true
-			eng.alive--
-			// Undelivered traffic to a finished node can never be consumed;
-			// drop it so it does not mask quiescence.
-			eng.inflight -= eng.inboxes[v].drain()
-			quiet := eng.alive == 0 || (eng.blocked == eng.alive && eng.inflight == 0)
-			eng.mu.Unlock()
-			if quiet {
-				eng.finish()
-			}
-		}(v)
-	}
-	wg.Wait()
-	eng.mu.Lock()
-	eng.stats.Rounds = eng.maxClock
-	eng.mu.Unlock()
-	for _, err := range panics {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	eng.enqueue(Message{From: -1, To: to, When: 0, Payload: payload}, false)
 }
 
 // Stats returns the accounting of the last Run: Rounds is the worst-case
 // causal chain length (the asynchronous time complexity), Messages the
 // total number of messages sent.
-func (eng *AsyncEngine) Stats() Stats {
-	eng.mu.Lock()
-	defer eng.mu.Unlock()
-	return eng.stats
-}
+func (eng *AsyncEngine) Stats() Stats { return eng.stats }
 
-func (eng *AsyncEngine) enterBlocked() {
-	eng.mu.Lock()
-	eng.blocked++
-	quiet := eng.alive > 0 && eng.blocked == eng.alive && eng.inflight == 0
-	eng.mu.Unlock()
-	if quiet {
-		eng.finish()
+// Crashed returns the nodes whose crash-stop windows fired during the last
+// Run, in firing order.
+func (eng *AsyncEngine) Crashed() []int { return append([]int(nil), eng.crashed...) }
+
+// Run executes the simulation and blocks until every node goroutine has
+// returned. If every live node is blocked in Recv with no event pending, the
+// engine declares quiescence and shuts the run down (so a protocol bug
+// cannot hang the caller).
+func (eng *AsyncEngine) Run() error {
+	n := eng.g.N()
+	eng.stats = Stats{}
+	eng.maxClock = 0
+	eng.crashed = nil
+	eng.err = nil
+	plan := eng.Fault
+	if plan != nil {
+		eng.faultRand = rand.New(rand.NewSource(plan.Seed ^ 0x6A09E667F3BCC909))
 	}
-}
+	marks := plan.crashMarks()
+	markIdx := 0
+	emitMarks := func(upTo int64) {
+		for markIdx < len(marks) && marks[markIdx].at <= upTo {
+			mk := marks[markIdx]
+			markIdx++
+			kind := EventNodeCrash
+			if mk.restart {
+				kind = EventNodeRestart
+			} else if plan.DeadBy(mk.node, mk.at) {
+				eng.crashed = append(eng.crashed, mk.node)
+			}
+			if eng.Trace != nil {
+				eng.Trace.Emit(Event{Kind: kind, Time: mk.at, From: mk.node, To: -1})
+			}
+		}
+	}
 
-func (eng *AsyncEngine) exitBlocked() {
-	eng.mu.Lock()
-	eng.blocked--
-	eng.mu.Unlock()
-}
+	idle := make([]bool, n)
+	alive := n
 
-func (eng *AsyncEngine) finish() {
-	eng.mu.Lock()
-	defer eng.mu.Unlock()
-	if !eng.stopped {
+	// Start the nodes one at a time: each runs exclusively until it first
+	// blocks in Recv (or returns), so startup sends are ordered by node id.
+	launch := func(v int) {
+		go func() {
+			func() {
+				defer func() {
+					if r := recover(); r != nil && eng.err == nil {
+						eng.err = fmt.Errorf("sim: node %d panicked: %v", v, r)
+					}
+				}()
+				//lint:ignore envowner ownership transfer: this goroutine IS node v's owner; the scheduler serializes it against all others
+				eng.nodes[v].Run(eng.envs[v])
+			}()
+			if eng.Trace != nil {
+				eng.Trace.Emit(Event{Kind: EventNodeDone, Time: eng.envs[v].clock, From: v, To: -1})
+			}
+			eng.sched <- schedSignal{node: v, died: true}
+		}()
+	}
+	waitYield := func() {
+		sig := <-eng.sched
+		if sig.died {
+			eng.dead[sig.node] = true
+			alive--
+		} else {
+			idle[sig.node] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		launch(v)
+		waitYield()
+	}
+
+	var delivered int64
+	for {
+		// Deliver events in (virtual time, send order) until the queue runs
+		// dry. All live nodes are idle here, so each delivery hands exclusive
+		// control to one node and waits for it to yield.
+		for len(eng.queue) > 0 {
+			if eng.MaxEvents > 0 && delivered >= eng.MaxEvents {
+				if eng.err == nil {
+					eng.err = fmt.Errorf("sim: asynchronous run exceeded %d events", eng.MaxEvents)
+				}
+				eng.stopped = true
+				eng.queue = eng.queue[:0]
+				break
+			}
+			e := heap.Pop(&eng.queue).(desEvent)
+			delivered++
+			emitMarks(e.m.When)
+			if e.timer && eng.stopped {
+				continue // alarms are moot once the run is over
+			}
+			if eng.dead[e.m.To] {
+				if !e.timer {
+					eng.stats.DroppedDead++
+					if eng.Trace != nil {
+						eng.Trace.Emit(Event{Kind: EventDropDead, Time: e.m.When, From: e.m.From, To: e.m.To, Payload: payloadName(e.m.Payload)})
+					}
+				}
+				continue
+			}
+			if plan.CrashedAt(e.m.To, e.m.When) {
+				if !e.timer {
+					eng.stats.DroppedFault++
+					if eng.Trace != nil {
+						eng.Trace.Emit(Event{Kind: EventDropFault, Time: e.m.When, From: e.m.From, To: e.m.To, Payload: payloadName(e.m.Payload)})
+					}
+				}
+				continue
+			}
+			idle[e.m.To] = false
+			eng.envs[e.m.To].wake <- wakeEvt{m: e.m, ok: true}
+			waitYield()
+		}
+
+		// Queue empty: quiescence (or FinishAll). Shut down the remaining
+		// nodes in id order; a tearing-down node may still send, in which
+		// case the new traffic is delivered before the next shutdown.
+		if alive == 0 {
+			break
+		}
+		v := -1
+		for u := 0; u < n; u++ {
+			if !eng.dead[u] && idle[u] {
+				v = u
+				break
+			}
+		}
+		if v < 0 {
+			break
+		}
 		eng.stopped = true
-		close(eng.stop)
+		idle[v] = false
+		eng.envs[v].wake <- wakeEvt{ok: false}
+		waitYield()
 	}
+	emitMarks(eng.maxClock)
+	eng.stats.Rounds = eng.maxClock
+	return eng.err
 }
 
-// msgQueue is an unbounded FIFO mailbox. push never blocks; the owner waits
-// on notify (capacity 1, so a wakeup is never lost) and pops under the lock.
-type msgQueue struct {
-	mu     sync.Mutex
-	buf    []Message
-	notify chan struct{}
+// desEvent is one scheduled delivery in the discrete-event queue.
+type desEvent struct {
+	m     Message
+	seq   int64
+	timer bool
 }
 
-func newMsgQueue() *msgQueue {
-	return &msgQueue{notify: make(chan struct{}, 1)}
-}
+// eventHeap orders events by (When, insertion sequence).
+type eventHeap []desEvent
 
-func (q *msgQueue) push(m Message) {
-	q.mu.Lock()
-	q.buf = append(q.buf, m)
-	q.mu.Unlock()
-	select {
-	case q.notify <- struct{}{}:
-	default:
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].m.When != h[j].m.When {
+		return h[i].m.When < h[j].m.When
 	}
+	return h[i].seq < h[j].seq
 }
-
-func (q *msgQueue) tryPop() (Message, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.buf) == 0 {
-		return Message{}, false
-	}
-	m := q.buf[0]
-	q.buf = q.buf[1:]
-	return m, true
-}
-
-// drain discards all queued messages and returns how many were dropped.
-func (q *msgQueue) drain() int64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	n := int64(len(q.buf))
-	q.buf = nil
-	return n
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(desEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
 }

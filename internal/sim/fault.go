@@ -1,0 +1,145 @@
+package sim
+
+import "sort"
+
+// FaultPlan is a seeded, deterministic description of the runtime faults a
+// sensor network suffers during one run: per-link frame loss, duplication,
+// bounded reordering, and node crashes with optional restart. Both engines
+// honor the plan — the synchronous engine applies it in its sequential
+// delivery phase, the asynchronous engine inside its single-threaded event
+// scheduler — so a fixed (seed, plan) pair reproduces the same faults
+// byte-for-byte regardless of GOMAXPROCS. Every injected fault is emitted to
+// the Trace (EventDropFault, EventDup, EventNodeCrash, EventNodeRestart) and
+// counted in Stats, making faulty runs auditable.
+//
+// The plan composes with DelayFn: delay stretches time, the plan removes,
+// repeats, and jumbles frames. Protocols built directly on the engines will
+// generally misbehave under a non-zero plan — that is the point; see
+// internal/transport for the reliable-delivery layer that restores exactly-
+// once semantics on top.
+type FaultPlan struct {
+	// Seed drives the plan's private RNG, kept separate from the protocol
+	// RNGs so injected faults never perturb a protocol's random stream.
+	Seed int64
+	// Loss is the per-message drop probability applied to every link.
+	Loss float64
+	// LossOf optionally overrides Loss per directed link; it must be a pure
+	// function. nil means use Loss everywhere.
+	LossOf func(from, to int) float64
+	// Dup is the probability a delivered message is duplicated once; the
+	// copy arrives slightly later (exercising receiver-side dedup).
+	Dup float64
+	// Reorder bounds the extra delivery displacement, in rounds (sync) or
+	// virtual time units (async), added uniformly at random to each message.
+	// Zero disables reordering.
+	Reorder int64
+	// Crashes lists node outages, applied in addition to message faults.
+	Crashes []Crash
+}
+
+// Crash is one node outage: the node stops participating at virtual time
+// (or synchronous round) At. If RestartAt > At the node resumes there with
+// its volatile state intact — a radio outage rather than a reboot; traffic
+// addressed to the node inside the window is lost. RestartAt == 0 means the
+// node never comes back (crash-stop).
+type Crash struct {
+	Node      int
+	At        int64
+	RestartAt int64
+}
+
+// lossAt returns the drop probability of the directed link from->to.
+func (p *FaultPlan) lossAt(from, to int) float64 {
+	if p.LossOf != nil {
+		return p.LossOf(from, to)
+	}
+	return p.Loss
+}
+
+// CrashedAt reports whether node v is inside a crash window at time t.
+func (p *FaultPlan) CrashedAt(v int, t int64) bool {
+	if p == nil {
+		return false
+	}
+	for _, c := range p.Crashes {
+		if c.Node == v && t >= c.At && (c.RestartAt <= c.At || t < c.RestartAt) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeadBy reports whether node v has crash-stopped (a window with no
+// restart) at or before time t. Protocol drivers use this to exclude a
+// node's arcs from the schedule they assemble.
+func (p *FaultPlan) DeadBy(v int, t int64) bool {
+	if p == nil {
+		return false
+	}
+	for _, c := range p.Crashes {
+		if c.Node == v && c.RestartAt <= c.At && t >= c.At {
+			return true
+		}
+	}
+	return false
+}
+
+// Shifted returns a copy of the plan with every crash time moved earlier by
+// offset (clamped at zero) and the fault RNG reseeded with salt. Drivers
+// that run a protocol as a sequence of engine runs (DistMIS phases, DFS
+// recovery epochs) use this to keep one wall-clock fault script aligned
+// across the per-run virtual clocks.
+func (p *FaultPlan) Shifted(offset int64, salt int64) *FaultPlan {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	q.Seed = p.Seed ^ salt*0x2545F4914F6CDD1D
+	q.Crashes = make([]Crash, len(p.Crashes))
+	for i, c := range p.Crashes {
+		c.At -= offset
+		if c.At < 0 {
+			c.At = 0
+		}
+		if c.RestartAt > 0 {
+			c.RestartAt -= offset
+			if c.RestartAt < 1 {
+				c.RestartAt = 1
+			}
+		}
+		q.Crashes[i] = c
+	}
+	return &q
+}
+
+// crashMark is one edge of a crash window, used by the engines to emit
+// NodeCrash / NodeRestart trace events in virtual-time order.
+type crashMark struct {
+	at      int64
+	node    int
+	restart bool
+}
+
+// crashMarks flattens the plan's windows into time-sorted trace marks.
+func (p *FaultPlan) crashMarks() []crashMark {
+	if p == nil {
+		return nil
+	}
+	var marks []crashMark
+	for _, c := range p.Crashes {
+		marks = append(marks, crashMark{at: c.At, node: c.Node})
+		if c.RestartAt > c.At {
+			marks = append(marks, crashMark{at: c.RestartAt, node: c.Node, restart: true})
+		}
+	}
+	sort.Slice(marks, func(i, j int) bool {
+		if marks[i].at != marks[j].at {
+			return marks[i].at < marks[j].at
+		}
+		if marks[i].node != marks[j].node {
+			return marks[i].node < marks[j].node
+		}
+		return !marks[i].restart && marks[j].restart
+	})
+	return marks
+}

@@ -35,6 +35,24 @@ func (m Message) String() string {
 
 // Stats aggregates the cost accounting of one run.
 type Stats struct {
-	Rounds   int64 // synchronous rounds, or async worst-case causal time
+	Rounds   int64 // synchronous rounds, or async virtual completion time
 	Messages int64 // total messages sent
+	// DroppedDead counts messages discarded because the destination node had
+	// already terminated — engine bookkeeping, not a fault.
+	DroppedDead int64
+	// DroppedFault counts messages removed by the FaultPlan: link loss plus
+	// arrivals inside a destination's crash window.
+	DroppedFault int64
+	// Duplicated counts extra message copies injected by the FaultPlan.
+	Duplicated int64
+}
+
+// Add accumulates other into s; drivers composing several engine runs into
+// one protocol execution use it to report whole-run totals.
+func (s *Stats) Add(other Stats) {
+	s.Rounds += other.Rounds
+	s.Messages += other.Messages
+	s.DroppedDead += other.DroppedDead
+	s.DroppedFault += other.DroppedFault
+	s.Duplicated += other.Duplicated
 }

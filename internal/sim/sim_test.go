@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"container/heap"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -273,22 +274,24 @@ func TestAsyncDeadNodeTrafficDropped(t *testing.T) {
 	}
 }
 
-func TestMsgQueueFIFO(t *testing.T) {
-	q := newMsgQueue()
-	for i := 0; i < 100; i++ {
-		q.push(Message{When: int64(i)})
-	}
-	for i := 0; i < 100; i++ {
-		m, ok := q.tryPop()
-		if !ok || m.When != int64(i) {
-			t.Fatalf("pop %d: ok=%v when=%d", i, ok, m.When)
+func TestEventHeapOrder(t *testing.T) {
+	// Events pop in (When, insertion sequence) order: virtual time first,
+	// FIFO among equal times.
+	var h eventHeap
+	push := func(when, seq int64) { heap.Push(&h, desEvent{m: Message{When: when}, seq: seq}) }
+	push(5, 1)
+	push(1, 2)
+	push(1, 3)
+	push(0, 4)
+	push(5, 5)
+	want := [][2]int64{{0, 4}, {1, 2}, {1, 3}, {5, 1}, {5, 5}}
+	for i, w := range want {
+		e := heap.Pop(&h).(desEvent)
+		if e.m.When != w[0] || e.seq != w[1] {
+			t.Fatalf("pop %d: got (when=%d seq=%d), want (%d, %d)", i, e.m.When, e.seq, w[0], w[1])
 		}
 	}
-	if _, ok := q.tryPop(); ok {
-		t.Error("pop from empty queue succeeded")
-	}
-	q.push(Message{})
-	if n := q.drain(); n != 1 {
-		t.Errorf("drain = %d", n)
+	if h.Len() != 0 {
+		t.Errorf("heap not empty: %d", h.Len())
 	}
 }

@@ -29,9 +29,29 @@ type SyncEnv struct {
 	Round     int
 	Neighbors []int // sorted, fixed for the run
 	Rand      *rand.Rand
+	// Advance is the engine synchronizer's signal for RoundGate nodes: true
+	// when every gated node reported GateReady at the end of the previous
+	// round, i.e. the current logical round's traffic has fully settled and
+	// the next logical round may begin. Nodes that do not implement RoundGate
+	// can ignore it.
+	Advance bool
 
 	engine *SyncEngine
 	outbox []Message
+}
+
+// RoundGate is optionally implemented by SyncNodes that run a logical round
+// structure on top of an unreliable physical network (see
+// internal/transport). The engine polls GateReady after every physical
+// round; once all live gated nodes are ready it sets Advance on the next
+// round's envs, which is the global signal that every logical-round message
+// has either been acknowledged or given up on — the synchronous analogue of
+// an asynchronous-round synchronizer, computed by the simulator the same way
+// it already detects global termination.
+type RoundGate interface {
+	// GateReady reports that this node has no unacknowledged outbound
+	// traffic for the current logical round.
+	GateReady() bool
 }
 
 // Send enqueues a message to neighbor "to" for delivery next round. Sending
@@ -61,8 +81,12 @@ type SyncEngine struct {
 	MaxRounds int
 	// Trace optionally receives round, send, and node-termination events.
 	Trace Tracer
+	// Fault optionally injects message loss, duplication, reordering, and
+	// node crashes. nil means a perfectly reliable network.
+	Fault *FaultPlan
 
-	stats Stats
+	stats   Stats
+	crashed []int
 }
 
 // NewSyncEngine builds an engine for graph g with one node per vertex,
@@ -87,8 +111,13 @@ func NewSyncEngine(g *graph.Graph, seed int64, factory func(id int) SyncNode) *S
 // Stats returns the accounting of the last Run.
 func (eng *SyncEngine) Stats() Stats { return eng.stats }
 
+// Crashed returns the nodes whose crash-stop windows fired during the last
+// Run, in ascending id order.
+func (eng *SyncEngine) Crashed() []int { return append([]int(nil), eng.crashed...) }
+
 // Run executes rounds until every node has reported termination and no
 // messages remain in flight, or the round budget is exhausted (error).
+// Crash-stopped nodes count as terminated; their pending traffic is dropped.
 func (eng *SyncEngine) Run() error {
 	n := eng.g.N()
 	maxRounds := eng.MaxRounds
@@ -99,6 +128,19 @@ func (eng *SyncEngine) Run() error {
 	done := make([]bool, n)
 	doneSeen := make([]bool, n)
 	eng.stats = Stats{}
+	eng.crashed = nil
+
+	plan := eng.Fault
+	var faultRand *rand.Rand
+	var future map[int64][]Message
+	var marks []crashMark
+	if plan != nil {
+		faultRand = rand.New(rand.NewSource(plan.Seed ^ 0x6A09E667F3BCC909))
+		future = make(map[int64][]Message)
+		marks = plan.crashMarks()
+	}
+	markIdx := 0
+	advance := true
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -112,10 +154,41 @@ func (eng *SyncEngine) Run() error {
 		if round > maxRounds {
 			return fmt.Errorf("sim: synchronous run exceeded %d rounds", maxRounds)
 		}
+
+		// Mature reordered messages for this round, dropping arrivals into a
+		// crash window. Delivery order within a round is the deterministic
+		// order the messages were deferred in.
+		if future != nil {
+			for _, m := range future[int64(round)] {
+				if plan.CrashedAt(m.To, int64(round)) {
+					eng.stats.DroppedFault++
+					if eng.Trace != nil {
+						eng.Trace.Emit(Event{Kind: EventDropFault, Time: int64(round), From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+					}
+					continue
+				}
+				inboxes[m.To] = append(inboxes[m.To], m)
+			}
+			delete(future, int64(round))
+		}
+		for markIdx < len(marks) && marks[markIdx].at <= int64(round) {
+			mk := marks[markIdx]
+			markIdx++
+			kind := EventNodeCrash
+			if mk.restart {
+				kind = EventNodeRestart
+			} else if plan.DeadBy(mk.node, mk.at) {
+				eng.crashed = append(eng.crashed, mk.node)
+			}
+			if eng.Trace != nil {
+				eng.Trace.Emit(Event{Kind: kind, Time: mk.at, From: mk.node, To: -1})
+			}
+		}
+
 		allDone := true
-		pending := false
+		pending := len(future) > 0
 		for v := 0; v < n; v++ {
-			if !done[v] {
+			if !done[v] && !plan.DeadBy(v, int64(round)) {
 				allDone = false
 			}
 			if len(inboxes[v]) > 0 {
@@ -132,7 +205,8 @@ func (eng *SyncEngine) Run() error {
 
 		// Parallel step: each worker owns a disjoint stripe of nodes. A
 		// panicking node aborts the run with an error instead of killing
-		// the process.
+		// the process. Nodes inside a crash window skip their step and lose
+		// any queued input.
 		var wg sync.WaitGroup
 		panics := make([]error, workers)
 		chunk := (n + workers - 1) / workers
@@ -156,7 +230,11 @@ func (eng *SyncEngine) Run() error {
 					//lint:ignore envowner workers own disjoint node stripes; the wg.Wait barrier serializes rounds
 					env := eng.envs[v]
 					env.Round = round
+					env.Advance = advance
 					env.outbox = env.outbox[:0]
+					if plan.CrashedAt(v, int64(round)) {
+						continue
+					}
 					inbox := inboxes[v]
 					sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
 					done[v] = eng.nodes[v].Step(env, inbox)
@@ -170,22 +248,79 @@ func (eng *SyncEngine) Run() error {
 			}
 		}
 
-		// Deliver for next round, deterministically in node order.
+		// A crashed node's queued input is lost with it (accounted after the
+		// barrier so the trace stays ordered).
+		for v := 0; v < n; v++ {
+			if !plan.CrashedAt(v, int64(round)) {
+				continue
+			}
+			for _, m := range inboxes[v] {
+				eng.stats.DroppedFault++
+				if eng.Trace != nil {
+					eng.Trace.Emit(Event{Kind: EventDropFault, Time: int64(round), From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+				}
+			}
+		}
+
+		// Deliver for next round, deterministically in node order. Faults are
+		// decided here, in the single sequential section, so one fault RNG
+		// yields identical fault scripts regardless of GOMAXPROCS.
 		for v := range inboxes {
 			inboxes[v] = inboxes[v][:0]
 		}
 		for v := 0; v < n; v++ {
 			for _, m := range eng.envs[v].outbox {
-				m.When = int64(round + 1)
-				inboxes[m.To] = append(inboxes[m.To], m)
 				eng.stats.Messages++
 				if eng.Trace != nil {
 					eng.Trace.Emit(Event{Kind: EventSend, Time: int64(round), From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+				}
+				when := int64(round + 1)
+				if plan != nil {
+					if p := plan.lossAt(m.From, m.To); p > 0 && faultRand.Float64() < p {
+						eng.stats.DroppedFault++
+						if eng.Trace != nil {
+							eng.Trace.Emit(Event{Kind: EventDropFault, Time: when, From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+						}
+						continue
+					}
+					if plan.Reorder > 0 {
+						when += faultRand.Int63n(plan.Reorder + 1)
+					}
+					if plan.Dup > 0 && faultRand.Float64() < plan.Dup {
+						dup := m
+						dup.When = when + 1 + faultRand.Int63n(plan.Reorder+2)
+						eng.stats.Duplicated++
+						if eng.Trace != nil {
+							eng.Trace.Emit(Event{Kind: EventDup, Time: dup.When, From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+						}
+						future[dup.When] = append(future[dup.When], dup)
+					}
+				}
+				m.When = when
+				if when > int64(round+1) {
+					future[when] = append(future[when], m)
+				} else {
+					inboxes[m.To] = append(inboxes[m.To], m)
 				}
 			}
 			if eng.Trace != nil && done[v] && !doneSeen[v] {
 				doneSeen[v] = true
 				eng.Trace.Emit(Event{Kind: EventNodeDone, Time: int64(round), From: v, To: -1})
+			}
+		}
+
+		// Poll the logical-round synchronizer: the next physical round may
+		// open a new logical round only when every live gated node has no
+		// unacknowledged traffic outstanding.
+		advance = true
+		for v := 0; v < n; v++ {
+			gate, ok := eng.nodes[v].(RoundGate)
+			if !ok || plan.CrashedAt(v, int64(round+1)) {
+				continue
+			}
+			if !gate.GateReady() {
+				advance = false
+				break
 			}
 		}
 	}

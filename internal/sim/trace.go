@@ -19,6 +19,18 @@ const (
 	EventDeliver
 	// EventNodeDone marks a node's local termination.
 	EventNodeDone
+	// EventDropDead is a message discarded because its destination had
+	// terminated (async engine bookkeeping, not an injected fault).
+	EventDropDead
+	// EventDropFault is a message removed by the FaultPlan: link loss, or
+	// arrival inside the destination's crash window.
+	EventDropFault
+	// EventDup is an extra copy of a message injected by the FaultPlan.
+	EventDup
+	// EventNodeCrash marks a node entering a FaultPlan crash window.
+	EventNodeCrash
+	// EventNodeRestart marks a node resuming after a crash window.
+	EventNodeRestart
 )
 
 func (k EventKind) String() string {
@@ -31,6 +43,16 @@ func (k EventKind) String() string {
 		return "deliver"
 	case EventNodeDone:
 		return "done"
+	case EventDropDead:
+		return "drop-dead"
+	case EventDropFault:
+		return "drop-fault"
+	case EventDup:
+		return "dup"
+	case EventNodeCrash:
+		return "crash"
+	case EventNodeRestart:
+		return "restart"
 	default:
 		return "invalid"
 	}
@@ -46,7 +68,7 @@ type Event struct {
 
 func (e Event) String() string {
 	switch e.Kind {
-	case EventSend, EventDeliver:
+	case EventSend, EventDeliver, EventDropDead, EventDropFault, EventDup:
 		return fmt.Sprintf("[%6d] %-7s %d->%d %s", e.Time, e.Kind, e.From, e.To, e.Payload)
 	default:
 		return fmt.Sprintf("[%6d] %-7s node=%d", e.Time, e.Kind, e.From)
@@ -127,7 +149,8 @@ func (r *Recorder) Summary() string {
 	defer r.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "events: %d retained, %d dropped\n", len(r.events), r.dropped)
-	for _, k := range []EventKind{EventRoundStart, EventSend, EventDeliver, EventNodeDone} {
+	for _, k := range []EventKind{EventRoundStart, EventSend, EventDeliver, EventNodeDone,
+		EventDropDead, EventDropFault, EventDup, EventNodeCrash, EventNodeRestart} {
 		if n := r.byKind[k]; n > 0 {
 			fmt.Fprintf(&b, "  %-8s %d\n", k, n)
 		}

@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"math/rand"
+
+	"fdlsp/internal/sim"
+)
+
+// AsyncProto is an asynchronous protocol written against the transport
+// surface. It mirrors sim.AsyncNode exactly — same Run shape, same env
+// methods — so moving a protocol onto the reliable transport is a type
+// change, not a rewrite.
+type AsyncProto interface {
+	Run(env *AsyncEnv)
+}
+
+// AsyncEnv is the protocol's handle in an asynchronous run: the same
+// surface as sim.AsyncEnv, optionally backed by the reliable endpoint.
+type AsyncEnv struct {
+	ID        int
+	Neighbors []int
+	Rand      *rand.Rand
+
+	sim *sim.AsyncEnv
+	ep  *asyncEndpoint // nil = direct passthrough (reliable network)
+}
+
+// Clock returns the node's virtual time.
+func (e *AsyncEnv) Clock() int64 { return e.sim.Clock() }
+
+// FinishAll signals global termination, as sim.AsyncEnv.FinishAll.
+func (e *AsyncEnv) FinishAll() { e.sim.FinishAll() }
+
+// Down reports whether the transport has given up on peer; always false in
+// direct mode.
+func (e *AsyncEnv) Down(peer int) bool { return e.ep != nil && e.ep.down[peer] }
+
+// Send transmits payload to a neighbor. In reliable mode the payload rides
+// in a sequenced segment that is retransmitted until acknowledged or given
+// up on; sends to a peer already given up on are silently suppressed (the
+// protocol has received the PeerDown notice).
+func (e *AsyncEnv) Send(to int, payload any) {
+	ep := e.ep
+	if ep == nil {
+		e.sim.Send(to, payload)
+		return
+	}
+	if ep.down[to] {
+		return
+	}
+	ep.nextSeq++
+	ep.pending[ep.nextSeq] = &outSeg{to: to, payload: payload}
+	ep.c.Segments++
+	if n := len(ep.pending); n > ep.c.MaxInFlight {
+		ep.c.MaxInFlight = n
+	}
+	e.sim.Send(to, seg{Seq: ep.nextSeq, Round: -1, Payload: payload})
+	e.sim.SetTimer(ep.opt.backoff(0), retrans{Seq: ep.nextSeq})
+}
+
+// Broadcast sends payload to every neighbor.
+func (e *AsyncEnv) Broadcast(payload any) {
+	for _, u := range e.Neighbors {
+		e.Send(u, payload)
+	}
+}
+
+// Recv blocks until a protocol-level message arrives: a deduplicated
+// segment payload, a PeerDown notice, or a raw injected message. The ARQ
+// machinery (acks, retransmission timers, give-up) runs inside this loop.
+func (e *AsyncEnv) Recv() (sim.Message, bool) {
+	ep := e.ep
+	if ep == nil {
+		return e.sim.Recv()
+	}
+	for {
+		if len(ep.notices) > 0 {
+			m := ep.notices[0]
+			ep.notices = ep.notices[1:]
+			return m, true
+		}
+		m, ok := e.sim.Recv()
+		if !ok {
+			return sim.Message{}, false
+		}
+		switch p := m.Payload.(type) {
+		case ack:
+			delete(ep.pending, p.Seq)
+		case seg:
+			// Always ack, even duplicates: the peer may have lost our
+			// previous ack.
+			ep.c.Acks++
+			e.sim.Send(m.From, ack{Seq: p.Seq})
+			if ep.seen[m.From] == nil {
+				ep.seen[m.From] = make(map[int64]bool)
+			}
+			if ep.seen[m.From][p.Seq] {
+				ep.c.DupDropped++
+				continue
+			}
+			ep.seen[m.From][p.Seq] = true
+			return sim.Message{From: m.From, To: m.To, When: m.When, Payload: p.Payload}, true
+		case retrans:
+			s, live := ep.pending[p.Seq]
+			if !live {
+				continue // acked (or abandoned) in the meantime
+			}
+			if s.retries >= ep.opt.MaxRetries {
+				e.giveUp(s.to)
+				continue
+			}
+			s.retries++
+			ep.c.Retries++
+			e.sim.Send(s.to, seg{Seq: p.Seq, Round: -1, Payload: s.payload})
+			e.sim.SetTimer(ep.opt.backoff(s.retries), retrans{Seq: p.Seq})
+		default:
+			// Raw traffic that never went through a peer endpoint: driver
+			// injections (From == -1) pass through untouched.
+			return m, true
+		}
+	}
+}
+
+// giveUp marks peer unreachable, abandons all in-flight segments to it, and
+// queues the PeerDown notice for the protocol.
+func (e *AsyncEnv) giveUp(peer int) {
+	ep := e.ep
+	if ep.down[peer] {
+		return
+	}
+	ep.down[peer] = true
+	ep.c.PeersDown++
+	for q, s := range ep.pending {
+		if s.to == peer {
+			delete(ep.pending, q)
+			ep.c.GaveUp++
+		}
+	}
+	ep.notices = append(ep.notices,
+		sim.Message{From: peer, To: e.ID, When: e.sim.Clock(), Payload: PeerDown{Peer: peer}})
+}
+
+// outSeg is one unacknowledged segment at the sender.
+type outSeg struct {
+	to      int
+	payload any
+	retries int
+}
+
+// asyncEndpoint is the per-node reliable-transport state.
+type asyncEndpoint struct {
+	opt     Options
+	c       Counters
+	nextSeq int64
+	pending map[int64]*outSeg
+	seen    map[int]map[int64]bool
+	down    map[int]bool
+	notices []sim.Message
+}
+
+// Async adapts an AsyncProto to sim.AsyncNode, inserting the reliable
+// endpoint when reliable mode is selected.
+type Async struct {
+	proto    AsyncProto
+	opt      Options
+	reliable bool
+	preDown  []int
+	ep       *asyncEndpoint
+}
+
+// NewAsync wraps proto for the asynchronous engine. opt == nil selects
+// direct passthrough (the fault-free fast path with zero transport
+// overhead); otherwise the reliable endpoint runs with *opt (zero value =
+// defaults).
+func NewAsync(proto AsyncProto, opt *Options) *Async {
+	a := &Async{proto: proto}
+	if opt != nil {
+		a.reliable = true
+		a.opt = opt.withDefaults()
+	}
+	return a
+}
+
+// MarkDown pre-marks peers as unreachable before the run starts, so the
+// endpoint never attempts (and never has to give up on) contact with peers a
+// driver already knows are dead. No PeerDown notice is generated for them.
+// No-op in direct mode.
+func (a *Async) MarkDown(peers ...int) {
+	if a.reliable {
+		a.preDown = append(a.preDown, peers...)
+	}
+}
+
+// Run implements sim.AsyncNode.
+func (a *Async) Run(senv *sim.AsyncEnv) {
+	//lint:ignore envowner the transport env wraps the engine env on the owning goroutine only
+	env := &AsyncEnv{ID: senv.ID, Neighbors: senv.Neighbors, Rand: senv.Rand, sim: senv}
+	if a.reliable {
+		a.ep = &asyncEndpoint{
+			opt:     a.opt,
+			pending: make(map[int64]*outSeg),
+			seen:    make(map[int]map[int64]bool),
+			down:    make(map[int]bool),
+		}
+		for _, p := range a.preDown {
+			a.ep.down[p] = true
+		}
+		env.ep = a.ep
+	}
+	a.proto.Run(env)
+}
+
+// Counters returns the endpoint's accounting (zero in direct mode).
+func (a *Async) Counters() Counters {
+	if a.ep == nil {
+		return Counters{}
+	}
+	return a.ep.c
+}

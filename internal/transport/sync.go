@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"math/rand"
+	"sort"
+
+	"fdlsp/internal/sim"
+)
+
+// SyncProto is a round-based protocol written against the transport
+// surface: the same Step contract as sim.SyncNode, but Round is a *logical*
+// round — in reliable mode the transport stretches each logical round over
+// as many physical rounds as retransmission needs, and the engine's
+// RoundGate synchronizer opens the next one only when the whole network has
+// settled. Direct mode maps logical rounds 1:1 onto physical rounds.
+type SyncProto interface {
+	Step(env *SyncEnv, inbox []sim.Message) bool
+}
+
+// SyncEnv is the protocol's per-step handle; Round counts logical rounds.
+type SyncEnv struct {
+	ID        int
+	Round     int
+	Neighbors []int
+	Rand      *rand.Rand
+
+	send func(to int, payload any)
+	down func(peer int) bool
+}
+
+// Send transmits payload for delivery in the next logical round.
+func (e *SyncEnv) Send(to int, payload any) { e.send(to, payload) }
+
+// Broadcast sends payload to every neighbor.
+func (e *SyncEnv) Broadcast(payload any) {
+	for _, u := range e.Neighbors {
+		e.Send(u, payload)
+	}
+}
+
+// Down reports whether the transport has given up on peer; always false in
+// direct mode.
+func (e *SyncEnv) Down(peer int) bool { return e.down(peer) }
+
+// syncSeg is one unacknowledged segment at a synchronous sender.
+type syncSeg struct {
+	to      int
+	payload any
+	round   int64 // logical round the segment belongs to
+	retries int
+	due     int // physical round of the next retransmission
+}
+
+// Sync adapts a SyncProto to sim.SyncNode. In reliable mode it implements
+// the full ARQ machinery per physical round and participates in the
+// engine's RoundGate synchronizer; in direct mode it is a thin shim.
+type Sync struct {
+	proto    SyncProto
+	opt      Options
+	reliable bool
+
+	c         Counters
+	nextSeq   int64
+	pending   map[int64]*syncSeg
+	seen      map[int]map[int64]bool
+	down      map[int]bool
+	buffer    []sim.Message // next logical round's inbox, accumulating
+	logical   int           // last delivered logical round
+	protoDone bool
+	env       SyncEnv
+}
+
+// NewSync wraps proto for the synchronous engine. opt == nil selects direct
+// passthrough; otherwise the reliable endpoint runs with *opt (zero value =
+// defaults).
+func NewSync(proto SyncProto, opt *Options) *Sync {
+	w := &Sync{proto: proto, logical: -1}
+	if opt != nil {
+		w.reliable = true
+		w.opt = opt.withDefaults()
+		w.pending = make(map[int64]*syncSeg)
+		w.seen = make(map[int]map[int64]bool)
+		w.down = make(map[int]bool)
+	}
+	return w
+}
+
+// Counters returns the endpoint's accounting (zero in direct mode).
+func (w *Sync) Counters() Counters { return w.c }
+
+// MarkDown pre-marks peers as unreachable before the run starts. Drivers
+// composing multiple engine runs use it to carry crash knowledge from one
+// phase into the next, so every node skips the full retry-and-give-up cycle
+// against peers already known dead. No PeerDown notice is generated and the
+// peers are not counted in PeersDown: the protocol driver already knows.
+// No-op in direct mode.
+func (w *Sync) MarkDown(peers ...int) {
+	if !w.reliable {
+		return
+	}
+	for _, p := range peers {
+		w.down[p] = true
+	}
+}
+
+// GateReady implements sim.RoundGate: the node has no unacknowledged
+// outbound segments, so the global logical round may advance.
+func (w *Sync) GateReady() bool { return !w.reliable || len(w.pending) == 0 }
+
+// Step implements sim.SyncNode, executing one physical round: ack and
+// buffer arriving segments, retransmit due ones, and — when the engine's
+// synchronizer opens the next logical round — deliver the buffered inbox to
+// the protocol.
+func (w *Sync) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
+	if !w.reliable {
+		w.env = SyncEnv{
+			ID: env.ID, Round: env.Round, Neighbors: env.Neighbors, Rand: env.Rand,
+			send: func(to int, p any) { env.Send(to, p) },
+			down: func(int) bool { return false },
+		}
+		return w.proto.Step(&w.env, inbox)
+	}
+
+	for _, m := range inbox {
+		switch p := m.Payload.(type) {
+		case ack:
+			delete(w.pending, p.Seq)
+		case seg:
+			// Always ack, even duplicates: the peer may have lost our
+			// previous ack.
+			w.c.Acks++
+			env.Send(m.From, ack{Seq: p.Seq})
+			if w.seen[m.From] == nil {
+				w.seen[m.From] = make(map[int64]bool)
+			}
+			if w.seen[m.From][p.Seq] {
+				w.c.DupDropped++
+				continue
+			}
+			w.seen[m.From][p.Seq] = true
+			w.buffer = append(w.buffer, sim.Message{From: m.From, To: env.ID, Payload: p.Payload})
+		default:
+			// Driver injections (From == -1) bypass peer endpoints.
+			w.buffer = append(w.buffer, m)
+		}
+	}
+
+	// Retransmit due segments in sequence order (deterministic), giving up
+	// on peers that exhausted their retry budget.
+	if len(w.pending) > 0 {
+		seqs := make([]int64, 0, len(w.pending))
+		for q := range w.pending {
+			seqs = append(seqs, q)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, q := range seqs {
+			s, live := w.pending[q]
+			if !live || env.Round < s.due {
+				continue
+			}
+			if s.retries >= w.opt.MaxRetries {
+				w.giveUp(env.ID, s.to)
+				continue
+			}
+			s.retries++
+			w.c.Retries++
+			env.Send(s.to, seg{Seq: q, Round: s.round, Payload: s.payload})
+			s.due = env.Round + int(w.opt.backoff(s.retries))
+		}
+	}
+
+	// The synchronizer opened the next logical round: flush the buffered
+	// inbox to the protocol and wrap its sends as fresh segments.
+	if env.Advance {
+		w.logical++
+		flush := w.buffer
+		w.buffer = nil
+		sort.SliceStable(flush, func(i, j int) bool { return flush[i].From < flush[j].From })
+		for i := range flush {
+			flush[i].When = int64(w.logical)
+		}
+		w.env = SyncEnv{
+			ID: env.ID, Round: w.logical, Neighbors: env.Neighbors, Rand: env.Rand,
+			send: func(to int, p any) { w.sendSeg(env, to, p) },
+			down: func(peer int) bool { return w.down[peer] },
+		}
+		w.protoDone = w.proto.Step(&w.env, flush)
+	}
+	return w.protoDone && len(w.pending) == 0 && len(w.buffer) == 0
+}
+
+// sendSeg wraps one protocol payload as a sequenced segment.
+func (w *Sync) sendSeg(env *sim.SyncEnv, to int, payload any) {
+	if w.down[to] {
+		return
+	}
+	w.nextSeq++
+	w.pending[w.nextSeq] = &syncSeg{
+		to: to, payload: payload, round: int64(w.logical),
+		due: env.Round + int(w.opt.backoff(0)),
+	}
+	w.c.Segments++
+	if n := len(w.pending); n > w.c.MaxInFlight {
+		w.c.MaxInFlight = n
+	}
+	env.Send(to, seg{Seq: w.nextSeq, Round: int64(w.logical), Payload: payload})
+}
+
+// giveUp marks peer unreachable, abandons its in-flight segments, and
+// queues the PeerDown notice for the next logical inbox.
+func (w *Sync) giveUp(self, peer int) {
+	if w.down[peer] {
+		return
+	}
+	w.down[peer] = true
+	w.c.PeersDown++
+	for q, s := range w.pending {
+		if s.to == peer {
+			delete(w.pending, q)
+			w.c.GaveUp++
+		}
+	}
+	w.buffer = append(w.buffer, sim.Message{From: peer, To: self, Payload: PeerDown{Peer: peer}})
+}

@@ -1,0 +1,147 @@
+// Package transport is a reliable-delivery layer between the protocols in
+// internal/core and the lossy runtime modeled by sim.FaultPlan. It provides
+// per-link sequence numbering, positive acknowledgements, retransmission
+// with capped exponential backoff, and receiver-side duplicate suppression —
+// the standard ARQ recipe — over both simulation engines, while exposing the
+// same Send/Broadcast/Recv surface the engines give protocols directly, so
+// a protocol opts in by swapping its env type, not by rewriting its logic.
+//
+// Loss is indistinguishable from a dead peer in finite time, so reliability
+// is necessarily bounded: after MaxRetries unacknowledged retransmissions
+// the sender gives up, marks the peer down for the rest of the run, and
+// delivers a PeerDown notice to its own protocol in place of further
+// contact. Protocols treat PeerDown as the failure-detector output the
+// crash-recovery logic in internal/core keys off.
+//
+// Asynchronous runs retransmit on engine timers (sim.AsyncEnv.SetTimer);
+// synchronous runs count physical rounds. In the synchronous model the
+// transport additionally rebuilds the lockstep-round abstraction on top of
+// the unreliable network: the engine's RoundGate synchronizer (sim.SyncEnv
+// Advance) opens a new logical round only once every live node's previous
+// logical round has fully settled — every segment acknowledged or given up
+// on — which restores the delivery guarantee round-based protocols like
+// DistMIS assume, at a measurable cost in physical rounds (see the fault
+// experiment in internal/expt).
+package transport
+
+import "fmt"
+
+// Options tunes the ARQ machinery. The zero value selects the defaults.
+type Options struct {
+	// RTO is the initial retransmission timeout in virtual time units
+	// (async) or physical rounds (sync). Default 4: one round trip plus
+	// slack under the unit-hop model.
+	RTO int64
+	// MaxRetries bounds retransmissions of one segment before the sender
+	// declares the peer down. Default 8 — with doubling backoff capped at
+	// 32·RTO, that rides out loss bursts far beyond the rates the fault
+	// experiments exercise.
+	MaxRetries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RTO <= 0 {
+		o.RTO = 4
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 8
+	}
+	return o
+}
+
+// backoff returns the timeout before retransmission attempt "retries"
+// (0-based): RTO doubled per retry, capped at 32·RTO.
+func (o Options) backoff(retries int) int64 {
+	shift := retries
+	if shift > 5 {
+		shift = 5
+	}
+	return o.RTO << shift
+}
+
+// PeerDown is delivered to a protocol (as a message From the peer) when the
+// transport gives up on reaching that peer: MaxRetries retransmissions of
+// some segment went unacknowledged. The peer is excluded from this node's
+// sends for the rest of the run; protocols use the notice as a local crash
+// detector.
+type PeerDown struct {
+	Peer int
+}
+
+// seg is the transport frame wrapping one protocol payload. Round is the
+// sender's logical round (synchronous transport only; -1 in async runs) so
+// the receiver can assert logical-round integrity.
+type seg struct {
+	Seq     int64
+	Round   int64
+	Payload any
+}
+
+// ack acknowledges receipt of a segment. Acks are fire-and-forget: a lost
+// ack just provokes a retransmission, which is re-acked.
+type ack struct {
+	Seq int64
+}
+
+// retrans is the self-timer payload scheduled per in-flight segment (async
+// transport only).
+type retrans struct {
+	Seq int64
+}
+
+// Counters is the per-node accounting of one endpoint's run.
+type Counters struct {
+	Segments    int64 // protocol payloads handed to the transport
+	Retries     int64 // retransmissions performed
+	GaveUp      int64 // segments abandoned after MaxRetries
+	DupDropped  int64 // received duplicates suppressed
+	Acks        int64 // acknowledgements sent
+	MaxInFlight int   // peak unacknowledged segments
+	PeersDown   int   // peers given up on
+}
+
+// add accumulates other into c.
+func (c *Counters) add(other Counters) {
+	c.Segments += other.Segments
+	c.Retries += other.Retries
+	c.GaveUp += other.GaveUp
+	c.DupDropped += other.DupDropped
+	c.Acks += other.Acks
+	if other.MaxInFlight > c.MaxInFlight {
+		c.MaxInFlight = other.MaxInFlight
+	}
+	c.PeersDown += other.PeersDown
+}
+
+// Totals aggregates transport accounting across all nodes of a run.
+type Totals struct {
+	Counters
+	PerNode []Counters
+}
+
+// Collect sums a set of per-node counters into run totals.
+func Collect(perNode []Counters) Totals {
+	t := Totals{PerNode: perNode}
+	for _, c := range perNode {
+		t.add(c)
+	}
+	return t
+}
+
+// Add merges another run's totals (drivers composing several engine runs).
+func (t *Totals) Add(other Totals) {
+	t.Counters.add(other.Counters)
+	if t.PerNode == nil {
+		t.PerNode = make([]Counters, len(other.PerNode))
+	}
+	for i := range other.PerNode {
+		if i < len(t.PerNode) {
+			t.PerNode[i].add(other.PerNode[i])
+		}
+	}
+}
+
+func (t Totals) String() string {
+	return fmt.Sprintf("segs=%d retries=%d gaveup=%d dups=%d acks=%d maxinflight=%d peersdown=%d",
+		t.Segments, t.Retries, t.GaveUp, t.DupDropped, t.Acks, t.MaxInFlight, t.PeersDown)
+}

@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"fmt"
+
+	"fdlsp/internal/sim"
+)
+
+// Timeline renders a recorded event trace as a message-sequence chart: one
+// horizontal lane per node over virtual time, deliveries as slanted
+// sender-to-receiver lines, fault-dropped messages as red crosses,
+// duplicated deliveries as orange ticks, and node outages as shaded bands
+// opened by a crash mark and closed by a restart mark (or running to the
+// right edge for crash-stop failures). It is the visual companion of the
+// sim.FaultPlan layer: one glance shows where the plan hit the run.
+//
+// Dense traces stay readable by thinning: when the trace holds more than
+// maxDeliveries delivery events, only fault and lifecycle events are drawn
+// over the lanes. Pass n as the node count of the traced run.
+func Timeline(events []sim.Event, n int, st Style) string {
+	st = st.withDefaults()
+	const laneH, leftPad, width = 16.0, 34.0, 900.0
+	maxT := int64(1)
+	for _, e := range events {
+		if e.Time > maxT {
+			maxT = e.Time
+		}
+	}
+	h := st.Margin*2 + laneH*float64(n) + 16
+	w := leftPad + width + st.Margin
+	px := func(t int64) float64 { return leftPad + width*float64(t)/float64(maxT) }
+	py := func(v int) float64 { return st.Margin + laneH*float64(v) + laneH/2 }
+	doc := &svgDoc{w: w, h: h}
+
+	// Outage bands first, so everything else draws on top. A crash opens a
+	// band on the node's lane; the matching restart (if any) closes it.
+	open := make(map[int]int64)
+	band := func(v int, from, to int64) {
+		fmt.Fprintf(&doc.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#c0392b" fill-opacity="0.15"/>`+"\n",
+			px(from), py(v)-laneH/2, px(to)-px(from), laneH)
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case sim.EventNodeCrash:
+			open[e.From] = e.Time
+		case sim.EventNodeRestart:
+			if from, ok := open[e.From]; ok {
+				band(e.From, from, e.Time)
+				delete(open, e.From)
+			}
+		}
+	}
+	for v, from := range open {
+		band(v, from, maxT)
+	}
+
+	for v := 0; v < n; v++ {
+		doc.line(leftPad, py(v), leftPad+width, py(v), "#dddddd", 1)
+		doc.text(2, py(v)+3, 9, fmt.Sprintf("%d", v))
+	}
+
+	const maxDeliveries = 2000
+	deliveries := 0
+	for _, e := range events {
+		if e.Kind == sim.EventDeliver {
+			deliveries++
+		}
+	}
+	drawDeliveries := deliveries <= maxDeliveries
+
+	crosses := 0
+	for _, e := range events {
+		switch e.Kind {
+		case sim.EventDeliver:
+			if drawDeliveries && e.From >= 0 && e.To >= 0 {
+				doc.line(px(e.Time-1), py(e.From), px(e.Time), py(e.To), "#3b6ea5", 0.6)
+			}
+		case sim.EventDropFault, sim.EventDropDead:
+			x, y := px(e.Time), py(e.To)
+			stroke := "#c0392b"
+			if e.Kind == sim.EventDropDead {
+				stroke = "#7f8c8d"
+			}
+			doc.line(x-3, y-3, x+3, y+3, stroke, 1.2)
+			doc.line(x-3, y+3, x+3, y-3, stroke, 1.2)
+			crosses++
+		case sim.EventDup:
+			doc.line(px(e.Time), py(e.To)-4, px(e.Time), py(e.To)+4, "#e67e22", 1.5)
+		case sim.EventNodeCrash:
+			doc.circle(px(e.Time), py(e.From), 4, "#c0392b")
+		case sim.EventNodeRestart:
+			doc.circle(px(e.Time), py(e.From), 4, "#27ae60")
+		}
+	}
+
+	legend := fmt.Sprintf("trace: %d events over %d time units", len(events), maxT)
+	if !drawDeliveries {
+		legend += fmt.Sprintf(" (deliveries hidden: %d > %d)", deliveries, maxDeliveries)
+	}
+	doc.text(leftPad, h-4, 11, legend)
+	return doc.String()
+}

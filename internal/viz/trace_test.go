@@ -1,0 +1,68 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sim"
+)
+
+func TestTimelineRendersFaultsAndCrashes(t *testing.T) {
+	g := graph.Path(4)
+	rec := &sim.Recorder{}
+	eng := sim.NewSyncEngine(g, 1, func(id int) sim.SyncNode {
+		return syncStep(func(env *sim.SyncEnv, inbox []sim.Message) bool {
+			if env.Round < 6 {
+				env.Broadcast("beat")
+			}
+			return env.Round >= 6
+		})
+	})
+	eng.Trace = rec
+	eng.Fault = &sim.FaultPlan{
+		Seed:    7,
+		Loss:    0.4,
+		Dup:     0.4,
+		Crashes: []sim.Crash{{Node: 1, At: 2, RestartAt: 4}, {Node: 3, At: 3}},
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	svg := Timeline(rec.Events(), g.N(), Style{})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatal("not an SVG document")
+	}
+	// The restart closes node 1's outage band; node 3's crash-stop leaves an
+	// open band to the right edge — two bands total.
+	if got := strings.Count(svg, `fill-opacity="0.15"`); got != 2 {
+		t.Errorf("outage bands = %d, want 2", got)
+	}
+	if !strings.Contains(svg, `fill="#c0392b"`) {
+		t.Error("missing crash marker")
+	}
+	if !strings.Contains(svg, `fill="#27ae60"`) {
+		t.Error("missing restart marker")
+	}
+	if !strings.Contains(svg, `stroke="#e67e22"`) {
+		t.Error("missing duplicate tick despite 40% duplication")
+	}
+}
+
+func TestTimelineThinsDenseTraces(t *testing.T) {
+	var events []sim.Event
+	for i := 0; i < 3000; i++ {
+		events = append(events, sim.Event{Kind: sim.EventDeliver, Time: int64(i + 1), From: 0, To: 1})
+	}
+	svg := Timeline(events, 2, Style{})
+	if !strings.Contains(svg, "deliveries hidden") {
+		t.Error("dense trace should hide delivery lines")
+	}
+	if strings.Count(svg, `stroke="#3b6ea5"`) != 0 {
+		t.Error("delivery lines drawn despite thinning")
+	}
+}
+
+type syncStep func(*sim.SyncEnv, []sim.Message) bool
+
+func (f syncStep) Step(env *sim.SyncEnv, in []sim.Message) bool { return f(env, in) }
