@@ -287,6 +287,20 @@ func main() {
 			return nil
 		})
 	}
+	if ext("ext-rejoin") {
+		timed("ext-rejoin", func() error {
+			rejoinTrials := extTrials
+			if rejoinTrials > 3 {
+				rejoinTrials = 3 // each trial runs both faulty and fault-free instances
+			}
+			tb, err := expt.RejoinRepair(24, 10, 4, []float64{0, 0.1, 0.3}, 2, rejoinTrials, *seed)
+			if err != nil {
+				return err
+			}
+			emit("Extension: in-protocol crash rejoin vs out-of-band schedule repair", tb)
+			return nil
+		})
+	}
 	if ext("ext-qudg") {
 		timed("ext-qudg", func() error {
 			tb, err := expt.QUDGComparison(150, 10, 1.2, extTrials, *seed)

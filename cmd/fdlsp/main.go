@@ -48,6 +48,8 @@ func main() {
 		dup     = flag.Float64("dup", 0, "per-message duplication probability in [0,1) (distmis/dfs)")
 		reorder = flag.Int64("reorder", 0, "max extra delivery jitter for reordering (distmis/dfs)")
 		crash   = flag.String("crash", "", "comma-separated crash specs node@time[:restart], e.g. 3@40,7@60:90")
+		rto     = flag.Int64("rto", 0, "initial/floor retransmission timeout of the reliable transport (0 = default)")
+		retries = flag.Int("retries", 0, "transport retransmissions per segment before giving up (0 = default, -1 = send once)")
 	)
 	flag.Parse()
 
@@ -78,18 +80,24 @@ func main() {
 			rec.Cap = 1 << 20
 		}
 	}
-	as, label, stats, faults, err := run(g, *algo, *seed, rec, plan)
+	topt := fdlsp.TransportOptions{RTO: *rto, MaxRetries: *retries}
+	as, label, stats, faults, err := run(g, *algo, *seed, rec, plan, topt)
 	if err != nil {
 		fatal(err)
 	}
 	// A faulty run is accountable for the surviving subgraph: the crashed
-	// nodes' arcs are excluded from verification and frame assembly.
+	// nodes' arcs are excluded from verification and frame assembly. Nodes
+	// that rejoined in-protocol are live again and stay covered.
 	target := g
 	if faults != nil {
 		target = fdlsp.SurvivingGraph(g, faults.crashed)
 		fmt.Printf("faults: loss=%.2f dup=%.2f reorder=%d crashed=%v\n",
 			*loss, *dup, *reorder, faults.crashed)
 		fmt.Printf("transport: %v\n", faults.transport)
+		if len(faults.rejoin.Returned) > 0 {
+			fmt.Printf("rejoin: returned=%v resync-msgs=%d rebased=%d\n",
+				faults.rejoin.Returned, faults.rejoin.ResyncMsgs, faults.rejoin.Rebased)
+		}
 	}
 	if viols := fdlsp.Verify(target, as); len(viols) != 0 {
 		fatal(fmt.Errorf("INVALID schedule: %d violations, first: %v", len(viols), viols[0]))
@@ -224,9 +232,11 @@ func buildGraph(in, gen string, n, m, a, b, rows, cols int, side, radius float64
 }
 
 // faultResult carries the fault-specific outcome of a run: which nodes the
-// plan actually crashed and the transport-layer accounting.
+// plan actually crashed (still down at termination), the rejoin accounting
+// for bounded outages the protocol repaired, and the transport counters.
 type faultResult struct {
 	crashed   []int
+	rejoin    fdlsp.RejoinStats
 	transport fdlsp.TransportTotals
 }
 
@@ -256,7 +266,7 @@ func faultPlan(loss, dup float64, reorder int64, crash string, seed int64) (*fdl
 	return &fdlsp.FaultPlan{Seed: seed, Loss: loss, Dup: dup, Reorder: reorder, Crashes: crashes}, nil
 }
 
-func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder, plan *fdlsp.FaultPlan) (fdlsp.Assignment, string, *fdlsp.Stats, *faultResult, error) {
+func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder, plan *fdlsp.FaultPlan, topt fdlsp.TransportOptions) (fdlsp.Assignment, string, *fdlsp.Stats, *faultResult, error) {
 	var tracer fdlsp.Tracer
 	if rec != nil {
 		tracer = rec
@@ -265,23 +275,23 @@ func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder, plan
 		if plan == nil {
 			return nil
 		}
-		return &faultResult{crashed: res.Crashed, transport: res.Transport}
+		return &faultResult{crashed: res.Crashed, rejoin: res.Rejoin, transport: res.Transport}
 	}
 	switch algo {
 	case "distmis":
-		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Trace: tracer, Fault: plan})
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Trace: tracer, Fault: plan, Transport: topt})
 		if err != nil {
 			return nil, "", nil, nil, err
 		}
 		return res.Assignment, res.Algorithm, &res.Stats, faulty(res), nil
 	case "distmis-general":
-		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral, Trace: tracer, Fault: plan})
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral, Trace: tracer, Fault: plan, Transport: topt})
 		if err != nil {
 			return nil, "", nil, nil, err
 		}
 		return res.Assignment, res.Algorithm, &res.Stats, faulty(res), nil
 	case "dfs":
-		res, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed, Trace: tracer, Fault: plan})
+		res, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed, Trace: tracer, Fault: plan, Transport: topt})
 		if err != nil {
 			return nil, "", nil, nil, err
 		}

@@ -30,6 +30,10 @@ type (
 	// TransportTotals aggregates the transport-layer accounting of a run:
 	// retransmissions, duplicates suppressed, acks, peers given up on.
 	TransportTotals = transport.Totals
+	// RejoinStats accounts a run's protocol-level crash recovery: nodes that
+	// returned from bounded outages, resync-handshake message cost, and
+	// driver re-launches (see Result.Rejoin).
+	RejoinStats = core.RejoinStats
 )
 
 // SurvivingGraph returns g minus every edge incident to a crashed node —
@@ -41,9 +45,11 @@ func SurvivingGraph(g *Graph, crashed []int) *Graph { return core.SurvivingGraph
 // topology events the dynamic maintenance layer understands (NodeFail per
 // crash, NodeJoin per restart with the then-alive neighbor set), so
 // schedule-repair cost under the same fault script can be measured with
-// DynamicNetwork.Apply.
-func CrashEventsFromPlan(g *Graph, plan *FaultPlan) []TopologyEvent {
-	return dynamic.CrashEvents(g, plan)
+// DynamicNetwork.Apply. Nodes the protocol already reintegrated in-band
+// (Result.Rejoin.Returned) go in rejoined; their crash/restart pair is
+// omitted so the repair is not double-counted.
+func CrashEventsFromPlan(g *Graph, plan *FaultPlan, rejoined []int) []TopologyEvent {
+	return dynamic.CrashEvents(g, plan, rejoined)
 }
 
 // RenderTimeline renders a recorded trace as a message-sequence chart with

@@ -109,11 +109,12 @@ func FuzzDIMACSParser(f *testing.F) {
 
 // FuzzFaultyRunsTerminateAndVerify throws arbitrary graphs and fault plans
 // (loss up to 0.6, duplication, reordering, an optional crash) at both
-// distributed algorithms over the reliable transport. The contract: the
-// run terminates without error and the verifier accepts the schedule on
-// the surviving subgraph. MaxRetries is raised far above the default so
-// spurious ARQ give-ups on live peers are vanishingly unlikely even at the
-// top of the fuzzed loss range.
+// distributed algorithms over the reliable transport at its default
+// configuration. The contract: the run terminates without error and the
+// verifier accepts the schedule on the surviving subgraph. The defaults
+// suffice even at the top of the fuzzed loss range because a spurious ARQ
+// give-up on a live peer is no longer terminal — the next frame or gossip
+// vouch from that peer rescinds it with PeerUp and the protocols resume.
 func FuzzFaultyRunsTerminateAndVerify(f *testing.F) {
 	f.Add([]byte{9, 0, 1, 1, 2, 2, 3, 3, 4, 4, 0}, int64(1), uint8(20), uint8(10), uint8(3), uint8(41))
 	f.Add([]byte{12, 0, 1, 0, 2, 0, 3, 1, 2, 4, 5, 5, 6}, int64(7), uint8(55), uint8(0), uint8(0), uint8(0))
@@ -132,7 +133,6 @@ func FuzzFaultyRunsTerminateAndVerify(f *testing.F) {
 		if crashB%2 == 1 {
 			plan.Crashes = []fdlsp.Crash{{Node: int(crashB) % g.N(), At: int64(atB)%80 + 1}}
 		}
-		topt := fdlsp.TransportOptions{MaxRetries: 25}
 		check := func(label string, res *fdlsp.Result, err error) {
 			if err != nil {
 				t.Fatalf("%s did not survive plan %+v: %v", label, plan, err)
@@ -143,9 +143,9 @@ func FuzzFaultyRunsTerminateAndVerify(f *testing.F) {
 					label, res.Crashed, viols[0])
 			}
 		}
-		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Fault: plan, Transport: topt})
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Fault: plan})
 		check("distMIS", res, err)
-		res, err = fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed, Fault: plan, Transport: topt})
+		res, err = fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed, Fault: plan})
 		check("dfs", res, err)
 	})
 }

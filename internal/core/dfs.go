@@ -68,6 +68,12 @@ type (
 	ackMsg struct{ Seq int64 } // annMsg fully processed, incl. everything it triggered
 )
 
+// noParent marks a flood batch with no completion action: the rejoin
+// handshake's repair floods are acked hop-by-hop like any other batch, but
+// their drain neither acks an upstream sender (the rejoiner originated them)
+// nor resumes a token (the rejoiner does not hold one).
+const noParent = -2
+
 // floodGroup tracks one batch of flood messages awaiting acknowledgements
 // (Dijkstra–Scholten-style diffusing-computation termination). A node that
 // sends flood traffic — the token holder announcing its fresh colors, or any
@@ -103,11 +109,14 @@ type dfsNode struct {
 	seqDest map[int64]int         // my sent seq -> receiver (PeerDown cleanup)
 
 	visited        map[int]bool
+	struck         map[int]bool // visited marks that came from PeerDown, not a real visit
 	selfVisited    bool
 	parent         int
 	awaitingChild  int
 	pendingReplies int
 	awaitingReply  map[int]bool // neighbors whose replyMsg is outstanding
+
+	resyncMsgs int64 // rejoin-handshake messages originated by this node
 }
 
 func newDFSNode(g *graph.Graph, id int, policy ChildPolicy, faulty bool) *dfsNode {
@@ -124,6 +133,7 @@ func newDFSNode(g *graph.Graph, id int, policy ChildPolicy, faulty bool) *dfsNod
 		groups:        make(map[int64]*floodGroup),
 		seqDest:       make(map[int64]int),
 		visited:       make(map[int]bool, g.Degree(id)),
+		struck:        make(map[int]bool),
 		parent:        -1,
 		awaitingChild: -1,
 		awaitingReply: make(map[int]bool),
@@ -143,11 +153,12 @@ func (nd *dfsNode) reopen() {
 }
 
 // sendFlood ships every announce in outs to all live neighbors as one
-// acknowledged batch and reports whether anything was sent. parent == -1
-// marks the token holder's own batch (token resumes on drain); otherwise the
-// drain acks (parent, parentSeq) upstream. Peers the transport has given up
-// on are skipped — counting them would leave the batch undrainable.
-func (nd *dfsNode) sendFlood(env *transport.AsyncEnv, outs []ColorAnnounce, parent int, parentSeq int64) bool {
+// acknowledged batch and returns the number of messages sent. parent == -1
+// marks the token holder's own batch (token resumes on drain), noParent a
+// rejoin repair batch (drain is a no-op); otherwise the drain acks (parent,
+// parentSeq) upstream. Peers the transport has given up on are skipped —
+// counting them would leave the batch undrainable.
+func (nd *dfsNode) sendFlood(env *transport.AsyncEnv, outs []ColorAnnounce, parent int, parentSeq int64) int {
 	var dests []int
 	for _, u := range env.Neighbors {
 		if !env.Down(u) {
@@ -155,7 +166,7 @@ func (nd *dfsNode) sendFlood(env *transport.AsyncEnv, outs []ColorAnnounce, pare
 		}
 	}
 	if len(outs) == 0 || len(dests) == 0 {
-		return false
+		return 0
 	}
 	grp := &floodGroup{parent: parent, parentSeq: parentSeq, remaining: len(outs) * len(dests)}
 	for _, f := range outs {
@@ -166,7 +177,7 @@ func (nd *dfsNode) sendFlood(env *transport.AsyncEnv, outs []ColorAnnounce, pare
 			env.Send(u, annMsg{Ann: f, Seq: nd.nextSeq})
 		}
 	}
-	return true
+	return grp.remaining
 }
 
 // beginToken opens this node's visit: ask every live neighbor for its color
@@ -209,7 +220,7 @@ func (nd *dfsNode) completeToken(env *transport.AsyncEnv) {
 	}
 	newly := coloring.AssignGreedyLocal(nd.g, nd.know.know, arcs)
 	nd.ownColored = append(nd.ownColored, newly...)
-	if !nd.sendFlood(env, nd.know.announceOwn(newly), -1, 0) {
+	if nd.sendFlood(env, nd.know.announceOwn(newly), -1, 0) == 0 {
 		nd.passToken(env)
 	}
 }
@@ -225,9 +236,12 @@ func (nd *dfsNode) drainSeq(env *transport.AsyncEnv, seq int64) {
 	delete(nd.groups, seq)
 	grp.remaining--
 	if grp.remaining == 0 {
-		if grp.parent >= 0 {
+		switch {
+		case grp.parent >= 0:
 			env.Send(grp.parent, ackMsg{Seq: grp.parentSeq})
-		} else {
+		case grp.parent == noParent:
+			// Rejoin repair batch: fully delivered, nothing to resume.
+		default:
 			nd.passToken(env)
 		}
 	}
@@ -242,6 +256,11 @@ func (nd *dfsNode) drainSeq(env *transport.AsyncEnv, seq int64) {
 // two tokens in flight. The traversal quiesces instead and the driver's next
 // epoch restarts it from a surviving root.
 func (nd *dfsNode) peerDown(env *transport.AsyncEnv, peer int) {
+	if !nd.visited[peer] {
+		// Remember the mark came from the failure detector, not a real
+		// visit, so a later PeerUp can rescind it.
+		nd.struck[peer] = true
+	}
 	nd.visited[peer] = true
 	var seqs []int64
 	for q, dest := range nd.seqDest {
@@ -259,6 +278,40 @@ func (nd *dfsNode) peerDown(env *transport.AsyncEnv, peer int) {
 		if nd.pendingReplies == 0 {
 			nd.completeToken(env)
 		}
+	}
+}
+
+// rejoin runs the protocol-level crash-recovery handshake when this node's
+// outage ends (see rejoin.go): pull the neighborhood's colors with resyncReq
+// and push this node's own incident colors under a bumped generation as an
+// acked repair batch. Traversal state needs no touch-up — token passes,
+// replies, and acks in flight across the outage ride the reliable transport
+// and resume on their own once the restart notice re-arms the timers.
+func (nd *dfsNode) rejoin(env *transport.AsyncEnv, restarts int) {
+	for _, u := range env.Neighbors {
+		if env.Down(u) {
+			continue
+		}
+		nd.resyncMsgs++
+		env.Send(u, resyncReq{})
+	}
+	nd.resyncMsgs += int64(nd.sendFlood(env, nd.know.reannounce(restarts), noParent, 0))
+}
+
+// peerUp handles a rescinded give-up: the peer is reachable after all. A
+// visited mark that came only from the failure detector is withdrawn so the
+// traversal can still pass the token there (a genuinely visited peer just
+// bounces it back). If this node has itself restarted, it re-asks the peer
+// for colors — its original resyncReq may have been suppressed while the
+// peer was marked down.
+func (nd *dfsNode) peerUp(env *transport.AsyncEnv, peer int) {
+	if nd.struck[peer] {
+		delete(nd.struck, peer)
+		delete(nd.visited, peer)
+	}
+	if nd.know.gen > 0 {
+		nd.resyncMsgs++
+		env.Send(peer, resyncReq{})
 	}
 }
 
@@ -311,7 +364,7 @@ func (nd *dfsNode) Run(env *transport.AsyncEnv) {
 			// Everything observe triggers (relays, endpoint re-floods) joins
 			// one batch; the upstream ack waits for that batch to drain. A
 			// flood that triggers nothing here is acked immediately.
-			if !nd.sendFlood(env, nd.know.observe(p.Ann), m.From, p.Seq) {
+			if nd.sendFlood(env, nd.know.observe(p.Ann), m.From, p.Seq) == 0 {
 				env.Send(m.From, ackMsg{Seq: p.Seq})
 			}
 		case ackMsg:
@@ -324,6 +377,19 @@ func (nd *dfsNode) Run(env *transport.AsyncEnv) {
 			nd.drainSeq(env, p.Seq)
 		case transport.PeerDown:
 			nd.peerDown(env, p.Peer)
+		case transport.PeerUp:
+			nd.peerUp(env, p.Peer)
+		case sim.NodeRestarted:
+			nd.rejoin(env, p.Restarts)
+		case resyncReq:
+			nd.resyncMsgs++
+			env.Send(m.From, resyncReply{Table: nd.know.snapshotLocal()})
+		case resyncReply:
+			// Colors of own incident arcs learned from the reply are pushed
+			// back out as a repair batch (the arc was colored by a neighbor
+			// during this node's outage; 2-hop witnesses behind this node
+			// may have missed it).
+			nd.resyncMsgs += int64(nd.sendFlood(env, nd.know.mergeIncident(p.Table), noParent, 0))
 		default:
 			panic(fmt.Sprintf("core: DFS node %d got unexpected payload %T", env.ID, m.Payload))
 		}
@@ -391,11 +457,12 @@ func DFS(g *graph.Graph, opts DFSOptions) (*Result, error) {
 	var total sim.Stats
 	var ttot transport.Totals
 	var crashed []int
+	var rejoin RejoinStats
 	for ci, comp := range g.Components() {
 		sub, ids := g.InducedSubgraph(comp)
 		subOpts := opts
 		subOpts.Fault = remapPlan(opts.Fault, ids, int64(ci))
-		subAs, stats, tt, subCrashed, err := dfsConnected(sub, subOpts, opts.Seed+int64(ci)*7_368_787)
+		subAs, stats, tt, subCrashed, subRejoin, err := dfsConnected(sub, subOpts, opts.Seed+int64(ci)*7_368_787)
 		if err != nil {
 			return nil, err
 		}
@@ -405,6 +472,11 @@ func DFS(g *graph.Graph, opts DFSOptions) (*Result, error) {
 		for _, v := range subCrashed {
 			crashed = append(crashed, ids[v])
 		}
+		for _, v := range subRejoin.Returned {
+			rejoin.Returned = append(rejoin.Returned, ids[v])
+		}
+		rejoin.ResyncMsgs += subRejoin.ResyncMsgs
+		rejoin.Rebased += subRejoin.Rebased
 		rounds := total.Rounds
 		if stats.Rounds > rounds {
 			rounds = stats.Rounds
@@ -414,6 +486,7 @@ func DFS(g *graph.Graph, opts DFSOptions) (*Result, error) {
 		ttot.Add(transport.Totals{Counters: tt.Counters})
 	}
 	crashed = sortedUnique(crashed)
+	rejoin.Returned = sortedUnique(rejoin.Returned)
 	dead := deadMask(g.N(), crashed)
 	for _, a := range g.Arcs() {
 		if !arcAlive(a, dead) {
@@ -429,6 +502,7 @@ func DFS(g *graph.Graph, opts DFSOptions) (*Result, error) {
 		Slots:      as.NumColors(),
 		Stats:      total,
 		Crashed:    crashed,
+		Rejoin:     rejoin,
 		Transport:  ttot,
 	}, nil
 }
@@ -458,6 +532,11 @@ func remapPlan(p *sim.FaultPlan, ids []int, salt int64) *sim.FaultPlan {
 			q.Crashes = append(q.Crashes, sim.Crash{Node: local, At: c.At, RestartAt: c.RestartAt})
 		}
 	}
+	for _, v := range p.Rejoins {
+		if local, ok := inv[v]; ok {
+			q.Rejoins = append(q.Rejoins, local)
+		}
+	}
 	return q
 }
 
@@ -468,12 +547,16 @@ func remapPlan(p *sim.FaultPlan, ids []int, salt int64) *sim.FaultPlan {
 // gives up, PeerDown handlers fire, and no node has anything left to say —
 // and the driver starts a fresh engine over the same nodes, with dead peers
 // pre-marked both down (transport) and visited (traversal), rooted at the
-// highest-degree unvisited survivor. Visits stranded mid-ask are reopened so
-// the new epoch re-colors them. Each epoch either visits its root or loses
-// it to a crash, so n live roots plus n crashes bound the epoch count.
-func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignment, sim.Stats, transport.Totals, []int, error) {
+// highest-degree unvisited survivor. Visits stranded mid-ask — or cut short
+// by an outage, leaving live incident arcs uncolored — are reopened so a
+// later epoch re-visits and colors only what is missing. Bounded outages
+// resolve inside the epoch that covers the restart time (the restart notice
+// is itself a scheduled event, so the engine cannot quiesce before it), and
+// the returned node rejoins in-protocol; only genuinely stuck runs — no new
+// visit, color, crash, or rejoin for several consecutive epochs — abort.
+func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignment, sim.Stats, transport.Totals, []int, RejoinStats, error) {
 	if g.N() == 0 {
-		return coloring.Assignment{}, sim.Stats{}, transport.Totals{}, nil, nil
+		return coloring.Assignment{}, sim.Stats{}, transport.Totals{}, nil, RejoinStats{}, nil
 	}
 	faulty := opts.Fault != nil
 	var topt *transport.Options
@@ -490,8 +573,20 @@ func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignm
 
 	var total sim.Stats
 	var ttot transport.Totals
+	var rejoin RejoinStats
 	dead := make([]bool, n)
+	returnedMask := make([]bool, n)
+	everVisited := make([]bool, n)
 	elapsed := int64(0)
+
+	// n live roots plus crash retries bound fault-free epochs; every bounded
+	// outage can burn two more (one rooted at a node still inside its
+	// window, one to re-visit it after the rejoin).
+	maxEpochs := 2*n + 2
+	if faulty {
+		maxEpochs = 2*n + 4*len(opts.Fault.Crashes) + 8
+	}
+	noProgress := 0
 
 	for epoch := 0; ; epoch++ {
 		root := electRoot(g)
@@ -501,8 +596,11 @@ func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignm
 				break
 			}
 		}
-		if epoch > 2*n+2 {
-			return nil, sim.Stats{}, transport.Totals{}, nil, fmt.Errorf("core: DFS exceeded %d recovery epochs", 2*n+2)
+		if epoch > maxEpochs {
+			return nil, sim.Stats{}, transport.Totals{}, nil, RejoinStats{}, fmt.Errorf("core: DFS exceeded %d recovery epochs", maxEpochs)
+		}
+		if epoch > 0 {
+			rejoin.Rebased++
 		}
 
 		deadIds := deadList(dead)
@@ -514,6 +612,7 @@ func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignm
 				nodes[v].visited[u] = true
 			}
 		}
+		coloredBefore := countColored(nodes)
 		wraps := make([]*transport.Async, n)
 		eng := sim.NewAsyncEngine(g, seed+int64(epoch)*15_485_863, func(id int) sim.AsyncNode {
 			wraps[id] = transport.NewAsync(nodes[id], topt)
@@ -527,40 +626,102 @@ func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignm
 		}
 		eng.Inject(root, startMsg{})
 		if err := eng.Run(); err != nil {
-			return nil, sim.Stats{}, transport.Totals{}, nil, err
+			return nil, sim.Stats{}, transport.Totals{}, nil, RejoinStats{}, err
 		}
 		st := eng.Stats()
 		total.Add(st)
 		elapsed += st.Rounds
 		ttot.Add(collectAsync(wraps))
-		mergeCrashed(dead, eng.Crashed())
-		for v := 0; v < n; v++ {
-			if !dead[v] && nodes[v].pendingReplies > 0 {
-				nodes[v].reopen()
+		progress := mergeCrashed(dead, eng.Crashed())
+		for _, v := range eng.Returned() {
+			if !returnedMask[v] {
+				returnedMask[v] = true
+				progress++
 			}
 		}
+		for v := 0; v < n; v++ {
+			if nodes[v].selfVisited && !everVisited[v] {
+				everVisited[v] = true
+				progress++
+			}
+		}
+		progress += countColored(nodes) - coloredBefore
 		if !faulty {
 			break
+		}
+		if progress == 0 {
+			// Tolerate a couple of barren epochs (a freak give-up can void a
+			// visit without any counter moving) before declaring livelock.
+			if noProgress++; noProgress > 2 {
+				return nil, sim.Stats{}, transport.Totals{}, nil, RejoinStats{},
+					fmt.Errorf("core: DFS made no progress for %d consecutive recovery epochs", noProgress)
+			}
+		} else {
+			noProgress = 0
+		}
+		// Cross-epoch cleanup: in-flight batches died with the epoch's
+		// transport, and a visit left mid-ask, mid-flood, or awaiting a
+		// child token must be redone — as must one whose coloring an outage
+		// cut short (live incident arcs still uncolored).
+		for v := 0; v < n; v++ {
+			if dead[v] {
+				continue
+			}
+			nd := nodes[v]
+			stale := nd.pendingReplies > 0 || nd.awaitingChild >= 0 || len(nd.groups) > 0
+			nd.groups = make(map[int64]*floodGroup)
+			nd.seqDest = make(map[int64]int)
+			if stale || needsRecolor(g, nd, dead) {
+				nd.reopen()
+			}
 		}
 	}
 
 	as := coloring.NewAssignment(g)
 	for id, nd := range nodes {
+		rejoin.ResyncMsgs += nd.resyncMsgs
 		for _, a := range nd.ownColored {
 			if !arcAlive(a, dead) {
 				continue
 			}
 			c := nd.know.know[a]
 			if c == coloring.None {
-				return nil, sim.Stats{}, transport.Totals{}, nil, fmt.Errorf("core: DFS node %d lost color of %v", id, a)
+				return nil, sim.Stats{}, transport.Totals{}, nil, RejoinStats{}, fmt.Errorf("core: DFS node %d lost color of %v", id, a)
 			}
 			if prev, ok := as[a]; ok && prev != c {
-				return nil, sim.Stats{}, transport.Totals{}, nil, fmt.Errorf("core: DFS arc %v colored twice (%d, %d)", a, prev, c)
+				return nil, sim.Stats{}, transport.Totals{}, nil, RejoinStats{}, fmt.Errorf("core: DFS arc %v colored twice (%d, %d)", a, prev, c)
 			}
 			as[a] = c
 		}
 	}
-	return as, total, ttot, deadList(dead), nil
+	for v := 0; v < n; v++ {
+		if returnedMask[v] && !dead[v] {
+			rejoin.Returned = append(rejoin.Returned, v)
+		}
+	}
+	return as, total, ttot, deadList(dead), rejoin, nil
+}
+
+// countColored sums the arcs every node has colored itself so far (the
+// driver's cross-epoch progress metric).
+func countColored(nodes []*dfsNode) int {
+	total := 0
+	for _, nd := range nodes {
+		total += len(nd.ownColored)
+	}
+	return total
+}
+
+// needsRecolor reports whether v is responsible for a live incident arc it
+// has no color for: its visit was cut short (an outage of its own, or a
+// false give-up that skipped arcs), so a later epoch must re-visit it.
+func needsRecolor(g *graph.Graph, nd *dfsNode, dead []bool) bool {
+	for _, a := range g.IncidentArcs(nd.know.id) {
+		if arcAlive(a, dead) && nd.know.know[a] == coloring.None {
+			return true
+		}
+	}
+	return false
 }
 
 // nextRoot picks a recovery epoch's root: the highest-degree unvisited

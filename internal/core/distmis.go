@@ -67,10 +67,15 @@ type Result struct {
 	// "primary-mis", "secondary-mis" and "coloring"); the parts sum to
 	// Stats. Nil for algorithms without phases.
 	Breakdown map[string]sim.Stats
-	// Crashed lists the nodes whose crash-stop windows fired during the run
-	// (faulty runs only), ascending. The Assignment covers the arcs of
+	// Crashed lists the nodes that crash-stopped during the run (faulty runs
+	// only), ascending. Nodes with bounded outages are NOT listed: they
+	// rejoin in-protocol and appear in Rejoin.Returned instead, and their
+	// arcs are part of the schedule. The Assignment covers the arcs of
 	// SurvivingGraph(g, Crashed).
 	Crashed []int
+	// Rejoin accounts for protocol-level crash recovery: which nodes
+	// returned from an outage and what the re-sync handshake cost.
+	Rejoin RejoinStats
 	// Transport aggregates the reliable-transport accounting across all
 	// phase engines (faulty runs only; zero otherwise).
 	Transport transport.Totals
@@ -83,6 +88,7 @@ type nodeState struct {
 	removed    bool
 	know       *knowledge
 	ownColored []graph.Arc
+	resyncMsgs int64 // rejoin-handshake messages originated by this node
 }
 
 // DistMIS runs Algorithm 1 on g and returns the schedule. The run is a
@@ -125,15 +131,23 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 	var ttot transport.Totals
 	breakdown := map[string]sim.Stats{}
 	dead := make([]bool, n)
+	returnedMask := make([]bool, n)
 	elapsed := int64(0)
-	notePhase := func(name string, st sim.Stats, tt transport.Totals, crashed []int) int {
+	// notePhase folds one phase's accounting into the run totals and reports
+	// the fault churn: fresh permanently-dead nodes and completed rejoins. A
+	// node that crashes and returns within the same phase shows up only in
+	// returned; dead tracks crash-stops, never transient outages.
+	notePhase := func(name string, st sim.Stats, tt transport.Totals, crashed, returned []int) (fresh, back int) {
 		total.Add(st)
 		b := breakdown[name]
 		b.Add(st)
 		breakdown[name] = b
 		ttot.Add(tt)
 		elapsed += st.Rounds
-		return mergeCrashed(dead, crashed)
+		for _, v := range returned {
+			returnedMask[v] = true
+		}
+		return mergeCrashed(dead, crashed), len(returned)
 	}
 	var outer, inner int
 	phase := int64(0)
@@ -150,6 +164,18 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 		return opts.Fault.Shifted(elapsed, phase)
 	}
 
+	// Removal makes progress at most n times and crash retries at most n
+	// more, so 2n+2 outer iterations means a fault-free run is stuck. Every
+	// completed outage can additionally void one primary selection (the
+	// returned node abstains) and keep its h-members unretired for one extra
+	// round trip, so restart plans widen both budgets.
+	maxOuter := 2*n + 2
+	maxInner := 4*n + 8
+	if faulty {
+		maxOuter += 4 * len(opts.Fault.Crashes)
+		maxInner += 4 * len(opts.Fault.Crashes)
+	}
+
 	for {
 		competing := make([]bool, n)
 		anyActive := false
@@ -162,20 +188,18 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 		if !anyActive {
 			break
 		}
-		// Removal makes progress at most n times and crash retries at most n
-		// more, so 2n+2 outer iterations means the run is stuck.
-		if outer > 2*n+2 {
-			return nil, fmt.Errorf("core: DistMIS exceeded %d outer iterations", 2*n+2)
+		if outer > maxOuter {
+			return nil, fmt.Errorf("core: DistMIS exceeded %d outer iterations", maxOuter)
 		}
 		outer++
 
 		// Primary MIS among active nodes (radius-1 competition).
 		seed := nextSeed()
-		statuses, stats, tt, crashed, err := runCompetitionPhase(g, seed, 1, competing, drawer, opts.Trace, shiftedPlan(), topt, deadList(dead))
+		statuses, stats, tt, crashed, returned, err := runCompetitionPhase(g, seed, 1, competing, drawer, states, opts.Trace, shiftedPlan(), topt, deadList(dead))
 		if err != nil {
 			return nil, fmt.Errorf("core: DistMIS primary MIS: %w", err)
 		}
-		fresh := notePhase("primary-mis", stats, tt, crashed)
+		fresh, back := notePhase("primary-mis", stats, tt, crashed, returned)
 
 		inS := make([]bool, n)
 		remaining := 0
@@ -187,9 +211,10 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 		}
 		if remaining == 0 {
 			// A mid-phase crash can empty the selection (the only winners
-			// died); the survivors simply recompete. Without a crash an empty
-			// MIS among live competitors is a protocol bug.
-			if faulty && fresh > 0 {
+			// died), and so can a mid-phase rejoin (returned nodes abstain);
+			// the survivors simply recompete. Without either, an empty MIS
+			// among live competitors is a protocol bug.
+			if faulty && (fresh > 0 || back > 0) {
 				continue
 			}
 			return nil, fmt.Errorf("core: DistMIS primary MIS selected nobody")
@@ -198,16 +223,16 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 
 		// Inner loop: peel secondary MISes off S until S is exhausted.
 		for remaining > 0 {
-			if inner > 4*n+8 {
-				return nil, fmt.Errorf("core: DistMIS exceeded %d inner iterations", 4*n+8)
+			if inner > maxInner {
+				return nil, fmt.Errorf("core: DistMIS exceeded %d inner iterations", maxInner)
 			}
 			inner++
 			seed := nextSeed()
-			statuses, stats, tt, crashed, err := runCompetitionPhase(g, seed, radius, inS, drawer, opts.Trace, shiftedPlan(), topt, deadList(dead))
+			statuses, stats, tt, crashed, returned, err := runCompetitionPhase(g, seed, radius, inS, drawer, states, opts.Trace, shiftedPlan(), topt, deadList(dead))
 			if err != nil {
 				return nil, fmt.Errorf("core: DistMIS secondary MIS: %w", err)
 			}
-			fresh := notePhase("secondary-mis", stats, tt, crashed)
+			fresh, back := notePhase("secondary-mis", stats, tt, crashed, returned)
 			remaining -= dropDead(inS, dead)
 
 			selected := make([]bool, n)
@@ -218,21 +243,27 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 					selCount++
 				}
 			}
+			if faulty {
+				// Message loss can sever a competition into vacuous multiple
+				// winners; keep the lowest-id winner of any violating pair
+				// (the dropped ones recompete).
+				selCount -= enforceIndependence(g, radius, selected)
+			}
 			if selCount == 0 {
 				if remaining == 0 {
 					break
 				}
-				if faulty && fresh > 0 {
+				if faulty && (fresh > 0 || back > 0) {
 					continue
 				}
 				return nil, fmt.Errorf("core: DistMIS secondary MIS selected nobody")
 			}
 			seed = nextSeed()
-			stats, tt, crashed, err = runColorPhase(g, seed, states, selected, opts.Variant, dead, opts.Trace, shiftedPlan(), topt, deadList(dead))
+			stats, tt, crashed, returned, err = runColorPhase(g, seed, states, selected, opts.Variant, dead, opts.Trace, shiftedPlan(), topt, deadList(dead))
 			if err != nil {
 				return nil, fmt.Errorf("core: DistMIS color phase: %w", err)
 			}
-			notePhase("coloring", stats, tt, crashed)
+			notePhase("coloring", stats, tt, crashed, returned)
 			remaining -= dropDead(inS, dead)
 			for v := 0; v < n; v++ {
 				if selected[v] && inS[v] {
@@ -242,7 +273,16 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 			}
 		}
 		for v := 0; v < n; v++ {
-			if h[v] {
+			if !h[v] {
+				continue
+			}
+			// Under faults an h-member's coloring can be cut short — its own
+			// outage cancels a pending win, a peer's outage can strand an
+			// announce — so it only retires once its standard arc set is
+			// fully colored; otherwise it recompetes and no arc stays
+			// permanently excluded. Fault-free runs retire unconditionally,
+			// exactly as before.
+			if !faulty || dead[v] || standardSetColored(g, states[v], opts.Variant, dead) {
 				states[v].removed = true
 			}
 		}
@@ -251,6 +291,13 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 	as, err := assemble(g, states, dead)
 	if err != nil {
 		return nil, err
+	}
+	rej := RejoinStats{}
+	for v := 0; v < n; v++ {
+		rej.ResyncMsgs += states[v].resyncMsgs
+		if returnedMask[v] && !dead[v] {
+			rej.Returned = append(rej.Returned, v)
+		}
 	}
 	return &Result{
 		Algorithm:  "distMIS-" + opts.Variant.String() + "/" + drawer.Name(),
@@ -261,6 +308,7 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 		InnerIters: inner,
 		Breakdown:  breakdown,
 		Crashed:    deadList(dead),
+		Rejoin:     rej,
 		Transport:  ttot,
 	}, nil
 }
@@ -288,6 +336,7 @@ type misPhaseNode struct {
 	competing bool
 	drawer    mis.Drawer
 	comp      *mis.Competition
+	st        *nodeState
 }
 
 func (nd *misPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool {
@@ -299,6 +348,15 @@ func (nd *misPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool {
 		nd.comp = mis.NewCompetition(env.ID, nd.radius, nd.competing, draw)
 	}
 	for _, m := range inbox {
+		if nd.st.rejoinStep(env, m) {
+			if _, restarted := m.Payload.(sim.NodeRestarted); restarted {
+				// A returned node abstains for the rest of this competition:
+				// its round counter is behind the survivors' and a late win
+				// would be vacuous. It keeps relaying, recompetes next phase.
+				nd.comp = mis.NewCompetition(env.ID, nd.radius, false, nil)
+			}
+			continue
+		}
 		switch p := m.Payload.(type) {
 		case transport.PeerDown:
 			// The dead peer's floods simply stop arriving; the competition
@@ -321,11 +379,11 @@ func (nd *misPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool {
 // returns each node's final status (non-competitors report Dominated) plus
 // the phase's transport accounting and the nodes that crash-stopped during
 // it.
-func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []bool, drawer mis.Drawer, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int) ([]mis.Status, sim.Stats, transport.Totals, []int, error) {
+func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []bool, drawer mis.Drawer, states []*nodeState, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int) ([]mis.Status, sim.Stats, transport.Totals, []int, []int, error) {
 	nodes := make([]*misPhaseNode, g.N())
 	wraps := make([]*transport.Sync, g.N())
 	eng := sim.NewSyncEngine(g, seed, func(id int) sim.SyncNode {
-		nodes[id] = &misPhaseNode{radius: radius, competing: competing[id], drawer: drawer}
+		nodes[id] = &misPhaseNode{radius: radius, competing: competing[id], drawer: drawer, st: states[id]}
 		wraps[id] = transport.NewSync(nodes[id], topt)
 		wraps[id].MarkDown(markDown...)
 		return wraps[id]
@@ -336,7 +394,7 @@ func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []boo
 		eng.MaxRounds = faultyMaxRounds(g.N())
 	}
 	if err := eng.Run(); err != nil {
-		return nil, sim.Stats{}, transport.Totals{}, nil, err
+		return nil, sim.Stats{}, transport.Totals{}, nil, nil, err
 	}
 	statuses := make([]mis.Status, g.N())
 	for id, nd := range nodes {
@@ -346,7 +404,7 @@ func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []boo
 			statuses[id] = mis.Dominated
 		}
 	}
-	return statuses, eng.Stats(), collectSync(wraps), eng.Crashed(), nil
+	return statuses, eng.Stats(), collectSync(wraps), eng.Crashed(), eng.Returned(), nil
 }
 
 // colorPhaseNode runs one coloring wave: secondary-MIS winners greedily
@@ -364,13 +422,19 @@ type colorPhaseNode struct {
 
 func (nd *colorPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool {
 	for _, m := range inbox {
-		switch f := m.Payload.(type) {
+		if nd.st.rejoinStep(env, m) {
+			if _, restarted := m.Payload.(sim.NodeRestarted); restarted {
+				// A pending win must not color late with pre-crash knowledge:
+				// the node's logical round 0 fires only after its restart, by
+				// which point the resync replies have not arrived yet. The
+				// driver sees the standard set unfinished and recompetes it.
+				nd.colorNow = false
+			}
+			continue
+		}
+		switch m.Payload.(type) {
 		case transport.PeerDown:
 			// Nothing to do: the transport already excludes the peer.
-		case ColorAnnounce:
-			for _, out := range nd.st.know.observe(f) {
-				env.Broadcast(out)
-			}
 		default:
 			panic(fmt.Sprintf("core: unexpected payload %T in color phase", m.Payload))
 		}
@@ -398,7 +462,7 @@ func (nd *colorPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool
 	return true
 }
 
-func runColorPhase(g *graph.Graph, seed int64, states []*nodeState, selected []bool, variant Variant, dead []bool, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int) (sim.Stats, transport.Totals, []int, error) {
+func runColorPhase(g *graph.Graph, seed int64, states []*nodeState, selected []bool, variant Variant, dead []bool, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int) (sim.Stats, transport.Totals, []int, []int, error) {
 	var snapshot []bool
 	if plan != nil {
 		snapshot = append([]bool(nil), dead...)
@@ -415,9 +479,9 @@ func runColorPhase(g *graph.Graph, seed int64, states []*nodeState, selected []b
 		eng.MaxRounds = faultyMaxRounds(g.N())
 	}
 	if err := eng.Run(); err != nil {
-		return sim.Stats{}, transport.Totals{}, nil, err
+		return sim.Stats{}, transport.Totals{}, nil, nil, err
 	}
-	return eng.Stats(), collectSync(wraps), eng.Crashed(), nil
+	return eng.Stats(), collectSync(wraps), eng.Crashed(), eng.Returned(), nil
 }
 
 // faultyMaxRounds is the round budget for one phase engine under a fault

@@ -24,11 +24,18 @@ type ColorAnnounce struct {
 	Color  int
 	Origin int
 	TTL    int
+	// Gen is the origin's announcement generation. It is 0 for a node's
+	// lifetime unless the node crashes and rejoins: the rejoin handshake
+	// re-floods already-colored incident arcs under a bumped generation so
+	// relays that saw (and deduplicated) the pre-crash flood still forward
+	// the repair copy to neighborhoods the original flood never reached.
+	Gen int
 }
 
 type annKey struct {
 	origin int
 	arc    graph.Arc
+	gen    int
 }
 
 // knowledge is one node's view of arc colors, plus the flood bookkeeping
@@ -40,6 +47,7 @@ type knowledge struct {
 
 	originated map[graph.Arc]struct{} // arcs this node has flooded itself
 	seen       map[annKey]struct{}    // relay dedupe
+	gen        int                    // current announcement generation (bumped on rejoin)
 
 	// tolerant relaxes the write-once invariant for faulty runs: when a
 	// node crashes mid-announcement its partial flood can leave witnesses
@@ -96,8 +104,34 @@ func (k *knowledge) announceOwnTTL(arcs []graph.Arc, ttl int) []ColorAnnounce {
 			continue
 		}
 		k.originated[a] = struct{}{}
-		f := ColorAnnounce{Arc: a, Color: c, Origin: k.id, TTL: ttl}
-		k.seen[annKey{origin: k.id, arc: a}] = struct{}{}
+		f := ColorAnnounce{Arc: a, Color: c, Origin: k.id, TTL: ttl, Gen: k.gen}
+		k.seen[annKey{origin: k.id, arc: a, gen: k.gen}] = struct{}{}
+		out = append(out, f)
+	}
+	return out
+}
+
+// reannounce is the push half of the rejoin handshake: fresh TTL-2 floods
+// for every arc incident to this node whose color it knows, under a new
+// generation at least gen. Pre-crash floods from this origin may have died
+// mid-relay when the crash severed the only path, leaving 2-hop witnesses
+// blind; the bumped generation defeats relay dedupe so the repair flood
+// travels the full radius again. Originated bookkeeping is left untouched —
+// it is keyed per arc, and these arcs were already flooded once.
+func (k *knowledge) reannounce(gen int) []ColorAnnounce {
+	if gen > k.gen {
+		k.gen = gen
+	} else {
+		k.gen++
+	}
+	var out []ColorAnnounce
+	for _, a := range k.g.IncidentArcs(k.id) {
+		c := k.know[a]
+		if c == coloring.None {
+			continue
+		}
+		f := ColorAnnounce{Arc: a, Color: c, Origin: k.id, TTL: 2, Gen: k.gen}
+		k.seen[annKey{origin: k.id, arc: a, gen: k.gen}] = struct{}{}
 		out = append(out, f)
 	}
 	return out
@@ -110,7 +144,7 @@ func (k *knowledge) announceOwnTTL(arcs []graph.Arc, ttl int) []ColorAnnounce {
 // both endpoints).
 func (k *knowledge) observe(f ColorAnnounce) []ColorAnnounce {
 	var out []ColorAnnounce
-	key := annKey{origin: f.Origin, arc: f.Arc}
+	key := annKey{origin: f.Origin, arc: f.Arc, gen: f.Gen}
 	if _, dup := k.seen[key]; !dup {
 		k.seen[key] = struct{}{}
 		k.record(f.Arc, f.Color)

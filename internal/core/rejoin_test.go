@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/sim"
+)
+
+// outagePlanFor is the rejoin acceptance scenario: 20% loss, duplication,
+// bounded reordering, and one bounded outage — the crashed node comes back
+// mid-run and must be reintegrated by the protocol, not excluded.
+func outagePlanFor(seed int64, node int) *sim.FaultPlan {
+	return &sim.FaultPlan{
+		Seed: seed * 31, Loss: 0.2, Dup: 0.1, Reorder: 2,
+		Crashes: []sim.Crash{{Node: node, At: 40, RestartAt: 4000}},
+	}
+}
+
+// assertReintegrated checks the rejoin contract for a run whose every crash
+// was a bounded outage: nobody is reported crashed, the returned set is
+// exactly the outage set, and the schedule is a complete feasible coloring
+// of the FULL graph — no arc of a returned node may be missing.
+func assertReintegrated(t *testing.T, label string, g *graph.Graph, res *Result, returned ...int) {
+	t.Helper()
+	if len(res.Crashed) != 0 {
+		t.Fatalf("%s: Crashed = %v, want none (all outages were bounded)", label, res.Crashed)
+	}
+	if got := fmt.Sprint(res.Rejoin.Returned); got != fmt.Sprint(returned) {
+		t.Fatalf("%s: Rejoin.Returned = %v, want %v", label, res.Rejoin.Returned, returned)
+	}
+	if res.Rejoin.ResyncMsgs == 0 {
+		t.Errorf("%s: Rejoin.ResyncMsgs = 0, want handshake traffic", label)
+	}
+	if viols := coloring.Verify(g, res.Assignment); len(viols) != 0 {
+		t.Fatalf("%s: %d violations on the full graph, first %v", label, len(viols), viols[0])
+	}
+	for _, a := range g.Arcs() {
+		if res.Assignment[a] == coloring.None {
+			t.Fatalf("%s: arc %v uncolored — rejoin left it permanently excluded", label, a)
+		}
+	}
+}
+
+func TestDistMISCrashRejoinReintegrates(t *testing.T) {
+	for _, variant := range []Variant{GBG, General} {
+		seeds := int64(3)
+		if variant == General {
+			seeds = 1 // the general variant shares the driver; one seed suffices
+		}
+		for seed := int64(1); seed <= seeds; seed++ {
+			n := 24 + int(seed)*4
+			g := faultUDG(t, seed, n)
+			res, err := DistMIS(g, Options{Variant: variant, Seed: seed, Fault: outagePlanFor(seed, n/3)})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", variant, seed, err)
+			}
+			assertReintegrated(t, fmt.Sprintf("%v seed %d", variant, seed), g, res, n/3)
+		}
+	}
+}
+
+func TestDFSCrashRejoinReintegrates(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		n := 24 + int(seed)*4
+		g := faultUDG(t, seed, n)
+		res, err := DFS(g, DFSOptions{Seed: seed, Fault: outagePlanFor(seed, n/3)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		assertReintegrated(t, fmt.Sprintf("seed %d", seed), g, res, n/3)
+	}
+}
+
+// TestCrashStopAndRejoinMix drives both engines through a plan mixing a
+// permanent crash-stop with a bounded outage: Crashed must list exactly the
+// stop, Returned exactly the outage, and the schedule must cover every arc
+// of the surviving subgraph — including all of the returned node's arcs.
+func TestCrashStopAndRejoinMix(t *testing.T) {
+	const seed = 2
+	g := faultUDG(t, seed, 28)
+	stop, outage := 5, 14
+	plan := &sim.FaultPlan{
+		Seed: seed * 31, Loss: 0.2, Dup: 0.1, Reorder: 2,
+		Crashes: []sim.Crash{
+			{Node: stop, At: 60},
+			{Node: outage, At: 40, RestartAt: 4000},
+		},
+	}
+	for _, algo := range []string{"distmis", "dfs"} {
+		var res *Result
+		var err error
+		if algo == "distmis" {
+			res, err = DistMIS(g, Options{Seed: seed, Fault: plan})
+		} else {
+			res, err = DFS(g, DFSOptions{Seed: seed, Fault: plan})
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Crashed) != 1 || res.Crashed[0] != stop {
+			t.Fatalf("%s: Crashed = %v, want [%d]", algo, res.Crashed, stop)
+		}
+		if len(res.Rejoin.Returned) != 1 || res.Rejoin.Returned[0] != outage {
+			t.Fatalf("%s: Returned = %v, want [%d]", algo, res.Rejoin.Returned, outage)
+		}
+		surv := SurvivingGraph(g, res.Crashed)
+		if viols := coloring.Verify(surv, res.Assignment); len(viols) != 0 {
+			t.Fatalf("%s: invalid on surviving subgraph: %v", algo, viols[0])
+		}
+		for _, a := range surv.IncidentArcs(outage) {
+			if res.Assignment[a] == coloring.None {
+				t.Fatalf("%s: returned node's arc %v uncolored", algo, a)
+			}
+		}
+	}
+}
+
+// TestRejoinDeterminismAcrossGOMAXPROCS pins the crash+restart+rejoin
+// pipeline to the seed: schedules, crash/returned sets, transport counters
+// and the fault/lifecycle/detector trace must be byte-identical across
+// parallelism levels, for both engines, over several seeds.
+func TestRejoinDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	type outcome struct {
+		print    string
+		tport    string
+		crashed  string
+		returned string
+		resync   int64
+		trace    string
+	}
+	run := func(algo string, g *graph.Graph, seed int64, plan *sim.FaultPlan) outcome {
+		t.Helper()
+		rec := &sim.Recorder{}
+		var res *Result
+		var err error
+		if algo == "distmis" {
+			res, err = DistMIS(g, Options{Seed: seed, Fault: plan, Trace: rec})
+		} else {
+			res, err = DFS(g, DFSOptions{Seed: seed, Fault: plan, Trace: rec})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr []string
+		for _, e := range rec.Events() {
+			switch e.Kind {
+			case sim.EventDropFault, sim.EventDup, sim.EventNodeCrash, sim.EventNodeRestart,
+				sim.EventPeerDown, sim.EventPeerUp:
+				tr = append(tr, e.String())
+			}
+		}
+		return outcome{
+			print:    fingerprint(res.Assignment, res.Slots),
+			tport:    res.Transport.String(),
+			crashed:  fmt.Sprint(res.Crashed),
+			returned: fmt.Sprint(res.Rejoin.Returned),
+			resync:   res.Rejoin.ResyncMsgs,
+			trace:    strings.Join(tr, "\n"),
+		}
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		g := faultUDG(t, seed+10, 16)
+		// Restart early: the synchronous engine spins physical rounds until
+		// the restart mark, so a late mark would dominate the small graph's
+		// natural run length.
+		plan := &sim.FaultPlan{
+			Seed: seed * 31, Loss: 0.2, Dup: 0.1, Reorder: 2,
+			Crashes: []sim.Crash{{Node: int(seed) % 16, At: 40, RestartAt: 600}},
+		}
+		for _, algo := range []string{"distmis", "dfs"} {
+			var outs []outcome
+			for _, procs := range []int{1, 8} {
+				withGOMAXPROCS(procs, func() {
+					outs = append(outs, run(algo, g, seed, plan))
+				})
+			}
+			for i := 1; i < len(outs); i++ {
+				if outs[i] != outs[0] {
+					t.Errorf("%s seed %d: outcome differs between GOMAXPROCS runs:\n%+v\nvs\n%+v",
+						algo, seed, outs[0], outs[i])
+				}
+			}
+		}
+	}
+}

@@ -335,7 +335,10 @@ func (nd *vzNode) serveFlip(env *sim.AsyncEnv, from int, p vzFlip) {
 		env.Send(next, p)
 		return
 	}
-	env.Send(from, vzFlipDone{Op: p.Op, Trace: nd.flipTrace, Back: len(nd.flipTrace) - 2})
+	// Send a copy: flipTrace is node state, and payloads must never alias a
+	// structure the sender may later rebind or mutate.
+	trace := append([]int(nil), nd.flipTrace...)
+	env.Send(from, vzFlipDone{Op: p.Op, Trace: trace, Back: len(trace) - 2})
 }
 
 func (nd *vzNode) wound(env *sim.AsyncEnv) {

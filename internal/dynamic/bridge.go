@@ -16,9 +16,22 @@ import (
 // schedule to exactly the churn the simulator's fault layer injects — the
 // bridge between the two failure models (runtime faults in internal/sim,
 // topology repair here).
-func CrashEvents(g *graph.Graph, plan *sim.FaultPlan) []Event {
+//
+// rejoined lists nodes whose bounded outage the protocol itself already
+// repaired (core.Result.Rejoin.Returned): their crash/restart pair is
+// omitted entirely — the rejoin handshake restored their links and colors
+// in-band, so charging the maintenance layer a NodeFail/NodeJoin for them
+// would double-count the repair. Such nodes also never count as down when
+// computing other restarts' surviving peer sets, since their links never
+// left the maintained schedule. Crash-stops are unaffected by rejoined
+// (a node that never came back cannot have been reintegrated).
+func CrashEvents(g *graph.Graph, plan *sim.FaultPlan, rejoined []int) []Event {
 	if plan == nil {
 		return nil
+	}
+	inband := make(map[int]bool, len(rejoined))
+	for _, v := range rejoined {
+		inband[v] = true
 	}
 	type mark struct {
 		at      int64
@@ -27,6 +40,9 @@ func CrashEvents(g *graph.Graph, plan *sim.FaultPlan) []Event {
 	}
 	var marks []mark
 	for _, c := range plan.Crashes {
+		if inband[c.Node] && c.RestartAt > c.At {
+			continue
+		}
 		marks = append(marks, mark{at: c.At, node: c.Node})
 		if c.RestartAt > c.At {
 			marks = append(marks, mark{at: c.RestartAt, node: c.Node, restart: true})

@@ -19,7 +19,7 @@ func TestCrashEventsReplayKeepsScheduleValid(t *testing.T) {
 		{Node: 9, At: 12, RestartAt: 30}, // outage with recovery
 		{Node: 10, At: 12},               // crash-stop while 9 is down
 	}}
-	events := CrashEvents(g, plan)
+	events := CrashEvents(g, plan, nil)
 	want := []string{"node-fail{5->[]}", "node-fail{9->[]}", "node-fail{10->[]}", "node-join{9->[8 13]}"}
 	if len(events) != len(want) {
 		t.Fatalf("events = %v, want %d of them", events, len(want))
@@ -43,5 +43,34 @@ func TestCrashEventsReplayKeepsScheduleValid(t *testing.T) {
 		if viols := coloring.Verify(net.Graph(), net.Assignment()); len(viols) != 0 {
 			t.Fatalf("after %v: schedule invalid: %v", ev, viols[0])
 		}
+	}
+}
+
+func TestCrashEventsSkipsProtocolRejoinedNodes(t *testing.T) {
+	g := graph.Grid(4, 4)
+	plan := &sim.FaultPlan{Crashes: []sim.Crash{
+		{Node: 5, At: 10},                // crash-stop
+		{Node: 9, At: 12, RestartAt: 30}, // outage the protocol repaired
+		{Node: 6, At: 20, RestartAt: 40}, // outage repaired out-of-band
+	}}
+	events := CrashEvents(g, plan, []int{9})
+	// Node 9's fail/join pair is gone: the protocol already restored its
+	// links and colors in-band. Node 5 crash-stopped and node 6's restart
+	// was not reintegrated, so both still reach the maintenance layer — and
+	// node 6's join sees 9 as alive (its links never left the schedule).
+	want := []string{"node-fail{5->[]}", "node-fail{6->[]}", "node-join{6->[2 7 10]}"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %d of them", events, len(want))
+	}
+	for i, ev := range events {
+		if ev.String() != want[i] {
+			t.Errorf("event %d = %v, want %v", i, ev, want[i])
+		}
+	}
+	// A crash-stop listed as rejoined is impossible; the bridge must ignore
+	// the claim rather than drop the NodeFail.
+	events = CrashEvents(g, plan, []int{5, 9})
+	if len(events) != len(want) || events[0].String() != want[0] {
+		t.Errorf("crash-stop in rejoined list altered events: %v", events)
 	}
 }

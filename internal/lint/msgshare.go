@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // MsgShare flags message payloads that alias mutable storage: a pointer,
@@ -15,8 +16,16 @@ import (
 // message, including composite-literal fields and &x), then scans the rest
 // of the enclosing function for writes through those roots: any assignment
 // or append after the send, or — when the send sits in a loop — anywhere in
-// that loop's body. Fresh values (function-call results, value structs) are
-// never flagged; the fix is to copy before sending.
+// that loop's body.
+//
+// A second rule covers state-snapshot payloads like the rejoin handshake's
+// resync replies, where the mutation is invisible to a single-function
+// scan: a reference-typed selector path rooted at a pointer (n.table sent
+// from a *node method) is long-lived node state by construction — later
+// steps of the same node mutate it after the send returns — so it is
+// flagged even without a local write. Fresh values (function-call results
+// such as snapshotLocal(), value structs, locally built copies) are never
+// flagged; the fix is always to copy before sending.
 var MsgShare = &Analyzer{
 	Name: "msgshare",
 	Doc:  "flag Send/Broadcast payloads aliasing state mutated after the send",
@@ -57,6 +66,12 @@ func runMsgShare(pass *Pass) error {
 					pass.Reportf(call.Pos(),
 						"payload aliases %s, which is mutated after the send (%s): receiver and sender share the backing memory; copy before sending",
 						path, pass.Fset.Position(mpos))
+					continue
+				}
+				if base := persistentStateBase(pass, root); base != "" {
+					pass.Reportf(call.Pos(),
+						"payload aliases %s, long-lived state behind pointer %s: the engines deliver payloads by reference, so the receiver shares the live structure with every later mutation; send a fresh snapshot instead",
+						path, base)
 				}
 			}
 			return true
@@ -163,6 +178,52 @@ func mutationAfter(pass *Pass, funcBody *ast.BlockStmt, loop ast.Node, pos token
 		return true
 	})
 	return hit
+}
+
+// persistentStateBase reports whether root is a reference-typed selector
+// path hanging off a pointer-typed identifier — n.table inside a *node
+// method — and returns that base identifier's name (else ""). Such a path
+// is long-lived node state: it survives the enclosing call, and the node's
+// later steps mutate it concurrently with the receiver reading the payload,
+// even though no write is visible to a single-function scan.
+func persistentStateBase(pass *Pass, root ast.Expr) string {
+	sel, ok := unparen(root).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if tv, ok := pass.Info.Types[root]; !ok || !isRefType(tv.Type) {
+		return ""
+	}
+	base := baseIdent(sel)
+	if base == nil {
+		return ""
+	}
+	obj := pass.Info.Uses[base]
+	if obj == nil {
+		return ""
+	}
+	if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+		return ""
+	}
+	return base.Name
+}
+
+// baseIdent returns the leftmost identifier of an access path, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
 }
 
 // isAppendOf reports whether e is append(root, ...), which may write into

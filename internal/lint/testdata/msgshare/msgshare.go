@@ -45,6 +45,26 @@ func (n *node) badPointer(e env) {
 	n.buf = append(n.buf, 1)
 }
 
+// badPersistentTable answers a state-sync request with the live table. No
+// local write follows the send, but the table is node state: later steps
+// mutate it while the receiver still holds the payload.
+func (n *node) badPersistentTable(e env) {
+	e.Send(1, reply{Table: n.table}) // want `payload aliases n\.table, long-lived state behind pointer n`
+}
+
+// badPersistentBuf ships a slice field of node state bare, outside any
+// wrapper struct.
+func (n *node) badPersistentBuf(e env) {
+	e.Broadcast(n.buf) // want `payload aliases n\.buf, long-lived state behind pointer n`
+}
+
+// goodValueReceiverField sends a map field of a by-value parameter: the
+// persistent-state rule requires a pointer base, and the local-mutation
+// rule sees no write, so this stays clean.
+func goodValueReceiverField(e env, r reply) {
+	e.Send(1, r.Table)
+}
+
 // goodFreshCopy copies before sending: the receiver owns the copy.
 func (n *node) goodFreshCopy(e env) {
 	cp := make(map[int]int, len(n.table))

@@ -181,6 +181,7 @@ type AsyncEngine struct {
 	stopped   bool
 	stats     Stats
 	crashed   []int
+	returned  []int
 	err       error
 }
 
@@ -239,6 +240,22 @@ func (eng *AsyncEngine) Stats() Stats { return eng.stats }
 // Run, in firing order.
 func (eng *AsyncEngine) Crashed() []int { return append([]int(nil), eng.crashed...) }
 
+// Returned returns the nodes whose restart marks fired during the last Run
+// (including FaultPlan.Rejoins entries), ascending, deduplicated. Each was
+// handed a NodeRestarted notice at its restart time.
+func (eng *AsyncEngine) Returned() []int { return append([]int(nil), eng.returned...) }
+
+// Emit forwards a protocol-layer trace event (e.g. transport peer-down /
+// peer-up) to the engine tracer. All node activity is serialized by the
+// scheduler, so direct emission keeps deterministic order here; the
+// synchronous engine instead drains EventSource queues after its round
+// barrier.
+func (e *AsyncEnv) Emit(ev Event) {
+	if e.engine.Trace != nil {
+		e.engine.Trace.Emit(ev)
+	}
+}
+
 // Run executes the simulation and blocks until every node goroutine has
 // returned. If every live node is blocked in Recv with no event pending, the
 // engine declares quiescence and shuts the run down (so a protocol bug
@@ -255,6 +272,8 @@ func (eng *AsyncEngine) Run() error {
 	}
 	marks := plan.crashMarks()
 	markIdx := 0
+	eng.returned = nil
+	restarts := make(map[int]int)
 	emitMarks := func(upTo int64) {
 		for markIdx < len(marks) && marks[markIdx].at <= upTo {
 			mk := marks[markIdx]
@@ -262,11 +281,33 @@ func (eng *AsyncEngine) Run() error {
 			kind := EventNodeCrash
 			if mk.restart {
 				kind = EventNodeRestart
+				noteReturn(&eng.returned, restarts, mk.node)
 			} else if plan.DeadBy(mk.node, mk.at) {
 				eng.crashed = append(eng.crashed, mk.node)
 			}
 			if eng.Trace != nil {
 				eng.Trace.Emit(Event{Kind: kind, Time: mk.at, From: mk.node, To: -1})
+			}
+		}
+	}
+	if plan != nil {
+		// Rejoin notices: nodes whose outage elapsed before this run get
+		// theirs at time zero; every in-run restart mark schedules one at the
+		// moment the window closes. The count per node feeds NodeRestarted's
+		// generation number in mark order.
+		pending := make(map[int]int)
+		for _, v := range plan.Rejoins {
+			note := noteReturn(&eng.returned, restarts, v)
+			pending[v] = note.Restarts
+			eng.enqueue(Message{From: -1, To: v, When: 0, Payload: note}, false)
+			if eng.Trace != nil {
+				eng.Trace.Emit(Event{Kind: EventNodeRestart, Time: 0, From: v, To: -1})
+			}
+		}
+		for _, mk := range marks {
+			if mk.restart {
+				pending[mk.node]++
+				eng.enqueue(Message{From: -1, To: mk.node, When: mk.at, Payload: NodeRestarted{Restarts: pending[mk.node]}}, false)
 			}
 		}
 	}

@@ -35,6 +35,14 @@ type FaultPlan struct {
 	Reorder int64
 	// Crashes lists node outages, applied in addition to message faults.
 	Crashes []Crash
+	// Rejoins lists nodes whose restart happened before this engine run
+	// began (their window fully elapsed in an earlier run, or the driver
+	// fast-forwarded virtual time across the outage). Each listed node is
+	// handed a NodeRestarted notice at time zero so it can run its
+	// protocol-level rejoin, and a NodeRestart trace event is emitted.
+	// Drivers set this on the plan returned by Shifted; Shifted itself
+	// clears it, since the field describes one engine run, not the script.
+	Rejoins []int
 }
 
 // Crash is one node outage: the node stops participating at virtual time
@@ -89,14 +97,25 @@ func (p *FaultPlan) DeadBy(v int, t int64) bool {
 // that run a protocol as a sequence of engine runs (DistMIS phases, DFS
 // recovery epochs) use this to keep one wall-clock fault script aligned
 // across the per-run virtual clocks.
+//
+// A bounded outage whose restart lies at or before the offset has fully
+// elapsed: it is dropped from the shifted plan rather than clamped to a
+// degenerate window, which would re-crash the node at the start of every
+// subsequent run. The driver that advanced the clock past the restart is
+// responsible for listing the node in Rejoins on the next run if the
+// restart mark never fired inside an engine.
 func (p *FaultPlan) Shifted(offset int64, salt int64) *FaultPlan {
 	if p == nil {
 		return nil
 	}
 	q := *p
 	q.Seed = p.Seed ^ salt*0x2545F4914F6CDD1D
-	q.Crashes = make([]Crash, len(p.Crashes))
-	for i, c := range p.Crashes {
+	q.Rejoins = nil
+	q.Crashes = make([]Crash, 0, len(p.Crashes))
+	for _, c := range p.Crashes {
+		if c.RestartAt > c.At && c.RestartAt-offset <= 0 {
+			continue // outage fully in the past
+		}
 		c.At -= offset
 		if c.At < 0 {
 			c.At = 0
@@ -107,9 +126,20 @@ func (p *FaultPlan) Shifted(offset int64, salt int64) *FaultPlan {
 				c.RestartAt = 1
 			}
 		}
-		q.Crashes[i] = c
+		q.Crashes = append(q.Crashes, c)
 	}
 	return &q
+}
+
+// NodeRestarted is the notice an engine delivers (with From == -1) to a
+// node at the moment its crash window closes, and at time zero to every
+// node listed in FaultPlan.Rejoins. Protocols treat it as the trigger for
+// their rejoin handshake: re-sync distance-2 state from live neighbors and
+// re-enter the computation. Restarts is the number of windows the node has
+// completed so far in this run, starting at 1; protocols use it to
+// generation-tag re-announced state so floods are not dedup-dropped.
+type NodeRestarted struct {
+	Restarts int
 }
 
 // crashMark is one edge of a crash window, used by the engines to emit

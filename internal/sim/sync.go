@@ -85,8 +85,9 @@ type SyncEngine struct {
 	// node crashes. nil means a perfectly reliable network.
 	Fault *FaultPlan
 
-	stats   Stats
-	crashed []int
+	stats    Stats
+	crashed  []int
+	returned []int
 }
 
 // NewSyncEngine builds an engine for graph g with one node per vertex,
@@ -115,6 +116,29 @@ func (eng *SyncEngine) Stats() Stats { return eng.stats }
 // Run, in ascending id order.
 func (eng *SyncEngine) Crashed() []int { return append([]int(nil), eng.crashed...) }
 
+// Returned returns the nodes whose restart marks fired during the last Run
+// (including nodes listed in FaultPlan.Rejoins), ascending, deduplicated.
+// These nodes were handed a NodeRestarted notice and are live unless a
+// later crash-stop window also fired.
+func (eng *SyncEngine) Returned() []int { return append([]int(nil), eng.returned...) }
+
+// noteReturn records a restart mark and builds the NodeRestarted notice.
+func noteReturn(returned *[]int, restarts map[int]int, v int) NodeRestarted {
+	restarts[v]++
+	seen := false
+	for _, u := range *returned {
+		if u == v {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		*returned = append(*returned, v)
+		sort.Ints(*returned)
+	}
+	return NodeRestarted{Restarts: restarts[v]}
+}
+
 // Run executes rounds until every node has reported termination and no
 // messages remain in flight, or the round budget is exhausted (error).
 // Crash-stopped nodes count as terminated; their pending traffic is dropped.
@@ -141,6 +165,19 @@ func (eng *SyncEngine) Run() error {
 	}
 	markIdx := 0
 	advance := true
+	eng.returned = nil
+	restarts := make(map[int]int)
+	if plan != nil {
+		// Nodes whose outage elapsed before this run get their rejoin
+		// notice at time zero, before any round runs.
+		for _, v := range plan.Rejoins {
+			note := noteReturn(&eng.returned, restarts, v)
+			inboxes[v] = append(inboxes[v], Message{From: -1, To: v, Payload: note})
+			if eng.Trace != nil {
+				eng.Trace.Emit(Event{Kind: EventNodeRestart, Time: 0, From: v, To: -1})
+			}
+		}
+	}
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -177,6 +214,8 @@ func (eng *SyncEngine) Run() error {
 			kind := EventNodeCrash
 			if mk.restart {
 				kind = EventNodeRestart
+				note := noteReturn(&eng.returned, restarts, mk.node)
+				inboxes[mk.node] = append(inboxes[mk.node], Message{From: -1, To: mk.node, Payload: note})
 			} else if plan.DeadBy(mk.node, mk.at) {
 				eng.crashed = append(eng.crashed, mk.node)
 			}
@@ -245,6 +284,20 @@ func (eng *SyncEngine) Run() error {
 		for _, err := range panics {
 			if err != nil {
 				return err
+			}
+		}
+
+		// Drain events queued by protocol layers during the parallel step, in
+		// node-id order, so the trace stays deterministic across GOMAXPROCS.
+		for v := 0; v < n; v++ {
+			src, ok := eng.nodes[v].(EventSource)
+			if !ok {
+				continue
+			}
+			for _, ev := range src.TakeEvents() {
+				if eng.Trace != nil {
+					eng.Trace.Emit(ev)
+				}
 			}
 		}
 

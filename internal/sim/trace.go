@@ -31,6 +31,13 @@ const (
 	EventNodeCrash
 	// EventNodeRestart marks a node resuming after a crash window.
 	EventNodeRestart
+	// EventPeerDown marks a transport endpoint giving up on a peer after
+	// exhausting retransmissions (From = the endpoint, To = the peer).
+	EventPeerDown
+	// EventPeerUp marks a transport endpoint rescinding an earlier give-up
+	// because contact with the peer resumed (From = the endpoint, To = the
+	// peer).
+	EventPeerUp
 )
 
 func (k EventKind) String() string {
@@ -53,6 +60,10 @@ func (k EventKind) String() string {
 		return "crash"
 	case EventNodeRestart:
 		return "restart"
+	case EventPeerDown:
+		return "peer-down"
+	case EventPeerUp:
+		return "peer-up"
 	default:
 		return "invalid"
 	}
@@ -68,7 +79,7 @@ type Event struct {
 
 func (e Event) String() string {
 	switch e.Kind {
-	case EventSend, EventDeliver, EventDropDead, EventDropFault, EventDup:
+	case EventSend, EventDeliver, EventDropDead, EventDropFault, EventDup, EventPeerDown, EventPeerUp:
 		return fmt.Sprintf("[%6d] %-7s %d->%d %s", e.Time, e.Kind, e.From, e.To, e.Payload)
 	default:
 		return fmt.Sprintf("[%6d] %-7s node=%d", e.Time, e.Kind, e.From)
@@ -150,7 +161,8 @@ func (r *Recorder) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "events: %d retained, %d dropped\n", len(r.events), r.dropped)
 	for _, k := range []EventKind{EventRoundStart, EventSend, EventDeliver, EventNodeDone,
-		EventDropDead, EventDropFault, EventDup, EventNodeCrash, EventNodeRestart} {
+		EventDropDead, EventDropFault, EventDup, EventNodeCrash, EventNodeRestart,
+		EventPeerDown, EventPeerUp} {
 		if n := r.byKind[k]; n > 0 {
 			fmt.Fprintf(&b, "  %-8s %d\n", k, n)
 		}
@@ -172,4 +184,14 @@ func (r *Recorder) Summary() string {
 // payloadName returns a compact type name for breakdowns.
 func payloadName(p any) string {
 	return fmt.Sprintf("%T", p)
+}
+
+// EventSource is implemented by protocol layers (the reliable transport
+// wrappers) that generate their own trace events from contexts where
+// emitting directly would be racy or non-deterministically ordered — the
+// synchronous engine runs node Steps on parallel worker stripes. The engine
+// drains each node's queued events in node-id order after the round
+// barrier, so traces stay byte-identical across GOMAXPROCS.
+type EventSource interface {
+	TakeEvents() []Event
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"math/rand"
+	"sort"
 
 	"fdlsp/internal/sim"
 )
@@ -49,13 +50,13 @@ func (e *AsyncEnv) Send(to int, payload any) {
 		return
 	}
 	ep.nextSeq++
-	ep.pending[ep.nextSeq] = &outSeg{to: to, payload: payload}
+	ep.pending[ep.nextSeq] = &outSeg{to: to, payload: payload, sentAt: e.sim.Clock()}
 	ep.c.Segments++
 	if n := len(ep.pending); n > ep.c.MaxInFlight {
 		ep.c.MaxInFlight = n
 	}
-	e.sim.Send(to, seg{Seq: ep.nextSeq, Round: -1, Payload: payload})
-	e.sim.SetTimer(ep.opt.backoff(0), retrans{Seq: ep.nextSeq})
+	e.sim.Send(to, seg{Seq: ep.nextSeq, Round: -1, Payload: payload, Heard: ep.heardList(e.sim.Clock(), to)})
+	e.sim.SetTimer(ep.rtoFor(to), retrans{Seq: ep.nextSeq})
 }
 
 // Broadcast sends payload to every neighbor.
@@ -85,12 +86,31 @@ func (e *AsyncEnv) Recv() (sim.Message, bool) {
 		}
 		switch p := m.Payload.(type) {
 		case ack:
+			if s := ep.pending[p.Seq]; s != nil && !s.retried {
+				// Karn's rule: only never-retransmitted segments sample RTT.
+				est := ep.rtt[s.to]
+				if est == nil {
+					est = &rttEstimator{}
+					ep.rtt[s.to] = est
+				}
+				est.observe(e.sim.Clock() - s.sentAt)
+				ep.c.RTTSamples++
+			}
 			delete(ep.pending, p.Seq)
+			e.heard(m.From)
 		case seg:
 			// Always ack, even duplicates: the peer may have lost our
 			// previous ack.
 			ep.c.Acks++
 			e.sim.Send(m.From, ack{Seq: p.Seq})
+			e.heard(m.From)
+			if ep.opt.VouchWindow >= 0 {
+				for _, q := range p.Heard {
+					if q != e.ID {
+						e.vouchFor(q)
+					}
+				}
+			}
 			if ep.seen[m.From] == nil {
 				ep.seen[m.From] = make(map[int64]bool)
 			}
@@ -110,14 +130,60 @@ func (e *AsyncEnv) Recv() (sim.Message, bool) {
 				continue
 			}
 			s.retries++
+			s.retried = true
 			ep.c.Retries++
-			e.sim.Send(s.to, seg{Seq: p.Seq, Round: -1, Payload: s.payload})
-			e.sim.SetTimer(ep.opt.backoff(s.retries), retrans{Seq: p.Seq})
+			e.sim.Send(s.to, seg{Seq: p.Seq, Round: -1, Payload: s.payload, Heard: ep.heardList(e.sim.Clock(), s.to)})
+			e.sim.SetTimer(ep.opt.backoff(ep.rtoFor(s.to), s.retries), retrans{Seq: p.Seq})
 		default:
 			// Raw traffic that never went through a peer endpoint: driver
-			// injections (From == -1) pass through untouched.
+			// and engine injections (From == -1) pass through untouched. A
+			// restart notice additionally re-arms the retransmission chain:
+			// the engine discards timers addressed into a crash window, so
+			// every segment in flight across our own outage needs a fresh
+			// timer (and a fresh retry budget) or it would hang forever.
+			if _, restarted := m.Payload.(sim.NodeRestarted); restarted {
+				seqs := make([]int64, 0, len(ep.pending))
+				for q := range ep.pending {
+					seqs = append(seqs, q)
+				}
+				sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+				for _, q := range seqs {
+					s := ep.pending[q]
+					s.retries = 0
+					s.retried = true
+					e.sim.SetTimer(ep.rtoFor(s.to), retrans{Seq: q})
+				}
+			}
 			return m, true
 		}
+	}
+}
+
+// heard records direct contact with a peer: its liveness clock refreshes
+// and the retry budgets of segments still in flight to it reset — evidence
+// the peer is up means pending losses were the link, not the peer.
+func (e *AsyncEnv) heard(peer int) {
+	e.ep.lastHeard[peer] = e.sim.Clock()
+	e.vouchFor(peer)
+}
+
+// vouchFor applies liveness evidence for a peer: reset retry budgets of its
+// in-flight segments and rescind an earlier give-up with a PeerUp notice.
+func (e *AsyncEnv) vouchFor(peer int) {
+	ep := e.ep
+	for _, s := range ep.pending {
+		if s.to == peer && s.retries > 0 {
+			s.retries = 0
+			s.retried = true
+			ep.c.Vouched++
+		}
+	}
+	if ep.down[peer] {
+		delete(ep.down, peer)
+		ep.c.PeersUp++
+		ep.notices = append(ep.notices,
+			sim.Message{From: peer, To: e.ID, When: e.sim.Clock(), Payload: PeerUp{Peer: peer}})
+		e.sim.Emit(sim.Event{Kind: sim.EventPeerUp, Time: e.sim.Clock(), From: e.ID, To: peer})
 	}
 }
 
@@ -138,6 +204,7 @@ func (e *AsyncEnv) giveUp(peer int) {
 	}
 	ep.notices = append(ep.notices,
 		sim.Message{From: peer, To: e.ID, When: e.sim.Clock(), Payload: PeerDown{Peer: peer}})
+	e.sim.Emit(sim.Event{Kind: sim.EventPeerDown, Time: e.sim.Clock(), From: e.ID, To: peer})
 }
 
 // outSeg is one unacknowledged segment at the sender.
@@ -145,17 +212,46 @@ type outSeg struct {
 	to      int
 	payload any
 	retries int
+	sentAt  int64 // virtual time of the first transmission
+	retried bool  // ever retransmitted (Karn: no RTT sample then)
 }
 
 // asyncEndpoint is the per-node reliable-transport state.
 type asyncEndpoint struct {
-	opt     Options
-	c       Counters
-	nextSeq int64
-	pending map[int64]*outSeg
-	seen    map[int]map[int64]bool
-	down    map[int]bool
-	notices []sim.Message
+	opt       Options
+	c         Counters
+	nextSeq   int64
+	pending   map[int64]*outSeg
+	seen      map[int]map[int64]bool
+	down      map[int]bool
+	rtt       map[int]*rttEstimator
+	lastHeard map[int]int64 // virtual time a frame last arrived from peer
+	notices   []sim.Message
+}
+
+// rtoFor returns the link's current adaptive retransmission timeout.
+func (ep *asyncEndpoint) rtoFor(peer int) int64 {
+	if e := ep.rtt[peer]; e != nil {
+		return e.rto(ep.opt.RTO, ep.opt.MaxRTO)
+	}
+	return ep.opt.RTO
+}
+
+// heardList builds the gossip vouch list for a frame to "to": peers heard
+// from within VouchWindow, sorted, excluding the destination. Freshly
+// allocated per frame — payloads never alias endpoint state.
+func (ep *asyncEndpoint) heardList(now int64, to int) []int {
+	if ep.opt.VouchWindow < 0 || len(ep.lastHeard) == 0 {
+		return nil
+	}
+	var out []int
+	for q, at := range ep.lastHeard {
+		if q != to && now-at <= ep.opt.VouchWindow {
+			out = append(out, q)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Async adapts an AsyncProto to sim.AsyncNode, inserting the reliable
@@ -197,10 +293,12 @@ func (a *Async) Run(senv *sim.AsyncEnv) {
 	env := &AsyncEnv{ID: senv.ID, Neighbors: senv.Neighbors, Rand: senv.Rand, sim: senv}
 	if a.reliable {
 		a.ep = &asyncEndpoint{
-			opt:     a.opt,
-			pending: make(map[int64]*outSeg),
-			seen:    make(map[int]map[int64]bool),
-			down:    make(map[int]bool),
+			opt:       a.opt,
+			pending:   make(map[int64]*outSeg),
+			seen:      make(map[int]map[int64]bool),
+			down:      make(map[int]bool),
+			rtt:       make(map[int]*rttEstimator),
+			lastHeard: make(map[int]int64),
 		}
 		for _, p := range a.preDown {
 			a.ep.down[p] = true

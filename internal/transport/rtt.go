@@ -1,0 +1,61 @@
+package transport
+
+// rttEstimator keeps Jacobson-style smoothed round-trip state for one
+// directed link, in the scaled fixed-point form of RFC 6298: srtt8 holds
+// 8·SRTT and rttvar4 holds 4·RTTVAR, so the exponential averages
+//
+//	SRTT   ← 7/8·SRTT   + 1/8·sample
+//	RTTVAR ← 3/4·RTTVAR + 1/4·|SRTT − sample|
+//
+// reduce to integer shifts with no drift from repeated rounding toward
+// zero. Samples are taken under Karn's rule — only from segments that were
+// acknowledged without ever being retransmitted — so a retransmission
+// ambiguity can never poison the estimate. Virtual time is discrete, which
+// makes the arithmetic exact and the whole estimator trivially
+// deterministic.
+type rttEstimator struct {
+	srtt8   int64
+	rttvar4 int64
+	init    bool
+}
+
+// observe feeds one round-trip sample (in virtual time units, clamped to a
+// minimum of 1).
+func (e *rttEstimator) observe(sample int64) {
+	if sample < 1 {
+		sample = 1
+	}
+	if !e.init {
+		e.init = true
+		e.srtt8 = sample * 8
+		e.rttvar4 = sample * 2 // RTTVAR starts at sample/2
+		return
+	}
+	diff := e.srtt8/8 - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	e.rttvar4 = e.rttvar4 - e.rttvar4/4 + diff
+	e.srtt8 = e.srtt8 - e.srtt8/8 + sample
+}
+
+// rto returns the retransmission timeout SRTT + max(1, 4·RTTVAR), clamped
+// to [floor, ceil]. Before the first sample it returns floor (the
+// configured initial RTO).
+func (e *rttEstimator) rto(floor, ceil int64) int64 {
+	if !e.init {
+		return floor
+	}
+	v := e.rttvar4
+	if v < 1 {
+		v = 1
+	}
+	r := e.srtt8/8 + v
+	if r < floor {
+		r = floor
+	}
+	if r > ceil {
+		r = ceil
+	}
+	return r
+}

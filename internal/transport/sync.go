@@ -48,7 +48,9 @@ type syncSeg struct {
 	payload any
 	round   int64 // logical round the segment belongs to
 	retries int
-	due     int // physical round of the next retransmission
+	due     int  // physical round of the next retransmission
+	sentAt  int  // physical round of the first transmission
+	retried bool // ever retransmitted (Karn: no RTT sample then)
 }
 
 // Sync adapts a SyncProto to sim.SyncNode. In reliable mode it implements
@@ -64,6 +66,9 @@ type Sync struct {
 	pending   map[int64]*syncSeg
 	seen      map[int]map[int64]bool
 	down      map[int]bool
+	rtt       map[int]*rttEstimator
+	lastHeard map[int]int   // physical round a frame last arrived from peer
+	events    []sim.Event   // transport trace events, drained by the engine
 	buffer    []sim.Message // next logical round's inbox, accumulating
 	logical   int           // last delivered logical round
 	protoDone bool
@@ -81,8 +86,72 @@ func NewSync(proto SyncProto, opt *Options) *Sync {
 		w.pending = make(map[int64]*syncSeg)
 		w.seen = make(map[int]map[int64]bool)
 		w.down = make(map[int]bool)
+		w.rtt = make(map[int]*rttEstimator)
+		w.lastHeard = make(map[int]int)
 	}
 	return w
+}
+
+// TakeEvents implements sim.EventSource: the engine drains queued transport
+// events (peer-down, peer-up) after each round barrier in node-id order,
+// keeping the trace deterministic across GOMAXPROCS.
+func (w *Sync) TakeEvents() []sim.Event {
+	evs := w.events
+	w.events = nil
+	return evs
+}
+
+// rtoFor returns the link's current adaptive retransmission timeout.
+func (w *Sync) rtoFor(peer int) int64 {
+	if e := w.rtt[peer]; e != nil {
+		return e.rto(w.opt.RTO, w.opt.MaxRTO)
+	}
+	return w.opt.RTO
+}
+
+// heard records direct contact with a peer: its liveness clock refreshes
+// and the retry budgets of segments still in flight to it reset — evidence
+// the peer is up means pending losses were the link, not the peer.
+func (w *Sync) heard(env *sim.SyncEnv, peer int) {
+	w.lastHeard[peer] = env.Round
+	w.vouch(env, peer)
+}
+
+// vouch applies liveness evidence for a peer: reset retry budgets of its
+// in-flight segments and rescind an earlier give-up with a PeerUp notice.
+func (w *Sync) vouch(env *sim.SyncEnv, peer int) {
+	for _, s := range w.pending {
+		if s.to == peer && s.retries > 0 {
+			s.retries = 0
+			s.retried = true // budget reset, but Karn still bars sampling
+			s.due = env.Round + int(w.rtoFor(peer))
+			w.c.Vouched++
+		}
+	}
+	if w.down[peer] {
+		delete(w.down, peer)
+		w.c.PeersUp++
+		w.buffer = append(w.buffer, sim.Message{From: peer, To: env.ID, Payload: PeerUp{Peer: peer}})
+		w.events = append(w.events, sim.Event{Kind: sim.EventPeerUp, Time: int64(env.Round), From: env.ID, To: peer})
+	}
+}
+
+// heardList builds the gossip vouch list for a frame to "to": peers heard
+// from within VouchWindow, sorted, excluding the destination itself. The
+// slice is freshly allocated per frame — payloads never alias endpoint
+// state.
+func (w *Sync) heardList(env *sim.SyncEnv, to int) []int {
+	if w.opt.VouchWindow < 0 || len(w.lastHeard) == 0 {
+		return nil
+	}
+	var out []int
+	for q, at := range w.lastHeard {
+		if q != to && int64(env.Round-at) <= w.opt.VouchWindow {
+			out = append(out, q)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Counters returns the endpoint's accounting (zero in direct mode).
@@ -124,12 +193,31 @@ func (w *Sync) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
 	for _, m := range inbox {
 		switch p := m.Payload.(type) {
 		case ack:
+			if s := w.pending[p.Seq]; s != nil && !s.retried {
+				// Karn's rule: only never-retransmitted segments sample RTT.
+				est := w.rtt[s.to]
+				if est == nil {
+					est = &rttEstimator{}
+					w.rtt[s.to] = est
+				}
+				est.observe(int64(env.Round - s.sentAt))
+				w.c.RTTSamples++
+			}
 			delete(w.pending, p.Seq)
+			w.heard(env, m.From)
 		case seg:
 			// Always ack, even duplicates: the peer may have lost our
 			// previous ack.
 			w.c.Acks++
 			env.Send(m.From, ack{Seq: p.Seq})
+			w.heard(env, m.From)
+			if w.opt.VouchWindow >= 0 {
+				for _, q := range p.Heard {
+					if q != env.ID {
+						w.vouch(env, q)
+					}
+				}
+			}
 			if w.seen[m.From] == nil {
 				w.seen[m.From] = make(map[int64]bool)
 			}
@@ -140,7 +228,17 @@ func (w *Sync) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
 			w.seen[m.From][p.Seq] = true
 			w.buffer = append(w.buffer, sim.Message{From: m.From, To: env.ID, Payload: p.Payload})
 		default:
-			// Driver injections (From == -1) bypass peer endpoints.
+			// Driver and engine injections (From == -1) bypass peer
+			// endpoints. A restart notice additionally refreshes the retry
+			// budget of everything still in flight: the unanswered
+			// retransmissions ran into our own outage, not dead peers.
+			if _, restarted := m.Payload.(sim.NodeRestarted); restarted {
+				for _, s := range w.pending {
+					s.retries = 0
+					s.retried = true
+					s.due = env.Round + int(w.rtoFor(s.to))
+				}
+			}
 			w.buffer = append(w.buffer, m)
 		}
 	}
@@ -159,13 +257,14 @@ func (w *Sync) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
 				continue
 			}
 			if s.retries >= w.opt.MaxRetries {
-				w.giveUp(env.ID, s.to)
+				w.giveUp(env, s.to)
 				continue
 			}
 			s.retries++
+			s.retried = true
 			w.c.Retries++
-			env.Send(s.to, seg{Seq: q, Round: s.round, Payload: s.payload})
-			s.due = env.Round + int(w.opt.backoff(s.retries))
+			env.Send(s.to, seg{Seq: q, Round: s.round, Payload: s.payload, Heard: w.heardList(env, s.to)})
+			s.due = env.Round + int(w.opt.backoff(w.rtoFor(s.to), s.retries))
 		}
 	}
 
@@ -197,18 +296,18 @@ func (w *Sync) sendSeg(env *sim.SyncEnv, to int, payload any) {
 	w.nextSeq++
 	w.pending[w.nextSeq] = &syncSeg{
 		to: to, payload: payload, round: int64(w.logical),
-		due: env.Round + int(w.opt.backoff(0)),
+		due: env.Round + int(w.rtoFor(to)), sentAt: env.Round,
 	}
 	w.c.Segments++
 	if n := len(w.pending); n > w.c.MaxInFlight {
 		w.c.MaxInFlight = n
 	}
-	env.Send(to, seg{Seq: w.nextSeq, Round: int64(w.logical), Payload: payload})
+	env.Send(to, seg{Seq: w.nextSeq, Round: int64(w.logical), Payload: payload, Heard: w.heardList(env, to)})
 }
 
 // giveUp marks peer unreachable, abandons its in-flight segments, and
 // queues the PeerDown notice for the next logical inbox.
-func (w *Sync) giveUp(self, peer int) {
+func (w *Sync) giveUp(env *sim.SyncEnv, peer int) {
 	if w.down[peer] {
 		return
 	}
@@ -220,5 +319,6 @@ func (w *Sync) giveUp(self, peer int) {
 			w.c.GaveUp++
 		}
 	}
-	w.buffer = append(w.buffer, sim.Message{From: peer, To: self, Payload: PeerDown{Peer: peer}})
+	w.buffer = append(w.buffer, sim.Message{From: peer, To: env.ID, Payload: PeerDown{Peer: peer}})
+	w.events = append(w.events, sim.Event{Kind: sim.EventPeerDown, Time: int64(env.Round), From: env.ID, To: peer})
 }

@@ -11,8 +11,12 @@ import (
 // sender-to-receiver lines, fault-dropped messages as red crosses,
 // duplicated deliveries as orange ticks, and node outages as shaded bands
 // opened by a crash mark and closed by a restart mark (or running to the
-// right edge for crash-stop failures). It is the visual companion of the
-// sim.FaultPlan layer: one glance shows where the plan hit the run.
+// right edge for crash-stop failures). Failure-detector verdicts draw as
+// triangles on the lane of the endpoint that issued them: downward red for
+// a PeerDown give-up, upward green for the PeerUp rescind — a red triangle
+// with no green sequel is a false partition the run never healed. It is the
+// visual companion of the sim.FaultPlan layer: one glance shows where the
+// plan hit the run.
 //
 // Dense traces stay readable by thinning: when the trace holds more than
 // maxDeliveries delivery events, only fault and lifecycle events are drawn
@@ -90,6 +94,14 @@ func Timeline(events []sim.Event, n int, st Style) string {
 			doc.circle(px(e.Time), py(e.From), 4, "#c0392b")
 		case sim.EventNodeRestart:
 			doc.circle(px(e.Time), py(e.From), 4, "#27ae60")
+		case sim.EventPeerDown:
+			x, y := px(e.Time), py(e.From)
+			fmt.Fprintf(&doc.b, `<path d="M %.1f %.1f L %.1f %.1f L %.1f %.1f Z" fill="#c0392b"/>`+"\n",
+				x-4, y-4, x+4, y-4, x, y+4)
+		case sim.EventPeerUp:
+			x, y := px(e.Time), py(e.From)
+			fmt.Fprintf(&doc.b, `<path d="M %.1f %.1f L %.1f %.1f L %.1f %.1f Z" fill="#27ae60"/>`+"\n",
+				x-4, y+4, x+4, y+4, x, y-4)
 		}
 	}
 
