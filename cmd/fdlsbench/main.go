@@ -1,0 +1,58 @@
+// Command fdlsbench writes the repository's benchmark baseline: it times
+// end-to-end scheduling (DistMIS on the synchronous engine, DFS on the
+// asynchronous engine) on seeded G(n, 3n) instances and emits the
+// measurements as JSON.
+//
+//	fdlsbench -out BENCH_sim.json          # full grid, n ∈ {64, 256, 1024}
+//	fdlsbench -short -out /tmp/smoke.json  # CI smoke grid, n ∈ {16, 64}
+//
+// The schedule-cost columns (slots, rounds, messages) are deterministic per
+// seed; the timing columns are machine-dependent. Compare a fresh run
+// against the committed BENCH_sim.json to spot performance or cost
+// regressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"fdlsp/internal/benchkit"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output file (- for stdout)")
+	short := flag.Bool("short", false, "run the reduced smoke grid")
+	flag.Parse()
+
+	suite := "baseline"
+	if *short {
+		suite = "smoke"
+	}
+	rep, err := benchkit.Run(suite, benchkit.DefaultSpecs(*short))
+	if err != nil {
+		log.Fatalf("fdlsbench: %v", err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		log.Fatalf("fdlsbench: %v", err)
+	}
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatalf("fdlsbench: %v", err)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	w := tabwriter.NewWriter(os.Stderr, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "spec\tns/op\tallocs/op\tB/op\tslots\trounds\tmessages")
+	for _, m := range rep.Results {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.Slots, m.Rounds, m.Messages)
+	}
+	w.Flush()
+}

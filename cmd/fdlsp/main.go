@@ -8,12 +8,14 @@
 //	fdlsp -gen gnm -n 200 -m 1200 -algo dfs -json
 //	fdlsp -in network.txt -algo dmgc
 //	fdlsp -gen complete -n 5 -algo exact
+//	fdlsp -gen grid -rows 4 -cols 4 -algo distmis -metrics
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
@@ -25,50 +27,72 @@ import (
 )
 
 func main() {
+	if err := cliMain(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fdlsp:", err)
+		os.Exit(1)
+	}
+}
+
+// cliMain is the testable body of the command: it parses argv, schedules the
+// instance and writes the report to out. The golden-file tests in
+// main_test.go drive it directly with a buffer.
+func cliMain(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fdlsp", flag.ContinueOnError)
 	var (
-		gen     = flag.String("gen", "udg", "generator: udg|gnm|tree|complete|bipartite|cycle|path|grid|star")
-		in      = flag.String("in", "", "read graph from edge-list file instead of generating")
-		n       = flag.Int("n", 50, "node count (generators)")
-		m       = flag.Int("m", 0, "edge count (gnm; 0 = 3n)")
-		a       = flag.Int("a", 3, "first part size (bipartite)")
-		b       = flag.Int("b", 3, "second part size (bipartite)")
-		rows    = flag.Int("rows", 5, "grid rows")
-		cols    = flag.Int("cols", 5, "grid cols")
-		side    = flag.Float64("side", 15, "UDG plan side length")
-		radius  = flag.Float64("radius", 0.5, "UDG transmission radius")
-		algo    = flag.String("algo", "distmis", "algorithm: distmis|distmis-general|dfs|dmgc|randomized|greedy|exact|ilp")
-		seed    = flag.Int64("seed", 1, "random seed")
-		asJSON  = flag.Bool("json", false, "emit the schedule as JSON")
-		verbose = flag.Bool("v", false, "print the full slot table")
-		trace   = flag.Bool("trace", false, "record and summarize simulation events (distmis/dfs)")
-		optim   = flag.Bool("optimize", false, "post-optimize the schedule offline (compaction + iterated greedy)")
-		compare = flag.Bool("compare", false, "run every algorithm on the instance and print a comparison table")
-		svg     = flag.String("svg", "", "write SVG renderings with this path prefix (UDG generator only)")
-		loss    = flag.Float64("loss", 0, "per-message drop probability in [0,1) (distmis/dfs)")
-		dup     = flag.Float64("dup", 0, "per-message duplication probability in [0,1) (distmis/dfs)")
-		reorder = flag.Int64("reorder", 0, "max extra delivery jitter for reordering (distmis/dfs)")
-		crash   = flag.String("crash", "", "comma-separated crash specs node@time[:restart], e.g. 3@40,7@60:90")
-		rto     = flag.Int64("rto", 0, "initial/floor retransmission timeout of the reliable transport (0 = default)")
-		retries = flag.Int("retries", 0, "transport retransmissions per segment before giving up (0 = default, -1 = send once)")
+		gen     = fs.String("gen", "udg", "generator: udg|gnm|tree|complete|bipartite|cycle|path|grid|star")
+		in      = fs.String("in", "", "read graph from edge-list file instead of generating")
+		n       = fs.Int("n", 50, "node count (generators)")
+		m       = fs.Int("m", 0, "edge count (gnm; 0 = 3n)")
+		a       = fs.Int("a", 3, "first part size (bipartite)")
+		b       = fs.Int("b", 3, "second part size (bipartite)")
+		rows    = fs.Int("rows", 5, "grid rows")
+		cols    = fs.Int("cols", 5, "grid cols")
+		side    = fs.Float64("side", 15, "UDG plan side length")
+		radius  = fs.Float64("radius", 0.5, "UDG transmission radius")
+		algo    = fs.String("algo", "distmis", "algorithm: distmis|distmis-general|dfs|dmgc|randomized|greedy|exact|ilp")
+		seed    = fs.Int64("seed", 1, "random seed")
+		asJSON  = fs.Bool("json", false, "emit the schedule as JSON")
+		verbose = fs.Bool("v", false, "print the full slot table")
+		trace   = fs.Bool("trace", false, "record and summarize simulation events (distmis/dfs)")
+		optim   = fs.Bool("optimize", false, "post-optimize the schedule offline (compaction + iterated greedy)")
+		compare = fs.Bool("compare", false, "run every algorithm on the instance and print a comparison table")
+		svg     = fs.String("svg", "", "write SVG renderings with this path prefix (UDG generator only)")
+		loss    = fs.Float64("loss", 0, "per-message drop probability in [0,1) (distmis/dfs)")
+		dup     = fs.Float64("dup", 0, "per-message duplication probability in [0,1) (distmis/dfs)")
+		reorder = fs.Int64("reorder", 0, "max extra delivery jitter for reordering (distmis/dfs)")
+		crash   = fs.String("crash", "", "comma-separated crash specs node@time[:restart], e.g. 3@40,7@60:90")
+		rto     = fs.Int64("rto", 0, "initial/floor retransmission timeout of the reliable transport (0 = default)")
+		retries = fs.Int("retries", 0, "transport retransmissions per segment before giving up (0 = default, -1 = send once)")
+		metrics = fs.Bool("metrics", false, "dump the metrics registry snapshot (Prometheus text) after the run")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
 
 	plan, err := faultPlan(*loss, *dup, *reorder, *crash, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	g, pts, err := buildGraph(*in, *gen, *n, *m, *a, *b, *rows, *cols, *side, *radius, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("graph: n=%d m=%d Δ=%d avg-deg=%.2f connected=%v\n",
+	fmt.Fprintf(out, "graph: n=%d m=%d Δ=%d avg-deg=%.2f connected=%v\n",
 		g.N(), g.M(), g.MaxDegree(), g.AvgDegree(), g.Connected())
-	fmt.Printf("bounds: lower=%d upper=%d\n", fdlsp.LowerBound(g), fdlsp.UpperBound(g))
+	fmt.Fprintf(out, "bounds: lower=%d upper=%d\n", fdlsp.LowerBound(g), fdlsp.UpperBound(g))
+
+	// The registry gets the full metric schema up front so even runs that
+	// never reach the core layer (greedy, exact, ...) dump a well-formed
+	// snapshot.
+	var reg *fdlsp.MetricsRegistry
+	if *metrics {
+		reg = fdlsp.NewMetricsRegistry()
+		fdlsp.RegisterMetrics(reg)
+	}
 
 	if *compare {
-		runComparison(g, *seed)
-		return
+		return runComparison(out, g, *seed)
 	}
 
 	var rec *fdlsp.TraceRecorder
@@ -81,9 +105,9 @@ func main() {
 		}
 	}
 	topt := fdlsp.TransportOptions{RTO: *rto, MaxRetries: *retries}
-	as, label, stats, faults, err := run(g, *algo, *seed, rec, plan, topt)
+	as, label, stats, faults, err := run(g, *algo, *seed, rec, plan, topt, reg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	// A faulty run is accountable for the surviving subgraph: the crashed
 	// nodes' arcs are excluded from verification and frame assembly. Nodes
@@ -91,48 +115,48 @@ func main() {
 	target := g
 	if faults != nil {
 		target = fdlsp.SurvivingGraph(g, faults.crashed)
-		fmt.Printf("faults: loss=%.2f dup=%.2f reorder=%d crashed=%v\n",
+		fmt.Fprintf(out, "faults: loss=%.2f dup=%.2f reorder=%d crashed=%v\n",
 			*loss, *dup, *reorder, faults.crashed)
-		fmt.Printf("transport: %v\n", faults.transport)
+		fmt.Fprintf(out, "transport: %v\n", faults.transport)
 		if len(faults.rejoin.Returned) > 0 {
-			fmt.Printf("rejoin: returned=%v resync-msgs=%d rebased=%d\n",
+			fmt.Fprintf(out, "rejoin: returned=%v resync-msgs=%d rebased=%d\n",
 				faults.rejoin.Returned, faults.rejoin.ResyncMsgs, faults.rejoin.Rebased)
 		}
 	}
 	if viols := fdlsp.Verify(target, as); len(viols) != 0 {
-		fatal(fmt.Errorf("INVALID schedule: %d violations, first: %v", len(viols), viols[0]))
+		return fmt.Errorf("INVALID schedule: %d violations, first: %v", len(viols), viols[0])
 	}
 	if *optim {
 		raw := as.NumColors()
 		as = fdlsp.ImproveSchedule(target, as, 12, *seed)
-		fmt.Printf("post-optimization: %d -> %d slots\n", raw, as.NumColors())
+		fmt.Fprintf(out, "post-optimization: %d -> %d slots\n", raw, as.NumColors())
 	}
 	schedule, err := fdlsp.BuildSchedule(target, as)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if collisions := schedule.RadioCheck(target); len(collisions) != 0 {
-		fatal(fmt.Errorf("radio check failed: %v", collisions[0]))
+		return fmt.Errorf("radio check failed: %v", collisions[0])
 	}
 
 	st := schedule.Stats()
-	fmt.Printf("algorithm: %s\n", label)
-	fmt.Printf("slots: %d  links: %d  max-concurrency: %d  avg-concurrency: %.2f\n",
+	fmt.Fprintf(out, "algorithm: %s\n", label)
+	fmt.Fprintf(out, "slots: %d  links: %d  max-concurrency: %d  avg-concurrency: %.2f\n",
 		st.FrameLength, st.Links, st.MaxConcurrency, st.AvgConcurrency)
 	if stats != nil {
-		fmt.Printf("cost: %d rounds, %d messages\n", stats.Rounds, stats.Messages)
+		fmt.Fprintf(out, "cost: %d rounds, %d messages\n", stats.Rounds, stats.Messages)
 	}
 	if faults != nil {
-		fmt.Println("verification: schedule valid on surviving subgraph, radio check clean")
+		fmt.Fprintln(out, "verification: schedule valid on surviving subgraph, radio check clean")
 	} else {
-		fmt.Println("verification: schedule valid, radio check clean")
+		fmt.Fprintln(out, "verification: schedule valid, radio check clean")
 	}
 	if rec != nil {
-		fmt.Print("trace summary:\n", rec.Summary())
+		fmt.Fprint(out, "trace summary:\n", rec.Summary())
 	}
 	if *svg != "" {
 		if pts == nil {
-			fatal(fmt.Errorf("-svg needs a geometric placement (use -gen udg)"))
+			return fmt.Errorf("-svg needs a geometric placement (use -gen udg)")
 		}
 		files := map[string]string{
 			*svg + "-network.svg":   viz.Network(g, pts, viz.Style{}),
@@ -144,7 +168,7 @@ func main() {
 		if schedule.FrameLength > 0 {
 			slot1, err := viz.Slot(target, pts, schedule, 1, viz.Style{})
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			files[*svg+"-slot1.svg"] = slot1
 		}
@@ -155,27 +179,32 @@ func main() {
 		sort.Strings(names)
 		for _, name := range names {
 			if err := os.WriteFile(name, []byte(files[name]), 0o644); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Println("wrote", name)
+			fmt.Fprintln(out, "wrote", name)
 		}
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(schedule); err != nil {
-			fatal(err)
+			return err
 		}
 	} else if *verbose {
 		for i, slot := range schedule.Slots {
-			fmt.Printf("slot %3d:", i+1)
+			fmt.Fprintf(out, "slot %3d:", i+1)
 			for _, arc := range slot {
-				fmt.Printf(" %v", arc)
+				fmt.Fprintf(out, " %v", arc)
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
+
+	if reg != nil {
+		fmt.Fprint(out, "metrics snapshot:\n", reg.Text())
+	}
+	return nil
 }
 
 func buildGraph(in, gen string, n, m, a, b, rows, cols int, side, radius float64, seed int64) (*fdlsp.Graph, []fdlsp.Point, error) {
@@ -266,7 +295,7 @@ func faultPlan(loss, dup float64, reorder int64, crash string, seed int64) (*fdl
 	return &fdlsp.FaultPlan{Seed: seed, Loss: loss, Dup: dup, Reorder: reorder, Crashes: crashes}, nil
 }
 
-func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder, plan *fdlsp.FaultPlan, topt fdlsp.TransportOptions) (fdlsp.Assignment, string, *fdlsp.Stats, *faultResult, error) {
+func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder, plan *fdlsp.FaultPlan, topt fdlsp.TransportOptions, reg *fdlsp.MetricsRegistry) (fdlsp.Assignment, string, *fdlsp.Stats, *faultResult, error) {
 	var tracer fdlsp.Tracer
 	if rec != nil {
 		tracer = rec
@@ -279,19 +308,19 @@ func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder, plan
 	}
 	switch algo {
 	case "distmis":
-		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Trace: tracer, Fault: plan, Transport: topt})
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Trace: tracer, Fault: plan, Transport: topt, Metrics: reg})
 		if err != nil {
 			return nil, "", nil, nil, err
 		}
 		return res.Assignment, res.Algorithm, &res.Stats, faulty(res), nil
 	case "distmis-general":
-		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral, Trace: tracer, Fault: plan, Transport: topt})
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral, Trace: tracer, Fault: plan, Transport: topt, Metrics: reg})
 		if err != nil {
 			return nil, "", nil, nil, err
 		}
 		return res.Assignment, res.Algorithm, &res.Stats, faulty(res), nil
 	case "dfs":
-		res, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed, Trace: tracer, Fault: plan, Transport: topt})
+		res, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed, Trace: tracer, Fault: plan, Transport: topt, Metrics: reg})
 		if err != nil {
 			return nil, "", nil, nil, err
 		}
@@ -331,57 +360,67 @@ func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder, plan
 	}
 }
 
-// runComparison schedules the instance with every algorithm and prints a
-// side-by-side table.
-func runComparison(g *fdlsp.Graph, seed int64) {
-	fmt.Printf("%-28s %6s %9s %10s\n", "algorithm", "slots", "rounds", "messages")
-	row := func(name string, slots int, rounds, msgs int64, as fdlsp.Assignment) {
+// runComparison schedules the instance with every algorithm and writes a
+// side-by-side table to out.
+func runComparison(out io.Writer, g *fdlsp.Graph, seed int64) error {
+	fmt.Fprintf(out, "%-28s %6s %9s %10s\n", "algorithm", "slots", "rounds", "messages")
+	row := func(name string, slots int, rounds, msgs int64, as fdlsp.Assignment) error {
 		if !fdlsp.Valid(g, as) {
-			fatal(fmt.Errorf("%s produced an invalid schedule", name))
+			return fmt.Errorf("%s produced an invalid schedule", name)
 		}
 		if rounds == 0 && msgs == 0 {
-			fmt.Printf("%-28s %6d %9s %10s\n", name, slots, "-", "-")
+			fmt.Fprintf(out, "%-28s %6d %9s %10s\n", name, slots, "-", "-")
 		} else {
-			fmt.Printf("%-28s %6d %9d %10d\n", name, slots, rounds, msgs)
+			fmt.Fprintf(out, "%-28s %6d %9d %10d\n", name, slots, rounds, msgs)
 		}
+		return nil
 	}
-	if r, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed}); err == nil {
-		row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
-	} else {
-		fatal(err)
+	r, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed})
+	if err != nil {
+		return err
 	}
-	if r, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral}); err == nil {
-		row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
-	} else {
-		fatal(err)
+	if err := row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment); err != nil {
+		return err
 	}
-	if r, err := fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed}); err == nil {
-		row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
-	} else {
-		fatal(err)
+	r, err = fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral})
+	if err != nil {
+		return err
 	}
-	if r, err := fdlsp.Randomized(g, seed); err == nil {
-		row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
-	} else {
-		fatal(err)
+	if err := row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment); err != nil {
+		return err
 	}
-	if r, err := fdlsp.DMGC(g); err == nil {
-		row(r.Algorithm, r.Slots, 0, 0, r.Assignment)
-	} else {
-		fatal(err)
+	r, err = fdlsp.DFS(g, fdlsp.DFSOptions{Seed: seed})
+	if err != nil {
+		return err
 	}
-	if r, err := fdlsp.DMGCVizingDistributed(g, seed); err == nil {
-		row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment)
-	} else {
-		fatal(err)
+	if err := row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment); err != nil {
+		return err
+	}
+	r, err = fdlsp.Randomized(g, seed)
+	if err != nil {
+		return err
+	}
+	if err := row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment); err != nil {
+		return err
+	}
+	r, err = fdlsp.DMGC(g)
+	if err != nil {
+		return err
+	}
+	if err := row(r.Algorithm, r.Slots, 0, 0, r.Assignment); err != nil {
+		return err
+	}
+	r, err = fdlsp.DMGCVizingDistributed(g, seed)
+	if err != nil {
+		return err
+	}
+	if err := row(r.Algorithm, r.Slots, r.Stats.Rounds, r.Stats.Messages, r.Assignment); err != nil {
+		return err
 	}
 	greedy := fdlsp.GreedySchedule(g)
-	row("greedy (centralized ref)", greedy.NumColors(), 0, 0, greedy)
+	if err := row("greedy (centralized ref)", greedy.NumColors(), 0, 0, greedy); err != nil {
+		return err
+	}
 	improved := fdlsp.ImproveSchedule(g, greedy, 9, seed)
-	row("greedy + offline improve", improved.NumColors(), 0, 0, improved)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fdlsp:", err)
-	os.Exit(1)
+	return row("greedy + offline improve", improved.NumColors(), 0, 0, improved)
 }

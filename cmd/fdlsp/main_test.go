@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update rewrites the golden files from the current output:
+//
+//	go test ./cmd/fdlsp -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden invocations: small deterministic instances covering the main
+// report, the verbose slot table, JSON output, the comparison table, and
+// the -metrics snapshot. Every case must be fully seed-deterministic.
+var goldenCases = []struct {
+	name string
+	args []string
+}{
+	{"distmis_grid", []string{"-gen", "grid", "-rows", "4", "-cols", "4", "-algo", "distmis", "-seed", "7"}},
+	{"dfs_path_verbose", []string{"-gen", "path", "-n", "8", "-algo", "dfs", "-seed", "3", "-v"}},
+	{"greedy_complete_json", []string{"-gen", "complete", "-n", "5", "-algo", "greedy", "-json"}},
+	{"compare_cycle", []string{"-gen", "cycle", "-n", "9", "-algo", "distmis", "-seed", "2", "-compare"}},
+	{"metrics_grid", []string{"-gen", "grid", "-rows", "3", "-cols", "3", "-algo", "distmis", "-seed", "1", "-metrics"}},
+	{"metrics_dfs_tree", []string{"-gen", "tree", "-n", "10", "-algo", "dfs", "-seed", "5", "-metrics"}},
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := cliMain(tc.args, &buf); err != nil {
+				t.Fatalf("cliMain(%v): %v", tc.args, err)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output drifted from %s (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+					golden, buf.String(), want)
+			}
+		})
+	}
+}
+
+// TestMetricsSnapshotDeterministic runs the same seeded instance twice and
+// requires byte-identical output including the registry snapshot — the
+// tentpole's per-seed determinism contract at the CLI surface.
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	args := []string{"-gen", "grid", "-rows", "4", "-cols", "3", "-algo", "distmis", "-seed", "11", "-metrics"}
+	var a, b bytes.Buffer
+	if err := cliMain(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cliMain(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two runs of the same seed produced different -metrics output")
+	}
+}
+
+// TestMetricsFlagCoversFamilies sanity-checks the snapshot carries the
+// core and sim families after a distmis run.
+func TestMetricsFlagCoversFamilies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := cliMain([]string{"-gen", "star", "-n", "6", "-algo", "distmis", "-metrics"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"metrics snapshot:",
+		`fdlsp_core_runs_total{algorithm="distmis"} 1`,
+		`fdlsp_sim_runs_total{engine="sync"}`,
+		"# TYPE fdlsp_transport_segments_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q", want)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := cliMain([]string{"-gen", "nope"}, &buf); err == nil {
+		t.Error("unknown generator accepted")
+	}
+	if err := cliMain([]string{"-gen", "path", "-n", "4", "-algo", "nope"}, &buf); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := cliMain([]string{"-gen", "path", "-n", "4", "-algo", "greedy", "-loss", "0.5"}, &buf); err == nil {
+		t.Error("fault injection on unsupported algorithm accepted")
+	}
+	if err := cliMain([]string{"-crash", "zap"}, &buf); err == nil {
+		t.Error("bad crash spec accepted")
+	}
+}

@@ -5,6 +5,11 @@
 //	POST /v1/bounds    {"graph": {...}}
 //	POST /v1/render    {"graph": {...}, "points": [...], "schedule": {...}, "slot": 1}
 //	GET  /healthz
+//	GET  /metrics      Prometheus text exposition of the whole stack
+//
+// With -pprof the standard net/http/pprof profiling endpoints are mounted
+// under /debug/pprof/ on the same listener (off by default: the profiles
+// expose internals and cost CPU, so only enable them when diagnosing).
 //
 // Graphs use the same JSON shape cmd/graphgen emits ({"n": ..,
 // "edges": [[u,v], ...]}); schedules are the frame JSON cmd/fdlsp -json
@@ -20,22 +25,41 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"fdlsp/internal/httpapi"
+	"fdlsp/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.NewMux(),
+		Handler:           newHandler(*withPprof),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      5 * time.Minute, // large instances take a while
 	}
 	log.Printf("fdlspd listening on %s", *addr)
 	log.Fatal(srv.ListenAndServe())
+}
+
+// newHandler assembles the service mux — API routes plus /metrics — and,
+// when asked, the pprof endpoints. pprof handlers are mounted explicitly
+// rather than via the package's DefaultServeMux side effect so they only
+// exist behind the flag.
+func newHandler(withPprof bool) http.Handler {
+	mux := httpapi.NewMuxWith(obs.NewRegistry())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }

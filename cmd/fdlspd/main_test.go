@@ -1,0 +1,34 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestPprofGatedByFlag(t *testing.T) {
+	get := func(h http.Handler, path string) int {
+		t.Helper()
+		s := httptest.NewServer(h)
+		defer s.Close()
+		resp, err := http.Get(s.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(newHandler(false), "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof off: /debug/pprof/ status %d, want 404", code)
+	}
+	if code := get(newHandler(true), "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof on: /debug/pprof/ status %d, want 200", code)
+	}
+	// The API surface is mounted either way.
+	if code := get(newHandler(false), "/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics status %d, want 200", code)
+	}
+	if code := get(newHandler(false), "/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz status %d, want 200", code)
+	}
+}

@@ -1,0 +1,141 @@
+// Package benchkit is the repository's benchmark baseline harness: it
+// measures the end-to-end scheduling latency, allocation profile and
+// communication cost of the two engines on fixed seeded instances and
+// renders the result as JSON. cmd/fdlsbench writes the committed
+// BENCH_sim.json baseline with it; CI runs the short suite as a smoke
+// check. Timing uses testing.Benchmark, so iteration counts auto-scale and
+// the cost metrics (slots, rounds, messages) stay the deterministic
+// per-seed values.
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"fdlsp/internal/core"
+	"fdlsp/internal/graph"
+)
+
+// Spec is one benchmark point: an engine ("sync" runs DistMIS on the
+// lock-step engine, "async" runs DFS on the discrete-event engine) on a
+// seeded connected G(n,m) instance with m = 3n.
+type Spec struct {
+	Name   string `json:"name"`
+	Engine string `json:"engine"`
+	Nodes  int    `json:"nodes"`
+	Edges  int    `json:"edges"`
+	Seed   int64  `json:"seed"`
+}
+
+// Measurement is one spec's outcome: wall-clock and allocation figures from
+// testing.Benchmark plus the run's deterministic schedule cost.
+type Measurement struct {
+	Spec
+	Iterations  int   `json:"iterations"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	Slots       int   `json:"slots"`
+	Rounds      int64 `json:"rounds"`
+	Messages    int64 `json:"messages"`
+}
+
+// Report is the full baseline document serialized to BENCH_sim.json.
+type Report struct {
+	// Suite distinguishes the committed full baseline from CI smoke runs.
+	Suite      string        `json:"suite"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []Measurement `json:"results"`
+}
+
+// DefaultSpecs returns the baseline grid: both engines at n ∈ {64, 256,
+// 1024} (short: {16, 64}, small enough for a CI smoke run).
+func DefaultSpecs(short bool) []Spec {
+	sizes := []int{64, 256, 1024}
+	if short {
+		sizes = []int{16, 64}
+	}
+	var specs []Spec
+	for _, engine := range []string{"sync", "async"} {
+		for _, n := range sizes {
+			specs = append(specs, Spec{
+				Name:   fmt.Sprintf("%s-n%d", engine, n),
+				Engine: engine,
+				Nodes:  n,
+				Edges:  3 * n,
+				Seed:   1,
+			})
+		}
+	}
+	return specs
+}
+
+// Run measures every spec and assembles the report. The instance and the
+// schedule cost are deterministic per spec seed; only the timing and
+// allocation figures vary between machines.
+func Run(suite string, specs []Spec) (*Report, error) {
+	rep := &Report{
+		Suite:      suite,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, spec := range specs {
+		m, err := measure(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		rep.Results = append(rep.Results, m)
+	}
+	return rep, nil
+}
+
+// measure times one spec and records its deterministic schedule cost.
+func measure(spec Spec) (Measurement, error) {
+	g := graph.ConnectedGNM(spec.Nodes, spec.Edges, rand.New(rand.NewSource(spec.Seed)))
+	run := func() (*core.Result, error) {
+		switch spec.Engine {
+		case "sync":
+			return core.DistMIS(g, core.Options{Seed: spec.Seed})
+		case "async":
+			return core.DFS(g, core.DFSOptions{Seed: spec.Seed})
+		default:
+			return nil, fmt.Errorf("unknown engine %q (want sync or async)", spec.Engine)
+		}
+	}
+	res, err := run()
+	if err != nil {
+		return Measurement{}, err
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return Measurement{
+		Spec:        spec,
+		Iterations:  br.N,
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		Slots:       res.Slots,
+		Rounds:      res.Stats.Rounds,
+		Messages:    res.Stats.Messages,
+	}, nil
+}
+
+// JSON renders the report with stable two-space indentation (the committed
+// baseline diffs cleanly).
+func (r *Report) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,85 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestShortSuite is the smoke run CI executes: the short grid must produce
+// a fully populated, deterministic-cost report that round-trips as JSON.
+func TestShortSuite(t *testing.T) {
+	specs := DefaultSpecs(true)
+	if len(specs) != 4 {
+		t.Fatalf("short grid has %d specs, want 4", len(specs))
+	}
+	rep, err := Run("smoke", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(specs) {
+		t.Fatalf("%d results for %d specs", len(rep.Results), len(specs))
+	}
+	for _, m := range rep.Results {
+		if m.Iterations <= 0 || m.NsPerOp <= 0 || m.AllocsPerOp <= 0 {
+			t.Errorf("%s: timing figures not populated: %+v", m.Name, m)
+		}
+		if m.Slots <= 0 || m.Rounds <= 0 || m.Messages <= 0 {
+			t.Errorf("%s: schedule cost not populated: %+v", m.Name, m)
+		}
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Suite != "smoke" || len(back.Results) != len(rep.Results) {
+		t.Fatal("round-tripped report lost fields")
+	}
+}
+
+// TestCostDeterministic pins that the schedule-cost half of a measurement
+// is identical across repeated runs — the timing varies, the protocol
+// accounting must not.
+func TestCostDeterministic(t *testing.T) {
+	spec := Spec{Name: "sync-n16", Engine: "sync", Nodes: 16, Edges: 48, Seed: 1}
+	a, err := measure(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := measure(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slots != b.Slots || a.Rounds != b.Rounds || a.Messages != b.Messages {
+		t.Fatalf("cost drifted between runs: %+v vs %+v", a, b)
+	}
+}
+
+func TestUnknownEngineRejected(t *testing.T) {
+	if _, err := measure(Spec{Name: "bad", Engine: "warp", Nodes: 8, Edges: 24, Seed: 1}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+// TestFullGrid pins the committed baseline's shape.
+func TestFullGrid(t *testing.T) {
+	specs := DefaultSpecs(false)
+	if len(specs) != 6 {
+		t.Fatalf("full grid has %d specs, want 6", len(specs))
+	}
+	want := map[string]bool{
+		"sync-n64": true, "sync-n256": true, "sync-n1024": true,
+		"async-n64": true, "async-n256": true, "async-n1024": true,
+	}
+	for _, s := range specs {
+		if !want[s.Name] {
+			t.Errorf("unexpected spec %q", s.Name)
+		}
+		if s.Edges != 3*s.Nodes {
+			t.Errorf("%s: edges %d, want 3n = %d", s.Name, s.Edges, 3*s.Nodes)
+		}
+	}
+}

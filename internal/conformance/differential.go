@@ -1,0 +1,134 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"fdlsp/internal/bounds"
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/core"
+	"fdlsp/internal/geom"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/obs"
+)
+
+// This file is the differential conformance suite: it cross-checks the
+// paper's two algorithms — DistMIS on the synchronous lock-step engine and
+// DFS on the asynchronous discrete-event engine — over one seeded corpus,
+// and asserts that results and metrics snapshots are independent of the
+// runtime's parallelism. The engines stripe node work across
+// GOMAXPROCS-many workers, so any ordering leak shows up here as a
+// differing assignment or a differing registry rendering.
+
+// DifferentialGraphs returns the seeded corpus of instance families the
+// differential suite runs on: unit disk fields, random trees, grids and
+// connected random general graphs. The generator seed is fixed so every
+// caller sees the same instances.
+func DifferentialGraphs() map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(99))
+	udgSmall, _ := geom.RandomUDG(36, 6, 1.4, rng)
+	udgDense, _ := geom.RandomUDG(48, 8, 1.6, rng)
+	return map[string]*graph.Graph{
+		"udg-36":     udgSmall,
+		"udg-48":     udgDense,
+		"tree-40":    graph.RandomTree(40, rng),
+		"grid-5x6":   graph.Grid(5, 6),
+		"gnm-40-100": graph.ConnectedGNM(40, 100, rng),
+	}
+}
+
+// outcome reduces one algorithm run to its comparable artifacts: the
+// assignment, the frame length, and the byte-exact metrics rendering.
+type outcome struct {
+	as       coloring.Assignment
+	slots    int
+	snapshot string
+}
+
+// runAlgo executes algo ("distmis" or "dfs") on g with a fresh registry and
+// returns the comparable outcome.
+func runAlgo(algo string, g *graph.Graph, seed int64) (outcome, error) {
+	reg := obs.NewRegistry()
+	var as coloring.Assignment
+	var slots int
+	switch algo {
+	case "distmis":
+		res, err := core.DistMIS(g, core.Options{Seed: seed, Metrics: reg})
+		if err != nil {
+			return outcome{}, err
+		}
+		as, slots = res.Assignment, res.Slots
+	case "dfs":
+		res, err := core.DFS(g, core.DFSOptions{Seed: seed, Metrics: reg})
+		if err != nil {
+			return outcome{}, err
+		}
+		as, slots = res.Assignment, res.Slots
+	default:
+		return outcome{}, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return outcome{as: as, slots: slots, snapshot: reg.Text()}, nil
+}
+
+// Differential runs both algorithms over the corpus for every seed and
+// returns all invariant violations. For each (instance, seed, algorithm)
+// it checks the schedule verifies, the frame length sits in the
+// [LowerBound, 2Δ²] sandwich, and — the differential part — that repeating
+// the run under each GOMAXPROCS value in procs reproduces the identical
+// assignment and a byte-identical metrics snapshot. procs defaults to
+// {1, NumCPU} when empty; seeds defaults to {1, 2}.
+func Differential(seeds []int64, procs []int) []Failure {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2}
+	}
+	if len(procs) == 0 {
+		procs = []int{1, runtime.NumCPU()}
+	}
+	var fails []Failure
+	add := func(gname string, seed int64, inv, detail string) {
+		fails = append(fails, Failure{Graph: gname, Seed: seed, Invariant: inv, Detail: detail})
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+
+	for name, g := range DifferentialGraphs() {
+		for _, seed := range seeds {
+			for _, algo := range []string{"distmis", "dfs"} {
+				label := name + "/" + algo
+				runtime.GOMAXPROCS(procs[0])
+				base, err := runAlgo(algo, g, seed)
+				if err != nil {
+					add(label, seed, "runs", err.Error())
+					continue
+				}
+				if viols := coloring.Verify(g, base.as); len(viols) != 0 {
+					add(label, seed, "verifier", viols[0].String())
+					continue
+				}
+				if lb := bounds.LowerBound(g); base.slots < lb {
+					add(label, seed, "lower-bound", fmt.Sprintf("%d slots < %d", base.slots, lb))
+				}
+				if ub := bounds.UpperBound(g); base.slots > ub {
+					add(label, seed, "upper-bound", fmt.Sprintf("%d slots > 2Δ² = %d", base.slots, ub))
+				}
+				for _, p := range procs[1:] {
+					runtime.GOMAXPROCS(p)
+					again, err := runAlgo(algo, g, seed)
+					if err != nil {
+						add(label, seed, "gomaxprocs", fmt.Sprintf("run failed at GOMAXPROCS=%d: %v", p, err))
+						continue
+					}
+					if !equalAssignments(base.as, again.as) {
+						add(label, seed, "gomaxprocs",
+							fmt.Sprintf("assignment differs between GOMAXPROCS=%d and %d", procs[0], p))
+					}
+					if base.snapshot != again.snapshot {
+						add(label, seed, "gomaxprocs",
+							fmt.Sprintf("metrics snapshot differs between GOMAXPROCS=%d and %d", procs[0], p))
+					}
+				}
+			}
+		}
+	}
+	return fails
+}

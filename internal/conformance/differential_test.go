@@ -1,0 +1,69 @@
+package conformance
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestDifferentialSuite is the full cross-engine/parallelism check; CI runs
+// it under -race as well. In -short mode it narrows to one seed.
+func TestDifferentialSuite(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	if fails := Differential(seeds, nil); len(fails) != 0 {
+		for _, f := range fails {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestDifferentialRestoresGOMAXPROCS guards the suite's own hygiene: it
+// must leave the runtime's parallelism as it found it.
+func TestDifferentialRestoresGOMAXPROCS(t *testing.T) {
+	before := runtime.GOMAXPROCS(0)
+	_ = Differential([]int64{1}, []int{1})
+	if after := runtime.GOMAXPROCS(0); after != before {
+		t.Fatalf("GOMAXPROCS changed from %d to %d", before, after)
+	}
+}
+
+// TestDifferentialGraphsStable pins the corpus: the generator seed is fixed,
+// so instance shapes must not drift (a drift would silently re-baseline the
+// whole suite).
+func TestDifferentialGraphsStable(t *testing.T) {
+	a, b := DifferentialGraphs(), DifferentialGraphs()
+	if len(a) != len(b) {
+		t.Fatal("corpus size unstable")
+	}
+	want := map[string][2]int{
+		"udg-36":     {36, 93},
+		"udg-48":     {48, 90},
+		"tree-40":    {40, 39},
+		"grid-5x6":   {30, 49},
+		"gnm-40-100": {40, 100},
+	}
+	for name, g := range a {
+		other, ok := b[name]
+		if !ok || other.N() != g.N() || other.M() != g.M() {
+			t.Errorf("%s not reproducible across calls", name)
+		}
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("unexpected corpus instance %s (update the pinned table)", name)
+			continue
+		}
+		if g.N() != w[0] || g.M() != w[1] {
+			t.Errorf("%s drifted: n=%d m=%d, pinned n=%d m=%d", name, g.N(), g.M(), w[0], w[1])
+		}
+	}
+}
+
+// TestRunAlgoRejectsUnknown covers the error path.
+func TestRunAlgoRejectsUnknown(t *testing.T) {
+	g := DifferentialGraphs()["grid-5x6"]
+	if _, err := runAlgo("nope", g, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"fdlsp/internal/coloring"
 	"fdlsp/internal/graph"
+	"fdlsp/internal/obs"
 	"fdlsp/internal/sim"
 	"fdlsp/internal/transport"
 )
@@ -52,6 +53,10 @@ type DFSOptions struct {
 	// Transport tunes the ARQ machinery when Fault is set (zero value =
 	// defaults); ignored otherwise.
 	Transport transport.Options
+	// Metrics optionally receives the run's accounting: the per-component
+	// engines publish fdlsp_sim_* families, the driver publishes
+	// fdlsp_core_* and fdlsp_transport_* families when the run finishes.
+	Metrics *obs.Registry
 }
 
 // Message payloads of the DFS protocol.
@@ -496,7 +501,7 @@ func DFS(g *graph.Graph, opts DFSOptions) (*Result, error) {
 			return nil, fmt.Errorf("core: DFS left arc %v uncolored", a)
 		}
 	}
-	return &Result{
+	res := &Result{
 		Algorithm:  "dfs/" + opts.Policy.String(),
 		Assignment: as,
 		Slots:      as.NumColors(),
@@ -504,7 +509,9 @@ func DFS(g *graph.Graph, opts DFSOptions) (*Result, error) {
 		Crashed:    crashed,
 		Rejoin:     rejoin,
 		Transport:  ttot,
-	}, nil
+	}
+	publishResult(opts.Metrics, "dfs", res)
+	return res, nil
 }
 
 // remapPlan restricts a fault plan to one component, translating global node
@@ -621,6 +628,7 @@ func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignm
 		})
 		eng.Delay = opts.Delay
 		eng.Trace = opts.Trace
+		eng.Metrics = opts.Metrics
 		if faulty {
 			eng.Fault = opts.Fault.Shifted(elapsed, int64(epoch))
 		}

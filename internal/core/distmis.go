@@ -6,6 +6,7 @@ import (
 	"fdlsp/internal/coloring"
 	"fdlsp/internal/graph"
 	"fdlsp/internal/mis"
+	"fdlsp/internal/obs"
 	"fdlsp/internal/sim"
 	"fdlsp/internal/transport"
 )
@@ -51,6 +52,12 @@ type Options struct {
 	// Transport tunes the ARQ machinery when Fault is set (zero value =
 	// defaults); ignored otherwise.
 	Transport transport.Options
+	// Metrics optionally receives the run's accounting: the phase engines
+	// publish fdlsp_sim_* families, the driver publishes fdlsp_core_* and
+	// fdlsp_transport_* families when the run finishes. Values derive only
+	// from deterministic per-seed accounting, so equal seeds yield
+	// byte-identical registry snapshots.
+	Metrics *obs.Registry
 }
 
 // Result is the outcome of one scheduling run (any algorithm).
@@ -195,7 +202,7 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 
 		// Primary MIS among active nodes (radius-1 competition).
 		seed := nextSeed()
-		statuses, stats, tt, crashed, returned, err := runCompetitionPhase(g, seed, 1, competing, drawer, states, opts.Trace, shiftedPlan(), topt, deadList(dead))
+		statuses, stats, tt, crashed, returned, err := runCompetitionPhase(g, seed, 1, competing, drawer, states, opts.Trace, shiftedPlan(), topt, deadList(dead), opts.Metrics)
 		if err != nil {
 			return nil, fmt.Errorf("core: DistMIS primary MIS: %w", err)
 		}
@@ -228,7 +235,7 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 			}
 			inner++
 			seed := nextSeed()
-			statuses, stats, tt, crashed, returned, err := runCompetitionPhase(g, seed, radius, inS, drawer, states, opts.Trace, shiftedPlan(), topt, deadList(dead))
+			statuses, stats, tt, crashed, returned, err := runCompetitionPhase(g, seed, radius, inS, drawer, states, opts.Trace, shiftedPlan(), topt, deadList(dead), opts.Metrics)
 			if err != nil {
 				return nil, fmt.Errorf("core: DistMIS secondary MIS: %w", err)
 			}
@@ -259,7 +266,7 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 				return nil, fmt.Errorf("core: DistMIS secondary MIS selected nobody")
 			}
 			seed = nextSeed()
-			stats, tt, crashed, returned, err = runColorPhase(g, seed, states, selected, opts.Variant, dead, opts.Trace, shiftedPlan(), topt, deadList(dead))
+			stats, tt, crashed, returned, err = runColorPhase(g, seed, states, selected, opts.Variant, dead, opts.Trace, shiftedPlan(), topt, deadList(dead), opts.Metrics)
 			if err != nil {
 				return nil, fmt.Errorf("core: DistMIS color phase: %w", err)
 			}
@@ -299,7 +306,7 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 			rej.Returned = append(rej.Returned, v)
 		}
 	}
-	return &Result{
+	res := &Result{
 		Algorithm:  "distMIS-" + opts.Variant.String() + "/" + drawer.Name(),
 		Assignment: as,
 		Slots:      as.NumColors(),
@@ -310,7 +317,9 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 		Crashed:    deadList(dead),
 		Rejoin:     rej,
 		Transport:  ttot,
-	}, nil
+	}
+	publishResult(opts.Metrics, "distmis", res)
+	return res, nil
 }
 
 // dropDead clears mask entries for dead nodes, returning how many were
@@ -379,7 +388,7 @@ func (nd *misPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool {
 // returns each node's final status (non-competitors report Dominated) plus
 // the phase's transport accounting and the nodes that crash-stopped during
 // it.
-func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []bool, drawer mis.Drawer, states []*nodeState, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int) ([]mis.Status, sim.Stats, transport.Totals, []int, []int, error) {
+func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []bool, drawer mis.Drawer, states []*nodeState, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int, metrics *obs.Registry) ([]mis.Status, sim.Stats, transport.Totals, []int, []int, error) {
 	nodes := make([]*misPhaseNode, g.N())
 	wraps := make([]*transport.Sync, g.N())
 	eng := sim.NewSyncEngine(g, seed, func(id int) sim.SyncNode {
@@ -390,6 +399,7 @@ func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []boo
 	})
 	eng.Trace = trace
 	eng.Fault = plan
+	eng.Metrics = metrics
 	if plan != nil {
 		eng.MaxRounds = faultyMaxRounds(g.N())
 	}
@@ -462,7 +472,7 @@ func (nd *colorPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool
 	return true
 }
 
-func runColorPhase(g *graph.Graph, seed int64, states []*nodeState, selected []bool, variant Variant, dead []bool, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int) (sim.Stats, transport.Totals, []int, []int, error) {
+func runColorPhase(g *graph.Graph, seed int64, states []*nodeState, selected []bool, variant Variant, dead []bool, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int, metrics *obs.Registry) (sim.Stats, transport.Totals, []int, []int, error) {
 	var snapshot []bool
 	if plan != nil {
 		snapshot = append([]bool(nil), dead...)
@@ -475,6 +485,7 @@ func runColorPhase(g *graph.Graph, seed int64, states []*nodeState, selected []b
 	})
 	eng.Trace = trace
 	eng.Fault = plan
+	eng.Metrics = metrics
 	if plan != nil {
 		eng.MaxRounds = faultyMaxRounds(g.N())
 	}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fdlsp/internal/obs"
+	"fdlsp/internal/sim"
+	"fdlsp/internal/transport"
+)
+
+// Metric families of the scheduling algorithms. A run publishes its Result
+// into the registry handed in via Options.Metrics / DFSOptions.Metrics:
+// per-phase round/message breakdowns, iteration counts, slot counts, and
+// the crash/rejoin accounting. The phase engines and the transport publish
+// their own families (fdlsp_sim_*, fdlsp_transport_*) on the same registry,
+// so one registry snapshot covers a run end to end. All published values
+// derive from deterministic per-seed accounting.
+const (
+	metricRuns           = "fdlsp_core_runs_total"
+	metricSlots          = "fdlsp_core_slots"
+	metricPhaseRounds    = "fdlsp_core_phase_rounds_total"
+	metricPhaseMessages  = "fdlsp_core_phase_messages_total"
+	metricIterations     = "fdlsp_core_iterations_total"
+	metricCrashedNodes   = "fdlsp_core_crashed_nodes_total"
+	metricRejoinReturned = "fdlsp_core_rejoin_returned_total"
+	metricRejoinResync   = "fdlsp_core_rejoin_resync_messages_total"
+	metricRejoinRebased  = "fdlsp_core_rejoin_rebased_total"
+)
+
+// RegisterMetrics creates the algorithm metric families in reg — plus the
+// engine and transport families a run also feeds — without recording any
+// samples, so a scrape exposes the full schema from process start.
+// Idempotent.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.CounterVec(metricRuns, "Scheduling runs completed, by algorithm.", "algorithm")
+	reg.GaugeVec(metricSlots, "TDMA frame length of the most recent run, by algorithm.", "algorithm")
+	reg.CounterVec(metricPhaseRounds, "Communication rounds, by algorithm and protocol phase.", "algorithm", "phase")
+	reg.CounterVec(metricPhaseMessages, "Messages sent, by algorithm and protocol phase.", "algorithm", "phase")
+	reg.CounterVec(metricIterations, "Protocol loop iterations (DistMIS outer/inner MIS peeling).", "algorithm", "loop")
+	reg.CounterVec(metricCrashedNodes, "Nodes that crash-stopped and never returned.", "algorithm")
+	reg.CounterVec(metricRejoinReturned, "Nodes that returned from a bounded outage and reintegrated in-protocol.", "algorithm")
+	reg.CounterVec(metricRejoinResync, "Messages originated by the rejoin handshake (resyncReq/resyncReply and re-announcements).", "algorithm")
+	reg.CounterVec(metricRejoinRebased, "Driver re-launches: DistMIS phase re-basings and DFS recovery epochs beyond the first.", "algorithm")
+	sim.RegisterMetrics(reg)
+	transport.RegisterMetrics(reg)
+}
+
+// publishResult folds one finished run into reg under an algorithm label
+// ("distmis" or "dfs" — variants and policies are accounted together so
+// dashboards aggregate naturally; the Result keeps the precise flavour).
+func publishResult(reg *obs.Registry, algo string, res *Result) {
+	if reg == nil {
+		return
+	}
+	RegisterMetrics(reg)
+	reg.CounterVec(metricRuns, "", "algorithm").With(algo).Inc()
+	reg.GaugeVec(metricSlots, "", "algorithm").With(algo).Set(float64(res.Slots))
+	rounds := reg.CounterVec(metricPhaseRounds, "", "algorithm", "phase")
+	msgs := reg.CounterVec(metricPhaseMessages, "", "algorithm", "phase")
+	if len(res.Breakdown) > 0 {
+		for _, phase := range []string{"primary-mis", "secondary-mis", "coloring"} {
+			if st, ok := res.Breakdown[phase]; ok {
+				rounds.With(algo, phase).Add(float64(st.Rounds))
+				msgs.With(algo, phase).Add(float64(st.Messages))
+			}
+		}
+	} else {
+		rounds.With(algo, "traversal").Add(float64(res.Stats.Rounds))
+		msgs.With(algo, "traversal").Add(float64(res.Stats.Messages))
+	}
+	iters := reg.CounterVec(metricIterations, "", "algorithm", "loop")
+	if res.OuterIters > 0 || res.InnerIters > 0 {
+		iters.With(algo, "outer").Add(float64(res.OuterIters))
+		iters.With(algo, "inner").Add(float64(res.InnerIters))
+	}
+	reg.CounterVec(metricCrashedNodes, "", "algorithm").With(algo).Add(float64(len(res.Crashed)))
+	reg.CounterVec(metricRejoinReturned, "", "algorithm").With(algo).Add(float64(len(res.Rejoin.Returned)))
+	reg.CounterVec(metricRejoinResync, "", "algorithm").With(algo).Add(float64(res.Rejoin.ResyncMsgs))
+	reg.CounterVec(metricRejoinRebased, "", "algorithm").With(algo).Add(float64(res.Rejoin.Rebased))
+	transport.PublishTotals(reg, res.Transport)
+}

@@ -1,0 +1,43 @@
+package expt
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update rewrites the golden files from the current output:
+//
+//	go test ./internal/expt -run TestBroadcastComparisonGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestBroadcastComparisonGolden pins the rendered table (and its CSV form)
+// of one ext-* experiment on a tiny seeded configuration. The experiment is
+// fully deterministic per seed, so any drift here means the algorithms, the
+// statistics, or the table formatting changed — all of which should be
+// deliberate, reviewed via the golden diff.
+func TestBroadcastComparisonGolden(t *testing.T) {
+	tbl, err := BroadcastComparison([]int{10, 14}, 4, 1.5, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.String() + "\n--- csv ---\n" + tbl.CSV()
+	golden := filepath.Join("testdata", "broadcast_comparison.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("experiment table drifted (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -2,6 +2,11 @@
 // service (cmd/fdlspd): clients POST a network and get back a verified TDMA
 // schedule, bounds, or an SVG rendering. Handlers are plain http.Handlers,
 // fully exercised by httptest in the package tests.
+//
+// Every route is instrumented: per-route request counters and latency
+// histograms feed an obs.Registry exposed at GET /metrics in Prometheus
+// text format, alongside the fdlsp_core_*, fdlsp_sim_* and
+// fdlsp_transport_* families the scheduling runs publish (see metrics.go).
 package httpapi
 
 import (
@@ -16,23 +21,20 @@ import (
 	"fdlsp/internal/energy"
 	"fdlsp/internal/geom"
 	"fdlsp/internal/graph"
+	"fdlsp/internal/obs"
 	"fdlsp/internal/sched"
 	"fdlsp/internal/traffic"
 	"fdlsp/internal/viz"
 )
 
-// NewMux returns the service's routing table.
-func NewMux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", handleHealth)
-	mux.HandleFunc("POST /v1/schedule", handleSchedule)
-	mux.HandleFunc("POST /v1/verify", handleVerify)
-	mux.HandleFunc("POST /v1/bounds", handleBounds)
-	mux.HandleFunc("POST /v1/render", handleRender)
-	mux.HandleFunc("POST /v1/traffic", handleTraffic)
-	mux.HandleFunc("POST /v1/energy", handleEnergy)
-	return mux
-}
+// NewMux returns the service's routing table over a fresh metrics registry.
+func NewMux() *http.ServeMux { return NewMuxWith(obs.NewRegistry()) }
+
+// NewMuxWith returns the routing table with all instrumentation feeding
+// reg; GET /metrics serves reg in Prometheus text format. Callers that also
+// mount pprof or other endpoints on the same server pass their own registry
+// here to keep one exposition surface.
+func NewMuxWith(reg *obs.Registry) *http.ServeMux { return newService(reg).mux() }
 
 // scheduleRequest is the input of POST /v1/schedule.
 type scheduleRequest struct {
@@ -60,7 +62,7 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func handleSchedule(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var req scheduleRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -83,14 +85,14 @@ func handleSchedule(w http.ResponseWriter, r *http.Request) {
 		if algo == "distmis-general" {
 			variant = core.General
 		}
-		res, err := core.DistMIS(g, core.Options{Seed: req.Seed, Variant: variant})
+		res, err := core.DistMIS(g, core.Options{Seed: req.Seed, Variant: variant, Metrics: s.reg})
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		as, rounds, messages = res.Assignment, res.Stats.Rounds, res.Stats.Messages
 	case "dfs":
-		res, err := core.DFS(g, core.DFSOptions{Seed: req.Seed})
+		res, err := core.DFS(g, core.DFSOptions{Seed: req.Seed, Metrics: s.reg})
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return

@@ -1,0 +1,92 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"fdlsp/internal/core"
+	"fdlsp/internal/obs"
+)
+
+// Metric families of the HTTP service itself. Every route is wrapped by the
+// instrumentation middleware, which records a per-route/method/status
+// request counter, a per-route latency histogram, and the in-flight gauge.
+// The same registry also receives the fdlsp_core_*, fdlsp_sim_* and
+// fdlsp_transport_* families fed by the scheduling runs the /v1/schedule
+// handler performs, so one GET /metrics scrape covers the whole stack.
+const (
+	metricHTTPRequests = "fdlsp_http_requests_total"
+	metricHTTPLatency  = "fdlsp_http_request_duration_seconds"
+	metricHTTPInFlight = "fdlsp_http_in_flight_requests"
+)
+
+// service carries the HTTP handlers' shared dependencies: the metrics
+// registry and the clock (overridable in tests so latency buckets can be
+// asserted deterministically).
+type service struct {
+	reg      *obs.Registry
+	now      func() time.Time
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+	inflight *obs.Gauge
+}
+
+// newService builds the handler set over reg and pre-registers every metric
+// family the service can emit — http, core, sim, and transport — so a
+// scrape exposes the full schema before the first request.
+func newService(reg *obs.Registry) *service {
+	s := &service{
+		reg: reg,
+		//lint:ignore detrand HTTP request latency is wall-clock by definition; tests inject a fake clock
+		now:      time.Now,
+		requests: reg.CounterVec(metricHTTPRequests, "HTTP requests served, by route, method and status code.", "route", "method", "code"),
+		latency:  reg.HistogramVec(metricHTTPLatency, "HTTP request latency in seconds, by route.", obs.DefLatencyBuckets(), "route"),
+		inflight: reg.Gauge(metricHTTPInFlight, "Requests currently being served."),
+	}
+	core.RegisterMetrics(reg)
+	return s
+}
+
+// statusWriter captures the status code a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route handler with request counting and latency
+// observation. The route label is the registered pattern's path (bounded
+// cardinality), never the raw URL.
+func (s *service) instrument(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		s.requests.With(route, r.Method, strconv.Itoa(sw.code)).Inc()
+		s.latency.With(route).Observe(s.now().Sub(start).Seconds())
+	})
+}
+
+// mux assembles the routing table with every route instrumented.
+func (s *service) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	route := func(pattern, path string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(path, h))
+	}
+	route("GET /healthz", "/healthz", handleHealth)
+	route("POST /v1/schedule", "/v1/schedule", s.handleSchedule)
+	route("POST /v1/verify", "/v1/verify", handleVerify)
+	route("POST /v1/bounds", "/v1/bounds", handleBounds)
+	route("POST /v1/render", "/v1/render", handleRender)
+	route("POST /v1/traffic", "/v1/traffic", handleTraffic)
+	route("POST /v1/energy", "/v1/energy", handleEnergy)
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.reg.Handler()))
+	return mux
+}

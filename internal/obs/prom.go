@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// infUB is the histogram overflow bucket's upper bound.
+var infUB = math.Inf(1)
+
+// Text renders the registry in the Prometheus text exposition format
+// (version 0.0.4). The output is byte-deterministic for a fixed registry
+// state: families and series are emitted in the Snapshot order, floats at
+// full round-trip precision.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	for _, f := range r.Snapshot() {
+		writeFamily(&b, f)
+	}
+	return b.String()
+}
+
+// WriteText writes the Prometheus text rendering to w.
+func (r *Registry) WriteText(w io.Writer) error {
+	_, err := io.WriteString(w, r.Text())
+	return err
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WriteText(w)
+	})
+}
+
+func writeFamily(b *strings.Builder, f FamilySnapshot) {
+	if f.Help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.Help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(f.Name)
+	b.WriteByte(' ')
+	b.WriteString(f.Kind.String())
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		switch f.Kind {
+		case KindHistogram:
+			for _, bk := range s.Buckets {
+				writeSample(b, f.Name+"_bucket", append(append([]Label(nil), s.Labels...), Label{Key: "le", Value: formatUB(bk.UpperBound)}), float64(bk.Count))
+			}
+			writeSample(b, f.Name+"_sum", s.Labels, s.Sum)
+			writeSample(b, f.Name+"_count", s.Labels, float64(s.Count))
+		default:
+			writeSample(b, f.Name, s.Labels, s.Value)
+		}
+	}
+}
+
+func writeSample(b *strings.Builder, name string, labels []Label, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integers without an exponent or
+// decimal point (the common case — every repository metric is a count),
+// other values at full round-trip precision.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatUB renders a histogram bucket bound for the le label.
+func formatUB(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

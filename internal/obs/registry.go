@@ -1,0 +1,392 @@
+// Package obs is the repository's observability layer: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms, labeled
+// families) with a deterministic snapshot API and Prometheus text-format
+// exposition.
+//
+// The registry exists for two consumers with opposite needs. The service
+// (cmd/fdlspd) scrapes a live registry over GET /metrics, so updates must
+// be safe under concurrent HTTP handlers. The test harness
+// (internal/conformance) asserts that two runs of the same seed produce
+// byte-identical snapshots, so exposition must be fully deterministic:
+// families sort by name, series sort by label values, label key order is
+// fixed at family creation, and floats render via strconv at full
+// precision. Nothing in the package reads wall-clock time or global state —
+// determinism is the caller's to keep (feed only seeded-run values).
+//
+// Naming scheme (see DESIGN.md): every family is prefixed fdlsp_ followed
+// by the subsystem (sim, transport, core, http), counters end in _total,
+// histograms carry a unit suffix (_seconds), gauges are bare nouns.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind discriminates the three metric types.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric family: a kind, a fixed label-key schema, and
+// the series instantiated so far.
+type family struct {
+	name      string
+	help      string
+	kind      Kind
+	labelKeys []string
+	buckets   []float64 // histogram upper bounds, ascending; +Inf implicit
+	series    map[string]*series
+}
+
+// series is one (family, label values) time series.
+type series struct {
+	mu        *sync.Mutex // the registry's lock, shared
+	labelVals []string
+	value     float64  // counter / gauge
+	counts    []uint64 // histogram: one per bucket plus the +Inf overflow
+	sum       float64
+	count     uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the family, creating it on first registration. Re-registering
+// with the same schema is idempotent (so independent subsystems can both
+// ensure their families exist); a conflicting schema panics — that is a
+// programming error, not an operational condition.
+func (r *Registry) lookup(name, help string, kind Kind, labelKeys []string, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:      name,
+			help:      help,
+			kind:      kind,
+			labelKeys: append([]string(nil), labelKeys...),
+			buckets:   append([]float64(nil), buckets...),
+			series:    make(map[string]*series),
+		}
+		for i := 1; i < len(f.buckets); i++ {
+			if f.buckets[i] <= f.buckets[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending", name))
+			}
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind || len(f.labelKeys) != len(labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different schema", name))
+	}
+	for i, k := range labelKeys {
+		if f.labelKeys[i] != k {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different label keys", name))
+		}
+	}
+	return f
+}
+
+// get returns the series for the given label values, creating it at zero.
+func (f *family) get(mu *sync.Mutex, labelVals []string) *series {
+	if len(labelVals) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labelKeys), len(labelVals)))
+	}
+	key := ""
+	for _, v := range labelVals {
+		key += v + "\x00"
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{mu: mu, labelVals: append([]string(nil), labelVals...)}
+		if f.kind == KindHistogram {
+			s.counts = make([]uint64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (must be >= 0).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		panic("obs: counter decremented")
+	}
+	c.s.mu.Lock()
+	c.s.value += delta
+	c.s.mu.Unlock()
+}
+
+// Value returns the current value.
+func (c *Counter) Value() float64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.value
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.s.mu.Lock()
+	g.s.value = v
+	g.s.mu.Unlock()
+}
+
+// Add adjusts the value by delta (negative allowed).
+func (g *Gauge) Add(delta float64) {
+	g.s.mu.Lock()
+	g.s.value += delta
+	g.s.mu.Unlock()
+}
+
+// SetMax raises the gauge to v if v exceeds the current value (peak
+// tracking, e.g. transport max-in-flight across runs).
+func (g *Gauge) SetMax(v float64) {
+	g.s.mu.Lock()
+	if v > g.s.value {
+		g.s.value = v
+	}
+	g.s.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.s.value
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.s.mu.Lock()
+	idx := len(h.buckets) // +Inf overflow
+	for i, ub := range h.buckets {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	h.s.counts[idx]++
+	h.s.sum += v
+	h.s.count++
+	h.s.mu.Unlock()
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.count
+}
+
+// Counter registers (or finds) an unlabeled counter. The single series is
+// created immediately, so the family exposes a zero sample from the start.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, KindCounter, nil, nil)
+	return &Counter{s: f.get(&r.mu, nil)}
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, KindGauge, nil, nil)
+	return &Gauge{s: f.get(&r.mu, nil)}
+}
+
+// Histogram registers (or finds) an unlabeled histogram with the given
+// ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, KindHistogram, nil, buckets)
+	return &Histogram{s: f.get(&r.mu, nil), buckets: f.buckets}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct {
+	r *Registry
+	f *family
+}
+
+// CounterVec registers (or finds) a labeled counter family. No series exist
+// until With is called; the family still exposes its HELP/TYPE header.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &CounterVec{r: r, f: r.lookup(name, help, KindCounter, labelKeys, nil)}
+}
+
+// With returns the counter for the given label values (ordered as the keys
+// were registered), creating it at zero on first use.
+func (v *CounterVec) With(labelVals ...string) *Counter {
+	v.r.mu.Lock()
+	defer v.r.mu.Unlock()
+	return &Counter{s: v.f.get(&v.r.mu, labelVals)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct {
+	r *Registry
+	f *family
+}
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &GaugeVec{r: r, f: r.lookup(name, help, KindGauge, labelKeys, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelVals ...string) *Gauge {
+	v.r.mu.Lock()
+	defer v.r.mu.Unlock()
+	return &Gauge{s: v.f.get(&v.r.mu, labelVals)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct {
+	r *Registry
+	f *family
+}
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &HistogramVec{r: r, f: r.lookup(name, help, KindHistogram, labelKeys, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelVals ...string) *Histogram {
+	v.r.mu.Lock()
+	defer v.r.mu.Unlock()
+	return &Histogram{s: v.f.get(&v.r.mu, labelVals), buckets: v.f.buckets}
+}
+
+// DefLatencyBuckets is the default bucket ladder for request-latency
+// histograms, in seconds (the Prometheus client default).
+func DefLatencyBuckets() []float64 {
+	return []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+}
+
+// Label is one key=value pair of a series.
+type Label struct {
+	Key, Value string
+}
+
+// BucketCount is one histogram bucket in a snapshot: the cumulative count of
+// observations at or below UpperBound.
+type BucketCount struct {
+	UpperBound float64 // +Inf for the overflow bucket
+	Count      uint64  // cumulative, Prometheus-style
+}
+
+// SeriesSnapshot is one series frozen at snapshot time.
+type SeriesSnapshot struct {
+	Labels  []Label
+	Value   float64       // counter / gauge
+	Buckets []BucketCount // histogram only
+	Sum     float64       // histogram only
+	Count   uint64        // histogram only
+}
+
+// FamilySnapshot is one family frozen at snapshot time, series sorted by
+// label values.
+type FamilySnapshot struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Series []SeriesSnapshot
+}
+
+// Snapshot freezes the whole registry into a deterministic structure:
+// families sorted by name, series sorted lexicographically by label values.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]FamilySnapshot, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := SeriesSnapshot{}
+			for i, key := range f.labelKeys {
+				ss.Labels = append(ss.Labels, Label{Key: key, Value: s.labelVals[i]})
+			}
+			switch f.kind {
+			case KindHistogram:
+				cum := uint64(0)
+				for i, c := range s.counts {
+					cum += c
+					ub := 0.0
+					if i < len(f.buckets) {
+						ub = f.buckets[i]
+						ss.Buckets = append(ss.Buckets, BucketCount{UpperBound: ub, Count: cum})
+					} else {
+						ss.Buckets = append(ss.Buckets, BucketCount{UpperBound: infUB, Count: cum})
+					}
+				}
+				ss.Sum = s.sum
+				ss.Count = s.count
+			default:
+				ss.Value = s.value
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

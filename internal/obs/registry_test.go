@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("fdlsp_test_ops_total", "ops")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	g := r.Gauge("fdlsp_test_depth", "depth")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+	g.SetMax(2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("SetMax lowered the gauge: %v", got)
+	}
+	g.SetMax(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("SetMax = %v, want 7", got)
+	}
+}
+
+func TestCounterPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter add did not panic")
+		}
+	}()
+	NewRegistry().Counter("fdlsp_test_total", "").Add(-1)
+}
+
+func TestReRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterVec("fdlsp_test_total", "h", "k")
+	b := r.CounterVec("fdlsp_test_total", "h", "k")
+	a.With("x").Inc()
+	b.With("x").Inc()
+	if got := a.With("x").Value(); got != 2 {
+		t.Fatalf("re-registered vec did not share series: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	r.GaugeVec("fdlsp_test_total", "h", "k")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("fdlsp_test_seconds", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 9} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 1 {
+		t.Fatalf("unexpected snapshot shape: %+v", snap)
+	}
+	s := snap[0].Series[0]
+	wantCum := []uint64{2, 3, 4, 5} // le=1, le=2, le=4, +Inf
+	for i, bk := range s.Buckets {
+		if bk.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, bk.Count, wantCum[i])
+		}
+	}
+	if s.Sum != 15 {
+		t.Fatalf("sum = %v, want 15", s.Sum)
+	}
+}
+
+func TestTextFormatDeterministicAndSorted(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		v := r.CounterVec("fdlsp_zeta_total", "last family", "engine", "reason")
+		v.With("sync", "fault").Add(2)
+		v.With("async", "dead").Add(1)
+		v.With("async", "fault").Add(4)
+		r.Gauge("fdlsp_alpha", "first family").Set(1)
+		h := r.Histogram("fdlsp_mid_seconds", "histogram", []float64{0.5})
+		h.Observe(0.25)
+		h.Observe(0.75)
+		return r.Text()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("two identical registries rendered differently:\n%s\n--- vs ---\n%s", a, b)
+	}
+	wantOrder := []string{
+		"# HELP fdlsp_alpha first family",
+		"# TYPE fdlsp_alpha gauge",
+		"fdlsp_alpha 1",
+		"# TYPE fdlsp_mid_seconds histogram",
+		`fdlsp_mid_seconds_bucket{le="0.5"} 1`,
+		`fdlsp_mid_seconds_bucket{le="+Inf"} 2`,
+		"fdlsp_mid_seconds_sum 1",
+		"fdlsp_mid_seconds_count 2",
+		"# TYPE fdlsp_zeta_total counter",
+		`fdlsp_zeta_total{engine="async",reason="dead"} 1`,
+		`fdlsp_zeta_total{engine="async",reason="fault"} 4`,
+		`fdlsp_zeta_total{engine="sync",reason="fault"} 2`,
+	}
+	idx := -1
+	for _, line := range wantOrder {
+		at := strings.Index(a, line)
+		if at < 0 {
+			t.Fatalf("missing line %q in:\n%s", line, a)
+		}
+		if at < idx {
+			t.Fatalf("line %q out of order in:\n%s", line, a)
+		}
+		idx = at
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("fdlsp_esc_total", "h", "path").With("a\"b\\c\nd").Inc()
+	text := r.Text()
+	want := `fdlsp_esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(text, want) {
+		t.Fatalf("escaped sample %q not found in:\n%s", want, text)
+	}
+}
+
+func TestUnlabeledFamiliesExposeZero(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fdlsp_idle_total", "never incremented")
+	r.CounterVec("fdlsp_labeled_total", "no series yet", "k")
+	text := r.Text()
+	if !strings.Contains(text, "fdlsp_idle_total 0") {
+		t.Fatalf("unlabeled counter should expose a zero sample:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE fdlsp_labeled_total counter") {
+		t.Fatalf("labeled family should expose its TYPE header:\n%s", text)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fdlsp_h_total", "h").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	resp2, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("fdlsp_conc_total", "")
+	v := r.CounterVec("fdlsp_conc_labeled_total", "", "worker")
+	h := r.Histogram("fdlsp_conc_seconds", "", DefLatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lab := v.With(string(rune('a' + w)))
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				lab.Inc()
+				h.Observe(float64(i) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %v, want 8000", got)
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"fdlsp/internal/graph"
+	"fdlsp/internal/obs"
 )
 
 // AsyncNode is the behavior of one processor under the asynchronous model:
@@ -171,6 +172,9 @@ type AsyncEngine struct {
 	// error. Zero means unlimited (matching the pre-fault engine, which
 	// likewise ran until quiescence or FinishAll).
 	MaxEvents int64
+	// Metrics optionally receives the run's accounting (fdlsp_sim_* counter
+	// families, engine="async") when Run finishes, successfully or not.
+	Metrics *obs.Registry
 
 	queue     eventHeap
 	seq       int64
@@ -414,6 +418,7 @@ func (eng *AsyncEngine) Run() error {
 	}
 	emitMarks(eng.maxClock)
 	eng.stats.Rounds = eng.maxClock
+	publishStats(eng.Metrics, "async", eng.stats)
 	return eng.err
 }
 

@@ -1,0 +1,44 @@
+package sim
+
+import "fdlsp/internal/obs"
+
+// Metric families of the simulation engines. Both engines publish their run
+// accounting into an optional obs.Registry at the end of every Run, from the
+// single-threaded epilogue — the hot path stays untouched, and the published
+// values are exactly the deterministic Stats the engines already guarantee,
+// so per-seed registry snapshots are byte-identical regardless of
+// GOMAXPROCS.
+const (
+	metricRuns       = "fdlsp_sim_runs_total"
+	metricRounds     = "fdlsp_sim_rounds_total"
+	metricMessages   = "fdlsp_sim_messages_total"
+	metricDropped    = "fdlsp_sim_dropped_messages_total"
+	metricDuplicated = "fdlsp_sim_duplicated_messages_total"
+)
+
+// RegisterMetrics creates the engines' metric families in reg without
+// recording any samples, so a scrape exposes them from process start.
+// Idempotent.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.CounterVec(metricRuns, "Engine runs completed, including aborted ones.", "engine")
+	reg.CounterVec(metricRounds, "Synchronous rounds executed (sync) or virtual completion time accumulated (async).", "engine")
+	reg.CounterVec(metricMessages, "Messages sent through the engines.", "engine")
+	reg.CounterVec(metricDropped, "Messages discarded before delivery, by reason (dead = receiver already terminated, fault = FaultPlan loss or crash window).", "engine", "reason")
+	reg.CounterVec(metricDuplicated, "Extra message copies injected by the FaultPlan.", "engine")
+}
+
+// publishStats folds one run's Stats into reg under the engine label
+// ("sync" or "async").
+func publishStats(reg *obs.Registry, engine string, st Stats) {
+	if reg == nil {
+		return
+	}
+	RegisterMetrics(reg)
+	reg.CounterVec(metricRuns, "", "engine").With(engine).Inc()
+	reg.CounterVec(metricRounds, "", "engine").With(engine).Add(float64(st.Rounds))
+	reg.CounterVec(metricMessages, "", "engine").With(engine).Add(float64(st.Messages))
+	drops := reg.CounterVec(metricDropped, "", "engine", "reason")
+	drops.With(engine, "dead").Add(float64(st.DroppedDead))
+	drops.With(engine, "fault").Add(float64(st.DroppedFault))
+	reg.CounterVec(metricDuplicated, "", "engine").With(engine).Add(float64(st.Duplicated))
+}

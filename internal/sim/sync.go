@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"fdlsp/internal/graph"
+	"fdlsp/internal/obs"
 )
 
 // SyncNode is the behavior of one processor under the synchronous model.
@@ -84,6 +85,11 @@ type SyncEngine struct {
 	// Fault optionally injects message loss, duplication, reordering, and
 	// node crashes. nil means a perfectly reliable network.
 	Fault *FaultPlan
+	// Metrics optionally receives the run's accounting (fdlsp_sim_* counter
+	// families, engine="sync") when Run finishes, successfully or not. The
+	// published values are the deterministic Stats, so snapshots are
+	// byte-identical per seed regardless of GOMAXPROCS.
+	Metrics *obs.Registry
 
 	stats    Stats
 	crashed  []int
@@ -143,6 +149,7 @@ func noteReturn(returned *[]int, restarts map[int]int, v int) NodeRestarted {
 // messages remain in flight, or the round budget is exhausted (error).
 // Crash-stopped nodes count as terminated; their pending traffic is dropped.
 func (eng *SyncEngine) Run() error {
+	defer func() { publishStats(eng.Metrics, "sync", eng.stats) }()
 	n := eng.g.N()
 	maxRounds := eng.MaxRounds
 	if maxRounds == 0 {

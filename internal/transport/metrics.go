@@ -1,0 +1,54 @@
+package transport
+
+import "fdlsp/internal/obs"
+
+// Metric families of the reliable-transport layer. The transport's per-node
+// Counters are collected into Totals by the protocol drivers after each
+// engine run; PublishTotals folds one run's totals into a registry. Values
+// come from deterministic run accounting, so snapshots stay byte-identical
+// per seed.
+const (
+	metricSegments    = "fdlsp_transport_segments_total"
+	metricRetries     = "fdlsp_transport_retransmissions_total"
+	metricGaveUp      = "fdlsp_transport_giveups_total"
+	metricDupDropped  = "fdlsp_transport_duplicates_dropped_total"
+	metricAcks        = "fdlsp_transport_acks_total"
+	metricPeersDown   = "fdlsp_transport_peer_down_total"
+	metricPeersUp     = "fdlsp_transport_peer_up_total"
+	metricRTTSamples  = "fdlsp_transport_rtt_samples_total"
+	metricVouched     = "fdlsp_transport_vouches_total"
+	metricMaxInFlight = "fdlsp_transport_max_in_flight"
+)
+
+// RegisterMetrics creates the transport metric families in reg without
+// recording any samples. Idempotent.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Counter(metricSegments, "Protocol payloads handed to the transport.")
+	reg.Counter(metricRetries, "Retransmissions performed by the ARQ layer.")
+	reg.Counter(metricGaveUp, "Segments abandoned after MaxRetries unacknowledged retransmissions.")
+	reg.Counter(metricDupDropped, "Received duplicate segments suppressed by sequence numbers.")
+	reg.Counter(metricAcks, "Acknowledgement frames sent.")
+	reg.Counter(metricPeersDown, "PeerDown verdicts issued (give-ups on a peer).")
+	reg.Counter(metricPeersUp, "PeerDown verdicts rescinded after contact resumed (PeerUp).")
+	reg.Counter(metricRTTSamples, "Round-trip samples fed to the adaptive RTO estimator.")
+	reg.Counter(metricVouched, "Retry budgets reset by direct contact or gossip liveness vouches.")
+	reg.Gauge(metricMaxInFlight, "Peak unacknowledged segments at any single endpoint, maximum over runs.")
+}
+
+// PublishTotals folds one run's transport totals into reg.
+func PublishTotals(reg *obs.Registry, t Totals) {
+	if reg == nil {
+		return
+	}
+	RegisterMetrics(reg)
+	reg.Counter(metricSegments, "").Add(float64(t.Segments))
+	reg.Counter(metricRetries, "").Add(float64(t.Retries))
+	reg.Counter(metricGaveUp, "").Add(float64(t.GaveUp))
+	reg.Counter(metricDupDropped, "").Add(float64(t.DupDropped))
+	reg.Counter(metricAcks, "").Add(float64(t.Acks))
+	reg.Counter(metricPeersDown, "").Add(float64(t.PeersDown))
+	reg.Counter(metricPeersUp, "").Add(float64(t.PeersUp))
+	reg.Counter(metricRTTSamples, "").Add(float64(t.RTTSamples))
+	reg.Counter(metricVouched, "").Add(float64(t.Vouched))
+	reg.Gauge(metricMaxInFlight, "").SetMax(float64(t.MaxInFlight))
+}

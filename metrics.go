@@ -1,0 +1,33 @@
+package fdlsp
+
+import (
+	"fdlsp/internal/core"
+	"fdlsp/internal/obs"
+)
+
+// Observability types. A MetricsRegistry collects counters, gauges and
+// histograms; hand one to DistMISOptions.Metrics / DFSOptions.Metrics and
+// the run publishes its per-phase cost, slot count, crash/rejoin accounting
+// and the engine/transport counters into it. Registry renderings are
+// byte-deterministic for a fixed state (families and series sorted), so two
+// runs of the same seed produce identical snapshots.
+type (
+	// MetricsRegistry is a dependency-free metrics registry with a
+	// Prometheus text exposition (Text, WriteText, Handler) and a
+	// deterministic structured Snapshot.
+	MetricsRegistry = obs.Registry
+	// MetricsFamily is one named family in a registry snapshot.
+	MetricsFamily = obs.FamilySnapshot
+	// MetricsSeries is one labelled series of a family.
+	MetricsSeries = obs.SeriesSnapshot
+	// MetricsLabel is a key/value label pair of a series.
+	MetricsLabel = obs.Label
+)
+
+// NewMetricsRegistry returns an empty registry.
+var NewMetricsRegistry = obs.NewRegistry
+
+// RegisterMetrics pre-creates every metric family the scheduling stack can
+// emit (core, sim, transport) in reg without recording samples, so a scrape
+// exposes the full schema before the first run. Idempotent.
+func RegisterMetrics(reg *MetricsRegistry) { core.RegisterMetrics(reg) }

@@ -1,0 +1,49 @@
+package fdlsp_test
+
+import (
+	"strings"
+	"testing"
+
+	"fdlsp"
+)
+
+// TestMetricsFacade exercises the public observability surface: a registry
+// handed into a run collects the core/sim/transport families, renders
+// deterministically, and exposes the structured snapshot.
+func TestMetricsFacade(t *testing.T) {
+	reg := fdlsp.NewMetricsRegistry()
+	fdlsp.RegisterMetrics(reg)
+	g := fdlsp.Grid(4, 4)
+	res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: 3, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := reg.Text()
+	if !strings.Contains(text, `fdlsp_core_runs_total{algorithm="distmis"} 1`) {
+		t.Error("run not recorded in registry")
+	}
+	if !strings.Contains(text, `fdlsp_sim_runs_total{engine="sync"}`) {
+		t.Error("engine family missing")
+	}
+	var slots float64
+	for _, fam := range reg.Snapshot() {
+		if fam.Name == "fdlsp_core_slots" {
+			for _, s := range fam.Series {
+				slots = s.Value
+			}
+		}
+	}
+	if int(slots) != res.Slots {
+		t.Errorf("snapshot slots gauge %v, run reported %d", slots, res.Slots)
+	}
+
+	// Determinism across runs of the same seed.
+	reg2 := fdlsp.NewMetricsRegistry()
+	fdlsp.RegisterMetrics(reg2)
+	if _, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: 3, Metrics: reg2}); err != nil {
+		t.Fatal(err)
+	}
+	if reg2.Text() != text {
+		t.Error("same seed produced a different registry snapshot")
+	}
+}
