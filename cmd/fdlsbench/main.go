@@ -3,13 +3,15 @@
 // asynchronous engine) on seeded G(n, 3n) instances and emits the
 // measurements as JSON.
 //
-//	fdlsbench -out BENCH_sim.json          # full grid, n ∈ {64, 256, 1024}
-//	fdlsbench -short -out /tmp/smoke.json  # CI smoke grid, n ∈ {16, 64}
+//	fdlsbench -out BENCH_sim.json                  # full grid, n ∈ {64, 256, 1024, 4096}
+//	fdlsbench -short -out /tmp/smoke.json          # CI smoke grid, n ∈ {16, 64}
+//	fdlsbench -short -baseline BENCH_sim.json      # smoke run + regression gate
 //
 // The schedule-cost columns (slots, rounds, messages) are deterministic per
-// seed; the timing columns are machine-dependent. Compare a fresh run
-// against the committed BENCH_sim.json to spot performance or cost
-// regressions.
+// seed; the timing columns are machine-dependent. With -baseline the fresh
+// run is held against the committed report: allocation regressions beyond
+// -max-growth and any drift in the deterministic cost columns exit nonzero,
+// wall-clock movement is reported but advisory (machine-dependent).
 package main
 
 import (
@@ -25,6 +27,8 @@ import (
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output file (- for stdout)")
 	short := flag.Bool("short", false, "run the reduced smoke grid")
+	baseline := flag.String("baseline", "", "baseline report to gate against (specs are matched by name)")
+	maxGrowth := flag.Float64("max-growth", 0.25, "tolerated fractional allocs/bytes growth vs the baseline")
 	flag.Parse()
 
 	suite := "baseline"
@@ -49,10 +53,33 @@ func main() {
 	}
 
 	w := tabwriter.NewWriter(os.Stderr, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "spec\tns/op\tallocs/op\tB/op\tslots\trounds\tmessages")
+	fmt.Fprintln(w, "spec\titers\tns/op\tallocs/op\tB/op\tslots\trounds\tmessages")
 	for _, m := range rep.Results {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
-			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.Slots, m.Rounds, m.Messages)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			m.Name, m.Iterations, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.Slots, m.Rounds, m.Messages)
 	}
 	w.Flush()
+
+	if *baseline == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		log.Fatalf("fdlsbench: %v", err)
+	}
+	base, err := benchkit.Load(raw)
+	if err != nil {
+		log.Fatalf("fdlsbench: %v", err)
+	}
+	cmp := benchkit.Compare(base, rep, *maxGrowth)
+	for _, s := range cmp.Advisory {
+		fmt.Fprintln(os.Stderr, "advisory:", s)
+	}
+	for _, s := range cmp.Fatal {
+		fmt.Fprintln(os.Stderr, "FAIL:", s)
+	}
+	if len(cmp.Fatal) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "baseline gate passed (%s, max growth %.0f%%)\n", *baseline, 100**maxGrowth)
 }

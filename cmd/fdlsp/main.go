@@ -143,6 +143,11 @@ func cliMain(argv []string, out io.Writer) error {
 	fmt.Fprintf(out, "algorithm: %s\n", label)
 	fmt.Fprintf(out, "slots: %d  links: %d  max-concurrency: %d  avg-concurrency: %.2f\n",
 		st.FrameLength, st.Links, st.MaxConcurrency, st.AvgConcurrency)
+	// Complete fault-free greedy schedules use every slot, so the line only
+	// appears when crash recovery (or offline optimization) left gaps.
+	if dc := as.DistinctColors(); dc != st.FrameLength {
+		fmt.Fprintf(out, "distinct-colors: %d (%d idle slots in the frame)\n", dc, st.FrameLength-dc)
+	}
 	if stats != nil {
 		fmt.Fprintf(out, "cost: %d rounds, %d messages\n", stats.Rounds, stats.Messages)
 	}

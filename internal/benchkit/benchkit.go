@@ -2,10 +2,12 @@
 // measures the end-to-end scheduling latency, allocation profile and
 // communication cost of the two engines on fixed seeded instances and
 // renders the result as JSON. cmd/fdlsbench writes the committed
-// BENCH_sim.json baseline with it; CI runs the short suite as a smoke
-// check. Timing uses testing.Benchmark, so iteration counts auto-scale and
-// the cost metrics (slots, rounds, messages) stay the deterministic
-// per-seed values.
+// BENCH_sim.json baseline with it; CI runs the short suite as a smoke check
+// and gates allocation regressions with Compare. The cost metrics (slots,
+// rounds, messages) are the deterministic per-seed values; the timing and
+// allocation figures are averaged over at least MinIterations runs and
+// MinBenchNs of wall clock, both recorded in the report so a reader can
+// judge how trustworthy the averages are.
 package benchkit
 
 import (
@@ -13,10 +15,20 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"testing"
+	"time"
 
 	"fdlsp/internal/core"
 	"fdlsp/internal/graph"
+)
+
+// Iteration floors for every measurement. testing.Benchmark-style
+// auto-scaling can settle on a single iteration for slow specs, which makes
+// the allocation columns hostage to one run's GC and scheduler noise; the
+// harness instead always runs at least MinIterations iterations AND at
+// least MinBenchNs of wall clock, whichever takes longer.
+const (
+	MinIterations = 3
+	MinBenchNs    = int64(200 * time.Millisecond)
 )
 
 // Spec is one benchmark point: an engine ("sync" runs DistMIS on the
@@ -30,8 +42,9 @@ type Spec struct {
 	Seed   int64  `json:"seed"`
 }
 
-// Measurement is one spec's outcome: wall-clock and allocation figures from
-// testing.Benchmark plus the run's deterministic schedule cost.
+// Measurement is one spec's outcome: wall-clock and allocation figures
+// averaged over the measured iterations plus the run's deterministic
+// schedule cost.
 type Measurement struct {
 	Spec
 	Iterations  int   `json:"iterations"`
@@ -46,16 +59,20 @@ type Measurement struct {
 // Report is the full baseline document serialized to BENCH_sim.json.
 type Report struct {
 	// Suite distinguishes the committed full baseline from CI smoke runs.
-	Suite      string        `json:"suite"`
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Results    []Measurement `json:"results"`
+	Suite      string `json:"suite"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// MinIterations and MinBenchNs record the iteration floors the harness
+	// enforced when the report was generated.
+	MinIterations int           `json:"min_iterations"`
+	MinBenchNs    int64         `json:"min_bench_ns"`
+	Results       []Measurement `json:"results"`
 }
 
 // DefaultSpecs returns the baseline grid: both engines at n ∈ {64, 256,
-// 1024} (short: {16, 64}, small enough for a CI smoke run).
+// 1024, 4096} (short: {16, 64}, small enough for a CI smoke run).
 func DefaultSpecs(short bool) []Spec {
-	sizes := []int{64, 256, 1024}
+	sizes := []int{64, 256, 1024, 4096}
 	if short {
 		sizes = []int{16, 64}
 	}
@@ -79,9 +96,11 @@ func DefaultSpecs(short bool) []Spec {
 // allocation figures vary between machines.
 func Run(suite string, specs []Spec) (*Report, error) {
 	rep := &Report{
-		Suite:      suite,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Suite:         suite,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		MinIterations: MinIterations,
+		MinBenchNs:    MinBenchNs,
 	}
 	for _, spec := range specs {
 		m, err := measure(spec)
@@ -93,7 +112,12 @@ func Run(suite string, specs []Spec) (*Report, error) {
 	return rep, nil
 }
 
-// measure times one spec and records its deterministic schedule cost.
+// measure times one spec and records its deterministic schedule cost. One
+// untimed warm-up run provides the cost columns and pre-faults the graph's
+// topology cache, then the timed loop runs until both iteration floors are
+// met. Allocation figures come from runtime.MemStats deltas around the
+// whole loop (Mallocs/TotalAlloc are monotonic, so no GC fencing is
+// needed), divided by the iteration count.
 func measure(spec Spec) (Measurement, error) {
 	g := graph.ConnectedGNM(spec.Nodes, spec.Edges, rand.New(rand.NewSource(spec.Seed)))
 	run := func() (*core.Result, error) {
@@ -110,20 +134,30 @@ func measure(spec Spec) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	br := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := run(); err != nil {
-				b.Fatal(err)
-			}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	// The harness measures wall clock around whole runs; no timing leaks
+	// into the protocols, whose cost columns stay deterministic.
+	start := time.Now() //lint:ignore detrand benchmark harness wall-clock measurement, outside protocol code
+	iters := 0
+	//lint:ignore detrand benchmark harness wall-clock measurement, outside protocol code
+	for iters < MinIterations || time.Since(start).Nanoseconds() < MinBenchNs {
+		if _, err := run(); err != nil {
+			return Measurement{}, err
 		}
-	})
+		iters++
+	}
+	elapsed := time.Since(start).Nanoseconds() //lint:ignore detrand benchmark harness wall-clock measurement, outside protocol code
+	runtime.ReadMemStats(&after)
+
 	return Measurement{
 		Spec:        spec,
-		Iterations:  br.N,
-		NsPerOp:     br.NsPerOp(),
-		AllocsPerOp: br.AllocsPerOp(),
-		BytesPerOp:  br.AllocedBytesPerOp(),
+		Iterations:  iters,
+		NsPerOp:     elapsed / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
 		Slots:       res.Slots,
 		Rounds:      res.Stats.Rounds,
 		Messages:    res.Stats.Messages,
@@ -138,4 +172,63 @@ func (r *Report) JSON() ([]byte, error) {
 		return nil, err
 	}
 	return append(data, '\n'), nil
+}
+
+// Load parses a report previously written with JSON.
+func Load(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchkit: parsing report: %w", err)
+	}
+	return &r, nil
+}
+
+// Comparison is the outcome of holding a fresh report against a baseline.
+// Fatal findings are meant to fail CI: allocation-count or byte regressions
+// beyond the tolerance, and any drift in the deterministic cost columns
+// (slots, rounds, messages must reproduce exactly per seed). Advisory
+// findings report wall-clock movement, which is machine-dependent and never
+// fails the gate.
+type Comparison struct {
+	Fatal    []string
+	Advisory []string
+}
+
+// Compare holds cur against base spec-by-spec (matched by name; specs
+// present in only one report are skipped, so a short smoke run can be held
+// against the committed full baseline). maxGrowth is the tolerated
+// fractional growth in allocs_per_op and bytes_per_op — 0.25 means fail
+// beyond +25%.
+func Compare(base, cur *Report, maxGrowth float64) Comparison {
+	baseline := make(map[string]Measurement, len(base.Results))
+	for _, m := range base.Results {
+		baseline[m.Name] = m
+	}
+	var c Comparison
+	for _, m := range cur.Results {
+		b, ok := baseline[m.Name]
+		if !ok {
+			continue
+		}
+		if m.Slots != b.Slots || m.Rounds != b.Rounds || m.Messages != b.Messages {
+			c.Fatal = append(c.Fatal, fmt.Sprintf(
+				"%s: deterministic cost drifted: slots/rounds/messages %d/%d/%d, baseline %d/%d/%d",
+				m.Name, m.Slots, m.Rounds, m.Messages, b.Slots, b.Rounds, b.Messages))
+		}
+		c.check(&c.Fatal, m.Name, "allocs_per_op", b.AllocsPerOp, m.AllocsPerOp, maxGrowth)
+		c.check(&c.Fatal, m.Name, "bytes_per_op", b.BytesPerOp, m.BytesPerOp, maxGrowth)
+		c.check(&c.Advisory, m.Name, "ns_per_op", b.NsPerOp, m.NsPerOp, maxGrowth)
+	}
+	return c
+}
+
+func (c *Comparison) check(sink *[]string, name, metric string, base, cur int64, maxGrowth float64) {
+	if base <= 0 {
+		return
+	}
+	limit := float64(base) * (1 + maxGrowth)
+	if float64(cur) > limit {
+		*sink = append(*sink, fmt.Sprintf("%s: %s regressed %.1f%%: %d, baseline %d (limit +%.0f%%)",
+			name, metric, 100*(float64(cur)/float64(base)-1), cur, base, 100*maxGrowth))
+	}
 }

@@ -19,8 +19,14 @@ func TestShortSuite(t *testing.T) {
 	if len(rep.Results) != len(specs) {
 		t.Fatalf("%d results for %d specs", len(rep.Results), len(specs))
 	}
+	if rep.MinIterations != MinIterations || rep.MinBenchNs != MinBenchNs {
+		t.Errorf("iteration floors not recorded: %+v", rep)
+	}
 	for _, m := range rep.Results {
-		if m.Iterations <= 0 || m.NsPerOp <= 0 || m.AllocsPerOp <= 0 {
+		if m.Iterations < MinIterations {
+			t.Errorf("%s: only %d iterations, floor is %d", m.Name, m.Iterations, MinIterations)
+		}
+		if m.NsPerOp <= 0 || m.AllocsPerOp <= 0 {
 			t.Errorf("%s: timing figures not populated: %+v", m.Name, m)
 		}
 		if m.Slots <= 0 || m.Rounds <= 0 || m.Messages <= 0 {
@@ -67,12 +73,12 @@ func TestUnknownEngineRejected(t *testing.T) {
 // TestFullGrid pins the committed baseline's shape.
 func TestFullGrid(t *testing.T) {
 	specs := DefaultSpecs(false)
-	if len(specs) != 6 {
-		t.Fatalf("full grid has %d specs, want 6", len(specs))
+	if len(specs) != 8 {
+		t.Fatalf("full grid has %d specs, want 8", len(specs))
 	}
 	want := map[string]bool{
-		"sync-n64": true, "sync-n256": true, "sync-n1024": true,
-		"async-n64": true, "async-n256": true, "async-n1024": true,
+		"sync-n64": true, "sync-n256": true, "sync-n1024": true, "sync-n4096": true,
+		"async-n64": true, "async-n256": true, "async-n1024": true, "async-n4096": true,
 	}
 	for _, s := range specs {
 		if !want[s.Name] {
@@ -81,5 +87,40 @@ func TestFullGrid(t *testing.T) {
 		if s.Edges != 3*s.Nodes {
 			t.Errorf("%s: edges %d, want 3n = %d", s.Name, s.Edges, 3*s.Nodes)
 		}
+	}
+}
+
+// TestCompareGate exercises the baseline gate: allocation growth beyond the
+// tolerance and deterministic-cost drift are fatal, wall-clock movement is
+// advisory, and specs missing from either side are skipped.
+func TestCompareGate(t *testing.T) {
+	m := func(name string, allocs, bytes, ns int64, slots int) Measurement {
+		return Measurement{
+			Spec:        Spec{Name: name},
+			AllocsPerOp: allocs, BytesPerOp: bytes, NsPerOp: ns,
+			Slots: slots, Rounds: 10, Messages: 100,
+		}
+	}
+	base := &Report{Results: []Measurement{
+		m("a", 1000, 1_000_000, 500, 7),
+		m("b", 1000, 1_000_000, 500, 7),
+		m("c", 1000, 1_000_000, 500, 7),
+		m("base-only", 1, 1, 1, 1),
+	}}
+	cur := &Report{Results: []Measurement{
+		m("a", 1200, 1_000_000, 2000, 7), // +20% allocs ok, ns spike advisory
+		m("b", 1300, 1_000_000, 500, 7),  // +30% allocs: fatal
+		m("c", 1000, 1_000_000, 500, 8),  // cost drift: fatal
+		m("cur-only", 1, 1, 1, 1),
+	}}
+	cmp := Compare(base, cur, 0.25)
+	if len(cmp.Fatal) != 2 {
+		t.Fatalf("fatal findings = %v, want 2 (alloc regression + cost drift)", cmp.Fatal)
+	}
+	if len(cmp.Advisory) != 1 {
+		t.Fatalf("advisory findings = %v, want 1 (ns spike)", cmp.Advisory)
+	}
+	if clean := Compare(base, base, 0.25); len(clean.Fatal) != 0 || len(clean.Advisory) != 0 {
+		t.Fatalf("self-comparison not clean: %+v", clean)
 	}
 }

@@ -1,0 +1,43 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdlsp/internal/graph"
+)
+
+// TestConflictingArcsWarmCacheAllocFree pins the distance-2 conflict cache:
+// once the per-graph cache is built, ConflictingArcs must answer every query
+// by slicing the shared flat arena — zero allocations — instead of
+// recomputing the conflict set.
+func TestConflictingArcsWarmCacheAllocFree(t *testing.T) {
+	g := graph.ConnectedGNM(48, 144, rand.New(rand.NewSource(7)))
+	arcs := g.ArcsView()
+	ConflictingArcs(g, arcs[0]) // build the cache
+	avg := testing.AllocsPerRun(20, func() {
+		for _, a := range arcs {
+			if len(ConflictingArcs(g, a)) == 0 {
+				t.Fatal("empty conflict set on a connected graph")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm-cache ConflictingArcs allocates %.1f per sweep, want 0", avg)
+	}
+}
+
+// TestGreedyAllocsBounded pins the coloring hot path end to end: greedy
+// coloring over a warm cache allocates only the assignment map and the
+// occasional pooled occupancy buffer, nothing per arc per query.
+func TestGreedyAllocsBounded(t *testing.T) {
+	g := graph.ConnectedGNM(48, 144, rand.New(rand.NewSource(7)))
+	Greedy(g, nil) // warm cache and pool
+	arcs := float64(2 * g.M())
+	avg := testing.AllocsPerRun(10, func() { Greedy(g, nil) })
+	// The assignment map dominates; the old per-call conflict set rebuild
+	// cost several allocations per arc.
+	if avg > 2*arcs {
+		t.Errorf("Greedy allocates %.0f for %d arcs — conflict caching regressed", avg, 2*g.M())
+	}
+}

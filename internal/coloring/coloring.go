@@ -12,6 +12,7 @@ package coloring
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"fdlsp/internal/graph"
 )
@@ -38,40 +39,86 @@ func Conflict(g *graph.Graph, a, b graph.Arc) bool {
 	return false
 }
 
+// conflictCache is the per-graph distance-2 conflict structure: for every
+// arc (by graph.ArcIndex) the sorted slice of conflicting arcs, stored as
+// spans into one flat slab. It hangs off the graph's topology cache via
+// graph.Aux, so it is built once per topology, immutable after build, safe
+// for concurrent readers, and discarded automatically when the graph
+// mutates.
+type conflictCache struct {
+	spans []span
+	flat  []graph.Arc
+	// scratch pools the []bool color-occupancy buffers smallestFeasible
+	// uses; pooling keeps the greedy inner loop allocation-free without
+	// affecting determinism (buffers are cleared on every use).
+	scratch sync.Pool
+}
+
+type span struct{ lo, hi int32 }
+
+type conflictAuxKey struct{}
+
+func cacheOf(g *graph.Graph) *conflictCache {
+	return g.Aux(conflictAuxKey{}, func() any { return buildConflictCache(g) }).(*conflictCache)
+}
+
+func buildConflictCache(g *graph.Graph) *conflictCache {
+	arcs := g.ArcsView()
+	c := &conflictCache{spans: make([]span, len(arcs))}
+	c.scratch.New = func() any { return new([]bool) }
+	var buf []graph.Arc
+	for i, a := range arcs {
+		buf = appendConflicts(g, a, buf[:0])
+		c.spans[i] = span{lo: int32(len(c.flat)), hi: int32(len(c.flat) + len(buf))}
+		c.flat = append(c.flat, buf...)
+	}
+	return c
+}
+
+// appendConflicts appends the sorted conflict set of a to dst. It gathers
+// the Lemma 6 candidates (arcs touching a's endpoints, out-arcs of a.To's
+// neighbors, in-arcs of a.From's neighbors), then sorts and dedups in place.
+func appendConflicts(g *graph.Graph, a graph.Arc, dst []graph.Arc) []graph.Arc {
+	base := len(dst)
+	dst = append(dst, g.IncidentArcsView(a.From)...)
+	dst = append(dst, g.IncidentArcsView(a.To)...)
+	// Out-arcs from neighbors of a.To (their transmissions interfere at a.To).
+	for _, w := range g.NeighborsView(a.To) {
+		dst = append(dst, g.OutArcsView(w)...)
+	}
+	// In-arcs to neighbors of a.From (a.From's transmission interferes there).
+	for _, w := range g.NeighborsView(a.From) {
+		dst = append(dst, g.InArcsView(w)...)
+	}
+	cand := dst[base:]
+	sortArcs(cand)
+	keep := 0
+	for i, b := range cand {
+		if b == a || (i > 0 && b == cand[i-1]) {
+			continue
+		}
+		cand[keep] = b
+		keep++
+	}
+	return dst[:base+keep]
+}
+
 // ConflictingArcs returns every arc of g that conflicts with a, sorted. Per
 // Lemma 6 this set has at most 2Δ²-1 members: arcs touching a's endpoints,
 // out-arcs of a.To's neighbors and in-arcs of a.From's neighbors.
+//
+// The result is a shared slice from the per-graph conflict cache: callers
+// must treat it as read-only. It stays valid until the next AddEdge or
+// RemoveEdge on g.
 func ConflictingArcs(g *graph.Graph, a graph.Arc) []graph.Arc {
-	seen := make(map[graph.Arc]struct{})
-	add := func(b graph.Arc) {
-		if b != a {
-			seen[b] = struct{}{}
-		}
+	if i, ok := g.ArcIndex(a); ok {
+		c := cacheOf(g)
+		s := c.spans[i]
+		return c.flat[s.lo:s.hi:s.hi]
 	}
-	for _, b := range g.IncidentArcs(a.From) {
-		add(b)
-	}
-	for _, b := range g.IncidentArcs(a.To) {
-		add(b)
-	}
-	// Out-arcs from neighbors of a.To (their transmissions interfere at a.To).
-	for _, w := range g.Neighbors(a.To) {
-		for _, b := range g.OutArcs(w) {
-			add(b)
-		}
-	}
-	// In-arcs to neighbors of a.From (a.From's transmission interferes there).
-	for _, w := range g.Neighbors(a.From) {
-		for _, b := range g.InArcs(w) {
-			add(b)
-		}
-	}
-	out := make([]graph.Arc, 0, len(seen))
-	for b := range seen {
-		out = append(out, b)
-	}
-	sortArcs(out)
-	return out
+	// a is not an arc of g (callers probing hypothetical links): compute a
+	// fresh set without touching the cache.
+	return appendConflicts(g, a, nil)
 }
 
 func sortArcs(arcs []graph.Arc) {
@@ -86,9 +133,18 @@ func sortArcs(arcs []graph.Arc) {
 // Assignment maps each arc of the bi-directed graph to a color (time slot).
 type Assignment map[graph.Arc]int
 
-// NewAssignment returns an empty assignment sized for graph g.
+// NewAssignment returns an empty assignment sized for every arc of g. Use
+// NewAssignmentSized when the expected table is a local or pruned view much
+// smaller than the full graph — pre-sizing per-node tables at 2*g.M() wastes
+// memory quadratically across n nodes.
 func NewAssignment(g *graph.Graph) Assignment {
 	return make(Assignment, 2*g.M())
+}
+
+// NewAssignmentSized returns an empty assignment pre-sized for about `arcs`
+// entries.
+func NewAssignmentSized(arcs int) Assignment {
+	return make(Assignment, arcs)
 }
 
 // Color returns the color of a, or None.
@@ -103,6 +159,9 @@ func (as Assignment) Set(a graph.Arc, c int) {
 }
 
 // NumColors returns the largest color in use, i.e. the TDMA frame length.
+// It is not the number of colors used: crash/rejoin runs can retire colors
+// and leave gaps, so report DistinctColors alongside it where they can
+// diverge.
 func (as Assignment) NumColors() int {
 	max := 0
 	for _, c := range as {
@@ -113,9 +172,24 @@ func (as Assignment) NumColors() int {
 	return max
 }
 
+// DistinctColors returns the number of distinct colors in use. For complete
+// fault-free greedy colorings every color below the maximum is used
+// somewhere (the arc that picked the max saw all smaller colors occupied),
+// so DistinctColors == NumColors; after crashes discard part of a schedule
+// the remaining colors can have gaps and DistinctColors < NumColors.
+func (as Assignment) DistinctColors() int {
+	seen := make(map[int]struct{}, 16)
+	for _, c := range as {
+		if c != None {
+			seen[c] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
 // Complete reports whether every arc of g is colored.
 func (as Assignment) Complete(g *graph.Graph) bool {
-	for _, a := range g.Arcs() {
+	for _, a := range g.ArcsView() {
 		if as[a] == None {
 			return false
 		}
@@ -148,7 +222,7 @@ func (v Violation) String() string {
 // to A and Color None).
 func Verify(g *graph.Graph, as Assignment) []Violation {
 	var viols []Violation
-	arcs := g.Arcs()
+	arcs := g.ArcsView()
 	byColor := make(map[int][]graph.Arc)
 	for _, a := range arcs {
 		c := as[a]
@@ -180,19 +254,36 @@ func Verify(g *graph.Graph, as Assignment) []Violation {
 func Valid(g *graph.Graph, as Assignment) bool { return len(Verify(g, as)) == 0 }
 
 // smallestFeasible returns the smallest color >= 1 not used by any arc
-// conflicting with a under the (possibly partial) knowledge know.
+// conflicting with a under the (possibly partial) knowledge know. The answer
+// is at most |conflicts(a)|+1, so a pooled []bool occupancy buffer of that
+// size replaces the per-call map the function used to allocate.
 func smallestFeasible(g *graph.Graph, know Assignment, a graph.Arc) int {
-	used := make(map[int]struct{})
-	for _, b := range ConflictingArcs(g, a) {
-		if c := know[b]; c != None {
-			used[c] = struct{}{}
+	cc := cacheOf(g)
+	confs := ConflictingArcs(g, a)
+	n := len(confs) + 2
+	bufp := cc.scratch.Get().(*[]bool)
+	used := *bufp
+	if cap(used) < n {
+		used = make([]bool, n)
+	} else {
+		used = used[:n]
+		clear(used)
+	}
+	for _, b := range confs {
+		if c := know[b]; c != None && c < n {
+			used[c] = true
 		}
 	}
-	for c := 1; ; c++ {
-		if _, ok := used[c]; !ok {
-			return c
+	res := n - 1 // pigeonhole: some color in [1, len(confs)+1] is free
+	for c := 1; c < n; c++ {
+		if !used[c] {
+			res = c
+			break
 		}
 	}
+	*bufp = used
+	cc.scratch.Put(bufp)
+	return res
 }
 
 // AssignGreedyLocal colors each arc of arcs (in order, skipping already
@@ -232,14 +323,10 @@ func Greedy(g *graph.Graph, order []graph.Arc) Assignment {
 // coloring of the result is a feasible FDLSP schedule for g.
 func ConflictGraph(g *graph.Graph) (*graph.Graph, []graph.Arc) {
 	arcs := g.Arcs()
-	index := make(map[graph.Arc]int, len(arcs))
-	for i, a := range arcs {
-		index[a] = i
-	}
 	cg := graph.New(len(arcs))
 	for i, a := range arcs {
 		for _, b := range ConflictingArcs(g, a) {
-			j := index[b]
+			j, _ := g.ArcIndex(b)
 			if i < j {
 				cg.AddEdge(i, j)
 			}

@@ -248,3 +248,29 @@ func TestGreedyPropertyQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDistinctColorsGappedAssignment pins the NumColors/DistinctColors
+// distinction the CLI and metrics report: NumColors is the frame length
+// (largest color), DistinctColors the colors actually in use. A gapped
+// assignment — as crash recovery produces when it retires a color without
+// compacting the frame — must diverge.
+func TestDistinctColorsGappedAssignment(t *testing.T) {
+	g := graph.Path(4) // arcs 0→1, 1→2, 2→3 and reverses
+	as := NewAssignment(g)
+	as.Set(graph.Arc{From: 0, To: 1}, 1)
+	as.Set(graph.Arc{From: 2, To: 3}, 3) // color 2 never used: a gap
+	if got := as.NumColors(); got != 3 {
+		t.Errorf("NumColors = %d, want 3 (frame length is the largest color)", got)
+	}
+	if got := as.DistinctColors(); got != 2 {
+		t.Errorf("DistinctColors = %d, want 2 (colors {1,3} in use)", got)
+	}
+
+	// Complete greedy colorings have no gaps: the arc that picked the
+	// maximum color saw every smaller color occupied.
+	full := Greedy(graph.ConnectedGNM(32, 96, rand.New(rand.NewSource(3))), nil)
+	if full.NumColors() != full.DistinctColors() {
+		t.Errorf("greedy coloring gapped: NumColors %d != DistinctColors %d",
+			full.NumColors(), full.DistinctColors())
+	}
+}

@@ -59,15 +59,21 @@ type DFSOptions struct {
 	Metrics *obs.Registry
 }
 
-// Message payloads of the DFS protocol.
+// Message payloads of the DFS protocol. The zero-size signals travel as
+// values (boxing a zero-size struct is allocation-free); annMsg, ackMsg, and
+// replyMsg carry data and travel as pointers into per-node slabs so the hot
+// flood/ack traffic does not allocate per send.
 type (
-	startMsg  struct{}                          // injected kick-off at the root
-	tokenMsg  struct{}                          // the DFS token
-	bounceMsg struct{}                          // token refused: receiver already visited
-	askMsg    struct{}                          // request for the neighbor's color table
-	replyMsg  struct{ Table map[graph.Arc]int } // color-table response
-	annMsg    struct {                          // acknowledged color flood
-		Ann ColorAnnounce
+	startMsg  struct{}                   // injected kick-off at the root
+	tokenMsg  struct{}                   // the DFS token
+	bounceMsg struct{}                   // token refused: receiver already visited
+	askMsg    struct{}                   // request for the neighbor's color table
+	replyMsg  struct{ Table []arcColor } // color-table response
+	annMsg    struct {                   // acknowledged color flood
+		// Ann points into the sender's payload slab: one flood goes to
+		// every live neighbor under distinct seqs, so the 48-byte announce
+		// is stored once per flood, not once per message.
+		Ann *ColorAnnounce
 		Seq int64 // sender-local id echoed back by ackMsg
 	}
 	ackMsg struct{ Seq int64 } // annMsg fully processed, incl. everything it triggered
@@ -96,6 +102,18 @@ type floodGroup struct {
 	remaining int
 }
 
+// outFlood is one in-flight flood message: its seq, the batch it belongs
+// to, and its receiver (for PeerDown cleanup). Flights live in a slice
+// ordered by seq — seqs are issued in increasing order and removal keeps
+// the order — because the in-flight window is small (a few batches) and a
+// map here churns buckets on every send/ack cycle of the protocol's
+// hottest path.
+type outFlood struct {
+	seq  int64
+	grp  *floodGroup
+	dest int
+}
+
 // dfsNode is one processor of Algorithm 2. Its traversal state lives in
 // struct fields (not Run locals) because a faulty run re-engages the same
 // nodes across several engine runs — the recovery epochs — and knowledge,
@@ -110,8 +128,13 @@ type dfsNode struct {
 	ownColored []graph.Arc
 
 	nextSeq int64
-	groups  map[int64]*floodGroup // my sent seq -> batch awaiting that ack
-	seqDest map[int64]int         // my sent seq -> receiver (PeerDown cleanup)
+	flights []outFlood // in-flight floods awaiting acks, ascending seq
+
+	anns slab[annMsg]        // pooled outgoing floods
+	acks slab[ackMsg]        // pooled outgoing acks
+	pays slab[ColorAnnounce] // pooled flood payloads, shared across a flood's receivers
+
+	dests []int // sendFlood scratch: live neighbors of the current batch
 
 	visited        map[int]bool
 	struck         map[int]bool // visited marks that came from PeerDown, not a real visit
@@ -125,8 +148,8 @@ type dfsNode struct {
 }
 
 func newDFSNode(g *graph.Graph, id int, policy ChildPolicy, faulty bool) *dfsNode {
-	degs := make(map[int]int)
-	for _, u := range g.Neighbors(id) {
+	degs := make(map[int]int, g.Degree(id))
+	for _, u := range g.NeighborsView(id) {
 		degs[u] = g.Degree(u)
 	}
 	return &dfsNode{
@@ -135,8 +158,6 @@ func newDFSNode(g *graph.Graph, id int, policy ChildPolicy, faulty bool) *dfsNod
 		policy:        policy,
 		degrees:       degs,
 		faulty:        faulty,
-		groups:        make(map[int64]*floodGroup),
-		seqDest:       make(map[int64]int),
 		visited:       make(map[int]bool, g.Degree(id)),
 		struck:        make(map[int]bool),
 		parent:        -1,
@@ -164,22 +185,23 @@ func (nd *dfsNode) reopen() {
 // parentSeq) upstream. Peers the transport has given up on are skipped —
 // counting them would leave the batch undrainable.
 func (nd *dfsNode) sendFlood(env *transport.AsyncEnv, outs []ColorAnnounce, parent int, parentSeq int64) int {
-	var dests []int
+	dests := nd.dests[:0]
 	for _, u := range env.Neighbors {
 		if !env.Down(u) {
 			dests = append(dests, u)
 		}
 	}
+	nd.dests = dests
 	if len(outs) == 0 || len(dests) == 0 {
 		return 0
 	}
 	grp := &floodGroup{parent: parent, parentSeq: parentSeq, remaining: len(outs) * len(dests)}
 	for _, f := range outs {
+		fp := nd.pays.put(f)
 		for _, u := range dests {
 			nd.nextSeq++
-			nd.groups[nd.nextSeq] = grp
-			nd.seqDest[nd.nextSeq] = u
-			env.Send(u, annMsg{Ann: f, Seq: nd.nextSeq})
+			nd.flights = append(nd.flights, outFlood{seq: nd.nextSeq, grp: grp, dest: u})
+			env.Send(u, nd.anns.put(annMsg{Ann: fp, Seq: nd.nextSeq}))
 		}
 	}
 	return grp.remaining
@@ -209,7 +231,7 @@ func (nd *dfsNode) beginToken(env *transport.AsyncEnv) {
 // pass waits for the announce flood to drain (see floodGroup) so the next
 // holder's knowledge is independent of goroutine scheduling.
 func (nd *dfsNode) completeToken(env *transport.AsyncEnv) {
-	arcs := nd.g.IncidentArcs(env.ID)
+	arcs := nd.g.IncidentArcsView(env.ID)
 	if nd.faulty {
 		live := make([]graph.Arc, 0, len(arcs))
 		for _, a := range arcs {
@@ -230,20 +252,32 @@ func (nd *dfsNode) completeToken(env *transport.AsyncEnv) {
 	}
 }
 
+// findFlight returns the index of seq in the ascending flights slice, or
+// -1 when the seq is not in flight (already drained).
+func (nd *dfsNode) findFlight(seq int64) int {
+	i := sort.Search(len(nd.flights), func(i int) bool { return nd.flights[i].seq >= seq })
+	if i < len(nd.flights) && nd.flights[i].seq == seq {
+		return i
+	}
+	return -1
+}
+
 // drainSeq retires one outstanding flood seq (acked, or its receiver was
 // given up on) and fires the batch's completion action when it empties.
 func (nd *dfsNode) drainSeq(env *transport.AsyncEnv, seq int64) {
-	grp, ok := nd.groups[seq]
-	delete(nd.seqDest, seq)
-	if !ok {
+	i := nd.findFlight(seq)
+	if i < 0 {
 		return
 	}
-	delete(nd.groups, seq)
+	grp := nd.flights[i].grp
+	copy(nd.flights[i:], nd.flights[i+1:])
+	nd.flights[len(nd.flights)-1] = outFlood{} // release the group reference
+	nd.flights = nd.flights[:len(nd.flights)-1]
 	grp.remaining--
 	if grp.remaining == 0 {
 		switch {
 		case grp.parent >= 0:
-			env.Send(grp.parent, ackMsg{Seq: grp.parentSeq})
+			env.Send(grp.parent, nd.acks.put(ackMsg{Seq: grp.parentSeq}))
 		case grp.parent == noParent:
 			// Rejoin repair batch: fully delivered, nothing to resume.
 		default:
@@ -267,13 +301,14 @@ func (nd *dfsNode) peerDown(env *transport.AsyncEnv, peer int) {
 		nd.struck[peer] = true
 	}
 	nd.visited[peer] = true
+	// flights is ascending by seq, so collecting in slice order preserves
+	// the drain order the protocol's traces pin.
 	var seqs []int64
-	for q, dest := range nd.seqDest {
-		if dest == peer {
-			seqs = append(seqs, q)
+	for _, fl := range nd.flights {
+		if fl.dest == peer {
+			seqs = append(seqs, fl.seq)
 		}
 	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	for _, q := range seqs {
 		nd.drainSeq(env, q)
 	}
@@ -334,8 +369,8 @@ func (nd *dfsNode) Run(env *transport.AsyncEnv) {
 			// The asker holds the token, hence is visited (paper: a neighbor
 			// asking about colors is removed from the unvisited record).
 			nd.visited[m.From] = true
-			env.Send(m.From, replyMsg{Table: nd.know.snapshotLocal()})
-		case replyMsg:
+			env.Send(m.From, &replyMsg{Table: nd.know.snapshotLocal()})
+		case *replyMsg:
 			nd.know.merge(p.Table)
 			if nd.awaitingReply[m.From] {
 				delete(nd.awaitingReply, m.From)
@@ -365,15 +400,15 @@ func (nd *dfsNode) Run(env *transport.AsyncEnv) {
 				nd.awaitingChild = -1
 				nd.passToken(env)
 			}
-		case annMsg:
+		case *annMsg:
 			// Everything observe triggers (relays, endpoint re-floods) joins
 			// one batch; the upstream ack waits for that batch to drain. A
 			// flood that triggers nothing here is acked immediately.
-			if nd.sendFlood(env, nd.know.observe(p.Ann), m.From, p.Seq) == 0 {
-				env.Send(m.From, ackMsg{Seq: p.Seq})
+			if nd.sendFlood(env, nd.know.observe(*p.Ann), m.From, p.Seq) == 0 {
+				env.Send(m.From, nd.acks.put(ackMsg{Seq: p.Seq}))
 			}
-		case ackMsg:
-			if _, known := nd.groups[p.Seq]; !known && !nd.faulty {
+		case *ackMsg:
+			if nd.findFlight(p.Seq) < 0 && !nd.faulty {
 				panic(fmt.Sprintf("core: DFS node %d got ack for unknown seq %d", env.ID, p.Seq))
 			}
 			// Under faults a late ack may race the PeerDown that already
@@ -388,8 +423,8 @@ func (nd *dfsNode) Run(env *transport.AsyncEnv) {
 			nd.rejoin(env, p.Restarts)
 		case resyncReq:
 			nd.resyncMsgs++
-			env.Send(m.From, resyncReply{Table: nd.know.snapshotLocal()})
-		case resyncReply:
+			env.Send(m.From, &resyncReply{Table: nd.know.snapshotLocal()})
+		case *resyncReply:
 			// Colors of own incident arcs learned from the reply are pushed
 			// back out as a repair batch (the arc was colored by a neighbor
 			// during this node's outage; 2-hop witnesses behind this node
@@ -502,13 +537,14 @@ func DFS(g *graph.Graph, opts DFSOptions) (*Result, error) {
 		}
 	}
 	res := &Result{
-		Algorithm:  "dfs/" + opts.Policy.String(),
-		Assignment: as,
-		Slots:      as.NumColors(),
-		Stats:      total,
-		Crashed:    crashed,
-		Rejoin:     rejoin,
-		Transport:  ttot,
+		Algorithm:      "dfs/" + opts.Policy.String(),
+		Assignment:     as,
+		Slots:          as.NumColors(),
+		DistinctColors: as.DistinctColors(),
+		Stats:          total,
+		Crashed:        crashed,
+		Rejoin:         rejoin,
+		Transport:      ttot,
 	}
 	publishResult(opts.Metrics, "dfs", res)
 	return res, nil
@@ -676,16 +712,22 @@ func dfsConnected(g *graph.Graph, opts DFSOptions, seed int64) (coloring.Assignm
 				continue
 			}
 			nd := nodes[v]
-			stale := nd.pendingReplies > 0 || nd.awaitingChild >= 0 || len(nd.groups) > 0
-			nd.groups = make(map[int64]*floodGroup)
-			nd.seqDest = make(map[int64]int)
+			stale := nd.pendingReplies > 0 || nd.awaitingChild >= 0 || len(nd.flights) > 0
+			clear(nd.flights) // release group references
+			nd.flights = nd.flights[:0]
 			if stale || needsRecolor(g, nd, dead) {
 				nd.reopen()
 			}
 		}
 	}
 
-	as := coloring.NewAssignment(g)
+	// Size by what the survivors actually colored, not the full graph:
+	// crash runs discard dead nodes' arcs.
+	count := 0
+	for _, nd := range nodes {
+		count += len(nd.ownColored)
+	}
+	as := coloring.NewAssignmentSized(count)
 	for id, nd := range nodes {
 		rejoin.ResyncMsgs += nd.resyncMsgs
 		for _, a := range nd.ownColored {
@@ -724,7 +766,7 @@ func countColored(nodes []*dfsNode) int {
 // has no color for: its visit was cut short (an outage of its own, or a
 // false give-up that skipped arcs), so a later epoch must re-visit it.
 func needsRecolor(g *graph.Graph, nd *dfsNode, dead []bool) bool {
-	for _, a := range g.IncidentArcs(nd.know.id) {
+	for _, a := range g.IncidentArcsView(nd.know.id) {
 		if arcAlive(a, dead) && nd.know.know[a] == coloring.None {
 			return true
 		}

@@ -64,8 +64,13 @@ type Options struct {
 type Result struct {
 	Algorithm  string
 	Assignment coloring.Assignment
-	Slots      int       // number of TDMA time slots used
-	Stats      sim.Stats // communication rounds and messages
+	Slots      int // number of TDMA time slots used (largest color = frame length)
+	// DistinctColors counts the colors actually used. Complete fault-free
+	// greedy schedules use every slot up to Slots, so the two agree; crash
+	// recovery can retire colors and leave gaps, making DistinctColors <
+	// Slots (the frame still needs Slots slots — gaps are idle slots).
+	DistinctColors int
+	Stats          sim.Stats // communication rounds and messages
 	// OuterIters counts primary-MIS phases and InnerIters secondary-MIS
 	// phases (DistMIS only; zero for other algorithms).
 	OuterIters int
@@ -96,6 +101,13 @@ type nodeState struct {
 	know       *knowledge
 	ownColored []graph.Arc
 	resyncMsgs int64 // rejoin-handshake messages originated by this node
+
+	// anns and floods pool the pointer payloads this node sends; the phase
+	// nodes below are allocated once per run and re-armed per phase.
+	anns      slab[ColorAnnounce]
+	floods    slab[mis.Flood]
+	misNode   *misPhaseNode
+	colorNode *colorPhaseNode
 }
 
 // DistMIS runs Algorithm 1 on g and returns the schedule. The run is a
@@ -183,6 +195,8 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 		maxInner += 4 * len(opts.Fault.Crashes)
 	}
 
+	pr := newPhaseRunner(g, states, topt, opts.Trace, opts.Metrics)
+
 	for {
 		competing := make([]bool, n)
 		anyActive := false
@@ -202,7 +216,7 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 
 		// Primary MIS among active nodes (radius-1 competition).
 		seed := nextSeed()
-		statuses, stats, tt, crashed, returned, err := runCompetitionPhase(g, seed, 1, competing, drawer, states, opts.Trace, shiftedPlan(), topt, deadList(dead), opts.Metrics)
+		statuses, stats, tt, crashed, returned, err := pr.competition(seed, 1, competing, drawer, shiftedPlan(), deadList(dead))
 		if err != nil {
 			return nil, fmt.Errorf("core: DistMIS primary MIS: %w", err)
 		}
@@ -235,7 +249,7 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 			}
 			inner++
 			seed := nextSeed()
-			statuses, stats, tt, crashed, returned, err := runCompetitionPhase(g, seed, radius, inS, drawer, states, opts.Trace, shiftedPlan(), topt, deadList(dead), opts.Metrics)
+			statuses, stats, tt, crashed, returned, err := pr.competition(seed, radius, inS, drawer, shiftedPlan(), deadList(dead))
 			if err != nil {
 				return nil, fmt.Errorf("core: DistMIS secondary MIS: %w", err)
 			}
@@ -266,7 +280,7 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 				return nil, fmt.Errorf("core: DistMIS secondary MIS selected nobody")
 			}
 			seed = nextSeed()
-			stats, tt, crashed, returned, err = runColorPhase(g, seed, states, selected, opts.Variant, dead, opts.Trace, shiftedPlan(), topt, deadList(dead), opts.Metrics)
+			stats, tt, crashed, returned, err = pr.color(seed, selected, opts.Variant, dead, shiftedPlan(), deadList(dead))
 			if err != nil {
 				return nil, fmt.Errorf("core: DistMIS color phase: %w", err)
 			}
@@ -307,16 +321,17 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 		}
 	}
 	res := &Result{
-		Algorithm:  "distMIS-" + opts.Variant.String() + "/" + drawer.Name(),
-		Assignment: as,
-		Slots:      as.NumColors(),
-		Stats:      total,
-		OuterIters: outer,
-		InnerIters: inner,
-		Breakdown:  breakdown,
-		Crashed:    deadList(dead),
-		Rejoin:     rej,
-		Transport:  ttot,
+		Algorithm:      "distMIS-" + opts.Variant.String() + "/" + drawer.Name(),
+		Assignment:     as,
+		Slots:          as.NumColors(),
+		DistinctColors: as.DistinctColors(),
+		Stats:          total,
+		OuterIters:     outer,
+		InnerIters:     inner,
+		Breakdown:      breakdown,
+		Crashed:        deadList(dead),
+		Rejoin:         rej,
+		Transport:      ttot,
 	}
 	publishResult(opts.Metrics, "distmis", res)
 	return res, nil
@@ -335,6 +350,65 @@ func dropDead(mask, dead []bool) int {
 	return dropped
 }
 
+// phaseRunner owns the engine and transport wrappers shared by every phase
+// of one DistMIS run. In the fault-free direct path both engine and wrappers
+// persist across phases: the engine is Reset (re-seeding the per-node RNGs
+// exactly as a fresh construction would) and the wrappers Rebind to the next
+// phase's protocol. Under a fault plan the wrappers carry per-run ARQ state
+// (sequence numbers, RTT estimates, give-ups) and are rebuilt each phase;
+// only the engine is reused.
+type phaseRunner struct {
+	g       *graph.Graph
+	states  []*nodeState
+	topt    *transport.Options
+	trace   sim.Tracer
+	metrics *obs.Registry
+
+	eng   *sim.SyncEngine
+	wraps []*transport.Sync
+}
+
+func newPhaseRunner(g *graph.Graph, states []*nodeState, topt *transport.Options, trace sim.Tracer, metrics *obs.Registry) *phaseRunner {
+	return &phaseRunner{
+		g:       g,
+		states:  states,
+		topt:    topt,
+		trace:   trace,
+		metrics: metrics,
+		wraps:   make([]*transport.Sync, g.N()),
+	}
+}
+
+// run executes one phase to global completion over the protocols returned by
+// protoFor, returning the phase's stats, transport accounting, and fault
+// churn (crash-stopped and returned nodes).
+func (pr *phaseRunner) run(seed int64, plan *sim.FaultPlan, markDown []int, protoFor func(id int) transport.SyncProto) (sim.Stats, transport.Totals, []int, []int, error) {
+	factory := func(id int) sim.SyncNode {
+		if pr.topt == nil && pr.wraps[id] != nil {
+			pr.wraps[id].Rebind(protoFor(id))
+		} else {
+			pr.wraps[id] = transport.NewSync(protoFor(id), pr.topt)
+		}
+		pr.wraps[id].MarkDown(markDown...)
+		return pr.wraps[id]
+	}
+	if pr.eng == nil {
+		pr.eng = sim.NewSyncEngine(pr.g, seed, factory)
+	} else {
+		pr.eng.Reset(seed, factory)
+	}
+	pr.eng.Trace = pr.trace
+	pr.eng.Fault = plan
+	pr.eng.Metrics = pr.metrics
+	if plan != nil {
+		pr.eng.MaxRounds = faultyMaxRounds(pr.g.N())
+	}
+	if err := pr.eng.Run(); err != nil {
+		return sim.Stats{}, transport.Totals{}, nil, nil, err
+	}
+	return pr.eng.Stats(), collectSync(pr.wraps), pr.eng.Crashed(), pr.eng.Returned(), nil
+}
+
 // misPhaseNode adapts a Competition to one phase engine. Non-competing
 // nodes relay floods only (competition distances are measured in the
 // physical graph; see DESIGN.md on the general-variant safety argument).
@@ -345,16 +419,32 @@ type misPhaseNode struct {
 	competing bool
 	drawer    mis.Drawer
 	comp      *mis.Competition
+	inited    bool // comp re-armed for the current phase (first Step ran)
 	st        *nodeState
 }
 
+// prepare re-arms the node for the next competition phase; the Competition
+// itself is lazily (re)built on the first Step, which has the env RNG.
+func (nd *misPhaseNode) prepare(radius int, competing bool, drawer mis.Drawer) *misPhaseNode {
+	nd.radius = radius
+	nd.competing = competing
+	nd.drawer = drawer
+	nd.inited = false
+	return nd
+}
+
 func (nd *misPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool {
-	if nd.comp == nil {
+	if !nd.inited {
+		nd.inited = true
 		var draw func(int) int64
 		if nd.competing {
 			draw = nd.drawer.New(env.ID, env.Rand)
 		}
-		nd.comp = mis.NewCompetition(env.ID, nd.radius, nd.competing, draw)
+		if nd.comp == nil {
+			nd.comp = mis.NewCompetition(env.ID, nd.radius, nd.competing, draw)
+		} else {
+			nd.comp.Reset(nd.radius, nd.competing, draw)
+		}
 	}
 	for _, m := range inbox {
 		if nd.st.rejoinStep(env, m) {
@@ -362,7 +452,7 @@ func (nd *misPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool {
 				// A returned node abstains for the rest of this competition:
 				// its round counter is behind the survivors' and a late win
 				// would be vacuous. It keeps relaying, recompetes next phase.
-				nd.comp = mis.NewCompetition(env.ID, nd.radius, false, nil)
+				nd.comp.Reset(nd.radius, false, nil)
 			}
 			continue
 		}
@@ -370,51 +460,45 @@ func (nd *misPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool {
 		case transport.PeerDown:
 			// The dead peer's floods simply stop arriving; the competition
 			// self-heals across iterations among the survivors.
-		case mis.Flood:
-			if relay, ok := nd.comp.Observe(p); ok {
-				env.Broadcast(relay)
+		case *mis.Flood:
+			if relay, ok := nd.comp.Observe(*p); ok {
+				env.Broadcast(nd.st.floods.put(relay))
 			}
 		default:
 			panic(fmt.Sprintf("core: unexpected payload %T in MIS phase", m.Payload))
 		}
 	}
 	for _, f := range nd.comp.StartRound(env.Round) {
-		env.Broadcast(f)
+		env.Broadcast(nd.st.floods.put(f))
 	}
 	return nd.comp.Done()
 }
 
-// runCompetitionPhase executes one MIS competition to global completion and
-// returns each node's final status (non-competitors report Dominated) plus
-// the phase's transport accounting and the nodes that crash-stopped during
-// it.
-func runCompetitionPhase(g *graph.Graph, seed int64, radius int, competing []bool, drawer mis.Drawer, states []*nodeState, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int, metrics *obs.Registry) ([]mis.Status, sim.Stats, transport.Totals, []int, []int, error) {
-	nodes := make([]*misPhaseNode, g.N())
-	wraps := make([]*transport.Sync, g.N())
-	eng := sim.NewSyncEngine(g, seed, func(id int) sim.SyncNode {
-		nodes[id] = &misPhaseNode{radius: radius, competing: competing[id], drawer: drawer, st: states[id]}
-		wraps[id] = transport.NewSync(nodes[id], topt)
-		wraps[id].MarkDown(markDown...)
-		return wraps[id]
+// competition executes one MIS competition to global completion and returns
+// each node's final status (non-competitors report Dominated) plus the
+// phase's transport accounting and the nodes that crash-stopped during it.
+func (pr *phaseRunner) competition(seed int64, radius int, competing []bool, drawer mis.Drawer, plan *sim.FaultPlan, markDown []int) ([]mis.Status, sim.Stats, transport.Totals, []int, []int, error) {
+	states := pr.states
+	stats, tt, crashed, returned, err := pr.run(seed, plan, markDown, func(id int) transport.SyncProto {
+		if states[id].misNode == nil {
+			states[id].misNode = &misPhaseNode{st: states[id]}
+		}
+		return states[id].misNode.prepare(radius, competing[id], drawer)
 	})
-	eng.Trace = trace
-	eng.Fault = plan
-	eng.Metrics = metrics
-	if plan != nil {
-		eng.MaxRounds = faultyMaxRounds(g.N())
-	}
-	if err := eng.Run(); err != nil {
+	if err != nil {
 		return nil, sim.Stats{}, transport.Totals{}, nil, nil, err
 	}
-	statuses := make([]mis.Status, g.N())
-	for id, nd := range nodes {
-		if nd.comp != nil {
+	statuses := make([]mis.Status, pr.g.N())
+	for id, st := range states {
+		// A node crashed for the entire phase never stepped: its machine was
+		// never re-armed for this competition and it reports Dominated.
+		if nd := st.misNode; nd.inited {
 			statuses[id] = nd.comp.Status()
 		} else {
 			statuses[id] = mis.Dominated
 		}
 	}
-	return statuses, eng.Stats(), collectSync(wraps), eng.Crashed(), eng.Returned(), nil
+	return statuses, stats, tt, crashed, returned, nil
 }
 
 // colorPhaseNode runs one coloring wave: secondary-MIS winners greedily
@@ -450,9 +534,9 @@ func (nd *colorPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool
 		}
 	}
 	if env.Round == 0 && nd.colorNow {
-		arcs := nd.g.IncidentArcs(env.ID)
+		arcs := nd.g.IncidentArcsView(env.ID)
 		if nd.variant == General {
-			arcs = nd.g.OutArcs(env.ID)
+			arcs = nd.g.OutArcsView(env.ID)
 		}
 		if nd.dead != nil {
 			live := make([]graph.Arc, 0, len(arcs))
@@ -466,33 +550,30 @@ func (nd *colorPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool
 		newly := coloring.AssignGreedyLocal(nd.g, nd.st.know.know, arcs)
 		nd.st.ownColored = append(nd.st.ownColored, newly...)
 		for _, f := range nd.st.know.announceOwn(newly) {
-			env.Broadcast(f)
+			env.Broadcast(nd.st.anns.put(f))
 		}
 	}
 	return true
 }
 
-func runColorPhase(g *graph.Graph, seed int64, states []*nodeState, selected []bool, variant Variant, dead []bool, trace sim.Tracer, plan *sim.FaultPlan, topt *transport.Options, markDown []int, metrics *obs.Registry) (sim.Stats, transport.Totals, []int, []int, error) {
+// color executes one coloring wave over the selected secondary-MIS winners.
+func (pr *phaseRunner) color(seed int64, selected []bool, variant Variant, dead []bool, plan *sim.FaultPlan, markDown []int) (sim.Stats, transport.Totals, []int, []int, error) {
 	var snapshot []bool
 	if plan != nil {
 		snapshot = append([]bool(nil), dead...)
 	}
-	wraps := make([]*transport.Sync, g.N())
-	eng := sim.NewSyncEngine(g, seed, func(id int) sim.SyncNode {
-		wraps[id] = transport.NewSync(&colorPhaseNode{g: g, st: states[id], colorNow: selected[id], variant: variant, dead: snapshot}, topt)
-		wraps[id].MarkDown(markDown...)
-		return wraps[id]
+	states := pr.states
+	return pr.run(seed, plan, markDown, func(id int) transport.SyncProto {
+		nd := states[id].colorNode
+		if nd == nil {
+			nd = &colorPhaseNode{g: pr.g, st: states[id]}
+			states[id].colorNode = nd
+		}
+		nd.colorNow = selected[id]
+		nd.variant = variant
+		nd.dead = snapshot
+		return nd
 	})
-	eng.Trace = trace
-	eng.Fault = plan
-	eng.Metrics = metrics
-	if plan != nil {
-		eng.MaxRounds = faultyMaxRounds(g.N())
-	}
-	if err := eng.Run(); err != nil {
-		return sim.Stats{}, transport.Totals{}, nil, nil, err
-	}
-	return eng.Stats(), collectSync(wraps), eng.Crashed(), eng.Returned(), nil
 }
 
 // faultyMaxRounds is the round budget for one phase engine under a fault
@@ -515,7 +596,13 @@ func collectSync(wraps []*transport.Sync) transport.Totals {
 // node are out of scope (their colors, if any were assigned before the
 // crash, are discarded with the node).
 func assemble(g *graph.Graph, states []*nodeState, dead []bool) (coloring.Assignment, error) {
-	as := coloring.NewAssignment(g)
+	// Size by what the survivors actually colored, not the full graph:
+	// crash runs discard dead nodes' arcs.
+	count := 0
+	for _, st := range states {
+		count += len(st.ownColored)
+	}
+	as := coloring.NewAssignmentSized(count)
 	for _, st := range states {
 		for _, a := range st.ownColored {
 			if !arcAlive(a, dead) {

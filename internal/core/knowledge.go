@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"fdlsp/internal/coloring"
 	"fdlsp/internal/graph"
@@ -57,15 +58,63 @@ type knowledge struct {
 	// may color them), and those arcs are excluded from the assembled
 	// schedule, so witnesses keep their first-seen color and move on.
 	tolerant bool
+
+	// obuf is the scratch slice handed out by announceOwnTTL/observe/
+	// reannounce. Callers consume the returned floods before the next call
+	// on the same knowledge, so one buffer serves every announcement the
+	// node ever makes.
+	obuf []ColorAnnounce
+}
+
+type twoHopKey struct{}
+
+// twoHopDegreeSum returns, for every vertex, the degree sum over its closed
+// distance-2 neighborhood. TTL-2 floods deliver a node announces for
+// exactly the arcs incident to that neighborhood, so this is the size
+// scale of the knowledge table (one entry per heard arc) and the relay
+// dedupe set (one entry per origin per arc). Cached per topology: every
+// node of every run on the same graph shares one build.
+func twoHopDegreeSum(g *graph.Graph) []int {
+	return g.Aux(twoHopKey{}, func() any {
+		sums := make([]int, g.N())
+		mark := make([]int, g.N())
+		for i := range mark {
+			mark[i] = -1
+		}
+		for v := 0; v < g.N(); v++ {
+			mark[v] = v
+			s := g.Degree(v)
+			for _, u := range g.NeighborsView(v) {
+				if mark[u] != v {
+					mark[u] = v
+					s += g.Degree(u)
+				}
+				for _, w := range g.NeighborsView(u) {
+					if mark[w] != v {
+						mark[w] = v
+						s += g.Degree(w)
+					}
+				}
+			}
+			sums[v] = s
+		}
+		return sums
+	}).([]int)
 }
 
 func newKnowledge(id int, g *graph.Graph) *knowledge {
+	// A node's table holds colors learned within its distance-2
+	// neighborhood, not the whole graph: size for the local view (the maps
+	// still grow on demand if the estimate falls short). Growing these maps
+	// in place instead retains every doubled-and-discarded bucket array as
+	// garbage — they are the protocol's largest per-node state.
+	s2 := twoHopDegreeSum(g)[id]
 	return &knowledge{
 		id:         id,
 		g:          g,
-		know:       coloring.NewAssignment(g),
-		originated: make(map[graph.Arc]struct{}),
-		seen:       make(map[annKey]struct{}),
+		know:       coloring.NewAssignmentSized(s2 + 8),
+		originated: make(map[graph.Arc]struct{}, 2*g.Degree(id)),
+		seen:       make(map[annKey]struct{}, 2*s2+8),
 	}
 }
 
@@ -92,23 +141,30 @@ func (k *knowledge) announceOwn(arcs []graph.Arc) []ColorAnnounce {
 
 // announceOwnTTL is announceOwn with an explicit flood radius (the
 // randomized algorithm floods finals 3 hops so the next iteration's gambles
-// everywhere see them).
+// everywhere see them). The result shares the knowledge's scratch buffer:
+// consume it before the next announceOwnTTL/observe/reannounce call.
 func (k *knowledge) announceOwnTTL(arcs []graph.Arc, ttl int) []ColorAnnounce {
-	var out []ColorAnnounce
+	out := k.obuf[:0]
 	for _, a := range arcs {
-		c := k.know[a]
-		if c == coloring.None {
-			panic(fmt.Sprintf("core: node %d announcing uncolored arc %v", k.id, a))
-		}
-		if _, dup := k.originated[a]; dup {
-			continue
-		}
-		k.originated[a] = struct{}{}
-		f := ColorAnnounce{Arc: a, Color: c, Origin: k.id, TTL: ttl, Gen: k.gen}
-		k.seen[annKey{origin: k.id, arc: a, gen: k.gen}] = struct{}{}
-		out = append(out, f)
+		out = k.appendOwn(out, a, ttl)
 	}
+	k.obuf = out[:0]
 	return out
+}
+
+// appendOwn appends this node's own flood for arc a unless already
+// originated, marking it originated and seen.
+func (k *knowledge) appendOwn(out []ColorAnnounce, a graph.Arc, ttl int) []ColorAnnounce {
+	c := k.know[a]
+	if c == coloring.None {
+		panic(fmt.Sprintf("core: node %d announcing uncolored arc %v", k.id, a))
+	}
+	if _, dup := k.originated[a]; dup {
+		return out
+	}
+	k.originated[a] = struct{}{}
+	k.seen[annKey{origin: k.id, arc: a, gen: k.gen}] = struct{}{}
+	return append(out, ColorAnnounce{Arc: a, Color: c, Origin: k.id, TTL: ttl, Gen: k.gen})
 }
 
 // reannounce is the push half of the rejoin handshake: fresh TTL-2 floods
@@ -124,16 +180,16 @@ func (k *knowledge) reannounce(gen int) []ColorAnnounce {
 	} else {
 		k.gen++
 	}
-	var out []ColorAnnounce
-	for _, a := range k.g.IncidentArcs(k.id) {
+	out := k.obuf[:0]
+	for _, a := range k.g.IncidentArcsView(k.id) {
 		c := k.know[a]
 		if c == coloring.None {
 			continue
 		}
-		f := ColorAnnounce{Arc: a, Color: c, Origin: k.id, TTL: 2, Gen: k.gen}
 		k.seen[annKey{origin: k.id, arc: a, gen: k.gen}] = struct{}{}
-		out = append(out, f)
+		out = append(out, ColorAnnounce{Arc: a, Color: c, Origin: k.id, TTL: 2, Gen: k.gen})
 	}
+	k.obuf = out[:0]
 	return out
 }
 
@@ -143,7 +199,7 @@ func (k *knowledge) reannounce(gen int) []ColorAnnounce {
 // own TTL-2 flood (the "endpoint rule" that extends coverage to 2 hops from
 // both endpoints).
 func (k *knowledge) observe(f ColorAnnounce) []ColorAnnounce {
-	var out []ColorAnnounce
+	out := k.obuf[:0]
 	key := annKey{origin: f.Origin, arc: f.Arc, gen: f.Gen}
 	if _, dup := k.seen[key]; !dup {
 		k.seen[key] = struct{}{}
@@ -155,19 +211,38 @@ func (k *knowledge) observe(f ColorAnnounce) []ColorAnnounce {
 		}
 	}
 	if k.incident(f.Arc) {
-		out = append(out, k.announceOwn([]graph.Arc{f.Arc})...)
+		out = k.appendOwn(out, f.Arc, 2)
 	}
+	k.obuf = out[:0]
 	return out
+}
+
+// arcColor is one entry of a serialized color table. Tables travel as sorted
+// slices, not maps: a slice ships one backing array instead of a fresh map
+// plus per-bucket allocations, and the sorted order makes every consumer
+// deterministic without re-sorting.
+type arcColor struct {
+	Arc   graph.Arc
+	Color int
 }
 
 // merge folds a peer's color table into this node's knowledge (used by the
 // DFS algorithm's explicit ask/reply exchange).
-func (k *knowledge) merge(table map[graph.Arc]int) {
-	for a, c := range table {
-		if c != coloring.None {
-			k.record(a, c)
+func (k *knowledge) merge(table []arcColor) {
+	for _, e := range table {
+		if e.Color != coloring.None {
+			k.record(e.Arc, e.Color)
 		}
 	}
+}
+
+// localTo reports whether arc a is incident to this node or to one of its
+// neighbors (the node's distance-1 view).
+func (k *knowledge) localTo(a graph.Arc) bool {
+	if a.From == k.id || a.To == k.id {
+		return true
+	}
+	return k.g.HasEdge(k.id, a.From) || k.g.HasEdge(k.id, a.To)
 }
 
 // snapshotLocal returns the part of the node's color table an asking
@@ -176,21 +251,29 @@ func (k *knowledge) merge(table map[graph.Arc]int) {
 // own table, replies from all neighbors cover every arc within distance 2
 // of the asker — the exact knowledge required for feasible coloring — while
 // keeping reply sizes O(Δ²) instead of shipping the whole learned table.
-func (k *knowledge) snapshotLocal() map[graph.Arc]int {
-	local := make(map[int]struct{}, k.g.Degree(k.id)+1)
-	local[k.id] = struct{}{}
-	for _, u := range k.g.Neighbors(k.id) {
-		local[u] = struct{}{}
+// The slice is freshly allocated and sorted by arc: it escapes into the
+// simulator as a message payload and must never alias live node state.
+func (k *knowledge) snapshotLocal() []arcColor {
+	// Count first: local arcs are a small slice of the table, and the
+	// snapshot escapes into a reply message, so it is sized exactly rather
+	// than at the table's capacity.
+	n := 0
+	for a := range k.know {
+		if k.localTo(a) {
+			n++
+		}
 	}
-	out := make(map[graph.Arc]int)
+	out := make([]arcColor, 0, n)
 	for a, c := range k.know {
-		if _, ok := local[a.From]; ok {
-			out[a] = c
-			continue
-		}
-		if _, ok := local[a.To]; ok {
-			out[a] = c
+		if k.localTo(a) {
+			out = append(out, arcColor{Arc: a, Color: c})
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arc.From != out[j].Arc.From {
+			return out[i].Arc.From < out[j].Arc.From
+		}
+		return out[i].Arc.To < out[j].Arc.To
+	})
 	return out
 }

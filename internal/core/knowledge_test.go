@@ -94,10 +94,17 @@ func TestKnowledgeSnapshotLocalFilters(t *testing.T) {
 	k.record(mid, 2)
 	k.record(far, 3)
 	snap := k.snapshotLocal()
-	if snap[near] != 1 || snap[mid] != 2 {
+	got := make(map[graph.Arc]int, len(snap))
+	for i, e := range snap {
+		got[e.Arc] = e.Color
+		if i > 0 && !less(snap[i-1].Arc, e.Arc) {
+			t.Errorf("snapshot not sorted: %v before %v", snap[i-1].Arc, e.Arc)
+		}
+	}
+	if got[near] != 1 || got[mid] != 2 {
 		t.Errorf("local arcs missing from snapshot: %v", snap)
 	}
-	if _, ok := snap[far]; ok {
+	if _, ok := got[far]; ok {
 		t.Errorf("far arc leaked into snapshot: %v", snap)
 	}
 }
@@ -105,9 +112,9 @@ func TestKnowledgeSnapshotLocalFilters(t *testing.T) {
 func TestKnowledgeMerge(t *testing.T) {
 	g := graph.Path(3)
 	k := newKnowledge(0, g)
-	k.merge(map[graph.Arc]int{
-		{From: 0, To: 1}: 4,
-		{From: 1, To: 2}: coloring.None, // ignored
+	k.merge([]arcColor{
+		{Arc: graph.Arc{From: 0, To: 1}, Color: 4},
+		{Arc: graph.Arc{From: 1, To: 2}, Color: coloring.None}, // ignored
 	})
 	if k.know[graph.Arc{From: 0, To: 1}] != 4 {
 		t.Error("merge lost a color")

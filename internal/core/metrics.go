@@ -16,6 +16,7 @@ import (
 const (
 	metricRuns           = "fdlsp_core_runs_total"
 	metricSlots          = "fdlsp_core_slots"
+	metricDistinct       = "fdlsp_core_distinct_colors"
 	metricPhaseRounds    = "fdlsp_core_phase_rounds_total"
 	metricPhaseMessages  = "fdlsp_core_phase_messages_total"
 	metricIterations     = "fdlsp_core_iterations_total"
@@ -32,6 +33,7 @@ const (
 func RegisterMetrics(reg *obs.Registry) {
 	reg.CounterVec(metricRuns, "Scheduling runs completed, by algorithm.", "algorithm")
 	reg.GaugeVec(metricSlots, "TDMA frame length of the most recent run, by algorithm.", "algorithm")
+	reg.GaugeVec(metricDistinct, "Distinct colors used by the most recent run, by algorithm (< slots when crash recovery leaves gaps).", "algorithm")
 	reg.CounterVec(metricPhaseRounds, "Communication rounds, by algorithm and protocol phase.", "algorithm", "phase")
 	reg.CounterVec(metricPhaseMessages, "Messages sent, by algorithm and protocol phase.", "algorithm", "phase")
 	reg.CounterVec(metricIterations, "Protocol loop iterations (DistMIS outer/inner MIS peeling).", "algorithm", "loop")
@@ -53,6 +55,7 @@ func publishResult(reg *obs.Registry, algo string, res *Result) {
 	RegisterMetrics(reg)
 	reg.CounterVec(metricRuns, "", "algorithm").With(algo).Inc()
 	reg.GaugeVec(metricSlots, "", "algorithm").With(algo).Set(float64(res.Slots))
+	reg.GaugeVec(metricDistinct, "", "algorithm").With(algo).Set(float64(res.DistinctColors))
 	rounds := reg.CounterVec(metricPhaseRounds, "", "algorithm", "phase")
 	msgs := reg.CounterVec(metricPhaseMessages, "", "algorithm", "phase")
 	if len(res.Breakdown) > 0 {

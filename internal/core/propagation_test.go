@@ -32,7 +32,8 @@ func TestColorPhaseKnowledgeRadius(t *testing.T) {
 		colorer := rng.Intn(n)
 		selected := make([]bool, n)
 		selected[colorer] = true
-		if _, _, _, _, err := runColorPhase(g, int64(trial), states, selected, GBG, nil, nil, nil, nil, nil, nil); err != nil {
+		pr := newPhaseRunner(g, states, nil, nil, nil)
+		if _, _, _, _, err := pr.color(int64(trial), selected, GBG, nil, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 		colored := states[colorer].ownColored
@@ -91,7 +92,8 @@ func TestColorPhaseSimultaneousColorersStayConsistent(t *testing.T) {
 				chosen = append(chosen, v)
 			}
 		}
-		if _, _, _, _, err := runColorPhase(g, int64(trial), states, selected, GBG, nil, nil, nil, nil, nil, nil); err != nil {
+		pr := newPhaseRunner(g, states, nil, nil, nil)
+		if _, _, _, _, err := pr.color(int64(trial), selected, GBG, nil, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 		partial := coloring.NewAssignment(g)

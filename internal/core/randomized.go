@@ -52,10 +52,11 @@ func Randomized(g *graph.Graph, seed int64) (*Result, error) {
 		}
 	}
 	return &Result{
-		Algorithm:  "randomized",
-		Assignment: as,
-		Slots:      as.NumColors(),
-		Stats:      eng.Stats(),
+		Algorithm:      "randomized",
+		Assignment:     as,
+		Slots:          as.NumColors(),
+		DistinctColors: as.DistinctColors(),
+		Stats:          eng.Stats(),
 	}, nil
 }
 

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"fdlsp/internal/coloring"
 	"fdlsp/internal/graph"
 	"fdlsp/internal/sim"
@@ -38,9 +36,10 @@ type resyncReq struct{}
 
 // resyncReply answers a resyncReq. Table is built fresh per reply by
 // snapshotLocal — it must never alias the replier's live color table, since
-// payloads outlive the Step that created them.
+// payloads outlive the Step that created them. It travels as a pointer so
+// the slice header is not re-boxed per send.
 type resyncReply struct {
-	Table map[graph.Arc]int
+	Table []arcColor
 }
 
 // RejoinStats accounts for the protocol-level crash-recovery work of one
@@ -74,24 +73,24 @@ func (st *nodeState) rejoinStep(env *transport.SyncEnv, m sim.Message) bool {
 		env.Broadcast(resyncReq{})
 		for _, f := range st.know.reannounce(p.Restarts) {
 			st.resyncMsgs += int64(len(env.Neighbors))
-			env.Broadcast(f)
+			env.Broadcast(st.anns.put(f))
 		}
 		return true
 	case resyncReq:
 		st.resyncMsgs++
-		env.Send(m.From, resyncReply{Table: st.know.snapshotLocal()})
+		env.Send(m.From, &resyncReply{Table: st.know.snapshotLocal()})
 		return true
-	case resyncReply:
+	case *resyncReply:
 		for _, f := range st.know.mergeIncident(p.Table) {
 			st.resyncMsgs += int64(len(env.Neighbors))
-			env.Broadcast(f)
+			env.Broadcast(st.anns.put(f))
 		}
 		return true
-	case ColorAnnounce:
+	case *ColorAnnounce:
 		// Repair floods can arrive in any phase, not just coloring waves:
 		// a rejoin during an MIS phase re-announces colors immediately.
-		for _, out := range st.know.observe(p) {
-			env.Broadcast(out)
+		for _, out := range st.know.observe(*p) {
+			env.Broadcast(st.anns.put(out))
 		}
 		return true
 	case transport.PeerUp:
@@ -110,35 +109,29 @@ func (st *nodeState) rejoinStep(env *transport.SyncEnv, m sim.Message) bool {
 // mergeIncident folds a resyncReply table into this node's knowledge and
 // returns fresh generation-tagged floods for incident arcs whose colors the
 // node just learned — the arcs were colored by a neighbor during this node's
-// outage, so the push half of the handshake must cover them too. Arcs are
-// sorted for deterministic send order; the seen set deduplicates across
-// multiple replies.
-func (k *knowledge) mergeIncident(table map[graph.Arc]int) []ColorAnnounce {
-	var fresh []graph.Arc
-	for a, c := range table {
-		if c == coloring.None {
+// outage, so the push half of the handshake must cover them too. The table
+// arrives sorted by arc (snapshotLocal's contract), so the floods come out
+// in deterministic order without re-sorting; the seen set deduplicates
+// across multiple replies. The result shares the knowledge's scratch buffer.
+func (k *knowledge) mergeIncident(table []arcColor) []ColorAnnounce {
+	out := k.obuf[:0]
+	for _, e := range table {
+		if e.Color == coloring.None {
 			continue
 		}
-		if k.incident(a) && k.know[a] == coloring.None {
-			fresh = append(fresh, a)
+		fresh := k.incident(e.Arc) && k.know[e.Arc] == coloring.None
+		k.record(e.Arc, e.Color)
+		if !fresh {
+			continue
 		}
-		k.record(a, c)
-	}
-	sort.Slice(fresh, func(i, j int) bool {
-		if fresh[i].From != fresh[j].From {
-			return fresh[i].From < fresh[j].From
-		}
-		return fresh[i].To < fresh[j].To
-	})
-	var out []ColorAnnounce
-	for _, a := range fresh {
-		key := annKey{origin: k.id, arc: a, gen: k.gen}
+		key := annKey{origin: k.id, arc: e.Arc, gen: k.gen}
 		if _, dup := k.seen[key]; dup {
 			continue
 		}
 		k.seen[key] = struct{}{}
-		out = append(out, ColorAnnounce{Arc: a, Color: k.know[a], Origin: k.id, TTL: 2, Gen: k.gen})
+		out = append(out, ColorAnnounce{Arc: e.Arc, Color: k.know[e.Arc], Origin: k.id, TTL: 2, Gen: k.gen})
 	}
+	k.obuf = out[:0]
 	return out
 }
 
@@ -173,7 +166,7 @@ func enforceIndependence(g *graph.Graph, radius int, selected []bool) int {
 			if dist[u] == radius {
 				continue
 			}
-			for _, w := range g.Neighbors(u) {
+			for _, w := range g.NeighborsView(u) {
 				if _, ok := dist[w]; ok {
 					continue
 				}
@@ -201,9 +194,9 @@ func enforceIndependence(g *graph.Graph, radius int, selected []bool) int {
 // peer's) stays in the candidate set and recompetes, so no arc is ever
 // permanently excluded by a transient crash.
 func standardSetColored(g *graph.Graph, st *nodeState, variant Variant, dead []bool) bool {
-	arcs := g.IncidentArcs(st.id)
+	arcs := g.IncidentArcsView(st.id)
 	if variant == General {
-		arcs = g.OutArcs(st.id)
+		arcs = g.OutArcsView(st.id)
 	}
 	for _, a := range arcs {
 		if arcAlive(a, dead) && st.know.know[a] == coloring.None {

@@ -1,0 +1,24 @@
+package core
+
+// slab is a chunked bump allocator for pooled message payloads. put hands out
+// a stable pointer into the current chunk; when the chunk fills, a fresh one
+// is started, so previously returned pointers are never moved or reused. One
+// chunk amortizes a single heap allocation over slabChunk payloads, replacing
+// the per-send boxing allocation protocols otherwise pay when a payload
+// escapes into the simulator.
+//
+// Slabs never shrink and never reclaim: they are owned by per-node protocol
+// state and live exactly as long as one algorithm run.
+type slab[T any] struct {
+	chunk []T
+}
+
+const slabChunk = 256
+
+func (s *slab[T]) put(v T) *T {
+	if len(s.chunk) == cap(s.chunk) {
+		s.chunk = make([]T, 0, slabChunk)
+	}
+	s.chunk = append(s.chunk, v)
+	return &s.chunk[len(s.chunk)-1]
+}

@@ -85,7 +85,7 @@ func BroadcastComparison(nodeCounts []int, side, radius float64, trials int, see
 // link churn on a UDG, reporting per-event repair cost, frame drift, and
 // the arcs a rebuild would recolor.
 func ChurnExperiment(n int, side, radius float64, events, trials int, seed int64) (*Table, error) {
-	t := NewTable("trial", "events", "repair arcs/event", "touched nodes/event", "frame start", "frame end", "rebuild frame", "rebuild arcs")
+	t := NewTable("trial", "events", "repair arcs/event", "touched nodes/event", "frame start", "frame end", "distinct end", "rebuild frame", "rebuild arcs")
 	for trial := 0; trial < trials; trial++ {
 		rng := rand.New(rand.NewSource(seed + int64(trial)*149))
 		g, _ := geom.RandomUDG(n, side, radius, rng)
@@ -115,11 +115,14 @@ func ChurnExperiment(n int, side, radius float64, events, trials int, seed int64
 		}
 		st := net.Stats()
 		rebuild := net.Rebuild()
+		// Incremental repair can retire colors without compacting the frame:
+		// "distinct end" < "frame end" quantifies the idle slots a rebuild
+		// would reclaim.
 		t.AddRow(trial,
 			st.Events,
 			float64(st.NewArcs+st.RecoloredArcs)/float64(st.Events),
 			float64(st.TouchedNodes)/float64(st.Events),
-			start, net.Slots(), rebuild.NumColors(), 2*net.Graph().M())
+			start, net.Slots(), net.Assignment().DistinctColors(), rebuild.NumColors(), 2*net.Graph().M())
 	}
 	return t, nil
 }

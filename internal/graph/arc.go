@@ -21,9 +21,20 @@ func (a Arc) Edge() Edge { return NormEdge(a.From, a.To) }
 // String renders the arc as "u->v".
 func (a Arc) String() string { return fmt.Sprintf("%d->%d", a.From, a.To) }
 
+// cloneArcs returns a freshly allocated copy of a cached arc slice.
+func cloneArcs(src []Arc) []Arc {
+	out := make([]Arc, len(src))
+	copy(out, src)
+	return out
+}
+
 // Arcs returns both arcs of every undirected edge, sorted lexicographically
-// by (From, To). For a graph with m edges the result has 2m arcs.
+// by (From, To). For a graph with m edges the result has 2m arcs. The slice
+// is freshly allocated; ArcsView is the shared zero-copy variant.
 func (g *Graph) Arcs() []Arc {
+	if c := g.cache.Load(); c != nil {
+		return cloneArcs(c.arcs)
+	}
 	out := make([]Arc, 0, 2*g.m)
 	for u := range g.adj {
 		for v := range g.adj[u] {
@@ -40,8 +51,13 @@ func (g *Graph) Arcs() []Arc {
 }
 
 // IncidentArcs returns all arcs with v as an endpoint (both directions of
-// every incident edge), sorted.
+// every incident edge), sorted. The slice is freshly allocated;
+// IncidentArcsView is the shared zero-copy variant.
 func (g *Graph) IncidentArcs(v int) []Arc {
+	g.check(v)
+	if c := g.cache.Load(); c != nil {
+		return cloneArcs(c.incident[v])
+	}
 	nbrs := g.Neighbors(v)
 	out := make([]Arc, 0, 2*len(nbrs))
 	for _, u := range nbrs {
@@ -56,8 +72,13 @@ func (g *Graph) IncidentArcs(v int) []Arc {
 	return out
 }
 
-// OutArcs returns the arcs leaving v, sorted by head.
+// OutArcs returns the arcs leaving v, sorted by head. The slice is freshly
+// allocated; OutArcsView is the shared zero-copy variant.
 func (g *Graph) OutArcs(v int) []Arc {
+	g.check(v)
+	if c := g.cache.Load(); c != nil {
+		return cloneArcs(c.out[v])
+	}
 	nbrs := g.Neighbors(v)
 	out := make([]Arc, 0, len(nbrs))
 	for _, u := range nbrs {
@@ -66,8 +87,13 @@ func (g *Graph) OutArcs(v int) []Arc {
 	return out
 }
 
-// InArcs returns the arcs entering v, sorted by tail.
+// InArcs returns the arcs entering v, sorted by tail. The slice is freshly
+// allocated; InArcsView is the shared zero-copy variant.
 func (g *Graph) InArcs(v int) []Arc {
+	g.check(v)
+	if c := g.cache.Load(); c != nil {
+		return cloneArcs(c.in[v])
+	}
 	nbrs := g.Neighbors(v)
 	out := make([]Arc, 0, len(nbrs))
 	for _, u := range nbrs {

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"sort"
+	"sync"
+)
+
+// topoCache is an immutable snapshot of the graph's sorted adjacency
+// structure. It is built lazily on first use, shared by every reader, and
+// dropped wholesale when the graph mutates (AddEdge/RemoveEdge), so a cache
+// pointer obtained before a mutation never observes the new topology.
+//
+// Invariants: every slice is sorted (neighbor lists ascending, arc lists by
+// (From, To)), nothing is mutated after build, and concurrent readers may
+// share the slices freely. Callers of the *View accessors must treat the
+// returned slices as read-only.
+type topoCache struct {
+	nbrs     [][]int // per-node sorted neighbor lists
+	arcs     []Arc   // all 2m arcs, sorted by (From, To)
+	incident [][]Arc // per-node arcs touching v, sorted by (From, To)
+	out      [][]Arc // per-node arcs leaving v, sorted by To
+	in       [][]Arc // per-node arcs entering v, sorted by From
+	index    map[Arc]int32
+
+	// aux holds derived structures (e.g. coloring's distance-2 conflict
+	// sets) keyed by an owner-chosen key. Tying them to the topoCache
+	// means a graph mutation invalidates them for free.
+	auxMu sync.Mutex
+	aux   map[any]any
+}
+
+// topo returns the current topology cache, building it if needed. Racing
+// builders produce identical caches, so losing the CompareAndSwap just
+// discards a duplicate.
+func (g *Graph) topo() *topoCache {
+	if c := g.cache.Load(); c != nil {
+		return c
+	}
+	c := g.buildTopo()
+	if g.cache.CompareAndSwap(nil, c) {
+		return c
+	}
+	return g.cache.Load()
+}
+
+func (g *Graph) buildTopo() *topoCache {
+	n := len(g.adj)
+	c := &topoCache{
+		nbrs:     make([][]int, n),
+		incident: make([][]Arc, n),
+		out:      make([][]Arc, n),
+		in:       make([][]Arc, n),
+		index:    make(map[Arc]int32, 2*g.m),
+	}
+	arcs := make([]Arc, 0, 2*g.m)
+	for v := 0; v < n; v++ {
+		nb := make([]int, 0, len(g.adj[v]))
+		for u := range g.adj[v] {
+			nb = append(nb, u)
+		}
+		sort.Ints(nb)
+		c.nbrs[v] = nb
+
+		out := make([]Arc, len(nb))
+		in := make([]Arc, len(nb))
+		for i, u := range nb {
+			out[i] = Arc{From: v, To: u}
+			in[i] = Arc{From: u, To: v}
+		}
+		c.out[v] = out
+		c.in[v] = in
+		// out[v] is sorted by To and v increases, so appending per node
+		// yields the global (From, To) order without a sort pass.
+		arcs = append(arcs, out...)
+	}
+	for v := 0; v < n; v++ {
+		nb := c.nbrs[v]
+		inc := make([]Arc, 0, 2*len(nb))
+		// (From, To) order: arcs {u,v} with u < v first, then the {v,*}
+		// block, then {u,v} with u > v — each group ascending already.
+		for _, u := range nb {
+			if u < v {
+				inc = append(inc, Arc{From: u, To: v})
+			}
+		}
+		inc = append(inc, c.out[v]...)
+		for _, u := range nb {
+			if u > v {
+				inc = append(inc, Arc{From: u, To: v})
+			}
+		}
+		c.incident[v] = inc
+	}
+	for i, a := range arcs {
+		c.index[a] = int32(i)
+	}
+	c.arcs = arcs
+	return c
+}
+
+// invalidate drops the topology cache (and every aux structure hanging off
+// it). Called by the mutating operations.
+func (g *Graph) invalidate() { g.cache.Store(nil) }
+
+// NeighborsView returns the sorted neighbors of v as a shared slice. The
+// slice is immutable: callers must not modify it. It remains valid until the
+// next AddEdge/RemoveEdge.
+func (g *Graph) NeighborsView(v int) []int {
+	g.check(v)
+	return g.topo().nbrs[v]
+}
+
+// ArcsView returns all 2m arcs sorted by (From, To) as a shared, read-only
+// slice, valid until the next mutation.
+func (g *Graph) ArcsView() []Arc { return g.topo().arcs }
+
+// IncidentArcsView returns the arcs with v as an endpoint, sorted by
+// (From, To), as a shared, read-only slice valid until the next mutation.
+func (g *Graph) IncidentArcsView(v int) []Arc {
+	g.check(v)
+	return g.topo().incident[v]
+}
+
+// OutArcsView returns the arcs leaving v, sorted by head, as a shared,
+// read-only slice valid until the next mutation.
+func (g *Graph) OutArcsView(v int) []Arc {
+	g.check(v)
+	return g.topo().out[v]
+}
+
+// InArcsView returns the arcs entering v, sorted by tail, as a shared,
+// read-only slice valid until the next mutation.
+func (g *Graph) InArcsView(v int) []Arc {
+	g.check(v)
+	return g.topo().in[v]
+}
+
+// ArcIndex returns a's position in ArcsView() and whether a is an arc of the
+// graph. Indices are dense in [0, 2M()) and stable until the next mutation.
+func (g *Graph) ArcIndex(a Arc) (int, bool) {
+	i, ok := g.topo().index[a]
+	return int(i), ok
+}
+
+// Aux returns the auxiliary value for key, invoking build at most once per
+// topology version to create it. The value shares the topology cache's
+// lifetime: any AddEdge/RemoveEdge discards it, and the next Aux call
+// rebuilds against the new topology. build must not mutate the graph and
+// must produce a value safe for concurrent readers, since the result is
+// shared. Distinct packages should use distinct unexported key types to
+// avoid collisions.
+func (g *Graph) Aux(key any, build func() any) any {
+	c := g.topo()
+	c.auxMu.Lock()
+	defer c.auxMu.Unlock()
+	if c.aux == nil {
+		c.aux = make(map[any]any)
+	}
+	if v, ok := c.aux[key]; ok {
+		return v
+	}
+	v := build()
+	c.aux[key] = v
+	return v
+}

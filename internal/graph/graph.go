@@ -13,15 +13,22 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Graph is a simple undirected graph over nodes 0..N()-1.
 //
 // The zero value is an empty graph with no nodes; use New or the generators
 // to construct usable instances. Self-loops and parallel edges are rejected.
+//
+// Read accessors build and share an internal sorted-topology cache (see
+// cache.go); AddEdge/RemoveEdge invalidate it. Mutating concurrently with
+// reads is not supported — the cache keeps the same discipline the adjacency
+// maps already require.
 type Graph struct {
-	adj []map[int]struct{}
-	m   int // number of undirected edges
+	adj   []map[int]struct{}
+	m     int // number of undirected edges
+	cache atomic.Pointer[topoCache]
 }
 
 // New returns an empty graph with n isolated nodes.
@@ -63,6 +70,7 @@ func (g *Graph) AddEdge(u, v int) {
 	g.adj[u][v] = struct{}{}
 	g.adj[v][u] = struct{}{}
 	g.m++
+	g.invalidate()
 }
 
 // RemoveEdge deletes the undirected edge {u,v} if present.
@@ -75,6 +83,7 @@ func (g *Graph) RemoveEdge(u, v int) {
 	delete(g.adj[u], v)
 	delete(g.adj[v], u)
 	g.m--
+	g.invalidate()
 }
 
 // HasEdge reports whether {u,v} is an edge.
@@ -92,9 +101,15 @@ func (g *Graph) Degree(v int) int {
 }
 
 // Neighbors returns the neighbors of v in increasing order. The returned
-// slice is freshly allocated and may be retained by the caller.
+// slice is freshly allocated and may be retained by the caller; use
+// NeighborsView for the shared zero-copy variant.
 func (g *Graph) Neighbors(v int) []int {
 	g.check(v)
+	if c := g.cache.Load(); c != nil {
+		out := make([]int, len(c.nbrs[v]))
+		copy(out, c.nbrs[v])
+		return out
+	}
 	out := make([]int, 0, len(g.adj[v]))
 	for u := range g.adj[v] {
 		out = append(out, u)

@@ -76,6 +76,25 @@ func NewCompetition(id, radius int, competing bool, draw func(iter int) int64) *
 	return c
 }
 
+// Reset re-arms the machine for a fresh competition with new parameters,
+// reusing the allocated maps: after Reset the machine is indistinguishable
+// from NewCompetition(id, radius, competing, draw) with the same id. Drivers
+// that run many competition phases (DistMIS) reset instead of reallocating.
+func (c *Competition) Reset(radius int, competing bool, draw func(iter int) int64) {
+	c.radius = radius
+	c.competing = competing
+	c.draw = draw
+	c.status = Undecided
+	if !competing {
+		c.status = Dominated
+	}
+	c.iter = 0
+	c.curVal = 0
+	c.started = false
+	clear(c.recv)
+	clear(c.seen)
+}
+
 // Status returns the node's current competition status. Bridge-only nodes
 // report Dominated.
 func (c *Competition) Status() Status { return c.status }
@@ -97,7 +116,7 @@ func (c *Competition) StartRound(r int) []Flood {
 	case 0:
 		c.iter = r / period
 		c.curVal = c.draw(c.iter)
-		c.recv = make(map[int]int64)
+		clear(c.recv)
 		f := Flood{Kind: KindValue, Origin: c.id, Iter: c.iter, Value: c.curVal, TTL: c.radius}
 		c.markSeen(f)
 		out = append(out, f)

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"fdlsp/internal/graph"
+)
+
+// chatterNode broadcasts a zero-size token every round until the budget is
+// exhausted: the densest steady-state traffic the sync engine's hot loop
+// can see, with no protocol-side allocation at all.
+type chatterNode struct{ rounds int }
+
+func (n *chatterNode) Step(env *SyncEnv, inbox []Message) bool {
+	if env.Round < n.rounds {
+		env.Broadcast(struct{}{})
+	}
+	return env.Round >= n.rounds
+}
+
+// TestSyncEngineSteadyStateAllocs pins the engine's pooled hot path: after a
+// warm-up run, a full Reset+Run cycle over a 64-node graph with every node
+// broadcasting every round must reuse the recycled inbox/outbox buffers and
+// scratch state instead of reallocating them. The budget is a small constant
+// plus the per-round worker goroutines — before pooling, this run cost tens
+// of thousands of allocations (fresh inbox slices per node per round).
+func TestSyncEngineSteadyStateAllocs(t *testing.T) {
+	g := graph.Star(64)
+	const rounds = 50
+	factory := func(id int) SyncNode { return &chatterNode{rounds: rounds} }
+	eng := NewSyncEngine(g, 1, factory)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		eng.Reset(1, factory)
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Per run: n node constructions (the factory allocates one chatterNode
+	// each) plus per-round worker goroutine launches; everything else must
+	// come from the recycled buffers.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > g.N() {
+		workers = g.N()
+	}
+	budget := float64(g.N() + 16 + (rounds+2)*(2*workers+4))
+	if avg > budget {
+		t.Errorf("steady-state Reset+Run costs %.0f allocs, budget %.0f — engine buffer recycling regressed", avg, budget)
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -226,7 +225,7 @@ func NewAsyncEngine(g *graph.Graph, seed int64, factory func(id int) AsyncNode) 
 // deterministic.
 func (eng *AsyncEngine) enqueue(m Message, timer bool) {
 	eng.seq++
-	heap.Push(&eng.queue, desEvent{m: m, seq: eng.seq, timer: timer})
+	eng.queue.push(desEvent{m: m, seq: eng.seq, timer: timer})
 }
 
 // Inject queues an external kick-off message (e.g. a Start token) for node
@@ -366,7 +365,7 @@ func (eng *AsyncEngine) Run() error {
 				eng.queue = eng.queue[:0]
 				break
 			}
-			e := heap.Pop(&eng.queue).(desEvent)
+			e := eng.queue.pop()
 			delivered++
 			emitMarks(e.m.When)
 			if e.timer && eng.stopped {
@@ -429,22 +428,56 @@ type desEvent struct {
 	timer bool
 }
 
-// eventHeap orders events by (When, insertion sequence).
+// eventHeap is a binary min-heap of events ordered by (When, insertion
+// sequence). It is hand-rolled rather than wrapped in container/heap: the
+// interface-based API boxes every desEvent on Push and Pop, and the event
+// queue is the async engine's hottest allocation site.
 type eventHeap []desEvent
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].m.When != h[j].m.When {
 		return h[i].m.When < h[j].m.When
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(desEvent)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e desEvent) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() desEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = desEvent{} // release payload reference
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && q.less(r, l) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return top
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -278,7 +277,7 @@ func TestEventHeapOrder(t *testing.T) {
 	// Events pop in (When, insertion sequence) order: virtual time first,
 	// FIFO among equal times.
 	var h eventHeap
-	push := func(when, seq int64) { heap.Push(&h, desEvent{m: Message{When: when}, seq: seq}) }
+	push := func(when, seq int64) { h.push(desEvent{m: Message{When: when}, seq: seq}) }
 	push(5, 1)
 	push(1, 2)
 	push(1, 3)
@@ -286,12 +285,12 @@ func TestEventHeapOrder(t *testing.T) {
 	push(5, 5)
 	want := [][2]int64{{0, 4}, {1, 2}, {1, 3}, {5, 1}, {5, 5}}
 	for i, w := range want {
-		e := heap.Pop(&h).(desEvent)
+		e := h.pop()
 		if e.m.When != w[0] || e.seq != w[1] {
 			t.Fatalf("pop %d: got (when=%d seq=%d), want (%d, %d)", i, e.m.When, e.seq, w[0], w[1])
 		}
 	}
-	if h.Len() != 0 {
-		t.Errorf("heap not empty: %d", h.Len())
+	if len(h) != 0 {
+		t.Errorf("heap not empty: %d", len(h))
 	}
 }

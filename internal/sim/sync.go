@@ -94,6 +94,14 @@ type SyncEngine struct {
 	stats    Stats
 	crashed  []int
 	returned []int
+
+	// Per-run scratch, reused across Run and Reset cycles so repeated runs
+	// (DistMIS drives one engine through many phases) stop re-allocating
+	// per-node buffers.
+	inboxes  [][]Message
+	done     []bool
+	doneSeen []bool
+	panics   []error
 }
 
 // NewSyncEngine builds an engine for graph g with one node per vertex,
@@ -113,6 +121,27 @@ func NewSyncEngine(g *graph.Graph, seed int64, factory func(id int) SyncNode) *S
 		}
 	}
 	return eng
+}
+
+// Reset re-arms the engine for a fresh run with new nodes and a new seed,
+// reusing the per-node environments and scratch buffers. Each env's RNG is
+// re-seeded exactly as NewSyncEngine would, so a Reset engine is
+// byte-for-byte equivalent to a freshly constructed one: rand.Rand.Seed(s)
+// restarts the same stream rand.NewSource(s) starts. MaxRounds, Trace,
+// Fault, and Metrics are cleared; callers set them again as needed.
+func (eng *SyncEngine) Reset(seed int64, factory func(id int) SyncNode) {
+	for v := range eng.nodes {
+		eng.nodes[v] = factory(v)
+		env := eng.envs[v]
+		env.Rand.Seed(seed ^ int64(v)*0x5851F42D4C957F2D ^ 0x5BF03635)
+		env.Round = 0
+		env.Advance = false
+		env.outbox = env.outbox[:0]
+	}
+	eng.MaxRounds = 0
+	eng.Trace = nil
+	eng.Fault = nil
+	eng.Metrics = nil
 }
 
 // Stats returns the accounting of the last Run.
@@ -155,9 +184,20 @@ func (eng *SyncEngine) Run() error {
 	if maxRounds == 0 {
 		maxRounds = 10_000 + 100*n
 	}
-	inboxes := make([][]Message, n)
-	done := make([]bool, n)
-	doneSeen := make([]bool, n)
+	if eng.inboxes == nil {
+		eng.inboxes = make([][]Message, n)
+		eng.done = make([]bool, n)
+		eng.doneSeen = make([]bool, n)
+	} else {
+		for v := 0; v < n; v++ {
+			eng.inboxes[v] = eng.inboxes[v][:0]
+			eng.done[v] = false
+			eng.doneSeen[v] = false
+		}
+	}
+	inboxes := eng.inboxes
+	done := eng.done
+	doneSeen := eng.doneSeen
 	eng.stats = Stats{}
 	eng.crashed = nil
 
@@ -173,8 +213,9 @@ func (eng *SyncEngine) Run() error {
 	markIdx := 0
 	advance := true
 	eng.returned = nil
-	restarts := make(map[int]int)
+	var restarts map[int]int
 	if plan != nil {
+		restarts = make(map[int]int)
 		// Nodes whose outage elapsed before this run get their rejoin
 		// notice at time zero, before any round runs.
 		for _, v := range plan.Rejoins {
@@ -193,6 +234,10 @@ func (eng *SyncEngine) Run() error {
 	if workers < 1 {
 		workers = 1
 	}
+	if cap(eng.panics) < workers {
+		eng.panics = make([]error, workers)
+	}
+	panics := eng.panics[:workers]
 
 	for round := 0; ; round++ {
 		if round > maxRounds {
@@ -249,48 +294,38 @@ func (eng *SyncEngine) Run() error {
 			eng.Trace.Emit(Event{Kind: EventRoundStart, Time: int64(round)})
 		}
 
-		// Parallel step: each worker owns a disjoint stripe of nodes. A
+		// Step phase: each worker owns a disjoint stripe of nodes. A
 		// panicking node aborts the run with an error instead of killing
 		// the process. Nodes inside a crash window skip their step and lose
-		// any queued input.
-		var wg sync.WaitGroup
-		panics := make([]error, workers)
-		chunk := (n + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						panics[w] = fmt.Errorf("sim: node step panicked: %v", r)
-					}
-				}()
-				for v := lo; v < hi; v++ {
-					//lint:ignore envowner workers own disjoint node stripes; the wg.Wait barrier serializes rounds
-					env := eng.envs[v]
-					env.Round = round
-					env.Advance = advance
-					env.outbox = env.outbox[:0]
-					if plan.CrashedAt(v, int64(round)) {
-						continue
-					}
-					inbox := inboxes[v]
-					sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
-					done[v] = eng.nodes[v].Step(env, inbox)
-				}
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		for _, err := range panics {
-			if err != nil {
+		// any queued input. With a single worker (GOMAXPROCS=1) the stripe
+		// runs inline — no goroutine, no per-round spawn allocations — and
+		// produces the identical sequential semantics.
+		if workers == 1 {
+			if err := eng.runStripe(round, advance, 0, n); err != nil {
 				return err
+			}
+		} else {
+			var wg sync.WaitGroup
+			chunk := (n + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo, hi := w*chunk, (w+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					panics[w] = eng.runStripe(round, advance, lo, hi)
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			for _, err := range panics {
+				if err != nil {
+					return err
+				}
 			}
 		}
 
@@ -383,5 +418,46 @@ func (eng *SyncEngine) Run() error {
 				break
 			}
 		}
+	}
+}
+
+// runStripe steps the nodes in [lo, hi) for one round, converting a node
+// panic into an error. Each stripe touches only its own nodes' state, which
+// is what makes the parallel step deterministic.
+func (eng *SyncEngine) runStripe(round int, advance bool, lo, hi int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: node step panicked: %v", r)
+		}
+	}()
+	plan := eng.Fault
+	for v := lo; v < hi; v++ {
+		//lint:ignore envowner workers own disjoint node stripes; the wg.Wait barrier serializes rounds
+		env := eng.envs[v]
+		env.Round = round
+		env.Advance = advance
+		env.outbox = env.outbox[:0]
+		if plan.CrashedAt(v, int64(round)) {
+			continue
+		}
+		inbox := eng.inboxes[v]
+		SortByFrom(inbox)
+		eng.done[v] = eng.nodes[v].Step(env, inbox)
+	}
+	return nil
+}
+
+// SortByFrom stable-sorts messages by sender id in place. Inboxes are small
+// and nearly sorted (outboxes drain in node order), so an insertion sort
+// beats sort.SliceStable here and, unlike it, allocates nothing.
+func SortByFrom(ms []Message) {
+	for i := 1; i < len(ms); i++ {
+		m := ms[i]
+		j := i - 1
+		for j >= 0 && ms[j].From > m.From {
+			ms[j+1] = ms[j]
+			j--
+		}
+		ms[j+1] = m
 	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 	"sync"
@@ -181,9 +182,19 @@ func (r *Recorder) Summary() string {
 	return b.String()
 }
 
-// payloadName returns a compact type name for breakdowns.
+// payloadName returns a compact type name for breakdowns. Pointer payloads
+// report their element type: protocols pool messages and send *T where they
+// used to send T, and the trace vocabulary (and the committed goldens built
+// on it) must not depend on that representation choice.
 func payloadName(p any) string {
-	return fmt.Sprintf("%T", p)
+	t := reflect.TypeOf(p)
+	for t != nil && t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t == nil {
+		return "<nil>"
+	}
+	return t.String()
 }
 
 // EventSource is implemented by protocol layers (the reliable transport

@@ -73,6 +73,11 @@ type Sync struct {
 	logical   int           // last delivered logical round
 	protoDone bool
 	env       SyncEnv
+	// senv is the engine env of the physical round being stepped. The
+	// protocol-facing env and its send/down closures are built once and
+	// reach the current engine env through this field, so Step stops
+	// allocating two closures per node per round.
+	senv *sim.SyncEnv
 }
 
 // NewSync wraps proto for the synchronous engine. opt == nil selects direct
@@ -90,6 +95,20 @@ func NewSync(proto SyncProto, opt *Options) *Sync {
 		w.lastHeard = make(map[int]int)
 	}
 	return w
+}
+
+// Rebind points a direct-mode wrapper at a new protocol instance, for
+// drivers that run several protocol phases over one persistent engine (the
+// cached env closures stay valid because the engine reuses its per-node
+// state across phases). Reliable endpoints must not be rebound: their ARQ
+// state — sequence numbers, dedup windows, peer verdicts, RTT estimators —
+// is per-run.
+func (w *Sync) Rebind(proto SyncProto) {
+	if w.reliable {
+		panic("transport: Rebind on a reliable endpoint")
+	}
+	w.proto = proto
+	w.protoDone = false
 }
 
 // TakeEvents implements sim.EventSource: the engine drains queued transport
@@ -181,12 +200,20 @@ func (w *Sync) GateReady() bool { return !w.reliable || len(w.pending) == 0 }
 // synchronizer opens the next logical round — deliver the buffered inbox to
 // the protocol.
 func (w *Sync) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
+	// The engine hands each node a stable env for the whole run; caching it
+	// lets the wrapper env's send closure be built once instead of per
+	// round. It is only dereferenced inside Step, on the owning goroutine.
+	//lint:ignore envowner cached for the prebuilt send closure, used only within Step on the owning goroutine
+	w.senv = env
 	if !w.reliable {
-		w.env = SyncEnv{
-			ID: env.ID, Round: env.Round, Neighbors: env.Neighbors, Rand: env.Rand,
-			send: func(to int, p any) { env.Send(to, p) },
-			down: func(int) bool { return false },
+		if w.env.send == nil {
+			w.env = SyncEnv{
+				ID: env.ID, Neighbors: env.Neighbors, Rand: env.Rand,
+				send: func(to int, p any) { w.senv.Send(to, p) },
+				down: func(int) bool { return false },
+			}
 		}
+		w.env.Round = env.Round
 		return w.proto.Step(&w.env, inbox)
 	}
 
@@ -274,15 +301,18 @@ func (w *Sync) Step(env *sim.SyncEnv, inbox []sim.Message) bool {
 		w.logical++
 		flush := w.buffer
 		w.buffer = nil
-		sort.SliceStable(flush, func(i, j int) bool { return flush[i].From < flush[j].From })
+		sim.SortByFrom(flush)
 		for i := range flush {
 			flush[i].When = int64(w.logical)
 		}
-		w.env = SyncEnv{
-			ID: env.ID, Round: w.logical, Neighbors: env.Neighbors, Rand: env.Rand,
-			send: func(to int, p any) { w.sendSeg(env, to, p) },
-			down: func(peer int) bool { return w.down[peer] },
+		if w.env.send == nil {
+			w.env = SyncEnv{
+				ID: env.ID, Neighbors: env.Neighbors, Rand: env.Rand,
+				send: func(to int, p any) { w.sendSeg(w.senv, to, p) },
+				down: func(peer int) bool { return w.down[peer] },
+			}
 		}
+		w.env.Round = w.logical
 		w.protoDone = w.proto.Step(&w.env, flush)
 	}
 	return w.protoDone && len(w.pending) == 0 && len(w.buffer) == 0
