@@ -3,45 +3,70 @@
 //
 // Usage:
 //
-//	go run ./cmd/fdlsplint [-only detrand,mapiter] [pattern ...]
+//	go run ./cmd/fdlsplint [-only detrand,mapiter] [-json] [pattern ...]
 //
 // Patterns are package directories relative to the module root; "dir/..."
 // expands recursively and the default is "./...". Diagnostics print as
 //
 //	file:line:col: [analyzer] message
 //
-// and are suppressed by `//lint:ignore <analyzer> <reason>` on the
-// reported line or the line above. The detrand analyzer applies only to
-// packages under internal/ — the protocol, simulation, and analysis code
-// whose runs must be reproducible per seed; commands may read the clock.
+// or, with -json, as a JSON array of {file, line, col, analyzer, message}
+// objects for machine consumption. Diagnostics are suppressed by
+// `//lint:ignore <analyzer> <reason>` on the reported line or the line
+// above; a directive that suppresses nothing is itself reported (analyzer
+// "lint") so the escape-hatch inventory cannot silently go stale. The
+// detrand analyzer applies only to packages under internal/ — the
+// protocol, simulation, and analysis code whose runs must be reproducible
+// per seed; commands may read the clock.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"go/parser"
-	"go/token"
-	"io/fs"
+	"io"
 	"os"
 	"path/filepath"
-	"sort"
-	"strconv"
 	"strings"
 
 	"fdlsp/internal/lint"
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset of analyzers to run")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is the machine-readable form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// run is the driver body, factored out of main for testing. It returns the
+// process exit code: 0 clean, 1 findings, 2 usage or load error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdlsplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "fdlsplint: "+format+"\n", a...)
+		return 2
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *only != "" {
 		want := map[string]bool{}
@@ -56,29 +81,33 @@ func main() {
 			}
 		}
 		for name := range want {
-			fatalf("unknown analyzer %q (see -list)", name)
+			return fail("unknown analyzer %q (see -list)", name)
 		}
 		analyzers = sel
 	}
 
-	root, module, err := findModule()
+	wd, err := os.Getwd()
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
-	patterns := flag.Args()
+	root, module, err := lint.FindModule(wd)
+	if err != nil {
+		return fail("%v", err)
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	dirs, err := expandPatterns(root, patterns)
+	dirs, err := lint.ExpandPatterns(root, patterns)
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 
 	importPaths := make(map[string]string, len(dirs)) // dir -> import path
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		if rel == "." {
 			importPaths[dir] = module
@@ -92,97 +121,51 @@ func main() {
 	// each package (and the stdlib) is then checked exactly once per run.
 	// Diagnostics still print in the stable alphabetical directory order.
 	loader := lint.NewLoader()
-	lines := make(map[string][]string, len(dirs))
+	found := make(map[string][]jsonDiagnostic, len(dirs))
 	exit := 0
-	for _, dir := range dependencyOrder(dirs, importPaths) {
+	for _, dir := range lint.DependencyOrder(dirs, importPaths) {
 		importPath := importPaths[dir]
 		pkg, err := loader.LoadDir(dir, importPath)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
-		diags, err := lint.Run(pkg, scoped(analyzers, importPath, module))
+		diags, err := lint.RunWith(pkg, scoped(analyzers, importPath, module),
+			lint.RunOptions{ReportUnused: true})
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
 			file := pos.Filename
 			if r, err := filepath.Rel(root, file); err == nil {
-				file = r
+				file = filepath.ToSlash(r)
 			}
-			lines[dir] = append(lines[dir],
-				fmt.Sprintf("%s:%d:%d: [%s] %s", file, pos.Line, pos.Column, d.Analyzer, d.Message))
+			found[dir] = append(found[dir], jsonDiagnostic{
+				File: file, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
 			exit = 1
 		}
 	}
-	for _, dir := range dirs {
-		for _, line := range lines[dir] {
-			fmt.Println(line)
-		}
-	}
-	os.Exit(exit)
-}
 
-// dependencyOrder sorts the package directories so module-local imports
-// come before their importers (ties and unrelated packages stay in the
-// incoming alphabetical order). Import lists are read with a cheap
-// imports-only parse; cycles cannot occur in compilable Go, and if the
-// parse fails the directory is simply ordered as-is — LoadDir will report
-// the real error.
-func dependencyOrder(dirs []string, importPaths map[string]string) []string {
-	byPath := make(map[string]string, len(dirs)) // import path -> dir
-	for dir, path := range importPaths {
-		byPath[path] = dir
-	}
-	imports := make(map[string][]string, len(dirs)) // dir -> module-local import dirs
-	fset := token.NewFileSet()
-	for _, dir := range dirs {
-		ents, err := os.ReadDir(dir)
-		if err != nil {
-			continue
+	if *asJSON {
+		all := []jsonDiagnostic{}
+		for _, dir := range dirs {
+			all = append(all, found[dir]...)
 		}
-		seen := map[string]bool{}
-		for _, e := range ents {
-			name := e.Name()
-			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-				strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
-				continue
-			}
-			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
-			if err != nil {
-				continue
-			}
-			for _, spec := range f.Imports {
-				path, err := strconv.Unquote(spec.Path.Value)
-				if err != nil {
-					continue
-				}
-				if dep, ok := byPath[path]; ok && dep != dir && !seen[dep] {
-					seen[dep] = true
-					imports[dir] = append(imports[dir], dep)
-				}
-			}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			return fail("%v", err)
 		}
-		sort.Strings(imports[dir])
-	}
-	ordered := make([]string, 0, len(dirs))
-	state := make(map[string]int, len(dirs)) // 0 new, 1 visiting, 2 done
-	var visit func(dir string)
-	visit = func(dir string) {
-		if state[dir] != 0 {
-			return
-		}
-		state[dir] = 1
-		for _, dep := range imports[dir] {
-			visit(dep)
-		}
-		state[dir] = 2
-		ordered = append(ordered, dir)
+		return exit
 	}
 	for _, dir := range dirs {
-		visit(dir)
+		for _, d := range found[dir] {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
 	}
-	return ordered
+	return exit
 }
 
 // scoped restricts detrand to internal/ packages: protocol and analysis
@@ -199,109 +182,4 @@ func scoped(analyzers []*lint.Analyzer, importPath, module string) []*lint.Analy
 		}
 	}
 	return out
-}
-
-// findModule locates the enclosing go.mod (walking up from the working
-// directory) and returns its directory and module path.
-func findModule() (root, module string, err error) {
-	dir, err := os.Getwd()
-	if err != nil {
-		return "", "", err
-	}
-	for {
-		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
-		if err == nil {
-			for _, line := range strings.Split(string(data), "\n") {
-				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
-					return dir, strings.TrimSpace(rest), nil
-				}
-			}
-			return "", "", fmt.Errorf("fdlsplint: no module line in %s/go.mod", dir)
-		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			return "", "", fmt.Errorf("fdlsplint: no go.mod found (run inside the module)")
-		}
-		dir = parent
-	}
-}
-
-// expandPatterns resolves the command-line patterns into package
-// directories, skipping testdata, vendor, hidden, and underscore dirs.
-func expandPatterns(root string, patterns []string) ([]string, error) {
-	seen := map[string]bool{}
-	var dirs []string
-	add := func(dir string) {
-		if !seen[dir] && hasGoFiles(dir) {
-			seen[dir] = true
-			dirs = append(dirs, dir)
-		}
-	}
-	for _, pat := range patterns {
-		recursive := false
-		if strings.HasSuffix(pat, "/...") {
-			recursive = true
-			pat = strings.TrimSuffix(pat, "/...")
-			if pat == "." || pat == "" {
-				pat = root
-			}
-		}
-		if !filepath.IsAbs(pat) {
-			pat = filepath.Join(root, pat)
-		}
-		if !recursive {
-			// An explicitly named directory must exist and contain Go files;
-			// only the recursive walk skips silently.
-			if st, err := os.Stat(pat); err != nil {
-				return nil, err
-			} else if !st.IsDir() {
-				return nil, fmt.Errorf("%s is not a directory", pat)
-			}
-			if !hasGoFiles(pat) {
-				return nil, fmt.Errorf("no Go files in %s", pat)
-			}
-			add(pat)
-			continue
-		}
-		err := filepath.WalkDir(pat, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
-				return nil
-			}
-			name := d.Name()
-			if path != pat && (name == "testdata" || name == "vendor" ||
-				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-				return filepath.SkipDir
-			}
-			add(path)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Strings(dirs)
-	return dirs, nil
-}
-
-func hasGoFiles(dir string) bool {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return false
-	}
-	for _, e := range ents {
-		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
-			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
-			return true
-		}
-	}
-	return false
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "fdlsplint: "+format+"\n", args...)
-	os.Exit(2)
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestRunJSONGolden pins the machine-readable output format: running the
+// full suite over the jsonfix fixture must reproduce the golden JSON
+// byte-for-byte (file, line, col, analyzer, message per finding, including
+// the stale-directive report) and exit 1.
+func TestRunJSONGolden(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{"-json", "cmd/fdlsplint/testdata/jsonfix"}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("run exit = %d, want 1 (fixture has findings); stderr: %s", code, errs.String())
+	}
+	if errs.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", errs.String())
+	}
+
+	golden := filepath.Join("testdata", "jsonfix.golden")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("JSON output does not match %s (re-run with -update after intended changes)\n got:\n%s\nwant:\n%s",
+			golden, out.String(), want)
+	}
+
+	// The golden bytes must also be a well-formed array of the documented
+	// object shape — guards against a hand-edited golden drifting from what
+	// consumers parse.
+	var parsed []jsonDiagnostic
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("want 2 diagnostics, got %d", len(parsed))
+	}
+	for _, d := range parsed {
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("diagnostic with empty field: %+v", d)
+		}
+		if filepath.IsAbs(d.File) {
+			t.Errorf("file path should be module-relative, got %q", d.File)
+		}
+	}
+}
+
+// TestRunJSONCleanIsEmptyArray: a run with no findings emits a valid empty
+// JSON array (not "null") and exits 0. Selecting only detrand over a
+// non-internal package yields an empty analyzer set, and the partial run
+// must not condemn the fixture's stale mapiter directive — unused
+// reporting is scoped to analyzers that actually ran.
+func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{"-json", "-only", "detrand", "cmd/fdlsplint/testdata/jsonfix"}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("run exit = %d, want 0; stdout: %s stderr: %s", code, out.String(), errs.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean JSON output = %q, want []", got)
+	}
+}
+
+// TestRunList exercises -list: every analyzer name appears and the exit is 0.
+func TestRunList(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errs); code != 0 {
+		t.Fatalf("run -list exit = %d; stderr: %s", code, errs.String())
+	}
+	for _, name := range []string{"detrand", "envowner", "mapiter", "msgshare", "pooledlife"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRunUnknownAnalyzer: a bogus -only selection is a usage error (exit 2)
+// reported on stderr.
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-only", "nope"}, &out, &errs); code != 2 {
+		t.Fatalf("run exit = %d, want 2", code)
+	}
+	if !strings.Contains(errs.String(), "unknown analyzer") {
+		t.Errorf("stderr should name the unknown analyzer, got: %s", errs.String())
+	}
+}

@@ -1,0 +1,25 @@
+// Package jsonfix is a driver fixture with a known diagnostic surface: one
+// envowner escape and one stale suppression directive. The golden JSON
+// output in ../jsonfix.golden pins the machine-readable format.
+package jsonfix
+
+// AsyncEnv mirrors the simulator's per-node handle; envowner matches the
+// type name.
+type AsyncEnv struct{ id int }
+
+type holder struct{ env *AsyncEnv }
+
+var shared holder
+
+// stash leaks the caller's env handle into package state.
+func stash(env *AsyncEnv) {
+	shared.env = env
+}
+
+// clean carries a directive that suppresses nothing; the driver reports it
+// as stale.
+func clean() int {
+	x := 1
+	//lint:ignore mapiter deliberately stale for the golden test
+	return x
+}

@@ -1,0 +1,292 @@
+package lint
+
+// Control-flow graph construction for the dataflow analyses (dataflow.go).
+// One cfg is built per function body; blocks hold the "atomic" nodes of the
+// function — assignments, expression statements, conditions, returns — in
+// execution order, with successor edges describing how control may move
+// between blocks. Nested function literals are NOT inlined: a FuncLit is an
+// ordinary value expression here, and its body is analyzed as a separate
+// function (see analyzeFuncLits in dataflow.go).
+//
+// The builder handles the full statement grammar the repo uses: if/else,
+// for, range, switch, type switch (with per-case bindings), select,
+// labeled break/continue, fallthrough, defer/go, and return. goto is
+// modeled conservatively as a jump to the function exit; the module has no
+// gotos, so the imprecision is theoretical.
+
+import "go/ast"
+
+// cfgBlock is one basic block: a maximal run of atomic nodes with a single
+// entry and ordered successors.
+type cfgBlock struct {
+	id    int
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// cfg is the control-flow graph of one function body.
+type cfg struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+
+	// caseSubject maps a type-switch case clause to the switch subject
+	// expression, so the dataflow transfer can bind the per-case implicit
+	// variable to the subject's abstract value.
+	caseSubject map[*ast.CaseClause]ast.Expr
+}
+
+// cfgBuilder threads the "current" block and the break/continue targets
+// through the recursive statement walk.
+type cfgBuilder struct {
+	g      *cfg
+	cur    *cfgBlock
+	frames []ctrlFrame
+}
+
+// ctrlFrame is one enclosing breakable construct (loop, switch, select).
+type ctrlFrame struct {
+	label      string
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil for switch/select
+}
+
+func buildCFG(body *ast.BlockStmt) *cfg {
+	g := &cfg{caseSubject: map[*ast.CaseClause]ast.Expr{}}
+	b := &cfgBuilder{g: g}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	b.cur = g.entry
+	b.stmtList(body.List, "")
+	b.edge(b.cur, g.exit) // fall off the end of the body
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{id: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt, label string) {
+	for i, s := range list {
+		lbl := ""
+		if i == 0 {
+			lbl = label
+		}
+		b.stmt(s, lbl)
+	}
+}
+
+// stmt lowers one statement. label is the pending label naming this
+// statement (from an enclosing LabeledStmt), consumed by loops and
+// switches for labeled break/continue.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List, "")
+	case *ast.LabeledStmt:
+		b.stmt(st.Stmt, st.Label.Name)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		b.add(st.Cond)
+		thenB, join := b.newBlock(), b.newBlock()
+		b.edge(b.cur, thenB)
+		elseTarget := join
+		var elseB *cfgBlock
+		if st.Else != nil {
+			elseB = b.newBlock()
+			elseTarget = elseB
+		}
+		b.edge(b.cur, elseTarget)
+		b.cur = thenB
+		b.stmtList(st.Body.List, "")
+		b.edge(b.cur, join)
+		if st.Else != nil {
+			b.cur = elseB
+			b.stmt(st.Else, "")
+			b.edge(b.cur, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		head, body, post, join := b.newBlock(), b.newBlock(), b.newBlock(), b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(st.Cond)
+		b.edge(head, body)
+		b.edge(head, join) // also for cond==nil: break exits via frame, edge is harmless over-approximation
+		b.frames = append(b.frames, ctrlFrame{label: label, breakTo: join, continueTo: post})
+		b.cur = body
+		b.stmtList(st.Body.List, "")
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, post)
+		b.cur = post
+		if st.Post != nil {
+			b.stmt(st.Post, "")
+		}
+		b.edge(b.cur, head)
+		b.cur = join
+	case *ast.RangeStmt:
+		head, body, join := b.newBlock(), b.newBlock(), b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(st) // the transfer function binds Key/Value from X here
+		b.edge(head, body)
+		b.edge(head, join)
+		b.frames = append(b.frames, ctrlFrame{label: label, breakTo: join, continueTo: head})
+		b.cur = body
+		b.stmtList(st.Body.List, "")
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, head)
+		b.cur = join
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		b.add(st.Tag)
+		b.switchClauses(st.Body.List, label, nil)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		subject := typeSwitchSubject(st)
+		b.add(subject)
+		b.switchClauses(st.Body.List, label, subject)
+	case *ast.SelectStmt:
+		join := b.newBlock()
+		b.frames = append(b.frames, ctrlFrame{label: label, breakTo: join})
+		entry := b.cur
+		for _, c := range st.Body.List {
+			comm := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(entry, blk)
+			b.cur = blk
+			if comm.Comm != nil {
+				b.stmt(comm.Comm, "")
+			}
+			b.stmtList(comm.Body, "")
+			b.edge(b.cur, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(st.Body.List) == 0 {
+			b.edge(entry, join)
+		}
+		b.cur = join
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.edge(b.cur, b.g.exit)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.BranchStmt:
+		switch st.Tok.String() {
+		case "break", "continue":
+			if t := b.branchTarget(st); t != nil {
+				b.edge(b.cur, t)
+			}
+		case "goto":
+			b.edge(b.cur, b.g.exit) // conservative: no gotos in this module
+		}
+		if st.Tok.String() != "fallthrough" { // fallthrough edges are added by switchClauses
+			b.cur = b.newBlock()
+		}
+	case *ast.GoStmt, *ast.DeferStmt, *ast.ExprStmt, *ast.AssignStmt,
+		*ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		b.add(st)
+	case *ast.EmptyStmt:
+	}
+}
+
+// switchClauses lowers the case list of a switch or type switch. subject is
+// non-nil for type switches and is recorded per clause for implicit-variable
+// binding.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, subject ast.Expr) {
+	join := b.newBlock()
+	entry := b.cur
+	b.frames = append(b.frames, ctrlFrame{label: label, breakTo: join})
+	hasDefault := false
+	bodies := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(entry, bodies[i])
+		b.cur = bodies[i]
+		if subject != nil {
+			b.g.caseSubject[cc] = subject
+			b.add(cc)
+		}
+		b.stmtList(cc.Body, "")
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && i+1 < len(bodies) {
+				b.edge(b.cur, bodies[i+1])
+				continue
+			}
+		}
+		b.edge(b.cur, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault || len(clauses) == 0 {
+		b.edge(entry, join)
+	}
+	b.cur = join
+}
+
+// branchTarget resolves a break/continue to its frame's target block.
+func (b *cfgBuilder) branchTarget(st *ast.BranchStmt) *cfgBlock {
+	isBreak := st.Tok.String() == "break"
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		fr := b.frames[i]
+		if st.Label != nil && fr.label != st.Label.Name {
+			continue
+		}
+		if isBreak {
+			return fr.breakTo
+		}
+		if fr.continueTo != nil {
+			return fr.continueTo
+		}
+		// continue skips switch/select frames to the enclosing loop.
+	}
+	return nil
+}
+
+// typeSwitchSubject extracts the switched-on expression of `switch x :=
+// y.(type)` or `switch y.(type)`.
+func typeSwitchSubject(st *ast.TypeSwitchStmt) ast.Expr {
+	switch a := st.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				return ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	}
+	return nil
+}

@@ -1,0 +1,928 @@
+package lint
+
+// Intraprocedural dataflow engine. For each function body a CFG (cfg.go) is
+// interpreted over a small abstract domain of value *origins*: every local
+// variable maps to the set of places its value may have come from —
+// parameters, allocations in this function, call results, or loads out of
+// storage the function does not own. The fixpoint is a classic forward
+// may-analysis (join = union), so the per-use facts are flow-sensitive:
+// `h := holder{}; h.env = env` knows h is a fresh local, while
+// `w.senv = env` knows w is a received handle.
+//
+// On top of the value tracking sit *placements*: every site where a value is
+// put somewhere — stored into a structure, appended, returned, sent on a
+// channel, converted to an interface, captured by a closure, passed to a
+// callee — paired with the abstract value of the thing placed and of the
+// container receiving it. Escape solving (solveEscapes) closes the
+// placement graph: a value escapes if it is placed beyond the function's
+// frame, or into a container that itself escapes. The envowner, msgshare,
+// and pooledlife analyzers and the summary builder (summary.go) are all
+// consumers of this one engine.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// originKind classifies where an abstract value came from.
+type originKind uint8
+
+const (
+	// oUnknown is a load out of storage this function does not own: a field
+	// path rooted at a parameter or package variable, an element of an
+	// outside container, or a free variable of a closure.
+	oUnknown originKind = iota
+	// oFresh is an allocation made by this function: composite literal,
+	// make, new, or the address of a literal.
+	oFresh
+	// oParam is the value of a parameter or receiver as at function entry.
+	oParam
+	// oCall is the result of a call at a given site.
+	oCall
+	// oClosure is a function literal created in this function.
+	oClosure
+)
+
+// maxLoadPath caps the dotted access path recorded for oUnknown origins so
+// `x = x.next` loops converge instead of growing the path each iteration.
+const maxLoadPath = 4
+
+// origin is one interned abstract value source. Identity is managed by
+// funcFlow.intern, so origins compare with ==.
+type origin struct {
+	kind   originKind
+	obj    *types.Var  // oParam: the parameter; oUnknown: the root variable of the load path (nil when unresolvable)
+	path   string      // oUnknown: access path below obj ("know.obuf", "chunk[]"), "" otherwise
+	site   ast.Node    // oFresh/oCall/oClosure: the allocation/call/literal site
+	callee *types.Func // oCall: statically resolved callee (generic origin), or nil
+}
+
+type originKey struct {
+	kind originKind
+	obj  *types.Var
+	path string
+	site ast.Node
+}
+
+// valueSet is a set of origins a value may have.
+type valueSet map[*origin]struct{}
+
+func (s valueSet) add(o *origin) bool {
+	if _, ok := s[o]; ok {
+		return false
+	}
+	s[o] = struct{}{}
+	return true
+}
+
+func (s valueSet) clone() valueSet {
+	c := make(valueSet, len(s))
+	for o := range s {
+		c[o] = struct{}{}
+	}
+	return c
+}
+
+// flowState maps local variables to their abstract values.
+type flowState map[*types.Var]valueSet
+
+func (st flowState) clone() flowState {
+	c := make(flowState, len(st))
+	for v, s := range st {
+		c[v] = s.clone()
+	}
+	return c
+}
+
+// join unions other into st, reporting whether st changed.
+func (st flowState) join(other flowState) bool {
+	changed := false
+	for v, s := range other {
+		dst, ok := st[v]
+		if !ok {
+			st[v] = s.clone()
+			changed = true
+			continue
+		}
+		for o := range s {
+			if dst.add(o) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// escMask records how a value escapes its function.
+type escMask uint8
+
+const (
+	escReturn  escMask = 1 << iota
+	escStore           // stored into a structure that outlives the frame
+	escIface           // converted to an interface value
+	escSend            // sent on a channel
+	escCall            // handed to a callee whose summary says the parameter escapes
+	escClosure         // captured by a closure that itself escapes
+	escGlobal          // assigned to a package-level variable
+)
+
+// placeKind classifies one placement site.
+type placeKind uint8
+
+const (
+	pStore        placeKind = iota // x.f = v, x[i] = v, *p = v
+	pStoreGlobal                   // g = v for package-level g
+	pCompositeElt                  // T{... v ...}
+	pAppend                        // append(dst, v)
+	pReturn                        // return v
+	pSend                          // ch <- v
+	pIfaceArg                      // f(v) where the parameter is interface-typed
+	pCallArg                       // f(v) with a concrete parameter type
+	pCapture                       // v is a free variable referenced by a closure
+)
+
+// placement is one site where a value is put somewhere.
+type placement struct {
+	kind    placeKind
+	val     ast.Expr // the placed expression (for pCapture: the first reference inside the closure)
+	origins valueSet
+	target  valueSet    // container origins for pStore/pCompositeElt/pAppend/pCapture
+	callee  *types.Func // pCallArg
+	recvArg bool        // pCallArg: the value is the method receiver
+	argIdx  int         // pCallArg: argument index in the callee signature
+	capture *types.Var  // pCapture: the captured variable
+}
+
+// funcFlow is the dataflow result for one function (declaration or literal).
+type funcFlow struct {
+	info  *types.Info
+	fn    ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body  *ast.BlockStmt
+	sig   *types.Signature
+	graph *cfg
+	in    map[*cfgBlock]flowState
+
+	interned   map[originKey]*origin
+	placements []placement // filled by collectPlacements, in source order per block
+
+	// Escape solution cache, valid once the package summary fixpoint has
+	// finished (analyzers run after loading, so the store is complete).
+	escDone  bool
+	escSol   *escapeSolution
+	escKinds []escMask
+}
+
+// escapes returns the (cached) escape solution for analyzer consumption.
+// The summary fixpoint must not use this cache — it calls solveEscapes
+// directly while the store is still converging.
+func (ff *funcFlow) escapes(store *SummaryStore) (*escapeSolution, []escMask) {
+	if !ff.escDone {
+		ff.escSol, ff.escKinds = ff.solveEscapes(store)
+		ff.escDone = true
+	}
+	return ff.escSol, ff.escKinds
+}
+
+// analyzeFunc builds the CFG for fn and runs the origin fixpoint.
+func analyzeFunc(info *types.Info, fn ast.Node) *funcFlow {
+	ff := &funcFlow{info: info, fn: fn, interned: map[originKey]*origin{}}
+	switch d := fn.(type) {
+	case *ast.FuncDecl:
+		if d.Body == nil {
+			return nil
+		}
+		ff.body = d.Body
+		if obj, ok := info.Defs[d.Name].(*types.Func); ok {
+			ff.sig, _ = obj.Type().(*types.Signature)
+		}
+	case *ast.FuncLit:
+		ff.body = d.Body
+		if tv, ok := info.Types[d]; ok {
+			ff.sig, _ = tv.Type.Underlying().(*types.Signature)
+		}
+	default:
+		return nil
+	}
+	if ff.sig == nil {
+		return nil
+	}
+	ff.graph = buildCFG(ff.body)
+	ff.run()
+	ff.collectPlacements()
+	return ff
+}
+
+// entryState binds the receiver and parameters to oParam origins.
+func (ff *funcFlow) entryState() flowState {
+	st := flowState{}
+	bind := func(v *types.Var) {
+		if v != nil && v.Name() != "" && v.Name() != "_" {
+			st[v] = valueSet{ff.intern(originKey{kind: oParam, obj: v}): struct{}{}}
+		}
+	}
+	bind(ff.sig.Recv())
+	for i := 0; i < ff.sig.Params().Len(); i++ {
+		bind(ff.sig.Params().At(i))
+	}
+	return st
+}
+
+func (ff *funcFlow) intern(k originKey) *origin {
+	if o, ok := ff.interned[k]; ok {
+		return o
+	}
+	o := &origin{kind: k.kind, obj: k.obj, path: k.path, site: k.site}
+	ff.interned[k] = o
+	return o
+}
+
+func (ff *funcFlow) internCall(site ast.Node, callee *types.Func) *origin {
+	k := originKey{kind: oCall, site: site}
+	if o, ok := ff.interned[k]; ok {
+		return o
+	}
+	o := &origin{kind: oCall, site: site, callee: callee}
+	ff.interned[k] = o
+	return o
+}
+
+// run iterates the transfer function to fixpoint over the CFG.
+func (ff *funcFlow) run() {
+	ff.in = map[*cfgBlock]flowState{ff.graph.entry: ff.entryState()}
+	work := []*cfgBlock{ff.graph.entry}
+	queued := map[*cfgBlock]bool{ff.graph.entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := ff.in[b].clone()
+		for _, n := range b.nodes {
+			ff.transfer(n, out)
+		}
+		for _, s := range b.succs {
+			dst, ok := ff.in[s]
+			if !ok {
+				ff.in[s] = out.clone()
+			} else if !dst.join(out) {
+				continue
+			}
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+}
+
+// transfer applies one atomic node's effect to st.
+func (ff *funcFlow) transfer(n ast.Node, st flowState) {
+	switch t := n.(type) {
+	case *ast.AssignStmt:
+		ff.transferAssign(t, st)
+	case *ast.DeclStmt:
+		gd, ok := t.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				v := ff.localVar(name)
+				if v == nil {
+					continue
+				}
+				if i < len(vs.Values) {
+					st[v] = ff.exprOrigins(vs.Values[i], st)
+				} else if len(vs.Values) == 1 {
+					st[v] = ff.exprOrigins(vs.Values[0], st) // n names, one call
+				} else {
+					st[v] = valueSet{}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		elem := ff.compose(ff.exprOrigins(t.X, st), "[]")
+		for _, e := range []ast.Expr{t.Key, t.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if v := ff.localVar(id); v != nil {
+					st[v] = elem.clone()
+				}
+			}
+		}
+	case *ast.CaseClause:
+		subject := ff.graph.caseSubject[t]
+		if subject == nil {
+			return
+		}
+		if v, ok := ff.info.Implicits[t].(*types.Var); ok {
+			st[v] = ff.exprOrigins(subject, st)
+		}
+	}
+}
+
+func (ff *funcFlow) transferAssign(t *ast.AssignStmt, st flowState) {
+	if len(t.Lhs) == len(t.Rhs) {
+		// Evaluate every RHS against the pre-state first (x, y = y, x).
+		vals := make([]valueSet, len(t.Rhs))
+		for i, r := range t.Rhs {
+			vals[i] = ff.exprOrigins(r, st)
+		}
+		for i, l := range t.Lhs {
+			if id, ok := unparen(l).(*ast.Ident); ok && id.Name != "_" {
+				if v := ff.localVar(id); v != nil {
+					st[v] = vals[i]
+				}
+			}
+		}
+		return
+	}
+	// x, y := f() / m[k] / x.(T) / <-ch with comma-ok.
+	if len(t.Rhs) != 1 {
+		return
+	}
+	vals := ff.exprOrigins(t.Rhs[0], st)
+	for i, l := range t.Lhs {
+		if id, ok := unparen(l).(*ast.Ident); ok && id.Name != "_" {
+			if v := ff.localVar(id); v != nil {
+				if i == 0 || isCall(t.Rhs[0]) {
+					st[v] = vals.clone()
+				} else {
+					st[v] = valueSet{} // the comma-ok bool
+				}
+			}
+		}
+	}
+}
+
+func isCall(e ast.Expr) bool {
+	_, ok := unparen(e).(*ast.CallExpr)
+	return ok
+}
+
+// localVar resolves an identifier to the variable object it defines or
+// uses, or nil for non-variables.
+func (ff *funcFlow) localVar(id *ast.Ident) *types.Var {
+	if v, ok := ff.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := ff.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// compose extends every origin in s with one more access-path segment
+// (field name or "[]"), capping path growth for convergence.
+func (ff *funcFlow) compose(s valueSet, seg string) valueSet {
+	out := valueSet{}
+	for o := range s {
+		switch o.kind {
+		case oParam:
+			out.add(ff.intern(originKey{kind: oUnknown, obj: o.obj, path: seg}))
+		case oUnknown:
+			path := o.path
+			if strings.Count(path, ".") < maxLoadPath {
+				if seg == "[]" || path == "" {
+					path += seg
+				} else {
+					path += "." + seg
+				}
+			}
+			out.add(ff.intern(originKey{kind: oUnknown, obj: o.obj, path: path}))
+		default:
+			// Loading out of a fresh object, call result, or closure: the
+			// content is not tracked.
+			out.add(ff.intern(originKey{kind: oUnknown}))
+		}
+	}
+	if len(s) == 0 {
+		out.add(ff.intern(originKey{kind: oUnknown}))
+	}
+	return out
+}
+
+// exprOrigins evaluates the abstract value of e under st.
+func (ff *funcFlow) exprOrigins(e ast.Expr, st flowState) valueSet {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		obj := ff.info.Uses[x]
+		if obj == nil {
+			obj = ff.info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return valueSet{} // nil, constants, funcs, types
+		}
+		if s, ok := st[v]; ok {
+			return s.clone()
+		}
+		// Package-level variable or a closure free variable: outside storage.
+		return valueSet{ff.intern(originKey{kind: oUnknown, obj: v}): struct{}{}}
+	case *ast.SelectorExpr:
+		if _, _, isPkg := pkgFuncRef(ff.info, x); isPkg {
+			// Qualified package name: pkg.Var is a root load, pkg.Func no value.
+			if v, ok := ff.info.Uses[x.Sel].(*types.Var); ok {
+				return valueSet{ff.intern(originKey{kind: oUnknown, obj: v}): struct{}{}}
+			}
+			return valueSet{}
+		}
+		if _, ok := ff.info.Uses[x.Sel].(*types.Func); ok {
+			return valueSet{} // method value
+		}
+		return ff.compose(ff.exprOrigins(x.X, st), x.Sel.Name)
+	case *ast.IndexExpr:
+		if tv, ok := ff.info.Types[x.Index]; ok && tv.IsType() {
+			return ff.exprOrigins(x.X, st) // generic instantiation
+		}
+		return ff.compose(ff.exprOrigins(x.X, st), "[]")
+	case *ast.IndexListExpr:
+		return ff.exprOrigins(x.X, st)
+	case *ast.StarExpr:
+		return ff.compose(ff.exprOrigins(x.X, st), "*")
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			// &T{...} shares the literal's fresh origin (so placements into
+			// the literal resolve against the same container); &x.f / &x[i]
+			// / &x alias the addressed storage: the pointer grants access to
+			// whatever the operand's origins name.
+			return ff.exprOrigins(x.X, st)
+		}
+		if x.Op.String() == "<-" {
+			return valueSet{ff.intern(originKey{kind: oUnknown}): struct{}{}}
+		}
+		return valueSet{}
+	case *ast.CompositeLit:
+		return valueSet{ff.intern(originKey{kind: oFresh, site: x}): struct{}{}}
+	case *ast.FuncLit:
+		return valueSet{ff.intern(originKey{kind: oClosure, site: x}): struct{}{}}
+	case *ast.CallExpr:
+		return ff.callOrigins(x, st)
+	case *ast.SliceExpr:
+		return ff.exprOrigins(x.X, st) // same backing array
+	case *ast.TypeAssertExpr:
+		return ff.exprOrigins(x.X, st)
+	}
+	return valueSet{}
+}
+
+// callOrigins evaluates a call expression: conversions are transparent,
+// allocating builtins are fresh, everything else is a call-site origin.
+func (ff *funcFlow) callOrigins(call *ast.CallExpr, st flowState) valueSet {
+	if tv, ok := ff.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return ff.exprOrigins(call.Args[0], st)
+		}
+		return valueSet{}
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && isBuiltinObj(ff.info, id) {
+		switch id.Name {
+		case "make", "new":
+			return valueSet{ff.intern(originKey{kind: oFresh, site: call}): struct{}{}}
+		case "append":
+			if len(call.Args) == 0 {
+				return valueSet{}
+			}
+			// The result may share arg0's backing array or a freshly grown one.
+			out := ff.exprOrigins(call.Args[0], st)
+			out.add(ff.intern(originKey{kind: oFresh, site: call}))
+			return out
+		default:
+			return valueSet{}
+		}
+	}
+	return valueSet{ff.internCall(call, calleeFunc(ff.info, call)): struct{}{}}
+}
+
+// calleeFunc statically resolves the called function or method, returning
+// the generic origin so summary lookups are instantiation-independent.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = unparen(ix.X) // explicit generic instantiation
+	}
+	if ix, ok := fun.(*ast.IndexListExpr); ok {
+		fun = unparen(ix.X)
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.Origin()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Placement collection.
+
+// collectPlacements re-walks every block with its fixpoint in-state and
+// records one placement per syntactic site, in deterministic source order.
+func (ff *funcFlow) collectPlacements() {
+	for _, b := range ff.graph.blocks {
+		st, ok := ff.in[b]
+		if !ok {
+			continue // unreachable block
+		}
+		st = st.clone()
+		for _, n := range b.nodes {
+			ff.nodePlacements(n, st)
+			ff.transfer(n, st)
+		}
+	}
+}
+
+func (ff *funcFlow) emit(p placement) {
+	ff.placements = append(ff.placements, p)
+}
+
+// nodePlacements emits the placements of one atomic node.
+func (ff *funcFlow) nodePlacements(n ast.Node, st flowState) {
+	switch t := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range t.Lhs {
+			var rhs ast.Expr
+			if len(t.Lhs) == len(t.Rhs) {
+				rhs = t.Rhs[i]
+			} else if len(t.Rhs) == 1 && i == 0 {
+				rhs = t.Rhs[0]
+			}
+			if rhs == nil {
+				continue
+			}
+			ff.storePlacement(lhs, rhs, st)
+		}
+		for _, r := range t.Rhs {
+			ff.exprPlacements(r, st)
+		}
+		for _, l := range t.Lhs {
+			// Index expressions on the LHS still evaluate their operands.
+			if ix, ok := unparen(l).(*ast.IndexExpr); ok {
+				ff.exprPlacements(ix.Index, st)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := t.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						ff.exprPlacements(v, st)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		ff.emit(placement{kind: pSend, val: t.Value, origins: ff.exprOrigins(t.Value, st)})
+		ff.exprPlacements(t.Value, st)
+		ff.exprPlacements(t.Chan, st)
+	case *ast.ReturnStmt:
+		for _, r := range t.Results {
+			ff.emit(placement{kind: pReturn, val: r, origins: ff.exprOrigins(r, st)})
+			ff.exprPlacements(r, st)
+		}
+	case *ast.ExprStmt:
+		ff.exprPlacements(t.X, st)
+	case *ast.DeferStmt:
+		ff.exprPlacements(t.Call, st)
+	case *ast.GoStmt:
+		// Ownership transfer at goroutine spawn is the envowner go-capture
+		// rule's concern; generic placements are not emitted for go calls.
+	case *ast.IncDecStmt, *ast.RangeStmt, *ast.CaseClause:
+	default:
+		if e, ok := n.(ast.Expr); ok { // bare condition / switch tag
+			ff.exprPlacements(e, st)
+		}
+	}
+}
+
+// storePlacement classifies an assignment target. Plain rebinding of a
+// local is not a placement; everything else places the RHS value somewhere.
+func (ff *funcFlow) storePlacement(lhs, rhs ast.Expr, st flowState) {
+	val := ff.exprOrigins(rhs, st)
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		if v := ff.localVar(l); v != nil && !isPackageLevel(v) {
+			return // local rebinding, tracked by the transfer function
+		}
+		ff.emit(placement{kind: pStoreGlobal, val: rhs, origins: val})
+	case *ast.SelectorExpr:
+		if _, _, isPkg := pkgFuncRef(ff.info, l); isPkg {
+			ff.emit(placement{kind: pStoreGlobal, val: rhs, origins: val})
+			return
+		}
+		ff.emit(placement{kind: pStore, val: rhs, origins: val, target: ff.exprOrigins(l.X, st)})
+	case *ast.IndexExpr:
+		ff.emit(placement{kind: pStore, val: rhs, origins: val, target: ff.exprOrigins(l.X, st)})
+	case *ast.StarExpr:
+		ff.emit(placement{kind: pStore, val: rhs, origins: val, target: ff.exprOrigins(l.X, st)})
+	}
+}
+
+// isPackageLevel reports whether v is a package-scoped variable.
+func isPackageLevel(v *types.Var) bool {
+	if v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// exprPlacements walks an expression tree emitting composite-literal,
+// call-argument, append, and closure-capture placements. Function literal
+// bodies are not descended into — each literal is analyzed as its own
+// function — but the literal value itself and its captures are placed.
+func (ff *funcFlow) exprPlacements(e ast.Expr, st flowState) {
+	if e == nil {
+		return
+	}
+	switch x := unparen(e).(type) {
+	case *ast.CompositeLit:
+		target := ff.exprOrigins(x, st)
+		for _, elt := range x.Elts {
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			ff.emit(placement{kind: pCompositeElt, val: val, origins: ff.exprOrigins(val, st), target: target})
+			ff.exprPlacements(val, st)
+		}
+	case *ast.CallExpr:
+		ff.callPlacements(x, st)
+	case *ast.FuncLit:
+		ff.capturePlacements(x, st)
+	case *ast.UnaryExpr:
+		ff.exprPlacements(x.X, st)
+	case *ast.StarExpr:
+		ff.exprPlacements(x.X, st)
+	case *ast.BinaryExpr:
+		ff.exprPlacements(x.X, st)
+		ff.exprPlacements(x.Y, st)
+	case *ast.SelectorExpr:
+		ff.exprPlacements(x.X, st)
+	case *ast.IndexExpr:
+		ff.exprPlacements(x.X, st)
+		ff.exprPlacements(x.Index, st)
+	case *ast.SliceExpr:
+		ff.exprPlacements(x.X, st)
+	case *ast.TypeAssertExpr:
+		ff.exprPlacements(x.X, st)
+	case *ast.KeyValueExpr:
+		ff.exprPlacements(x.Value, st)
+	}
+}
+
+// callPlacements emits one placement per argument: interface conversions
+// for interface-typed parameters, callee-summary placements otherwise.
+func (ff *funcFlow) callPlacements(call *ast.CallExpr, st flowState) {
+	ff.exprPlacements(call.Fun, st)
+	for _, a := range call.Args {
+		ff.exprPlacements(a, st)
+	}
+	if tv, ok := ff.info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && isBuiltinObj(ff.info, id) {
+		if id.Name == "append" && len(call.Args) > 1 {
+			target := ff.exprOrigins(call.Args[0], st)
+			for _, a := range call.Args[1:] {
+				ff.emit(placement{kind: pAppend, val: a, origins: ff.exprOrigins(a, st), target: target})
+			}
+		}
+		return
+	}
+	sig := ff.callSignature(call)
+	if sig == nil {
+		return
+	}
+	callee := calleeFunc(ff.info, call)
+	// Method receiver: using your own handle is not a placement (design:
+	// calling methods on a value is the normal ownership pattern).
+	for i, a := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil {
+			continue
+		}
+		at, ok := ff.info.Types[a]
+		if !ok {
+			continue
+		}
+		if types.IsInterface(pt.Underlying()) && at.Type != nil && !types.IsInterface(at.Type.Underlying()) {
+			ff.emit(placement{kind: pIfaceArg, val: a, origins: ff.exprOrigins(a, st)})
+			continue
+		}
+		ff.emit(placement{kind: pCallArg, val: a, origins: ff.exprOrigins(a, st), callee: callee, argIdx: i})
+	}
+}
+
+// callSignature returns the (instantiated) signature of the called value.
+func (ff *funcFlow) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := ff.info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramTypeAt returns the type of argument index i under sig, unrolling the
+// variadic tail. nil when i is out of range (e.g. a ... spread call).
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() {
+		if i >= n-1 {
+			last := sig.Params().At(n - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				return sl.Elem()
+			}
+			return nil
+		}
+		return sig.Params().At(i).Type()
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// capturePlacements emits one pCapture placement per free variable of a
+// function literal: the captured value is placed "into" the closure, and
+// escapes when the closure does.
+func (ff *funcFlow) capturePlacements(lit *ast.FuncLit, st flowState) {
+	target := ff.exprOrigins(lit, st)
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := ff.info.Uses[id].(*types.Var)
+		if !ok || seen[v] || isPackageLevel(v) {
+			return true
+		}
+		// Free iff declared outside the literal.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		seen[v] = true
+		var origins valueSet
+		if s, ok := st[v]; ok {
+			origins = s.clone()
+		} else {
+			origins = valueSet{ff.intern(originKey{kind: oUnknown, obj: v}): struct{}{}}
+		}
+		ff.emit(placement{kind: pCapture, val: id, origins: origins, target: target, capture: v})
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Escape solving.
+
+// escapeSolution holds, for every origin, the ways values with that origin
+// escape the function.
+type escapeSolution struct {
+	byOrigin map[*origin]escMask
+}
+
+func (es *escapeSolution) mark(s valueSet, m escMask) bool {
+	changed := false
+	for o := range s {
+		if es.byOrigin[o]&m != m {
+			es.byOrigin[o] |= m
+			changed = true
+		}
+	}
+	return changed
+}
+
+// escaped reports whether any origin in s escapes (with the union of kinds).
+func (es *escapeSolution) escaped(s valueSet) escMask {
+	var m escMask
+	for o := range s {
+		m |= es.byOrigin[o]
+	}
+	return m
+}
+
+// outsideTarget reports whether a container origin names storage beyond the
+// function frame: parameters, loads, call results the function does not
+// track into.
+func outsideTarget(o *origin) bool {
+	switch o.kind {
+	case oParam, oUnknown, oCall:
+		return true
+	}
+	return false
+}
+
+// solveEscapes closes the placement graph over the summary store: a
+// placement escapes when its destination is outside the frame, or into a
+// fresh container/closure that itself escapes. Returns the per-origin
+// escape masks and the per-placement escape kind (escMask(0) = does not
+// escape).
+func (ff *funcFlow) solveEscapes(store *SummaryStore) (*escapeSolution, []escMask) {
+	es := &escapeSolution{byOrigin: map[*origin]escMask{}}
+	kinds := make([]escMask, len(ff.placements))
+	for changed := true; changed; {
+		changed = false
+		for i := range ff.placements {
+			p := &ff.placements[i]
+			m := ff.placementEscape(p, es, store)
+			if m != 0 && kinds[i] == 0 {
+				kinds[i] = m
+			}
+			if m != 0 && es.mark(p.origins, m) {
+				changed = true
+			}
+		}
+	}
+	return es, kinds
+}
+
+// placementEscape decides whether one placement escapes under the current
+// partial solution.
+func (ff *funcFlow) placementEscape(p *placement, es *escapeSolution, store *SummaryStore) escMask {
+	switch p.kind {
+	case pReturn:
+		return escReturn
+	case pSend:
+		return escSend
+	case pIfaceArg:
+		return escIface
+	case pStoreGlobal:
+		return escGlobal
+	case pStore, pCompositeElt, pAppend:
+		for o := range p.target {
+			if outsideTarget(o) {
+				return escStore
+			}
+			if es.byOrigin[o] != 0 {
+				return escStore
+			}
+		}
+		return 0
+	case pCapture:
+		for o := range p.target {
+			if es.byOrigin[o] != 0 {
+				return escClosure
+			}
+		}
+		return 0
+	case pCallArg:
+		if store == nil || p.callee == nil {
+			return 0
+		}
+		if isSlabPut(p.callee) {
+			// Arena adoption: the slab stores its argument by design, and
+			// the stored copy shares the pooled lifetime discipline —
+			// a hand-off like a send, not retention (see pooledlife).
+			return 0
+		}
+		if sum := store.lookup(p.callee); sum != nil {
+			// A callee that merely returns its argument hands the value
+			// back to our frame — the call-site origin carries it onward
+			// and later placements of the result are judged on their own.
+			if m := sum.paramEscapeAt(p.argIdx) &^ escReturn; m != 0 {
+				return m | escCall
+			}
+		}
+		return 0
+	}
+	return 0
+}
+
+// describeEscape renders an escape mask for diagnostics (dominant kind).
+func describeEscape(m escMask) string {
+	switch {
+	case m&escReturn != 0:
+		return "returned"
+	case m&escIface != 0:
+		return "converted to an interface"
+	case m&escSend != 0:
+		return "sent on a channel"
+	case m&escGlobal != 0:
+		return "stored in package-level state"
+	case m&escClosure != 0:
+		return "captured by an escaping closure"
+	case m&escCall != 0:
+		return "leaked by the callee"
+	default:
+		return "stored in a shared structure"
+	}
+}
+
+// isBuiltinObj reports whether id resolves to a language builtin (append,
+// len, ...) rather than a user-defined name shadowing it.
+func isBuiltinObj(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}

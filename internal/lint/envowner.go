@@ -9,12 +9,22 @@ import (
 // SyncEnv) is the per-node handle on the engine and only the goroutine
 // running that node may touch it — Recv/Send/Rand are not synchronized for
 // outside callers, and a leaked handle turns "deterministic per seed" into
-// a data race. The analyzer flags env handles (1) referenced inside a
-// go-statement from outside it — captured by the spawned closure or passed
-// as its argument — and (2) escaping into shared storage: struct fields,
-// slice/map elements, composite literals, append, or channel sends.
-// The engine's own construction and hand-off sites are the two legitimate
-// owners and carry //lint:ignore directives with the ownership argument.
+// a data race.
+//
+// The analyzer is a flow-sensitive escape analysis over the dataflow
+// engine (dataflow.go). A handle the function *received* — a parameter, a
+// load out of shared storage, a call result — must stay on the owning
+// goroutine's stack: it is flagged when it is returned, stored into a
+// structure that outlives the frame, converted to an interface, sent on a
+// channel, captured by a closure that escapes, or passed to a callee whose
+// summary says the parameter is retained. A handle the function *created*
+// (fresh allocation) is its own to place: engine constructors wiring
+// `eng.envs[v] = &AsyncEnv{...}` are the ownership hand-off the contract
+// is built on, and need no suppression. Escape is transitive — storing a
+// received env into a fresh local struct is clean until the struct itself
+// escapes. A separate syntactic rule flags env handles reaching a
+// go statement from outside it (the spawned-goroutine capture), which the
+// per-function escape analysis cannot see.
 var EnvOwner = &Analyzer{
 	Name: "envowner",
 	Doc:  "flag AsyncEnv/SyncEnv handles escaping their owning goroutine",
@@ -27,48 +37,69 @@ func runEnvOwner(pass *Pass) error {
 			switch st := n.(type) {
 			case *ast.GoStmt:
 				checkGoCapture(pass, st)
-			case *ast.AssignStmt:
-				if len(st.Lhs) == len(st.Rhs) {
-					for i, rhs := range st.Rhs {
-						if name := envTypeOf(pass, rhs); name != "" {
-							switch st.Lhs[i].(type) {
-							case *ast.SelectorExpr, *ast.IndexExpr:
-								pass.Reportf(st.Lhs[i].Pos(),
-									"*%s stored in a shared structure: env handles must stay on the owning goroutine's stack", name)
-							}
-						}
-					}
-				}
-			case *ast.CompositeLit:
-				for _, elt := range st.Elts {
-					val := elt
-					if kv, ok := elt.(*ast.KeyValueExpr); ok {
-						val = kv.Value
-					}
-					if name := envTypeOf(pass, val); name != "" {
-						pass.Reportf(val.Pos(),
-							"*%s stored in a composite literal: env handles must stay on the owning goroutine's stack", name)
-					}
-				}
-			case *ast.CallExpr:
-				if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltin(pass, id) {
-					for _, arg := range st.Args[1:] {
-						if name := envTypeOf(pass, arg); name != "" {
-							pass.Reportf(arg.Pos(),
-								"*%s appended to a slice: env handles must stay on the owning goroutine's stack", name)
-						}
-					}
-				}
-			case *ast.SendStmt:
-				if name := envTypeOf(pass, st.Value); name != "" {
-					pass.Reportf(st.Value.Pos(),
-						"*%s sent on a channel: env handles must not cross goroutines", name)
-				}
+			case *ast.FuncDecl, *ast.FuncLit:
+				checkEnvEscapes(pass, st)
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// checkEnvEscapes reports every escaping placement of a received env
+// handle in one function.
+func checkEnvEscapes(pass *Pass, fn ast.Node) {
+	ff := pass.flowFor(fn)
+	if ff == nil {
+		return
+	}
+	_, kinds := ff.escapes(pass.Summaries)
+	for i := range ff.placements {
+		p := &ff.placements[i]
+		if kinds[i] == 0 {
+			continue
+		}
+		name := envTypeOf(pass, p.val)
+		if name == "" {
+			continue
+		}
+		if !receivedOrigin(p.origins) {
+			continue // freshly created here: the creator owns its placement
+		}
+		pass.Reportf(p.val.Pos(), "*%s %s: env handles must stay on the owning goroutine's stack", name, envEscapePhrase(kinds[i]))
+	}
+}
+
+// receivedOrigin reports whether the value may be a handle this function
+// did not create: a parameter, a load from shared storage, a call result.
+func receivedOrigin(s valueSet) bool {
+	for o := range s {
+		switch o.kind {
+		case oParam, oUnknown, oCall:
+			return true
+		}
+	}
+	return false
+}
+
+// envEscapePhrase renders the dominant escape kind of a flagged placement.
+func envEscapePhrase(m escMask) string {
+	switch {
+	case m&escSend != 0:
+		return "sent on a channel"
+	case m&escReturn != 0:
+		return "returned from the function"
+	case m&escIface != 0:
+		return "passed as an interface value"
+	case m&escGlobal != 0:
+		return "stored in package-level state"
+	case m&escClosure != 0:
+		return "captured by an escaping closure"
+	case m&escCall != 0:
+		return "retained by the callee"
+	default:
+		return "stored in a shared structure"
+	}
 }
 
 // envTypeOf returns "AsyncEnv"/"SyncEnv" when e is a value expression whose

@@ -1,30 +1,40 @@
 // Package lint is a small stdlib-only static-analysis framework (go/ast +
 // go/parser + go/types) enforcing the determinism and goroutine-ownership
 // invariants the simulator's guarantees rest on: reproducible schedules per
-// seed, delay-preset robustness, and verifier soundness. It ships four
-// analyzers:
+// seed, delay-preset robustness, and verifier soundness. The ownership
+// analyzers share a flow-sensitive dataflow layer — a per-function CFG
+// (cfg.go), an origin-lattice fixpoint with escape placements
+// (dataflow.go), and cross-package function summaries (summary.go)
+// computed at load time. It ships five analyzers:
 //
 //   - detrand: forbids ambient nondeterminism (global math/rand draws,
 //     wall-clock time) in protocol packages — all randomness must flow
 //     through a node's injected *rand.Rand;
-//   - envowner: flags AsyncEnv/SyncEnv handles escaping their owning
-//     goroutine (captured by go-statement closures or stored into shared
-//     structures);
+//   - envowner: flags AsyncEnv/SyncEnv handles received from outside the
+//     function that escape it — captured by go-statement closures, stored
+//     into shared or global state, returned, sent, interface-boxed, or
+//     retained by a callee (per its summary);
 //   - mapiter: flags ranging over a map while appending to an outer slice,
 //     sending messages, or emitting output — the classic source of
 //     schedule nondeterminism — unless the collected slice is sorted
 //     afterwards;
 //   - msgshare: flags Send/Broadcast/Inject payloads that alias mutable
-//     state (pointers, slices, maps) mutated after the send, i.e.
-//     cross-goroutine aliasing through the message channel.
+//     state (pointers, slices, maps) mutated after the send, including
+//     aliases handed out by callees (getters returning views of sender
+//     state, per their summaries);
+//   - pooledlife: flags slab-allocated payload pointers stored into state
+//     that outlives the send (fields, maps, logs, globals, returns, raw
+//     channels) — slab slots are recycled between runs.
 //
 // Diagnostics are suppressed by an explicit, audited escape hatch:
 //
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // placed on the reported line or the line directly above it. The reason is
-// mandatory. The cmd/fdlsplint driver runs every analyzer over the module
-// and exits nonzero on findings.
+// mandatory, and a directive that suppresses nothing is itself reported
+// when RunOptions.ReportUnused is set. The cmd/fdlsplint driver runs every
+// analyzer over the module with unused reporting on and exits nonzero on
+// findings.
 package lint
 
 import (
@@ -60,8 +70,28 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	// Summaries resolves callee behavior (parameter escapes, result
+	// aliasing) for every function the loader has summarized so far.
+	Summaries *SummaryStore
+
+	flows    *packageFlows
 	analyzer string
 	report   func(Diagnostic)
+}
+
+// flowFor returns the dataflow result of one function declaration or
+// literal, computing the package's flows on demand when the pass was built
+// without a loader (hand-assembled test passes).
+func (p *Pass) flowFor(fn ast.Node) *funcFlow {
+	if p.flows == nil {
+		store := p.Summaries
+		if store == nil {
+			store = NewSummaryStore()
+			p.Summaries = store
+		}
+		p.flows = computeFlows(p.Files, p.Info, store)
+	}
+	return p.flows.byNode[fn]
 }
 
 // Reportf records a diagnostic at pos.
@@ -71,22 +101,40 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers is the full suite in deterministic order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, EnvOwner, MapIter, MsgShare}
+	return []*Analyzer{DetRand, EnvOwner, MapIter, MsgShare, PooledLife}
+}
+
+// RunOptions adjusts a Run over one package.
+type RunOptions struct {
+	// ReportUnused additionally reports //lint:ignore directives that
+	// suppressed nothing (stale suppressions), for analyzers in the run's
+	// set. Off by default: a partial run (-only) must not condemn
+	// directives belonging to analyzers it skipped.
+	ReportUnused bool
 }
 
 // Run applies the analyzers to pkg, filters suppressed findings through the
 // package's //lint:ignore directives, and returns the survivors sorted by
 // position. Malformed directives are themselves reported (analyzer "lint").
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWith(pkg, analyzers, RunOptions{})
+}
+
+// RunWith is Run with options.
+func RunWith(pkg *Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	ran := map[string]bool{}
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			analyzer: a.Name,
-			report:   func(d Diagnostic) { diags = append(diags, d) },
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			Summaries: pkg.summaries(),
+			flows:     pkg.flows,
+			analyzer:  a.Name,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
@@ -99,6 +147,9 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if !dirs.suppresses(pkg.Fset, d) {
 			kept = append(kept, d)
 		}
+	}
+	if opts.ReportUnused {
+		kept = append(kept, dirs.unused(ran)...)
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		if kept[i].Pos != kept[j].Pos {

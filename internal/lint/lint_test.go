@@ -104,10 +104,11 @@ func sameFile(a, b string) bool {
 	return err1 == nil && err2 == nil && aa == bb
 }
 
-func TestDetRandFixture(t *testing.T)  { checkFixture(t, DetRand, "detrand") }
-func TestEnvOwnerFixture(t *testing.T) { checkFixture(t, EnvOwner, "envowner") }
-func TestMapIterFixture(t *testing.T)  { checkFixture(t, MapIter, "mapiter") }
-func TestMsgShareFixture(t *testing.T) { checkFixture(t, MsgShare, "msgshare") }
+func TestDetRandFixture(t *testing.T)    { checkFixture(t, DetRand, "detrand") }
+func TestEnvOwnerFixture(t *testing.T)   { checkFixture(t, EnvOwner, "envowner") }
+func TestMapIterFixture(t *testing.T)    { checkFixture(t, MapIter, "mapiter") }
+func TestMsgShareFixture(t *testing.T)   { checkFixture(t, MsgShare, "msgshare") }
+func TestPooledLifeFixture(t *testing.T) { checkFixture(t, PooledLife, "pooledlife") }
 
 // TestSuppression exercises //lint:ignore: directives on the reported line
 // or the line above silence the named analyzers (or all, with "*"), while

@@ -3,13 +3,17 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -21,6 +25,20 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// flows is the package's dataflow layer (per-function CFG fixpoints and
+	// escape placements), computed once at load time and shared by every
+	// analyzer run over the package.
+	flows *packageFlows
+}
+
+// summaries returns the store the package's flows were computed against,
+// or nil for a hand-assembled Package (the Pass then builds its own).
+func (p *Package) summaries() *SummaryStore {
+	if p.flows != nil {
+		return p.flows.store
+	}
+	return nil
 }
 
 // Loader parses and type-checks packages from source, sharing a file set
@@ -33,12 +51,19 @@ type Loader struct {
 	IncludeTests bool
 
 	imp *cachingImporter
+
+	// summaries accumulates function summaries across every LoadDir call.
+	// Dependencies are loaded before their importers (the driver orders
+	// directories topologically), so by the time a package is summarized its
+	// callees' summaries are present, and type identity is preserved by the
+	// caching importer.
+	summaries *SummaryStore
 }
 
 // NewLoader returns a loader with a fresh file set.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{Fset: fset, imp: newCachingImporter(fset)}
+	return &Loader{Fset: fset, imp: newCachingImporter(fset), summaries: NewSummaryStore()}
 }
 
 // cachingImporter resolves imports through the source importer but first
@@ -107,16 +132,28 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !buildTagsSatisfied(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, path, src, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
 		files = append(files, f)
 	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Defs:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{Importer: l.imp}
@@ -134,7 +171,51 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	if _, ok := l.imp.pkgs[importPath]; !ok && !l.IncludeTests {
 		l.imp.pkgs[importPath] = tpkg
 	}
-	return &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+	pkg := &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	pkg.flows = computeFlows(files, info, l.summaries)
+	return pkg, nil
+}
+
+// buildTagsSatisfied evaluates the file's //go:build (or // +build)
+// constraint against the loader's fixed tag set: the host GOOS/GOARCH, the
+// gc toolchain, and every go1.x release tag. Files constrained out — most
+// commonly `//go:build ignore` helper programs, but also contradictory
+// ("cyclic-looking") expressions like `//go:build a && !a` — are skipped
+// exactly as the go tool would skip them.
+func buildTagsSatisfied(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) || constraint.IsPlusBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				continue // malformed constraint: let the parser complain
+			}
+			if !expr.Eval(buildTagActive) {
+				return false
+			}
+			continue
+		}
+		// Constraints must precede the package clause; stop at the first
+		// non-comment, non-blank line.
+		if trimmed != "" && !strings.HasPrefix(trimmed, "//") && !strings.HasPrefix(trimmed, "/*") {
+			break
+		}
+	}
+	return true
+}
+
+// buildTagActive reports whether one build tag is satisfied in the
+// loader's environment.
+func buildTagActive(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" {
+		return true
+	}
+	if v, ok := strings.CutPrefix(tag, "go1."); ok {
+		if n, err := fmt.Sscanf(v, "%d", new(int)); n == 1 && err == nil {
+			return true // this toolchain satisfies every declared go1.x floor it compiles under
+		}
+	}
+	return false
 }
 
 // ---------------------------------------------------------------------------
@@ -142,9 +223,17 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 
 const ignorePrefix = "//lint:ignore"
 
-// ignoreSet maps "file:line" to the analyzer names suppressed there ("*"
+// ignoreDirective is one analyzer name of one //lint:ignore comment, with
+// a usage bit so the run can report directives that suppressed nothing.
+type ignoreDirective struct {
+	name string
+	pos  token.Pos
+	used bool
+}
+
+// ignoreSet maps "file:line" to the directives active there ("*"
 // suppresses every analyzer).
-type ignoreSet map[string][]string
+type ignoreSet map[string][]*ignoreDirective
 
 // directives collects every well-formed //lint:ignore comment and reports
 // malformed ones (missing analyzer list or missing reason) as diagnostics
@@ -170,7 +259,9 @@ func directives(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic
 				}
 				pos := fset.Position(c.Pos())
 				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				set[key] = append(set[key], strings.Split(fields[0], ",")...)
+				for _, name := range strings.Split(fields[0], ",") {
+					set[key] = append(set[key], &ignoreDirective{name: name, pos: c.Pos()})
+				}
 			}
 		}
 	}
@@ -178,18 +269,207 @@ func directives(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic
 }
 
 // suppresses reports whether d is covered by a directive on its line or on
-// the line directly above.
+// the line directly above, marking the directive used.
 func (s ignoreSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
 	if d.Analyzer == "lint" {
 		return false // malformed directives are never self-suppressed
 	}
 	pos := fset.Position(d.Pos)
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range s[fmt.Sprintf("%s:%d", pos.Filename, line)] {
-			if name == d.Analyzer || name == "*" {
+		for _, dir := range s[fmt.Sprintf("%s:%d", pos.Filename, line)] {
+			if dir.name == d.Analyzer || dir.name == "*" {
+				dir.used = true
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// unused reports directives that suppressed nothing during the run, for
+// analyzers that actually ran (a directive for an analyzer excluded from
+// the run's set is not judged). Stale suppressions hide future regressions
+// — the code they excused has been fixed or moved — so the driver treats
+// them as findings.
+func (s ignoreSet) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dirs := range s {
+		for _, dir := range dirs {
+			if dir.used || (dir.name != "*" && !ran[dir.name]) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "lint",
+				Message:  fmt.Sprintf("unused //lint:ignore %s directive: nothing is suppressed here; delete it", dir.name),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Module discovery and package enumeration (shared with cmd/fdlsplint).
+
+// FindModule locates the enclosing go.mod, walking up from dir, and returns
+// the module root directory and module path.
+func FindModule(dir string) (root, module string, err error) {
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ExpandPatterns resolves package patterns ("dir", "dir/...") into package
+// directories. Recursive walks skip testdata, vendor, hidden, and
+// underscore directories; explicitly named directories must exist and
+// contain Go files.
+func ExpandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "." || pat == "" {
+				pat = root
+			}
+		}
+		if !filepath.IsAbs(pat) {
+			pat = filepath.Join(root, pat)
+		}
+		if !recursive {
+			// An explicitly named directory must exist and contain Go files;
+			// only the recursive walk skips silently.
+			if st, err := os.Stat(pat); err != nil {
+				return nil, err
+			} else if !st.IsDir() {
+				return nil, fmt.Errorf("%s is not a directory", pat)
+			}
+			if !hasGoFiles(pat) {
+				return nil, fmt.Errorf("no Go files in %s", pat)
+			}
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(pat, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != pat && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir holds at least one non-test Go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// DependencyOrder sorts the package directories so module-local imports
+// come before their importers (ties and unrelated packages stay in the
+// incoming order). Import lists are read with a cheap imports-only parse;
+// cycles cannot occur in compilable Go, and if the parse fails the
+// directory is simply ordered as-is — LoadDir will report the real error.
+// Loading in this order is what lets the loader's caches (typechecked
+// packages, function summaries) hit instead of re-deriving.
+func DependencyOrder(dirs []string, importPaths map[string]string) []string {
+	byPath := make(map[string]string, len(dirs)) // import path -> dir
+	for dir, path := range importPaths {
+		byPath[path] = dir
+	}
+	imports := make(map[string][]string, len(dirs)) // dir -> module-local import dirs
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				continue
+			}
+			for _, spec := range f.Imports {
+				path, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if dep, ok := byPath[path]; ok && dep != dir && !seen[dep] {
+					seen[dep] = true
+					imports[dir] = append(imports[dir], dep)
+				}
+			}
+		}
+		sort.Strings(imports[dir])
+	}
+	ordered := make([]string, 0, len(dirs))
+	state := make(map[string]int, len(dirs)) // 0 new, 1 visiting, 2 done
+	var visit func(dir string)
+	visit = func(dir string) {
+		if state[dir] != 0 {
+			return
+		}
+		state[dir] = 1
+		for _, dep := range imports[dir] {
+			visit(dep)
+		}
+		state[dir] = 2
+		ordered = append(ordered, dir)
+	}
+	for _, dir := range dirs {
+		visit(dir)
+	}
+	return ordered
 }

@@ -1,6 +1,12 @@
 package lint
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
 
 // TestLoaderCachesTypecheckedPackages pins the cross-directory import
 // cache: a package typechecked by LoadDir must be reused — same
@@ -40,5 +46,168 @@ func TestLoaderTestInclusiveLoadsNotCached(t *testing.T) {
 	}
 	if l.Cached("fdlsp/internal/graph") {
 		t.Fatal("test-inclusive load leaked into the import cache")
+	}
+}
+
+// writeTree materializes a file tree under a fresh temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadDirSkipsConstrainedFiles: files excluded by build constraints —
+// `//go:build ignore` helpers, contradictory ("cyclic-looking")
+// expressions, and inactive `// +build` lines — must be dropped before
+// parsing. The skipped files deliberately declare other package names, so
+// any failure to skip breaks the typecheck loudly.
+func TestLoadDirSkipsConstrainedFiles(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"a.go":    "package p\n\nconst A = 1\n",
+		"gen.go":  "//go:build ignore\n\npackage main\n\nfunc main() {}\n",
+		"cyc.go":  "//go:build fdlsptag && !fdlsptag\n\npackage q\n\nconst B = 2\n",
+		"plus.go": "// +build !gc\n\npackage r\n",
+	})
+	pkg, err := NewLoader().LoadDir(dir, "example.com/p")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("want 1 buildable file, got %d", len(pkg.Files))
+	}
+	if pkg.Types.Scope().Lookup("A") == nil {
+		t.Error("constant A from the buildable file is missing")
+	}
+}
+
+// TestLoadDirKeepsSatisfiedConstraints: constraints the loader's
+// environment satisfies (gc toolchain, go1.x floors, host GOOS) must not
+// exclude the file.
+func TestLoadDirKeepsSatisfiedConstraints(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"a.go": "//go:build gc && go1.18\n\npackage p\n\nconst A = 1\n",
+		"b.go": "//go:build " + runtime.GOOS + "\n\npackage p\n\nconst B = 2\n",
+	})
+	pkg, err := NewLoader().LoadDir(dir, "example.com/p")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("want 2 buildable files, got %d", len(pkg.Files))
+	}
+}
+
+// TestLoadDirAllFilesConstrainedOut: a directory whose every file is
+// constrained away is an explicit error, not an empty package.
+func TestLoadDirAllFilesConstrainedOut(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"gen.go": "//go:build ignore\n\npackage main\n\nfunc main() {}\n",
+	})
+	_, err := NewLoader().LoadDir(dir, "example.com/p")
+	if err == nil || !strings.Contains(err.Error(), "no buildable Go files") {
+		t.Fatalf("want 'no buildable Go files' error, got %v", err)
+	}
+}
+
+// TestExpandPatternsSkips: the recursive walk must pass over vendor,
+// testdata, hidden, and underscore directories, while explicitly named
+// directories are honored even inside those trees — and a missing explicit
+// directory is an error, not a silent no-op.
+func TestExpandPatternsSkips(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go":              "package a\n",
+		"b/b.go":              "package b\n",
+		"vendor/dep/dep.go":   "package dep\n",
+		"b/testdata/fix/f.go": "package fix\n",
+		"b/testdata/plain.go": "package plain\n",
+		".hidden/h.go":        "package h\n",
+		"_scratch/s.go":       "package s\n",
+		"c/onlytest_test.go":  "package c\n",
+		"d/sub/vendor/v/v.go": "package v\n",
+		"d/sub/real/real.go":  "package real\n",
+	})
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rel []string
+	for _, d := range dirs {
+		r, err := filepath.Rel(root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = append(rel, filepath.ToSlash(r))
+	}
+	want := []string{"a", "b", "d/sub/real"}
+	if strings.Join(rel, ",") != strings.Join(want, ",") {
+		t.Errorf("recursive expansion = %v, want %v", rel, want)
+	}
+
+	explicit, err := ExpandPatterns(root, []string{"vendor/dep"})
+	if err != nil {
+		t.Fatalf("explicitly named vendored dir should load: %v", err)
+	}
+	if len(explicit) != 1 {
+		t.Errorf("want the one explicit dir, got %v", explicit)
+	}
+
+	if _, err := ExpandPatterns(root, []string{"nosuch"}); err == nil {
+		t.Error("missing explicit directory should be an error")
+	}
+	if _, err := ExpandPatterns(root, []string{"c"}); err == nil {
+		t.Error("explicit directory with only test files should be an error")
+	}
+}
+
+// TestFindModule walks up from a nested directory to the enclosing go.mod.
+func TestFindModule(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":   "module example.com/mod\n\ngo 1.24\n",
+		"x/y/y.go": "package y\n",
+	})
+	gotRoot, gotModule, err := FindModule(filepath.Join(root, "x", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRoot != root || gotModule != "example.com/mod" {
+		t.Errorf("FindModule = (%q, %q), want (%q, %q)", gotRoot, gotModule, root, "example.com/mod")
+	}
+}
+
+// TestDependencyOrder: module-local imports come before their importers so
+// the loader's typecheck cache is hit instead of re-deriving packages.
+func TestDependencyOrder(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"app/app.go":   "package app\n\nimport (\n\t_ \"example.com/mod/base\"\n\t_ \"example.com/mod/mid\"\n)\n",
+		"base/base.go": "package base\n",
+		"mid/mid.go":   "package mid\n\nimport _ \"example.com/mod/base\"\n",
+	})
+	dirs := []string{
+		filepath.Join(root, "app"),
+		filepath.Join(root, "base"),
+		filepath.Join(root, "mid"),
+	}
+	paths := map[string]string{
+		dirs[0]: "example.com/mod/app",
+		dirs[1]: "example.com/mod/base",
+		dirs[2]: "example.com/mod/mid",
+	}
+	ordered := DependencyOrder(dirs, paths)
+	idx := map[string]int{}
+	for i, d := range ordered {
+		r, _ := filepath.Rel(root, d)
+		idx[filepath.ToSlash(r)] = i
+	}
+	if !(idx["base"] < idx["mid"] && idx["mid"] < idx["app"]) {
+		t.Errorf("dependency order = %v, want base < mid < app", ordered)
 	}
 }

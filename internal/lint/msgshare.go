@@ -47,6 +47,7 @@ func runMsgShare(pass *Pass) error {
 				return true // package function, not an env/engine method
 			}
 			payload := call.Args[len(call.Args)-1]
+			checkPayloadCallAliases(pass, call, payload)
 			var roots []ast.Expr
 			collectPayloadRoots(pass, payload, &roots)
 			if len(roots) == 0 {
@@ -78,6 +79,72 @@ func runMsgShare(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkPayloadCallAliases flags payload-producing calls whose summary says
+// the result aliases long-lived sender state — the getter-that-returns-a-
+// view pattern a single-function scan cannot see (`n.table()` returning the
+// receiver's live map). Genuinely-fresh constructors (snapshotLocal and
+// friends) have fresh summaries and pass without suppression. Result paths
+// crossing an element boundary are arena handouts (slab.put returning
+// &s.chunk[i]): their lifetime discipline is pooledlife's concern, not
+// aliasing-by-the-sender, so they are excluded here.
+func checkPayloadCallAliases(pass *Pass, send *ast.CallExpr, payload ast.Expr) {
+	ast.Inspect(payload, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.Info.Types[c]; !ok || !tv.IsValue() || !isRefType(tv.Type) {
+			return true // non-reference result cannot alias sender storage
+		}
+		callee := calleeFunc(pass.Info, c)
+		sum := pass.Summaries.lookup(callee)
+		if sum == nil || len(sum.results) != 1 {
+			return true // unsummarized (stdlib, interface method): treated fresh
+		}
+		for _, term := range sum.results[0].aliases {
+			if term.elem {
+				continue
+			}
+			target := callArgExpr(c, term.ref)
+			if target == nil {
+				continue
+			}
+			base := persistentAliasBase(pass, target)
+			if base == "" {
+				continue
+			}
+			what := exprPath(target)
+			if term.path != "" {
+				what = joinPath(what, term.path)
+			}
+			pass.Reportf(send.Pos(),
+				"payload aliases %s via %s: the call returns a view of long-lived state behind pointer %s, not a copy; send a fresh snapshot instead",
+				what, callee.Name(), base)
+			return true
+		}
+		return true
+	})
+}
+
+// persistentAliasBase returns the base identifier's name when e is rooted
+// at a pointer-typed variable (the receiver or another long-lived handle),
+// else "". Mirrors persistentStateBase but accepts bare identifiers too:
+// the aliased storage is named by the summary path, not the expression.
+func persistentAliasBase(pass *Pass, e ast.Expr) string {
+	base := baseIdent(e)
+	if base == nil {
+		return ""
+	}
+	obj := pass.Info.Uses[base]
+	if obj == nil {
+		return ""
+	}
+	if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+		return ""
+	}
+	return base.Name
 }
 
 // collectPayloadRoots gathers the sub-expressions of a payload that carry

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PooledLife enforces the lifetime discipline of slab-allocated message
+// payloads (internal/core's slab[T]). A pointer returned by slab.put is an
+// arena handout: it is valid for the message in flight — handed to
+// Send/Broadcast, embedded in another pooled message — but the arena is
+// reset between runs, so a pooled pointer stored into state that outlives
+// the send (a receiver field, a map or slice hanging off long-lived state,
+// a package variable) or returned to the caller silently aliases a recycled
+// slot: the retained "message" mutates when the slot is reused, the exact
+// nondeterminism class the conformance suite can only catch after the fact.
+//
+// The analyzer tracks put results through the dataflow engine: locals,
+// aliases, and composite payloads are followed flow-sensitively. Placing a
+// pooled pointer into a fresh composite that is itself sent stays clean;
+// the same composite stored into node state is flagged. Methods of the
+// slab type itself are exempt — the arena may touch its own slots.
+var PooledLife = &Analyzer{
+	Name: "pooledlife",
+	Doc:  "flag slab-pooled payload pointers retained past the send",
+	Run:  runPooledLife,
+}
+
+func runPooledLife(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if slabReceiver(pass, fn) {
+					return false // the arena's own methods manage their slots
+				}
+				checkPooledPlacements(pass, fn)
+			case *ast.FuncLit:
+				checkPooledPlacements(pass, fn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPooledPlacements flags every placement that retains a pooled pointer
+// beyond the send in flight.
+func checkPooledPlacements(pass *Pass, fn ast.Node) {
+	ff := pass.flowFor(fn)
+	if ff == nil {
+		return
+	}
+	es, _ := ff.escapes(pass.Summaries)
+	for i := range ff.placements {
+		p := &ff.placements[i]
+		if !hasPooledOrigin(p.origins) {
+			continue
+		}
+		switch p.kind {
+		case pReturn:
+			pass.Reportf(p.val.Pos(),
+				"pooled payload pointer returned: slab slots are recycled between runs; the caller would hold an aliasing view of the arena")
+		case pStoreGlobal:
+			pass.Reportf(p.val.Pos(),
+				"pooled payload pointer stored in package-level state: slab slots are recycled between runs; copy the payload instead")
+		case pSend:
+			pass.Reportf(p.val.Pos(),
+				"pooled payload pointer sent on a raw channel: the receiving goroutine outlives the send round; copy the payload instead")
+		case pStore, pAppend, pCompositeElt, pCapture:
+			if retainedTarget(p.target, es) {
+				pass.Reportf(p.val.Pos(),
+					"pooled payload pointer stored in state outliving the send: slab slots are recycled between runs and the retained pointer silently aliases the next occupant; copy the payload instead")
+			}
+		}
+	}
+}
+
+// retainedTarget reports whether the container receiving the pooled pointer
+// outlives the send: long-lived storage directly (reachable from the
+// receiver, a parameter, or a package variable), or a fresh container that
+// itself ends up retained (stored, returned, or assigned globally). A
+// container that escapes only as a message — interface-converted payload or
+// argument to a summarized callee like a nested slab.put — is the send in
+// flight, not retention.
+func retainedTarget(target valueSet, es *escapeSolution) bool {
+	const retained = escStore | escGlobal | escReturn | escSend
+	for o := range target {
+		if outsideTarget(o) {
+			return true
+		}
+		if es.byOrigin[o]&retained != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPooledOrigin reports whether the value may be a slab.put result.
+func hasPooledOrigin(s valueSet) bool {
+	for o := range s {
+		if o.kind == oCall && isSlabPut(o.callee) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSlabPut matches the arena allocator: a method named put on a type
+// named slab (any package — fixtures mirror internal/core's arena).
+func isSlabPut(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "put" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return namedTypeName(sig.Recv().Type()) == "slab"
+}
+
+// slabReceiver reports whether fn is a method of the slab type.
+func slabReceiver(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := pass.Info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	return namedTypeName(tv.Type) == "slab"
+}
+
+// namedTypeName returns the name of t's (pointer-dereferenced) named type.
+func namedTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

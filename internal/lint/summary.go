@@ -1,0 +1,418 @@
+package lint
+
+// Function summaries. For every function declaration the loader analyzes,
+// the store records (a) which parameters and the receiver escape the callee
+// — returned, stored, converted to an interface, sent, or captured — and
+// (b) how each result relates to the arguments: freshly allocated, an alias
+// of a parameter (optionally through a field path), or unknown. Summaries
+// are computed bottom-up: the loader typechecks packages in dependency
+// order, so by the time a package is summarized its imports' summaries are
+// already in the store, and within a package the computation iterates to a
+// fixpoint so intra-package call chains (constructor → helper → getter)
+// resolve without declaration-order sensitivity.
+//
+// Consumers: envowner refines call-argument escapes ("does sendFlood leak
+// the env it was handed?"), msgshare classifies payload-producing calls
+// ("does table() alias receiver state or build a snapshot?"), and
+// pooledlife recognizes arena handouts (result paths crossing an element
+// boundary, like slab.put returning &s.chunk[i]).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// paramRef names one parameter of a summarized function.
+type paramRef struct {
+	recv  bool
+	index int
+}
+
+// aliasTerm says a result aliases storage reachable from one parameter.
+// path is the access path below the parameter ("" = the parameter value
+// itself, "table" = a field, "chunk[]" = an element). elem marks paths that
+// cross an element boundary: the result is a handout of one slot of a
+// container the callee owns (arena pattern), not the container itself.
+type aliasTerm struct {
+	ref  paramRef
+	path string
+	elem bool
+}
+
+// resultAlias describes one result of a summarized function.
+type resultAlias struct {
+	// fresh: every origin of the result is allocated inside the callee.
+	fresh bool
+	// unknown: at least one origin could not be resolved (unsummarized
+	// callee, load from package state). Consumers must not assume fresh.
+	unknown bool
+	aliases []aliasTerm
+}
+
+// funcSummary is the interprocedural abstract of one function declaration.
+type funcSummary struct {
+	recvEscape  escMask
+	paramEscape []escMask
+	results     []resultAlias
+}
+
+// paramEscapeAt returns the escape mask of the parameter binding call
+// argument i, folding variadic tails onto the last parameter.
+func (s *funcSummary) paramEscapeAt(i int) escMask {
+	if len(s.paramEscape) == 0 {
+		return 0
+	}
+	if i >= len(s.paramEscape) {
+		i = len(s.paramEscape) - 1
+	}
+	return s.paramEscape[i]
+}
+
+// key renders the summary for fixpoint-convergence comparison.
+func (s *funcSummary) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "r%d|", s.recvEscape)
+	for _, m := range s.paramEscape {
+		fmt.Fprintf(&b, "p%d|", m)
+	}
+	for _, r := range s.results {
+		fmt.Fprintf(&b, "[f%v u%v", r.fresh, r.unknown)
+		for _, a := range r.aliases {
+			fmt.Fprintf(&b, " %v/%d/%s/%v", a.ref.recv, a.ref.index, a.path, a.elem)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// SummaryStore holds function summaries across packages. It is owned by the
+// Loader and shared by every LoadDir call, which works because the caching
+// importer preserves type identity: a *types.Func seen while summarizing
+// package A is the same object when package B calls it. Lookups go through
+// types.Func.Origin so generic instantiations share their origin's summary.
+type SummaryStore struct {
+	m map[*types.Func]*funcSummary
+}
+
+// NewSummaryStore returns an empty store.
+func NewSummaryStore() *SummaryStore {
+	return &SummaryStore{m: map[*types.Func]*funcSummary{}}
+}
+
+func (st *SummaryStore) lookup(fn *types.Func) *funcSummary {
+	if st == nil || fn == nil {
+		return nil
+	}
+	return st.m[fn.Origin()]
+}
+
+// maxSummaryRounds bounds the intra-package fixpoint. Call chains deeper
+// than this between mutually recursive functions degrade to "unknown",
+// never to "fresh" — the sound direction.
+const maxSummaryRounds = 5
+
+// maxAliasDepth bounds recursive alias substitution through call sites.
+const maxAliasDepth = 4
+
+// packageFlows is the dataflow layer of one loaded package: one funcFlow
+// per function declaration and function literal, plus the shared store.
+type packageFlows struct {
+	store *SummaryStore
+	info  *types.Info
+	// decls in file order; lits in source order per file.
+	decls  []*funcFlow
+	lits   []*funcFlow
+	byFn   map[*types.Func]*funcFlow
+	byNode map[ast.Node]*funcFlow
+}
+
+// computeFlows analyzes every function in the package and computes
+// summaries for the declarations, iterating the package to a fixpoint.
+func computeFlows(files []*ast.File, info *types.Info, store *SummaryStore) *packageFlows {
+	pf := &packageFlows{store: store, info: info, byFn: map[*types.Func]*funcFlow{}, byNode: map[ast.Node]*funcFlow{}}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			ff := analyzeFunc(info, fd)
+			if ff == nil {
+				continue
+			}
+			pf.decls = append(pf.decls, ff)
+			pf.byNode[fd] = ff
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				pf.byFn[obj.Origin()] = ff
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				if ff := analyzeFunc(info, lit); ff != nil {
+					pf.lits = append(pf.lits, ff)
+					pf.byNode[lit] = ff
+				}
+			}
+			return true
+		})
+	}
+	for round := 0; round < maxSummaryRounds; round++ {
+		changed := false
+		for _, ff := range pf.decls {
+			fd := ff.fn.(*ast.FuncDecl)
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := ff.summarize(store)
+			prev := store.m[obj.Origin()]
+			if prev == nil || prev.key() != sum.key() {
+				store.m[obj.Origin()] = sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return pf
+}
+
+// summarize computes this function's summary under the current store.
+func (ff *funcFlow) summarize(store *SummaryStore) *funcSummary {
+	es, _ := ff.solveEscapes(store)
+	sum := &funcSummary{paramEscape: make([]escMask, ff.sig.Params().Len())}
+	if recv := ff.sig.Recv(); recv != nil {
+		sum.recvEscape = es.byOrigin[ff.intern(originKey{kind: oParam, obj: recv})]
+	}
+	for i := 0; i < ff.sig.Params().Len(); i++ {
+		p := ff.sig.Params().At(i)
+		sum.paramEscape[i] = es.byOrigin[ff.intern(originKey{kind: oParam, obj: p})]
+	}
+	sum.results = ff.resultAliases(store)
+	return sum
+}
+
+// resultAliases joins the alias classification of every return site, result
+// by result. Functions without results get an empty slice.
+func (ff *funcFlow) resultAliases(store *SummaryStore) []resultAlias {
+	n := ff.sig.Results().Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]resultAlias, n)
+	for i := range out {
+		out[i].fresh = true // no return sites seen yet: join identity
+	}
+	ff.visitReturns(func(results []ast.Expr, st flowState) {
+		if len(results) == n {
+			for i, r := range results {
+				out[i] = joinAlias(out[i], ff.aliasOf(ff.exprOrigins(r, st), st, store, maxAliasDepth))
+			}
+			return
+		}
+		if len(results) == 1 && n > 1 {
+			// return f() forwarding a multi-result call: unknown per result.
+			for i := range out {
+				out[i] = joinAlias(out[i], resultAlias{unknown: true})
+			}
+			return
+		}
+		// Naked return: read the named result variables' state.
+		for i := 0; i < n; i++ {
+			rv := ff.sig.Results().At(i)
+			if rv.Name() == "" || rv.Name() == "_" {
+				out[i] = joinAlias(out[i], resultAlias{unknown: true})
+				continue
+			}
+			if s, ok := st[rv]; ok {
+				out[i] = joinAlias(out[i], ff.aliasOf(s, st, store, maxAliasDepth))
+			}
+			// Never assigned: zero value, stays fresh.
+		}
+	})
+	for i := range out {
+		sortAliases(out[i].aliases)
+	}
+	return out
+}
+
+// visitReturns walks every reachable block with its fixpoint in-state and
+// calls fn at each return statement with the state as of that point.
+func (ff *funcFlow) visitReturns(fn func(results []ast.Expr, st flowState)) {
+	for _, b := range ff.graph.blocks {
+		st, ok := ff.in[b]
+		if !ok {
+			continue
+		}
+		st = st.clone()
+		for _, n := range b.nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				fn(ret.Results, st)
+			}
+			ff.transfer(n, st)
+		}
+	}
+}
+
+// aliasOf classifies a value's origins against the function's parameters,
+// substituting callee summaries through call-site origins.
+func (ff *funcFlow) aliasOf(origins valueSet, st flowState, store *SummaryStore, depth int) resultAlias {
+	ra := resultAlias{fresh: true}
+	for o := range origins {
+		switch o.kind {
+		case oFresh, oClosure:
+			// allocated here: contributes nothing
+		case oParam:
+			if ref, ok := ff.paramRefOf(o.obj); ok {
+				ra.aliases = append(ra.aliases, aliasTerm{ref: ref})
+				ra.fresh = false
+			} else {
+				ra.fresh = false
+				ra.unknown = true
+			}
+		case oUnknown:
+			if o.obj != nil {
+				if ref, ok := ff.paramRefOf(o.obj); ok {
+					ra.aliases = append(ra.aliases, aliasTerm{
+						ref: ref, path: o.path, elem: strings.Contains(o.path, "[]"),
+					})
+					ra.fresh = false
+					continue
+				}
+			}
+			ra.fresh = false
+			ra.unknown = true
+		case oCall:
+			sub := ff.callAlias(o, st, store, depth)
+			ra = joinAlias(ra, sub)
+		}
+	}
+	return ra
+}
+
+// callAlias resolves a call-site origin through the callee's summary,
+// mapping the callee's parameter aliases back onto our own arguments.
+func (ff *funcFlow) callAlias(o *origin, st flowState, store *SummaryStore, depth int) resultAlias {
+	if depth <= 0 {
+		return resultAlias{unknown: true}
+	}
+	call, ok := o.site.(*ast.CallExpr)
+	if !ok {
+		return resultAlias{unknown: true}
+	}
+	sum := store.lookup(o.callee)
+	if sum == nil || len(sum.results) == 0 {
+		return resultAlias{unknown: true}
+	}
+	// Multi-result calls lose the result index in the origin; only
+	// single-result callees resolve precisely.
+	if len(sum.results) != 1 {
+		return resultAlias{unknown: true}
+	}
+	src := sum.results[0]
+	ra := resultAlias{fresh: true, unknown: src.unknown}
+	if src.unknown {
+		ra.fresh = false
+	}
+	for _, term := range src.aliases {
+		target := callArgExpr(call, term.ref)
+		if target == nil {
+			ra.fresh = false
+			ra.unknown = true
+			continue
+		}
+		sub := ff.aliasOf(ff.exprOrigins(target, st), st, store, depth-1)
+		ra.fresh = false
+		ra.unknown = ra.unknown || sub.unknown
+		for _, t := range sub.aliases {
+			joined := joinPath(t.path, term.path)
+			ra.aliases = append(ra.aliases, aliasTerm{
+				ref:  t.ref,
+				path: joined,
+				elem: t.elem || term.elem || strings.Contains(joined, "[]"),
+			})
+		}
+	}
+	return ra
+}
+
+// callArgExpr maps a callee parameter reference to the argument expression
+// at a call site (the receiver expression for method receivers).
+func callArgExpr(call *ast.CallExpr, ref paramRef) ast.Expr {
+	if ref.recv {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+	if ref.index < len(call.Args) {
+		return call.Args[ref.index]
+	}
+	return nil
+}
+
+// paramRefOf maps a variable to its parameter slot in this function.
+func (ff *funcFlow) paramRefOf(v *types.Var) (paramRef, bool) {
+	if recv := ff.sig.Recv(); recv != nil && v == recv {
+		return paramRef{recv: true}, true
+	}
+	for i := 0; i < ff.sig.Params().Len(); i++ {
+		if ff.sig.Params().At(i) == v {
+			return paramRef{index: i}, true
+		}
+	}
+	return paramRef{}, false
+}
+
+// joinPath concatenates an argument-side access path with the callee's
+// result path ("know" + "table" = "know.table").
+func joinPath(outer, inner string) string {
+	switch {
+	case outer == "":
+		return inner
+	case inner == "":
+		return outer
+	case strings.HasPrefix(inner, "["):
+		return outer + inner
+	default:
+		return outer + "." + inner
+	}
+}
+
+// joinAlias merges the classifications of two control-flow paths.
+func joinAlias(a, b resultAlias) resultAlias {
+	out := resultAlias{
+		fresh:   a.fresh && b.fresh,
+		unknown: a.unknown || b.unknown,
+	}
+	out.aliases = append(out.aliases, a.aliases...)
+	for _, t := range b.aliases {
+		dup := false
+		for _, u := range out.aliases {
+			if u == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.aliases = append(out.aliases, t)
+		}
+	}
+	return out
+}
+
+func sortAliases(ts []aliasTerm) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].ref.recv != ts[j].ref.recv {
+			return ts[i].ref.recv
+		}
+		if ts[i].ref.index != ts[j].ref.index {
+			return ts[i].ref.index < ts[j].ref.index
+		}
+		return ts[i].path < ts[j].path
+	})
+}

@@ -16,7 +16,13 @@ type holder struct {
 	env *AsyncEnv
 }
 
+type runner interface{ run() }
+
+func (h *holder) run() {}
+
 var global *SyncEnv
+
+var registry []*holder
 
 // leakToGoroutine spawns goroutines that capture or receive the env.
 func leakToGoroutine(env *AsyncEnv) {
@@ -32,25 +38,73 @@ func leakToGoroutine(env *AsyncEnv) {
 
 func consume(e *AsyncEnv) { e.Recv() }
 
-// leakToStorage stores envs into shared structures.
-func leakToStorage(env *AsyncEnv, senv *SyncEnv) {
-	h := holder{}
-	h.env = env // want `\*AsyncEnv stored in a shared structure`
-	var envs []*AsyncEnv
-	envs = append(envs, env) // want `\*AsyncEnv appended to a slice`
-	byID := map[int]*AsyncEnv{}
-	byID[env.ID] = env   // want `\*AsyncEnv stored in a shared structure`
-	global = senv        // plain rebinding of a package variable is a store through an ident, allowed here
-	_ = holder{env: env} // want `\*AsyncEnv stored in a composite literal`
+// leakToStorage stores envs into structures that outlive the frame.
+func leakToStorage(env *AsyncEnv, senv *SyncEnv, shared *holder) {
+	shared.env = env // want `\*AsyncEnv stored in a shared structure`
+	global = senv    // want `\*SyncEnv stored in package-level state`
 	ch := make(chan *SyncEnv, 1)
-	ch <- senv // want `\*SyncEnv sent on a channel`
-	_ = envs
-	_ = byID
+	ch <- senv             // want `\*SyncEnv sent on a channel`
+	h := &holder{env: env} // want `\*AsyncEnv stored in a shared structure`
+	registry = append(registry, h)
 	_ = ch
 }
 
-// localAlias keeps the handle on the owning stack: fine.
-func localAlias(env *AsyncEnv) {
+// leakByReturn hands the received env back to the caller — invisible to a
+// store-site scan, caught by the escape analysis.
+func leakByReturn(env *AsyncEnv) *AsyncEnv {
+	alias := env
+	return alias // want `\*AsyncEnv returned from the function`
+}
+
+// leakByInterface boxes the received env into an interface value.
+func leakByInterface(env *AsyncEnv) {
+	sink(env) // want `\*AsyncEnv passed as an interface value`
+}
+
+func sink(v any) { _ = v }
+
+// leakByClosure captures the received env in a closure that escapes.
+func leakByClosure(env *AsyncEnv) func() {
+	return func() {
+		env.Recv() // want `\*AsyncEnv captured by an escaping closure`
+	}
+}
+
+// leakByCallee hands the env to a helper whose summary stores it.
+func leakByCallee(env *AsyncEnv, shared *holder) {
+	stash(shared, env) // want `\*AsyncEnv retained by the callee`
+}
+
+func stash(h *holder, env *AsyncEnv) {
+	h.env = env // want `\*AsyncEnv stored in a shared structure`
+}
+
+// localUse keeps the handle on the owning stack: all clean.
+func localUse(env *AsyncEnv) {
 	alias := env
 	alias.Recv()
+	// Storing into a local struct that never escapes is not a leak.
+	h := holder{}
+	h.env = env
+	byID := map[int]*AsyncEnv{}
+	byID[env.ID] = env
+	var locals []*AsyncEnv
+	locals = append(locals, env)
+	// Passing down the stack to a callee that only reads is not a leak.
+	inspect(env)
+	// A closure that stays local may use the env on the same goroutine.
+	step := func() { env.Recv() }
+	step()
+	_ = byID
+	_ = locals
+}
+
+func inspect(e *AsyncEnv) { _, _ = e.Recv() }
+
+// freshOwner creates handles: the creator may place them anywhere.
+func freshOwner() *holder {
+	env := &AsyncEnv{ID: 7}
+	h := &holder{env: env}
+	registry = append(registry, h)
+	return h
 }

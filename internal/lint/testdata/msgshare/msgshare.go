@@ -58,6 +58,37 @@ func (n *node) badPersistentBuf(e env) {
 	e.Broadcast(n.buf) // want `payload aliases n\.buf, long-lived state behind pointer n`
 }
 
+// badGetterAlias sends the result of a getter that returns the live table.
+// The old syntactic pass treated any call result as fresh; the callee
+// summary proves the result aliases receiver state.
+func (n *node) badGetterAlias(e env) {
+	e.Send(1, n.view()) // want `payload aliases n\.table via view`
+}
+
+func (n *node) view() map[int]int { return n.table }
+
+// badGetterField hides the getter-aliased table inside a struct payload.
+func (n *node) badGetterField(e env) {
+	e.Broadcast(reply{Table: n.view()}) // want `payload aliases n\.table via view`
+}
+
+// goodConstructorCall sends a helper-built table the summary proves fresh.
+func (n *node) goodConstructorCall(e env) {
+	e.Send(1, emptyTable(4))
+	n.table[9] = 9
+}
+
+func emptyTable(size int) map[int]int { return make(map[int]int, size) }
+
+// goodArenaHandout sends a pointer to one element of sender-owned storage:
+// an arena handout whose lifetime discipline belongs to pooledlife, not to
+// the aliasing rule (the summary path crosses an element boundary).
+func (n *node) goodArenaHandout(e env) {
+	e.Send(1, n.slot())
+}
+
+func (n *node) slot() *byte { return &n.buf[0] }
+
 // goodValueReceiverField sends a map field of a by-value parameter: the
 // persistent-state rule requires a pointer base, and the local-mutation
 // rule sees no write, so this stays clean.

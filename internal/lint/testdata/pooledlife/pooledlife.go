@@ -1,0 +1,96 @@
+// Package pooledlife is a fixture for the pooledlife analyzer. The local
+// slab type mirrors internal/core's arena allocator; the analyzer matches
+// the type and method names.
+package pooledlife
+
+type env struct{}
+
+func (env) Send(to int, payload any) {}
+func (env) Broadcast(payload any)    {}
+
+// slab mimics internal/core's bump allocator.
+type slab[T any] struct{ chunk []T }
+
+// put appends v and hands out a pointer to the stored copy. The arena's own
+// element access is exempt from the lifetime rule.
+func (s *slab[T]) put(v T) *T {
+	s.chunk = append(s.chunk, v)
+	return &s.chunk[len(s.chunk)-1]
+}
+
+type ann struct{ Color, Seq int }
+
+type wrap struct{ A *ann }
+
+type node struct {
+	anns    slab[ann]
+	last    *ann
+	byColor map[int]*ann
+	log     []*ann
+}
+
+var lastGlobal *ann
+
+// goodSendPatterns exercise every legitimate use: pooled pointers flowing
+// straight into sends, through locals, and inside fresh message composites.
+func (n *node) goodSendPatterns(e env, peers []int) {
+	e.Send(1, n.anns.put(ann{Color: 3}))
+	fp := n.anns.put(ann{Color: 4})
+	for _, u := range peers {
+		e.Send(u, fp)
+	}
+	e.Broadcast(wrap{A: n.anns.put(ann{Color: 5})})
+	msg := wrap{A: fp}
+	e.Send(2, msg)
+}
+
+// badFieldRetention stores the pooled pointer into node state that outlives
+// the send round.
+func (n *node) badFieldRetention(e env) {
+	fp := n.anns.put(ann{Color: 1})
+	e.Broadcast(fp)
+	n.last = fp // want `pooled payload pointer stored in state outliving the send`
+}
+
+// badMapRetention caches pooled pointers in a long-lived index.
+func (n *node) badMapRetention(e env) {
+	fp := n.anns.put(ann{Color: 2})
+	n.byColor[2] = fp // want `pooled payload pointer stored in state outliving the send`
+	e.Send(1, fp)
+}
+
+// badLogRetention appends pooled pointers to a field slice.
+func (n *node) badLogRetention(e env) {
+	fp := n.anns.put(ann{Color: 6})
+	e.Send(1, fp)
+	n.log = append(n.log, fp) // want `pooled payload pointer stored in state outliving the send`
+}
+
+// badReturn hands the pooled pointer to the caller, whose frame outlives
+// the arena round.
+func (n *node) badReturn() *ann {
+	return n.anns.put(ann{Color: 7}) // want `pooled payload pointer returned`
+}
+
+// badGlobal parks a pooled pointer in package state.
+func (n *node) badGlobal() {
+	lastGlobal = n.anns.put(ann{Color: 8}) // want `pooled payload pointer stored in package-level state`
+}
+
+// badChannel pushes the pooled pointer to another goroutine on a raw
+// channel, outside the engine's delivery discipline.
+func (n *node) badChannel(ch chan *ann) {
+	ch <- n.anns.put(ann{Color: 9}) // want `pooled payload pointer sent on a raw channel`
+}
+
+// badCompositeRetention builds a composite around the pooled pointer and
+// then retains the composite: the indirection does not launder the slot.
+func (n *node) badCompositeRetention(e env) {
+	w := &wrap{A: n.anns.put(ann{Color: 10})} // want `pooled payload pointer stored in state outliving the send`
+	e.Send(1, w)
+	keepWrap(w)
+}
+
+var kept *wrap
+
+func keepWrap(w *wrap) { kept = w }

@@ -207,7 +207,6 @@ func NewAsyncEngine(g *graph.Graph, seed int64, factory func(id int) AsyncNode) 
 	}
 	for v := 0; v < g.N(); v++ {
 		eng.nodes[v] = factory(v)
-		//lint:ignore envowner the engine is the constructor-owner; the scheduler serializes all goroutine activity
 		eng.envs[v] = &AsyncEnv{
 			ID:        v,
 			Neighbors: g.Neighbors(v),

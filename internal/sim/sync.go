@@ -112,7 +112,6 @@ func NewSyncEngine(g *graph.Graph, seed int64, factory func(id int) SyncNode) *S
 	eng := &SyncEngine{g: g, nodes: make([]SyncNode, g.N()), envs: make([]*SyncEnv, g.N())}
 	for v := 0; v < g.N(); v++ {
 		eng.nodes[v] = factory(v)
-		//lint:ignore envowner the engine is the constructor-owner; Step never runs concurrently for the same node
 		eng.envs[v] = &SyncEnv{
 			ID:        v,
 			Neighbors: g.Neighbors(v),
@@ -432,7 +431,6 @@ func (eng *SyncEngine) runStripe(round int, advance bool, lo, hi int) (err error
 	}()
 	plan := eng.Fault
 	for v := lo; v < hi; v++ {
-		//lint:ignore envowner workers own disjoint node stripes; the wg.Wait barrier serializes rounds
 		env := eng.envs[v]
 		env.Round = round
 		env.Advance = advance

@@ -289,7 +289,6 @@ func (a *Async) MarkDown(peers ...int) {
 
 // Run implements sim.AsyncNode.
 func (a *Async) Run(senv *sim.AsyncEnv) {
-	//lint:ignore envowner the transport env wraps the engine env on the owning goroutine only
 	env := &AsyncEnv{ID: senv.ID, Neighbors: senv.Neighbors, Rand: senv.Rand, sim: senv}
 	if a.reliable {
 		a.ep = &asyncEndpoint{
