@@ -9,6 +9,7 @@
 //	fdlsp -in network.txt -algo dmgc
 //	fdlsp -gen complete -n 5 -algo exact
 //	fdlsp -gen grid -rows 4 -cols 4 -algo distmis -metrics
+//	fdlsp -churn 500 -n 32 -loss 0.1 -churn-crash 0.05 -churn-probe 100
 package main
 
 import (
@@ -64,9 +65,37 @@ func cliMain(argv []string, out io.Writer) error {
 		rto     = fs.Int64("rto", 0, "initial/floor retransmission timeout of the reliable transport (0 = default)")
 		retries = fs.Int("retries", 0, "transport retransmissions per segment before giving up (0 = default, -1 = send once)")
 		metrics = fs.Bool("metrics", false, "dump the metrics registry snapshot (Prometheus text) after the run")
+
+		churn       = fs.Int("churn", 0, "run a continuous churn soak for this many epochs instead of a single scheduling run")
+		churnInit   = fs.String("churn-init", "greedy", "soak initial coloring: greedy|zero|conflict")
+		churnMove   = fs.Float64("churn-move", 0.2, "per-node per-epoch movement probability (soak)")
+		churnCrash  = fs.Float64("churn-crash", 0.05, "per-node per-epoch crash probability (soak)")
+		churnLeave  = fs.Float64("churn-leave", 0.02, "per-node per-epoch leave probability (soak)")
+		churnProbe  = fs.Int64("churn-probe", 0, "soak: reschedule via a full protocol run every k epochs (0 = never)")
+		churnReport = fs.Int("churn-report", 0, "soak: summary-table row every k epochs (0 = epochs/20)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+
+	if *churn > 0 {
+		cf := churnFlags{
+			epochs: *churn, n: *n, seed: *seed, loss: *loss, init: *churnInit,
+			moveRate: *churnMove, crashRate: *churnCrash, leaveRate: *churnLeave,
+			probeEvery: *churnProbe, report: *churnReport, metrics: *metrics,
+		}
+		// -side/-radius default to the single-run UDG geometry, far too
+		// sparse for a soak; only honor them when set explicitly, otherwise
+		// let the soak pick its own defaults.
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "side":
+				cf.side = *side
+			case "radius":
+				cf.radius = *radius
+			}
+		})
+		return runChurn(out, cf)
 	}
 
 	plan, err := faultPlan(*loss, *dup, *reorder, *crash, *seed)

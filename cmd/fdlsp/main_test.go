@@ -27,6 +27,8 @@ var goldenCases = []struct {
 	{"compare_cycle", []string{"-gen", "cycle", "-n", "9", "-algo", "distmis", "-seed", "2", "-compare"}},
 	{"metrics_grid", []string{"-gen", "grid", "-rows", "3", "-cols", "3", "-algo", "distmis", "-seed", "1", "-metrics"}},
 	{"metrics_dfs_tree", []string{"-gen", "tree", "-n", "10", "-algo", "dfs", "-seed", "5", "-metrics"}},
+	{"churn_soak", []string{"-churn", "40", "-n", "20", "-seed", "9", "-loss", "0.1", "-churn-probe", "20", "-churn-report", "10"}},
+	{"churn_conflict_metrics", []string{"-churn", "12", "-n", "16", "-seed", "2", "-churn-init", "conflict", "-churn-report", "4", "-metrics"}},
 }
 
 func TestGolden(t *testing.T) {
@@ -105,5 +107,34 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := cliMain([]string{"-crash", "zap"}, &buf); err == nil {
 		t.Error("bad crash spec accepted")
+	}
+	if err := cliMain([]string{"-churn", "5", "-churn-init", "nope"}, &buf); err == nil {
+		t.Error("bad churn init mode accepted")
+	}
+	if err := cliMain([]string{"-churn", "5", "-churn-crash", "1.5"}, &buf); err == nil {
+		t.Error("out-of-range churn crash rate accepted")
+	}
+}
+
+// TestChurnSnapshotDeterministic reruns a seeded soak with -metrics and
+// requires byte-identical output — the soak's determinism contract at the
+// CLI surface.
+func TestChurnSnapshotDeterministic(t *testing.T) {
+	args := []string{"-churn", "30", "-n", "18", "-seed", "6", "-loss", "0.1",
+		"-churn-probe", "15", "-metrics"}
+	var a, b bytes.Buffer
+	if err := cliMain(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cliMain(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two runs of the same churn seed produced different output")
+	}
+	for _, want := range []string{"reschedule@15", "fdlsp_soak_epochs_total 30", "fdlsp_soak_engine_probes_total 1"} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("churn output missing %q", want)
+		}
 	}
 }

@@ -150,6 +150,57 @@ func FuzzFaultyRunsTerminateAndVerify(f *testing.F) {
 	})
 }
 
+// FuzzChurnSoakStabilizes throws fuzzed churn regimes at the continuous
+// soak: arbitrary move/crash/leave rates, message loss on the periodic
+// protocol reschedules, and both adversarial initial colorings. The
+// contract extends FuzzFaultyRunsTerminateAndVerify from one run to
+// continuous operation: every epoch re-stabilizes to a conflict-free,
+// fully-usable schedule, and a repeated run with the same seed produces a
+// byte-identical metrics snapshot.
+func FuzzChurnSoakStabilizes(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(5), uint8(2), uint8(25), uint8(0))
+	f.Add(int64(9), uint8(33), uint8(12), uint8(0), uint8(0), uint8(1))
+	f.Add(int64(4), uint8(0), uint8(15), uint8(8), uint8(30), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, moveB, crashB, leaveB, lossB, initB uint8) {
+		init := [...]fdlsp.ChurnInit{fdlsp.ChurnInitGreedy, fdlsp.ChurnInitZero,
+			fdlsp.ChurnInitConflict}[initB%3]
+		run := func(reg *fdlsp.MetricsRegistry) {
+			cfg := fdlsp.ChurnConfig{
+				Seed: seed, N: 16, Side: 7,
+				MoveRate:   float64(moveB%41) / 100,  // [0, 0.40]
+				CrashRate:  float64(crashB%16) / 100, // [0, 0.15]
+				LeaveRate:  float64(leaveB%9) / 100,  // [0, 0.08]
+				Loss:       float64(lossB%31) / 100,  // [0, 0.30]
+				Init:       init,
+				ProbeEvery: 15,
+				Metrics:    reg,
+			}
+			s, err := fdlsp.NewChurnSoak(cfg)
+			if err != nil {
+				t.Fatalf("config %+v rejected: %v", cfg, err)
+			}
+			for i := 0; i < 30; i++ {
+				rep, err := s.Step()
+				if err != nil {
+					t.Fatalf("epoch %d under %+v: %v", i, cfg, err)
+				}
+				if rep.Usable != 1 || rep.Residual != 0 {
+					t.Fatalf("epoch %d did not re-stabilize: %+v", i, rep)
+				}
+			}
+			if viols := fdlsp.Verify(s.Graph(), s.Assignment()); len(viols) != 0 {
+				t.Fatalf("soak left an invalid schedule: %v", viols[0])
+			}
+		}
+		ra, rb := fdlsp.NewMetricsRegistry(), fdlsp.NewMetricsRegistry()
+		run(ra)
+		run(rb)
+		if ra.Text() != rb.Text() {
+			t.Fatal("same seed, different metrics snapshot")
+		}
+	})
+}
+
 func FuzzScheduleJSON(f *testing.F) {
 	f.Add(int64(1))
 	f.Fuzz(func(t *testing.T, seed int64) {

@@ -58,6 +58,17 @@ type Options struct {
 	// from deterministic per-seed accounting, so equal seeds yield
 	// byte-identical registry snapshots.
 	Metrics *obs.Registry
+	// Probe, when set, observes the run in progress: it is invoked from each
+	// phase engine's sequential section every ProbeEvery rounds (default:
+	// every round) with a ProbePoint giving the phase, round, and read access
+	// to the nodes' partial schedule. The protocol is not stopped — the hook
+	// runs between rounds with no node goroutines alive — so drivers can
+	// measure repair-in-progress quantities (residual conflicts, usable frame
+	// fraction) while the algorithm heals. The hook must not mutate protocol
+	// or engine state, and it runs on the synchronous (DistMIS) path only.
+	Probe func(ProbePoint)
+	// ProbeEvery is the probing period in physical rounds; values < 1 mean 1.
+	ProbeEvery int64
 }
 
 // Result is the outcome of one scheduling run (any algorithm).
@@ -196,6 +207,8 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 	}
 
 	pr := newPhaseRunner(g, states, topt, opts.Trace, opts.Metrics)
+	pr.probe = opts.Probe
+	pr.probeEvery = opts.ProbeEvery
 
 	for {
 		competing := make([]bool, n)
@@ -366,6 +379,14 @@ type phaseRunner struct {
 
 	eng   *sim.SyncEngine
 	wraps []*transport.Sync
+
+	// Probe wiring (see Options.Probe): phaseName is set by competition and
+	// color before each run; elapsed accumulates the rounds of completed
+	// phases so probes report protocol-global time.
+	probe      func(ProbePoint)
+	probeEvery int64
+	phaseName  string
+	elapsed    int64
 }
 
 func newPhaseRunner(g *graph.Graph, states []*nodeState, topt *transport.Options, trace sim.Tracer, metrics *obs.Registry) *phaseRunner {
@@ -403,9 +424,23 @@ func (pr *phaseRunner) run(seed int64, plan *sim.FaultPlan, markDown []int, prot
 	if plan != nil {
 		pr.eng.MaxRounds = faultyMaxRounds(pr.g.N())
 	}
+	if pr.probe != nil {
+		every := pr.probeEvery
+		if every < 1 {
+			every = 1
+		}
+		phase, base := pr.phaseName, pr.elapsed
+		pr.eng.OnRound = func(round int64) {
+			if round%every != 0 {
+				return
+			}
+			pr.probe(ProbePoint{Phase: phase, Round: round, Elapsed: base, pr: pr})
+		}
+	}
 	if err := pr.eng.Run(); err != nil {
 		return sim.Stats{}, transport.Totals{}, nil, nil, err
 	}
+	pr.elapsed += pr.eng.Stats().Rounds
 	return pr.eng.Stats(), collectSync(pr.wraps), pr.eng.Crashed(), pr.eng.Returned(), nil
 }
 
@@ -478,6 +513,11 @@ func (nd *misPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool {
 // each node's final status (non-competitors report Dominated) plus the
 // phase's transport accounting and the nodes that crash-stopped during it.
 func (pr *phaseRunner) competition(seed int64, radius int, competing []bool, drawer mis.Drawer, plan *sim.FaultPlan, markDown []int) ([]mis.Status, sim.Stats, transport.Totals, []int, []int, error) {
+	if radius == 1 {
+		pr.phaseName = "primary-mis"
+	} else {
+		pr.phaseName = "secondary-mis"
+	}
 	states := pr.states
 	stats, tt, crashed, returned, err := pr.run(seed, plan, markDown, func(id int) transport.SyncProto {
 		if states[id].misNode == nil {
@@ -558,6 +598,7 @@ func (nd *colorPhaseNode) Step(env *transport.SyncEnv, inbox []sim.Message) bool
 
 // color executes one coloring wave over the selected secondary-MIS winners.
 func (pr *phaseRunner) color(seed int64, selected []bool, variant Variant, dead []bool, plan *sim.FaultPlan, markDown []int) (sim.Stats, transport.Totals, []int, []int, error) {
+	pr.phaseName = "coloring"
 	var snapshot []bool
 	if plan != nil {
 		snapshot = append([]bool(nil), dead...)

@@ -187,3 +187,54 @@ func TestRejoinDeterminismAcrossGOMAXPROCS(t *testing.T) {
 		}
 	}
 }
+
+// TestBackToBackRejoinDuringResync crashes a node again in the middle of its
+// own resync handshake: the first outage ends at 60, and the second begins at
+// 62 — within the round trip of the resyncReq/resyncReply exchange — so the
+// half-finished resync is torn down with the node's volatile protocol
+// progress. The node's second restart must still reintegrate it fully, and
+// the whole pipeline must stay byte-identical across GOMAXPROCS.
+func TestBackToBackRejoinDuringResync(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		n := 20 + int(seed)*4
+		g := faultUDG(t, seed+20, n)
+		victim := n / 3
+		plan := &sim.FaultPlan{
+			Seed: seed * 31, Loss: 0.2, Dup: 0.1, Reorder: 2,
+			Crashes: []sim.Crash{
+				{Node: victim, At: 40, RestartAt: 60},
+				{Node: victim, At: 62, RestartAt: 900},
+			},
+		}
+		if err := plan.Validate(n); err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []string{"distmis", "dfs"} {
+			var prints []string
+			for _, procs := range []int{1, 8} {
+				withGOMAXPROCS(procs, func() {
+					var res *Result
+					var err error
+					if algo == "distmis" {
+						res, err = DistMIS(g, Options{Seed: seed, Fault: plan})
+					} else {
+						res, err = DFS(g, DFSOptions{Seed: seed, Fault: plan})
+					}
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", algo, seed, err)
+					}
+					assertReintegrated(t, fmt.Sprintf("%s seed %d procs %d", algo, seed, procs),
+						g, res, victim)
+					prints = append(prints, fingerprint(res.Assignment, res.Slots)+
+						fmt.Sprint(res.Rejoin.Returned, res.Rejoin.ResyncMsgs))
+				})
+			}
+			for i := 1; i < len(prints); i++ {
+				if prints[i] != prints[0] {
+					t.Errorf("%s seed %d: back-to-back rejoin outcome differs across GOMAXPROCS:\n%s\nvs\n%s",
+						algo, seed, prints[0], prints[i])
+				}
+			}
+		}
+	}
+}

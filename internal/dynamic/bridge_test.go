@@ -74,3 +74,112 @@ func TestCrashEventsSkipsProtocolRejoinedNodes(t *testing.T) {
 		t.Errorf("crash-stop in rejoined list altered events: %v", events)
 	}
 }
+
+func TestCrashEventsZeroLengthOutageEmitsNothing(t *testing.T) {
+	g := graph.Grid(3, 3)
+	// Node 4 crashes and rejoins inside tick 7: the engines never observe it
+	// down, so the maintenance layer must not see a Fail (the historical bug
+	// emitted Fail-only, permanently dropping the node's links). Node 2's
+	// ordinary outage must be unaffected.
+	plan := &sim.FaultPlan{Crashes: []sim.Crash{
+		{Node: 4, At: 7, RestartAt: 7},
+		{Node: 2, At: 5, RestartAt: 9},
+	}}
+	events := CrashEvents(g, plan, nil)
+	want := []string{"node-fail{2->[]}", "node-join{2->[1 5]}"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i, ev := range events {
+		if ev.String() != want[i] {
+			t.Errorf("event %d = %v, want %v", i, ev, want[i])
+		}
+	}
+}
+
+func TestCrashEventsBackToBackWindowsNetTransitions(t *testing.T) {
+	g := graph.Grid(3, 3)
+	// Node 4's restart at 5 coincides with its next crash at 5: the node is
+	// continuously down over [2,9), so the bridge must emit one Fail at 2 and
+	// one Join at 9 — not a spurious Join/Fail pair at 5 that would leave the
+	// maintained schedule disagreeing with the engine about the node's state.
+	plan := &sim.FaultPlan{Crashes: []sim.Crash{
+		{Node: 4, At: 2, RestartAt: 5},
+		{Node: 4, At: 5, RestartAt: 9},
+	}}
+	if err := plan.Validate(g.N()); err != nil {
+		t.Fatal(err)
+	}
+	events := CrashEvents(g, plan, nil)
+	want := []string{"node-fail{4->[]}", "node-join{4->[1 3 5 7]}"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i, ev := range events {
+		if ev.String() != want[i] {
+			t.Errorf("event %d = %v, want %v", i, ev, want[i])
+		}
+	}
+	// Replaying through the maintenance layer must keep the schedule valid.
+	net, err := New(g, coloring.Greedy(g, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := net.Apply(ev); err != nil {
+			t.Fatalf("apply %v: %v", ev, err)
+		}
+	}
+	if viols := coloring.Verify(net.Graph(), net.Assignment()); len(viols) != 0 {
+		t.Fatalf("schedule invalid after replay: %v", viols[0])
+	}
+}
+
+func TestMoveEventsDiffsLiveNeighborhoods(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	net, err := New(g, coloring.Greedy(g, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 3 moves from the end of the path to sit next to 0 and 1.
+	prevN := map[int][]int{0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+	nextN := map[int][]int{0: {1, 3}, 1: {0, 2, 3}, 2: {1}, 3: {0, 1}}
+	at := func(m map[int][]int) func(int) []int {
+		return func(v int) []int { return m[v] }
+	}
+	events := MoveEvents(4, at(prevN), at(nextN), nil)
+	// Every node's neighborhood changed, so each emits one NodeMove; replay
+	// performs each link change exactly once (Apply rejects double adds).
+	if len(events) != 4 {
+		t.Fatalf("events = %v, want 4 NodeMoves", events)
+	}
+	for _, ev := range events {
+		if ev.Kind != NodeMove {
+			t.Fatalf("unexpected event %v", ev)
+		}
+		if err := net.Apply(ev); err != nil {
+			t.Fatalf("apply %v: %v", ev, err)
+		}
+	}
+	if viols := coloring.Verify(net.Graph(), net.Assignment()); len(viols) != 0 {
+		t.Fatalf("schedule invalid after move replay: %v", viols[0])
+	}
+	if !net.Graph().HasEdge(0, 3) || !net.Graph().HasEdge(1, 3) || net.Graph().HasEdge(2, 3) {
+		t.Errorf("topology after move wrong: %v", net.Graph())
+	}
+
+	// A crashed node moving emits nothing, and its links are masked out of
+	// every peer set.
+	live := []bool{true, true, true, false}
+	events = MoveEvents(4, at(prevN), at(nextN), live)
+	for _, ev := range events {
+		if ev.U == 3 {
+			t.Errorf("down node emitted %v", ev)
+		}
+		for _, u := range ev.Peers {
+			if u == 3 {
+				t.Errorf("down node appears in peer set of %v", ev)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package geom
+
+import (
+	"fmt"
+
+	"fdlsp/internal/graph"
+)
+
+// Mobility is a deterministic, seeded mobility model: a reflecting random
+// walk of sensors inside the side×side plan, with connectivity re-derived
+// from positions as a quasi unit disk graph whose gray-zone links are
+// decided by a seeded hash instead of a shared RNG stream. Every draw —
+// whether a node moves in an epoch, where it steps, whether a gray-zone
+// pair links up — is a pure function of (Seed, epoch, node), the same
+// cursor-free scheme as sim.FaultStream: any epoch's displacements can be
+// re-derived independently, two consumers of one trace agree, and the
+// resulting neighborhoods are pure functions of the positions (iteration
+// order cannot perturb them), which keeps churn soaks byte-deterministic
+// across GOMAXPROCS.
+type Mobility struct {
+	// Seed drives every draw.
+	Seed int64
+	// Side is the plan's side length; walkers reflect at the borders.
+	Side float64
+	// Step is the maximum per-axis displacement of one move.
+	Step float64
+	// MoveRate is the per-node probability of moving in a given epoch.
+	MoveRate float64
+	// Radius is the transmission radius; Alpha and GrayP are the QUDG
+	// parameters (inner fraction and gray-zone link probability). Alpha 1
+	// or GrayP 1 degenerate to the plain unit disk graph.
+	Radius float64
+	Alpha  float64
+	GrayP  float64
+}
+
+// hash01 returns a uniform [0,1) variate for the given coordinates.
+func (m *Mobility) hash01(epoch int64, node, dim int) float64 {
+	x := splitmix64(uint64(m.Seed) ^ splitmix64(uint64(epoch)*0x9E3779B97F4A7C15^uint64(node)<<20^uint64(dim)))
+	return float64(x>>11) / (1 << 53)
+}
+
+// splitmix64 is the SplitMix64 finalizer (also used by sim.FaultStream):
+// a bijective avalanche mix deriving independent draws without RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Moves reports whether node v walks during the given epoch.
+func (m *Mobility) Moves(epoch int64, v int) bool {
+	return m.hash01(epoch, v, 0) < m.MoveRate
+}
+
+// Advance performs one epoch of the walk in place: each moving node steps
+// uniformly in [-Step, Step] per axis and reflects off the plan borders.
+// Calling it twice with the same epoch repeats the same displacement, so
+// drivers advance epochs monotonically.
+func (m *Mobility) Advance(epoch int64, pts []Point) {
+	for v := range pts {
+		if !m.Moves(epoch, v) {
+			continue
+		}
+		pts[v].X = reflect(pts[v].X+(2*m.hash01(epoch, v, 1)-1)*m.Step, m.Side)
+		pts[v].Y = reflect(pts[v].Y+(2*m.hash01(epoch, v, 2)-1)*m.Step, m.Side)
+	}
+}
+
+// reflect folds x back into [0, side].
+func reflect(x, side float64) float64 {
+	for x < 0 || x > side {
+		if x < 0 {
+			x = -x
+		}
+		if x > side {
+			x = 2*side - x
+		}
+	}
+	return x
+}
+
+// GraphAt derives the connectivity graph from positions: pairs within
+// Alpha·Radius always link, pairs beyond Radius never do, and gray-zone
+// pairs link when a seeded hash of (salt, u, v) clears GrayP — a coin that
+// depends only on the pair and the salt, never on iteration order, so the
+// graph is a pure function of (positions, salt). Drivers pass the epoch as
+// salt to make gray links flicker with the churn, or a constant to freeze
+// them.
+func (m *Mobility) GraphAt(pts []Point, salt int64) *graph.Graph {
+	if m.Radius <= 0 {
+		panic(fmt.Sprintf("geom: non-positive radius %v", m.Radius))
+	}
+	alpha := m.Alpha
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("geom: mobility alpha %v outside (0,1]", alpha))
+	}
+	inner := alpha * m.Radius
+	g := graph.New(len(pts))
+	full := UnitDisk(pts, m.Radius)
+	for _, e := range full.Edges() {
+		d := pts[e.U].Dist(pts[e.V])
+		switch {
+		case d <= inner:
+			g.AddEdge(e.U, e.V)
+		case m.pairCoin(salt, e.U, e.V) < m.GrayP:
+			g.AddEdge(e.U, e.V)
+		}
+	}
+	return g
+}
+
+// pairCoin returns the gray-zone coin for the unordered pair {u,v}.
+func (m *Mobility) pairCoin(salt int64, u, v int) float64 {
+	if u > v {
+		u, v = v, u
+	}
+	x := splitmix64(uint64(m.Seed) ^ splitmix64(uint64(salt)*0xD6E8FEB86659FD93^uint64(u)<<24^uint64(v)))
+	return float64(x>>11) / (1 << 53)
+}

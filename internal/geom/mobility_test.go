@@ -1,0 +1,96 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMobilityAdvanceDeterministicAndBounded(t *testing.T) {
+	m := &Mobility{Seed: 9, Side: 10, Step: 0.5, MoveRate: 0.6, Radius: 2, Alpha: 0.7, GrayP: 0.5}
+	rng := rand.New(rand.NewSource(4))
+	base := RandomPoints(40, m.Side, rng)
+
+	a := append([]Point(nil), base...)
+	b := append([]Point(nil), base...)
+	for epoch := int64(0); epoch < 30; epoch++ {
+		m.Advance(epoch, a)
+		m.Advance(epoch, b)
+	}
+	moved := 0
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("node %d diverged between identical traces: %v vs %v", v, a[v], b[v])
+		}
+		if a[v].X < 0 || a[v].X > m.Side || a[v].Y < 0 || a[v].Y > m.Side {
+			t.Errorf("node %d walked out of the plan: %v", v, a[v])
+		}
+		if a[v] != base[v] {
+			moved++
+		}
+	}
+	if moved < 20 {
+		t.Errorf("only %d of 40 nodes moved over 30 epochs at rate 0.6", moved)
+	}
+}
+
+func TestMobilityGraphAtPureInPositions(t *testing.T) {
+	m := &Mobility{Seed: 3, Side: 8, Step: 0.4, MoveRate: 0.5, Radius: 2.5, Alpha: 0.6, GrayP: 0.4}
+	rng := rand.New(rand.NewSource(11))
+	pts := RandomPoints(30, m.Side, rng)
+
+	g1 := m.GraphAt(pts, 7)
+	g2 := m.GraphAt(pts, 7)
+	if g1.M() != g2.M() {
+		t.Fatalf("same positions and salt gave %d vs %d edges", g1.M(), g2.M())
+	}
+	for _, e := range g1.Edges() {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v not reproduced", e)
+		}
+	}
+
+	// QUDG envelope: inner pairs always linked, outer pairs never.
+	inner := m.Alpha * m.Radius
+	for u := 0; u < len(pts); u++ {
+		for v := u + 1; v < len(pts); v++ {
+			d := pts[u].Dist(pts[v])
+			if d <= inner && !g1.HasEdge(u, v) {
+				t.Errorf("inner pair {%d,%d} at distance %v unlinked", u, v, d)
+			}
+			if d > m.Radius && g1.HasEdge(u, v) {
+				t.Errorf("outer pair {%d,%d} at distance %v linked", u, v, d)
+			}
+		}
+	}
+
+	// A different salt should flip at least one gray-zone coin here.
+	g3 := m.GraphAt(pts, 8)
+	same := g1.M() == g3.M()
+	if same {
+		for _, e := range g1.Edges() {
+			if !g3.HasEdge(e.U, e.V) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("salts 7 and 8 produced identical gray zones (coin not salted?)")
+	}
+}
+
+func TestMobilityAlphaOneIsUnitDisk(t *testing.T) {
+	m := &Mobility{Seed: 1, Side: 6, Radius: 2, Alpha: 1, GrayP: 0}
+	rng := rand.New(rand.NewSource(2))
+	pts := RandomPoints(25, m.Side, rng)
+	got := m.GraphAt(pts, 0)
+	want := UnitDisk(pts, m.Radius)
+	if got.M() != want.M() {
+		t.Fatalf("alpha=1: %d edges, unit disk has %d", got.M(), want.M())
+	}
+	for _, e := range want.Edges() {
+		if !got.HasEdge(e.U, e.V) {
+			t.Fatalf("alpha=1 missing unit-disk edge %v", e)
+		}
+	}
+}

@@ -264,6 +264,9 @@ func (e *AsyncEnv) Emit(ev Event) {
 // cannot hang the caller).
 func (eng *AsyncEngine) Run() error {
 	n := eng.g.N()
+	if err := eng.Fault.Validate(n); err != nil {
+		return err
+	}
 	eng.stats = Stats{}
 	eng.maxClock = 0
 	eng.crashed = nil

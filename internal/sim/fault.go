@@ -1,6 +1,9 @@
 package sim
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // FaultPlan is a seeded, deterministic description of the runtime faults a
 // sensor network suffers during one run: per-link frame loss, duplication,
@@ -48,12 +51,79 @@ type FaultPlan struct {
 // Crash is one node outage: the node stops participating at virtual time
 // (or synchronous round) At. If RestartAt > At the node resumes there with
 // its volatile state intact — a radio outage rather than a reboot; traffic
-// addressed to the node inside the window is lost. RestartAt == 0 means the
-// node never comes back (crash-stop).
+// addressed to the node inside the window is lost. RestartAt == At (with
+// At > 0) is a zero-length outage: the node crashes and rejoins inside the
+// same virtual-time tick, losing no traffic but still receiving a
+// NodeRestarted notice so it runs its rejoin resync (the radio blipped; the
+// node cannot know nothing was missed). RestartAt == 0 means the node never
+// comes back (crash-stop).
 type Crash struct {
 	Node      int
 	At        int64
 	RestartAt int64
+}
+
+// stop reports whether this outage is a crash-stop: the node never returns.
+// RestartAt == 0 is the documented sentinel; a RestartAt before At is
+// ill-formed (Validate rejects it) and treated as crash-stop defensively.
+func (c Crash) stop() bool { return c.RestartAt == 0 || c.RestartAt < c.At }
+
+// Validate checks the plan against the n-node network it will be applied to
+// and returns a descriptive error for ill-formed input: rates out of range,
+// nodes out of range, negative times, a restart before its crash, or
+// overlapping outage windows on one node. Engines validate the plan before
+// running it, so a bad script fails loudly instead of silently misbehaving
+// (an out-of-range crash would never fire; overlapping windows would make
+// restart notices and dead-node accounting disagree).
+func (p *FaultPlan) Validate(n int) error {
+	if p == nil {
+		return nil
+	}
+	if p.Loss < 0 || p.Loss > 1 {
+		return fmt.Errorf("sim: fault plan loss %v outside [0,1]", p.Loss)
+	}
+	if p.Dup < 0 || p.Dup > 1 {
+		return fmt.Errorf("sim: fault plan dup %v outside [0,1]", p.Dup)
+	}
+	if p.Reorder < 0 {
+		return fmt.Errorf("sim: fault plan reorder %d negative", p.Reorder)
+	}
+	for _, v := range p.Rejoins {
+		if v < 0 || v >= n {
+			return fmt.Errorf("sim: fault plan rejoin node %d outside [0,%d)", v, n)
+		}
+	}
+	byNode := make(map[int][]Crash)
+	for _, c := range p.Crashes {
+		if c.Node < 0 || c.Node >= n {
+			return fmt.Errorf("sim: crash node %d outside [0,%d)", c.Node, n)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("sim: crash of node %d at negative time %d", c.Node, c.At)
+		}
+		if c.RestartAt < 0 {
+			return fmt.Errorf("sim: crash of node %d restarts at negative time %d", c.Node, c.RestartAt)
+		}
+		if c.RestartAt > 0 && c.RestartAt < c.At {
+			return fmt.Errorf("sim: crash of node %d restarts at %d before it crashes at %d", c.Node, c.RestartAt, c.At)
+		}
+		byNode[c.Node] = append(byNode[c.Node], c)
+	}
+	for node, wins := range byNode {
+		sort.Slice(wins, func(i, j int) bool { return wins[i].At < wins[j].At })
+		for i := 1; i < len(wins); i++ {
+			prev := wins[i-1]
+			if prev.stop() {
+				return fmt.Errorf("sim: node %d crash-stops at %d but has another outage at %d",
+					node, prev.At, wins[i].At)
+			}
+			if wins[i].At < prev.RestartAt {
+				return fmt.Errorf("sim: node %d outage at %d overlaps the window [%d,%d)",
+					node, wins[i].At, prev.At, prev.RestartAt)
+			}
+		}
+	}
+	return nil
 }
 
 // lossAt returns the drop probability of the directed link from->to.
@@ -64,13 +134,15 @@ func (p *FaultPlan) lossAt(from, to int) float64 {
 	return p.Loss
 }
 
-// CrashedAt reports whether node v is inside a crash window at time t.
+// CrashedAt reports whether node v is inside a crash window at time t. A
+// zero-length outage (RestartAt == At) covers no tick: the node crashed and
+// rejoined inside one tick, so no tick ever observes it down.
 func (p *FaultPlan) CrashedAt(v int, t int64) bool {
 	if p == nil {
 		return false
 	}
 	for _, c := range p.Crashes {
-		if c.Node == v && t >= c.At && (c.RestartAt <= c.At || t < c.RestartAt) {
+		if c.Node == v && t >= c.At && (c.stop() || t < c.RestartAt) {
 			return true
 		}
 	}
@@ -85,7 +157,7 @@ func (p *FaultPlan) DeadBy(v int, t int64) bool {
 		return false
 	}
 	for _, c := range p.Crashes {
-		if c.Node == v && c.RestartAt <= c.At && t >= c.At {
+		if c.Node == v && c.stop() && t >= c.At {
 			return true
 		}
 	}
@@ -113,8 +185,8 @@ func (p *FaultPlan) Shifted(offset int64, salt int64) *FaultPlan {
 	q.Rejoins = nil
 	q.Crashes = make([]Crash, 0, len(p.Crashes))
 	for _, c := range p.Crashes {
-		if c.RestartAt > c.At && c.RestartAt-offset <= 0 {
-			continue // outage fully in the past
+		if !c.stop() && c.RestartAt-offset <= 0 {
+			continue // outage (possibly zero-length) fully in the past
 		}
 		c.At -= offset
 		if c.At < 0 {
@@ -158,7 +230,7 @@ func (p *FaultPlan) crashMarks() []crashMark {
 	var marks []crashMark
 	for _, c := range p.Crashes {
 		marks = append(marks, crashMark{at: c.At, node: c.Node})
-		if c.RestartAt > c.At {
+		if !c.stop() {
 			marks = append(marks, crashMark{at: c.RestartAt, node: c.Node, restart: true})
 		}
 	}

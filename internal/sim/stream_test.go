@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"fdlsp/internal/graph"
+)
+
+func TestFaultStreamWindowsDeterministic(t *testing.T) {
+	s := &FaultStream{Seed: 42, Loss: 0.1, CrashRate: 0.3, MinOutage: 2, MaxOutage: 10}
+	for epoch := int64(0); epoch < 5; epoch++ {
+		a := s.Plan(epoch, 20, nil, 64)
+		b := s.Plan(epoch, 20, nil, 64)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("epoch %d re-materialized differently:\n%+v\n%+v", epoch, a, b)
+		}
+		if err := a.Validate(20); err != nil {
+			t.Fatalf("epoch %d produced an invalid plan: %v", epoch, err)
+		}
+	}
+}
+
+func TestFaultStreamEpochsDiffer(t *testing.T) {
+	s := &FaultStream{Seed: 7, CrashRate: 0.5, MaxOutage: 8}
+	crashed := make(map[int]bool)
+	distinct := false
+	var prev *FaultPlan
+	for epoch := int64(0); epoch < 8; epoch++ {
+		p := s.Plan(epoch, 30, nil, 64)
+		for _, c := range p.Crashes {
+			crashed[c.Node] = true
+		}
+		if prev != nil && !reflect.DeepEqual(prev.Crashes, p.Crashes) {
+			distinct = true
+		}
+		prev = p
+	}
+	if !distinct {
+		t.Error("eight epochs at crash rate 0.5 produced identical crash sets")
+	}
+	if len(crashed) < 10 {
+		t.Errorf("only %d of 30 nodes ever crashed over 8 epochs at rate 0.5", len(crashed))
+	}
+}
+
+func TestFaultStreamWindowBounds(t *testing.T) {
+	s := &FaultStream{Seed: 3, CrashRate: 1.0, MinOutage: 2, MaxOutage: 6}
+	const horizon = 40
+	p := s.Plan(0, 25, nil, horizon)
+	if len(p.Crashes) != 25 {
+		t.Fatalf("crash rate 1.0 crashed %d of 25 nodes", len(p.Crashes))
+	}
+	for _, c := range p.Crashes {
+		if c.At < 1 || c.At > horizon/2 {
+			t.Errorf("crash of %d at %d outside [1,%d]", c.Node, c.At, horizon/2)
+		}
+		length := c.RestartAt - c.At
+		if length < 2 || length > 6 {
+			t.Errorf("outage of %d has length %d outside [2,6]", c.Node, length)
+		}
+	}
+}
+
+func TestFaultStreamHonorsLiveMask(t *testing.T) {
+	s := &FaultStream{Seed: 11, CrashRate: 1.0, MaxOutage: 4}
+	live := make([]bool, 10)
+	live[2], live[7] = true, true
+	p := s.Plan(3, 10, live, 32)
+	if len(p.Crashes) != 2 {
+		t.Fatalf("crashes = %+v, want exactly the two live nodes", p.Crashes)
+	}
+	for _, c := range p.Crashes {
+		if !live[c.Node] {
+			t.Errorf("dead node %d drew a crash", c.Node)
+		}
+	}
+}
+
+func TestFaultStreamZeroLengthOutagesValid(t *testing.T) {
+	// MinOutage 0 can draw zero-length windows; they must validate and run.
+	s := &FaultStream{Seed: 5, CrashRate: 1.0, MinOutage: 0, MaxOutage: 0}
+	p := s.Plan(0, 6, nil, 16)
+	if err := p.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	sawZero := false
+	for _, c := range p.Crashes {
+		if c.RestartAt != c.At {
+			t.Errorf("MaxOutage 0 drew a non-zero window %+v", c)
+		}
+		sawZero = true
+	}
+	if !sawZero {
+		t.Fatal("crash rate 1.0 drew no crashes")
+	}
+}
+
+func TestSyncOnRoundHook(t *testing.T) {
+	g := graph.Path(3)
+	eng := NewSyncEngine(g, 1, func(id int) SyncNode {
+		return stepFunc(func(env *SyncEnv, in []Message) bool {
+			if env.Round < 2 {
+				env.Broadcast("beat")
+			}
+			return env.Round >= 3
+		})
+	})
+	var rounds []int64
+	eng.OnRound = func(round int64) { rounds = append(rounds, round) }
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) == 0 {
+		t.Fatal("OnRound never fired")
+	}
+	for i, r := range rounds {
+		if r != int64(i) {
+			t.Fatalf("OnRound sequence %v is not 0,1,2,...", rounds)
+		}
+	}
+	eng.Reset(1, func(id int) SyncNode {
+		return stepFunc(func(env *SyncEnv, in []Message) bool { return true })
+	})
+	if eng.OnRound != nil {
+		t.Error("Reset must clear OnRound")
+	}
+}

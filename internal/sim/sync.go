@@ -90,6 +90,13 @@ type SyncEngine struct {
 	// published values are the deterministic Stats, so snapshots are
 	// byte-identical per seed regardless of GOMAXPROCS.
 	Metrics *obs.Registry
+	// OnRound, when set, is invoked once per executed round from the
+	// engine's sequential section, after the round's steps have run and its
+	// sends have been delivered. Protocol drivers use it to probe global
+	// state mid-run (e.g. residual conflicts during repair) without stopping
+	// the protocol; the hook runs with no stripe goroutines alive, so it may
+	// read node state freely. It must not mutate engine or node state.
+	OnRound func(round int64)
 
 	stats    Stats
 	crashed  []int
@@ -141,6 +148,7 @@ func (eng *SyncEngine) Reset(seed int64, factory func(id int) SyncNode) {
 	eng.Trace = nil
 	eng.Fault = nil
 	eng.Metrics = nil
+	eng.OnRound = nil
 }
 
 // Stats returns the accounting of the last Run.
@@ -179,6 +187,9 @@ func noteReturn(returned *[]int, restarts map[int]int, v int) NodeRestarted {
 func (eng *SyncEngine) Run() error {
 	defer func() { publishStats(eng.Metrics, "sync", eng.stats) }()
 	n := eng.g.N()
+	if err := eng.Fault.Validate(n); err != nil {
+		return err
+	}
 	maxRounds := eng.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 10_000 + 100*n
@@ -401,6 +412,12 @@ func (eng *SyncEngine) Run() error {
 				doneSeen[v] = true
 				eng.Trace.Emit(Event{Kind: EventNodeDone, Time: int64(round), From: v, To: -1})
 			}
+		}
+
+		// Probe hook: the round's steps have run and its sends are delivered;
+		// no stripe goroutine is alive, so the hook may read node state.
+		if eng.OnRound != nil {
+			eng.OnRound(int64(round))
 		}
 
 		// Poll the logical-round synchronizer: the next physical round may

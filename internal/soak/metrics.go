@@ -1,0 +1,80 @@
+package soak
+
+import "fdlsp/internal/obs"
+
+// metrics bundles the fdlsp_soak_* families. A nil registry disables
+// publication (every method guards), so the soak runs identically with and
+// without observability — the metrics are derived from the deterministic
+// EpochReport, never the other way around.
+type metrics struct {
+	epochs       *obs.Counter
+	perturb      *obs.CounterVec
+	convergence  *obs.Histogram
+	dirty        *obs.Gauge
+	usable       *obs.Gauge
+	minUsable    *obs.Gauge
+	residual     *obs.Gauge
+	live         *obs.Gauge
+	slots        *obs.Gauge
+	engineProbes *obs.Counter
+	probeRounds  *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	if r == nil {
+		return nil
+	}
+	convBuckets := []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+	roundBuckets := []float64{50, 100, 200, 400, 800, 1600, 3200, 6400}
+	return &metrics{
+		epochs: r.Counter("fdlsp_soak_epochs_total",
+			"Churn epochs completed by the soak driver."),
+		perturb: r.CounterVec("fdlsp_soak_perturbations_total",
+			"Perturbations applied, by kind.", "kind"),
+		convergence: r.Histogram("fdlsp_soak_convergence_rounds",
+			"Distributed repair rounds from perturbation to a conflict-free schedule.",
+			convBuckets),
+		dirty: r.Gauge("fdlsp_soak_dirty_arcs",
+			"Dirty arcs entering the last epoch's repair."),
+		usable: r.Gauge("fdlsp_soak_usable_fraction",
+			"Usable fraction of the TDMA frame after the last repair."),
+		minUsable: r.Gauge("fdlsp_soak_min_usable_fraction",
+			"Worst usable fraction observed during the last repair."),
+		residual: r.Gauge("fdlsp_soak_residual_conflicts",
+			"Conflicts remaining after the last repair (0 on success)."),
+		live: r.Gauge("fdlsp_soak_live_nodes",
+			"Nodes currently participating in the network."),
+		slots: r.Gauge("fdlsp_soak_slots",
+			"TDMA frame length of the maintained schedule."),
+		engineProbes: r.Counter("fdlsp_soak_engine_probes_total",
+			"Protocol-level reschedules run against the live topology."),
+		probeRounds: r.Histogram("fdlsp_soak_engine_probe_rounds",
+			"Protocol rounds per engine reschedule under loss and churn.",
+			roundBuckets),
+	}
+}
+
+func (m *metrics) publish(rep EpochReport) {
+	if m == nil {
+		return
+	}
+	m.epochs.Inc()
+	m.perturb.With("crash").Add(float64(rep.Crashes))
+	m.perturb.With("restart").Add(float64(rep.Restarts))
+	m.perturb.With("leave").Add(float64(rep.Leaves))
+	m.perturb.With("join").Add(float64(rep.Joins))
+	m.perturb.With("move").Add(float64(rep.Moves))
+	m.perturb.With("link_up").Add(float64(rep.LinksUp))
+	m.perturb.With("link_down").Add(float64(rep.LinksDown))
+	m.convergence.Observe(float64(rep.ConvergenceRounds))
+	m.dirty.Set(float64(rep.DirtyArcs))
+	m.usable.Set(rep.Usable)
+	m.minUsable.Set(rep.MinUsable)
+	m.residual.Set(float64(rep.Residual))
+	m.live.Set(float64(rep.Live))
+	m.slots.Set(float64(rep.Slots))
+	if rep.EngineProbe != nil {
+		m.engineProbes.Inc()
+		m.probeRounds.Observe(float64(rep.EngineProbe.Rounds))
+	}
+}

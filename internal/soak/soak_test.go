@@ -1,0 +1,214 @@
+package soak
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/obs"
+)
+
+// churnConfig is the acceptance scenario: sustained crash/restart churn,
+// mobility, leaves and joins, message loss 0.1 on the periodic engine
+// reschedules.
+func churnConfig(seed int64) Config {
+	return Config{
+		Seed: seed, N: 32, Side: 9, Radius: 2.4, Alpha: 0.8, GrayP: 0.4,
+		Step: 0.35, MoveRate: 0.3,
+		CrashRate: 0.06, MinOutage: 1, MaxOutage: 4,
+		LeaveRate: 0.02, MinAway: 2, MaxAway: 6,
+		Loss: 0.1, ProbeEvery: 250,
+	}
+}
+
+func TestSoakThousandEpochsConvergesEveryEpoch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	before := runtime.NumGoroutine()
+	s, err := New(churnConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Epochs != 1000 {
+		t.Fatalf("completed %d epochs, want 1000", sum.Epochs)
+	}
+	if sum.TotalPerturbations == 0 {
+		t.Fatal("soak applied no perturbations — the churn stream is dead")
+	}
+	if sum.EngineProbes != 3 {
+		t.Errorf("engine probes = %d, want 3 (epochs 250/500/750)", sum.EngineProbes)
+	}
+	// Convergence-time budget: the stabilizer's bound is |dirty| rounds and
+	// per-epoch dirty sets are local; double digits would mean repair is
+	// cascading. (Every epoch already re-verified the full schedule — Step
+	// fails on any residual conflict.)
+	if sum.MaxConvergence > 64 {
+		t.Errorf("worst epoch convergence = %d rounds, budget 64", sum.MaxConvergence)
+	}
+	if viols := coloring.Verify(s.Graph(), s.Assignment()); len(viols) != 0 {
+		t.Fatalf("final schedule invalid: %v", viols[0])
+	}
+	// The driver spawns no goroutines of its own and engine probes join
+	// theirs, so a sustained rise here is a leak. Allow slack for runtime
+	// background goroutines.
+	time.Sleep(10 * time.Millisecond)
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d over the soak", before, after)
+	}
+}
+
+// TestSoakDeterministicAcrossGOMAXPROCS is the acceptance determinism check:
+// the full epoch-report stream AND the metrics exposition must be
+// byte-identical across parallelism levels for a fixed seed.
+func TestSoakDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func() (string, string) {
+		reg := obs.NewRegistry()
+		cfg := churnConfig(7)
+		cfg.ProbeEvery = 40
+		cfg.Metrics = reg
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for i := 0; i < 90; i++ {
+			rep, err := s.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe := rep.EngineProbe
+			rep.EngineProbe = nil
+			fmt.Fprintf(&sb, "%+v", rep)
+			if probe != nil {
+				fmt.Fprintf(&sb, " probe=%+v", *probe)
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String(), reg.Text()
+	}
+	var reports, texts []string
+	for _, procs := range []int{1, 8} {
+		old := runtime.GOMAXPROCS(procs)
+		rep, txt := run()
+		runtime.GOMAXPROCS(old)
+		reports = append(reports, rep)
+		texts = append(texts, txt)
+	}
+	if reports[0] != reports[1] {
+		t.Errorf("epoch reports differ across GOMAXPROCS:\n%s\nvs\n%s",
+			firstDiff(reports[0], reports[1]), "")
+	}
+	if texts[0] != texts[1] {
+		t.Errorf("metrics exposition differs across GOMAXPROCS:\n%s",
+			firstDiff(texts[0], texts[1]))
+	}
+	if !strings.Contains(texts[0], "fdlsp_soak_convergence_rounds") ||
+		!strings.Contains(texts[0], "fdlsp_soak_usable_fraction") {
+		t.Error("soak families missing from exposition")
+	}
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  %s\n  %s", i, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+// TestSoakAdversarialInits starts from the all-zero and maximally
+// conflicting colorings: epoch 0 must converge to a conflict-free schedule,
+// and the usable fraction during that repair must dip below 1 (the metric
+// actually observes the broken frame) before recovering.
+func TestSoakAdversarialInits(t *testing.T) {
+	for _, mode := range []InitMode{InitZero, InitConflict} {
+		cfg := churnConfig(3)
+		cfg.Init = mode
+		cfg.ProbeEvery = 0
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Step()
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if rep.DirtyArcs == 0 || rep.ConvergenceRounds == 0 {
+			t.Errorf("%s: adversarial start repaired for free: %+v", mode, rep)
+		}
+		if rep.MinUsable >= 1 {
+			t.Errorf("%s: usable fraction never dipped during repair", mode)
+		}
+		if rep.Usable != 1 || rep.Residual != 0 {
+			t.Errorf("%s: epoch 0 did not fully heal: %+v", mode, rep)
+		}
+		if viols := coloring.Verify(s.Graph(), s.Assignment()); len(viols) != 0 {
+			t.Fatalf("%s: schedule invalid after epoch 0: %v", mode, viols[0])
+		}
+	}
+}
+
+func TestSoakConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"crash rate", func(c *Config) { c.CrashRate = 1.5 }, "crash rate"},
+		{"move rate", func(c *Config) { c.MoveRate = -0.1 }, "move rate"},
+		{"leave rate", func(c *Config) { c.LeaveRate = 2 }, "leave rate"},
+		{"loss", func(c *Config) { c.Loss = 1 }, "loss"},
+		{"init mode", func(c *Config) { c.Init = "chaotic" }, "init mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := churnConfig(1)
+			tc.mut(&cfg)
+			_, err := New(cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("New accepted bad config (err=%v)", err)
+			}
+		})
+	}
+}
+
+// TestSoakEngineProbeAdoptsValidSchedule forces an early reschedule and
+// checks the adopted schedule verifies and the probe observed the run.
+func TestSoakEngineProbeAdoptsValidSchedule(t *testing.T) {
+	cfg := churnConfig(5)
+	cfg.N = 20
+	cfg.ProbeEvery = 3
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probe *ProbeReport
+	for i := 0; i < 4; i++ {
+		rep, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.EngineProbe != nil {
+			probe = rep.EngineProbe
+		}
+	}
+	if probe == nil {
+		t.Fatal("no engine probe ran in 4 epochs with ProbeEvery=3")
+	}
+	if probe.Rounds == 0 || probe.ProbePoints == 0 {
+		t.Errorf("probe did not observe the run: %+v", probe)
+	}
+	if viols := coloring.Verify(s.Graph(), s.Assignment()); len(viols) != 0 {
+		t.Fatalf("adopted schedule invalid: %v", viols[0])
+	}
+}

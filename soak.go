@@ -1,0 +1,47 @@
+package fdlsp
+
+import (
+	"fdlsp/internal/sim"
+	"fdlsp/internal/soak"
+)
+
+// This file exposes the continuous-operation layer: the churn soak that
+// keeps a TDMA schedule alive under an unbounded perturbation stream and
+// measures stabilization while it runs, and the open-ended fault stream
+// that materializes bounded crash/restart windows for its engine probes.
+
+type (
+	// ChurnConfig parameterizes a churn soak: node count and QUDG geometry,
+	// mobility, crash/restart and leave/join rates, adversarial initial
+	// coloring, and the cadence of protocol-level reschedules under loss.
+	ChurnConfig = soak.Config
+	// ChurnInit selects the soak's initial coloring: a valid greedy schedule,
+	// all arcs uncolored, or every arc jammed into one slot.
+	ChurnInit = soak.InitMode
+	// ChurnEpochReport is the outcome of one churn epoch: perturbations
+	// applied, dirty arcs, convergence rounds, usable-frame fractions, and
+	// the engine probe when one ran.
+	ChurnEpochReport = soak.EpochReport
+	// ChurnSummary aggregates a bounded soak run.
+	ChurnSummary = soak.Summary
+	// ChurnProbeReport is the outcome of one protocol-level reschedule run
+	// inside the soak.
+	ChurnProbeReport = soak.ProbeReport
+	// ChurnSoak is a running soak; drive it with Step or Run.
+	ChurnSoak = soak.Soak
+	// FaultStream is an unbounded, seeded source of fault windows: Plan
+	// materializes the bounded FaultPlan for one epoch of continuous
+	// operation. Every window is a pure function of (Seed, epoch, node).
+	FaultStream = sim.FaultStream
+)
+
+// Initial colorings a churn soak can start from.
+const (
+	ChurnInitGreedy   = soak.InitGreedy
+	ChurnInitZero     = soak.InitZero
+	ChurnInitConflict = soak.InitConflict
+)
+
+// NewChurnSoak builds a soak from the config, validates it, and establishes
+// the initial topology and schedule.
+func NewChurnSoak(cfg ChurnConfig) (*ChurnSoak, error) { return soak.New(cfg) }
