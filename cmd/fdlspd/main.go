@@ -1,11 +1,26 @@
 // Command fdlspd serves the scheduling library over JSON/HTTP:
 //
-//	POST /v1/schedule  {"graph": {...}, "algorithm": "distmis", "seed": 1}
-//	POST /v1/verify    {"graph": {...}, "schedule": {...}}
-//	POST /v1/bounds    {"graph": {...}}
-//	POST /v1/render    {"graph": {...}, "points": [...], "schedule": {...}, "slot": 1}
-//	GET  /healthz
-//	GET  /metrics      Prometheus text exposition of the whole stack
+//	POST   /v1/schedule            {"graph": {...}, "algorithm": "distmis", "seed": 1}
+//	POST   /v1/verify              {"graph": {...}, "schedule": {...}}
+//	POST   /v1/bounds              {"graph": {...}}
+//	POST   /v1/render              {"graph": {...}, "points": [...], "schedule": {...}, "slot": 1}
+//	POST   /v1/traffic             {"graph": {...}, "schedule": {...}, "sink": 0}
+//	POST   /v1/energy              {"graph": {...}, "schedule": {...}}
+//	POST   /v1/session             {"graph": {...}, "algorithm": "greedy", "seed": 1}
+//	GET    /v1/session/{id}
+//	POST   /v1/session/{id}/update {"events": [{"kind": "link-up", "u": 3, "v": 7}, ...]}
+//	DELETE /v1/session/{id}
+//	GET    /healthz
+//	GET    /metrics                Prometheus text exposition of the whole stack
+//
+// The session routes are the incremental rescheduling service: create a
+// long-lived schedule session from a graph, then stream topology deltas at
+// it; each update answers with the minimal recolor set, the repair-round
+// count, and the new frame length (see internal/incr).
+//
+// On SIGINT/SIGTERM the server drains: the listener closes, in-flight
+// requests (including live session updates) run to completion within the
+// -drain deadline, and only then does the process exit.
 //
 // With -pprof the standard net/http/pprof profiling endpoints are mounted
 // under /debug/pprof/ on the same listener (off by default: the profiles
@@ -22,10 +37,15 @@
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fdlsp/internal/httpapi"
@@ -35,17 +55,49 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	drain := flag.Duration("drain", 15*time.Second, "in-flight request drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
 
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           newHandler(*withPprof),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      5 * time.Minute, // large instances take a while
 	}
-	log.Printf("fdlspd listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("fdlspd listening on %s", ln.Addr())
+	if err := serve(ctx, srv, ln, *drain); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fdlspd drained and stopped")
+}
+
+// serve runs srv on ln until the server fails or ctx is cancelled (the
+// signal path). On cancellation it shuts down gracefully: the listener
+// closes so no new work arrives, and in-flight requests — live session
+// updates included — get up to drain to finish before the connections are
+// torn down. A clean drain returns nil.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain deadline exceeded: %w", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return nil
 }
 
 // newHandler assembles the service mux — API routes plus /metrics — and,

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestPprofGatedByFlag(t *testing.T) {
@@ -30,5 +36,102 @@ func TestPprofGatedByFlag(t *testing.T) {
 	}
 	if code := get(newHandler(false), "/healthz"); code != http.StatusOK {
 		t.Errorf("/healthz status %d, want 200", code)
+	}
+}
+
+// TestServeDrainsInFlightRequests pins the graceful-shutdown path: a request
+// that is mid-handler when the stop signal arrives must run to completion
+// and reach the client before serve returns nil.
+func TestServeDrainsInFlightRequests(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "drained ok")
+	})
+	srv := &http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, srv, ln, 5*time.Second) }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var body string
+	var status int
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			t.Errorf("in-flight request failed: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		body, status = string(data), resp.StatusCode
+	}()
+
+	<-started
+	cancel() // the SIGINT/SIGTERM path
+	// Shutdown is now in progress; the handler is still blocked. Prove the
+	// listener is closed to new work, then let the in-flight request finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if status != http.StatusOK || body != "drained ok" {
+		t.Fatalf("in-flight request got status %d body %q", status, body)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve returned %v, want nil after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+}
+
+// TestServeDrainDeadline pins the other side: a handler that never finishes
+// must not hold the process past the drain deadline, and serve must report
+// the failure.
+func TestServeDrainDeadline(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	mux := http.NewServeMux()
+	started := make(chan struct{})
+	mux.HandleFunc("/hang", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-hang
+	})
+	srv := &http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, srv, ln, 100*time.Millisecond) }()
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/hang")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("serve returned nil despite a hung handler")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve hung past the drain deadline")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"fdlsp/internal/broadcast"
+	"fdlsp/internal/coloring"
 	"fdlsp/internal/conformance"
 	"fdlsp/internal/core"
 	"fdlsp/internal/cv"
@@ -11,6 +12,7 @@ import (
 	"fdlsp/internal/dynamic"
 	"fdlsp/internal/energy"
 	"fdlsp/internal/geom"
+	"fdlsp/internal/incr"
 	"fdlsp/internal/opt"
 	"fdlsp/internal/sched"
 	"fdlsp/internal/sim"
@@ -56,6 +58,35 @@ const (
 
 // NewDynamic wraps a valid schedule for incremental maintenance.
 func NewDynamic(g *Graph, as Assignment) (*DynamicNetwork, error) { return dynamic.New(g, as) }
+
+// Incremental rescheduling service ---------------------------------------------
+
+type (
+	// IncrementalUpdater is a long-lived schedule that accepts batches of
+	// topology deltas and answers each with the minimal recolor set plus the
+	// repair-round count — the engine behind fdlspd's session API.
+	IncrementalUpdater = incr.Updater
+	// UpdateReport is the outcome of one applied batch.
+	UpdateReport = incr.Report
+	// ArcSlot is one arc→slot binding of a recolor delta.
+	ArcSlot = incr.ArcSlot
+)
+
+// ErrBadDelta marks client-side validation failures of an update batch
+// (errors.Is-matchable through IncrementalUpdater.Apply errors).
+var ErrBadDelta = incr.ErrBadDelta
+
+// NewIncremental wraps a valid schedule for batched incremental
+// rescheduling; failed batches roll back atomically.
+func NewIncremental(g *Graph, as Assignment) (*IncrementalUpdater, error) { return incr.New(g, as) }
+
+// StabilizeSchedule repairs as from the given dirty set with the shared
+// distributed-round local rule (≤|dirty| rounds; see DESIGN.md §11/§12),
+// returning the round count and the worst usable-frame fraction observed
+// while repair was in progress. The dirty map is consumed.
+func StabilizeSchedule(g *Graph, as Assignment, dirty map[Arc]bool) (rounds int, minUsable float64, err error) {
+	return coloring.Stabilize(g, as, dirty)
+}
 
 // Quasi unit disk graphs and growth bounds -------------------------------------
 

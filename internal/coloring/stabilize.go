@@ -1,0 +1,191 @@
+package coloring
+
+import (
+	"fmt"
+	"sort"
+
+	"fdlsp/internal/graph"
+)
+
+// Stabilize repairs the schedule from the given dirty set using a
+// distributed-round local rule, and returns the number of rounds taken plus
+// the worst usable-frame fraction observed while repair was in progress.
+// It is the one stabilization implementation shared by the churn soak
+// (internal/soak) and the incremental rescheduling service (internal/incr):
+// both feed it a dirty set derived from a topology delta and rely on the
+// same convergence bound. Entries of dirty are flipped to false as arcs come
+// clean; the map is consumed, not preserved.
+//
+// The rule models what each sensor could do with its distance-2 color
+// knowledge: per round, every dirty arc (uncolored, or sharing its slot with
+// a conflicting arc) *acts* iff it is the smallest dirty arc in its own
+// conflict set; an actor drops its color and greedily re-picks the smallest
+// slot feasible against every currently colored conflicting arc. Convergence
+// argument: (1) actors are pairwise non-conflicting — if two dirty arcs
+// conflict, only the smaller acts — so the round's simultaneous moves cannot
+// clash with each other; (2) an actor's new slot is feasible against every
+// colored conflicting arc and later moves stay feasible against it, so an
+// arc that acted is clean for good; (3) the globally smallest dirty arc is
+// always an actor, so the dirty set strictly shrinks every round and repair
+// converges within |dirty| rounds. Topology is frozen during repair, which
+// is what lets the round count stand in for convergence time.
+//
+// The usable-frame fraction is sampled at the top of every round. It is
+// maintained incrementally: one full audit when repair starts, then
+// per-round updates confined to the actors and their conflict sets — only
+// an arc whose color changed, or whose conflict set contains such an arc,
+// can change usable status — so a round costs O(|actors|·Δ⁴) instead of the
+// O(arcs·Δ²) a full re-audit would.
+func Stabilize(g *graph.Graph, as Assignment, dirty map[graph.Arc]bool) (rounds int, minUsable float64, err error) {
+	minUsable = 1
+	if len(dirty) == 0 {
+		return 0, minUsable, nil
+	}
+	// Deterministic worklist: sorted arcs, membership in the map.
+	work := make([]graph.Arc, 0, len(dirty))
+	for a := range dirty {
+		work = append(work, a)
+	}
+	sort.Slice(work, func(i, j int) bool { return less(work[i], work[j]) })
+
+	ut := newUsableTracker(g, as)
+	budget := 2*len(work) + 8
+	for {
+		// Re-filter: an arc is still dirty if uncolored or clashing.
+		live := work[:0]
+		for _, a := range work {
+			if !dirty[a] {
+				continue
+			}
+			if arcDirty(g, as, a) {
+				live = append(live, a)
+			} else {
+				dirty[a] = false
+			}
+		}
+		work = live
+		if len(work) == 0 {
+			return rounds, minUsable, nil
+		}
+		if rounds >= budget {
+			return rounds, minUsable, fmt.Errorf(
+				"coloring: stabilization exceeded %d rounds with %d dirty arcs", budget, len(work))
+		}
+		if u := ut.fraction(); u < minUsable {
+			minUsable = u
+		}
+		rounds++
+		// Select the round's actors against the frozen dirty set first, then
+		// apply: selection must not observe earlier actors of the same round
+		// (all sensors decide simultaneously on the previous round's state).
+		actors := make([]graph.Arc, 0, len(work))
+		for _, a := range work {
+			if actsThisRound(g, a, dirty) {
+				actors = append(actors, a)
+			}
+		}
+		for _, a := range actors {
+			delete(as, a)
+			AssignGreedyLocal(g, as, []graph.Arc{a})
+			dirty[a] = false
+		}
+		// Incremental usable maintenance: only the actors and the arcs in
+		// their conflict sets can have changed status this round.
+		for _, a := range actors {
+			ut.recheck(a)
+			for _, b := range ConflictingArcs(g, a) {
+				ut.recheck(b)
+			}
+		}
+	}
+}
+
+// arcDirty reports whether a needs repair under as: no slot, or a
+// conflicting arc holds the same slot.
+func arcDirty(g *graph.Graph, as Assignment, a graph.Arc) bool {
+	c := as[a]
+	if c == None {
+		return true
+	}
+	for _, b := range ConflictingArcs(g, a) {
+		if as[b] == c {
+			return true
+		}
+	}
+	return false
+}
+
+// actsThisRound implements the local priority rule: a acts iff no smaller
+// dirty arc conflicts with it.
+func actsThisRound(g *graph.Graph, a graph.Arc, dirty map[graph.Arc]bool) bool {
+	for _, b := range ConflictingArcs(g, a) {
+		if dirty[b] && less(b, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// usableTracker maintains UsableArcs incrementally across recolorings: a
+// status bit per arc (by graph.ArcIndex — the topology is frozen while a
+// tracker lives) plus the running usable count. recheck re-derives one arc's
+// bit after its color, or a conflicting arc's color, changed; fraction is
+// exactly UsableFraction (same integer counts, same division) without the
+// full O(arcs·Δ²) re-audit.
+type usableTracker struct {
+	g      *graph.Graph
+	as     Assignment
+	ok     []bool
+	usable int
+	total  int
+}
+
+func newUsableTracker(g *graph.Graph, as Assignment) *usableTracker {
+	arcs := g.ArcsView()
+	t := &usableTracker{g: g, as: as, ok: make([]bool, len(arcs)), total: len(arcs)}
+	for i, a := range arcs {
+		if arcUsable(g, as, a) {
+			t.ok[i] = true
+			t.usable++
+		}
+	}
+	return t
+}
+
+// arcUsable mirrors the per-arc predicate of UsableArcs: colored, and no
+// conflicting arc shares the slot.
+func arcUsable(g *graph.Graph, as Assignment, a graph.Arc) bool {
+	c := as[a]
+	if c == None {
+		return false
+	}
+	for _, b := range ConflictingArcs(g, a) {
+		if as[b] == c {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *usableTracker) recheck(a graph.Arc) {
+	i, ok := t.g.ArcIndex(a)
+	if !ok {
+		return
+	}
+	now := arcUsable(t.g, t.as, a)
+	if now != t.ok[i] {
+		t.ok[i] = now
+		if now {
+			t.usable++
+		} else {
+			t.usable--
+		}
+	}
+}
+
+func (t *usableTracker) fraction() float64 {
+	if t.total == 0 {
+		return 1
+	}
+	return float64(t.usable) / float64(t.total)
+}

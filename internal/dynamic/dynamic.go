@@ -18,6 +18,7 @@
 package dynamic
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -59,11 +60,56 @@ func (k EventKind) String() string {
 	}
 }
 
+// ParseEventKind maps the wire names ("link-up", "node-move", ...) back to
+// their EventKind — the inverse of EventKind.String.
+func ParseEventKind(s string) (EventKind, error) {
+	for k := LinkUp; k <= NodeMove; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("dynamic: unknown event kind %q", s)
+}
+
 // Event is one topology change.
 type Event struct {
 	Kind  EventKind
 	U, V  int
 	Peers []int // NodeJoin / NodeMove
+}
+
+// jsonEvent is Event's wire form: the kind travels as its String name so
+// clients of the session API write {"kind": "link-up", "u": 3, "v": 7}
+// rather than opaque enum numbers.
+type jsonEvent struct {
+	Kind  string `json:"kind"`
+	U     int    `json:"u"`
+	V     int    `json:"v,omitempty"`
+	Peers []int  `json:"peers,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	switch e.Kind {
+	case LinkUp, LinkDown, NodeFail, NodeJoin, NodeMove:
+	default:
+		return nil, fmt.Errorf("dynamic: cannot marshal invalid event kind %d", int(e.Kind))
+	}
+	return json.Marshal(jsonEvent{Kind: e.Kind.String(), U: e.U, V: e.V, Peers: e.Peers})
+}
+
+// UnmarshalJSON implements json.Unmarshaler; an unknown kind is an error.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var je jsonEvent
+	if err := json.Unmarshal(data, &je); err != nil {
+		return err
+	}
+	k, err := ParseEventKind(je.Kind)
+	if err != nil {
+		return err
+	}
+	*e = Event{Kind: k, U: je.U, V: je.V, Peers: je.Peers}
+	return nil
 }
 
 func (e Event) String() string {

@@ -1,7 +1,10 @@
 package dynamic
 
 import (
+	"encoding/json"
 	"math/rand"
+	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -328,5 +331,52 @@ func TestRebuildReturnsValidWithoutInstalling(t *testing.T) {
 	}
 	if n.Slots() != before {
 		t.Fatal("Rebuild must not install")
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: LinkUp, U: 3, V: 7},
+		{Kind: LinkDown, U: 0, V: 1},
+		{Kind: NodeFail, U: 5},
+		{Kind: NodeJoin, U: 2, Peers: []int{1, 4, 6}},
+		{Kind: NodeMove, U: 9, Peers: []int{0}},
+	}
+	data, err := json.Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, back) {
+		t.Fatalf("round trip: %v -> %s -> %v", events, data, back)
+	}
+	// The wire form uses the String() names, not raw ints.
+	if !strings.Contains(string(data), `"kind":"link-up"`) {
+		t.Fatalf("wire form: %s", data)
+	}
+}
+
+func TestEventJSONRejectsUnknownKind(t *testing.T) {
+	var ev Event
+	if err := json.Unmarshal([]byte(`{"kind":"teleport","u":1,"v":2}`), &ev); err == nil {
+		t.Fatal("unknown kind should fail to decode")
+	}
+	if _, err := json.Marshal(Event{Kind: EventKind(42)}); err == nil {
+		t.Fatal("invalid kind should fail to encode")
+	}
+}
+
+func TestParseEventKind(t *testing.T) {
+	for k := LinkUp; k <= NodeMove; k++ {
+		got, err := ParseEventKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseEventKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseEventKind("nope"); err == nil {
+		t.Error("ParseEventKind should reject unknown names")
 	}
 }

@@ -107,3 +107,33 @@ func TestReadDIMACSQuirks(t *testing.T) {
 		}
 	}
 }
+
+// TestUnmarshalJSONRejectsInconsistentInput pins the decode-path hardening:
+// malformed graph JSON from HTTP clients must come back as an error, never
+// a panic (which would crash the handler into a 500).
+func TestUnmarshalJSONRejectsInconsistentInput(t *testing.T) {
+	cases := map[string]string{
+		"edge endpoint out of range": `{"n":3,"edges":[[0,9]]}`,
+		"negative endpoint":          `{"n":3,"edges":[[-1,2]]}`,
+		"self loop":                  `{"n":3,"edges":[[1,1]]}`,
+		"negative node count":        `{"n":-2,"edges":[]}`,
+	}
+	for name, in := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(in), &g); err == nil {
+			t.Errorf("%s: %s decoded without error", name, in)
+		}
+	}
+}
+
+func TestReadEdgeListRejectsBadEdges(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("-3 0\n")); err == nil {
+		t.Error("negative node count should fail")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("3 1\n0 9\n")); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("3 1\n1 1\n")); err == nil {
+		t.Error("self-loop edge should fail")
+	}
+}

@@ -3,6 +3,13 @@
 // schedule, bounds, or an SVG rendering. Handlers are plain http.Handlers,
 // fully exercised by httptest in the package tests.
 //
+// Beyond the one-shot routes, the /v1/session routes hold long-lived
+// schedules under incremental maintenance: a session is created from a
+// graph, topology deltas stream at it, and every update answers with the
+// minimal recolor set (see session.go and internal/incr). Input-shape
+// problems — malformed graphs, unknown algorithms, invalid deltas — answer
+// 400; only genuine service failures answer 500 (see errStatus).
+//
 // Every route is instrumented: per-route request counters and latency
 // histograms feed an obs.Registry exposed at GET /metrics in Prometheus
 // text format, alongside the fdlsp_core_*, fdlsp_sim_* and
@@ -11,6 +18,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -21,6 +29,7 @@ import (
 	"fdlsp/internal/energy"
 	"fdlsp/internal/geom"
 	"fdlsp/internal/graph"
+	"fdlsp/internal/incr"
 	"fdlsp/internal/obs"
 	"fdlsp/internal/sched"
 	"fdlsp/internal/traffic"
@@ -62,6 +71,66 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// errBadInput marks request failures that are the client's to fix —
+// unknown algorithm names, inconsistent graphs, invalid deltas. errStatus
+// turns it (and incr.ErrBadDelta) into a 400; everything else stays a 500,
+// so clients can tell their bug from ours.
+var errBadInput = errors.New("bad input")
+
+// errStatus classifies a scheduling error into the HTTP status it deserves.
+func errStatus(err error) int {
+	if errors.Is(err, errBadInput) || errors.Is(err, incr.ErrBadDelta) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// runAlgorithm computes a schedule for g with the named algorithm (empty
+// defaults to dflt), reporting the assignment plus protocol cost. Both
+// POST /v1/schedule and POST /v1/session dispatch through here. An unknown
+// name wraps errBadInput.
+func (s *service) runAlgorithm(g *graph.Graph, algo string, dflt string, seed int64) (as coloring.Assignment, rounds, messages int64, name string, err error) {
+	if algo == "" {
+		algo = dflt
+	}
+	name = algo
+	switch algo {
+	case "distmis", "distmis-general":
+		variant := core.GBG
+		if algo == "distmis-general" {
+			variant = core.General
+		}
+		res, rerr := core.DistMIS(g, core.Options{Seed: seed, Variant: variant, Metrics: s.reg})
+		if rerr != nil {
+			return nil, 0, 0, name, rerr
+		}
+		as, rounds, messages = res.Assignment, res.Stats.Rounds, res.Stats.Messages
+	case "dfs":
+		res, rerr := core.DFS(g, core.DFSOptions{Seed: seed, Metrics: s.reg})
+		if rerr != nil {
+			return nil, 0, 0, name, rerr
+		}
+		as, rounds, messages = res.Assignment, res.Stats.Rounds, res.Stats.Messages
+	case "dmgc":
+		res, rerr := dmgc.Schedule(g)
+		if rerr != nil {
+			return nil, 0, 0, name, rerr
+		}
+		as = res.Assignment
+	case "randomized":
+		res, rerr := core.Randomized(g, seed)
+		if rerr != nil {
+			return nil, 0, 0, name, rerr
+		}
+		as, rounds, messages = res.Assignment, res.Stats.Rounds, res.Stats.Messages
+	case "greedy":
+		as = coloring.Greedy(g, nil)
+	default:
+		return nil, 0, 0, name, fmt.Errorf("unknown algorithm %q: %w", algo, errBadInput)
+	}
+	return as, rounds, messages, name, nil
+}
+
 func (s *service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var req scheduleRequest
 	if !readJSON(w, r, &req) {
@@ -73,49 +142,9 @@ func (s *service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	g := req.Graph
 
-	var as coloring.Assignment
-	var rounds, messages int64
-	algo := req.Algorithm
-	if algo == "" {
-		algo = "distmis"
-	}
-	switch algo {
-	case "distmis", "distmis-general":
-		variant := core.GBG
-		if algo == "distmis-general" {
-			variant = core.General
-		}
-		res, err := core.DistMIS(g, core.Options{Seed: req.Seed, Variant: variant, Metrics: s.reg})
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		as, rounds, messages = res.Assignment, res.Stats.Rounds, res.Stats.Messages
-	case "dfs":
-		res, err := core.DFS(g, core.DFSOptions{Seed: req.Seed, Metrics: s.reg})
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		as, rounds, messages = res.Assignment, res.Stats.Rounds, res.Stats.Messages
-	case "dmgc":
-		res, err := dmgc.Schedule(g)
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		as = res.Assignment
-	case "randomized":
-		res, err := core.Randomized(g, req.Seed)
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		as, rounds, messages = res.Assignment, res.Stats.Rounds, res.Stats.Messages
-	case "greedy":
-		as = coloring.Greedy(g, nil)
-	default:
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown algorithm %q", algo))
+	as, rounds, messages, algo, err := s.runAlgorithm(g, req.Algorithm, "distmis", req.Seed)
+	if err != nil {
+		httpError(w, errStatus(err), err.Error())
 		return
 	}
 

@@ -22,19 +22,28 @@ const (
 )
 
 // service carries the HTTP handlers' shared dependencies: the metrics
-// registry and the clock (overridable in tests so latency buckets can be
-// asserted deterministically).
+// registry, the clock (overridable in tests so latency buckets can be
+// asserted deterministically), and the live schedule sessions.
 type service struct {
 	reg      *obs.Registry
 	now      func() time.Time
 	requests *obs.CounterVec
 	latency  *obs.HistogramVec
 	inflight *obs.Gauge
+
+	sessions         *sessionStore
+	sessionsCreated  *obs.Counter
+	sessionsActive   *obs.Gauge
+	sessionUpdates   *obs.CounterVec
+	sessionEvents    *obs.CounterVec
+	sessionRecolored *obs.CounterVec
+	sessionRounds    *obs.Histogram
+	sessionLatency   *obs.HistogramVec
 }
 
 // newService builds the handler set over reg and pre-registers every metric
-// family the service can emit — http, core, sim, and transport — so a
-// scrape exposes the full schema before the first request.
+// family the service can emit — http, session, core, sim, and transport —
+// so a scrape exposes the full schema before the first request.
 func newService(reg *obs.Registry) *service {
 	s := &service{
 		reg: reg,
@@ -43,6 +52,24 @@ func newService(reg *obs.Registry) *service {
 		requests: reg.CounterVec(metricHTTPRequests, "HTTP requests served, by route, method and status code.", "route", "method", "code"),
 		latency:  reg.HistogramVec(metricHTTPLatency, "HTTP request latency in seconds, by route.", obs.DefLatencyBuckets(), "route"),
 		inflight: reg.Gauge(metricHTTPInFlight, "Requests currently being served."),
+
+		sessions: newSessionStore(),
+		sessionsCreated: reg.Counter("fdlsp_session_created_total",
+			"Schedule sessions created over the server's lifetime."),
+		sessionsActive: reg.Gauge("fdlsp_session_active_sessions",
+			"Schedule sessions currently live."),
+		sessionUpdates: reg.CounterVec("fdlsp_session_updates_total",
+			"Update batches applied, by session.", "session"),
+		sessionEvents: reg.CounterVec("fdlsp_session_events_total",
+			"Topology events applied, by session.", "session"),
+		sessionRecolored: reg.CounterVec("fdlsp_session_recolored_arcs_total",
+			"Arcs recolored by incremental repair, by session.", "session"),
+		sessionRounds: reg.Histogram("fdlsp_session_repair_rounds",
+			"Distributed repair rounds per update batch.",
+			[]float64{0, 1, 2, 4, 8, 16, 32, 64}),
+		sessionLatency: reg.HistogramVec("fdlsp_session_update_duration_seconds",
+			"Incremental update latency in seconds (repair only, excluding HTTP), by session.",
+			obs.DefLatencyBuckets(), "session"),
 	}
 	core.RegisterMetrics(reg)
 	return s
@@ -82,6 +109,10 @@ func (s *service) mux() *http.ServeMux {
 	}
 	route("GET /healthz", "/healthz", handleHealth)
 	route("POST /v1/schedule", "/v1/schedule", s.handleSchedule)
+	route("POST /v1/session", "/v1/session", s.handleSessionCreate)
+	route("GET /v1/session/{id}", "/v1/session/{id}", s.handleSessionGet)
+	route("DELETE /v1/session/{id}", "/v1/session/{id}", s.handleSessionDelete)
+	route("POST /v1/session/{id}/update", "/v1/session/{id}/update", s.handleSessionUpdate)
 	route("POST /v1/verify", "/v1/verify", handleVerify)
 	route("POST /v1/bounds", "/v1/bounds", handleBounds)
 	route("POST /v1/render", "/v1/render", handleRender)

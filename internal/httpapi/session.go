@@ -1,0 +1,214 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"fdlsp/internal/dynamic"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/incr"
+)
+
+// The session API is the streaming face of the scheduler: POST /v1/session
+// turns a graph into a long-lived schedule session, and each
+// POST /v1/session/{id}/update applies a batch of topology deltas and
+// answers with the minimal recolor set (see internal/incr). Handlers take
+// the store lock only to resolve ids; updates serialize on a per-session
+// mutex, so concurrent clients of one session are safe and different
+// sessions repair in parallel.
+
+// session is one live schedule under incremental maintenance.
+type session struct {
+	id string
+	mu sync.Mutex
+	up *incr.Updater
+}
+
+// sessionStore maps ids to sessions. Ids are sequential ("s1", "s2", ...) —
+// deterministic per server instance, which the session determinism tests
+// rely on.
+type sessionStore struct {
+	mu       sync.Mutex
+	seq      int
+	sessions map[string]*session
+}
+
+func newSessionStore() *sessionStore {
+	return &sessionStore{sessions: make(map[string]*session)}
+}
+
+func (st *sessionStore) add(up *incr.Updater) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	s := &session{id: fmt.Sprintf("s%d", st.seq), up: up}
+	st.sessions[s.id] = s
+	return s
+}
+
+func (st *sessionStore) get(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sessions[id]
+}
+
+func (st *sessionStore) remove(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.sessions[id]
+	delete(st.sessions, id)
+	return s
+}
+
+func (st *sessionStore) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+// sessionCreateRequest is the input of POST /v1/session.
+type sessionCreateRequest struct {
+	Graph *graph.Graph `json:"graph"`
+	// Algorithm computes the session's initial schedule; same names as
+	// /v1/schedule, default greedy (the cheap deterministic choice —
+	// sessions are expected to live through many updates, not to care
+	// about the opening frame).
+	Algorithm string `json:"algorithm"`
+	Seed      int64  `json:"seed"`
+}
+
+// sessionInfoResponse is the output of POST /v1/session and
+// GET /v1/session/{id}.
+type sessionInfoResponse struct {
+	ID        string `json:"id"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Nodes     int    `json:"nodes"`
+	Arcs      int    `json:"arcs"`
+	Slots     int    `json:"slots"`
+	Updates   int64  `json:"updates"`
+}
+
+// sessionUpdateRequest is the input of POST /v1/session/{id}/update.
+type sessionUpdateRequest struct {
+	Events []dynamic.Event `json:"events"`
+}
+
+// sessionUpdateResponse is the output of POST /v1/session/{id}/update: the
+// minimal recolor delta plus repair accounting. For a fixed session history
+// the body is byte-deterministic (recolor sets are sorted and nothing
+// derives from map order or wall clock).
+type sessionUpdateResponse struct {
+	Events    int            `json:"events"`
+	DirtyArcs int            `json:"dirty_arcs"`
+	Rounds    int            `json:"rounds"`
+	MinUsable float64        `json:"min_usable"`
+	Recolored []incr.ArcSlot `json:"recolored"`
+	Dropped   []incr.ArcSlot `json:"dropped"`
+	Slots     int            `json:"slots"`
+}
+
+func (s *service) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req sessionCreateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Graph == nil {
+		httpError(w, http.StatusBadRequest, "missing graph")
+		return
+	}
+	as, _, _, algo, err := s.runAlgorithm(req.Graph, req.Algorithm, "greedy", req.Seed)
+	if err != nil {
+		httpError(w, errStatus(err), err.Error())
+		return
+	}
+	up, err := incr.New(req.Graph, as)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	sess := s.sessions.add(up)
+	s.sessionsCreated.Inc()
+	s.sessionsActive.Set(float64(s.sessions.count()))
+	writeJSON(w, http.StatusOK, sessionInfoResponse{
+		ID:        sess.id,
+		Algorithm: algo,
+		Nodes:     up.Graph().N(),
+		Arcs:      2 * up.Graph().M(),
+		Slots:     up.Slots(),
+	})
+}
+
+func (s *service) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.get(r.PathValue("id"))
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "unknown session "+r.PathValue("id"))
+		return
+	}
+	sess.mu.Lock()
+	resp := sessionInfoResponse{
+		ID:      sess.id,
+		Nodes:   sess.up.Graph().N(),
+		Arcs:    2 * sess.up.Graph().M(),
+		Slots:   sess.up.Slots(),
+		Updates: sess.up.Updates(),
+	}
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *service) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.remove(r.PathValue("id"))
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "unknown session "+r.PathValue("id"))
+		return
+	}
+	s.sessionsActive.Set(float64(s.sessions.count()))
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": sess.id})
+}
+
+func (s *service) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.get(r.PathValue("id"))
+	if sess == nil {
+		httpError(w, http.StatusNotFound, "unknown session "+r.PathValue("id"))
+		return
+	}
+	var req sessionUpdateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Events) == 0 {
+		httpError(w, http.StatusBadRequest, "empty event batch")
+		return
+	}
+	sess.mu.Lock()
+	start := s.now()
+	rep, err := sess.up.Apply(req.Events)
+	elapsed := s.now().Sub(start)
+	sess.mu.Unlock()
+	if err != nil {
+		httpError(w, errStatus(err), err.Error())
+		return
+	}
+	s.sessionUpdates.With(sess.id).Inc()
+	s.sessionEvents.With(sess.id).Add(float64(rep.Events))
+	s.sessionRecolored.With(sess.id).Add(float64(len(rep.Recolored)))
+	s.sessionRounds.Observe(float64(rep.Rounds))
+	s.sessionLatency.With(sess.id).Observe(elapsed.Seconds())
+	resp := sessionUpdateResponse{
+		Events:    rep.Events,
+		DirtyArcs: rep.DirtyArcs,
+		Rounds:    rep.Rounds,
+		MinUsable: rep.MinUsable,
+		Recolored: rep.Recolored,
+		Dropped:   rep.Dropped,
+		Slots:     rep.FrameLength,
+	}
+	if resp.Recolored == nil {
+		resp.Recolored = []incr.ArcSlot{}
+	}
+	if resp.Dropped == nil {
+		resp.Dropped = []incr.ArcSlot{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

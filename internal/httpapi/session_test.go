@@ -1,0 +1,361 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+
+	"fdlsp/internal/dynamic"
+	"fdlsp/internal/graph"
+)
+
+func createSession(tb testing.TB, url string, g *graph.Graph) sessionInfoResponse {
+	tb.Helper()
+	resp := post(tb, url+"/v1/session", sessionCreateRequest{Graph: g})
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		tb.Fatalf("create session: status %d: %s", resp.StatusCode, body)
+	}
+	var info sessionInfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		tb.Fatal(err)
+	}
+	return info
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s := server(t)
+	g := graph.ConnectedGNM(16, 30, rand.New(rand.NewSource(1)))
+	info := createSession(t, s.URL, g)
+	if info.ID != "s1" || info.Algorithm != "greedy" || info.Nodes != 16 || info.Arcs != 60 || info.Slots < 1 {
+		t.Fatalf("create response: %+v", info)
+	}
+
+	// Find a missing edge to bring up.
+	u, v := -1, -1
+	for a := 0; a < g.N() && u < 0; a++ {
+		for b := a + 1; b < g.N(); b++ {
+			if !g.HasEdge(a, b) {
+				u, v = a, b
+				break
+			}
+		}
+	}
+	resp := post(t, s.URL+"/v1/session/"+info.ID+"/update", sessionUpdateRequest{
+		Events: []dynamic.Event{{Kind: dynamic.LinkUp, U: u, V: v}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("update: status %d: %s", resp.StatusCode, body)
+	}
+	var up sessionUpdateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Events != 1 || up.Slots < 1 || up.Recolored == nil || up.Dropped == nil {
+		t.Fatalf("update response: %+v", up)
+	}
+	// The new link's two arcs must appear in the recolor delta.
+	found := 0
+	for _, rc := range up.Recolored {
+		if (rc.From == u && rc.To == v) || (rc.From == v && rc.To == u) {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("new link arcs missing from recolor delta: %+v", up.Recolored)
+	}
+
+	// GET reflects the update and the grown arc count.
+	getResp, err := http.Get(s.URL + "/v1/session/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	var got sessionInfoResponse
+	if err := json.NewDecoder(getResp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Updates != 1 || got.Arcs != 62 {
+		t.Fatalf("get after update: %+v", got)
+	}
+
+	// Delete, then every route on the id answers 404.
+	req, _ := http.NewRequest(http.MethodDelete, s.URL+"/v1/session/"+info.ID, nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", delResp.StatusCode)
+	}
+	if r := post(t, s.URL+"/v1/session/"+info.ID+"/update", sessionUpdateRequest{
+		Events: []dynamic.Event{{Kind: dynamic.LinkDown, U: u, V: v}},
+	}); r.StatusCode != http.StatusNotFound {
+		t.Errorf("update deleted session: status %d", r.StatusCode)
+	}
+	gone, err := http.Get(s.URL + "/v1/session/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gone.Body.Close()
+	if gone.StatusCode != http.StatusNotFound {
+		t.Errorf("get deleted session: status %d", gone.StatusCode)
+	}
+}
+
+func TestSessionErrorsAreClientErrors(t *testing.T) {
+	s := server(t)
+	g := graph.ConnectedGNM(10, 15, rand.New(rand.NewSource(2)))
+	info := createSession(t, s.URL, g)
+	upURL := s.URL + "/v1/session/" + info.ID + "/update"
+
+	// Unknown session id.
+	if r := post(t, s.URL+"/v1/session/nope/update", sessionUpdateRequest{
+		Events: []dynamic.Event{{Kind: dynamic.NodeFail, U: 0}},
+	}); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d", r.StatusCode)
+	}
+	// Empty batch.
+	if r := post(t, upURL, sessionUpdateRequest{}); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d", r.StatusCode)
+	}
+	// Bad deltas must classify as 400, not 500.
+	for name, ev := range map[string]dynamic.Event{
+		"node out of range": {Kind: dynamic.LinkUp, U: 0, V: 99},
+		"self link":         {Kind: dynamic.LinkUp, U: 3, V: 3},
+		"missing link-down": {Kind: dynamic.LinkDown, U: 0, V: 0},
+	} {
+		if r := post(t, upURL, sessionUpdateRequest{Events: []dynamic.Event{ev}}); r.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d", name, r.StatusCode)
+		}
+	}
+	// Unknown event kind dies in JSON decoding — still a 400.
+	if r := post(t, upURL, map[string]any{
+		"events": []map[string]any{{"kind": "teleport", "u": 1, "v": 2}},
+	}); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown kind: status %d", r.StatusCode)
+	}
+	// Create with a missing graph / unknown algorithm.
+	if r := post(t, s.URL+"/v1/session", map[string]any{"algorithm": "greedy"}); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing graph: status %d", r.StatusCode)
+	}
+	if r := post(t, s.URL+"/v1/session", map[string]any{
+		"graph": g, "algorithm": "nope",
+	}); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown algorithm: status %d", r.StatusCode)
+	}
+}
+
+// TestInconsistentGraphJSONIsBadRequest pins the bug sweep's decode fix: a
+// structurally well-formed body whose edges point outside the node range
+// must answer 400, not panic the handler into a 500.
+func TestInconsistentGraphJSONIsBadRequest(t *testing.T) {
+	s := server(t)
+	for _, target := range []string{"/v1/schedule", "/v1/session"} {
+		for _, body := range []string{
+			`{"graph":{"n":3,"edges":[[0,9]]}}`,
+			`{"graph":{"n":3,"edges":[[1,1]]}}`,
+			`{"graph":{"n":-2,"edges":[]}}`,
+		} {
+			resp, err := http.Post(s.URL+target, "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s %s: status %d, want 400", target, body, resp.StatusCode)
+			}
+		}
+	}
+}
+
+// TestSessionConcurrentUpdates hammers one session from many goroutines (run
+// under -race in CI). Each worker flips its own private link so every batch
+// is valid regardless of interleaving; the session must serialize them and
+// finish with a consistent update count.
+func TestSessionConcurrentUpdates(t *testing.T) {
+	s := server(t)
+	const workers, flips = 8, 20
+	// 2*workers isolated nodes pair up into per-worker links; a path over
+	// the rest keeps the initial schedule non-trivial.
+	g := graph.New(2*workers + 10)
+	for i := 2 * workers; i < g.N()-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	info := createSession(t, s.URL, g)
+	upURL := s.URL + "/v1/session/" + info.ID + "/update"
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			u, v := 2*w, 2*w+1
+			for i := 0; i < flips; i++ {
+				kind := dynamic.LinkUp
+				if i%2 == 1 {
+					kind = dynamic.LinkDown
+				}
+				body, _ := json.Marshal(sessionUpdateRequest{
+					Events: []dynamic.Event{{Kind: kind, U: u, V: v}},
+				})
+				resp, err := http.Post(upURL, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("worker %d flip %d: status %d: %s", w, i, resp.StatusCode, data)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	getResp, err := http.Get(s.URL + "/v1/session/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	var got sessionInfoResponse
+	if err := json.NewDecoder(getResp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Updates != workers*flips {
+		t.Fatalf("session counted %d updates, want %d", got.Updates, workers*flips)
+	}
+	if got.Arcs != 2*(g.N()-2*workers-1) {
+		t.Fatalf("final arc count %d: a flip pair leaked", got.Arcs)
+	}
+}
+
+// sessionTranscript replays a fixed seeded update stream against a fresh
+// server and returns the concatenated raw response bodies.
+func sessionTranscript(tb testing.TB, updates int) []byte {
+	tb.Helper()
+	srv := httptest.NewServer(NewMux())
+	defer srv.Close()
+	rng := rand.New(rand.NewSource(99))
+	g := graph.ConnectedGNM(20, 45, rng)
+	shadow := g.Clone()
+	info := createSession(tb, srv.URL, g)
+	upURL := srv.URL + "/v1/session/" + info.ID + "/update"
+
+	var transcript bytes.Buffer
+	targetM := shadow.M()
+	for i := 0; i < updates; i++ {
+		ev := randomLinkEvent(shadow, targetM, rng)
+		body, _ := json.Marshal(sessionUpdateRequest{Events: []dynamic.Event{ev}})
+		resp, err := http.Post(upURL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			tb.Fatalf("update %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		transcript.Write(data)
+		transcript.WriteByte('\n')
+	}
+	return transcript.Bytes()
+}
+
+// randomLinkEvent draws a valid link flip against the shadow graph and
+// applies it there, keeping client and session topology in lockstep. Flips
+// alternate add/remove around the target edge count so density holds flat;
+// drops keep every endpoint connected.
+func randomLinkEvent(g *graph.Graph, targetM int, rng *rand.Rand) dynamic.Event {
+	if g.M() > targetM {
+		for {
+			e := g.Edges()[rng.Intn(g.M())]
+			if g.Degree(e.U) <= 1 || g.Degree(e.V) <= 1 {
+				continue
+			}
+			g.RemoveEdge(e.U, e.V)
+			return dynamic.Event{Kind: dynamic.LinkDown, U: e.U, V: e.V}
+		}
+	}
+	for {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.AddEdge(u, v)
+		return dynamic.Event{Kind: dynamic.LinkUp, U: u, V: v}
+	}
+}
+
+// TestSessionDeterminismAcrossGOMAXPROCS replays the same seeded stream at
+// GOMAXPROCS=1 and GOMAXPROCS=NumCPU and requires byte-identical response
+// transcripts — the service-level determinism contract.
+func TestSessionDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	const updates = 150
+	prev := runtime.GOMAXPROCS(1)
+	serial := sessionTranscript(t, updates)
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	parallel := sessionTranscript(t, updates)
+	runtime.GOMAXPROCS(prev)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("session update transcripts differ across GOMAXPROCS")
+	}
+}
+
+// TestSessionMetricsExposed checks the per-session observability surfaces in
+// /metrics after traffic.
+func TestSessionMetricsExposed(t *testing.T) {
+	s := server(t)
+	g := graph.ConnectedGNM(12, 20, rand.New(rand.NewSource(5)))
+	shadow := g.Clone()
+	info := createSession(t, s.URL, g)
+	rng := rand.New(rand.NewSource(6))
+	targetM := shadow.M()
+	for i := 0; i < 3; i++ {
+		ev := randomLinkEvent(shadow, targetM, rng)
+		resp := post(t, s.URL+"/v1/session/"+info.ID+"/update", sessionUpdateRequest{Events: []dynamic.Event{ev}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update %d: status %d", i, resp.StatusCode)
+		}
+	}
+	mresp, err := http.Get(s.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`fdlsp_session_created_total 1`,
+		`fdlsp_session_active_sessions 1`,
+		`fdlsp_session_updates_total{session="s1"} 3`,
+		`fdlsp_session_events_total{session="s1"} 3`,
+		`fdlsp_session_update_duration_seconds_count{session="s1"} 3`,
+		`fdlsp_session_repair_rounds_count 3`,
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

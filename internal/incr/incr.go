@@ -1,0 +1,342 @@
+// Package incr is the incremental rescheduling service core: where
+// internal/dynamic repairs one topology event at a time and internal/soak
+// drives an unbounded simulated churn stream, this package accepts *client*
+// deltas — a batch of dynamic.Events — against a long-lived schedule and
+// answers with the minimal recolor set, the repair-round count, and the new
+// frame length. It is the engine behind fdlspd's POST /v1/session API, the
+// bridge from "simulator" to "service" the roadmap names.
+//
+// Per batch the Updater applies the topology delta, derives the dirty arc
+// set on the warm distance-2 conflict cache (the new arcs plus every
+// existing pair the new adjacency makes clash — the paper's locality
+// argument guarantees nothing outside the 2-hop neighborhood of a change
+// can need a new slot), and repairs it with coloring.Stabilize, the same
+// distributed-round rule the churn soak proves the ≤|dirty| convergence
+// bound for. Batches are atomic: every event is validated as it applies and
+// a failed batch rolls the topology and schedule back to their pre-batch
+// state, so a client error (ErrBadDelta) never corrupts the session.
+//
+// Determinism contract: Apply is a pure function of the initial schedule
+// and the event-batch sequence. Worklists are sorted before use and no map
+// iteration order reaches the result, so a fixed update stream produces
+// byte-identical reports at any GOMAXPROCS — the session API's determinism
+// tests pin this.
+package incr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/dynamic"
+	"fdlsp/internal/graph"
+)
+
+// ErrBadDelta marks validation failures of a client's event batch — an
+// out-of-range node, a link-up on an existing edge, a link-down on a
+// missing one, a self link, an unknown event kind. Callers (the HTTP
+// layer) classify these as the client's bug, not the service's.
+var ErrBadDelta = errors.New("bad delta")
+
+// ArcSlot is one arc→slot binding of a recolor delta.
+type ArcSlot struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	Slot int `json:"slot"`
+}
+
+// Report is the outcome of one applied batch: the minimal recolor delta
+// plus the repair accounting.
+type Report struct {
+	// Events is the number of events the batch carried.
+	Events int
+	// DirtyArcs is the size of the dirty set entering repair.
+	DirtyArcs int
+	// Rounds is the distributed repair rounds the stabilizer needed
+	// (bounded by |dirty|).
+	Rounds int
+	// MinUsable is the worst usable-frame fraction observed during repair.
+	MinUsable float64
+	// Recolored lists, sorted by (from, to), every arc still in the
+	// topology whose slot differs from before the batch — new arcs with
+	// their first slot, plus repaired neighbors. This is the minimal
+	// re-deployment set: nodes not incident to these arcs keep their
+	// timetable untouched.
+	Recolored []ArcSlot
+	// Dropped lists, sorted by (from, to), the arcs removed with their
+	// links, each with the slot it freed.
+	Dropped []ArcSlot
+	// FrameLength is the TDMA frame length after the batch.
+	FrameLength int
+}
+
+// Updater is a live schedule under incremental maintenance. Methods are not
+// safe for concurrent use; the session layer serializes access.
+type Updater struct {
+	g       *graph.Graph
+	as      coloring.Assignment
+	updates int64
+}
+
+// New wraps a valid schedule for incremental maintenance. The graph is
+// cloned and the assignment copied, so the caller's instances stay free.
+func New(g *graph.Graph, as coloring.Assignment) (*Updater, error) {
+	if viols := coloring.Verify(g, as); len(viols) != 0 {
+		return nil, fmt.Errorf("incr: initial schedule invalid: %v", viols[0])
+	}
+	return &Updater{g: g.Clone(), as: as.Clone()}, nil
+}
+
+// Graph returns the current topology (read-only by convention).
+func (up *Updater) Graph() *graph.Graph { return up.g }
+
+// Assignment returns the current schedule (read-only by convention).
+func (up *Updater) Assignment() coloring.Assignment { return up.as }
+
+// Slots returns the current frame length.
+func (up *Updater) Slots() int { return up.as.NumColors() }
+
+// Updates returns the number of batches applied so far.
+func (up *Updater) Updates() int64 { return up.updates }
+
+// mutation is one journaled edge change, enough to undo it: for removals,
+// cu and cv hold the colors of arcs (u,v) and (v,u) before the edge left.
+type mutation struct {
+	added  bool
+	u, v   int
+	cu, cv int
+}
+
+// Apply performs one batch of topology deltas and repairs the schedule.
+// The batch is atomic: on a validation error (ErrBadDelta in the chain) the
+// topology and schedule are exactly as before the call. On success the
+// schedule is conflict-free and complete for the updated topology, and the
+// returned report carries the minimal recolor delta.
+func (up *Updater) Apply(events []dynamic.Event) (*Report, error) {
+	// Phase 1 — apply the delta, journaling every edge change and the
+	// pre-batch color of every touched arc (first touch wins, so colors
+	// snapshot the state before the batch regardless of event order).
+	var muts []mutation
+	oldColor := make(map[graph.Arc]int)
+	for i, ev := range events {
+		if err := up.applyEvent(ev, &muts, oldColor); err != nil {
+			up.rollback(muts)
+			return nil, fmt.Errorf("incr: event %d %v: %w", i, ev, err)
+		}
+	}
+	up.updates++
+	rep := &Report{Events: len(events), MinUsable: 1}
+
+	// Phase 2 — dirty set. Touched arcs still present are the batch's new
+	// arcs (removal deleted their colors, so a removed-then-readded arc is
+	// new again); they enter uncolored. A link insertion can only violate
+	// pairs whose both members appear in the new arcs' conflict sets, so
+	// auditing those colored neighbors covers every violation the delta
+	// introduced (link removals only remove conflicts and need no repair).
+	touched := sortedArcs(oldColor)
+	dirty := make(map[graph.Arc]bool)
+	var added []graph.Arc
+	for _, a := range touched {
+		if up.g.HasEdge(a.From, a.To) {
+			added = append(added, a)
+			dirty[a] = true
+		}
+	}
+	for _, a := range added {
+		for _, b := range coloring.ConflictingArcs(up.g, a) {
+			if up.as[b] == coloring.None {
+				continue
+			}
+			for _, w := range coloring.AuditArcs(up.g, up.as, []graph.Arc{b}) {
+				for _, d := range []graph.Arc{w.A, w.B} {
+					if !dirty[d] {
+						dirty[d] = true
+						if _, ok := oldColor[d]; !ok {
+							oldColor[d] = up.as[d]
+						}
+					}
+				}
+			}
+		}
+	}
+	rep.DirtyArcs = len(dirty)
+
+	// Phase 3 — repair with the shared stabilize rule, then diff against
+	// the pre-batch snapshot. Only dirty arcs can act, so the delta below
+	// is complete; it is minimal because an arc that kept its slot (even a
+	// dirty one repaired by its partner moving) produces no entry.
+	rounds, minUsable, err := coloring.Stabilize(up.g, up.as, dirty)
+	if err != nil {
+		return nil, fmt.Errorf("incr: repair failed: %w", err)
+	}
+	rep.Rounds = rounds
+	rep.MinUsable = minUsable
+	for _, a := range sortedArcs(oldColor) {
+		old := oldColor[a]
+		if up.g.HasEdge(a.From, a.To) {
+			if c := up.as[a]; c != old {
+				rep.Recolored = append(rep.Recolored, ArcSlot{From: a.From, To: a.To, Slot: c})
+			}
+		} else if old != coloring.None {
+			rep.Dropped = append(rep.Dropped, ArcSlot{From: a.From, To: a.To, Slot: old})
+		}
+	}
+	rep.FrameLength = up.as.NumColors()
+	return rep, nil
+}
+
+// applyEvent applies one event to the live topology, journaling each edge
+// change into muts. Validation failures wrap ErrBadDelta and leave muts
+// holding exactly the changes made so far, for rollback.
+func (up *Updater) applyEvent(ev dynamic.Event, muts *[]mutation, oldColor map[graph.Arc]int) error {
+	switch ev.Kind {
+	case dynamic.LinkUp:
+		return up.addLink(ev.U, ev.V, muts, oldColor)
+	case dynamic.LinkDown:
+		return up.dropLink(ev.U, ev.V, muts, oldColor)
+	case dynamic.NodeFail:
+		if err := up.checkNode(ev.U); err != nil {
+			return err
+		}
+		for _, w := range up.g.Neighbors(ev.U) {
+			if err := up.dropLink(ev.U, w, muts, oldColor); err != nil {
+				return err
+			}
+		}
+		return nil
+	case dynamic.NodeJoin:
+		if err := up.checkNode(ev.U); err != nil {
+			return err
+		}
+		for _, w := range ev.Peers {
+			if err := up.addLink(ev.U, w, muts, oldColor); err != nil {
+				return err
+			}
+		}
+		return nil
+	case dynamic.NodeMove:
+		if err := up.checkNode(ev.U); err != nil {
+			return err
+		}
+		want := make(map[int]bool, len(ev.Peers))
+		for _, w := range ev.Peers {
+			if err := up.checkNode(w); err != nil {
+				return err
+			}
+			want[w] = true
+		}
+		for _, w := range up.g.Neighbors(ev.U) {
+			if !want[w] {
+				if err := up.dropLink(ev.U, w, muts, oldColor); err != nil {
+					return err
+				}
+			}
+		}
+		for _, w := range ev.Peers {
+			if !up.g.HasEdge(ev.U, w) {
+				if err := up.addLink(ev.U, w, muts, oldColor); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown event kind %d: %w", int(ev.Kind), ErrBadDelta)
+	}
+}
+
+func (up *Updater) checkNode(v int) error {
+	if v < 0 || v >= up.g.N() {
+		return fmt.Errorf("node %d outside [0,%d): %w", v, up.g.N(), ErrBadDelta)
+	}
+	return nil
+}
+
+func (up *Updater) addLink(u, v int, muts *[]mutation, oldColor map[graph.Arc]int) error {
+	if err := up.checkNode(u); err != nil {
+		return err
+	}
+	if err := up.checkNode(v); err != nil {
+		return err
+	}
+	if u == v {
+		return fmt.Errorf("self link {%d,%d}: %w", u, v, ErrBadDelta)
+	}
+	if up.g.HasEdge(u, v) {
+		return fmt.Errorf("link-up on existing edge {%d,%d}: %w", u, v, ErrBadDelta)
+	}
+	au, av := graph.Arc{From: u, To: v}, graph.Arc{From: v, To: u}
+	firstTouch(oldColor, up.as, au)
+	firstTouch(oldColor, up.as, av)
+	up.g.AddEdge(u, v)
+	*muts = append(*muts, mutation{added: true, u: u, v: v})
+	return nil
+}
+
+func (up *Updater) dropLink(u, v int, muts *[]mutation, oldColor map[graph.Arc]int) error {
+	if err := up.checkNode(u); err != nil {
+		return err
+	}
+	if err := up.checkNode(v); err != nil {
+		return err
+	}
+	if u == v {
+		return fmt.Errorf("self link {%d,%d}: %w", u, v, ErrBadDelta)
+	}
+	if !up.g.HasEdge(u, v) {
+		return fmt.Errorf("link-down on missing edge {%d,%d}: %w", u, v, ErrBadDelta)
+	}
+	au, av := graph.Arc{From: u, To: v}, graph.Arc{From: v, To: u}
+	firstTouch(oldColor, up.as, au)
+	firstTouch(oldColor, up.as, av)
+	*muts = append(*muts, mutation{added: false, u: u, v: v, cu: up.as[au], cv: up.as[av]})
+	delete(up.as, au)
+	delete(up.as, av)
+	up.g.RemoveEdge(u, v)
+	return nil
+}
+
+// rollback undoes the journaled mutations in reverse, restoring the graph
+// and the colors removals deleted (additions never color anything — slots
+// are only assigned during repair, which runs after the whole batch
+// validated).
+func (up *Updater) rollback(muts []mutation) {
+	for i := len(muts) - 1; i >= 0; i-- {
+		m := muts[i]
+		if m.added {
+			up.g.RemoveEdge(m.u, m.v)
+			continue
+		}
+		up.g.AddEdge(m.u, m.v)
+		if m.cu != coloring.None {
+			up.as[graph.Arc{From: m.u, To: m.v}] = m.cu
+		}
+		if m.cv != coloring.None {
+			up.as[graph.Arc{From: m.v, To: m.u}] = m.cv
+		}
+	}
+}
+
+// firstTouch snapshots a's pre-batch color the first time the batch touches
+// it; later touches keep the original.
+func firstTouch(oldColor map[graph.Arc]int, as coloring.Assignment, a graph.Arc) {
+	if _, ok := oldColor[a]; !ok {
+		oldColor[a] = as[a]
+	}
+}
+
+// sortedArcs returns the keys of m ordered by (From, To).
+func sortedArcs(m map[graph.Arc]int) []graph.Arc {
+	out := make([]graph.Arc, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

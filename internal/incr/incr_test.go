@@ -1,0 +1,303 @@
+package incr
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/dynamic"
+	"fdlsp/internal/graph"
+)
+
+func newUpdater(t *testing.T, n, m int, seed int64) *Updater {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.ConnectedGNM(n, m, rng)
+	up, err := New(g, coloring.Greedy(g, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return up
+}
+
+// randomEvent draws a valid link flip against the updater's current
+// topology, mirroring what a well-behaved client (tracking its own shadow
+// graph) would send. Flips alternate add/remove around the current edge
+// count so the stream holds density flat instead of drifting toward a
+// complete graph; drops keep every endpoint's degree positive.
+func randomEvent(up *Updater, targetM int, rng *rand.Rand) dynamic.Event {
+	g := up.Graph()
+	if g.M() > targetM {
+		for {
+			e := g.Edges()[rng.Intn(g.M())]
+			if g.Degree(e.U) <= 1 || g.Degree(e.V) <= 1 {
+				continue
+			}
+			return dynamic.Event{Kind: dynamic.LinkDown, U: e.U, V: e.V}
+		}
+	}
+	for {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		return dynamic.Event{Kind: dynamic.LinkUp, U: u, V: v}
+	}
+}
+
+// TestApplyKeepsScheduleValid drives a long random stream of single-event
+// and multi-event batches and verifies the maintained schedule is complete
+// and conflict-free after every update.
+func TestApplyKeepsScheduleValid(t *testing.T) {
+	up := newUpdater(t, 24, 60, 1)
+	targetM := up.Graph().M()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 400; i++ {
+		rep, err := up.Apply([]dynamic.Event{randomEvent(up, targetM, rng)})
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if viols := coloring.Verify(up.Graph(), up.Assignment()); len(viols) != 0 {
+			t.Fatalf("update %d: %d violations, first %v", i, len(viols), viols[0])
+		}
+		if rep.FrameLength != up.Slots() {
+			t.Fatalf("update %d: reported frame %d, live %d", i, rep.FrameLength, up.Slots())
+		}
+	}
+}
+
+// TestRecolorSetConfinedToTwoHops is the acceptance criterion: every arc an
+// update recolors lies within the 2-hop neighborhood of the batch's delta
+// endpoints.
+func TestRecolorSetConfinedToTwoHops(t *testing.T) {
+	up := newUpdater(t, 40, 100, 3)
+	targetM := up.Graph().M()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		ev := randomEvent(up, targetM, rng)
+		rep, err := up.Apply([]dynamic.Event{ev})
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		near := map[int]bool{ev.U: true, ev.V: true}
+		for _, x := range []int{ev.U, ev.V} {
+			for _, w := range up.Graph().Within(x, 2) {
+				near[w] = true
+			}
+		}
+		for _, rc := range rep.Recolored {
+			if !near[rc.From] && !near[rc.To] {
+				t.Fatalf("update %d (%v): recolored arc (%d,%d) outside the 2-hop neighborhood",
+					i, ev, rc.From, rc.To)
+			}
+		}
+		for _, d := range rep.Dropped {
+			if d.From != ev.U && d.From != ev.V && d.To != ev.U && d.To != ev.V {
+				t.Fatalf("update %d (%v): dropped arc (%d,%d) not incident to the delta",
+					i, ev, d.From, d.To)
+			}
+		}
+	}
+}
+
+// TestRecolorDeltaIsMinimal asserts the delta names only arcs whose slot
+// actually changed: replaying Recolored+Dropped onto the pre-batch schedule
+// must reproduce the post-batch schedule exactly.
+func TestRecolorDeltaIsMinimal(t *testing.T) {
+	up := newUpdater(t, 24, 60, 5)
+	targetM := up.Graph().M()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		before := up.Assignment().Clone()
+		ev := randomEvent(up, targetM, rng)
+		rep, err := up.Apply([]dynamic.Event{ev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed := before
+		for _, d := range rep.Dropped {
+			delete(replayed, graph.Arc{From: d.From, To: d.To})
+		}
+		for _, rc := range rep.Recolored {
+			a := graph.Arc{From: rc.From, To: rc.To}
+			if replayed[a] == rc.Slot {
+				t.Fatalf("update %d: recolor entry %v is a no-op — delta not minimal", i, rc)
+			}
+			if rc.Slot == coloring.None {
+				delete(replayed, a)
+			} else {
+				replayed[a] = rc.Slot
+			}
+		}
+		if !reflect.DeepEqual(replayed, up.Assignment()) {
+			t.Fatalf("update %d: replaying the delta does not reproduce the schedule", i)
+		}
+	}
+}
+
+// TestBatchRollbackIsAtomic feeds batches whose tail event is invalid and
+// asserts the topology and schedule come back untouched.
+func TestBatchRollbackIsAtomic(t *testing.T) {
+	up := newUpdater(t, 16, 30, 7)
+	gBefore := up.Graph().Clone()
+	asBefore := up.Assignment().Clone()
+
+	// Find a missing edge for the valid head and an existing edge to
+	// re-add illegally for the tail.
+	var u, v int
+	found := false
+	for u = 0; u < 16 && !found; u++ {
+		for v = u + 1; v < 16; v++ {
+			if !gBefore.HasEdge(u, v) {
+				found = true
+				break
+			}
+		}
+	}
+	u--
+	ed := gBefore.Edges()[0]
+	batch := []dynamic.Event{
+		{Kind: dynamic.LinkUp, U: u, V: v},         // valid
+		{Kind: dynamic.LinkDown, U: ed.U, V: ed.V}, // valid
+		{Kind: dynamic.LinkUp, U: 3, V: 3},         // self link: invalid
+	}
+	_, err := up.Apply(batch)
+	if !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("want ErrBadDelta, got %v", err)
+	}
+	if !up.Graph().Equal(gBefore) {
+		t.Fatal("failed batch mutated the topology")
+	}
+	if !reflect.DeepEqual(up.Assignment(), asBefore) {
+		t.Fatal("failed batch mutated the schedule")
+	}
+	if up.Updates() != 0 {
+		t.Fatalf("failed batch counted as an update: %d", up.Updates())
+	}
+}
+
+// TestBadDeltas enumerates the client-error shapes; every one must wrap
+// ErrBadDelta and leave no trace.
+func TestBadDeltas(t *testing.T) {
+	up := newUpdater(t, 10, 15, 8)
+	ed := up.Graph().Edges()[0]
+	var missU, missV int
+	for missU = 0; missU < 10; missU++ {
+		done := false
+		for missV = missU + 1; missV < 10; missV++ {
+			if !up.Graph().HasEdge(missU, missV) {
+				done = true
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	cases := []struct {
+		name string
+		ev   dynamic.Event
+	}{
+		{"node out of range", dynamic.Event{Kind: dynamic.LinkUp, U: 0, V: 99}},
+		{"negative node", dynamic.Event{Kind: dynamic.LinkDown, U: -1, V: 2}},
+		{"self link", dynamic.Event{Kind: dynamic.LinkUp, U: 4, V: 4}},
+		{"link-up on existing edge", dynamic.Event{Kind: dynamic.LinkUp, U: ed.U, V: ed.V}},
+		{"link-down on missing edge", dynamic.Event{Kind: dynamic.LinkDown, U: missU, V: missV}},
+		{"join peer out of range", dynamic.Event{Kind: dynamic.NodeJoin, U: missU, Peers: []int{404}}},
+		{"move peer out of range", dynamic.Event{Kind: dynamic.NodeMove, U: missU, Peers: []int{-2}}},
+		{"fail out of range", dynamic.Event{Kind: dynamic.NodeFail, U: 10}},
+		{"unknown kind", dynamic.Event{Kind: dynamic.EventKind(42), U: 1, V: 2}},
+	}
+	for _, tc := range cases {
+		if _, err := up.Apply([]dynamic.Event{tc.ev}); !errors.Is(err, ErrBadDelta) {
+			t.Errorf("%s: want ErrBadDelta, got %v", tc.name, err)
+		}
+	}
+	if viols := coloring.Verify(up.Graph(), up.Assignment()); len(viols) != 0 {
+		t.Fatalf("bad deltas damaged the schedule: %v", viols[0])
+	}
+}
+
+// TestNodeLifecycleEvents exercises NodeFail / NodeJoin / NodeMove batches.
+func TestNodeLifecycleEvents(t *testing.T) {
+	up := newUpdater(t, 20, 50, 9)
+	victim := 0
+	peers := up.Graph().Neighbors(victim)
+	rep, err := up.Apply([]dynamic.Event{{Kind: dynamic.NodeFail, U: victim}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Graph().Degree(victim) != 0 {
+		t.Fatal("NodeFail left links behind")
+	}
+	if len(rep.Dropped) != 2*len(peers) {
+		t.Fatalf("NodeFail dropped %d arcs, want %d", len(rep.Dropped), 2*len(peers))
+	}
+	if _, err := up.Apply([]dynamic.Event{{Kind: dynamic.NodeJoin, U: victim, Peers: peers}}); err != nil {
+		t.Fatal(err)
+	}
+	if up.Graph().Degree(victim) != len(peers) {
+		t.Fatal("NodeJoin did not restore the links")
+	}
+	newPeers := []int{peers[0], (victim + 7) % 20}
+	if newPeers[1] == newPeers[0] || up.Graph().HasEdge(victim, newPeers[1]) && newPeers[1] != peers[0] {
+		newPeers[1] = (victim + 11) % 20
+	}
+	if _, err := up.Apply([]dynamic.Event{{Kind: dynamic.NodeMove, U: victim, Peers: newPeers}}); err != nil {
+		t.Fatal(err)
+	}
+	got := up.Graph().Neighbors(victim)
+	if len(got) != len(newPeers) {
+		t.Fatalf("NodeMove neighbors %v, want %v", got, newPeers)
+	}
+	if viols := coloring.Verify(up.Graph(), up.Assignment()); len(viols) != 0 {
+		t.Fatalf("lifecycle batch left violations: %v", viols[0])
+	}
+}
+
+// TestApplyDeterministic runs the same seeded stream through two fresh
+// updaters and asserts deeply equal reports — the in-process half of the
+// GOMAXPROCS byte-determinism contract the session API test pins over HTTP.
+func TestApplyDeterministic(t *testing.T) {
+	mk := func() (*Updater, *rand.Rand) {
+		rng := rand.New(rand.NewSource(12))
+		g := graph.ConnectedGNM(24, 60, rng)
+		up, err := New(g, coloring.Greedy(g, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return up, rng
+	}
+	upA, rngA := mk()
+	upB, rngB := mk()
+	targetM := upA.Graph().M()
+	for i := 0; i < 200; i++ {
+		evA := randomEvent(upA, targetM, rngA)
+		evB := randomEvent(upB, targetM, rngB)
+		if !reflect.DeepEqual(evA, evB) {
+			t.Fatalf("update %d: event streams diverged: %v vs %v", i, evA, evB)
+		}
+		repA, errA := upA.Apply([]dynamic.Event{evA})
+		repB, errB := upB.Apply([]dynamic.Event{evB})
+		if errA != nil || errB != nil {
+			t.Fatalf("update %d: %v / %v", i, errA, errB)
+		}
+		if !reflect.DeepEqual(repA, repB) {
+			t.Fatalf("update %d: reports diverged:\n%+v\n%+v", i, repA, repB)
+		}
+	}
+}
+
+// TestNewRejectsInvalidSchedule pins the constructor's validation.
+func TestNewRejectsInvalidSchedule(t *testing.T) {
+	g := graph.Path(4)
+	as := coloring.NewAssignment(g)
+	for _, a := range g.ArcsView() {
+		as[a] = 1 // every conflicting pair clashes
+	}
+	if _, err := New(g, as); err == nil {
+		t.Fatal("New accepted a conflicting schedule")
+	}
+}

@@ -1,0 +1,166 @@
+// Load harness for the incremental rescheduling service: drives a long
+// seeded update stream at an in-process fdlspd-equivalent server over real
+// HTTP, reports p50/p99 update latency, and pins byte-identical response
+// transcripts across GOMAXPROCS. Lives in the external test package so it
+// can exercise internal/httpapi (which imports incr) without a cycle.
+package incr_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"fdlsp/internal/graph"
+	"fdlsp/internal/httpapi"
+	"fdlsp/internal/obs"
+)
+
+// loadUpdates is the full stream length — the acceptance floor is 1e5
+// seeded updates sustained with a deterministic transcript. The full stream
+// runs only when FDLSP_LOAD=full (the CI load job sets it); the plain and
+// -short test runs use trimmed streams so `go test ./...` stays quick.
+const loadUpdates = 100_000
+
+// p99Budget is the smoke gate on per-update latency. An in-process loopback
+// update on a small graph costs well under a millisecond of repair work;
+// the budget leaves room for shared-runner noise and GC pauses without
+// masking a real regression to whole-graph rescheduling.
+const p99Budget = 50 * time.Millisecond
+
+// runLoad replays `updates` seeded link flips against a fresh server and
+// session, collecting per-update wall latency and a running digest of the
+// raw response bodies. The event stream depends only on the seed, so two
+// runs must produce byte-identical transcripts.
+func runLoad(tb testing.TB, updates int) (digest string, lat []time.Duration) {
+	tb.Helper()
+	srv := httptest.NewServer(httpapi.NewMuxWith(obs.NewRegistry()))
+	defer srv.Close()
+	client := srv.Client()
+
+	rng := rand.New(rand.NewSource(1234))
+	shadow := graph.ConnectedGNM(30, 70, rng)
+	gjson, err := json.Marshal(shadow)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	createBody := []byte(fmt.Sprintf(`{"graph":%s,"algorithm":"greedy"}`, gjson))
+	resp, err := client.Post(srv.URL+"/v1/session", "application/json", bytes.NewReader(createBody))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		tb.Fatal(err)
+	}
+	resp.Body.Close()
+	if created.ID == "" {
+		tb.Fatal("session create returned no id")
+	}
+	upURL := srv.URL + "/v1/session/" + created.ID + "/update"
+
+	h := sha256.New()
+	targetM := shadow.M()
+	lat = make([]time.Duration, 0, updates)
+	for i := 0; i < updates; i++ {
+		ev := flipLink(shadow, targetM, rng)
+		body := []byte(fmt.Sprintf(`{"events":[%s]}`, ev))
+		start := time.Now()
+		resp, err := client.Post(upURL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			tb.Fatalf("update %d: %v", i, err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		lat = append(lat, time.Since(start))
+		if err != nil {
+			tb.Fatalf("update %d: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			tb.Fatalf("update %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), lat
+}
+
+// flipLink mutates the shadow graph with one valid link flip and returns
+// the event's JSON. Flips alternate add/remove around the target edge count
+// so density stays flat for the whole stream — a generator that just flips
+// random pairs is biased toward additions (most pairs are non-edges) and
+// densifies the graph toward complete, which measures cache-rebuild cost on
+// an unrealistic topology instead of steady-state repair. Drops keep every
+// endpoint's degree positive so the session never fragments.
+func flipLink(g *graph.Graph, targetM int, rng *rand.Rand) string {
+	if g.M() > targetM {
+		for {
+			e := g.Edges()[rng.Intn(g.M())]
+			if g.Degree(e.U) <= 1 || g.Degree(e.V) <= 1 {
+				continue
+			}
+			g.RemoveEdge(e.U, e.V)
+			return fmt.Sprintf(`{"kind":"link-down","u":%d,"v":%d}`, e.U, e.V)
+		}
+	}
+	for {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.AddEdge(u, v)
+		return fmt.Sprintf(`{"kind":"link-up","u":%d,"v":%d}`, u, v)
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// TestLoadSessionUpdates is the load harness: a full seeded stream at
+// GOMAXPROCS=NumCPU with latency percentiles and a p99 budget, then the
+// same stream serial at GOMAXPROCS=1 — the two response transcripts must
+// hash identically, which is the byte-determinism acceptance criterion at
+// scale.
+func TestLoadSessionUpdates(t *testing.T) {
+	updates := 5_000
+	if os.Getenv("FDLSP_LOAD") == "full" {
+		updates = loadUpdates
+	}
+	if testing.Short() {
+		updates = 1_000
+	}
+
+	prev := runtime.GOMAXPROCS(runtime.NumCPU())
+	defer runtime.GOMAXPROCS(prev)
+	digestPar, lat := runLoad(t, updates)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := percentile(lat, 0.50)
+	p99 := percentile(lat, 0.99)
+	t.Logf("load: %d updates, p50=%v p99=%v max=%v", updates, p50, p99, lat[len(lat)-1])
+	if p99 > p99Budget {
+		t.Fatalf("p99 update latency %v exceeds budget %v", p99, p99Budget)
+	}
+
+	runtime.GOMAXPROCS(1)
+	digestSerial, _ := runLoad(t, updates)
+	if digestPar != digestSerial {
+		t.Fatalf("response transcripts diverge across GOMAXPROCS: %s vs %s", digestPar, digestSerial)
+	}
+}

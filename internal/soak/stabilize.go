@@ -1,115 +1,16 @@
 package soak
 
 import (
-	"fmt"
-	"sort"
-
 	"fdlsp/internal/coloring"
 	"fdlsp/internal/graph"
 )
 
-// stabilize repairs the schedule from the given dirty set using a
-// distributed-round local rule, and returns the number of rounds taken plus
-// the worst usable-frame fraction observed while repair was in progress.
-//
-// The rule models what each sensor could do with its distance-2 color
-// knowledge: per round, every dirty arc (uncolored, or sharing its slot with
-// a conflicting arc) *acts* iff it is the smallest dirty arc in its own
-// conflict set; an actor drops its color and greedily re-picks the smallest
-// slot feasible against every currently colored conflicting arc. Convergence
-// argument: (1) actors are pairwise non-conflicting — if two dirty arcs
-// conflict, only the smaller acts — so the round's simultaneous moves cannot
-// clash with each other; (2) an actor's new slot is feasible against every
-// colored conflicting arc and later moves stay feasible against it, so an
-// arc that acted is clean for good; (3) the globally smallest dirty arc is
-// always an actor, so the dirty set strictly shrinks every round and repair
-// converges within |dirty| rounds. Topology is frozen during repair, which
-// is what lets the round count stand in for convergence time.
+// stabilize repairs the schedule from the given dirty set in measured
+// distributed rounds. The rule, its ≤|dirty| convergence bound, and the
+// incremental usable-fraction tracking live in coloring.Stabilize — one
+// implementation shared with the incremental rescheduling service
+// (internal/incr), so the soak's proved repair behavior is exactly what the
+// service ships.
 func (s *Soak) stabilize(dirty map[graph.Arc]bool) (rounds int, minUsable float64, err error) {
-	minUsable = 1
-	if len(dirty) == 0 {
-		return 0, minUsable, nil
-	}
-	// Deterministic worklist: sorted arcs, membership in the map.
-	work := make([]graph.Arc, 0, len(dirty))
-	for a := range dirty {
-		work = append(work, a)
-	}
-	sort.Slice(work, func(i, j int) bool { return arcLess(work[i], work[j]) })
-
-	budget := 2*len(work) + 8
-	for {
-		// Re-filter: an arc is still dirty if uncolored or clashing.
-		live := work[:0]
-		for _, a := range work {
-			if !dirty[a] {
-				continue
-			}
-			if s.arcDirty(a) {
-				live = append(live, a)
-			} else {
-				dirty[a] = false
-			}
-		}
-		work = live
-		if len(work) == 0 {
-			return rounds, minUsable, nil
-		}
-		if rounds >= budget {
-			return rounds, minUsable, fmt.Errorf(
-				"soak: stabilization exceeded %d rounds with %d dirty arcs", budget, len(work))
-		}
-		if u := coloring.UsableFraction(s.g, s.as); u < minUsable {
-			minUsable = u
-		}
-		rounds++
-		// Select the round's actors against the frozen dirty set first, then
-		// apply: selection must not observe earlier actors of the same round
-		// (all sensors decide simultaneously on the previous round's state).
-		actors := make([]graph.Arc, 0, len(work))
-		for _, a := range work {
-			if s.actsThisRound(a, dirty) {
-				actors = append(actors, a)
-			}
-		}
-		for _, a := range actors {
-			delete(s.as, a)
-			coloring.AssignGreedyLocal(s.g, s.as, []graph.Arc{a})
-			dirty[a] = false
-		}
-	}
-}
-
-// arcDirty reports whether a needs repair: no slot, or a conflicting arc
-// holds the same slot.
-func (s *Soak) arcDirty(a graph.Arc) bool {
-	c := s.as[a]
-	if c == coloring.None {
-		return true
-	}
-	for _, b := range coloring.ConflictingArcs(s.g, a) {
-		if s.as[b] == c {
-			return true
-		}
-	}
-	return false
-}
-
-// actsThisRound implements the local priority rule: a acts iff no smaller
-// dirty arc conflicts with it.
-func (s *Soak) actsThisRound(a graph.Arc, dirty map[graph.Arc]bool) bool {
-	for _, b := range coloring.ConflictingArcs(s.g, a) {
-		if dirty[b] && arcLess(b, a) {
-			return false
-		}
-	}
-	return true
-}
-
-// arcLess orders arcs lexicographically by (From, To).
-func arcLess(a, b graph.Arc) bool {
-	if a.From != b.From {
-		return a.From < b.From
-	}
-	return a.To < b.To
+	return coloring.Stabilize(s.g, s.as, dirty)
 }
