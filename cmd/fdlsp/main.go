@@ -65,6 +65,7 @@ func cliMain(argv []string, out io.Writer) error {
 		rto     = fs.Int64("rto", 0, "initial/floor retransmission timeout of the reliable transport (0 = default)")
 		retries = fs.Int("retries", 0, "transport retransmissions per segment before giving up (0 = default, -1 = send once)")
 		metrics = fs.Bool("metrics", false, "dump the metrics registry snapshot (Prometheus text) after the run")
+		workers = fs.Int("workers", 0, "sync-engine worker pool size for distmis (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 
 		churn       = fs.Int("churn", 0, "run a continuous churn soak for this many epochs instead of a single scheduling run")
 		churnInit   = fs.String("churn-init", "greedy", "soak initial coloring: greedy|zero|conflict")
@@ -134,7 +135,7 @@ func cliMain(argv []string, out io.Writer) error {
 		}
 	}
 	topt := fdlsp.TransportOptions{RTO: *rto, MaxRetries: *retries}
-	as, label, stats, faults, err := run(g, *algo, *seed, rec, plan, topt, reg)
+	as, label, stats, faults, err := run(g, *algo, *seed, rec, plan, topt, reg, *workers)
 	if err != nil {
 		return err
 	}
@@ -329,7 +330,7 @@ func faultPlan(loss, dup float64, reorder int64, crash string, seed int64) (*fdl
 	return &fdlsp.FaultPlan{Seed: seed, Loss: loss, Dup: dup, Reorder: reorder, Crashes: crashes}, nil
 }
 
-func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder, plan *fdlsp.FaultPlan, topt fdlsp.TransportOptions, reg *fdlsp.MetricsRegistry) (fdlsp.Assignment, string, *fdlsp.Stats, *faultResult, error) {
+func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder, plan *fdlsp.FaultPlan, topt fdlsp.TransportOptions, reg *fdlsp.MetricsRegistry, workers int) (fdlsp.Assignment, string, *fdlsp.Stats, *faultResult, error) {
 	var tracer fdlsp.Tracer
 	if rec != nil {
 		tracer = rec
@@ -342,13 +343,13 @@ func run(g *fdlsp.Graph, algo string, seed int64, rec *fdlsp.TraceRecorder, plan
 	}
 	switch algo {
 	case "distmis":
-		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Trace: tracer, Fault: plan, Transport: topt, Metrics: reg})
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Trace: tracer, Fault: plan, Transport: topt, Metrics: reg, Workers: workers})
 		if err != nil {
 			return nil, "", nil, nil, err
 		}
 		return res.Assignment, res.Algorithm, &res.Stats, faulty(res), nil
 	case "distmis-general":
-		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral, Trace: tracer, Fault: plan, Transport: topt, Metrics: reg})
+		res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{Seed: seed, Variant: fdlsp.VariantGeneral, Trace: tracer, Fault: plan, Transport: topt, Metrics: reg, Workers: workers})
 		if err != nil {
 			return nil, "", nil, nil, err
 		}

@@ -74,6 +74,26 @@ func TestMetricsSnapshotDeterministic(t *testing.T) {
 	}
 }
 
+// TestWorkersFlagInvariant pins the -workers contract at the CLI surface:
+// the full output — schedule, stats, metrics snapshot — is byte-identical
+// whether the sync engine runs serial or on an oversubscribed worker pool.
+func TestWorkersFlagInvariant(t *testing.T) {
+	base := []string{"-gen", "gnm", "-n", "40", "-algo", "distmis", "-seed", "5", "-metrics", "-loss", "0.1"}
+	var serial bytes.Buffer
+	if err := cliMain(append([]string{"-workers", "1"}, base...), &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"0", "4", "8"} {
+		var buf bytes.Buffer
+		if err := cliMain(append([]string{"-workers", w}, base...), &buf); err != nil {
+			t.Fatalf("-workers %s: %v", w, err)
+		}
+		if !bytes.Equal(serial.Bytes(), buf.Bytes()) {
+			t.Errorf("-workers %s output differs from -workers 1", w)
+		}
+	}
+}
+
 // TestMetricsFlagCoversFamilies sanity-checks the snapshot carries the
 // core and sim families after a distmis run.
 func TestMetricsFlagCoversFamilies(t *testing.T) {

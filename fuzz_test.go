@@ -7,6 +7,7 @@ package fdlsp_test
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -197,6 +198,50 @@ func FuzzChurnSoakStabilizes(f *testing.F) {
 		run(rb)
 		if ra.Text() != rb.Text() {
 			t.Fatal("same seed, different metrics snapshot")
+		}
+	})
+}
+
+// FuzzParallelMatchesSerial pins the parallel sync engine's determinism
+// contract at the API surface: for a fuzzed topology, seed, worker count,
+// and (optionally) fault plan, DistMIS on the sharded engine must produce
+// results and metrics snapshots byte-identical to the forced-serial engine
+// (Workers=1). Zero loss keeps the run on the destination-sharded delivery
+// fast path; any loss moves it to the sequential fault path with parallel
+// steps — both must match. The seed corpus is checked into
+// testdata/fuzz/FuzzParallelMatchesSerial.
+func FuzzParallelMatchesSerial(f *testing.F) {
+	f.Add([]byte{9, 0, 1, 1, 2, 2, 3, 3, 4, 4, 0}, int64(1), uint8(2), uint8(0))
+	f.Add([]byte{12, 0, 1, 0, 2, 0, 3, 1, 2, 4, 5, 5, 6}, int64(7), uint8(8), uint8(20))
+	f.Add([]byte{15, 0, 1, 1, 2, 2, 3, 0, 3, 4, 5, 6, 7, 8, 9}, int64(42), uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, workersB, lossB uint8) {
+		g := graphFromBytes(data)
+		if g.N() == 0 {
+			return
+		}
+		workers := 2 + int(workersB)%7 // [2, 8]
+		var plan *fdlsp.FaultPlan
+		if loss := float64(lossB%31) / 100; loss > 0 {
+			plan = &fdlsp.FaultPlan{Seed: seed, Loss: loss, Reorder: int64(lossB % 3)}
+		}
+		run := func(workers int) (*fdlsp.Result, string) {
+			reg := fdlsp.NewMetricsRegistry()
+			res, err := fdlsp.DistMIS(g, fdlsp.DistMISOptions{
+				Seed: seed, Fault: plan, Metrics: reg, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("workers=%d failed on fuzzed graph %v: %v", workers, g, err)
+			}
+			return res, reg.Text()
+		}
+		serialRes, serialSnap := run(1)
+		parallelRes, parallelSnap := run(workers)
+		if !reflect.DeepEqual(serialRes, parallelRes) {
+			t.Fatalf("workers=%d diverged from serial on %v:\nserial:   %+v\nparallel: %+v",
+				workers, g, serialRes, parallelRes)
+		}
+		if serialSnap != parallelSnap {
+			t.Fatalf("workers=%d: metrics snapshot diverged from serial on %v", workers, g)
 		}
 	})
 }

@@ -70,7 +70,9 @@ type Report struct {
 }
 
 // DefaultSpecs returns the baseline grid: both engines at n ∈ {64, 256,
-// 1024, 4096} (short: {16, 64}, small enough for a CI smoke run).
+// 1024, 4096}, with the parallel sync engine additionally measured at
+// n ∈ {16384, 65536} — the scale the sharded round loop exists for (short:
+// {16, 64}, small enough for a CI smoke run).
 func DefaultSpecs(short bool) []Spec {
 	sizes := []int{64, 256, 1024, 4096}
 	if short {
@@ -78,7 +80,11 @@ func DefaultSpecs(short bool) []Spec {
 	}
 	var specs []Spec
 	for _, engine := range []string{"sync", "async"} {
-		for _, n := range sizes {
+		esizes := sizes
+		if engine == "sync" && !short {
+			esizes = append(esizes, 16384, 65536)
+		}
+		for _, n := range esizes {
 			specs = append(specs, Spec{
 				Name:   fmt.Sprintf("%s-n%d", engine, n),
 				Engine: engine,
@@ -183,12 +189,25 @@ func Load(data []byte) (*Report, error) {
 	return &r, nil
 }
 
+// Wall-clock gate thresholds. ns_per_op is machine-dependent, so small
+// specs only ever report it as advisory; at n >= WallClockMinNodes a run is
+// long enough to average out scheduler and GC noise, and growth beyond
+// WallClockMaxGrowth (a generous +200%) is treated as a real performance
+// regression and turns fatal. The bar is deliberately loose: it exists to
+// catch order-of-magnitude losses (an accidentally serialized engine, a
+// quadratic delivery path), not machine-to-machine variance.
+const (
+	WallClockMinNodes  = 4096
+	WallClockMaxGrowth = 2.0
+)
+
 // Comparison is the outcome of holding a fresh report against a baseline.
 // Fatal findings are meant to fail CI: allocation-count or byte regressions
-// beyond the tolerance, and any drift in the deterministic cost columns
-// (slots, rounds, messages must reproduce exactly per seed). Advisory
-// findings report wall-clock movement, which is machine-dependent and never
-// fails the gate.
+// beyond the tolerance, any drift in the deterministic cost columns
+// (slots, rounds, messages must reproduce exactly per seed), and wall-clock
+// growth beyond WallClockMaxGrowth on specs of WallClockMinNodes nodes or
+// more. Advisory findings report the remaining wall-clock movement, which
+// is machine-dependent and never fails the gate.
 type Comparison struct {
 	Fatal    []string
 	Advisory []string
@@ -218,6 +237,9 @@ func Compare(base, cur *Report, maxGrowth float64) Comparison {
 		c.check(&c.Fatal, m.Name, "allocs_per_op", b.AllocsPerOp, m.AllocsPerOp, maxGrowth)
 		c.check(&c.Fatal, m.Name, "bytes_per_op", b.BytesPerOp, m.BytesPerOp, maxGrowth)
 		c.check(&c.Advisory, m.Name, "ns_per_op", b.NsPerOp, m.NsPerOp, maxGrowth)
+		if m.Nodes >= WallClockMinNodes {
+			c.check(&c.Fatal, m.Name, "ns_per_op (wall-clock gate)", b.NsPerOp, m.NsPerOp, WallClockMaxGrowth)
+		}
 	}
 	return c
 }

@@ -70,14 +70,16 @@ func TestUnknownEngineRejected(t *testing.T) {
 	}
 }
 
-// TestFullGrid pins the committed baseline's shape.
+// TestFullGrid pins the committed baseline's shape: both engines at the
+// common sizes, plus the parallel sync engine's large-scale rows.
 func TestFullGrid(t *testing.T) {
 	specs := DefaultSpecs(false)
-	if len(specs) != 8 {
-		t.Fatalf("full grid has %d specs, want 8", len(specs))
+	if len(specs) != 10 {
+		t.Fatalf("full grid has %d specs, want 10", len(specs))
 	}
 	want := map[string]bool{
 		"sync-n64": true, "sync-n256": true, "sync-n1024": true, "sync-n4096": true,
+		"sync-n16384": true, "sync-n65536": true,
 		"async-n64": true, "async-n256": true, "async-n1024": true, "async-n4096": true,
 	}
 	for _, s := range specs {
@@ -122,5 +124,52 @@ func TestCompareGate(t *testing.T) {
 	}
 	if clean := Compare(base, base, 0.25); len(clean.Fatal) != 0 || len(clean.Advisory) != 0 {
 		t.Fatalf("self-comparison not clean: %+v", clean)
+	}
+}
+
+// TestCompareWallClockGate exercises the wall-clock rule: on specs of
+// WallClockMinNodes nodes or more, ns_per_op growth beyond
+// WallClockMaxGrowth turns fatal (on top of the usual advisory), while
+// small specs only ever report wall clock as advisory no matter how large
+// the spike.
+func TestCompareWallClockGate(t *testing.T) {
+	m := func(name string, nodes int, ns int64) Measurement {
+		return Measurement{
+			Spec:        Spec{Name: name, Nodes: nodes},
+			AllocsPerOp: 1000, BytesPerOp: 1_000_000, NsPerOp: ns,
+			Slots: 7, Rounds: 10, Messages: 100,
+		}
+	}
+	base := &Report{Results: []Measurement{
+		m("sync-n64", 64, 1_000),
+		m("sync-n4096", WallClockMinNodes, 1_000_000),
+		m("sync-n65536", 65536, 10_000_000),
+	}}
+
+	// A 10x spike on a small spec stays advisory; the same spike at n=4096
+	// crosses the generous fatal bar.
+	cur := &Report{Results: []Measurement{
+		m("sync-n64", 64, 10_000),
+		m("sync-n4096", WallClockMinNodes, 10_000_000),
+		m("sync-n65536", 65536, 10_000_000),
+	}}
+	cmp := Compare(base, cur, 0.25)
+	if len(cmp.Fatal) != 1 {
+		t.Fatalf("fatal findings = %v, want exactly the n=4096 wall-clock regression", cmp.Fatal)
+	}
+	if len(cmp.Advisory) != 2 {
+		t.Fatalf("advisory findings = %v, want the two ns spikes", cmp.Advisory)
+	}
+
+	// Growth inside the tolerance band is silent on the fatal side even at
+	// the largest scale.
+	within := &Report{Results: []Measurement{
+		m("sync-n64", 64, 1_100),
+		m("sync-n4096", WallClockMinNodes, 2_500_000),
+		m("sync-n65536", 65536, 25_000_000),
+	}}
+	cmp = Compare(base, within, 0.25)
+	if len(cmp.Fatal) != 0 {
+		t.Fatalf("within-band wall clock flagged fatal: %v", cmp.Fatal)
 	}
 }

@@ -1,0 +1,143 @@
+package conformance
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"fdlsp/internal/core"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/obs"
+	"fdlsp/internal/sim"
+)
+
+// This file is the parallel-vs-serial conformance oracle: for every
+// (algorithm, topology, seed) cell of the differential corpus it runs the
+// forced-serial engine (Workers=1 at GOMAXPROCS=1) and compares it against
+// the sharded engine at each requested GOMAXPROCS and at an explicit
+// oversubscribed worker count. Byte-identical Result, trace, and metrics
+// snapshot is the contract (DESIGN.md §13); any scheduling leak in the
+// worker pool shows up here as a differing artifact.
+
+// traceRecorder captures the full event stream, unbounded, for byte-level
+// comparison. The engines emit from their sequential sections only; the
+// mutex makes the recorder safe regardless.
+type traceRecorder struct {
+	mu     sync.Mutex
+	events []sim.Event
+}
+
+func (t *traceRecorder) Emit(ev sim.Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// parallelOutcome reduces one traced run to its comparable artifacts.
+type parallelOutcome struct {
+	result   *core.Result
+	events   []sim.Event
+	snapshot string
+}
+
+// runTraced executes algo with a full trace and fresh registry. workers
+// configures the sync engine's pool for the DistMIS path; the DFS path runs
+// the async engine, which has no worker knob, but stays in the matrix so its
+// GOMAXPROCS invariance is pinned by the same oracle.
+func runTraced(algo string, g *graph.Graph, seed int64, workers int) (parallelOutcome, error) {
+	reg := obs.NewRegistry()
+	tr := &traceRecorder{}
+	var res *core.Result
+	var err error
+	switch algo {
+	case "distmis":
+		res, err = core.DistMIS(g, core.Options{Seed: seed, Metrics: reg, Trace: tr, Workers: workers})
+	case "dfs":
+		res, err = core.DFS(g, core.DFSOptions{Seed: seed, Metrics: reg, Trace: tr})
+	default:
+		return parallelOutcome{}, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return parallelOutcome{}, err
+	}
+	return parallelOutcome{result: res, events: tr.events, snapshot: reg.Text()}, nil
+}
+
+// diffOutcome names the first artifact in which two outcomes differ, or ""
+// when they are identical.
+func diffOutcome(base, got parallelOutcome) string {
+	if !reflect.DeepEqual(base.result, got.result) {
+		return "result"
+	}
+	if len(base.events) != len(got.events) {
+		return fmt.Sprintf("trace length (%d vs %d events)", len(base.events), len(got.events))
+	}
+	for i := range base.events {
+		if base.events[i] != got.events[i] {
+			return fmt.Sprintf("trace event %d (%+v vs %+v)", i, base.events[i], got.events[i])
+		}
+	}
+	if base.snapshot != got.snapshot {
+		return "metrics snapshot"
+	}
+	return ""
+}
+
+// ParallelSerial runs every (algorithm, topology, seed) cell serial vs
+// parallel and returns all determinism violations. The baseline is the
+// forced-serial engine (Workers=1, GOMAXPROCS=1); each p in procs re-runs
+// the cell at GOMAXPROCS=p with the default worker pool (Workers=0), and one
+// extra run oversubscribes the pool (Workers=8) without touching GOMAXPROCS.
+// procs defaults to {1, 2, 8}; seeds defaults to {1, 2}. GOMAXPROCS is
+// restored before returning.
+func ParallelSerial(seeds []int64, procs []int) []Failure {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2}
+	}
+	if len(procs) == 0 {
+		procs = []int{1, 2, 8}
+	}
+	var fails []Failure
+	add := func(gname string, seed int64, inv, detail string) {
+		fails = append(fails, Failure{Graph: gname, Seed: seed, Invariant: inv, Detail: detail})
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+
+	for name, g := range DifferentialGraphs() {
+		for _, seed := range seeds {
+			for _, algo := range []string{"distmis", "dfs"} {
+				label := name + "/" + algo
+				runtime.GOMAXPROCS(1)
+				base, err := runTraced(algo, g, seed, 1)
+				if err != nil {
+					add(label, seed, "runs", err.Error())
+					continue
+				}
+				for _, p := range procs {
+					runtime.GOMAXPROCS(p)
+					got, err := runTraced(algo, g, seed, 0)
+					if err != nil {
+						add(label, seed, "parallel-serial", fmt.Sprintf("run failed at GOMAXPROCS=%d: %v", p, err))
+						continue
+					}
+					if d := diffOutcome(base, got); d != "" {
+						add(label, seed, "parallel-serial",
+							fmt.Sprintf("%s differs between serial and GOMAXPROCS=%d", d, p))
+					}
+				}
+				runtime.GOMAXPROCS(1)
+				got, err := runTraced(algo, g, seed, 8)
+				if err != nil {
+					add(label, seed, "parallel-serial", fmt.Sprintf("run failed at Workers=8: %v", err))
+					continue
+				}
+				if d := diffOutcome(base, got); d != "" {
+					add(label, seed, "parallel-serial",
+						fmt.Sprintf("%s differs between serial and Workers=8", d))
+				}
+			}
+		}
+	}
+	return fails
+}

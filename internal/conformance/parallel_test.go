@@ -1,0 +1,41 @@
+package conformance
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelSerialOracle is the parallel-vs-serial conformance gate: every
+// (algorithm, topology, seed) cell must produce a byte-identical Result,
+// trace, and metrics snapshot whether the sync engine runs forced-serial or
+// sharded at GOMAXPROCS ∈ {1, 2, 8} (and at an oversubscribed Workers=8).
+// CI runs it under -race at GOMAXPROCS=8. In -short mode it narrows to one
+// seed.
+func TestParallelSerialOracle(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	if fails := ParallelSerial(seeds, []int{1, 2, 8}); len(fails) != 0 {
+		for _, f := range fails {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestParallelSerialRestoresGOMAXPROCS guards the oracle's own hygiene.
+func TestParallelSerialRestoresGOMAXPROCS(t *testing.T) {
+	before := runtime.GOMAXPROCS(0)
+	_ = ParallelSerial([]int64{1}, []int{2})
+	if after := runtime.GOMAXPROCS(0); after != before {
+		t.Fatalf("GOMAXPROCS changed from %d to %d", before, after)
+	}
+}
+
+// TestRunTracedRejectsUnknown covers the error path.
+func TestRunTracedRejectsUnknown(t *testing.T) {
+	g := DifferentialGraphs()["grid-5x6"]
+	if _, err := runTraced("nope", g, 1, 0); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -69,6 +69,11 @@ type Options struct {
 	Probe func(ProbePoint)
 	// ProbeEvery is the probing period in physical rounds; values < 1 mean 1.
 	ProbeEvery int64
+	// Workers bounds the phase engines' worker pool (sim.SyncEngine.Workers):
+	// 0 means GOMAXPROCS, 1 forces serial execution. Results, traces, and
+	// metrics are byte-identical per seed at every setting — the knob only
+	// trades wall clock for cores.
+	Workers int
 }
 
 // Result is the outcome of one scheduling run (any algorithm).
@@ -209,6 +214,7 @@ func DistMIS(g *graph.Graph, opts Options) (*Result, error) {
 	pr := newPhaseRunner(g, states, topt, opts.Trace, opts.Metrics)
 	pr.probe = opts.Probe
 	pr.probeEvery = opts.ProbeEvery
+	pr.workers = opts.Workers
 
 	for {
 		competing := make([]bool, n)
@@ -387,6 +393,9 @@ type phaseRunner struct {
 	probeEvery int64
 	phaseName  string
 	elapsed    int64
+
+	// workers is Options.Workers, applied to the engine before every phase.
+	workers int
 }
 
 func newPhaseRunner(g *graph.Graph, states []*nodeState, topt *transport.Options, trace sim.Tracer, metrics *obs.Registry) *phaseRunner {
@@ -418,6 +427,7 @@ func (pr *phaseRunner) run(seed int64, plan *sim.FaultPlan, markDown []int, prot
 	} else {
 		pr.eng.Reset(seed, factory)
 	}
+	pr.eng.Workers = pr.workers
 	pr.eng.Trace = pr.trace
 	pr.eng.Fault = plan
 	pr.eng.Metrics = pr.metrics

@@ -9,6 +9,16 @@ package core
 //
 // Slabs never shrink and never reclaim: they are owned by per-node protocol
 // state and live exactly as long as one algorithm run.
+//
+// Concurrency contract (the parallel sync engine depends on it): a slab is
+// part of exactly one node's state, and the engine never runs two Steps of
+// the same node concurrently, so put is only ever called from the goroutine
+// currently stepping the owning node — shard-local by ownership, no locks
+// or atomics needed. Readers on other shards only ever see pointers that
+// were handed out in a previous round, published by the engine's round
+// barrier, and never written again (payloads are immutable once sent), so
+// cross-shard reads race with nothing. Do not share one slab between nodes
+// and do not mutate a payload after putting it.
 type slab[T any] struct {
 	chunk []T
 }

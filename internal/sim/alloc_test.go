@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"runtime"
 	"testing"
 
 	"fdlsp/internal/graph"
@@ -23,31 +22,34 @@ func (n *chatterNode) Step(env *SyncEnv, inbox []Message) bool {
 // warm-up run, a full Reset+Run cycle over a 64-node graph with every node
 // broadcasting every round must reuse the recycled inbox/outbox buffers and
 // scratch state instead of reallocating them. The budget is a small constant
-// plus the per-round worker goroutines — before pooling, this run cost tens
-// of thousands of allocations (fresh inbox slices per node per round).
+// plus the per-Run worker-pool launch — rounds themselves allocate nothing:
+// the pool is persistent, so dispatching a round is a channel send, not a
+// goroutine spawn. Before pooling, this run cost tens of thousands of
+// allocations (fresh inbox slices per node per round).
 func TestSyncEngineSteadyStateAllocs(t *testing.T) {
-	g := graph.Star(64)
-	const rounds = 50
-	factory := func(id int) SyncNode { return &chatterNode{rounds: rounds} }
-	eng := NewSyncEngine(g, 1, factory)
-	if err := eng.Run(); err != nil {
-		t.Fatal(err)
-	}
-	avg := testing.AllocsPerRun(10, func() {
-		eng.Reset(1, factory)
+	for _, w := range []int{1, 4} {
+		g := graph.Star(64)
+		const rounds = 50
+		factory := func(id int) SyncNode { return &chatterNode{rounds: rounds} }
+		eng := NewSyncEngine(g, 1, factory)
+		eng.Workers = w
 		if err := eng.Run(); err != nil {
 			t.Fatal(err)
 		}
-	})
-	// Per run: n node constructions (the factory allocates one chatterNode
-	// each) plus per-round worker goroutine launches; everything else must
-	// come from the recycled buffers.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > g.N() {
-		workers = g.N()
-	}
-	budget := float64(g.N() + 16 + (rounds+2)*(2*workers+4))
-	if avg > budget {
-		t.Errorf("steady-state Reset+Run costs %.0f allocs, budget %.0f — engine buffer recycling regressed", avg, budget)
+		avg := testing.AllocsPerRun(10, func() {
+			eng.Reset(1, factory)
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// Per run: n node constructions (the factory allocates one
+		// chatterNode each) plus the pool launch (one goroutine and one
+		// replacement dispatch channel per worker). NO per-round term: a
+		// regression that reintroduces per-round spawns or buffer churn
+		// blows this budget ~rounds× over.
+		budget := float64(g.N() + 24 + 8*w)
+		if avg > budget {
+			t.Errorf("workers=%d: steady-state Reset+Run costs %.0f allocs, budget %.0f — engine buffer recycling regressed", w, avg, budget)
+		}
 	}
 }

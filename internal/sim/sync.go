@@ -72,7 +72,10 @@ func (e *SyncEnv) Broadcast(payload any) {
 }
 
 // SyncEngine drives a set of SyncNodes over a communication graph in
-// lock-step rounds. Node steps within a round run in parallel.
+// lock-step rounds. Within a round, node steps — and, on fault-free runs,
+// message delivery — shard across a bounded worker pool; the merge order is
+// fixed, so schedules, traces and metrics snapshots are byte-identical per
+// seed at any Workers or GOMAXPROCS setting (DESIGN.md §13).
 type SyncEngine struct {
 	g     *graph.Graph
 	nodes []SyncNode
@@ -88,15 +91,24 @@ type SyncEngine struct {
 	// Metrics optionally receives the run's accounting (fdlsp_sim_* counter
 	// families, engine="sync") when Run finishes, successfully or not. The
 	// published values are the deterministic Stats, so snapshots are
-	// byte-identical per seed regardless of GOMAXPROCS.
+	// byte-identical per seed regardless of GOMAXPROCS. Workers never touch
+	// the registry: publication happens once, from the sequential epilogue.
 	Metrics *obs.Registry
 	// OnRound, when set, is invoked once per executed round from the
 	// engine's sequential section, after the round's steps have run and its
 	// sends have been delivered. Protocol drivers use it to probe global
 	// state mid-run (e.g. residual conflicts during repair) without stopping
-	// the protocol; the hook runs with no stripe goroutines alive, so it may
+	// the protocol; the hook runs with no shard goroutines alive, so it may
 	// read node state freely. It must not mutate engine or node state.
 	OnRound func(round int64)
+	// Workers bounds the engine's worker pool: node steps (and, when no
+	// fault plan is active, message delivery) shard across min(Workers, n)
+	// persistent workers. 0 means GOMAXPROCS. 1 is the serial special case:
+	// every phase runs inline on the calling goroutine, with no pool. The
+	// run's outcome — schedule, trace, metrics — is byte-identical at every
+	// setting; Workers only changes wall clock. The field persists across
+	// Reset (it describes the execution substrate, not one run).
+	Workers int
 
 	stats    Stats
 	crashed  []int
@@ -109,12 +121,102 @@ type SyncEngine struct {
 	done     []bool
 	doneSeen []bool
 	panics   []error
+
+	// Worker pool state. The pool is started once per Run (workers > 1) and
+	// torn down when Run returns; rounds dispatch phase tokens over the
+	// per-worker channels instead of spawning goroutines, so the steady
+	// state allocates nothing per round. round/advance are written in the
+	// sequential section before a dispatch and read by workers after the
+	// channel receive (which provides the happens-before edge).
+	work    []chan poolOp
+	wg      sync.WaitGroup
+	shardLo []int
+	shardHi []int
+	round   int
+	advance bool
+
+	// sources and gates cache, per Run, which nodes implement EventSource
+	// and RoundGate, replacing two per-node type assertions per round.
+	sources []sourceAt
+	gates   []gateAt
+}
+
+// poolOp is a phase token dispatched to the worker pool.
+type poolOp uint8
+
+const (
+	opStep    poolOp = iota + 1 // step the worker's own shard of nodes
+	opDeliver                   // deliver this round's sends into the worker's shard of inboxes
+)
+
+type sourceAt struct {
+	v   int
+	src EventSource
+}
+
+type gateAt struct {
+	v    int
+	gate RoundGate
+}
+
+// envSeed derives node v's private RNG seed from the run seed.
+func envSeed(seed int64, v int) int64 {
+	return seed ^ int64(v)*0x5851F42D4C957F2D ^ 0x5BF03635
+}
+
+// seedEnvs (re-)seeds every env's RNG, fanning the work out across workers
+// when the graph is large enough to amortize the goroutines: math/rand's
+// Seed initializes a 607-word feedback register per call, which profiles as
+// the single largest sequential cost of a multi-phase protocol run (DistMIS
+// re-seeds all n RNGs per phase). Each goroutine touches a disjoint range of
+// envs and the derived streams depend only on (seed, v), so the result is
+// byte-identical to the serial loop.
+func seedEnvs(envs []*SyncEnv, seed int64, workers int) {
+	seedRange := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s := envSeed(seed, v)
+			if envs[v].Rand == nil {
+				envs[v].Rand = rand.New(rand.NewSource(s))
+			} else {
+				// rand.Rand.Seed(s) restarts the exact stream
+				// rand.NewSource(s) starts, so re-seeded envs are
+				// byte-equivalent to freshly constructed ones.
+				envs[v].Rand.Seed(s)
+			}
+		}
+	}
+	const minParallelSeed = 128
+	if workers > len(envs) {
+		workers = len(envs)
+	}
+	if workers <= 1 || len(envs) < minParallelSeed {
+		seedRange(0, len(envs))
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(envs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(envs) {
+			hi = len(envs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			seedRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // NewSyncEngine builds an engine for graph g with one node per vertex,
 // produced by factory. Seed derives each node's private RNG (deterministic
 // runs for a fixed seed regardless of scheduling, since parallelism never
-// crosses node state).
+// crosses node state). The factory is always called serially, in node
+// order; only the RNG seeding is parallelized.
 func NewSyncEngine(g *graph.Graph, seed int64, factory func(id int) SyncNode) *SyncEngine {
 	eng := &SyncEngine{g: g, nodes: make([]SyncNode, g.N()), envs: make([]*SyncEnv, g.N())}
 	for v := 0; v < g.N(); v++ {
@@ -122,33 +224,49 @@ func NewSyncEngine(g *graph.Graph, seed int64, factory func(id int) SyncNode) *S
 		eng.envs[v] = &SyncEnv{
 			ID:        v,
 			Neighbors: g.Neighbors(v),
-			Rand:      rand.New(rand.NewSource(seed ^ int64(v)*0x5851F42D4C957F2D ^ 0x5BF03635)),
 			engine:    eng,
 		}
 	}
+	seedEnvs(eng.envs, seed, runtime.GOMAXPROCS(0))
 	return eng
 }
 
 // Reset re-arms the engine for a fresh run with new nodes and a new seed,
 // reusing the per-node environments and scratch buffers. Each env's RNG is
 // re-seeded exactly as NewSyncEngine would, so a Reset engine is
-// byte-for-byte equivalent to a freshly constructed one: rand.Rand.Seed(s)
-// restarts the same stream rand.NewSource(s) starts. MaxRounds, Trace,
-// Fault, and Metrics are cleared; callers set them again as needed.
+// byte-for-byte equivalent to a freshly constructed one. MaxRounds, Trace,
+// Fault, Metrics and OnRound are cleared; callers set them again as needed.
+// Workers persists: it configures the engine, not one run. The factory is
+// called serially; the re-seeding shards across the worker budget.
 func (eng *SyncEngine) Reset(seed int64, factory func(id int) SyncNode) {
 	for v := range eng.nodes {
 		eng.nodes[v] = factory(v)
 		env := eng.envs[v]
-		env.Rand.Seed(seed ^ int64(v)*0x5851F42D4C957F2D ^ 0x5BF03635)
 		env.Round = 0
 		env.Advance = false
 		env.outbox = env.outbox[:0]
 	}
+	seedEnvs(eng.envs, seed, eng.workerCount())
 	eng.MaxRounds = 0
 	eng.Trace = nil
 	eng.Fault = nil
 	eng.Metrics = nil
 	eng.OnRound = nil
+}
+
+// workerCount resolves Workers to the effective pool size for this engine.
+func (eng *SyncEngine) workerCount() int {
+	w := eng.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n := len(eng.nodes); w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Stats returns the accounting of the last Run.
@@ -181,6 +299,102 @@ func noteReturn(returned *[]int, restarts map[int]int, v int) NodeRestarted {
 	return NodeRestarted{Restarts: restarts[v]}
 }
 
+// startPool launches the per-Run worker pool: workers parked on their
+// dispatch channels, each owning the contiguous node shard [shardLo[w],
+// shardHi[w]). The channels and shard tables are recycled across Runs when
+// the worker count is unchanged.
+func (eng *SyncEngine) startPool(workers int) {
+	n := len(eng.nodes)
+	if len(eng.work) != workers {
+		eng.work = make([]chan poolOp, workers)
+		eng.shardLo = make([]int, workers)
+		eng.shardHi = make([]int, workers)
+		for w := range eng.work {
+			eng.work[w] = make(chan poolOp, 1)
+		}
+	}
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		eng.shardLo[w], eng.shardHi[w] = lo, hi
+		go eng.workerLoop(w, eng.work[w])
+	}
+}
+
+// stopPool releases the parked workers; their channels stay allocated for
+// the next Run.
+func (eng *SyncEngine) stopPool() {
+	for _, ch := range eng.work {
+		close(ch)
+	}
+	// Channels must be remade before reuse: a closed channel cannot carry
+	// the next Run's tokens.
+	for w := range eng.work {
+		eng.work[w] = make(chan poolOp, 1)
+	}
+}
+
+// workerLoop runs one pool worker: execute each dispatched phase over the
+// worker's own shard, then report the barrier. Any panic is captured into
+// the worker's error slot so the coordinator can fail the Run instead of
+// the process dying (or deadlocking on a missing wg.Done).
+func (eng *SyncEngine) workerLoop(w int, ops <-chan poolOp) {
+	for op := range ops {
+		eng.panics[w] = eng.runOp(w, op)
+		eng.wg.Done()
+	}
+}
+
+func (eng *SyncEngine) runOp(w int, op poolOp) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: engine worker: %v", r)
+		}
+	}()
+	switch op {
+	case opStep:
+		return eng.runStripe(eng.round, eng.advance, eng.shardLo[w], eng.shardHi[w])
+	case opDeliver:
+		eng.deliverShard(eng.shardLo[w], eng.shardHi[w], eng.round)
+	}
+	return nil
+}
+
+// dispatch hands op to every worker and blocks until the barrier. The
+// coordinator's writes to round/advance (and the previous phase's results)
+// happen before the channel sends; the workers' writes happen before
+// wg.Wait returns.
+func (eng *SyncEngine) dispatch(op poolOp, workers int) error {
+	eng.dispatchAsync(op, workers)
+	return eng.await(workers)
+}
+
+// dispatchAsync hands op to every worker without waiting; the caller may
+// overlap sequential work (trace emission) with the workers and must call
+// await before touching any shard state.
+func (eng *SyncEngine) dispatchAsync(op poolOp, workers int) {
+	eng.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		eng.work[w] <- op
+	}
+}
+
+func (eng *SyncEngine) await(workers int) error {
+	eng.wg.Wait()
+	for _, err := range eng.panics[:workers] {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Run executes rounds until every node has reported termination and no
 // messages remain in flight, or the round budget is exhausted (error).
 // Crash-stopped nodes count as terminated; their pending traffic is dropped.
@@ -206,8 +420,6 @@ func (eng *SyncEngine) Run() error {
 		}
 	}
 	inboxes := eng.inboxes
-	done := eng.done
-	doneSeen := eng.doneSeen
 	eng.stats = Stats{}
 	eng.crashed = nil
 
@@ -237,17 +449,28 @@ func (eng *SyncEngine) Run() error {
 		}
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	// Cache, per Run, which nodes implement the optional engine interfaces;
+	// the round loop then iterates only implementors instead of
+	// type-asserting every node every round.
+	eng.sources = eng.sources[:0]
+	eng.gates = eng.gates[:0]
+	for v, nd := range eng.nodes {
+		if src, ok := nd.(EventSource); ok {
+			eng.sources = append(eng.sources, sourceAt{v: v, src: src})
+		}
+		if gate, ok := nd.(RoundGate); ok {
+			eng.gates = append(eng.gates, gateAt{v: v, gate: gate})
+		}
 	}
-	if workers < 1 {
-		workers = 1
-	}
+
+	workers := eng.workerCount()
 	if cap(eng.panics) < workers {
 		eng.panics = make([]error, workers)
 	}
-	panics := eng.panics[:workers]
+	if workers > 1 {
+		eng.startPool(workers)
+		defer eng.stopPool()
+	}
 
 	for round := 0; ; round++ {
 		if round > maxRounds {
@@ -286,17 +509,7 @@ func (eng *SyncEngine) Run() error {
 			}
 		}
 
-		allDone := true
-		pending := len(future) > 0
-		for v := 0; v < n; v++ {
-			if !done[v] && !plan.DeadBy(v, int64(round)) {
-				allDone = false
-			}
-			if len(inboxes[v]) > 0 {
-				pending = true
-			}
-		}
-		if allDone && !pending {
+		if eng.quiescent(plan, int64(round), len(future) > 0) {
 			eng.stats.Rounds = int64(round)
 			return nil
 		}
@@ -304,118 +517,71 @@ func (eng *SyncEngine) Run() error {
 			eng.Trace.Emit(Event{Kind: EventRoundStart, Time: int64(round)})
 		}
 
-		// Step phase: each worker owns a disjoint stripe of nodes. A
+		// Step phase: each worker owns a disjoint shard of nodes. A
 		// panicking node aborts the run with an error instead of killing
 		// the process. Nodes inside a crash window skip their step and lose
-		// any queued input. With a single worker (GOMAXPROCS=1) the stripe
-		// runs inline — no goroutine, no per-round spawn allocations — and
-		// produces the identical sequential semantics.
+		// any queued input. With a single worker the shard runs inline — no
+		// pool, no dispatch — and produces the identical sequential
+		// semantics.
 		if workers == 1 {
 			if err := eng.runStripe(round, advance, 0, n); err != nil {
 				return err
 			}
 		} else {
-			var wg sync.WaitGroup
-			chunk := (n + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				lo, hi := w*chunk, (w+1)*chunk
-				if hi > n {
-					hi = n
-				}
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(w, lo, hi int) {
-					defer wg.Done()
-					panics[w] = eng.runStripe(round, advance, lo, hi)
-				}(w, lo, hi)
+			eng.round, eng.advance = round, advance
+			if err := eng.dispatch(opStep, workers); err != nil {
+				return err
 			}
-			wg.Wait()
-			for _, err := range panics {
-				if err != nil {
+		}
+
+		// Drain events queued by protocol layers during the parallel step, in
+		// node-id order, so the trace stays deterministic across worker
+		// counts.
+		for _, sa := range eng.sources {
+			evs := sa.src.TakeEvents()
+			if eng.Trace == nil {
+				continue
+			}
+			for _, ev := range evs {
+				eng.Trace.Emit(ev)
+			}
+		}
+
+		if plan != nil {
+			// Fault path: faults are decided message by message in one
+			// sequential pass, so a single fault RNG yields identical fault
+			// scripts regardless of the worker count.
+			eng.deliverFaulty(plan, faultRand, future, round)
+		} else {
+			// Fault-free path: every send is delivered to round+1, so
+			// delivery shards by destination — worker w scans all outboxes
+			// in (node, seq) order and keeps the messages addressed to its
+			// own shard, producing inboxes byte-identical to the sequential
+			// merge. Sends are counted and traced from the sequential
+			// section (the trace emission overlaps the workers' delivery:
+			// both only read the outboxes).
+			for v := 0; v < n; v++ {
+				eng.stats.Messages += int64(len(eng.envs[v].outbox))
+			}
+			if workers == 1 {
+				if eng.Trace != nil {
+					eng.emitRoundTrace(round)
+				}
+				eng.deliverShard(0, n, round)
+			} else {
+				eng.round = round
+				eng.dispatchAsync(opDeliver, workers)
+				if eng.Trace != nil {
+					eng.emitRoundTrace(round)
+				}
+				if err := eng.await(workers); err != nil {
 					return err
 				}
 			}
 		}
 
-		// Drain events queued by protocol layers during the parallel step, in
-		// node-id order, so the trace stays deterministic across GOMAXPROCS.
-		for v := 0; v < n; v++ {
-			src, ok := eng.nodes[v].(EventSource)
-			if !ok {
-				continue
-			}
-			for _, ev := range src.TakeEvents() {
-				if eng.Trace != nil {
-					eng.Trace.Emit(ev)
-				}
-			}
-		}
-
-		// A crashed node's queued input is lost with it (accounted after the
-		// barrier so the trace stays ordered).
-		for v := 0; v < n; v++ {
-			if !plan.CrashedAt(v, int64(round)) {
-				continue
-			}
-			for _, m := range inboxes[v] {
-				eng.stats.DroppedFault++
-				if eng.Trace != nil {
-					eng.Trace.Emit(Event{Kind: EventDropFault, Time: int64(round), From: m.From, To: m.To, Payload: payloadName(m.Payload)})
-				}
-			}
-		}
-
-		// Deliver for next round, deterministically in node order. Faults are
-		// decided here, in the single sequential section, so one fault RNG
-		// yields identical fault scripts regardless of GOMAXPROCS.
-		for v := range inboxes {
-			inboxes[v] = inboxes[v][:0]
-		}
-		for v := 0; v < n; v++ {
-			for _, m := range eng.envs[v].outbox {
-				eng.stats.Messages++
-				if eng.Trace != nil {
-					eng.Trace.Emit(Event{Kind: EventSend, Time: int64(round), From: m.From, To: m.To, Payload: payloadName(m.Payload)})
-				}
-				when := int64(round + 1)
-				if plan != nil {
-					if p := plan.lossAt(m.From, m.To); p > 0 && faultRand.Float64() < p {
-						eng.stats.DroppedFault++
-						if eng.Trace != nil {
-							eng.Trace.Emit(Event{Kind: EventDropFault, Time: when, From: m.From, To: m.To, Payload: payloadName(m.Payload)})
-						}
-						continue
-					}
-					if plan.Reorder > 0 {
-						when += faultRand.Int63n(plan.Reorder + 1)
-					}
-					if plan.Dup > 0 && faultRand.Float64() < plan.Dup {
-						dup := m
-						dup.When = when + 1 + faultRand.Int63n(plan.Reorder+2)
-						eng.stats.Duplicated++
-						if eng.Trace != nil {
-							eng.Trace.Emit(Event{Kind: EventDup, Time: dup.When, From: m.From, To: m.To, Payload: payloadName(m.Payload)})
-						}
-						future[dup.When] = append(future[dup.When], dup)
-					}
-				}
-				m.When = when
-				if when > int64(round+1) {
-					future[when] = append(future[when], m)
-				} else {
-					inboxes[m.To] = append(inboxes[m.To], m)
-				}
-			}
-			if eng.Trace != nil && done[v] && !doneSeen[v] {
-				doneSeen[v] = true
-				eng.Trace.Emit(Event{Kind: EventNodeDone, Time: int64(round), From: v, To: -1})
-			}
-		}
-
 		// Probe hook: the round's steps have run and its sends are delivered;
-		// no stripe goroutine is alive, so the hook may read node state.
+		// no shard goroutine is mid-phase, so the hook may read node state.
 		if eng.OnRound != nil {
 			eng.OnRound(int64(round))
 		}
@@ -424,15 +590,139 @@ func (eng *SyncEngine) Run() error {
 		// open a new logical round only when every live gated node has no
 		// unacknowledged traffic outstanding.
 		advance = true
-		for v := 0; v < n; v++ {
-			gate, ok := eng.nodes[v].(RoundGate)
-			if !ok || plan.CrashedAt(v, int64(round+1)) {
+		for _, ga := range eng.gates {
+			if plan.CrashedAt(ga.v, int64(round+1)) {
 				continue
 			}
-			if !gate.GateReady() {
+			if !ga.gate.GateReady() {
 				advance = false
 				break
 			}
+		}
+	}
+}
+
+// quiescent reports global termination: every live node done and no traffic
+// in flight.
+func (eng *SyncEngine) quiescent(plan *FaultPlan, round int64, futurePending bool) bool {
+	for v := range eng.done {
+		if !eng.done[v] && !plan.DeadBy(v, round) {
+			return false
+		}
+	}
+	if futurePending {
+		return false
+	}
+	for v := range eng.inboxes {
+		if len(eng.inboxes[v]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// emitRoundTrace emits the round's send and node-termination events in the
+// fixed (node, seq) order of the sequential engine. Fault-free path only:
+// under a fault plan the events interleave with fault decisions inside
+// deliverFaulty instead.
+func (eng *SyncEngine) emitRoundTrace(round int) {
+	for v := 0; v < len(eng.nodes); v++ {
+		for _, m := range eng.envs[v].outbox {
+			eng.Trace.Emit(Event{Kind: EventSend, Time: int64(round), From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+		}
+		if eng.done[v] && !eng.doneSeen[v] {
+			eng.doneSeen[v] = true
+			eng.Trace.Emit(Event{Kind: EventNodeDone, Time: int64(round), From: v, To: -1})
+		}
+	}
+}
+
+// deliverShard clears and refills the inboxes of destination nodes in
+// [dlo, dhi) from every node's outbox, in (sender, seq) order — the same
+// order the sequential merge produces. Workers own disjoint destination
+// ranges and only read the outboxes, so concurrent shards never conflict.
+// Fault-free path only: every message matures exactly one round later.
+func (eng *SyncEngine) deliverShard(dlo, dhi, round int) {
+	for v := dlo; v < dhi; v++ {
+		eng.inboxes[v] = eng.inboxes[v][:0]
+	}
+	when := int64(round + 1)
+	for v := 0; v < len(eng.nodes); v++ {
+		out := eng.envs[v].outbox
+		for i := range out {
+			to := out[i].To
+			if to < dlo || to >= dhi {
+				continue
+			}
+			m := out[i]
+			m.When = when
+			eng.inboxes[to] = append(eng.inboxes[to], m)
+		}
+	}
+}
+
+// deliverFaulty is the sequential delivery phase used under a fault plan:
+// loss, reordering and duplication are decided per message from the single
+// fault RNG, so the fault script is a pure function of the plan seed. It
+// also accounts traffic lost to crash windows and emits the round's trace
+// events in their canonical interleaving.
+func (eng *SyncEngine) deliverFaulty(plan *FaultPlan, faultRand *rand.Rand, future map[int64][]Message, round int) {
+	n := len(eng.nodes)
+	inboxes := eng.inboxes
+
+	// A crashed node's queued input is lost with it (accounted after the
+	// step barrier so the trace stays ordered).
+	for v := 0; v < n; v++ {
+		if !plan.CrashedAt(v, int64(round)) {
+			continue
+		}
+		for _, m := range inboxes[v] {
+			eng.stats.DroppedFault++
+			if eng.Trace != nil {
+				eng.Trace.Emit(Event{Kind: EventDropFault, Time: int64(round), From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+			}
+		}
+	}
+
+	for v := range inboxes {
+		inboxes[v] = inboxes[v][:0]
+	}
+	for v := 0; v < n; v++ {
+		for _, m := range eng.envs[v].outbox {
+			eng.stats.Messages++
+			if eng.Trace != nil {
+				eng.Trace.Emit(Event{Kind: EventSend, Time: int64(round), From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+			}
+			when := int64(round + 1)
+			if p := plan.lossAt(m.From, m.To); p > 0 && faultRand.Float64() < p {
+				eng.stats.DroppedFault++
+				if eng.Trace != nil {
+					eng.Trace.Emit(Event{Kind: EventDropFault, Time: when, From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+				}
+				continue
+			}
+			if plan.Reorder > 0 {
+				when += faultRand.Int63n(plan.Reorder + 1)
+			}
+			if plan.Dup > 0 && faultRand.Float64() < plan.Dup {
+				dup := m
+				dup.When = when + 1 + faultRand.Int63n(plan.Reorder+2)
+				eng.stats.Duplicated++
+				if eng.Trace != nil {
+					eng.Trace.Emit(Event{Kind: EventDup, Time: dup.When, From: m.From, To: m.To, Payload: payloadName(m.Payload)})
+				}
+				future[dup.When] = append(future[dup.When], dup)
+			}
+			m.When = when
+			if when > int64(round+1) {
+				future[when] = append(future[when], m)
+			} else {
+				inboxes[m.To] = append(inboxes[m.To], m)
+			}
+		}
+		if eng.Trace != nil && eng.done[v] && !eng.doneSeen[v] {
+			eng.doneSeen[v] = true
+			eng.Trace.Emit(Event{Kind: EventNodeDone, Time: int64(round), From: v, To: -1})
 		}
 	}
 }
