@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"fdlsp"
+	"fdlsp/internal/conformance"
 	"fdlsp/internal/graph"
 )
 
@@ -266,6 +267,49 @@ func FuzzScheduleJSON(f *testing.F) {
 		}
 		if back.FrameLength != frame.FrameLength {
 			t.Fatal("frame length changed through JSON")
+		}
+	})
+}
+
+// FuzzPatchMatchesRebuild is the fuzzed half of the cache-patch conformance
+// oracle: an arbitrary topology and an arbitrary event stream — including
+// invalid events, which both sides must reject identically — drive one
+// rescheduling session maintained by incremental distance-2 conflict-cache
+// patches against one that rebuilds the cache on every mutation. Reports,
+// schedules, and every conflict row must stay byte-identical throughout.
+func FuzzPatchMatchesRebuild(f *testing.F) {
+	f.Add([]byte{8, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5}, []byte{0, 0, 2, 1, 0, 1, 2, 3, 4})
+	f.Add([]byte{6, 0, 1, 1, 2, 2, 3}, []byte{4, 0, 0, 5, 1, 2, 3, 3, 1, 0, 4, 5})
+	f.Add([]byte{12, 0, 1, 0, 2, 0, 3, 1, 2, 4, 5}, []byte{2, 0, 1, 0, 0, 1})
+	f.Add([]byte{5, 0, 1}, []byte{})
+	f.Fuzz(func(t *testing.T, gdata, edata []byte) {
+		g := graphFromBytes(gdata)
+		if g.N() < 2 {
+			return
+		}
+		var batches [][]fdlsp.TopologyEvent
+		var batch []fdlsp.TopologyEvent
+		for i := 0; i+2 < len(edata); i += 3 {
+			// One kind value past NodeMove stays in the decode range on
+			// purpose: unknown kinds must be rejected identically too.
+			kind := fdlsp.TopologyEventKind(int(edata[i]) % 6)
+			u, v := int(edata[i+1])%g.N(), int(edata[i+2])%g.N()
+			ev := fdlsp.TopologyEvent{Kind: kind, U: u, V: v}
+			if kind == fdlsp.EventNodeJoin || kind == fdlsp.EventNodeMove {
+				ev.V = 0
+				ev.Peers = []int{v}
+			}
+			batch = append(batch, ev)
+			if len(batch) == 3 {
+				batches = append(batches, batch)
+				batch = nil
+			}
+		}
+		if len(batch) > 0 {
+			batches = append(batches, batch)
+		}
+		if err := conformance.PatchRebuildStream(g, batches); err != nil {
+			t.Fatal(err)
 		}
 	})
 }

@@ -1,7 +1,8 @@
 // Package benchkit is the repository's benchmark baseline harness: it
 // measures the end-to-end scheduling latency, allocation profile and
-// communication cost of the two engines on fixed seeded instances and
-// renders the result as JSON. cmd/fdlsbench writes the committed
+// communication cost of the two scheduling engines — plus the per-update
+// cost of the incremental rescheduling session — on fixed seeded instances
+// and renders the result as JSON. cmd/fdlsbench writes the committed
 // BENCH_sim.json baseline with it; CI runs the short suite as a smoke check
 // and gates allocation regressions with Compare. The cost metrics (slots,
 // rounds, messages) are the deterministic per-seed values; the timing and
@@ -17,8 +18,11 @@ import (
 	"runtime"
 	"time"
 
+	"fdlsp/internal/coloring"
 	"fdlsp/internal/core"
+	"fdlsp/internal/dynamic"
 	"fdlsp/internal/graph"
+	"fdlsp/internal/incr"
 )
 
 // Iteration floors for every measurement. testing.Benchmark-style
@@ -32,8 +36,9 @@ const (
 )
 
 // Spec is one benchmark point: an engine ("sync" runs DistMIS on the
-// lock-step engine, "async" runs DFS on the discrete-event engine) on a
-// seeded connected G(n,m) instance with m = 3n.
+// lock-step engine, "async" runs DFS on the discrete-event engine, "incr"
+// applies a fixed single-link update batch to a live rescheduling session)
+// on a seeded connected G(n,m) instance with m = 3n.
 type Spec struct {
 	Name   string `json:"name"`
 	Engine string `json:"engine"`
@@ -69,20 +74,28 @@ type Report struct {
 	Results       []Measurement `json:"results"`
 }
 
-// DefaultSpecs returns the baseline grid: both engines at n ∈ {64, 256,
-// 1024, 4096}, with the parallel sync engine additionally measured at
-// n ∈ {16384, 65536} — the scale the sharded round loop exists for (short:
-// {16, 64}, small enough for a CI smoke run).
+// DefaultSpecs returns the baseline grid: both scheduling engines at
+// n ∈ {64, 256, 1024, 4096}, with the parallel sync engine additionally
+// measured at n ∈ {16384, 65536} — the scale the sharded round loop exists
+// for — and the incremental session engine at n ∈ {256, 1024, 4096}, where
+// the per-update cost columns must hold flat across the scale sweep (the
+// point of the patched conflict cache). Short grids are small enough for a
+// CI smoke run: {16, 64} for the scheduling engines, {64, 256} for incr.
 func DefaultSpecs(short bool) []Spec {
 	sizes := []int{64, 256, 1024, 4096}
 	if short {
 		sizes = []int{16, 64}
 	}
 	var specs []Spec
-	for _, engine := range []string{"sync", "async"} {
+	for _, engine := range []string{"sync", "async", "incr"} {
 		esizes := sizes
-		if engine == "sync" && !short {
-			esizes = append(esizes, 16384, 65536)
+		switch {
+		case engine == "sync" && !short:
+			esizes = append(append([]int{}, sizes...), 16384, 65536)
+		case engine == "incr" && !short:
+			esizes = []int{256, 1024, 4096}
+		case engine == "incr":
+			esizes = []int{64, 256}
 		}
 		for _, n := range esizes {
 			specs = append(specs, Spec{
@@ -125,6 +138,9 @@ func Run(suite string, specs []Spec) (*Report, error) {
 // whole loop (Mallocs/TotalAlloc are monotonic, so no GC fencing is
 // needed), divided by the iteration count.
 func measure(spec Spec) (Measurement, error) {
+	if spec.Engine == "incr" {
+		return measureIncr(spec)
+	}
 	g := graph.ConnectedGNM(spec.Nodes, spec.Edges, rand.New(rand.NewSource(spec.Seed)))
 	run := func() (*core.Result, error) {
 		switch spec.Engine {
@@ -133,7 +149,7 @@ func measure(spec Spec) (Measurement, error) {
 		case "async":
 			return core.DFS(g, core.DFSOptions{Seed: spec.Seed})
 		default:
-			return nil, fmt.Errorf("unknown engine %q (want sync or async)", spec.Engine)
+			return nil, fmt.Errorf("unknown engine %q (want sync, async or incr)", spec.Engine)
 		}
 	}
 	res, err := run()
@@ -167,6 +183,59 @@ func measure(spec Spec) (Measurement, error) {
 		Slots:       res.Slots,
 		Rounds:      res.Stats.Rounds,
 		Messages:    res.Stats.Messages,
+	}, nil
+}
+
+// measureIncr times the incremental rescheduling path: one live session over
+// the seeded instance, with each operation applying a drop-and-readd batch
+// of the instance's first edge. The warm-up batch pays the initial
+// conflict-cache build and provides the deterministic cost columns — Slots
+// is the frame after repair, Rounds the repair rounds, and Messages the
+// conflict rows rewritten by the cache patch, which is the locality
+// contract: it is bounded by the flipped edge's 2-hop neighborhood and must
+// not scale with the instance's total arc count. Compare gates on it like
+// any other cost column, so a patch path that regresses to whole-graph
+// rewrites drifts the baseline and fails CI.
+func measureIncr(spec Spec) (Measurement, error) {
+	g := graph.ConnectedGNM(spec.Nodes, spec.Edges, rand.New(rand.NewSource(spec.Seed)))
+	up, err := incr.New(g, coloring.Greedy(g, nil))
+	if err != nil {
+		return Measurement{}, err
+	}
+	e := g.Edges()[0]
+	batch := []dynamic.Event{
+		{Kind: dynamic.LinkDown, U: e.U, V: e.V},
+		{Kind: dynamic.LinkUp, U: e.U, V: e.V},
+	}
+	rep, err := up.Apply(batch)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now() //lint:ignore detrand benchmark harness wall-clock measurement, outside protocol code
+	iters := 0
+	//lint:ignore detrand benchmark harness wall-clock measurement, outside protocol code
+	for iters < MinIterations || time.Since(start).Nanoseconds() < MinBenchNs {
+		if _, err := up.Apply(batch); err != nil {
+			return Measurement{}, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start).Nanoseconds() //lint:ignore detrand benchmark harness wall-clock measurement, outside protocol code
+	runtime.ReadMemStats(&after)
+
+	return Measurement{
+		Spec:        spec,
+		Iterations:  iters,
+		NsPerOp:     elapsed / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		Slots:       rep.FrameLength,
+		Rounds:      int64(rep.Rounds),
+		Messages:    int64(rep.CachePatchedArcs),
 	}, nil
 }
 

@@ -9,8 +9,8 @@ import (
 // a fully populated, deterministic-cost report that round-trips as JSON.
 func TestShortSuite(t *testing.T) {
 	specs := DefaultSpecs(true)
-	if len(specs) != 4 {
-		t.Fatalf("short grid has %d specs, want 4", len(specs))
+	if len(specs) != 6 {
+		t.Fatalf("short grid has %d specs, want 6", len(specs))
 	}
 	rep, err := Run("smoke", specs)
 	if err != nil {
@@ -71,16 +71,18 @@ func TestUnknownEngineRejected(t *testing.T) {
 }
 
 // TestFullGrid pins the committed baseline's shape: both engines at the
-// common sizes, plus the parallel sync engine's large-scale rows.
+// common sizes, the parallel sync engine's large-scale rows, and the
+// incremental session's scale sweep.
 func TestFullGrid(t *testing.T) {
 	specs := DefaultSpecs(false)
-	if len(specs) != 10 {
-		t.Fatalf("full grid has %d specs, want 10", len(specs))
+	if len(specs) != 13 {
+		t.Fatalf("full grid has %d specs, want 13", len(specs))
 	}
 	want := map[string]bool{
 		"sync-n64": true, "sync-n256": true, "sync-n1024": true, "sync-n4096": true,
 		"sync-n16384": true, "sync-n65536": true,
 		"async-n64": true, "async-n256": true, "async-n1024": true, "async-n4096": true,
+		"incr-n256": true, "incr-n1024": true, "incr-n4096": true,
 	}
 	for _, s := range specs {
 		if !want[s.Name] {
@@ -171,5 +173,35 @@ func TestCompareWallClockGate(t *testing.T) {
 	cmp = Compare(base, within, 0.25)
 	if len(cmp.Fatal) != 0 {
 		t.Fatalf("within-band wall clock flagged fatal: %v", cmp.Fatal)
+	}
+}
+
+// TestIncrUpdateCostIndependentOfScale pins the incremental engine's
+// locality contract through the deterministic cost column: the conflict rows
+// a single-link update rewrites (Messages) are bounded by the flipped edge's
+// 2-hop neighborhood — a function of local degree, not of instance size — so
+// growing the instance 16x must not grow the per-update patch footprint
+// anywhere near proportionally.
+func TestIncrUpdateCostIndependentOfScale(t *testing.T) {
+	small, err := measure(Spec{Name: "incr-n256", Engine: "incr", Nodes: 256, Edges: 768, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := measure(Spec{Name: "incr-n4096", Engine: "incr", Nodes: 4096, Edges: 12288, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Messages <= 0 || large.Messages <= 0 {
+		t.Fatalf("patched-row columns not populated: %d / %d", small.Messages, large.Messages)
+	}
+	// 16x nodes and arcs; the patched-row count may wobble with the local
+	// degrees around the flipped edge but must stay in the same ballpark.
+	if large.Messages > 8*small.Messages {
+		t.Fatalf("per-update patch cost scaled with the graph: %d rows at n=4096 vs %d at n=256",
+			large.Messages, small.Messages)
+	}
+	// And it must be a vanishing fraction of the whole conflict cache.
+	if total := int64(2 * large.Edges); large.Messages*10 > total {
+		t.Fatalf("patch rewrote %d of %d rows — not a local update", large.Messages, total)
 	}
 }

@@ -11,8 +11,10 @@ package coloring
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fdlsp/internal/graph"
 )
@@ -40,39 +42,170 @@ func Conflict(g *graph.Graph, a, b graph.Arc) bool {
 }
 
 // conflictCache is the per-graph distance-2 conflict structure: for every
-// arc (by graph.ArcIndex) the sorted slice of conflicting arcs, stored as
-// spans into one flat slab. It hangs off the graph's topology cache via
-// graph.Aux, so it is built once per topology, immutable after build, safe
-// for concurrent readers, and discarded automatically when the graph
-// mutates.
+// arc (by its stable graph.ArcIndex id) the sorted slice of conflicting
+// arcs. A fresh build lays all rows out as spans of one flat slab; after a
+// topology mutation the cache is *patched*, not rebuilt — it survives on
+// the graph's aux table (AuxSurvivesMutation) and re-syncs lazily from the
+// graph's edge-delta journal, replacing only the rows of arcs within
+// distance 2 of the flipped edges' endpoints. Only when the journal has
+// been truncated (or the graph disabled patching) does it fall back to a
+// full rebuild.
+//
+// Readers never lock: rows are immutable once published and the synced
+// epoch is advanced with a release store after all row writes, so the
+// epoch-equality fast path in cacheOf orders reads after the patch.
 type conflictCache struct {
-	spans []span
-	flat  []graph.Arc
+	conflicts [][]graph.Arc // by stable arc id; nil for unassigned/freed ids
+	epoch     atomic.Uint64 // graph.MutEpoch the rows are synced to
+	mu        sync.Mutex    // serializes sync (patch or rebuild)
+
+	builds      atomic.Uint64 // full row-set (re)builds
+	patches     atomic.Uint64 // incremental syncs applied
+	patchedArcs atomic.Uint64 // rows rewritten by incremental syncs
+
 	// scratch pools the []bool color-occupancy buffers smallestFeasible
 	// uses; pooling keeps the greedy inner loop allocation-free without
 	// affecting determinism (buffers are cleared on every use).
 	scratch sync.Pool
 }
 
-type span struct{ lo, hi int32 }
+// AuxSurvivesMutation marks the cache as patchable: the graph keeps it
+// across AddEdge/RemoveEdge instead of discarding it, and cacheOf re-syncs
+// it from the mutation journal.
+func (*conflictCache) AuxSurvivesMutation() {}
 
 type conflictAuxKey struct{}
 
 func cacheOf(g *graph.Graph) *conflictCache {
-	return g.Aux(conflictAuxKey{}, func() any { return buildConflictCache(g) }).(*conflictCache)
-}
-
-func buildConflictCache(g *graph.Graph) *conflictCache {
-	arcs := g.ArcsView()
-	c := &conflictCache{spans: make([]span, len(arcs))}
-	c.scratch.New = func() any { return new([]bool) }
-	var buf []graph.Arc
-	for i, a := range arcs {
-		buf = appendConflicts(g, a, buf[:0])
-		c.spans[i] = span{lo: int32(len(c.flat)), hi: int32(len(c.flat) + len(buf))}
-		c.flat = append(c.flat, buf...)
+	c := g.Aux(conflictAuxKey{}, func() any { return newConflictCache(g) }).(*conflictCache)
+	if c.epoch.Load() != g.MutEpoch() {
+		c.sync(g)
 	}
 	return c
+}
+
+func newConflictCache(g *graph.Graph) *conflictCache {
+	c := &conflictCache{}
+	c.scratch.New = func() any { return new([]bool) }
+	c.rebuild(g)
+	c.epoch.Store(g.MutEpoch())
+	return c
+}
+
+// rebuild recomputes every row from the live topology into one flat slab.
+func (c *conflictCache) rebuild(g *graph.Graph) {
+	arcs := g.ArcsView()
+	conflicts := make([][]graph.Arc, g.ArcIDBound())
+	var flat []graph.Arc
+	var buf []graph.Arc
+	spans := make([][2]int, len(arcs))
+	for i, a := range arcs {
+		buf = appendConflicts(g, a, buf[:0])
+		spans[i] = [2]int{len(flat), len(flat) + len(buf)}
+		flat = append(flat, buf...)
+	}
+	// Rows are carved out of flat only once it stops growing, so the
+	// subslices alias the final backing array.
+	for i, a := range arcs {
+		id, _ := g.ArcIndex(a)
+		conflicts[id] = flat[spans[i][0]:spans[i][1]:spans[i][1]]
+	}
+	c.conflicts = conflicts
+	c.builds.Add(1)
+}
+
+// sync brings the rows up to the graph's current mutation epoch: replay the
+// edge-delta journal when it is contiguous from the cache's epoch (patching
+// only the 2-hop neighborhood of the flipped edges), or rebuild everything
+// when it is not.
+func (c *conflictCache) sync(g *graph.Graph) {
+	target := g.MutEpoch()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.epoch.Load()
+	if cur == target {
+		return
+	}
+	if ds, ok := g.EdgeDeltasSince(cur); ok {
+		c.patch(g, ds)
+	} else {
+		c.rebuild(g)
+	}
+	c.epoch.Store(target)
+}
+
+// patch replays journaled edge flips against the rows. Correctness rests on
+// the paper's locality argument: flipping edge {u,v} changes the conflict
+// set only of arcs with an endpoint in {u,v} ∪ N(u) ∪ N(v) — everything
+// within distance 2 of the flip, nothing beyond. Replaying a whole batch
+// against the final topology is sound by maximality: for the last journaled
+// flip affecting an arc a, either a touches that flip's endpoints directly,
+// or the adjacency that put a in its 2-hop set still holds at the final
+// topology (any later change to it would itself be a later affecting flip).
+// So clearing the flipped arcs' rows and recomputing every live arc
+// incident to S = ∪ {u_i,v_i} ∪ N(u_i) ∪ N(v_i) (N at the final topology)
+// rewrites a superset of the stale rows, each from current adjacency.
+func (c *conflictCache) patch(g *graph.Graph, ds []graph.EdgeDelta) {
+	if bound := g.ArcIDBound(); bound > len(c.conflicts) {
+		grown := make([][]graph.Arc, bound)
+		copy(grown, c.conflicts)
+		c.conflicts = grown
+	}
+	nodes := make(map[int]struct{}, 4*len(ds))
+	for _, d := range ds {
+		// Clear first: rows of removed arcs must die, and a freed id
+		// recycled by a later addition in the same batch is recomputed
+		// below (its endpoints are in S too).
+		c.conflicts[d.IDUV] = nil
+		c.conflicts[d.IDVU] = nil
+		nodes[d.U] = struct{}{}
+		nodes[d.V] = struct{}{}
+		for _, w := range g.NeighborsView(d.U) {
+			nodes[w] = struct{}{}
+		}
+		for _, w := range g.NeighborsView(d.V) {
+			nodes[w] = struct{}{}
+		}
+	}
+	order := make([]int, 0, len(nodes))
+	for v := range nodes {
+		order = append(order, v)
+	}
+	sort.Ints(order)
+	touched := make(map[int32]struct{}, 8*len(ds))
+	for _, v := range order {
+		for _, a := range g.IncidentArcsView(v) {
+			id, _ := g.ArcIndex(a)
+			if _, done := touched[int32(id)]; done {
+				continue
+			}
+			touched[int32(id)] = struct{}{}
+			row := appendConflicts(g, a, nil)
+			c.conflicts[id] = row[:len(row):len(row)]
+		}
+	}
+	c.patches.Add(1)
+	c.patchedArcs.Add(uint64(len(touched)))
+}
+
+// CacheStatsSnapshot reports the lifetime work of a graph's conflict cache:
+// full row-set builds, incremental patches, and rows rewritten by patches.
+type CacheStatsSnapshot struct {
+	Builds      uint64
+	Patches     uint64
+	PatchedArcs uint64
+}
+
+// CacheStats returns the conflict cache's maintenance counters for g,
+// creating (and syncing) the cache if needed. Counters reset when the
+// cache itself is discarded (a non-patched mutation or deserialization).
+func CacheStats(g *graph.Graph) CacheStatsSnapshot {
+	c := cacheOf(g)
+	return CacheStatsSnapshot{
+		Builds:      c.builds.Load(),
+		Patches:     c.patches.Load(),
+		PatchedArcs: c.patchedArcs.Load(),
+	}
 }
 
 // appendConflicts appends the sorted conflict set of a to dst. It gathers
@@ -112,21 +245,23 @@ func appendConflicts(g *graph.Graph, a graph.Arc, dst []graph.Arc) []graph.Arc {
 // RemoveEdge on g.
 func ConflictingArcs(g *graph.Graph, a graph.Arc) []graph.Arc {
 	if i, ok := g.ArcIndex(a); ok {
-		c := cacheOf(g)
-		s := c.spans[i]
-		return c.flat[s.lo:s.hi:s.hi]
+		return cacheOf(g).conflicts[i]
 	}
 	// a is not an arc of g (callers probing hypothetical links): compute a
 	// fresh set without touching the cache.
 	return appendConflicts(g, a, nil)
 }
 
+// sortArcs orders arcs by (From, To). slices.SortFunc rather than
+// sort.Slice: the reflection-based swapper moving 16-byte Arc values was
+// ~70% of a conflict-row recomputation under profile, and row recomputation
+// is the whole cost of a cache patch.
 func sortArcs(arcs []graph.Arc) {
-	sort.Slice(arcs, func(i, j int) bool {
-		if arcs[i].From != arcs[j].From {
-			return arcs[i].From < arcs[j].From
+	slices.SortFunc(arcs, func(a, b graph.Arc) int {
+		if a.From != b.From {
+			return a.From - b.From
 		}
-		return arcs[i].To < arcs[j].To
+		return a.To - b.To
 	})
 }
 
@@ -323,11 +458,17 @@ func Greedy(g *graph.Graph, order []graph.Arc) Assignment {
 // coloring of the result is a feasible FDLSP schedule for g.
 func ConflictGraph(g *graph.Graph) (*graph.Graph, []graph.Arc) {
 	arcs := g.Arcs()
+	// Vertex numbering follows the sorted arc list, not graph.ArcIndex:
+	// stable arc ids drift from sorted positions once the topology has been
+	// patched, and the conflict graph's vertices must stay position-keyed.
+	pos := make(map[graph.Arc]int, len(arcs))
+	for i, a := range arcs {
+		pos[a] = i
+	}
 	cg := graph.New(len(arcs))
 	for i, a := range arcs {
 		for _, b := range ConflictingArcs(g, a) {
-			j, _ := g.ArcIndex(b)
-			if i < j {
+			if j := pos[b]; i < j {
 				cg.AddEdge(i, j)
 			}
 		}

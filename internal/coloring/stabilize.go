@@ -31,11 +31,13 @@ import (
 // is what lets the round count stand in for convergence time.
 //
 // The usable-frame fraction is sampled at the top of every round. It is
-// maintained incrementally: one full audit when repair starts, then
-// per-round updates confined to the actors and their conflict sets — only
-// an arc whose color changed, or whose conflict set contains such an arc,
-// can change usable status — so a round costs O(|actors|·Δ⁴) instead of the
-// O(arcs·Δ²) a full re-audit would.
+// maintained incrementally and sparsely: the tracker audits only the dirty
+// set at startup (sound because every unusable arc is dirty — see
+// usableTracker), then per-round updates are confined to the actors and
+// their conflict sets — only an arc whose color changed, or whose conflict
+// set contains such an arc, can change usable status. Repair therefore
+// costs O(|dirty|·Δ²) to start and O(|actors|·Δ⁴) per round, never a term
+// proportional to the whole graph's arc count.
 func Stabilize(g *graph.Graph, as Assignment, dirty map[graph.Arc]bool) (rounds int, minUsable float64, err error) {
 	minUsable = 1
 	if len(dirty) == 0 {
@@ -48,7 +50,7 @@ func Stabilize(g *graph.Graph, as Assignment, dirty map[graph.Arc]bool) (rounds 
 	}
 	sort.Slice(work, func(i, j int) bool { return less(work[i], work[j]) })
 
-	ut := newUsableTracker(g, as)
+	ut := newUsableTracker(g, as, work)
 	budget := 2*len(work) + 8
 	for {
 		// Re-filter: an arc is still dirty if uncolored or clashing.
@@ -126,27 +128,33 @@ func actsThisRound(g *graph.Graph, a graph.Arc, dirty map[graph.Arc]bool) bool {
 	return true
 }
 
-// usableTracker maintains UsableArcs incrementally across recolorings: a
-// status bit per arc (by graph.ArcIndex — the topology is frozen while a
-// tracker lives) plus the running usable count. recheck re-derives one arc's
-// bit after its color, or a conflicting arc's color, changed; fraction is
-// exactly UsableFraction (same integer counts, same division) without the
-// full O(arcs·Δ²) re-audit.
+// usableTracker maintains UsableArcs incrementally across recolorings by
+// tracking only the *unusable* arcs (uncolored, or clashing with a
+// conflicting arc). Seeding it from the caller's dirty set is exact under
+// Stabilize's own precondition — every arc violating the schedule is in the
+// dirty set (clashes are symmetric: both members of a same-slot pair are
+// unusable AND dirty, so unusable ⊆ dirty) — which makes startup
+// O(|dirty|·Δ²) instead of the O(arcs·Δ²) full audit plus O(arcs)
+// allocation the tracker used to pay. fraction is exactly UsableFraction
+// (same integer counts, same division). recheck re-derives one arc's status
+// after its color, or a conflicting arc's color, changed.
 type usableTracker struct {
-	g      *graph.Graph
-	as     Assignment
-	ok     []bool
-	usable int
-	total  int
+	g        *graph.Graph
+	as       Assignment
+	unusable map[graph.Arc]struct{}
+	total    int
 }
 
-func newUsableTracker(g *graph.Graph, as Assignment) *usableTracker {
-	arcs := g.ArcsView()
-	t := &usableTracker{g: g, as: as, ok: make([]bool, len(arcs)), total: len(arcs)}
-	for i, a := range arcs {
-		if arcUsable(g, as, a) {
-			t.ok[i] = true
-			t.usable++
+func newUsableTracker(g *graph.Graph, as Assignment, seed []graph.Arc) *usableTracker {
+	t := &usableTracker{
+		g:        g,
+		as:       as,
+		unusable: make(map[graph.Arc]struct{}, len(seed)),
+		total:    2 * g.M(),
+	}
+	for _, a := range seed {
+		if !arcUsable(g, as, a) {
+			t.unusable[a] = struct{}{}
 		}
 	}
 	return t
@@ -168,24 +176,22 @@ func arcUsable(g *graph.Graph, as Assignment, a graph.Arc) bool {
 }
 
 func (t *usableTracker) recheck(a graph.Arc) {
-	i, ok := t.g.ArcIndex(a)
-	if !ok {
+	if _, ok := t.g.ArcIndex(a); !ok {
+		delete(t.unusable, a)
 		return
 	}
-	now := arcUsable(t.g, t.as, a)
-	if now != t.ok[i] {
-		t.ok[i] = now
-		if now {
-			t.usable++
-		} else {
-			t.usable--
-		}
+	if arcUsable(t.g, t.as, a) {
+		delete(t.unusable, a)
+	} else {
+		t.unusable[a] = struct{}{}
 	}
 }
+
+func (t *usableTracker) usableCount() int { return t.total - len(t.unusable) }
 
 func (t *usableTracker) fraction() float64 {
 	if t.total == 0 {
 		return 1
 	}
-	return float64(t.usable) / float64(t.total)
+	return float64(t.usableCount()) / float64(t.total)
 }

@@ -1,0 +1,63 @@
+package conformance
+
+import (
+	"testing"
+
+	"fdlsp/internal/dynamic"
+	"fdlsp/internal/graph"
+)
+
+// TestPatchRebuildOracle is the cache-patch conformance gate: over every
+// differential topology and seeded event stream, a session maintained by
+// incremental conflict-cache patches must be indistinguishable — reports,
+// schedules, frames, and byte-identical conflict rows — from one that
+// rebuilds the cache wholesale on every mutation. CI runs it under -race.
+// In -short mode it narrows to one seed.
+func TestPatchRebuildOracle(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	if fails := PatchRebuild(seeds); len(fails) != 0 {
+		for _, f := range fails {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestPatchRebuildStreamRejectsInvalidEqually: a stream of only invalid
+// batches leaves both sessions at their initial state, still equal.
+func TestPatchRebuildStreamRejectsInvalidEqually(t *testing.T) {
+	g := graph.Path(6)
+	batches := [][]dynamic.Event{
+		{{Kind: dynamic.LinkUp, U: 0, V: 1}},   // exists
+		{{Kind: dynamic.LinkDown, U: 0, V: 5}}, // missing
+		{{Kind: dynamic.LinkUp, U: 3, V: 3}},   // self loop
+		{{Kind: dynamic.EventKind(99), U: 0}},  // unknown kind
+	}
+	if err := PatchRebuildStream(g, batches); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomEventBatchesDeterministic: the generator is a pure function of
+// (graph, count, seed) — the oracle and the fuzz corpus depend on that.
+func TestRandomEventBatchesDeterministic(t *testing.T) {
+	g := DifferentialGraphs()["grid-5x6"]
+	a := RandomEventBatches(g, 30, 7)
+	b := RandomEventBatches(g, 30, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("batch %d lengths differ", i)
+		}
+		for j := range a[i] {
+			av, bv := a[i][j], b[i][j]
+			if av.Kind != bv.Kind || av.U != bv.U || av.V != bv.V || len(av.Peers) != len(bv.Peers) {
+				t.Fatalf("batch %d event %d differs: %+v vs %+v", i, j, av, bv)
+			}
+		}
+	}
+}

@@ -32,8 +32,8 @@ func cloneArcs(src []Arc) []Arc {
 // by (From, To). For a graph with m edges the result has 2m arcs. The slice
 // is freshly allocated; ArcsView is the shared zero-copy variant.
 func (g *Graph) Arcs() []Arc {
-	if c := g.cache.Load(); c != nil {
-		return cloneArcs(c.arcs)
+	if g.cache.Load() != nil {
+		return cloneArcs(g.ArcsView())
 	}
 	out := make([]Arc, 0, 2*g.m)
 	for u := range g.adj {

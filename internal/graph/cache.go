@@ -3,31 +3,80 @@ package graph
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// topoCache is an immutable snapshot of the graph's sorted adjacency
-// structure. It is built lazily on first use, shared by every reader, and
-// dropped wholesale when the graph mutates (AddEdge/RemoveEdge), so a cache
-// pointer obtained before a mutation never observes the new topology.
+// topoCache is a snapshot of the graph's sorted adjacency structure. It is
+// built lazily on first use and shared by every reader. A mutation
+// (AddEdge/RemoveEdge) normally *patches* it in place: the per-node rows of
+// the two endpoints are replaced copy-on-write (previously returned view
+// slices are never written through), the global arc list is marked stale and
+// rebuilt lazily, and the arc-id index is updated for just the two arcs that
+// appeared or vanished. Only when no cache exists yet — or patching is
+// disabled via SetTopoPatching — does a mutation fall back to dropping the
+// cache wholesale.
 //
-// Invariants: every slice is sorted (neighbor lists ascending, arc lists by
-// (From, To)), nothing is mutated after build, and concurrent readers may
-// share the slices freely. Callers of the *View accessors must treat the
-// returned slices as read-only.
+// Invariants: every row slice is sorted (neighbor lists ascending, arc lists
+// by (From, To)), row slices are never mutated after publication (a patch
+// swaps in freshly allocated rows), and concurrent readers may share the
+// slices freely. Callers of the *View accessors must treat the returned
+// slices as read-only; a slice stays valid (describing the topology at the
+// time of the call) until the caller lets go of it, but after a mutation it
+// no longer reflects the live graph.
 type topoCache struct {
 	nbrs     [][]int // per-node sorted neighbor lists
-	arcs     []Arc   // all 2m arcs, sorted by (From, To)
 	incident [][]Arc // per-node arcs touching v, sorted by (From, To)
 	out      [][]Arc // per-node arcs leaving v, sorted by To
 	in       [][]Arc // per-node arcs entering v, sorted by From
-	index    map[Arc]int32
+
+	// index assigns every live arc a stable id: ids survive patches (an
+	// arc keeps its id until removed) and removed ids are recycled LIFO
+	// through freeIDs, so ids stay dense in [0, idBound). After a fresh
+	// build ids coincide with positions in the sorted arc list; patches
+	// break that coincidence — consumers needing sorted order iterate
+	// ArcsView, consumers needing a dense table index size it ArcIDBound.
+	index   map[Arc]int32
+	freeIDs []int32
+	idBound int32
+
+	// arcs caches the sorted global arc list. A patch clears it; the next
+	// ArcsView rebuilds it from the (already sorted) out rows in one
+	// append pass. Atomic so the lazy rebuild double-checks race-free.
+	// arcsMu is deliberately separate from auxMu: Aux build callbacks run
+	// under auxMu and are allowed to call ArcsView.
+	arcs   atomic.Pointer[[]Arc]
+	arcsMu sync.Mutex
 
 	// aux holds derived structures (e.g. coloring's distance-2 conflict
-	// sets) keyed by an owner-chosen key. Tying them to the topoCache
-	// means a graph mutation invalidates them for free.
+	// sets) keyed by an owner-chosen key. A patch deletes every aux value
+	// except those implementing AuxPatchable, which survive and re-sync
+	// themselves from the mutation journal.
 	auxMu sync.Mutex
 	aux   map[any]any
 }
+
+// AuxPatchable marks an Aux value that stays correct across topology
+// patches by consuming the graph's edge-delta journal (MutEpoch /
+// EdgeDeltasSince). Values without the marker are deleted from the aux
+// table on every mutation, exactly as the old invalidate-wholesale path
+// did for them.
+type AuxPatchable interface {
+	AuxSurvivesMutation()
+}
+
+// EdgeDelta is one journaled topology mutation: the edge, its direction of
+// change, and the stable arc ids of (U,V) and (V,U) — assigned ids for an
+// addition, the just-freed ids for a removal.
+type EdgeDelta struct {
+	U, V       int
+	Added      bool
+	IDUV, IDVU int32
+}
+
+// maxTopoJournal bounds the mutation journal. Aux consumers further behind
+// than this rebuild from scratch instead of replaying — the bound only
+// exists so an unread journal cannot grow without limit.
+const maxTopoJournal = 512
 
 // topo returns the current topology cache, building it if needed. Racing
 // builders produce identical caches, so losing the CompareAndSwap just
@@ -94,61 +143,296 @@ func (g *Graph) buildTopo() *topoCache {
 	for i, a := range arcs {
 		c.index[a] = int32(i)
 	}
-	c.arcs = arcs
+	c.idBound = int32(len(arcs))
+	c.arcs.Store(&arcs)
 	return c
 }
 
 // invalidate drops the topology cache (and every aux structure hanging off
-// it). Called by the mutating operations.
+// it). Called by the fallback mutation path and bulk loaders.
 func (g *Graph) invalidate() { g.cache.Store(nil) }
 
+// resetTopo discards all cached topology state after a wholesale graph
+// replacement (deserialization): the epoch advances so stale incremental
+// consumers cannot mistake the new graph for the old, and the journal is
+// truncated so they fall back to a full rebuild.
+func (g *Graph) resetTopo() {
+	e := g.epoch.Load() + 1
+	g.epoch.Store(e)
+	g.journalReset(e)
+	g.invalidate()
+}
+
+// mutated records one applied edge change: it bumps the mutation epoch and
+// either patches the live cache in place (journaling the delta for aux
+// consumers) or, when no cache exists or patching is off, resets the journal
+// and drops the cache as the pre-patch implementation did.
+func (g *Graph) mutated(u, v int, added bool) {
+	e := g.epoch.Load() + 1
+	g.epoch.Store(e)
+	c := g.cache.Load()
+	if c == nil || g.noPatch {
+		g.journalReset(e)
+		g.invalidate()
+		return
+	}
+	var d EdgeDelta
+	if added {
+		d = c.patchAdd(u, v)
+	} else {
+		d = c.patchRemove(u, v)
+	}
+	d.U, d.V, d.Added = u, v, added
+	g.journalAppend(d)
+	c.dropStaleAux()
+}
+
+// journalReset discards the journal; the next possible entry is epoch e+1.
+func (g *Graph) journalReset(e uint64) {
+	g.journal = g.journal[:0]
+	g.jFirst = e + 1
+}
+
+// journalAppend records d (the delta of the current epoch), compacting the
+// backing slice once it doubles past the retention bound.
+func (g *Graph) journalAppend(d EdgeDelta) {
+	g.journal = append(g.journal, d)
+	if len(g.journal) > 2*maxTopoJournal {
+		drop := len(g.journal) - maxTopoJournal
+		copy(g.journal, g.journal[drop:])
+		g.journal = g.journal[:maxTopoJournal]
+		g.jFirst += uint64(drop)
+	}
+}
+
+// MutEpoch returns the number of mutations applied to g so far. Aux
+// consumers snapshot it at build time and hand it back to EdgeDeltasSince
+// to learn what changed.
+func (g *Graph) MutEpoch() uint64 { return g.epoch.Load() }
+
+// EdgeDeltasSince returns the journaled mutations applied after the given
+// epoch, oldest first, and whether the journal still covers that range. A
+// false answer means entries were truncated (or a non-patched mutation broke
+// continuity) and the consumer must rebuild from the live topology instead
+// of replaying. The returned slice aliases the journal: it is valid until
+// the next mutation.
+func (g *Graph) EdgeDeltasSince(epoch uint64) ([]EdgeDelta, bool) {
+	cur := g.epoch.Load()
+	if epoch == cur {
+		return nil, true
+	}
+	if epoch > cur || g.jFirst > epoch+1 {
+		return nil, false
+	}
+	lo := epoch + 1 - g.jFirst
+	hi := cur + 1 - g.jFirst
+	if hi > uint64(len(g.journal)) {
+		return nil, false
+	}
+	return g.journal[lo:hi], true
+}
+
+// SetTopoPatching toggles the in-place cache patch path (on by default).
+// With patching off every mutation drops the cache wholesale and rebuilds
+// on next read — the reference behavior the patch-vs-rebuild conformance
+// oracle compares against.
+func (g *Graph) SetTopoPatching(enabled bool) {
+	g.noPatch = !enabled
+	g.journalReset(g.epoch.Load())
+	g.invalidate()
+}
+
+// allocID hands out a stable arc id, recycling freed ids LIFO.
+func (c *topoCache) allocID() int32 {
+	if n := len(c.freeIDs); n > 0 {
+		id := c.freeIDs[n-1]
+		c.freeIDs = c.freeIDs[:n-1]
+		return id
+	}
+	id := c.idBound
+	c.idBound++
+	return id
+}
+
+// insertSorted returns a fresh copy of row with x inserted at position
+// determined by less (row itself is never written — readers may share it).
+func insertSortedInt(row []int, x int) []int {
+	i := sort.SearchInts(row, x)
+	out := make([]int, len(row)+1)
+	copy(out, row[:i])
+	out[i] = x
+	copy(out[i+1:], row[i:])
+	return out
+}
+
+func removeSortedInt(row []int, x int) []int {
+	i := sort.SearchInts(row, x)
+	out := make([]int, len(row)-1)
+	copy(out, row[:i])
+	copy(out[i:], row[i+1:])
+	return out
+}
+
+func arcLess(a, b Arc) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+func insertSortedArc(row []Arc, a Arc) []Arc {
+	i := sort.Search(len(row), func(i int) bool { return !arcLess(row[i], a) })
+	out := make([]Arc, len(row)+1)
+	copy(out, row[:i])
+	out[i] = a
+	copy(out[i+1:], row[i:])
+	return out
+}
+
+func removeSortedArc(row []Arc, a Arc) []Arc {
+	i := sort.Search(len(row), func(i int) bool { return !arcLess(row[i], a) })
+	out := make([]Arc, len(row)-1)
+	copy(out, row[:i])
+	copy(out[i:], row[i+1:])
+	return out
+}
+
+// patchAdd splices the edge {u,v} into the cache: copy-on-write row updates
+// for the two endpoints, fresh stable ids for the two new arcs, stale global
+// arc list. O(deg(u)+deg(v)) — nothing outside the endpoints' rows is
+// touched.
+func (c *topoCache) patchAdd(u, v int) EdgeDelta {
+	auv, avu := Arc{From: u, To: v}, Arc{From: v, To: u}
+	c.nbrs[u] = insertSortedInt(c.nbrs[u], v)
+	c.nbrs[v] = insertSortedInt(c.nbrs[v], u)
+	c.out[u] = insertSortedArc(c.out[u], auv)
+	c.in[u] = insertSortedArc(c.in[u], avu)
+	c.out[v] = insertSortedArc(c.out[v], avu)
+	c.in[v] = insertSortedArc(c.in[v], auv)
+	c.incident[u] = insertSortedArc(insertSortedArc(c.incident[u], auv), avu)
+	c.incident[v] = insertSortedArc(insertSortedArc(c.incident[v], auv), avu)
+	d := EdgeDelta{IDUV: c.allocID(), IDVU: c.allocID()}
+	c.index[auv] = d.IDUV
+	c.index[avu] = d.IDVU
+	c.arcs.Store(nil)
+	return d
+}
+
+// patchRemove splices the edge {u,v} out of the cache, freeing the two arc
+// ids for reuse.
+func (c *topoCache) patchRemove(u, v int) EdgeDelta {
+	auv, avu := Arc{From: u, To: v}, Arc{From: v, To: u}
+	c.nbrs[u] = removeSortedInt(c.nbrs[u], v)
+	c.nbrs[v] = removeSortedInt(c.nbrs[v], u)
+	c.out[u] = removeSortedArc(c.out[u], auv)
+	c.in[u] = removeSortedArc(c.in[u], avu)
+	c.out[v] = removeSortedArc(c.out[v], avu)
+	c.in[v] = removeSortedArc(c.in[v], auv)
+	c.incident[u] = removeSortedArc(removeSortedArc(c.incident[u], auv), avu)
+	c.incident[v] = removeSortedArc(removeSortedArc(c.incident[v], auv), avu)
+	d := EdgeDelta{IDUV: c.index[auv], IDVU: c.index[avu]}
+	delete(c.index, auv)
+	delete(c.index, avu)
+	c.freeIDs = append(c.freeIDs, d.IDUV, d.IDVU)
+	c.arcs.Store(nil)
+	return d
+}
+
+// dropStaleAux deletes every aux value that cannot survive a mutation.
+func (c *topoCache) dropStaleAux() {
+	c.auxMu.Lock()
+	for k, v := range c.aux {
+		if _, ok := v.(AuxPatchable); !ok {
+			delete(c.aux, k)
+		}
+	}
+	c.auxMu.Unlock()
+}
+
+// rebuildArcs reconstructs the sorted global arc list from the out rows
+// (each sorted by To, node order ascending — so one append pass yields
+// (From, To) order). Double-checked under arcsMu so racing readers build it
+// once.
+func (c *topoCache) rebuildArcs() []Arc {
+	c.arcsMu.Lock()
+	defer c.arcsMu.Unlock()
+	if p := c.arcs.Load(); p != nil {
+		return *p
+	}
+	total := 0
+	for v := range c.out {
+		total += len(c.out[v])
+	}
+	arcs := make([]Arc, 0, total)
+	for v := range c.out {
+		arcs = append(arcs, c.out[v]...)
+	}
+	c.arcs.Store(&arcs)
+	return arcs
+}
+
 // NeighborsView returns the sorted neighbors of v as a shared slice. The
-// slice is immutable: callers must not modify it. It remains valid until the
-// next AddEdge/RemoveEdge.
+// slice is immutable: callers must not modify it. After the next
+// AddEdge/RemoveEdge it no longer reflects the live topology.
 func (g *Graph) NeighborsView(v int) []int {
 	g.check(v)
 	return g.topo().nbrs[v]
 }
 
 // ArcsView returns all 2m arcs sorted by (From, To) as a shared, read-only
-// slice, valid until the next mutation.
-func (g *Graph) ArcsView() []Arc { return g.topo().arcs }
+// slice describing the topology at call time.
+func (g *Graph) ArcsView() []Arc {
+	c := g.topo()
+	if p := c.arcs.Load(); p != nil {
+		return *p
+	}
+	return c.rebuildArcs()
+}
 
 // IncidentArcsView returns the arcs with v as an endpoint, sorted by
-// (From, To), as a shared, read-only slice valid until the next mutation.
+// (From, To), as a shared, read-only slice.
 func (g *Graph) IncidentArcsView(v int) []Arc {
 	g.check(v)
 	return g.topo().incident[v]
 }
 
 // OutArcsView returns the arcs leaving v, sorted by head, as a shared,
-// read-only slice valid until the next mutation.
+// read-only slice.
 func (g *Graph) OutArcsView(v int) []Arc {
 	g.check(v)
 	return g.topo().out[v]
 }
 
 // InArcsView returns the arcs entering v, sorted by tail, as a shared,
-// read-only slice valid until the next mutation.
+// read-only slice.
 func (g *Graph) InArcsView(v int) []Arc {
 	g.check(v)
 	return g.topo().in[v]
 }
 
-// ArcIndex returns a's position in ArcsView() and whether a is an arc of the
-// graph. Indices are dense in [0, 2M()) and stable until the next mutation.
+// ArcIndex returns a's stable id and whether a is an arc of the graph. Ids
+// are dense in [0, ArcIDBound()): after a fresh cache build they coincide
+// with positions in ArcsView, and across patched mutations each surviving
+// arc keeps its id while removed ids are recycled to later additions. Use
+// ArcIDBound — not 2*M() — to size tables indexed by arc id.
 func (g *Graph) ArcIndex(a Arc) (int, bool) {
 	i, ok := g.topo().index[a]
 	return int(i), ok
 }
 
+// ArcIDBound returns the exclusive upper bound of the stable arc ids
+// currently assigned (at least 2*M(), more after net removals whose ids
+// have not been recycled yet).
+func (g *Graph) ArcIDBound() int { return int(g.topo().idBound) }
+
 // Aux returns the auxiliary value for key, invoking build at most once per
-// topology version to create it. The value shares the topology cache's
-// lifetime: any AddEdge/RemoveEdge discards it, and the next Aux call
-// rebuilds against the new topology. build must not mutate the graph and
-// must produce a value safe for concurrent readers, since the result is
-// shared. Distinct packages should use distinct unexported key types to
-// avoid collisions.
+// build of the topology cache to create it. Values not implementing
+// AuxPatchable are discarded on any AddEdge/RemoveEdge and rebuilt by the
+// next Aux call against the new topology; AuxPatchable values survive
+// patched mutations and are expected to re-sync themselves via MutEpoch/
+// EdgeDeltasSince. build must not mutate the graph and must produce a value
+// safe for concurrent readers, since the result is shared. Distinct
+// packages should use distinct unexported key types to avoid collisions.
 func (g *Graph) Aux(key any, build func() any) any {
 	c := g.topo()
 	c.auxMu.Lock()

@@ -22,13 +22,23 @@ import (
 // to construct usable instances. Self-loops and parallel edges are rejected.
 //
 // Read accessors build and share an internal sorted-topology cache (see
-// cache.go); AddEdge/RemoveEdge invalidate it. Mutating concurrently with
-// reads is not supported — the cache keeps the same discipline the adjacency
-// maps already require.
+// cache.go); AddEdge/RemoveEdge patch it in place when it exists (or drop it
+// when patching is disabled), journaling each change for incremental aux
+// consumers. Mutating concurrently with reads is not supported — the cache
+// keeps the same discipline the adjacency maps already require.
 type Graph struct {
 	adj   []map[int]struct{}
 	m     int // number of undirected edges
 	cache atomic.Pointer[topoCache]
+
+	// Mutation bookkeeping for incremental consumers: epoch counts applied
+	// mutations; journal holds the EdgeDelta of epochs jFirst..epoch
+	// (contiguous, bounded — see EdgeDeltasSince). noPatch forces the
+	// legacy invalidate-wholesale path.
+	epoch   atomic.Uint64
+	jFirst  uint64
+	journal []EdgeDelta
+	noPatch bool
 }
 
 // New returns an empty graph with n isolated nodes.
@@ -36,7 +46,7 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative node count %d", n))
 	}
-	g := &Graph{adj: make([]map[int]struct{}, n)}
+	g := &Graph{adj: make([]map[int]struct{}, n), jFirst: 1}
 	for i := range g.adj {
 		g.adj[i] = make(map[int]struct{})
 	}
@@ -70,7 +80,7 @@ func (g *Graph) AddEdge(u, v int) {
 	g.adj[u][v] = struct{}{}
 	g.adj[v][u] = struct{}{}
 	g.m++
-	g.invalidate()
+	g.mutated(u, v, true)
 }
 
 // RemoveEdge deletes the undirected edge {u,v} if present.
@@ -83,7 +93,7 @@ func (g *Graph) RemoveEdge(u, v int) {
 	delete(g.adj[u], v)
 	delete(g.adj[v], u)
 	g.m--
-	g.invalidate()
+	g.mutated(u, v, false)
 }
 
 // HasEdge reports whether {u,v} is an edge.

@@ -31,20 +31,28 @@ type service struct {
 	latency  *obs.HistogramVec
 	inflight *obs.Gauge
 
-	sessions         *sessionStore
-	sessionsCreated  *obs.Counter
-	sessionsActive   *obs.Gauge
-	sessionUpdates   *obs.CounterVec
-	sessionEvents    *obs.CounterVec
-	sessionRecolored *obs.CounterVec
-	sessionRounds    *obs.Histogram
-	sessionLatency   *obs.HistogramVec
+	sessions           *sessionStore
+	sessionsCreated    *obs.Counter
+	sessionsActive     *obs.Gauge
+	sessionUpdates     *obs.CounterVec
+	sessionEvents      *obs.CounterVec
+	sessionRecolored   *obs.CounterVec
+	sessionCachePatch  *obs.CounterVec
+	sessionCacheArcs   *obs.CounterVec
+	sessionCacheBuilds *obs.CounterVec
+	sessionRounds      *obs.Histogram
+	sessionLatency     *obs.HistogramVec
 }
 
 // newService builds the handler set over reg and pre-registers every metric
 // family the service can emit — http, session, core, sim, and transport —
 // so a scrape exposes the full schema before the first request.
 func newService(reg *obs.Registry) *service {
+	// The live-session gauge is owned by the store: add/remove update it
+	// while still holding the store lock, so its value is never a stale
+	// read-modify-write from a racing handler.
+	active := reg.Gauge("fdlsp_session_active_sessions",
+		"Schedule sessions currently live.")
 	s := &service{
 		reg: reg,
 		//lint:ignore detrand HTTP request latency is wall-clock by definition; tests inject a fake clock
@@ -53,17 +61,22 @@ func newService(reg *obs.Registry) *service {
 		latency:  reg.HistogramVec(metricHTTPLatency, "HTTP request latency in seconds, by route.", obs.DefLatencyBuckets(), "route"),
 		inflight: reg.Gauge(metricHTTPInFlight, "Requests currently being served."),
 
-		sessions: newSessionStore(),
+		sessions: newSessionStore(active),
 		sessionsCreated: reg.Counter("fdlsp_session_created_total",
 			"Schedule sessions created over the server's lifetime."),
-		sessionsActive: reg.Gauge("fdlsp_session_active_sessions",
-			"Schedule sessions currently live."),
+		sessionsActive: active,
 		sessionUpdates: reg.CounterVec("fdlsp_session_updates_total",
 			"Update batches applied, by session.", "session"),
 		sessionEvents: reg.CounterVec("fdlsp_session_events_total",
 			"Topology events applied, by session.", "session"),
 		sessionRecolored: reg.CounterVec("fdlsp_session_recolored_arcs_total",
 			"Arcs recolored by incremental repair, by session.", "session"),
+		sessionCachePatch: reg.CounterVec("fdlsp_session_cache_patches_total",
+			"Incremental conflict-cache patches applied, by session.", "session"),
+		sessionCacheArcs: reg.CounterVec("fdlsp_session_cache_patched_arcs_total",
+			"Conflict rows rewritten by cache patches, by session.", "session"),
+		sessionCacheBuilds: reg.CounterVec("fdlsp_session_cache_rebuilds_total",
+			"Full conflict-cache rebuilds paid by update batches, by session.", "session"),
 		sessionRounds: reg.Histogram("fdlsp_session_repair_rounds",
 			"Distributed repair rounds per update batch.",
 			[]float64{0, 1, 2, 4, 8, 16, 32, 64}),

@@ -8,6 +8,7 @@ import (
 	"fdlsp/internal/dynamic"
 	"fdlsp/internal/graph"
 	"fdlsp/internal/incr"
+	"fdlsp/internal/obs"
 )
 
 // The session API is the streaming face of the scheduler: POST /v1/session
@@ -18,24 +19,33 @@ import (
 // mutex, so concurrent clients of one session are safe and different
 // sessions repair in parallel.
 
-// session is one live schedule under incremental maintenance.
+// session is one live schedule under incremental maintenance. dead (guarded
+// by mu) flips when the session is deleted: a handler that resolved the
+// session before the delete must re-check it after acquiring mu and answer
+// 404 instead of applying work — otherwise an update racing a DELETE would
+// mutate a schedule nobody can read and resurrect per-session metric series
+// the delete just unregistered.
 type session struct {
-	id string
-	mu sync.Mutex
-	up *incr.Updater
+	id   string
+	mu   sync.Mutex
+	dead bool
+	up   *incr.Updater
 }
 
 // sessionStore maps ids to sessions. Ids are sequential ("s1", "s2", ...) —
 // deterministic per server instance, which the session determinism tests
-// rely on.
+// rely on. The store owns the live-session gauge and updates it while still
+// holding the store lock, so the published value is never a stale
+// read-modify-write from two racing handlers.
 type sessionStore struct {
 	mu       sync.Mutex
 	seq      int
 	sessions map[string]*session
+	active   *obs.Gauge
 }
 
-func newSessionStore() *sessionStore {
-	return &sessionStore{sessions: make(map[string]*session)}
+func newSessionStore(active *obs.Gauge) *sessionStore {
+	return &sessionStore{sessions: make(map[string]*session), active: active}
 }
 
 func (st *sessionStore) add(up *incr.Updater) *session {
@@ -44,6 +54,7 @@ func (st *sessionStore) add(up *incr.Updater) *session {
 	st.seq++
 	s := &session{id: fmt.Sprintf("s%d", st.seq), up: up}
 	st.sessions[s.id] = s
+	st.active.Set(float64(len(st.sessions)))
 	return s
 }
 
@@ -57,7 +68,10 @@ func (st *sessionStore) remove(id string) *session {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s := st.sessions[id]
-	delete(st.sessions, id)
+	if s != nil {
+		delete(st.sessions, id)
+		st.active.Set(float64(len(st.sessions)))
+	}
 	return s
 }
 
@@ -99,13 +113,15 @@ type sessionUpdateRequest struct {
 // the body is byte-deterministic (recolor sets are sorted and nothing
 // derives from map order or wall clock).
 type sessionUpdateResponse struct {
-	Events    int            `json:"events"`
-	DirtyArcs int            `json:"dirty_arcs"`
-	Rounds    int            `json:"rounds"`
-	MinUsable float64        `json:"min_usable"`
-	Recolored []incr.ArcSlot `json:"recolored"`
-	Dropped   []incr.ArcSlot `json:"dropped"`
-	Slots     int            `json:"slots"`
+	Events           int            `json:"events"`
+	DirtyArcs        int            `json:"dirty_arcs"`
+	Rounds           int            `json:"rounds"`
+	MinUsable        float64        `json:"min_usable"`
+	Recolored        []incr.ArcSlot `json:"recolored"`
+	Dropped          []incr.ArcSlot `json:"dropped"`
+	Slots            int            `json:"slots"`
+	CachePatches     uint64         `json:"cache_patches"`
+	CachePatchedArcs uint64         `json:"cache_patched_arcs"`
 }
 
 func (s *service) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
@@ -129,7 +145,6 @@ func (s *service) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	sess := s.sessions.add(up)
 	s.sessionsCreated.Inc()
-	s.sessionsActive.Set(float64(s.sessions.count()))
 	writeJSON(w, http.StatusOK, sessionInfoResponse{
 		ID:        sess.id,
 		Algorithm: algo,
@@ -146,6 +161,11 @@ func (s *service) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.mu.Lock()
+	if sess.dead {
+		sess.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown session "+r.PathValue("id"))
+		return
+	}
 	resp := sessionInfoResponse{
 		ID:      sess.id,
 		Nodes:   sess.up.Graph().N(),
@@ -163,7 +183,21 @@ func (s *service) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown session "+r.PathValue("id"))
 		return
 	}
-	s.sessionsActive.Set(float64(s.sessions.count()))
+	// Mark the session dead under its own mutex. This waits out any update
+	// that already resolved the session: such an update emits its metrics
+	// before releasing the mutex, so once we hold it no late emission can
+	// resurrect the label series removed below — per-session cardinality
+	// stays bounded by the number of live sessions, not created ones.
+	sess.mu.Lock()
+	sess.dead = true
+	sess.mu.Unlock()
+	s.sessionUpdates.Delete(sess.id)
+	s.sessionEvents.Delete(sess.id)
+	s.sessionRecolored.Delete(sess.id)
+	s.sessionCachePatch.Delete(sess.id)
+	s.sessionCacheArcs.Delete(sess.id)
+	s.sessionCacheBuilds.Delete(sess.id)
+	s.sessionLatency.Delete(sess.id)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": sess.id})
 }
 
@@ -182,27 +216,44 @@ func (s *service) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.mu.Lock()
+	if sess.dead {
+		// Lost the race with DELETE: the id resolved before the session was
+		// removed from the store. Apply nothing and emit nothing.
+		sess.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown session "+r.PathValue("id"))
+		return
+	}
 	start := s.now()
 	rep, err := sess.up.Apply(req.Events)
 	elapsed := s.now().Sub(start)
-	sess.mu.Unlock()
 	if err != nil {
+		sess.mu.Unlock()
 		httpError(w, errStatus(err), err.Error())
 		return
 	}
+	// Per-session metrics are emitted while still holding the session mutex:
+	// a concurrent DELETE marks the session dead under this mutex before
+	// unregistering the label series, so emission and removal never
+	// interleave.
 	s.sessionUpdates.With(sess.id).Inc()
 	s.sessionEvents.With(sess.id).Add(float64(rep.Events))
 	s.sessionRecolored.With(sess.id).Add(float64(len(rep.Recolored)))
+	s.sessionCachePatch.With(sess.id).Add(float64(rep.CachePatches))
+	s.sessionCacheArcs.With(sess.id).Add(float64(rep.CachePatchedArcs))
+	s.sessionCacheBuilds.With(sess.id).Add(float64(rep.CacheRebuilds))
 	s.sessionRounds.Observe(float64(rep.Rounds))
 	s.sessionLatency.With(sess.id).Observe(elapsed.Seconds())
+	sess.mu.Unlock()
 	resp := sessionUpdateResponse{
-		Events:    rep.Events,
-		DirtyArcs: rep.DirtyArcs,
-		Rounds:    rep.Rounds,
-		MinUsable: rep.MinUsable,
-		Recolored: rep.Recolored,
-		Dropped:   rep.Dropped,
-		Slots:     rep.FrameLength,
+		Events:           rep.Events,
+		DirtyArcs:        rep.DirtyArcs,
+		Rounds:           rep.Rounds,
+		MinUsable:        rep.MinUsable,
+		Recolored:        rep.Recolored,
+		Dropped:          rep.Dropped,
+		Slots:            rep.FrameLength,
+		CachePatches:     rep.CachePatches,
+		CachePatchedArcs: rep.CachePatchedArcs,
 	}
 	if resp.Recolored == nil {
 		resp.Recolored = []incr.ArcSlot{}

@@ -359,3 +359,164 @@ func TestSessionMetricsExposed(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionMetricsCardinalityBoundedUnderChurn: deleting a session must
+// unregister its per-session label series, so a churn of short-lived
+// sessions cannot grow the /metrics scrape without bound.
+func TestSessionMetricsCardinalityBoundedUnderChurn(t *testing.T) {
+	s := server(t)
+	g := graph.ConnectedGNM(12, 20, rand.New(rand.NewSource(7)))
+	const churn = 25
+	for i := 0; i < churn; i++ {
+		info := createSession(t, s.URL, g)
+		u, v := -1, -1
+		for a := 0; a < g.N() && u < 0; a++ {
+			for b := a + 1; b < g.N(); b++ {
+				if !g.HasEdge(a, b) {
+					u, v = a, b
+					break
+				}
+			}
+		}
+		resp := post(t, s.URL+"/v1/session/"+info.ID+"/update", sessionUpdateRequest{
+			Events: []dynamic.Event{{Kind: dynamic.LinkUp, U: u, V: v}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("churn %d: update status %d", i, resp.StatusCode)
+		}
+		req, _ := http.NewRequest(http.MethodDelete, s.URL+"/v1/session/"+info.ID, nil)
+		delResp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delResp.Body.Close()
+		if delResp.StatusCode != http.StatusOK {
+			t.Fatalf("churn %d: delete status %d", i, delResp.StatusCode)
+		}
+	}
+	// One session stays live: its series (and only its) may be scraped.
+	live := createSession(t, s.URL, g)
+
+	mresp, err := http.Get(s.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(body, []byte(`session="`)); n > 0 {
+		t.Errorf("scrape still carries %d per-session series after churn (only %q is live):\n%s",
+			n, live.ID, sessionLines(body))
+	}
+	if !bytes.Contains(body, []byte("fdlsp_session_active_sessions 1")) {
+		t.Errorf("active-session gauge wrong after churn:\n%s", sessionLines(body))
+	}
+	if !bytes.Contains(body, []byte(fmt.Sprintf("fdlsp_session_created_total %d", churn+1))) {
+		t.Errorf("created counter lost history:\n%s", sessionLines(body))
+	}
+}
+
+// sessionLines filters a scrape down to the session families for failure
+// messages.
+func sessionLines(body []byte) string {
+	var out bytes.Buffer
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if bytes.Contains(line, []byte("fdlsp_session_")) {
+			out.Write(line)
+			out.WriteByte('\n')
+		}
+	}
+	return out.String()
+}
+
+// TestSessionUpdateDeleteRace races updates against DELETE on the same
+// session (run under -race in CI): every update must either apply fully
+// (200) or observe the deletion (404) — and once the delete has answered, no
+// straggler may resurrect the session's metric series or mutate its
+// schedule.
+func TestSessionUpdateDeleteRace(t *testing.T) {
+	s := server(t)
+	const rounds = 20
+	const workers = 4
+	for round := 0; round < rounds; round++ {
+		g := graph.New(2*workers + 6)
+		for i := 2 * workers; i < g.N()-1; i++ {
+			g.AddEdge(i, i+1)
+		}
+		info := createSession(t, s.URL, g)
+		upURL := s.URL + "/v1/session/" + info.ID + "/update"
+
+		var wg sync.WaitGroup
+		errc := make(chan error, workers+1)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				u, v := 2*w, 2*w+1
+				for i := 0; ; i++ {
+					kind := dynamic.LinkUp
+					if i%2 == 1 {
+						kind = dynamic.LinkDown
+					}
+					body, _ := json.Marshal(sessionUpdateRequest{
+						Events: []dynamic.Event{{Kind: kind, U: u, V: v}},
+					})
+					resp, err := http.Post(upURL, "application/json", bytes.NewReader(body))
+					if err != nil {
+						errc <- err
+						return
+					}
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						// Applied before the delete; keep going.
+					case http.StatusNotFound:
+						return // observed the deletion — done
+					default:
+						errc <- fmt.Errorf("round %d worker %d: status %d", round, w, resp.StatusCode)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodDelete, upURL[:len(upURL)-len("/update")], nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errc <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("round %d: delete status %d", round, resp.StatusCode)
+			}
+		}()
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatal(err)
+		}
+	}
+
+	// All sessions are gone and every straggler has answered: the scrape
+	// must carry no per-session series and a zero active gauge.
+	mresp, err := http.Get(s.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(body, []byte(`session="`)); n > 0 {
+		t.Errorf("update/delete race left %d per-session series:\n%s", n, sessionLines(body))
+	}
+	if !bytes.Contains(body, []byte("fdlsp_session_active_sessions 0")) {
+		t.Errorf("active-session gauge nonzero after all deletes:\n%s", sessionLines(body))
+	}
+}

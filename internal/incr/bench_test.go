@@ -1,0 +1,37 @@
+package incr_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdlsp/internal/coloring"
+	"fdlsp/internal/dynamic"
+	"fdlsp/internal/graph"
+	"fdlsp/internal/incr"
+)
+
+// BenchmarkApplySingleFlip is the local proxy for the benchkit incr rows:
+// one drop-and-readd batch on a live session, the steady-state op of the
+// rescheduling service.
+func BenchmarkApplySingleFlip(b *testing.B) {
+	g := graph.ConnectedGNM(256, 768, rand.New(rand.NewSource(1)))
+	up, err := incr.New(g, coloring.Greedy(g, nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := g.Edges()[0]
+	batch := []dynamic.Event{
+		{Kind: dynamic.LinkDown, U: e.U, V: e.V},
+		{Kind: dynamic.LinkUp, U: e.U, V: e.V},
+	}
+	if _, err := up.Apply(batch); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := up.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -69,6 +69,13 @@ type Report struct {
 	Dropped []ArcSlot
 	// FrameLength is the TDMA frame length after the batch.
 	FrameLength int
+	// CachePatches and CachePatchedArcs count the incremental distance-2
+	// conflict-cache syncs this batch cost and the rows they rewrote;
+	// CacheRebuilds counts full rebuilds (0 on the steady-state patch
+	// path). The session layer exports them per session.
+	CachePatches     uint64
+	CachePatchedArcs uint64
+	CacheRebuilds    uint64
 }
 
 // Updater is a live schedule under incremental maintenance. Methods are not
@@ -77,6 +84,17 @@ type Updater struct {
 	g       *graph.Graph
 	as      coloring.Assignment
 	updates int64
+
+	// Frame accounting, maintained from the per-batch color diff so Slots
+	// and Report.FrameLength cost O(1) instead of a full O(m) scan of the
+	// assignment per batch: colorCount holds the number of arcs per color,
+	// frame the largest color in use.
+	colorCount map[int]int
+	frame      int
+
+	// stabilize is the repair rule; nil means coloring.Stabilize. Tests
+	// inject failures here to exercise the repair-failure rollback path.
+	stabilize func(*graph.Graph, coloring.Assignment, map[graph.Arc]bool) (int, float64, error)
 }
 
 // New wraps a valid schedule for incremental maintenance. The graph is
@@ -85,7 +103,16 @@ func New(g *graph.Graph, as coloring.Assignment) (*Updater, error) {
 	if viols := coloring.Verify(g, as); len(viols) != 0 {
 		return nil, fmt.Errorf("incr: initial schedule invalid: %v", viols[0])
 	}
-	return &Updater{g: g.Clone(), as: as.Clone()}, nil
+	up := &Updater{g: g.Clone(), as: as.Clone(), colorCount: make(map[int]int)}
+	for _, c := range up.as {
+		if c != coloring.None {
+			up.colorCount[c]++
+			if c > up.frame {
+				up.frame = c
+			}
+		}
+	}
+	return up, nil
 }
 
 // Graph returns the current topology (read-only by convention).
@@ -94,26 +121,29 @@ func (up *Updater) Graph() *graph.Graph { return up.g }
 // Assignment returns the current schedule (read-only by convention).
 func (up *Updater) Assignment() coloring.Assignment { return up.as }
 
-// Slots returns the current frame length.
-func (up *Updater) Slots() int { return up.as.NumColors() }
+// Slots returns the current frame length (maintained incrementally — O(1)).
+func (up *Updater) Slots() int { return up.frame }
 
 // Updates returns the number of batches applied so far.
 func (up *Updater) Updates() int64 { return up.updates }
 
-// mutation is one journaled edge change, enough to undo it: for removals,
-// cu and cv hold the colors of arcs (u,v) and (v,u) before the edge left.
+// mutation is one journaled edge change. Colors are not journaled here:
+// rollback restores them from the batch's first-touch snapshot, which also
+// covers colors the repair phase rewrote.
 type mutation struct {
-	added  bool
-	u, v   int
-	cu, cv int
+	added bool
+	u, v  int
 }
 
 // Apply performs one batch of topology deltas and repairs the schedule.
-// The batch is atomic: on a validation error (ErrBadDelta in the chain) the
-// topology and schedule are exactly as before the call. On success the
-// schedule is conflict-free and complete for the updated topology, and the
-// returned report carries the minimal recolor delta.
+// The batch is atomic: on any error — a validation failure (ErrBadDelta in
+// the chain) or a repair failure — the topology and schedule are exactly as
+// before the call, updates is not incremented, and the session stays
+// serviceable (the same or a corrected batch can be retried). On success
+// the schedule is conflict-free and complete for the updated topology, and
+// the returned report carries the minimal recolor delta.
 func (up *Updater) Apply(events []dynamic.Event) (*Report, error) {
+	cacheBefore := coloring.CacheStats(up.g)
 	// Phase 1 — apply the delta, journaling every edge change and the
 	// pre-batch color of every touched arc (first touch wins, so colors
 	// snapshot the state before the batch regardless of event order).
@@ -121,11 +151,10 @@ func (up *Updater) Apply(events []dynamic.Event) (*Report, error) {
 	oldColor := make(map[graph.Arc]int)
 	for i, ev := range events {
 		if err := up.applyEvent(ev, &muts, oldColor); err != nil {
-			up.rollback(muts)
+			up.rollback(muts, oldColor)
 			return nil, fmt.Errorf("incr: event %d %v: %w", i, ev, err)
 		}
 	}
-	up.updates++
 	rep := &Report{Events: len(events), MinUsable: 1}
 
 	// Phase 2 — dirty set. Touched arcs still present are the batch's new
@@ -165,25 +194,80 @@ func (up *Updater) Apply(events []dynamic.Event) (*Report, error) {
 	// Phase 3 — repair with the shared stabilize rule, then diff against
 	// the pre-batch snapshot. Only dirty arcs can act, so the delta below
 	// is complete; it is minimal because an arc that kept its slot (even a
-	// dirty one repaired by its partner moving) produces no entry.
-	rounds, minUsable, err := coloring.Stabilize(up.g, up.as, dirty)
+	// dirty one repaired by its partner moving) produces no entry. A repair
+	// failure rolls everything back: every arc the stabilizer touched is in
+	// the dirty set, every dirty arc is first-touch snapshotted, so
+	// restoring the snapshot recovers the exact pre-batch schedule.
+	stab := up.stabilize
+	if stab == nil {
+		stab = coloring.Stabilize
+	}
+	rounds, minUsable, err := stab(up.g, up.as, dirty)
 	if err != nil {
+		up.rollback(muts, oldColor)
 		return nil, fmt.Errorf("incr: repair failed: %w", err)
 	}
+	up.updates++
 	rep.Rounds = rounds
 	rep.MinUsable = minUsable
 	for _, a := range sortedArcs(oldColor) {
 		old := oldColor[a]
+		cur := up.as[a]
 		if up.g.HasEdge(a.From, a.To) {
-			if c := up.as[a]; c != old {
-				rep.Recolored = append(rep.Recolored, ArcSlot{From: a.From, To: a.To, Slot: c})
+			if cur != old {
+				rep.Recolored = append(rep.Recolored, ArcSlot{From: a.From, To: a.To, Slot: cur})
 			}
 		} else if old != coloring.None {
 			rep.Dropped = append(rep.Dropped, ArcSlot{From: a.From, To: a.To, Slot: old})
 		}
+		// Frame accounting: every color change in the batch runs through
+		// this diff, so adjusting per-color counts here keeps frame exact
+		// without rescanning the assignment.
+		if cur != old {
+			up.uncount(old)
+			up.count(cur)
+		}
 	}
-	rep.FrameLength = up.as.NumColors()
+	rep.FrameLength = up.frame
+	cacheAfter := coloring.CacheStats(up.g)
+	if cacheAfter.Patches >= cacheBefore.Patches && cacheAfter.Builds >= cacheBefore.Builds {
+		rep.CachePatches = cacheAfter.Patches - cacheBefore.Patches
+		rep.CachePatchedArcs = cacheAfter.PatchedArcs - cacheBefore.PatchedArcs
+		rep.CacheRebuilds = cacheAfter.Builds - cacheBefore.Builds
+	} else {
+		// The cache object itself was replaced mid-batch (counters reset);
+		// report the new object's absolute counts rather than a bogus diff.
+		rep.CachePatches = cacheAfter.Patches
+		rep.CachePatchedArcs = cacheAfter.PatchedArcs
+		rep.CacheRebuilds = cacheAfter.Builds
+	}
 	return rep, nil
+}
+
+// count/uncount maintain the per-color arc counts and the running frame
+// length. Lowering the frame walks down past emptied colors; the walk is
+// paid for by the increments that raised it.
+func (up *Updater) count(c int) {
+	if c == coloring.None {
+		return
+	}
+	up.colorCount[c]++
+	if c > up.frame {
+		up.frame = c
+	}
+}
+
+func (up *Updater) uncount(c int) {
+	if c == coloring.None {
+		return
+	}
+	up.colorCount[c]--
+	if up.colorCount[c] == 0 {
+		delete(up.colorCount, c)
+	}
+	for up.frame > 0 && up.colorCount[up.frame] == 0 {
+		up.frame--
+	}
 }
 
 // applyEvent applies one event to the live topology, journaling each edge
@@ -290,30 +374,34 @@ func (up *Updater) dropLink(u, v int, muts *[]mutation, oldColor map[graph.Arc]i
 	au, av := graph.Arc{From: u, To: v}, graph.Arc{From: v, To: u}
 	firstTouch(oldColor, up.as, au)
 	firstTouch(oldColor, up.as, av)
-	*muts = append(*muts, mutation{added: false, u: u, v: v, cu: up.as[au], cv: up.as[av]})
+	*muts = append(*muts, mutation{added: false, u: u, v: v})
 	delete(up.as, au)
 	delete(up.as, av)
 	up.g.RemoveEdge(u, v)
 	return nil
 }
 
-// rollback undoes the journaled mutations in reverse, restoring the graph
-// and the colors removals deleted (additions never color anything — slots
-// are only assigned during repair, which runs after the whole batch
-// validated).
-func (up *Updater) rollback(muts []mutation) {
+// rollback restores the exact pre-batch state after a failed batch: the
+// journaled edge changes are undone in reverse, then every first-touched
+// arc gets its snapshotted color back. The snapshot covers everything that
+// can have changed — phase 1 first-touches every arc it recolors or drops,
+// phase 2 first-touches every arc it dirties, and the stabilizer only
+// recolors dirty arcs — so after restoration the schedule is byte-identical
+// to the pre-batch one, whether the batch failed validation or repair.
+func (up *Updater) rollback(muts []mutation, oldColor map[graph.Arc]int) {
 	for i := len(muts) - 1; i >= 0; i-- {
 		m := muts[i]
 		if m.added {
 			up.g.RemoveEdge(m.u, m.v)
-			continue
+		} else {
+			up.g.AddEdge(m.u, m.v)
 		}
-		up.g.AddEdge(m.u, m.v)
-		if m.cu != coloring.None {
-			up.as[graph.Arc{From: m.u, To: m.v}] = m.cu
-		}
-		if m.cv != coloring.None {
-			up.as[graph.Arc{From: m.v, To: m.u}] = m.cv
+	}
+	for _, a := range sortedArcs(oldColor) {
+		if c := oldColor[a]; c == coloring.None {
+			delete(up.as, a)
+		} else {
+			up.as[a] = c
 		}
 	}
 }

@@ -33,10 +33,13 @@ import (
 const loadUpdates = 100_000
 
 // p99Budget is the smoke gate on per-update latency. An in-process loopback
-// update on a small graph costs well under a millisecond of repair work;
-// the budget leaves room for shared-runner noise and GC pauses without
-// masking a real regression to whole-graph rescheduling.
-const p99Budget = 50 * time.Millisecond
+// update on a small graph costs well under a millisecond of repair work now
+// that topology mutations patch the distance-2 conflict cache in place
+// instead of forcing a whole-graph rebuild per batch; the budget still
+// leaves an order of magnitude for shared-runner noise and GC pauses, but is
+// tight enough that a regression back to rebuild-per-update (or any other
+// whole-graph cost sneaking into the update path) blows through it.
+const p99Budget = 20 * time.Millisecond
 
 // runLoad replays `updates` seeded link flips against a fresh server and
 // session, collecting per-update wall latency and a running digest of the

@@ -131,6 +131,21 @@ func (f *family) get(mu *sync.Mutex, labelVals []string) *series {
 	return s
 }
 
+// del removes the series for the given label values, reporting whether it
+// existed. The family itself (and its HELP/TYPE header) remains registered.
+func (f *family) del(labelVals []string) bool {
+	if len(labelVals) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labelKeys), len(labelVals)))
+	}
+	key := ""
+	for _, v := range labelVals {
+		key += v + "\x00"
+	}
+	_, ok := f.series[key]
+	delete(f.series, key)
+	return ok
+}
+
 // Counter is a monotonically increasing value.
 type Counter struct{ s *series }
 
@@ -265,6 +280,18 @@ func (v *CounterVec) With(labelVals ...string) *Counter {
 	return &Counter{s: v.f.get(&v.r.mu, labelVals)}
 }
 
+// Delete drops the series for the given label values (e.g. when the labeled
+// entity — a session, a shard — is destroyed), so a churn of short-lived
+// label values cannot grow the scrape without bound. Handles previously
+// returned by With for those values keep working but feed a detached
+// series; call With again to attach to a fresh one. Reports whether the
+// series existed.
+func (v *CounterVec) Delete(labelVals ...string) bool {
+	v.r.mu.Lock()
+	defer v.r.mu.Unlock()
+	return v.f.del(labelVals)
+}
+
 // GaugeVec is a gauge family with labels.
 type GaugeVec struct {
 	r *Registry
@@ -285,6 +312,13 @@ func (v *GaugeVec) With(labelVals ...string) *Gauge {
 	return &Gauge{s: v.f.get(&v.r.mu, labelVals)}
 }
 
+// Delete drops the series for the given label values; see CounterVec.Delete.
+func (v *GaugeVec) Delete(labelVals ...string) bool {
+	v.r.mu.Lock()
+	defer v.r.mu.Unlock()
+	return v.f.del(labelVals)
+}
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct {
 	r *Registry
@@ -303,6 +337,13 @@ func (v *HistogramVec) With(labelVals ...string) *Histogram {
 	v.r.mu.Lock()
 	defer v.r.mu.Unlock()
 	return &Histogram{s: v.f.get(&v.r.mu, labelVals), buckets: v.f.buckets}
+}
+
+// Delete drops the series for the given label values; see CounterVec.Delete.
+func (v *HistogramVec) Delete(labelVals ...string) bool {
+	v.r.mu.Lock()
+	defer v.r.mu.Unlock()
+	return v.f.del(labelVals)
 }
 
 // DefLatencyBuckets is the default bucket ladder for request-latency

@@ -202,3 +202,36 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("concurrent histogram count = %d, want 8000", h.Count())
 	}
 }
+
+func TestVecDelete(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("fdlsp_test_del_total", "h", "id")
+	gv := r.GaugeVec("fdlsp_test_del_depth", "h", "id")
+	hv := r.HistogramVec("fdlsp_test_del_seconds", "h", []float64{1}, "id")
+	cv.With("a").Inc()
+	cv.With("b").Inc()
+	gv.With("a").Set(2)
+	hv.With("a").Observe(0.5)
+
+	if !cv.Delete("a") {
+		t.Fatal("Delete of a live counter series returned false")
+	}
+	if cv.Delete("a") {
+		t.Fatal("second Delete of the same series returned true")
+	}
+	if !gv.Delete("a") || !hv.Delete("a") {
+		t.Fatal("gauge/histogram Delete of live series returned false")
+	}
+
+	text := r.Text()
+	if strings.Contains(text, `id="a"`) {
+		t.Fatalf("deleted series still scraped:\n%s", text)
+	}
+	if !strings.Contains(text, `fdlsp_test_del_total{id="b"} 1`) {
+		t.Fatalf("sibling series lost by Delete:\n%s", text)
+	}
+	// The family itself stays registered; With re-creates the series at zero.
+	if got := cv.With("a").Value(); got != 0 {
+		t.Fatalf("recreated series starts at %v, want 0", got)
+	}
+}
